@@ -1,0 +1,246 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation, plus micro-benchmarks of the substrates. The figure
+// benchmarks regenerate the corresponding table at a reduced sampling
+// budget per iteration (the table *shape* is budget-independent; use
+// cmd/experiments -budget 40000 for the paper-scale protocol).
+package digamma
+
+import (
+	"math/rand"
+	"testing"
+
+	"digamma/internal/arch"
+	"digamma/internal/coopt"
+	"digamma/internal/core"
+	"digamma/internal/cost"
+	"digamma/internal/figures"
+	"digamma/internal/mapping"
+	"digamma/internal/opt"
+	"digamma/internal/schemes"
+	"digamma/internal/workload"
+)
+
+// benchBudget is the per-algorithm sampling budget used inside the figure
+// benchmarks.
+const benchBudget = 120
+
+// --- Fig. 5: algorithm comparison (latency + latency-area, 2 platforms) ---
+
+func benchmarkFig5(b *testing.B, platform arch.Platform) {
+	for i := 0; i < b.N; i++ {
+		lat, lap, err := figures.Fig5(platform, figures.Options{Budget: benchBudget, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := lat.Row("GeoMean"); !ok {
+			b.Fatal("fig5 latency table incomplete")
+		}
+		if _, ok := lap.Row("GeoMean"); !ok {
+			b.Fatal("fig5 latency-area table incomplete")
+		}
+	}
+}
+
+func BenchmarkFig5Edge(b *testing.B)  { benchmarkFig5(b, arch.Edge()) }
+func BenchmarkFig5Cloud(b *testing.B) { benchmarkFig5(b, arch.Cloud()) }
+
+// --- Fig. 6: scheme comparison (HW-opt vs Mapping-opt vs co-opt) ---
+
+func benchmarkFig6(b *testing.B, platform arch.Platform) {
+	for i := 0; i < b.N; i++ {
+		tb, err := figures.Fig6(platform, figures.Options{Budget: benchBudget, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := tb.Row("GeoMean"); !ok {
+			b.Fatal("fig6 table incomplete")
+		}
+	}
+}
+
+func BenchmarkFig6Edge(b *testing.B)  { benchmarkFig6(b, arch.Edge()) }
+func BenchmarkFig6Cloud(b *testing.B) { benchmarkFig6(b, arch.Cloud()) }
+
+// --- Fig. 7: MnasNet solution walk-through ---
+
+func BenchmarkFig7Mnasnet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sols, _, err := figures.Fig7(figures.Options{Budget: benchBudget, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sols) != 3 {
+			b.Fatalf("%d solutions", len(sols))
+		}
+	}
+}
+
+// --- Fig. 3 substrate: encode/decode and the cost model ---
+
+func BenchmarkCostAnalyze(b *testing.B) {
+	layer := workload.Layer{Name: "conv", Type: workload.Conv,
+		K: 128, C: 64, Y: 28, X: 28, R: 3, S: 3}
+	hw := arch.HW{Fanouts: []int{16, 16}, BufBytes: []int64{2 << 10, 256 << 10}}
+	rng := rand.New(rand.NewSource(1))
+	m := mapping.Random(rng, layer, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cost.Analyze(hw, m, layer); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpaceDecode(b *testing.B) {
+	model, err := workload.ByName("resnet50")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := coopt.NewProblem(model, arch.Edge(), coopt.Latency)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, p.Space.Dim())
+	rng := rand.New(rand.NewSource(2))
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Space.Decode(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluate measures one full design-point evaluation (decode +
+// derived buffers + constraint check) per model of the zoo — the paper's
+// sampling-cost unit.
+func BenchmarkEvaluate(b *testing.B) {
+	for _, name := range workload.ModelNames {
+		b.Run(name, func(b *testing.B) {
+			model, err := workload.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := coopt.NewProblem(model, arch.Edge(), coopt.Latency)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(3))
+			g := p.Space.Random(rng, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Evaluate(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOptimizers measures raw sample throughput of every baseline
+// algorithm on a cheap objective (algorithm overhead per sample).
+func BenchmarkOptimizers(b *testing.B) {
+	for _, name := range opt.BaselineNames {
+		b.Run(name, func(b *testing.B) {
+			o, err := opt.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(int64(i + 1)))
+				o.Minimize(opt.Sphere, 24, 500, rng)
+			}
+		})
+	}
+}
+
+// BenchmarkDiGammaSearch measures the genetic engine end-to-end on the
+// smallest and a mid-size model.
+func BenchmarkDiGammaSearch(b *testing.B) {
+	for _, name := range []string{"ncf", "resnet18"} {
+		b.Run(name, func(b *testing.B) {
+			model, err := workload.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := coopt.NewProblem(model, arch.Edge(), coopt.Latency)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Optimize(p, 400, int64(i+1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGridSearchHW measures the HW-opt baseline's full grid sweep.
+func BenchmarkGridSearchHW(b *testing.B) {
+	model, err := workload.ByName("resnet18")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := schemes.GridSearchHW(schemes.DLALike, model, arch.Edge(), coopt.Latency); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGamma measures the mapping-only GAMMA baseline.
+func BenchmarkGamma(b *testing.B) {
+	model, err := workload.ByName("mobilenetv2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := coopt.NewProblem(model, arch.Edge(), coopt.Latency)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hw := schemes.FixedHW(schemes.ComputeFocused, arch.Edge())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunGamma(p, hw, 400, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation regenerates the operator-ablation table (DESIGN.md's
+// design-choice study) on the edge platform.
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := figures.Ablation(arch.Edge(), figures.Options{
+			Budget: benchBudget, Seed: int64(i + 1), Models: []string{"ncf", "resnet18"}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := tb.Row("GeoMean"); !ok {
+			b.Fatal("ablation table incomplete")
+		}
+	}
+}
+
+// BenchmarkBayesTune measures the Bayesian hyper-parameter tuning flow
+// (paper footnote 3).
+func BenchmarkBayesTune(b *testing.B) {
+	model, err := workload.ByName("ncf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := coopt.NewProblem(model, arch.Edge(), coopt.Latency)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.Tune(p, core.TuneOptions{Trials: 6, BudgetPerTrial: 80, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

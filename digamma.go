@@ -1,0 +1,149 @@
+// Package digamma is a from-scratch Go reproduction of "DiGamma:
+// Domain-aware Genetic Algorithm for HW-Mapping Co-optimization for DNN
+// Accelerators" (Kao, Pellauer, Parashar, Krishna — DATE 2022).
+//
+// It co-optimizes a DNN accelerator's hardware resources (PE hierarchy and
+// buffer sizes) together with its mapping strategy (tiling, loop order,
+// parallelism, clustering) under a chip-area budget, and ships everything
+// the paper's evaluation depends on: a MAESTRO-like analytical cost model,
+// a seven-model workload zoo, eight baseline black-box optimizers, the
+// GAMMA mapper, and the manual HW/mapping baseline schemes.
+//
+// Quick start:
+//
+//	model, _ := digamma.LoadModel("resnet18")
+//	best, _ := digamma.Optimize(model, digamma.EdgePlatform(), digamma.Options{
+//		Budget: 4000,
+//		Seed:   1,
+//	})
+//	fmt.Println(best.HW, best.Cycles)
+package digamma
+
+import (
+	"fmt"
+
+	"digamma/internal/arch"
+	"digamma/internal/coopt"
+	"digamma/internal/core"
+	"digamma/internal/opt"
+	"digamma/internal/workload"
+)
+
+// Re-exported domain types. The facade keeps downstream imports to a
+// single package while the implementation lives under internal/.
+type (
+	// Model is a DNN workload: an ordered list of Conv/DSConv/GEMM layers.
+	Model = workload.Model
+	// Layer is one operator in the K,C,Y,X,R,S mapping space.
+	Layer = workload.Layer
+	// HW is a concrete accelerator configuration.
+	HW = arch.HW
+	// Platform is a deployment target (area budget + cost models).
+	Platform = arch.Platform
+	// Evaluation is a fully scored design point.
+	Evaluation = coopt.Evaluation
+	// Problem is a co-optimization instance for advanced use.
+	Problem = coopt.Problem
+	// SearchResult reports a genetic search outcome (best + history).
+	SearchResult = core.Result
+)
+
+// Objective selects the metric to minimize.
+type Objective = coopt.Objective
+
+// Supported objectives.
+const (
+	Latency            = coopt.Latency
+	Energy             = coopt.Energy
+	EDP                = coopt.EDP
+	LatencyAreaProduct = coopt.LatencyAreaProduct
+)
+
+// ModelNames lists the built-in seven-model zoo.
+var ModelNames = workload.ModelNames
+
+// LoadModel returns one of the built-in models by name (see ModelNames).
+func LoadModel(name string) (Model, error) { return workload.ByName(name) }
+
+// EdgePlatform returns the paper's edge target (0.2 mm² for PEs+buffers).
+func EdgePlatform() Platform { return arch.Edge() }
+
+// CloudPlatform returns the paper's cloud target (7.0 mm²).
+func CloudPlatform() Platform { return arch.Cloud() }
+
+// Algorithms lists every available search algorithm: the eight baselines
+// plus "DiGamma".
+func Algorithms() []string {
+	return append(append([]string(nil), opt.BaselineNames...), "DiGamma")
+}
+
+// Options configures an optimization run.
+type Options struct {
+	// Budget is the sampling budget — the number of design points the
+	// search may evaluate (the paper uses 40000). Default 2000.
+	Budget int
+	// Seed makes runs reproducible. Default 1.
+	Seed int64
+	// Objective to minimize. Default Latency.
+	Objective Objective
+	// Algorithm selects the optimizer (see Algorithms()). Default
+	// "DiGamma".
+	Algorithm string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Budget <= 0 {
+		o.Budget = 2000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Algorithm == "" {
+		o.Algorithm = "DiGamma"
+	}
+	return o
+}
+
+// Optimize co-optimizes hardware and mapping for a model on a platform
+// and returns the best design point found.
+func Optimize(model Model, platform Platform, o Options) (*Evaluation, error) {
+	o = o.withDefaults()
+	p, err := coopt.NewProblem(model, platform, o.Objective)
+	if err != nil {
+		return nil, err
+	}
+	if o.Algorithm == "DiGamma" {
+		r, err := core.Optimize(p, o.Budget, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return r.Best, nil
+	}
+	alg, err := opt.ByName(o.Algorithm)
+	if err != nil {
+		return nil, fmt.Errorf("digamma: %w (want one of %v)", err, Algorithms())
+	}
+	return p.RunVector(alg, o.Budget, o.Seed)
+}
+
+// OptimizeMapping searches only the mapping space for a fixed hardware
+// configuration (the paper's Fixed-HW use-case, i.e. the GAMMA mapper).
+// Buffer capacities in hw become constraints on the mapping.
+func OptimizeMapping(model Model, platform Platform, hw HW, o Options) (*Evaluation, error) {
+	o = o.withDefaults()
+	p, err := coopt.NewProblem(model, platform, o.Objective)
+	if err != nil {
+		return nil, err
+	}
+	r, err := core.RunGamma(p, hw, o.Budget, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return r.Best, nil
+}
+
+// NewProblem exposes the underlying co-optimization problem for callers
+// that want to drive searches manually (custom algorithms, ablations).
+func NewProblem(model Model, platform Platform, objective Objective) (*Problem, error) {
+	return coopt.NewProblem(model, platform, objective)
+}

@@ -1,0 +1,32 @@
+// Edge vs cloud: co-optimizes the same model under both platform budgets
+// and contrasts the designs DiGamma picks — the cloud design should spend
+// its 35× larger budget on both a bigger array and deeper buffers, and
+// land on a correspondingly lower latency (one slice of the paper's
+// Fig. 5 story).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"digamma"
+)
+
+func main() {
+	model, err := digamma.LoadModel("resnet18")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, platform := range []digamma.Platform{digamma.EdgePlatform(), digamma.CloudPlatform()} {
+		best, err := digamma.Optimize(model, platform, digamma.Options{Budget: 2500, Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pe, buf := best.Area.Ratio()
+		fmt.Printf("%-6s budget %.1f mm²:\n", platform.Name, platform.AreaBudgetMM2)
+		fmt.Printf("  %s\n", best.HW)
+		fmt.Printf("  area %.4f mm² (PE:buffer = %d:%d)\n", best.Area.Total(), pe, buf)
+		fmt.Printf("  latency %.3e cycles, energy %.3e pJ\n\n", best.Cycles, best.EnergyPJ)
+	}
+}

@@ -1,0 +1,74 @@
+// Encoding walk-through: builds the paper's Fig. 3 example by hand — a
+// two-level design point — encodes it as genes, decodes it back into an
+// accelerator configuration, and reports what the evaluation block sees:
+// derived minimum buffer sizes, area, latency and per-level data movement.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"digamma/internal/arch"
+	"digamma/internal/cost"
+	"digamma/internal/mapping"
+	"digamma/internal/workload"
+)
+
+func main() {
+	// A mid-network ResNet-ish layer: K64 C32, 28×28 outputs, 3×3 kernel.
+	layer := workload.Layer{
+		Name: "conv", Type: workload.Conv,
+		K: 64, C: 32, Y: 28, X: 28, R: 3, S: 3,
+	}
+
+	// The gene tables of Fig. 3(b): an L1-config describing a 16-wide 1-D
+	// PE array parallelizing C, and an L2-config instantiating 4 such
+	// arrays parallelizing K. Orders are the temporal loop nests, values
+	// are tile sizes.
+	m := mapping.Mapping{Levels: []mapping.Level{
+		{ // L1-config: within a 1-D PE array
+			Spatial: workload.C,
+			Order:   order(workload.C, workload.K, workload.Y, workload.X, workload.R, workload.S),
+			Tiles:   workload.Vector{4, 2, 2, 2, 3, 3},
+		},
+		{ // L2-config: across 1-D PE arrays
+			Spatial: workload.K,
+			Order:   order(workload.K, workload.C, workload.Y, workload.X, workload.R, workload.S),
+			Tiles:   workload.Vector{16, 32, 7, 7, 3, 3},
+		},
+	}}
+	hw := arch.HW{
+		Fanouts:  []int{16, 4},              // π_L1=16 PEs per array, π_L2=4 arrays
+		BufBytes: []int64{1 << 10, 1 << 18}, // capacities; co-opt derives these instead
+	}
+
+	fmt.Println("Encoded design point (the genes):")
+	fmt.Printf("  π_L2=%d  π_L1=%d  (PE array: %dx%d = %d PEs)\n",
+		hw.Fanouts[1], hw.Fanouts[0], hw.Fanouts[1], hw.Fanouts[0], hw.NumPEs())
+	fmt.Printf("  %s\n\n", m)
+
+	r, err := cost.Analyze(hw, m, layer)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Decoded accelerator, as the evaluation block scores it:")
+	fmt.Printf("  latency:            %.3e cycles (compute roofline %.3e)\n", r.Cycles, r.ComputeOnly)
+	fmt.Printf("  PE utilization:     %.1f%%\n", r.Utilization*100)
+	fmt.Printf("  DRAM traffic:       %.3e words\n", r.DRAMWords)
+	for l, lv := range r.Levels {
+		fmt.Printf("  level %d: occupancy %d/%d, min buffer W=%.0f I=%.0f O=%.0f words\n",
+			l+1, lv.Occupancy, lv.Fanout,
+			lv.BufferWords.Weights, lv.BufferWords.Inputs, lv.BufferWords.Outputs)
+	}
+	req := r.BufReqBytes(hw.Defaults().BytesPerWord)
+	fmt.Printf("  buffer allocation (double-buffered): L1 %d B/PE, L2 %d B\n", req[0], req[1])
+	fmt.Printf("  area with derived buffers: %s\n",
+		arch.DefaultAreaModel().Area(arch.HW{Fanouts: hw.Fanouts, BufBytes: req}))
+}
+
+func order(ds ...workload.Dim) [workload.NumDims]workload.Dim {
+	var o [workload.NumDims]workload.Dim
+	copy(o[:], ds)
+	return o
+}

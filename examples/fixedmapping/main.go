@@ -1,0 +1,37 @@
+// Fixed-Mapping use-case (the paper's second design constraint): you have
+// a manually tuned mapping style — here NVDLA-like — and want to size the
+// hardware for it: how many PEs, how much buffer? The grid-search HW
+// optimizer sweeps PE count, aspect ratio and buffer split under the area
+// budget, evaluating the fixed style on each candidate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"digamma"
+	"digamma/internal/coopt"
+	"digamma/internal/schemes"
+)
+
+func main() {
+	platform := digamma.EdgePlatform()
+
+	for _, name := range []string{"resnet18", "dlrm"} {
+		model, err := digamma.LoadModel(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := schemes.GridSearchHW(schemes.DLALike, model, platform, coopt.Latency)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pe, buf := res.Best.Area.Ratio()
+		fmt.Printf("%s with a dla-like mapping (grid over %d HW configs):\n", name, res.Explored)
+		fmt.Printf("  best HW:   %s\n", res.HW)
+		fmt.Printf("  area:      %.4f mm² (PE:buffer = %d:%d)\n", res.Best.Area.Total(), pe, buf)
+		fmt.Printf("  latency:   %.3e cycles\n\n", res.Best.Cycles)
+	}
+	fmt.Println("Note how the memory-bound DLRM pulls the sizing toward buffers,")
+	fmt.Println("while ResNet-18 favors compute — the manual-tuning burden DiGamma removes.")
+}

@@ -1,0 +1,33 @@
+// Quickstart: co-optimize an edge accelerator for ResNet-18 with DiGamma
+// and print the resulting design point. This is the 20-line happy path of
+// the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"digamma"
+)
+
+func main() {
+	model, err := digamma.LoadModel("resnet18")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	best, err := digamma.Optimize(model, digamma.EdgePlatform(), digamma.Options{
+		Budget: 2000, // design points the search may evaluate
+		Seed:   1,    // deterministic run
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("ResNet-18 on the edge budget (0.2 mm²):\n")
+	fmt.Printf("  hardware:  %s\n", best.HW)
+	fmt.Printf("  area:      %s\n", best.Area)
+	fmt.Printf("  latency:   %.3e cycles\n", best.Cycles)
+	fmt.Printf("  energy:    %.3e pJ\n", best.EnergyPJ)
+	fmt.Printf("  valid:     %v\n", best.Valid)
+}

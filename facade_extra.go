@@ -1,0 +1,107 @@
+package digamma
+
+import (
+	"io"
+	"math/rand"
+	"os"
+
+	"digamma/internal/coopt"
+	"digamma/internal/core"
+	"digamma/internal/report"
+	"digamma/internal/workload"
+)
+
+// ParseModelCSV reads a custom model in the GAMMA-style CSV layer format:
+//
+//	name,type,K,C,Y,X,R,S,strideY,strideX,count
+//
+// with type ∈ {CONV, DSCONV, GEMM}. See internal/workload for details.
+func ParseModelCSV(name string, r io.Reader) (Model, error) {
+	return workload.ParseCSV(name, r)
+}
+
+// LoadModelCSVFile reads a custom model from a CSV file; the model is
+// named after the path.
+func LoadModelCSVFile(path string) (Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Model{}, err
+	}
+	defer f.Close()
+	return workload.ParseCSV(path, f)
+}
+
+// WriteModelCSV renders a model in the CSV layer format.
+func WriteModelCSV(w io.Writer, m Model) error { return workload.WriteCSV(w, m) }
+
+// OptimizeMulti co-optimizes one accelerator for a *set* of models (the
+// paper's "takes in any DNN model(s)"): the hardware is shared, per-layer
+// mappings are searched for every model, and the fitness is the weighted
+// sum across models (nil weights = equal).
+func OptimizeMulti(models []Model, weights []float64, platform Platform, o Options) (*Evaluation, error) {
+	o = o.withDefaults()
+	p, err := coopt.NewMultiProblem(models, weights, platform, o.Objective)
+	if err != nil {
+		return nil, err
+	}
+	if o.Algorithm == "DiGamma" {
+		r, err := core.Optimize(p, o.Budget, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return r.Best, nil
+	}
+	return Optimize(p.Model, platform, o)
+}
+
+// TuneOptions re-exports the hyper-parameter tuning knobs.
+type TuneOptions = core.TuneOptions
+
+// Config re-exports DiGamma's hyper-parameter set.
+type Config = core.Config
+
+// Tune searches DiGamma's hyper-parameters for a problem with Bayesian
+// optimization, reproducing the paper's footnote-3 flow. Expensive:
+// Trials × BudgetPerTrial design-point evaluations.
+func Tune(model Model, platform Platform, objective Objective, o TuneOptions) (Config, error) {
+	p, err := coopt.NewProblem(model, platform, objective)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg, _, err := core.Tune(p, o)
+	return cfg, err
+}
+
+// WriteReport serializes an evaluation as indented JSON for archival or
+// external tooling.
+func WriteReport(w io.Writer, ev *Evaluation) error {
+	return report.FromEvaluation(ev).Write(w)
+}
+
+// ParetoFront runs a multi-objective DiGamma search (NSGA-II-style
+// non-dominated sorting over the same domain-aware operators) and returns
+// the constraint-valid Pareto front, sorted by the first objective.
+func ParetoFront(model Model, platform Platform, objectives []Objective, o Options) ([]*Evaluation, error) {
+	o = o.withDefaults()
+	p, err := coopt.NewProblem(model, platform, objectives[0])
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.New(p, core.DefaultConfig(), randNew(o.Seed))
+	if err != nil {
+		return nil, err
+	}
+	r, err := eng.RunPareto(o.Budget, objectives)
+	if err != nil {
+		return nil, err
+	}
+	return r.Front, nil
+}
+
+// randNew builds the deterministic RNG used by facade searches.
+func randNew(seed int64) *rand.Rand {
+	if seed == 0 {
+		seed = 1
+	}
+	return rand.New(rand.NewSource(seed))
+}

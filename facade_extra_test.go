@@ -1,0 +1,155 @@
+package digamma
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestParseModelCSVFacade(t *testing.T) {
+	src := "name,type,K,C,Y,X,R,S,strideY,strideX,count\nl1,CONV,16,8,8,8,3,3,1,1,1\n"
+	m, err := ParseModelCSV("custom", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Layers) != 1 || m.Layers[0].K != 16 {
+		t.Errorf("parsed %+v", m.Layers)
+	}
+	var buf bytes.Buffer
+	if err := WriteModelCSV(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseModelCSV("roundtrip", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.MACs() != m.MACs() {
+		t.Error("CSV round trip changed the model")
+	}
+}
+
+func TestLoadModelCSVFileMissing(t *testing.T) {
+	if _, err := LoadModelCSVFile("/nonexistent/model.csv"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestOptimizeMultiFacade(t *testing.T) {
+	m1, err := LoadModel("ncf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadModel("dlrm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := OptimizeMulti([]Model{m1, m2}, []float64{1, 2}, EdgePlatform(),
+		Options{Budget: 300, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !best.Valid {
+		t.Error("no valid joint design")
+	}
+	// Layers of both models must be present in the evaluation.
+	names := ""
+	for _, le := range best.Layers {
+		names += le.Layer.Name + " "
+	}
+	if !strings.Contains(names, "ncf/") || !strings.Contains(names, "dlrm/") {
+		t.Errorf("joint evaluation covers: %s", names)
+	}
+}
+
+func TestTuneFacade(t *testing.T) {
+	m, err := LoadModel("ncf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Tune(m, EdgePlatform(), Latency, TuneOptions{Trials: 5, BudgetPerTrial: 80, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PopSize < 4 {
+		t.Errorf("tuned config: %+v", cfg)
+	}
+}
+
+func TestWriteReportFacade(t *testing.T) {
+	m, err := LoadModel("ncf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := Optimize(m, EdgePlatform(), Options{Budget: 200, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, best); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"hardware"`, `"cycles"`, `"mapping"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("report missing %s", want)
+		}
+	}
+}
+
+func TestParetoFrontFacade(t *testing.T) {
+	m, err := LoadModel("ncf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, err := ParetoFront(m, EdgePlatform(),
+		[]Objective{Latency, Energy}, Options{Budget: 400, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) == 0 {
+		t.Fatal("empty front")
+	}
+	for _, ev := range front {
+		if !ev.Valid {
+			t.Error("invalid front member")
+		}
+	}
+}
+
+func TestLoadModelCSVFileRoundTrip(t *testing.T) {
+	m, err := LoadModel("ncf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/ncf.csv"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteModelCSV(f, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModelCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.MACs() != m.MACs() {
+		t.Error("file round trip changed the model")
+	}
+}
+
+func TestOptimizeMultiWithBaselineAlgorithm(t *testing.T) {
+	m1, _ := LoadModel("ncf")
+	m2, _ := LoadModel("dlrm")
+	best, err := OptimizeMulti([]Model{m1, m2}, nil, EdgePlatform(),
+		Options{Budget: 200, Seed: 4, Algorithm: "DE"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best == nil {
+		t.Fatal("nil evaluation")
+	}
+}

@@ -1,0 +1,240 @@
+package arch
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"digamma/internal/noc"
+)
+
+func TestNumPEs(t *testing.T) {
+	h := HW{Fanouts: []int{16, 64}, BufBytes: []int64{1024, 1 << 20}}
+	if got := h.NumPEs(); got != 1024 {
+		t.Errorf("NumPEs = %d, want 1024", got)
+	}
+	if got := h.Levels(); got != 2 {
+		t.Errorf("Levels = %d, want 2", got)
+	}
+}
+
+func TestBufferInstances(t *testing.T) {
+	h := HW{Fanouts: []int{16, 8, 4}, BufBytes: []int64{1, 1, 1}}
+	// L1 per PE: 16*8*4 = 512 instances.
+	if got := h.BufferInstances(0); got != 512 {
+		t.Errorf("BufferInstances(0) = %d, want 512", got)
+	}
+	// Middle scratchpad: one per level-1 cluster = 8*4 = 32.
+	if got := h.BufferInstances(1); got != 4 {
+		// One level-1 buffer serves each level-1 unit; there are
+		// fanout[2]=4 level-2 clusters each containing fanout[1]=8 level-1
+		// units → 32 units, but the buffer sits at the cluster scope above
+		// them, i.e. instances = product of fanouts strictly above level 1.
+		t.Errorf("BufferInstances(1) = %d, want 4", got)
+	}
+	if got := h.BufferInstances(2); got != 1 {
+		t.Errorf("BufferInstances(2) = %d, want 1", got)
+	}
+}
+
+func TestTotalBufBytes(t *testing.T) {
+	h := HW{Fanouts: []int{4, 2}, BufBytes: []int64{100, 1000}}
+	// 8 PEs × 100 + 1 × 1000 = 1800
+	if got := h.TotalBufBytes(); got != 1800 {
+		t.Errorf("TotalBufBytes = %d, want 1800", got)
+	}
+}
+
+func TestHWValidate(t *testing.T) {
+	good := HW{Fanouts: []int{4, 4}, BufBytes: []int64{64, 4096}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid HW rejected: %v", err)
+	}
+	bad := []HW{
+		{},
+		{Fanouts: []int{4}, BufBytes: []int64{1, 2}},
+		{Fanouts: []int{0, 4}, BufBytes: []int64{1, 2}},
+		{Fanouts: []int{4, 4}, BufBytes: []int64{-1, 2}},
+		{Fanouts: []int{4}, BufBytes: []int64{1}, NoCWordsPerCycle: -1},
+	}
+	for i, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Errorf("bad HW %d accepted", i)
+		}
+	}
+}
+
+func TestHWDefaults(t *testing.T) {
+	h := HW{Fanouts: []int{4}, BufBytes: []int64{64}}.Defaults()
+	if h.NoCWordsPerCycle != 16 || h.BytesPerWord != 2 || h.ClockGHz != 1 {
+		t.Errorf("Defaults() = %+v", h)
+	}
+	// DRAM stays unmodeled (0) unless explicitly requested.
+	if h.DRAMWordsPerCycle != 0 {
+		t.Errorf("Defaults set DRAMWordsPerCycle = %g, want 0", h.DRAMWordsPerCycle)
+	}
+	// Defaults must not override explicit values.
+	h2 := HW{Fanouts: []int{4}, BufBytes: []int64{64}, NoCWordsPerCycle: 32, DRAMWordsPerCycle: 8}.Defaults()
+	if h2.NoCWordsPerCycle != 32 || h2.DRAMWordsPerCycle != 8 {
+		t.Error("Defaults overrode explicit bandwidths")
+	}
+}
+
+func TestHWString(t *testing.T) {
+	h := HW{Fanouts: []int{16, 64}, BufBytes: []int64{2048, 512 * 1024}}
+	s := h.String()
+	for _, want := range []string{"64x16", "(1024)", "L1 2.0KB", "L2 512.0KB"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestAreaModel(t *testing.T) {
+	m := DefaultAreaModel()
+	h := HW{Fanouts: []int{10, 10}, BufBytes: []int64{1000, 100000}}
+	a := m.Area(h)
+	wantPE := 100 * m.PEUm2 / 1e6
+	if math.Abs(a.PEs-wantPE) > 1e-12 {
+		t.Errorf("PE area = %f, want %f", a.PEs, wantPE)
+	}
+	wantBuf := (100*1000*m.L1Um2PerByte + 100000*m.L2Um2PerByte) / 1e6
+	if math.Abs(a.Buffers-wantBuf) > 1e-12 {
+		t.Errorf("Buffer area = %f, want %f", a.Buffers, wantBuf)
+	}
+	if math.Abs(a.Total()-(a.PEs+a.Buffers)) > 1e-15 {
+		t.Error("Total != PEs + Buffers")
+	}
+}
+
+func TestAreaRatio(t *testing.T) {
+	a := Area{PEs: 0.56, Buffers: 0.44}
+	pe, buf := a.Ratio()
+	if pe != 56 || buf != 44 {
+		t.Errorf("Ratio = %d:%d, want 56:44", pe, buf)
+	}
+	var zero Area
+	if pe, buf := zero.Ratio(); pe != 0 || buf != 0 {
+		t.Errorf("zero Ratio = %d:%d", pe, buf)
+	}
+}
+
+func TestAreaBudgetsAdmitRealisticDesigns(t *testing.T) {
+	m := DefaultAreaModel()
+	// The edge budget must admit at least 100 PEs or 100 KB of SRAM; the
+	// cloud budget at least 4096 PEs — otherwise the paper's experiments
+	// degenerate.
+	if n := m.MaxPEs(Edge().AreaBudgetMM2); n < 100 {
+		t.Errorf("edge MaxPEs = %d, want ≥ 100", n)
+	}
+	if b := m.MaxBufBytes(Edge().AreaBudgetMM2); b < 100*1024 {
+		t.Errorf("edge MaxBufBytes = %d, want ≥ 100KB", b)
+	}
+	if n := m.MaxPEs(Cloud().AreaBudgetMM2); n < 4096 {
+		t.Errorf("cloud MaxPEs = %d, want ≥ 4096", n)
+	}
+}
+
+func TestPlatformFitsAndOverflow(t *testing.T) {
+	p := Edge()
+	small := HW{Fanouts: []int{4, 4}, BufBytes: []int64{256, 16 * 1024}}
+	if !p.Fits(small) {
+		t.Errorf("small config should fit edge: area=%v", p.Area.Area(small))
+	}
+	if ov := p.Overflow(small); ov != 0 {
+		t.Errorf("Overflow of fitting config = %f", ov)
+	}
+	big := HW{Fanouts: []int{1024, 1024}, BufBytes: []int64{1024, 1 << 24}}
+	if p.Fits(big) {
+		t.Error("huge config fits edge budget")
+	}
+	if ov := p.Overflow(big); ov <= 0 {
+		t.Errorf("Overflow of huge config = %f, want > 0", ov)
+	}
+}
+
+func TestPlatformByName(t *testing.T) {
+	for _, name := range []string{"edge", "cloud"} {
+		p, err := PlatformByName(name)
+		if err != nil || p.Name != name {
+			t.Errorf("PlatformByName(%s) = %v, %v", name, p.Name, err)
+		}
+	}
+	if _, err := PlatformByName("tpu"); err == nil {
+		t.Error("PlatformByName(tpu) should fail")
+	}
+}
+
+// Property: area is monotone in PEs and buffer bytes.
+func TestAreaMonotoneProperty(t *testing.T) {
+	m := DefaultAreaModel()
+	f := func(f0, f1 uint8, b0, b1 uint16) bool {
+		h := HW{Fanouts: []int{int(f0) + 1, int(f1) + 1},
+			BufBytes: []int64{int64(b0), int64(b1)}}
+		bigger := HW{Fanouts: []int{int(f0) + 2, int(f1) + 1},
+			BufBytes: []int64{int64(b0) + 10, int64(b1) + 10}}
+		return m.Area(bigger).Total() > m.Area(h).Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyModel(t *testing.T) {
+	m := DefaultEnergyModel()
+	c := EnergyCounts{MACs: 10, L1Words: 20, L2Words: 5, NoCWords: 4, DRAMWords: 2}
+	want := 10*m.MACpJ + 20*m.L1pJ + 5*m.L2pJ + 4*m.NoCpJ + 2*m.DRAMpJ
+	if got := m.PicoJoules(c); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PicoJoules = %f, want %f", got, want)
+	}
+	// DRAM must dominate per-word cost.
+	if m.DRAMpJ <= m.L2pJ || m.L2pJ <= m.L1pJ {
+		t.Error("energy hierarchy must be L1 < L2 < DRAM")
+	}
+}
+
+func TestEnergyCountsAddScale(t *testing.T) {
+	a := EnergyCounts{MACs: 1, L1Words: 2, L2Words: 3, NoCWords: 4, DRAMWords: 5}
+	b := a
+	a.Add(b)
+	if a.MACs != 2 || a.DRAMWords != 10 {
+		t.Errorf("Add: %+v", a)
+	}
+	s := b.Scale(3)
+	if s.MACs != 3 || s.NoCWords != 12 {
+		t.Errorf("Scale: %+v", s)
+	}
+}
+
+func TestNoCValidationAndArea(t *testing.T) {
+	h := HW{Fanouts: []int{8, 4}, BufBytes: []int64{64, 4096}}
+	bad := h
+	bad.NoC = []noc.Config{{Topology: noc.Bus}}
+	if err := bad.Validate(); err == nil {
+		t.Error("mismatched NoC level count accepted")
+	}
+	good := h
+	good.NoC = []noc.Config{
+		{Topology: noc.Crossbar, LinkWords: 4},
+		{Topology: noc.Bus, LinkWords: 4},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultAreaModel()
+	plain := m.Area(h).Total()
+	withNoC := m.Area(good).Total()
+	if withNoC <= plain {
+		t.Errorf("explicit NoC adds no area: %g vs %g", withNoC, plain)
+	}
+	if bw := good.LevelBandwidth(0); bw != 4*8 {
+		t.Errorf("crossbar level bandwidth = %g, want 32", bw)
+	}
+	if bw := h.Defaults().LevelBandwidth(0); bw != 16 {
+		t.Errorf("flat level bandwidth = %g, want 16", bw)
+	}
+	if hops := h.LevelHops(0); hops != 1 {
+		t.Errorf("flat hops = %g", hops)
+	}
+}

@@ -1,0 +1,95 @@
+package arch
+
+import "fmt"
+
+// AreaModel converts a hardware configuration into silicon area. The paper
+// derives these costs from synthesized RTL (Synopsys DC, Nangate 15 nm
+// logic, SAED32 SRAM); we substitute linear analytical constants calibrated
+// so the paper's budgets (0.2 mm² edge, 7.0 mm² cloud) admit realistic
+// accelerators: an edge chip fits a few hundred PEs plus ~100 KB of SRAM,
+// a cloud chip fits ~10⁴ PEs plus several MB. Only relative compute-vs-
+// memory trade-offs matter to the experiments, not absolute µm².
+type AreaModel struct {
+	PEUm2        float64 // one PE: MAC + pipeline registers + local control
+	L1Um2PerByte float64 // small distributed SRAM (per-PE L1) incl. periphery
+	L2Um2PerByte float64 // large banked SRAM (shared buffers)
+}
+
+// DefaultAreaModel returns the 15 nm-calibrated constants used in the
+// evaluation.
+func DefaultAreaModel() AreaModel {
+	return AreaModel{
+		PEUm2:        650,  // ≈ fp16 MAC + registers at 15 nm
+		L1Um2PerByte: 1.00, // small arrays pay more periphery per byte
+		L2Um2PerByte: 0.60, // dense banked macro
+	}
+}
+
+// Area is an area breakdown in mm².
+type Area struct {
+	PEs     float64 // compute array
+	Buffers float64 // all SRAM levels
+}
+
+// Total returns PE plus buffer area in mm².
+func (a Area) Total() float64 { return a.PEs + a.Buffers }
+
+// Ratio returns the PE:buffer percentage split (both rounded to integers in
+// the paper's Fig. 7 style).
+func (a Area) Ratio() (pe, buf int) {
+	t := a.Total()
+	if t == 0 {
+		return 0, 0
+	}
+	pe = int(a.PEs/t*100 + 0.5)
+	return pe, 100 - pe
+}
+
+func (a Area) String() string {
+	pe, buf := a.Ratio()
+	return fmt.Sprintf("%.4f mm² (PE %.4f : Buf %.4f = %d:%d)", a.Total(), a.PEs, a.Buffers, pe, buf)
+}
+
+// Area computes the silicon area of a hardware configuration. When an
+// explicit NoC model is attached, its switch/wiring area is charged to the
+// PE (compute fabric) bucket.
+func (m AreaModel) Area(h HW) Area {
+	var a Area
+	a.PEs = float64(h.NumPEs()) * m.PEUm2 / 1e6
+	for l, b := range h.BufBytes {
+		per := m.L2Um2PerByte
+		if l == 0 {
+			per = m.L1Um2PerByte
+		}
+		a.Buffers += float64(b) * float64(h.BufferInstances(l)) * per / 1e6
+	}
+	if h.NoC != nil {
+		instances := 1
+		for l := len(h.Fanouts) - 1; l >= 0; l-- {
+			a.PEs += h.NoC[l].AreaUm2(h.Fanouts[l]) * float64(instances) / 1e6
+			instances *= h.Fanouts[l]
+		}
+	}
+	return a
+}
+
+// MaxPEs returns the largest PE count that fits the budget (mm²) if the
+// whole budget were spent on compute. Search operators use it to bound the
+// HW genes.
+func (m AreaModel) MaxPEs(budgetMM2 float64) int {
+	n := int(budgetMM2 * 1e6 / m.PEUm2)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// MaxBufBytes returns the largest SRAM capacity (using the dense L2 cost)
+// that fits the budget if spent entirely on memory.
+func (m AreaModel) MaxBufBytes(budgetMM2 float64) int64 {
+	b := int64(budgetMM2 * 1e6 / m.L2Um2PerByte)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}

@@ -1,0 +1,62 @@
+package arch
+
+// EnergyModel holds per-event energy constants in picojoules. The ratios
+// follow the well-known Eyeriss-style hierarchy (register ≪ local SRAM ≪
+// global SRAM ≪ DRAM), scaled to a 15 nm-class process.
+type EnergyModel struct {
+	MACpJ     float64 // one multiply-accumulate
+	L1pJ      float64 // one word read/written at the per-PE L1
+	L2pJ      float64 // one word read/written at a shared on-chip buffer
+	NoCpJ     float64 // one word traversing the operand-delivery NoC
+	DRAMpJ    float64 // one word transferred off-chip
+	LeakagePW float64 // static leakage per PE per cycle (optional, pW·cycle)
+}
+
+// DefaultEnergyModel returns the constants used in the evaluation.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{
+		MACpJ:  0.5,
+		L1pJ:   1.0,
+		L2pJ:   4.0,
+		NoCpJ:  0.8,
+		DRAMpJ: 100.0,
+	}
+}
+
+// EnergyCounts aggregates countable events from a performance analysis;
+// the energy model converts them to joules.
+type EnergyCounts struct {
+	MACs      int64 // multiply-accumulates executed
+	L1Words   int64 // words moved in/out of per-PE L1 buffers
+	L2Words   int64 // words moved in/out of shared buffers
+	NoCWords  int64 // words crossing the on-chip network
+	DRAMWords int64 // words crossing the chip boundary
+}
+
+// Add accumulates other into c.
+func (c *EnergyCounts) Add(other EnergyCounts) {
+	c.MACs += other.MACs
+	c.L1Words += other.L1Words
+	c.L2Words += other.L2Words
+	c.NoCWords += other.NoCWords
+	c.DRAMWords += other.DRAMWords
+}
+
+// Scale multiplies every counter by n (used for layer multiplicity).
+func (c EnergyCounts) Scale(n int64) EnergyCounts {
+	c.MACs *= n
+	c.L1Words *= n
+	c.L2Words *= n
+	c.NoCWords *= n
+	c.DRAMWords *= n
+	return c
+}
+
+// PicoJoules converts event counts into total dynamic energy (pJ).
+func (m EnergyModel) PicoJoules(c EnergyCounts) float64 {
+	return float64(c.MACs)*m.MACpJ +
+		float64(c.L1Words)*m.L1pJ +
+		float64(c.L2Words)*m.L2pJ +
+		float64(c.NoCWords)*m.NoCpJ +
+		float64(c.DRAMWords)*m.DRAMpJ
+}

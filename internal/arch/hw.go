@@ -1,0 +1,181 @@
+// Package arch describes accelerator hardware resources — the PE hierarchy,
+// buffer levels, interconnect and off-chip bandwidths — together with the
+// area and energy cost models used to score design points.
+//
+// The paper's area model synthesizes RTL with Synopsys DC (Nangate 15 nm)
+// and SAED32 SRAM; we substitute calibrated analytical constants (see
+// area.go) that preserve the compute↔memory area trade-off driving the
+// co-optimization experiments.
+package arch
+
+import (
+	"errors"
+	"fmt"
+
+	"digamma/internal/noc"
+)
+
+// HW is a concrete accelerator configuration. Fanouts are listed inner-first:
+// Fanouts[0] is the paper's π_L1 (PEs per 1-D array), Fanouts[1] is π_L2
+// (number of arrays), and an optional third entry describes a third
+// hierarchy level created by DiGamma's Grow operator. BufBytes holds the
+// per-instance buffer capacity at each memory level, also inner-first:
+// BufBytes[0] is the per-PE L1, the last entry is the shared global buffer,
+// and any middle entries are per-cluster scratchpads.
+type HW struct {
+	Fanouts  []int   // PE fanout per hierarchy level, inner-first (all ≥ 1)
+	BufBytes []int64 // buffer capacity per level instance, inner-first; len = len(Fanouts)
+
+	NoCWordsPerCycle float64 // on-chip operand delivery bandwidth per level instance
+
+	// NoC, when non-nil, replaces the flat NoCWordsPerCycle with an
+	// explicit per-level interconnect model (one entry per hierarchy
+	// level, inner-first): bandwidth derives from topology × fanout, and
+	// per-word energy is scaled by the topology's hop count. Its switch
+	// and wiring area is charged by the area model.
+	NoC []noc.Config
+	// DRAMWordsPerCycle, when positive, imposes an off-chip bandwidth floor
+	// on latency. Zero (the default) leaves off-chip transfers out of the
+	// latency model — matching MAESTRO, which assumes prefetch into the
+	// global buffer overlaps compute — while DRAM traffic still counts
+	// toward energy.
+	DRAMWordsPerCycle float64
+	BytesPerWord      int     // operand width (default 2 ≈ fp16/int16)
+	ClockGHz          float64 // optional; used only for wall-clock reporting
+}
+
+// Defaults fills zero-valued word-size/bandwidth fields with the defaults
+// used throughout the evaluation (NoC 16 words/cycle, 2-byte words, 1 GHz).
+// DRAMWordsPerCycle stays as given: zero means the MAESTRO-style
+// overlapped-prefetch assumption.
+func (h HW) Defaults() HW {
+	if h.NoCWordsPerCycle == 0 {
+		h.NoCWordsPerCycle = 16
+	}
+	if h.BytesPerWord == 0 {
+		h.BytesPerWord = 2
+	}
+	if h.ClockGHz == 0 {
+		h.ClockGHz = 1
+	}
+	return h
+}
+
+// NumPEs returns the total processing element count (product of fanouts).
+func (h HW) NumPEs() int {
+	n := 1
+	for _, f := range h.Fanouts {
+		n *= f
+	}
+	return n
+}
+
+// Levels returns the number of hierarchy levels.
+func (h HW) Levels() int { return len(h.Fanouts) }
+
+// BufferInstances returns how many physical instances of the level-l buffer
+// exist on chip: the per-PE L1 is replicated per PE, a middle scratchpad per
+// cluster, and the global buffer exactly once.
+func (h HW) BufferInstances(level int) int {
+	n := 1
+	for i := level; i < len(h.Fanouts); i++ {
+		if i > level {
+			n *= h.Fanouts[i]
+		}
+	}
+	// Level 0 buffers (per-PE L1) are replicated across the level-0 fanout
+	// too: one L1 per PE, not per 1-D array.
+	if level == 0 {
+		n *= h.Fanouts[0]
+	}
+	return n
+}
+
+// TotalBufBytes returns the summed on-chip SRAM capacity across all levels
+// and instances.
+func (h HW) TotalBufBytes() int64 {
+	var total int64
+	for l, b := range h.BufBytes {
+		total += b * int64(h.BufferInstances(l))
+	}
+	return total
+}
+
+// Validate checks structural consistency.
+func (h HW) Validate() error {
+	if len(h.Fanouts) == 0 {
+		return errors.New("arch: HW has no hierarchy levels")
+	}
+	if len(h.Fanouts) != len(h.BufBytes) {
+		return fmt.Errorf("arch: %d fanout levels but %d buffer levels", len(h.Fanouts), len(h.BufBytes))
+	}
+	for i, f := range h.Fanouts {
+		if f < 1 {
+			return fmt.Errorf("arch: fanout[%d] = %d (must be ≥ 1)", i, f)
+		}
+	}
+	for i, b := range h.BufBytes {
+		if b < 0 {
+			return fmt.Errorf("arch: buffer[%d] = %d bytes (must be ≥ 0)", i, b)
+		}
+	}
+	if h.NoCWordsPerCycle < 0 || h.DRAMWordsPerCycle < 0 {
+		return errors.New("arch: negative bandwidth")
+	}
+	if h.NoC != nil && len(h.NoC) != len(h.Fanouts) {
+		return fmt.Errorf("arch: %d NoC levels for %d hierarchy levels", len(h.NoC), len(h.Fanouts))
+	}
+	return nil
+}
+
+// LevelBandwidth returns the operand-delivery bandwidth (words/cycle) at
+// hierarchy level l: the explicit NoC model when configured, the flat
+// default otherwise.
+func (h HW) LevelBandwidth(l int) float64 {
+	if h.NoC != nil && l < len(h.NoC) {
+		return h.NoC[l].Bandwidth(h.Fanouts[l])
+	}
+	return h.NoCWordsPerCycle
+}
+
+// LevelHops returns the average per-word hop multiplier for NoC energy at
+// level l (1 when no explicit NoC is configured).
+func (h HW) LevelHops(l int) float64 {
+	if h.NoC != nil && l < len(h.NoC) {
+		return h.NoC[l].AvgHops(h.Fanouts[l])
+	}
+	return 1
+}
+
+// String summarises the configuration, e.g. "PEs 16x64 (1024), L1 2.0KB, L2 512.0KB".
+func (h HW) String() string {
+	s := "PEs "
+	for i := len(h.Fanouts) - 1; i >= 0; i-- {
+		s += fmt.Sprintf("%d", h.Fanouts[i])
+		if i > 0 {
+			s += "x"
+		}
+	}
+	s += fmt.Sprintf(" (%d)", h.NumPEs())
+	names := bufferNames(len(h.BufBytes))
+	for i := len(h.BufBytes) - 1; i >= 0; i-- {
+		s += fmt.Sprintf(", %s %.1fKB", names[i], float64(h.BufBytes[i])/1024)
+	}
+	return s
+}
+
+// bufferNames labels buffer levels inner-first: L1, (L1.5 …), L2.
+func bufferNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		switch {
+		case i == 0:
+			names[i] = "L1"
+		case i == n-1:
+			names[i] = "L2"
+		default:
+			names[i] = fmt.Sprintf("L1.%d", i)
+		}
+	}
+	return names
+}

@@ -1,0 +1,61 @@
+package arch
+
+import "fmt"
+
+// Platform is a deployment target: a chip-area budget for PEs plus on-chip
+// buffers, exactly as the paper's Sec. V-A defines it (0.2 mm² for edge
+// accelerators, 7.0 mm² for cloud accelerators).
+type Platform struct {
+	Name          string
+	AreaBudgetMM2 float64
+	Area          AreaModel
+	Energy        EnergyModel
+}
+
+// Edge returns the paper's edge platform (0.2 mm²).
+func Edge() Platform {
+	return Platform{
+		Name:          "edge",
+		AreaBudgetMM2: 0.2,
+		Area:          DefaultAreaModel(),
+		Energy:        DefaultEnergyModel(),
+	}
+}
+
+// Cloud returns the paper's cloud platform (7.0 mm²).
+func Cloud() Platform {
+	return Platform{
+		Name:          "cloud",
+		AreaBudgetMM2: 7.0,
+		Area:          DefaultAreaModel(),
+		Energy:        DefaultEnergyModel(),
+	}
+}
+
+// PlatformByName resolves "edge" or "cloud".
+func PlatformByName(name string) (Platform, error) {
+	switch name {
+	case "edge":
+		return Edge(), nil
+	case "cloud":
+		return Cloud(), nil
+	default:
+		return Platform{}, fmt.Errorf("arch: unknown platform %q (want edge or cloud)", name)
+	}
+}
+
+// Fits reports whether the configuration's area is within budget.
+func (p Platform) Fits(h HW) bool {
+	return p.Area.Area(h).Total() <= p.AreaBudgetMM2+1e-12
+}
+
+// Overflow returns how far (fraction ≥ 0) the configuration exceeds the
+// budget; 0 when it fits. Constraint penalties scale with this value so
+// optimizers see a gradient back toward feasibility.
+func (p Platform) Overflow(h HW) float64 {
+	a := p.Area.Area(h).Total()
+	if a <= p.AreaBudgetMM2 {
+		return 0
+	}
+	return (a - p.AreaBudgetMM2) / p.AreaBudgetMM2
+}

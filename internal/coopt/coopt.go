@@ -1,0 +1,267 @@
+// Package coopt is the paper's HW-Mapping Co-optimization Framework
+// (Fig. 2/3a): it takes a DNN model, an optimization objective, a platform
+// area budget and optionally a design constraint (fixed HW or fixed
+// mapping), exposes a generic evaluation interface that any optimization
+// algorithm can drive, and scores proposed design points with the
+// analytical performance model plus a constraint checker.
+package coopt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"digamma/internal/arch"
+	"digamma/internal/cost"
+	"digamma/internal/mapping"
+	"digamma/internal/opt"
+	"digamma/internal/space"
+	"digamma/internal/workload"
+)
+
+// Objective selects the fitness metric to minimize.
+type Objective uint8
+
+// Supported objectives.
+const (
+	Latency            Objective = iota // total cycles across the model
+	Energy                              // total dynamic energy (pJ)
+	EDP                                 // energy-delay product
+	LatencyAreaProduct                  // cycles × mm², the paper's secondary metric
+)
+
+// String returns the objective's display name.
+func (o Objective) String() string {
+	switch o {
+	case Latency:
+		return "latency"
+	case Energy:
+		return "energy"
+	case EDP:
+		return "edp"
+	case LatencyAreaProduct:
+		return "latency-area"
+	default:
+		return fmt.Sprintf("Objective(%d)", uint8(o))
+	}
+}
+
+// ParseObjective resolves an objective by name.
+func ParseObjective(s string) (Objective, error) {
+	for _, o := range []Objective{Latency, Energy, EDP, LatencyAreaProduct} {
+		if o.String() == s {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("coopt: unknown objective %q", s)
+}
+
+// invalidBase is the fitness floor assigned to constraint-violating design
+// points. It dominates every achievable metric value while still ordering
+// violations by severity, so optimizers are pulled back toward
+// feasibility.
+const invalidBase = 1e18
+
+// Problem is one co-optimization instance.
+type Problem struct {
+	Model     workload.Model
+	Platform  arch.Platform
+	Space     space.Space
+	Objective Objective
+
+	// FixedHW, when set, switches to the paper's Fixed-HW use-case: the
+	// hardware (fanouts, buffer capacities, bandwidths) is given, buffers
+	// become capacity constraints, and only mappings are optimized.
+	FixedHW *arch.HW
+
+	// MappingRule, when set, switches to the paper's Fixed-Mapping
+	// use-case: every candidate's mappings are derived from this rule
+	// (a manual style such as NVDLA-like) and only the HW genes are
+	// searched. See WithFixedMapping.
+	MappingRule MappingRule
+}
+
+// NewProblem assembles a co-optimization problem with the default
+// two-level encoding.
+func NewProblem(model workload.Model, platform arch.Platform, objective Objective) (*Problem, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Problem{
+		Model:     model,
+		Platform:  platform,
+		Space:     space.New(model, platform),
+		Objective: objective,
+	}
+	return p, p.Space.Validate()
+}
+
+// WithFixedHW switches the problem into Fixed-HW (mapping-only) mode.
+func (p *Problem) WithFixedHW(hw arch.HW) (*Problem, error) {
+	if err := hw.Validate(); err != nil {
+		return nil, err
+	}
+	q := *p
+	q.FixedHW = &hw
+	q.Space = p.Space.WithFixedHW(hw)
+	return &q, nil
+}
+
+// LayerEval pairs one unique layer with its analysis.
+type LayerEval struct {
+	Layer  workload.Layer
+	Result *cost.Result
+}
+
+// Evaluation is the scored outcome of one design point.
+type Evaluation struct {
+	Genome space.Genome
+	HW     arch.HW   // derived (co-opt) or given (fixed-HW) hardware
+	Area   arch.Area // silicon area of HW
+
+	Valid       bool    // within the area budget / buffer capacities
+	Overflow    float64 // constraint violation severity (0 when valid)
+	Cycles      float64 // total model latency in cycles
+	EnergyPJ    float64 // total dynamic energy
+	LatAreaProd float64 // Cycles × Area.Total()
+	Fitness     float64 // minimized objective value (includes penalties)
+
+	Layers []LayerEval // per-unique-layer detail
+}
+
+// Evaluate decodes and scores one genome: it derives the buffer allocation
+// (minimum requirement per level, maximized across layers — the paper's
+// buffer allocation strategy), runs the performance model on every unique
+// layer, applies the area-budget constraint checker, and computes the
+// fitness.
+func (p *Problem) Evaluate(g space.Genome) (*Evaluation, error) {
+	g = p.Space.Repair(g)
+	ev := &Evaluation{Genome: g}
+
+	var hw arch.HW
+	if p.FixedHW != nil {
+		hw = p.FixedHW.Defaults()
+	} else {
+		hw = arch.HW{
+			Fanouts:  append([]int(nil), g.Fanouts...),
+			BufBytes: make([]int64, g.Levels()),
+		}.Defaults()
+	}
+
+	if p.MappingRule != nil {
+		p.applyMappingRule(hw, g.Maps)
+		ev.Genome = g
+	}
+
+	layers := p.Space.Layers
+	ev.Layers = make([]LayerEval, len(layers))
+	bufReq := make([]int64, hw.Levels())
+	bufferViolation := 0.0
+
+	for li, layer := range layers {
+		r, err := cost.Analyze(hw, g.Maps[li], layer)
+		if err != nil {
+			return nil, fmt.Errorf("coopt: layer %s: %w", layer.Name, err)
+		}
+		ev.Layers[li] = LayerEval{Layer: layer, Result: r}
+		n := float64(layer.Multiplicity())
+		ev.Cycles += r.Cycles * n
+		ev.EnergyPJ += r.EnergyPJ(p.Platform.Energy) * n
+
+		for l, b := range r.BufReqBytes(hw.BytesPerWord) {
+			if b > bufReq[l] {
+				bufReq[l] = b
+			}
+		}
+	}
+
+	if p.FixedHW != nil {
+		// Buffers are capacities: overflowing layers invalidate the point.
+		for l, need := range bufReq {
+			if have := hw.BufBytes[l]; need > have && have > 0 {
+				bufferViolation += float64(need-have) / float64(have)
+			}
+		}
+	} else {
+		// Buffer allocation strategy: allocate exactly the requirement.
+		hw.BufBytes = bufReq
+	}
+	ev.HW = hw
+	ev.Area = p.Platform.Area.Area(hw)
+	ev.LatAreaProd = ev.Cycles * ev.Area.Total()
+
+	areaOverflow := p.Platform.Overflow(hw)
+	if p.FixedHW != nil {
+		// In fixed-HW mode the given hardware defines feasibility; only
+		// buffer capacity can be violated.
+		areaOverflow = 0
+	}
+	ev.Overflow = areaOverflow + bufferViolation
+	ev.Valid = ev.Overflow == 0
+
+	switch {
+	case !ev.Valid:
+		ev.Fitness = invalidBase * (1 + ev.Overflow)
+	case p.Objective == Latency:
+		ev.Fitness = ev.Cycles
+	case p.Objective == Energy:
+		ev.Fitness = ev.EnergyPJ
+	case p.Objective == EDP:
+		ev.Fitness = ev.EnergyPJ * ev.Cycles
+	case p.Objective == LatencyAreaProduct:
+		ev.Fitness = ev.LatAreaProd
+	default:
+		return nil, fmt.Errorf("coopt: unsupported objective %v", p.Objective)
+	}
+	return ev, nil
+}
+
+// VectorObjective adapts the problem to the continuous optimizer interface:
+// decode the vector, evaluate, return fitness. Decode errors (impossible
+// with correctly sized vectors) surface as +Inf.
+func (p *Problem) VectorObjective() opt.Objective {
+	return func(x []float64) float64 {
+		g, err := p.Space.Decode(x)
+		if err != nil {
+			return math.Inf(1)
+		}
+		ev, err := p.Evaluate(g)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return ev.Fitness
+	}
+}
+
+// RunVector drives a generic optimizer over the problem for the given
+// sampling budget and returns the best evaluation.
+func (p *Problem) RunVector(o opt.Optimizer, budget int, seed int64) (*Evaluation, error) {
+	if budget < 1 {
+		return nil, errors.New("coopt: non-positive budget")
+	}
+	rng := newRand(seed)
+	x, _ := o.Minimize(p.VectorObjective(), p.Space.Dim(), budget, rng)
+	g, err := p.Space.Decode(x)
+	if err != nil {
+		return nil, err
+	}
+	return p.Evaluate(g)
+}
+
+// EvaluateMapping scores a complete per-layer mapping set against a fixed
+// hardware configuration without any search — used by the fixed-mapping
+// baseline schemes.
+func EvaluateMapping(modelLayers []workload.Layer, hw arch.HW, maps []mapping.Mapping,
+	platform arch.Platform, objective Objective) (*Evaluation, error) {
+	if len(maps) != len(modelLayers) {
+		return nil, fmt.Errorf("coopt: %d mappings for %d layers", len(maps), len(modelLayers))
+	}
+	p := Problem{
+		Platform:  platform,
+		Objective: objective,
+		Space:     space.Space{Layers: modelLayers, Levels: hw.Levels(), MaxFanout: 1},
+		FixedHW:   &hw,
+	}
+	p.Space = p.Space.WithFixedHW(hw)
+	return p.Evaluate(space.Genome{Fanouts: hw.Fanouts, Maps: maps})
+}

@@ -1,0 +1,131 @@
+package coopt
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"digamma/internal/arch"
+	"digamma/internal/mapping"
+	"digamma/internal/workload"
+)
+
+func TestMultiProblemMergesModels(t *testing.T) {
+	m1, err := workload.ByName("ncf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := workload.ByName("dlrm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewMultiProblem([]workload.Model{m1, m2}, nil, arch.Edge(), Latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Model.Name, "ncf") || !strings.Contains(p.Model.Name, "dlrm") {
+		t.Errorf("merged name = %s", p.Model.Name)
+	}
+	wantLayers := len(m1.UniqueLayers()) + len(m2.UniqueLayers())
+	if len(p.Space.Layers) != wantLayers {
+		t.Errorf("merged %d unique layers, want %d", len(p.Space.Layers), wantLayers)
+	}
+	// A design point must evaluate across both models.
+	rng := rand.New(rand.NewSource(1))
+	ev, err := p.Evaluate(p.Space.Random(rng, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, le := range ev.Layers {
+		seen[strings.SplitN(le.Layer.Name, "/", 2)[0]] = true
+	}
+	if !seen["ncf"] || !seen["dlrm"] {
+		t.Errorf("evaluation covered models %v", seen)
+	}
+}
+
+func TestMultiProblemWeights(t *testing.T) {
+	m1, _ := workload.ByName("ncf")
+	m2, _ := workload.ByName("dlrm")
+	even, err := NewMultiProblem([]workload.Model{m1, m2}, nil, arch.Edge(), Latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := NewMultiProblem([]workload.Model{m1, m2}, []float64{4, 0.25}, arch.Edge(), Latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same genome must weigh ncf layers 16x more heavily under the
+	// skewed problem relative to dlrm.
+	rng := rand.New(rand.NewSource(2))
+	g := even.Space.Random(rng, 2)
+	evEven, err := even.Evaluate(g.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	evSkew, err := skewed.Evaluate(g.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evEven.Cycles == evSkew.Cycles {
+		t.Error("weights had no effect on fitness")
+	}
+}
+
+func TestMultiProblemValidation(t *testing.T) {
+	if _, err := NewMultiProblem(nil, nil, arch.Edge(), Latency); err == nil {
+		t.Error("empty model set accepted")
+	}
+	m1, _ := workload.ByName("ncf")
+	if _, err := NewMultiProblem([]workload.Model{m1}, []float64{1, 2}, arch.Edge(), Latency); err == nil {
+		t.Error("mismatched weights accepted")
+	}
+}
+
+func TestFixedMappingRejectsNilRule(t *testing.T) {
+	model, err := workload.ByName("ncf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProblem(model, arch.Edge(), Latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.WithFixedMapping(nil); err == nil {
+		t.Error("nil rule accepted")
+	}
+}
+
+func TestFixedMappingRuleApplied(t *testing.T) {
+	model, err := workload.ByName("ncf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProblem(model, arch.Edge(), Latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	rule := func(hw arch.HW, layer workload.Layer) mapping.Mapping {
+		calls++
+		// The probe must carry finite, budget-derived buffer capacities.
+		for l, b := range hw.BufBytes {
+			if b <= 0 || b > 1<<35 {
+				t.Errorf("probe buffer[%d] = %d", l, b)
+			}
+		}
+		return mapping.Random(rand.New(rand.NewSource(int64(calls))), layer, hw.Levels()).Repair(layer)
+	}
+	fp, err := p.WithFixedMapping(rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	if _, err := fp.Evaluate(fp.Space.Random(rng, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(fp.Space.Layers) {
+		t.Errorf("rule called %d times for %d layers", calls, len(fp.Space.Layers))
+	}
+}

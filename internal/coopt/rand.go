@@ -1,0 +1,12 @@
+package coopt
+
+import "math/rand"
+
+// newRand builds a deterministic RNG from a seed; seed 0 maps to a fixed
+// non-zero default so callers can use the zero value safely.
+func newRand(seed int64) *rand.Rand {
+	if seed == 0 {
+		seed = 0x5ca1ab1e
+	}
+	return rand.New(rand.NewSource(seed))
+}

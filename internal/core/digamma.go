@@ -1,0 +1,603 @@
+// Package core implements DiGamma, the paper's domain-aware genetic
+// algorithm for HW-Mapping co-optimization, together with GAMMA
+// (ICCAD 2020) — the same engine restricted to the mapping space with a
+// fixed hardware configuration — which the evaluation uses as the
+// Mapping-opt baseline.
+//
+// Rather than perturbing the flat gene vector arbitrarily (the stdGA
+// baseline), DiGamma applies the specialized operators of the paper's
+// Fig. 4, each aware of which part of the design space it perturbs:
+//
+//	Crossover   — exchanges whole per-layer mapping blocks and HW genes
+//	Reorder     — permutes a level's loop order (order space)
+//	Grow/Aging  — adds/removes a hierarchy level (clustering space)
+//	Mutate-Map  — re-tiles dimensions (divisor-biased) and re-targets the
+//	              spatial dimension; co-affects derived buffers
+//	Mutate-HW   — re-shapes/re-sizes the PE array under the area budget;
+//	              co-affects derived buffers
+//
+// Buffer sizes are never genes: the co-opt framework allocates exactly
+// the minimum requirement of the decoded mapping (the paper's buffer
+// allocation strategy).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"digamma/internal/coopt"
+	"digamma/internal/mapping"
+	"digamma/internal/space"
+	"digamma/internal/workload"
+)
+
+// Config holds DiGamma's hyper-parameters. The paper tunes these with
+// Bayesian optimization (footnote 3); the defaults here come from a coarse
+// sweep recorded in EXPERIMENTS.md.
+type Config struct {
+	PopSize     int     // individuals per generation
+	EliteFrac   float64 // fraction carried over unchanged
+	CrossRate   float64 // probability of block crossover per child
+	ReorderRate float64 // probability of a loop-order swap per child
+	MutMapRate  float64 // probability of a mapping mutation per child
+	MutHWRate   float64 // probability of an HW mutation per child
+	GrowRate    float64 // probability of adding a hierarchy level
+	AgeRate     float64 // probability of removing a hierarchy level
+	MaxLevels   int     // clustering depth ceiling (paper: 3)
+	DivisorBias float64 // chance tile mutations snap to divisors
+	GreedyCross float64 // chance crossover picks per-layer blocks greedily
+	SeedFrac    float64 // fraction of the initial population seeded conservatively
+	Workers     int     // parallel evaluation workers (≤ 1 = serial); results are deterministic either way
+
+	// FixedHW disables Mutate-HW, Grow and Aging, turning the engine into
+	// the GAMMA mapper.
+	FixedHW bool
+}
+
+// DefaultConfig returns the tuned DiGamma defaults.
+func DefaultConfig() Config {
+	return Config{
+		PopSize:     40,
+		EliteFrac:   0.10,
+		CrossRate:   0.60,
+		ReorderRate: 0.30,
+		MutMapRate:  0.70,
+		MutHWRate:   0.30,
+		GrowRate:    0.05,
+		AgeRate:     0.05,
+		MaxLevels:   3,
+		DivisorBias: 0.8,
+		GreedyCross: 0.8,
+		SeedFrac:    0.25,
+	}
+}
+
+// GammaConfig returns the configuration for the GAMMA mapping-only
+// baseline: identical genetic machinery with the HW operators disabled.
+func GammaConfig() Config {
+	c := DefaultConfig()
+	c.FixedHW = true
+	c.MutHWRate = 0
+	c.GrowRate = 0
+	c.AgeRate = 0
+	return c
+}
+
+// Engine runs the genetic search against a co-optimization problem.
+type Engine struct {
+	Problem *coopt.Problem
+	Config  Config
+	Rng     *rand.Rand
+
+	// OnEvaluation, when set, is invoked after every design-point
+	// evaluation with the 1-based sample index — convergence tracing and
+	// progress reporting hook.
+	OnEvaluation func(sample int, ev *coopt.Evaluation)
+}
+
+// New assembles an engine. A nil rng defaults to a fixed seed so runs are
+// reproducible.
+func New(p *coopt.Problem, cfg Config, rng *rand.Rand) (*Engine, error) {
+	if p == nil {
+		return nil, errors.New("core: nil problem")
+	}
+	if cfg.PopSize < 4 {
+		return nil, fmt.Errorf("core: population %d too small", cfg.PopSize)
+	}
+	if cfg.MaxLevels < 2 {
+		cfg.MaxLevels = 2
+	}
+	if p.FixedHW != nil {
+		cfg.FixedHW = true
+		cfg.MutHWRate, cfg.GrowRate, cfg.AgeRate = 0, 0, 0
+	}
+	if p.MappingRule != nil {
+		// Fixed-Mapping mode: the style rule defines a fixed clustering
+		// depth, so the hierarchy must not grow or age.
+		cfg.GrowRate, cfg.AgeRate = 0, 0
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &Engine{Problem: p, Config: cfg, Rng: rng}, nil
+}
+
+// individual pairs a genome with its evaluation.
+type individual struct {
+	genome space.Genome
+	eval   *coopt.Evaluation
+}
+
+// Result reports the search outcome.
+type Result struct {
+	Best        *coopt.Evaluation
+	Generations int
+	Samples     int       // objective evaluations actually spent
+	History     []float64 // best fitness after each generation
+}
+
+// Run executes the search within the sampling budget (total design points
+// evaluated, the paper's 40K-style budget) and returns the best
+// evaluation found.
+func (e *Engine) Run(budget int) (*Result, error) {
+	if budget < 1 {
+		return nil, errors.New("core: non-positive budget")
+	}
+	cfg := e.Config
+	pop := cfg.PopSize
+	if pop > budget {
+		pop = budget
+	}
+
+	res := &Result{}
+	evalGenome := func(g space.Genome) (*coopt.Evaluation, error) {
+		res.Samples++
+		ev, err := e.Problem.Evaluate(g)
+		if err == nil && e.OnEvaluation != nil {
+			e.OnEvaluation(res.Samples, ev)
+		}
+		return ev, err
+	}
+
+	// Initial population: a quarter conservative seeds (minimal tiles with
+	// spatial coverage of the widest dims — cheap on buffers, so almost
+	// always feasible, mirroring GAMMA's valid-first initialization), the
+	// rest random genomes at the base clustering depth.
+	baseLevels := e.Problem.Space.Levels
+	cur := make([]individual, 0, pop)
+	seeds := int(float64(pop) * cfg.SeedFrac)
+	if seeds < 1 && cfg.SeedFrac > 0 {
+		seeds = 1
+	}
+	for i := 0; i < pop && res.Samples < budget; i++ {
+		var g space.Genome
+		if i < seeds {
+			g = e.seedGenome(i)
+		} else {
+			g = e.Problem.Space.Random(e.Rng, baseLevels)
+		}
+		if !cfg.FixedHW {
+			g = e.repairHWBudget(g)
+		}
+		ev, err := evalGenome(g)
+		if err != nil {
+			return nil, err
+		}
+		cur = append(cur, individual{g, ev})
+	}
+	if len(cur) == 0 {
+		return nil, errors.New("core: budget exhausted before first evaluation")
+	}
+
+	elites := int(float64(pop) * cfg.EliteFrac)
+	if elites < 1 {
+		elites = 1
+	}
+	if elites > pop {
+		elites = pop
+	}
+
+	for res.Samples < budget {
+		sort.Slice(cur, func(a, b int) bool { return cur[a].eval.Fitness < cur[b].eval.Fitness })
+		res.History = append(res.History, cur[0].eval.Fitness)
+		res.Generations++
+
+		next := make([]individual, 0, pop)
+		next = append(next, cur[:elites]...)
+
+		// Breed serially (the RNG stream fixes the children), then
+		// evaluate the batch — in parallel when configured; evaluation is
+		// pure, so results and sample accounting stay deterministic.
+		need := pop - len(next)
+		if remaining := budget - res.Samples; need > remaining {
+			need = remaining
+		}
+		children := make([]space.Genome, need)
+		for i := range children {
+			children[i] = e.breed(cur)
+		}
+		evs, err := e.evaluateBatch(children)
+		if err != nil {
+			return nil, err
+		}
+		for i, ev := range evs {
+			res.Samples++
+			if e.OnEvaluation != nil {
+				e.OnEvaluation(res.Samples, ev)
+			}
+			next = append(next, individual{children[i], ev})
+		}
+		cur = next
+	}
+
+	sort.Slice(cur, func(a, b int) bool { return cur[a].eval.Fitness < cur[b].eval.Fitness })
+	res.History = append(res.History, cur[0].eval.Fitness)
+	res.Best = cur[0].eval
+	return res, nil
+}
+
+// evaluateBatch scores a slice of genomes, fanning out across
+// Config.Workers goroutines when configured. Evaluate is pure, so the
+// result slice is identical regardless of worker count.
+func (e *Engine) evaluateBatch(gs []space.Genome) ([]*coopt.Evaluation, error) {
+	out := make([]*coopt.Evaluation, len(gs))
+	workers := e.Config.Workers
+	if workers <= 1 || len(gs) < 2 {
+		for i, g := range gs {
+			ev, err := e.Problem.Evaluate(g)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = ev
+		}
+		return out, nil
+	}
+	if workers > len(gs) {
+		workers = len(gs)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(gs); i += workers {
+				ev, err := e.Problem.Evaluate(gs[i])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				out[i] = ev
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// seedGenome builds a conservative, almost-always-feasible starting point:
+// per-PE tiles of 1 (minimal buffers), the outer tile sized to spread the
+// widest dimension across the inner fanout, and — for co-opt — modest
+// power-of-two fanouts varied per seed index.
+func (e *Engine) seedGenome(variant int) space.Genome {
+	sp := e.Problem.Space
+	levels := sp.Levels
+	var g space.Genome
+
+	if sp.FixedHW != nil {
+		g.Fanouts = append([]int(nil), sp.FixedHW.Fanouts...)
+		levels = len(g.Fanouts)
+	} else {
+		g.Fanouts = make([]int, levels)
+		for l := range g.Fanouts {
+			f := 1 << uint(2+(variant+l)%5) // 4..64, varied per seed
+			if f > sp.MaxFanout {
+				f = sp.MaxFanout
+			}
+			g.Fanouts[l] = f
+		}
+	}
+
+	g.Maps = make([]mapping.Mapping, len(sp.Layers))
+	for li, layer := range sp.Layers {
+		dims := layer.Dims()
+		// Widest dims first for parallelization.
+		var byWidth []workload.Dim
+		byWidth = append(byWidth, workload.AllDims[:]...)
+		sort.SliceStable(byWidth, func(a, b int) bool { return dims[byWidth[a]] > dims[byWidth[b]] })
+
+		m := mapping.Mapping{Levels: make([]mapping.Level, levels)}
+		for lvi := range m.Levels {
+			lv := &m.Levels[lvi]
+			lv.Spatial = byWidth[lvi%len(byWidth)]
+			lv.Order = mapping.CanonicalOrder()
+			for _, d := range workload.AllDims {
+				lv.Tiles[d] = 1
+			}
+		}
+		// Outer levels cover their child level's spatial fanout so the
+		// array is actually occupied.
+		for lvi := 1; lvi < levels; lvi++ {
+			child := m.Levels[lvi-1]
+			cover := child.Tiles[child.Spatial] * g.Fanouts[lvi-1]
+			if cover > dims[child.Spatial] {
+				cover = dims[child.Spatial]
+			}
+			m.Levels[lvi].Tiles = m.Levels[lvi-1].Tiles
+			m.Levels[lvi].Tiles[child.Spatial] = cover
+		}
+		g.Maps[li] = m.Repair(layer)
+	}
+	return g
+}
+
+// tournament picks the better of two random individuals.
+func (e *Engine) tournament(pop []individual) individual {
+	a := pop[e.Rng.Intn(len(pop))]
+	b := pop[e.Rng.Intn(len(pop))]
+	if b.eval.Fitness < a.eval.Fitness {
+		return b
+	}
+	return a
+}
+
+// breed produces one child from the population using the specialized
+// operator pipeline.
+func (e *Engine) breed(pop []individual) space.Genome {
+	cfg := e.Config
+	p1 := e.tournament(pop)
+	child := p1.genome.Clone()
+
+	if e.Rng.Float64() < cfg.CrossRate {
+		p2 := e.tournament(pop)
+		child = e.crossover(p1, p2)
+	}
+	if e.Rng.Float64() < cfg.ReorderRate {
+		e.reorder(&child)
+	}
+	if e.Rng.Float64() < cfg.MutMapRate {
+		e.mutateMap(&child)
+	}
+	if !cfg.FixedHW {
+		if e.Rng.Float64() < cfg.MutHWRate {
+			e.mutateHW(&child)
+		}
+		if e.Rng.Float64() < cfg.GrowRate && child.Levels() < cfg.MaxLevels {
+			e.grow(&child)
+		}
+		if e.Rng.Float64() < cfg.AgeRate && child.Levels() > 2 {
+			e.age(&child)
+		}
+		child = e.repairHWBudget(child)
+	}
+	return e.Problem.Space.Repair(child)
+}
+
+// layerDims returns the layer bounds for layer index li.
+func (e *Engine) layerDims(li int) workload.Vector {
+	return e.Problem.Space.Layers[li].Dims()
+}
+
+// crossover mixes two parents at domain-meaningful block granularity:
+// whole per-layer mapping blocks and the HW gene vector as one unit (the
+// PE hierarchy only makes sense as a whole). Because the fitness
+// decomposes additively over layers, the per-layer choice is mostly
+// greedy — take the block from the parent whose evaluation ran that layer
+// faster — with a diversity-preserving random fraction.
+func (e *Engine) crossover(pa, pb individual) space.Genome {
+	a, b := pa.genome, pb.genome
+	child := a.Clone()
+	if !e.Config.FixedHW && e.Rng.Intn(2) == 0 && len(b.Fanouts) == len(a.Fanouts) {
+		child.Fanouts = append([]int(nil), b.Fanouts...)
+	}
+	for li := range child.Maps {
+		if b.Maps[li].NumLevels() != child.Maps[li].NumLevels() {
+			continue
+		}
+		takeB := e.Rng.Intn(2) == 0
+		if pa.eval != nil && pb.eval != nil && e.Rng.Float64() < e.Config.GreedyCross {
+			takeB = pb.eval.Layers[li].Result.Cycles < pa.eval.Layers[li].Result.Cycles
+		}
+		if takeB {
+			child.Maps[li] = b.Maps[li].Clone()
+		}
+	}
+	return child
+}
+
+// reorder swaps two loop positions at a random level of a random layer —
+// the specialized operator for the order space.
+func (e *Engine) reorder(g *space.Genome) {
+	li := e.Rng.Intn(len(g.Maps))
+	m := &g.Maps[li]
+	lv := &m.Levels[e.Rng.Intn(len(m.Levels))]
+	i := e.Rng.Intn(len(lv.Order))
+	j := e.Rng.Intn(len(lv.Order))
+	lv.Order[i], lv.Order[j] = lv.Order[j], lv.Order[i]
+}
+
+// mutateMap perturbs tiling and parallelism. A handful of layers mutate
+// per child (expected ~3, so deep models still see every layer touched
+// within a few generations). Tiles move either by a geometric local step
+// (×2 / ÷2, fine-grained exploitation) or a divisor-biased resample
+// relative to the parent level's tile (the domain-aware move that avoids
+// ragged edges); the spatial dimension is re-targeted occasionally,
+// preferring dimensions with extent > 1 so parallelism is never knowingly
+// wasted.
+func (e *Engine) mutateMap(g *space.Genome) {
+	prob := 3.0 / float64(len(g.Maps))
+	if prob > 1 {
+		prob = 1
+	}
+	mutated := false
+	for li := range g.Maps {
+		if e.Rng.Float64() < prob {
+			e.mutateLayer(g, li)
+			mutated = true
+		}
+	}
+	if !mutated {
+		e.mutateLayer(g, e.Rng.Intn(len(g.Maps)))
+	}
+}
+
+func (e *Engine) mutateLayer(g *space.Genome, li int) {
+	dims := e.layerDims(li)
+	m := &g.Maps[li]
+	for lvi := range m.Levels {
+		lv := &m.Levels[lvi]
+		parent := dims
+		if lvi+1 < len(m.Levels) {
+			parent = m.Levels[lvi+1].Tiles
+		}
+		for _, d := range workload.AllDims {
+			if e.Rng.Float64() >= 0.3 {
+				continue
+			}
+			if e.Rng.Intn(2) == 0 {
+				// Local geometric step.
+				t := lv.Tiles[d]
+				if e.Rng.Intn(2) == 0 {
+					t *= 2
+				} else {
+					t /= 2
+				}
+				if t < 1 {
+					t = 1
+				}
+				if t > parent[d] {
+					t = parent[d]
+				}
+				lv.Tiles[d] = t
+			} else {
+				lv.Tiles[d] = mapping.RandomTile(e.Rng, parent[d], e.Config.DivisorBias)
+			}
+		}
+		if e.Rng.Float64() < 0.3 {
+			lv.Spatial = e.pickSpatial(dims)
+		}
+	}
+}
+
+// pickSpatial draws a parallelization dimension, strongly preferring
+// dimensions the layer can actually fill.
+func (e *Engine) pickSpatial(dims workload.Vector) workload.Dim {
+	var wide []workload.Dim
+	for _, d := range workload.AllDims {
+		if dims[d] > 1 {
+			wide = append(wide, d)
+		}
+	}
+	if len(wide) > 0 && e.Rng.Float64() < 0.9 {
+		return wide[e.Rng.Intn(len(wide))]
+	}
+	return workload.AllDims[e.Rng.Intn(int(workload.NumDims))]
+}
+
+// mutateHW perturbs the PE hierarchy: one fanout gene takes a geometric
+// step (×2, ÷2) or a fresh log-uniform draw. The derived buffer allocation
+// downstream automatically re-balances memory — this is the coupling the
+// paper's Mutate-HW row in Fig. 4 points at.
+func (e *Engine) mutateHW(g *space.Genome) {
+	l := e.Rng.Intn(len(g.Fanouts))
+	max := e.Problem.Space.MaxFanout
+	switch e.Rng.Intn(3) {
+	case 0:
+		g.Fanouts[l] *= 2
+	case 1:
+		g.Fanouts[l] /= 2
+	default:
+		// Log-uniform resample.
+		u := e.Rng.Float64()
+		g.Fanouts[l] = int(math.Exp(u * math.Log(float64(max)+0.5)))
+	}
+	if g.Fanouts[l] < 1 {
+		g.Fanouts[l] = 1
+	}
+	if g.Fanouts[l] > max {
+		g.Fanouts[l] = max
+	}
+}
+
+// grow adds one hierarchy level (the paper's clustering Grow operator):
+// the top fanout is factored into two levels, and every layer mapping
+// gains a copy of its top level so decode stays legal.
+func (e *Engine) grow(g *space.Genome) {
+	top := len(g.Fanouts) - 1
+	f := g.Fanouts[top]
+	split := 1 + e.Rng.Intn(4)
+	if f >= 4 {
+		split = 2 + e.Rng.Intn(f/2)
+		if split > f {
+			split = f
+		}
+	}
+	g.Fanouts[top] = maxInt(1, f/split)
+	g.Fanouts = append(g.Fanouts, split)
+	for li := range g.Maps {
+		m := &g.Maps[li]
+		topLv := m.Levels[len(m.Levels)-1]
+		m.Levels = append(m.Levels, topLv)
+	}
+}
+
+// age removes the top hierarchy level (Aging), folding its fanout into
+// the level below, capped by the space's fanout bound.
+func (e *Engine) age(g *space.Genome) {
+	top := len(g.Fanouts) - 1
+	merged := g.Fanouts[top-1] * g.Fanouts[top]
+	if max := e.Problem.Space.MaxFanout; merged > max {
+		merged = max
+	}
+	g.Fanouts = g.Fanouts[:top]
+	g.Fanouts[top-1] = merged
+	for li := range g.Maps {
+		m := &g.Maps[li]
+		m.Levels = m.Levels[:len(m.Levels)-1]
+	}
+}
+
+// repairHWBudget shrinks the PE array until the compute area alone leaves
+// room inside the budget — the "HW exploration strategy respects the
+// interaction between HW and mapping": points the checker would always
+// reject are never proposed, so no samples are wasted on hopeless HW.
+func (e *Engine) repairHWBudget(g space.Genome) space.Genome {
+	budget := e.Problem.Platform.AreaBudgetMM2
+	am := e.Problem.Platform.Area
+	for {
+		pes := 1
+		for _, f := range g.Fanouts {
+			pes *= f
+		}
+		if float64(pes)*am.PEUm2/1e6 <= budget*0.95 {
+			return g
+		}
+		// Halve the largest fanout.
+		l := 0
+		for i, f := range g.Fanouts {
+			if f > g.Fanouts[l] {
+				l = i
+			}
+		}
+		if g.Fanouts[l] <= 1 {
+			return g
+		}
+		g.Fanouts[l] /= 2
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,40 @@
+package cost
+
+import (
+	"fmt"
+	"strings"
+
+	"digamma/internal/arch"
+)
+
+// Detail renders the analysis as a MAESTRO-style plain-text report: the
+// per-level structural analysis (trips, occupancy, buffer demand, traffic)
+// followed by the end-to-end metrics. Intended for humans debugging a
+// mapping, not for parsing. Pass the layer's true MAC count to include the
+// ragged-tile padding percentage (0 disables the line).
+func (r *Result) Detail(em arch.EnergyModel, trueMACs int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "latency        %.4e cycles (compute roofline %.4e)\n", r.Cycles, r.ComputeOnly)
+	fmt.Fprintf(&b, "utilization    %.1f%%\n", r.Utilization*100)
+	fmt.Fprintf(&b, "mapped MACs    %.4e", r.MappedMACs)
+	if trueMACs > 0 && r.MappedMACs > 0 {
+		pad := (r.MappedMACs - float64(trueMACs)) / float64(trueMACs) * 100
+		fmt.Fprintf(&b, " (ragged-tile padding %.2f%%)", pad)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "energy         %.4e pJ (%.3f pJ/MAC)\n",
+		r.EnergyPJ(em), r.EnergyPJ(em)/r.MappedMACs)
+	fmt.Fprintf(&b, "traffic        DRAM %.3e  NoC %.3e  L2 %.3e  L1 %.3e words\n",
+		r.DRAMWords, r.NoCWords, r.L2Words, r.L1Words)
+	for l, lv := range r.Levels {
+		fmt.Fprintf(&b, "level %d        fanout %d, occupancy %d (%.0f%%), %g iterations\n",
+			l+1, lv.Fanout, lv.Occupancy,
+			float64(lv.Occupancy)/float64(lv.Fanout)*100, lv.Iterations)
+		fmt.Fprintf(&b, "               trips %s\n", lv.Trips)
+		fmt.Fprintf(&b, "               buffer demand W %.0f  I %.0f  O %.0f words (single copy)\n",
+			lv.BufferWords.Weights, lv.BufferWords.Inputs, lv.BufferWords.Outputs)
+		fmt.Fprintf(&b, "               ingress %.3e, egress %.3e words per pass\n",
+			lv.IngressWords, lv.EgressWords)
+	}
+	return b.String()
+}

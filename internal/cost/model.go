@@ -1,0 +1,321 @@
+// Package cost is the analytical DNN-accelerator performance model that
+// stands in for MAESTRO (Kwon et al., MICRO 2019) in this reproduction.
+//
+// Given a hardware configuration (PE hierarchy + bandwidths), a mapping
+// (per-level tiles, loop order, spatial dims) and a layer, it computes
+// latency, data movement per memory level, minimum buffer requirements and
+// energy event counts, using the standard data-centric analysis:
+//
+//   - per-level temporal trip counts with spatial folding of the
+//     parallelized dimension;
+//   - tensor refetch counts from the stationarity rule — a tensor is
+//     reloaded once per iteration of every loop at or outside its innermost
+//     relevant loop;
+//   - partial-sum read-modify-write traffic when a reduction loop sits
+//     outside the innermost output-relevant loop;
+//   - per-level roofline latency: iterations × max(child latency,
+//     transfer time), with a DRAM bandwidth floor at the top;
+//   - minimum buffer requirement = double-buffered spatial-union footprint
+//     of the child tiles (the paper's Fig. 3(f), with input halos).
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"digamma/internal/arch"
+	"digamma/internal/mapping"
+	"digamma/internal/workload"
+)
+
+// Tensor identifies an operand of a layer.
+type Tensor uint8
+
+// The three operand tensors.
+const (
+	Weights Tensor = iota
+	Inputs
+	Outputs
+	NumTensors
+)
+
+var tensorNames = [NumTensors]string{"W", "I", "O"}
+
+// String returns the single-letter tensor name used in the paper.
+func (t Tensor) String() string {
+	if t >= NumTensors {
+		return fmt.Sprintf("Tensor(%d)", uint8(t))
+	}
+	return tensorNames[t]
+}
+
+// BufferReq is a per-tensor buffer requirement in words.
+type BufferReq struct {
+	Weights float64
+	Inputs  float64
+	Outputs float64
+}
+
+// Total returns the summed requirement in words.
+func (b BufferReq) Total() float64 { return b.Weights + b.Inputs + b.Outputs }
+
+// LevelStats captures the analysis of one hierarchy level.
+type LevelStats struct {
+	Trips        workload.Vector // temporal trip counts (spatial dim holds folds)
+	Fanout       int             // available sub-units
+	Occupancy    int             // sub-units actually used (≤ Fanout)
+	Iterations   float64         // product of trips = loop iterations per parent pass
+	IngressWords float64         // W+I words into this level's children per parent pass
+	EgressWords  float64         // O words out of this level per parent pass
+	BufferWords  BufferReq       // minimum (single-copy) buffer requirement at this level
+}
+
+// Result is the full analysis of one layer on one design point.
+type Result struct {
+	Cycles      float64      // total latency in cycles
+	ComputeOnly float64      // pure-compute roofline (MACs / PEs) for reference
+	MappedMACs  float64      // MACs charged including ragged-tile padding
+	DRAMWords   float64      // words crossing the chip boundary
+	NoCWords    float64      // words crossing all on-chip level boundaries
+	L1Words     float64      // words through per-PE buffers (incl. operand reads)
+	L2Words     float64      // words through shared buffers
+	Levels      []LevelStats // per-level detail, inner-first
+	Utilization float64      // effective PE utilization = ideal / achieved cycles
+}
+
+// BufReqBytes returns the minimum per-instance buffer capacity (bytes) for
+// each level, inner-first, including the double-buffering factor. This is
+// the paper's buffer allocation strategy: the co-opt framework sizes
+// buffers to exactly these values.
+func (r *Result) BufReqBytes(bytesPerWord int) []int64 {
+	out := make([]int64, len(r.Levels))
+	for i, lv := range r.Levels {
+		out[i] = int64(math.Ceil(lv.BufferWords.Total())) * 2 * int64(bytesPerWord)
+	}
+	return out
+}
+
+// EnergyPJ converts the movement counters into dynamic energy.
+func (r *Result) EnergyPJ(em arch.EnergyModel) float64 {
+	return r.MappedMACs*em.MACpJ +
+		r.L1Words*em.L1pJ +
+		r.L2Words*em.L2pJ +
+		r.NoCWords*em.NoCpJ +
+		r.DRAMWords*em.DRAMpJ
+}
+
+// relevance returns, per tensor, which dims the tensor depends on.
+func relevance(layer workload.Layer) [NumTensors][workload.NumDims]bool {
+	w, in, out := layer.TensorDims()
+	return [NumTensors][workload.NumDims]bool{Weights: w, Inputs: in, Outputs: out}
+}
+
+// footprint returns the tensor footprint in words for the given effective
+// tile extents, applying the input halo transform.
+func footprint(layer workload.Layer, rel [workload.NumDims]bool, t Tensor, tile workload.Vector) float64 {
+	if t == Inputs {
+		sy, sx := layer.Strides()
+		ch := tile[workload.C]
+		if layer.Type == workload.DepthwiseConv {
+			ch = tile[workload.K]
+		}
+		iy := (tile[workload.Y]-1)*sy + tile[workload.R]
+		ix := (tile[workload.X]-1)*sx + tile[workload.S]
+		return float64(ch) * float64(iy) * float64(ix)
+	}
+	fp := 1.0
+	for _, d := range workload.AllDims {
+		if rel[d] {
+			fp *= float64(tile[d])
+		}
+	}
+	return fp
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+// Analyze evaluates one layer on the design point (hw, m). The mapping must
+// have exactly hw.Levels() levels and be legal for the layer (callers
+// should Repair first); Analyze returns an error otherwise.
+func Analyze(hw arch.HW, m mapping.Mapping, layer workload.Layer) (*Result, error) {
+	hw = hw.Defaults()
+	if err := hw.Validate(); err != nil {
+		return nil, err
+	}
+	if len(m.Levels) != hw.Levels() {
+		return nil, fmt.Errorf("cost: mapping has %d levels, hw has %d", len(m.Levels), hw.Levels())
+	}
+	if err := m.Validate(layer); err != nil {
+		return nil, err
+	}
+
+	L := len(m.Levels)
+	rel := relevance(layer)
+	full := layer.Dims()
+
+	res := &Result{Levels: make([]LevelStats, L)}
+
+	// Per-level structural analysis.
+	for l := 0; l < L; l++ {
+		lv := m.Levels[l]
+		parent := full
+		if l+1 < L {
+			parent = m.Levels[l+1].Tiles
+		}
+		st := &res.Levels[l]
+		st.Fanout = hw.Fanouts[l]
+
+		iters := 1.0
+		for _, d := range workload.AllDims {
+			chunks := ceilDiv(parent[d], lv.Tiles[d])
+			if d == lv.Spatial {
+				st.Occupancy = chunks
+				if st.Occupancy > st.Fanout {
+					st.Occupancy = st.Fanout
+				}
+				st.Trips[d] = ceilDiv(chunks, st.Fanout)
+			} else {
+				st.Trips[d] = chunks
+			}
+			iters *= float64(st.Trips[d])
+		}
+		st.Iterations = iters
+
+		// Effective (spatial-union) tile extents seen by this level's buffer.
+		eff := lv.Tiles
+		eff[lv.Spatial] *= st.Occupancy
+		if eff[lv.Spatial] > parent[lv.Spatial] {
+			eff[lv.Spatial] = parent[lv.Spatial]
+		}
+
+		// Minimum single-copy buffer requirement at this level. Level 0 is
+		// the per-PE L1 and holds only the PE's own tile; outer levels hold
+		// the spatial union of their children's tiles.
+		bufTile := lv.Tiles
+		if l > 0 {
+			bufTile = eff
+		}
+		st.BufferWords = BufferReq{
+			Weights: footprint(layer, rel[Weights], Weights, bufTile),
+			Inputs:  footprint(layer, rel[Inputs], Inputs, bufTile),
+			Outputs: footprint(layer, rel[Outputs], Outputs, bufTile),
+		}
+
+		// Ingress traffic (weights + inputs) from the stationarity rule.
+		for _, t := range []Tensor{Weights, Inputs} {
+			loads := reloadCount(lv, st.Trips, rel[t])
+			st.IngressWords += loads * footprint(layer, rel[t], t, eff)
+		}
+
+		// Egress traffic (outputs) with partial-sum read-modify-write.
+		touches := reloadCount(lv, st.Trips, rel[Outputs])
+		finalWrites := 1.0
+		for _, d := range workload.AllDims {
+			if rel[Outputs][d] {
+				finalWrites *= float64(st.Trips[d])
+			}
+		}
+		revisits := touches / finalWrites
+		if revisits < 1 {
+			revisits = 1
+		}
+		st.EgressWords = finalWrites * (2*revisits - 1) * footprint(layer, rel[Outputs], Outputs, eff)
+	}
+
+	// Latency recursion, inner to outer.
+	lat := float64(m.Levels[0].Tiles.Product()) // cycles per PE tile (1 MAC/cycle)
+	peTileMACs := lat
+	for l := 0; l < L; l++ {
+		st := &res.Levels[l]
+		xfer := (st.IngressWords + st.EgressWords) / st.Iterations / hw.LevelBandwidth(l)
+		step := lat
+		if xfer > step {
+			step = xfer
+		}
+		lat = st.Iterations*step + xfer // + pipeline fill of the first tile
+	}
+
+	// Chip-boundary traffic = the top level's traffic (the global buffer is
+	// minimum-sized, so every refetch reaches DRAM). The bandwidth floor is
+	// applied only when off-chip bandwidth is modeled; by default latency
+	// follows MAESTRO's overlapped-prefetch assumption and DRAM traffic
+	// affects energy only.
+	top := res.Levels[L-1]
+	res.DRAMWords = top.IngressWords + top.EgressWords
+	if hw.DRAMWordsPerCycle > 0 {
+		if floor := res.DRAMWords / hw.DRAMWordsPerCycle; floor > lat {
+			lat = floor
+		}
+	}
+	res.Cycles = lat
+
+	// Global movement totals. passes(l) = times one level-l group runs its
+	// loop space; groups(l) = occupied level-(l+1) unit count.
+	passes := 1.0
+	groups := 1.0
+	for l := L - 1; l >= 0; l-- {
+		st := &res.Levels[l]
+		levelWords := (st.IngressWords + st.EgressWords) * passes * groups
+		res.NoCWords += levelWords * hw.LevelHops(l)
+		if l == 0 {
+			res.L1Words += levelWords
+		} else {
+			res.L2Words += levelWords
+		}
+		passes *= st.Iterations
+		groups *= float64(st.Occupancy)
+	}
+	res.MappedMACs = peTileMACs * passes * groups // groups = Π occupancies
+	// Operand reads feeding the MACs from L1 (weight + input per MAC;
+	// partial sums accumulate in the PE register).
+	res.L1Words += 2 * res.MappedMACs
+
+	totalPEs := float64(hw.NumPEs())
+	res.ComputeOnly = float64(layer.MACs()) / totalPEs
+	if res.Cycles > 0 {
+		res.Utilization = float64(layer.MACs()) / (res.Cycles * totalPEs)
+	}
+	return res, nil
+}
+
+// reloadCount applies the stationarity rule at one level: the number of
+// times a tensor with the given relevance must be (re)loaded while the
+// level's loops run once. Loops with a single trip are ignored; if no
+// relevant loop iterates, the tensor is loaded once.
+func reloadCount(lv mapping.Level, trips workload.Vector, rel [workload.NumDims]bool) float64 {
+	innermostRelevant := -1
+	for pos := len(lv.Order) - 1; pos >= 0; pos-- {
+		d := lv.Order[pos]
+		if rel[d] && trips[d] > 1 {
+			innermostRelevant = pos
+			break
+		}
+	}
+	if innermostRelevant < 0 {
+		return 1
+	}
+	loads := 1.0
+	for pos := 0; pos <= innermostRelevant; pos++ {
+		loads *= float64(trips[lv.Order[pos]])
+	}
+	return loads
+}
+
+// FitsBuffers reports whether the analysis' double-buffered requirements
+// fit the capacities of hw at every level, returning the first violating
+// level (or -1). Used by the Fixed-HW (GAMMA) flow, where buffers are a
+// constraint rather than a derived quantity.
+func (r *Result) FitsBuffers(hw arch.HW) (bool, int) {
+	req := r.BufReqBytes(hw.Defaults().BytesPerWord)
+	for l, b := range req {
+		if l < len(hw.BufBytes) && b > hw.BufBytes[l] {
+			return false, l
+		}
+	}
+	return true, -1
+}

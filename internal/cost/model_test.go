@@ -1,0 +1,509 @@
+package cost
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"digamma/internal/arch"
+	"digamma/internal/mapping"
+	"digamma/internal/noc"
+	"digamma/internal/workload"
+)
+
+func hw1PE() arch.HW {
+	return arch.HW{Fanouts: []int{1}, BufBytes: []int64{1 << 20}}
+}
+
+func hw2L(f0, f1 int) arch.HW {
+	return arch.HW{Fanouts: []int{f0, f1}, BufBytes: []int64{1 << 20, 1 << 24}}
+}
+
+func orderOf(ds ...workload.Dim) [workload.NumDims]workload.Dim {
+	var order [workload.NumDims]workload.Dim
+	used := map[workload.Dim]bool{}
+	i := 0
+	for _, d := range ds {
+		order[i] = d
+		used[d] = true
+		i++
+	}
+	for _, d := range workload.AllDims {
+		if !used[d] {
+			order[i] = d
+			i++
+		}
+	}
+	return order
+}
+
+func fullTileMapping(l workload.Layer, levels int) mapping.Mapping {
+	m := mapping.Mapping{Levels: make([]mapping.Level, levels)}
+	for i := range m.Levels {
+		m.Levels[i] = mapping.Level{
+			Spatial: workload.K,
+			Order:   mapping.CanonicalOrder(),
+			Tiles:   l.Dims(),
+		}
+	}
+	return m
+}
+
+func TestAnalyzeRejectsMismatchedLevels(t *testing.T) {
+	l := workload.Layer{Name: "l", Type: workload.GEMM, K: 4, C: 4, Y: 1, X: 1, R: 1, S: 1}
+	m := fullTileMapping(l, 1)
+	if _, err := Analyze(hw2L(4, 4), m, l); err == nil {
+		t.Error("level mismatch accepted")
+	}
+}
+
+func TestAnalyzeRejectsInvalidMapping(t *testing.T) {
+	l := workload.Layer{Name: "l", Type: workload.GEMM, K: 4, C: 4, Y: 1, X: 1, R: 1, S: 1}
+	m := fullTileMapping(l, 1)
+	m.Levels[0].Tiles[workload.K] = 0
+	if _, err := Analyze(hw1PE(), m, l); err == nil {
+		t.Error("invalid mapping accepted")
+	}
+}
+
+// A single PE computing the whole layer in one tile must take exactly
+// MACs cycles of compute (plus fill), with utilization near 1 unless
+// bandwidth-bound.
+func TestSinglePEFullTile(t *testing.T) {
+	l := workload.Layer{Name: "l", Type: workload.Conv, K: 8, C: 4, Y: 4, X: 4, R: 3, S: 3}
+	m := fullTileMapping(l, 1)
+	r, err := Analyze(hw1PE(), m, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	macs := float64(l.MACs())
+	if r.MappedMACs != macs {
+		t.Errorf("MappedMACs = %g, want %g", r.MappedMACs, macs)
+	}
+	if r.Cycles < macs {
+		t.Errorf("Cycles = %g < MACs %g", r.Cycles, macs)
+	}
+	if r.Cycles > macs*1.5 {
+		t.Errorf("Cycles = %g unreasonably above MACs %g", r.Cycles, macs)
+	}
+}
+
+// Weight-stationary loop order (K,C outer) must move fewer weight words
+// than an order that iterates Y outside the weight loops.
+func TestLoopOrderAffectsWeightTraffic(t *testing.T) {
+	l := workload.Layer{Name: "l", Type: workload.GEMM, K: 16, C: 16, Y: 64, X: 1, R: 1, S: 1}
+	base := mapping.Mapping{Levels: []mapping.Level{{
+		Spatial: workload.X, // no parallelism; pure temporal
+		Order:   orderOf(workload.K, workload.C, workload.Y),
+		Tiles:   workload.Vector{1, 1, 1, 1, 1, 1},
+	}}}
+	ws, err := Analyze(hw1PE(), base, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt := base.Clone()
+	alt.Levels[0].Order = orderOf(workload.Y, workload.K, workload.C)
+	ys, err := Analyze(hw1PE(), alt, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K,C outermost: weights loaded K*C times. Y outermost: K*C*Y times.
+	wWS := ws.Levels[0].IngressWords
+	wYS := ys.Levels[0].IngressWords
+	if wWS >= wYS {
+		t.Errorf("weight-friendly order ingress %g should be < output-first order %g", wWS, wYS)
+	}
+}
+
+// Keeping the reduction loop innermost avoids partial-sum read-modify-write
+// traffic; hoisting it outside the output loops must increase egress.
+func TestPsumTraffic(t *testing.T) {
+	l := workload.Layer{Name: "l", Type: workload.GEMM, K: 8, C: 32, Y: 1, X: 1, R: 1, S: 1}
+	inner := mapping.Mapping{Levels: []mapping.Level{{
+		Spatial: workload.X,
+		Order:   orderOf(workload.K, workload.C),
+		Tiles:   workload.Vector{1, 1, 1, 1, 1, 1},
+	}}}
+	ri, err := Analyze(hw1PE(), inner, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := inner.Clone()
+	outer.Levels[0].Order = orderOf(workload.C, workload.K)
+	ro, err := Analyze(hw1PE(), outer, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Levels[0].EgressWords >= ro.Levels[0].EgressWords {
+		t.Errorf("reduction-innermost egress %g should be < reduction-outermost %g",
+			ri.Levels[0].EgressWords, ro.Levels[0].EgressWords)
+	}
+	// Reduction innermost: each output written exactly once.
+	if got := ri.Levels[0].EgressWords; got != 8 {
+		t.Errorf("reduction-innermost egress = %g, want 8", got)
+	}
+}
+
+// Parallelizing a size-1 dimension wastes the entire array: this is the
+// mechanism behind the paper's Fig. 6 collapse of shi-like mappings on
+// recommendation models.
+func TestSpatialDimCollapse(t *testing.T) {
+	l := workload.Layer{Name: "fc", Type: workload.GEMM, K: 256, C: 256, Y: 1, X: 1, R: 1, S: 1}
+	mk := mapping.Mapping{Levels: []mapping.Level{{
+		Spatial: workload.K,
+		Order:   mapping.CanonicalOrder(),
+		Tiles:   workload.Vector{1, 256, 1, 1, 1, 1},
+	}}}
+	hw := arch.HW{Fanouts: []int{64}, BufBytes: []int64{1 << 20}}
+	rk, err := Analyze(hw, mk, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	my := mk.Clone()
+	my.Levels[0].Spatial = workload.Y
+	ry, err := Analyze(hw, my, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rk.Levels[0].Occupancy != 64 {
+		t.Errorf("K-parallel occupancy = %d, want 64", rk.Levels[0].Occupancy)
+	}
+	if ry.Levels[0].Occupancy != 1 {
+		t.Errorf("Y-parallel occupancy = %d, want 1", ry.Levels[0].Occupancy)
+	}
+	if ry.Cycles < 4*rk.Cycles {
+		t.Errorf("Y-parallel (%g cycles) should be ≫ K-parallel (%g cycles)", ry.Cycles, rk.Cycles)
+	}
+}
+
+// Doubling the PE array with the same per-PE tiles must not slow things
+// down, and should speed up a compute-bound layer.
+func TestMorePEsHelpComputeBound(t *testing.T) {
+	l := workload.Layer{Name: "conv", Type: workload.Conv, K: 64, C: 64, Y: 16, X: 16, R: 3, S: 3}
+	tile := workload.Vector{4, 64, 2, 2, 3, 3}
+	mk := func() mapping.Mapping {
+		return mapping.Mapping{Levels: []mapping.Level{
+			{Spatial: workload.K, Order: orderOf(workload.C, workload.Y, workload.X, workload.K), Tiles: workload.Vector{1, 8, 1, 1, 3, 3}},
+			{Spatial: workload.Y, Order: mapping.CanonicalOrder(), Tiles: tile},
+		}}
+	}
+	small, err := Analyze(hw2L(4, 4), mk(), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Analyze(hw2L(8, 8), mk(), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Cycles > small.Cycles {
+		t.Errorf("more PEs slower: %g > %g", big.Cycles, small.Cycles)
+	}
+}
+
+// Ragged tiles (non-divisors) charge padding MACs; divisor tiles don't.
+func TestDivisorTilesAvoidPadding(t *testing.T) {
+	l := workload.Layer{Name: "l", Type: workload.GEMM, K: 28, C: 8, Y: 1, X: 1, R: 1, S: 1}
+	mk := func(kt int) mapping.Mapping {
+		return mapping.Mapping{Levels: []mapping.Level{{
+			Spatial: workload.X,
+			Order:   mapping.CanonicalOrder(),
+			Tiles:   workload.Vector{kt, 8, 1, 1, 1, 1},
+		}}}
+	}
+	even, err := Analyze(hw1PE(), mk(7), l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ragged, err := Analyze(hw1PE(), mk(5), l) // ceil(28/5)=6 tiles → 30 K-extent
+	if err != nil {
+		t.Fatal(err)
+	}
+	if even.MappedMACs != float64(l.MACs()) {
+		t.Errorf("divisor tiling padded MACs: %g vs %d", even.MappedMACs, l.MACs())
+	}
+	if ragged.MappedMACs <= even.MappedMACs {
+		t.Errorf("ragged tiling should pad MACs: %g vs %g", ragged.MappedMACs, even.MappedMACs)
+	}
+}
+
+// With off-chip bandwidth explicitly modeled, an embedding-style gather
+// (no reuse) must be DRAM-bandwidth-bound; without it the same layer runs
+// faster (the MAESTRO-style overlapped-prefetch default).
+func TestMemoryBoundLayerHitsDRAMFloor(t *testing.T) {
+	l := workload.Layer{Name: "emb", Type: workload.GEMM, K: 512, C: 1, Y: 1, X: 1, R: 1, S: 1}
+	m := fullTileMapping(l, 1)
+	hw := hw1PE()
+	hw.DRAMWordsPerCycle = 0.25 // slow off-chip link
+	r, err := Analyze(hw, m, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := r.DRAMWords / hw.DRAMWordsPerCycle
+	if r.Cycles < floor {
+		t.Errorf("Cycles %g below DRAM floor %g", r.Cycles, floor)
+	}
+	if r.Utilization > 0.9 {
+		t.Errorf("memory-bound layer reports %.2f utilization", r.Utilization)
+	}
+	noDram := hw1PE()
+	r2, err := Analyze(noDram, m, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Cycles >= r.Cycles {
+		t.Errorf("unmodeled DRAM (%g) should not be slower than modeled (%g)", r2.Cycles, r.Cycles)
+	}
+	if r2.DRAMWords != r.DRAMWords {
+		t.Error("DRAM traffic accounting must not depend on the latency floor")
+	}
+}
+
+func TestBufferRequirementFormulas(t *testing.T) {
+	// Conv tile K=4, C=2, Y=3, X=3, R=3, S=3 (stride 1):
+	// W = 4*2*3*3 = 72; I = 2*(3+2)*(3+2) = 50; O = 4*3*3 = 36.
+	l := workload.Layer{Name: "l", Type: workload.Conv, K: 8, C: 4, Y: 6, X: 6, R: 3, S: 3}
+	m := mapping.Mapping{Levels: []mapping.Level{{
+		Spatial: workload.K,
+		Order:   mapping.CanonicalOrder(),
+		Tiles:   workload.Vector{4, 2, 3, 3, 3, 3},
+	}}}
+	hw := arch.HW{Fanouts: []int{1}, BufBytes: []int64{1 << 20}}
+	r, err := Analyze(hw, m, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := r.Levels[0].BufferWords
+	if b.Weights != 72 || b.Inputs != 50 || b.Outputs != 36 {
+		t.Errorf("BufferWords = %+v, want W=72 I=50 O=36", b)
+	}
+	// Double-buffered bytes at 2 B/word: (72+50+36)*2*2 = 632.
+	req := r.BufReqBytes(2)
+	if req[0] != 632 {
+		t.Errorf("BufReqBytes = %d, want 632", req[0])
+	}
+}
+
+func TestSpatialUnionBufferAtOuterLevel(t *testing.T) {
+	l := workload.Layer{Name: "l", Type: workload.GEMM, K: 64, C: 16, Y: 1, X: 1, R: 1, S: 1}
+	m := mapping.Mapping{Levels: []mapping.Level{
+		{Spatial: workload.K, Order: mapping.CanonicalOrder(), Tiles: workload.Vector{1, 16, 1, 1, 1, 1}},
+		{Spatial: workload.K, Order: mapping.CanonicalOrder(), Tiles: workload.Vector{4, 16, 1, 1, 1, 1}},
+	}}
+	hw := hw2L(4, 8) // 4 PEs per array, 8 arrays
+	r, err := Analyze(hw, m, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Top level: chunks of K = 64/4 = 16, occupancy min(16,8) = 8.
+	if occ := r.Levels[1].Occupancy; occ != 8 {
+		t.Errorf("top occupancy = %d, want 8", occ)
+	}
+	// Top buffer weights = union K extent (8*4=32) × C 16 = 512 words.
+	if w := r.Levels[1].BufferWords.Weights; w != 512 {
+		t.Errorf("top weight buffer = %g, want 512", w)
+	}
+}
+
+func TestDepthwiseRelevance(t *testing.T) {
+	l := workload.Layer{Name: "dw", Type: workload.DepthwiseConv, K: 32, C: 1, Y: 8, X: 8, R: 3, S: 3}
+	m := mapping.Mapping{Levels: []mapping.Level{{
+		Spatial: workload.K,
+		Order:   mapping.CanonicalOrder(),
+		Tiles:   workload.Vector{4, 1, 8, 8, 3, 3},
+	}}}
+	hw := arch.HW{Fanouts: []int{8}, BufBytes: []int64{1 << 20}}
+	r, err := Analyze(hw, m, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inputs depend on K for depthwise: spatial K parallelism must
+	// partition the input (no multicast) → buffer input channels = 4.
+	wantI := 4.0 * 10 * 10 // per-PE tile: 4 ch × (8+2)² halo
+	if got := r.Levels[0].BufferWords.Inputs; got != wantI {
+		t.Errorf("depthwise input buffer = %g, want %g", got, wantI)
+	}
+}
+
+func TestFitsBuffers(t *testing.T) {
+	l := workload.Layer{Name: "l", Type: workload.GEMM, K: 64, C: 64, Y: 1, X: 1, R: 1, S: 1}
+	m := fullTileMapping(l, 1)
+	r, err := Analyze(hw1PE(), m, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := r.FitsBuffers(hw1PE()); !ok {
+		t.Error("1 MB buffer rejected for a 4K-word tile")
+	}
+	tiny := arch.HW{Fanouts: []int{1}, BufBytes: []int64{64}}
+	if ok, lvl := r.FitsBuffers(tiny); ok || lvl != 0 {
+		t.Errorf("FitsBuffers(tiny) = %v, %d; want false, 0", ok, lvl)
+	}
+}
+
+func TestEnergyPositiveAndOrdered(t *testing.T) {
+	l := workload.Layer{Name: "conv", Type: workload.Conv, K: 32, C: 16, Y: 8, X: 8, R: 3, S: 3}
+	m := mapping.Mapping{Levels: []mapping.Level{
+		{Spatial: workload.K, Order: mapping.CanonicalOrder(), Tiles: workload.Vector{2, 4, 2, 2, 3, 3}},
+		{Spatial: workload.C, Order: mapping.CanonicalOrder(), Tiles: workload.Vector{8, 8, 4, 4, 3, 3}},
+	}}
+	r, err := Analyze(hw2L(4, 4), m, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := r.EnergyPJ(arch.DefaultEnergyModel())
+	if e <= 0 || math.IsNaN(e) {
+		t.Errorf("energy = %g", e)
+	}
+	if r.L1Words < 2*r.MappedMACs {
+		t.Errorf("L1 words %g below operand-read floor %g", r.L1Words, 2*r.MappedMACs)
+	}
+}
+
+// Property: random legal mappings never produce NaN/negative metrics and
+// keep utilization in (0, 1].
+func TestAnalyzeInvariantsOnRandomMappings(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	layers := []workload.Layer{
+		{Name: "conv", Type: workload.Conv, K: 64, C: 32, Y: 28, X: 28, R: 3, S: 3},
+		{Name: "dw", Type: workload.DepthwiseConv, K: 96, C: 1, Y: 14, X: 14, R: 5, S: 5},
+		{Name: "fc", Type: workload.GEMM, K: 1000, C: 512, Y: 1, X: 1, R: 1, S: 1},
+		{Name: "strided", Type: workload.Conv, K: 64, C: 3, Y: 112, X: 112, R: 7, S: 7, StrideY: 2, StrideX: 2},
+	}
+	for _, l := range layers {
+		for trial := 0; trial < 150; trial++ {
+			levels := 2
+			if trial%3 == 0 {
+				levels = 3
+			}
+			m := mapping.Random(rng, l, levels)
+			fan := make([]int, levels)
+			buf := make([]int64, levels)
+			for i := range fan {
+				fan[i] = 1 << uint(rng.Intn(6))
+				buf[i] = 1 << 24
+			}
+			hw := arch.HW{Fanouts: fan, BufBytes: buf}
+			r, err := Analyze(hw, m, l)
+			if err != nil {
+				t.Fatalf("%s trial %d: %v", l.Name, trial, err)
+			}
+			if math.IsNaN(r.Cycles) || math.IsInf(r.Cycles, 0) || r.Cycles <= 0 {
+				t.Fatalf("%s trial %d: bad cycles %g", l.Name, trial, r.Cycles)
+			}
+			if r.Utilization <= 0 || r.Utilization > 1.0+1e-9 {
+				t.Fatalf("%s trial %d: utilization %g out of (0,1]", l.Name, trial, r.Utilization)
+			}
+			if r.MappedMACs < float64(l.MACs()) {
+				t.Fatalf("%s trial %d: mapped MACs %g below layer MACs %d", l.Name, trial, r.MappedMACs, l.MACs())
+			}
+			if r.DRAMWords <= 0 || r.NoCWords < r.DRAMWords {
+				t.Fatalf("%s trial %d: traffic inconsistency dram=%g noc=%g", l.Name, trial, r.DRAMWords, r.NoCWords)
+			}
+			for li, lv := range r.Levels {
+				if lv.Occupancy < 1 || lv.Occupancy > lv.Fanout {
+					t.Fatalf("%s trial %d level %d: occupancy %d of %d", l.Name, trial, li, lv.Occupancy, lv.Fanout)
+				}
+				if lv.BufferWords.Total() <= 0 {
+					t.Fatalf("%s trial %d level %d: empty buffer req", l.Name, trial, li)
+				}
+			}
+		}
+	}
+}
+
+// Latency must never beat the compute roofline MACs/PEs.
+func TestRooflineLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	l := workload.Layer{Name: "conv", Type: workload.Conv, K: 128, C: 64, Y: 14, X: 14, R: 3, S: 3}
+	for trial := 0; trial < 100; trial++ {
+		m := mapping.Random(rng, l, 2)
+		hw := hw2L(1<<uint(rng.Intn(5)), 1<<uint(rng.Intn(5)))
+		r, err := Analyze(hw, m, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cycles < r.ComputeOnly {
+			t.Fatalf("trial %d: cycles %g below roofline %g", trial, r.Cycles, r.ComputeOnly)
+		}
+	}
+}
+
+func TestTensorString(t *testing.T) {
+	if Weights.String() != "W" || Inputs.String() != "I" || Outputs.String() != "O" {
+		t.Error("tensor names wrong")
+	}
+	if Tensor(9).String() == "" {
+		t.Error("out-of-range tensor name empty")
+	}
+}
+
+// An explicit NoC model must reshape both latency (bandwidth) and energy
+// (hop count): a crossbar outruns a bus, a mesh pays hop energy.
+func TestExplicitNoCModel(t *testing.T) {
+	l := workload.Layer{Name: "conv", Type: workload.Conv, K: 64, C: 64, Y: 14, X: 14, R: 3, S: 3}
+	m := mapping.Mapping{Levels: []mapping.Level{
+		{Spatial: workload.K, Order: mapping.CanonicalOrder(), Tiles: workload.Vector{1, 64, 1, 1, 3, 3}},
+		{Spatial: workload.Y, Order: mapping.CanonicalOrder(), Tiles: workload.Vector{16, 64, 1, 14, 3, 3}},
+	}}
+	base := arch.HW{Fanouts: []int{16, 14}, BufBytes: []int64{1 << 20, 1 << 24}}
+
+	busHW := base
+	busHW.NoC = []noc.Config{
+		{Topology: noc.Bus, LinkWords: 2},
+		{Topology: noc.Bus, LinkWords: 2},
+	}
+	xbarHW := base
+	xbarHW.NoC = []noc.Config{
+		{Topology: noc.Crossbar, LinkWords: 2},
+		{Topology: noc.Crossbar, LinkWords: 2},
+	}
+	meshHW := base
+	meshHW.NoC = []noc.Config{
+		{Topology: noc.Mesh1D, LinkWords: 2},
+		{Topology: noc.Mesh1D, LinkWords: 2},
+	}
+
+	rBus, err := Analyze(busHW, m, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rXbar, err := Analyze(xbarHW, m, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rMesh, err := Analyze(meshHW, m, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rXbar.Cycles > rBus.Cycles {
+		t.Errorf("crossbar (%g) slower than bus (%g)", rXbar.Cycles, rBus.Cycles)
+	}
+	if rMesh.NoCWords <= rBus.NoCWords {
+		t.Errorf("mesh hop-words (%g) not above bus (%g)", rMesh.NoCWords, rBus.NoCWords)
+	}
+}
+
+func TestDetailReport(t *testing.T) {
+	l := workload.Layer{Name: "conv", Type: workload.Conv, K: 32, C: 16, Y: 8, X: 8, R: 3, S: 3}
+	m := mapping.Mapping{Levels: []mapping.Level{
+		{Spatial: workload.K, Order: mapping.CanonicalOrder(), Tiles: workload.Vector{2, 4, 2, 2, 3, 3}},
+		{Spatial: workload.C, Order: mapping.CanonicalOrder(), Tiles: workload.Vector{8, 8, 4, 4, 3, 3}},
+	}}
+	r, err := Analyze(hw2L(4, 4), m, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Detail(arch.DefaultEnergyModel(), l.MACs())
+	for _, want := range []string{"latency", "utilization", "level 1", "level 2",
+		"buffer demand", "ingress", "padding"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Detail missing %q:\n%s", want, s)
+		}
+	}
+	// Without true MACs, the padding note disappears.
+	s2 := r.Detail(arch.DefaultEnergyModel(), 0)
+	if strings.Contains(s2, "padding") {
+		t.Error("padding line present without true MAC count")
+	}
+}

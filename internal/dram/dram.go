@@ -1,0 +1,153 @@
+// Package dram models the off-chip memory behind the accelerator's global
+// buffer: a banked DRAM with row-buffer locality, burst transfers and the
+// activate/precharge energy asymmetry. The cost model's optional off-chip
+// bandwidth floor (arch.HW.DRAMWordsPerCycle) and the energy model's
+// per-word DRAM cost (arch.EnergyModel.DRAMpJ) can both be derived from
+// this model instead of being free parameters, so studies that do model
+// off-chip effects (the paper's MAESTRO setup does not) stay physical.
+package dram
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config describes one DRAM channel in accelerator-clock units.
+type Config struct {
+	BurstWords    int     // words per burst transfer (default 16 ≈ BL8 ×64-bit at 2B words)
+	BurstCycles   float64 // accelerator cycles per burst on the data bus (default 4)
+	RowMissCycles float64 // extra cycles per row-buffer miss: precharge+activate (default 24)
+	RowWords      int     // words per DRAM row (default 1024 ≈ 2 KB rows)
+	Banks         int     // banks for miss overlapping (default 8)
+
+	ReadPJPerWord     float64 // array read/write energy per word (default 15)
+	ActivatePJ        float64 // energy per row activation (default 900)
+	IOPerWordPJ       float64 // interface/termination energy per word (default 10)
+	BackgroundPWCycle float64 // background power per accelerator cycle (pW·cycle, optional)
+}
+
+// DDR4 returns a configuration calibrated to a DDR4-3200 x64 channel seen
+// from a 1 GHz accelerator with 2-byte words.
+func DDR4() Config {
+	return Config{
+		BurstWords:    16,
+		BurstCycles:   4,
+		RowMissCycles: 24,
+		RowWords:      1024,
+		Banks:         8,
+		ReadPJPerWord: 15,
+		ActivatePJ:    900,
+		IOPerWordPJ:   10,
+	}
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	d := DDR4()
+	if c.BurstWords <= 0 {
+		c.BurstWords = d.BurstWords
+	}
+	if c.BurstCycles <= 0 {
+		c.BurstCycles = d.BurstCycles
+	}
+	if c.RowMissCycles <= 0 {
+		c.RowMissCycles = d.RowMissCycles
+	}
+	if c.RowWords <= 0 {
+		c.RowWords = d.RowWords
+	}
+	if c.Banks <= 0 {
+		c.Banks = d.Banks
+	}
+	if c.ReadPJPerWord <= 0 {
+		c.ReadPJPerWord = d.ReadPJPerWord
+	}
+	if c.ActivatePJ <= 0 {
+		c.ActivatePJ = d.ActivatePJ
+	}
+	if c.IOPerWordPJ <= 0 {
+		c.IOPerWordPJ = d.IOPerWordPJ
+	}
+	return c
+}
+
+// Validate rejects non-physical configurations.
+func (c Config) Validate() error {
+	if c.BurstWords < 0 || c.RowWords < 0 || c.Banks < 0 {
+		return errors.New("dram: negative structural parameter")
+	}
+	if c.BurstCycles < 0 || c.RowMissCycles < 0 {
+		return errors.New("dram: negative timing")
+	}
+	c = c.withDefaults()
+	if c.BurstWords > c.RowWords {
+		return fmt.Errorf("dram: burst (%d words) exceeds row (%d words)", c.BurstWords, c.RowWords)
+	}
+	return nil
+}
+
+// clampHitRate forces r into [0,1].
+func clampHitRate(r float64) float64 {
+	if r < 0 {
+		return 0
+	}
+	if r > 1 {
+		return 1
+	}
+	return r
+}
+
+// WordsPerCycle returns the sustained bandwidth (words per accelerator
+// cycle) for a stream with the given row-buffer hit rate. Misses cost
+// RowMissCycles amortized across the banks (bank-level parallelism hides
+// part of the latency).
+func (c Config) WordsPerCycle(rowHitRate float64) float64 {
+	c = c.withDefaults()
+	hit := clampHitRate(rowHitRate)
+	perBurst := c.BurstCycles
+	missRatePerBurst := (1 - hit) * float64(c.BurstWords) / float64(c.RowWords)
+	// A fully random stream (hit 0) misses once per burst at most.
+	if missRatePerBurst > 1 {
+		missRatePerBurst = 1
+	}
+	if hit == 0 {
+		missRatePerBurst = 1
+	}
+	perBurst += missRatePerBurst * c.RowMissCycles / float64(c.Banks)
+	return float64(c.BurstWords) / perBurst
+}
+
+// PJPerWord returns the energy per word for a stream with the given
+// row-buffer hit rate: array access + interface, plus the activation
+// energy amortized over the words read per activation.
+func (c Config) PJPerWord(rowHitRate float64) float64 {
+	c = c.withDefaults()
+	hit := clampHitRate(rowHitRate)
+	wordsPerAct := float64(c.RowWords)
+	if hit < 1 {
+		// With hit rate h, an activation serves on average
+		// burst/(1-h) words, capped by the row size.
+		wordsPerAct = float64(c.BurstWords) / (1 - hit)
+		if wordsPerAct > float64(c.RowWords) {
+			wordsPerAct = float64(c.RowWords)
+		}
+	}
+	return c.ReadPJPerWord + c.IOPerWordPJ + c.ActivatePJ/wordsPerAct
+}
+
+// StreamHitRate estimates the row-buffer hit rate of an access stream that
+// reads contiguous chunks of chunkWords separated by arbitrary jumps: the
+// first burst of every row touched misses, every other burst hits.
+func (c Config) StreamHitRate(chunkWords int) float64 {
+	c = c.withDefaults()
+	if chunkWords <= c.BurstWords {
+		return 0
+	}
+	bursts := (chunkWords + c.BurstWords - 1) / c.BurstWords
+	rows := 1 + (chunkWords-1)/c.RowWords
+	hit := 1 - float64(rows)/float64(bursts)
+	if hit < 0 {
+		hit = 0
+	}
+	return hit
+}

@@ -1,0 +1,101 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DDR4().Validate(); err != nil {
+		t.Errorf("DDR4 invalid: %v", err)
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config (defaults) invalid: %v", err)
+	}
+	bad := Config{BurstWords: 4096, RowWords: 16}
+	if err := bad.Validate(); err == nil {
+		t.Error("burst > row accepted")
+	}
+	if err := (Config{BurstCycles: -1}).Validate(); err == nil {
+		t.Error("negative timing accepted")
+	}
+}
+
+func TestBandwidthHitRateOrdering(t *testing.T) {
+	c := DDR4()
+	seq := c.WordsPerCycle(1.0)
+	mid := c.WordsPerCycle(0.5)
+	rnd := c.WordsPerCycle(0.0)
+	if !(seq > mid && mid > rnd) {
+		t.Errorf("bandwidth not ordered: %g / %g / %g", seq, mid, rnd)
+	}
+	// Fully sequential: pure burst rate.
+	if want := float64(c.BurstWords) / c.BurstCycles; seq != want {
+		t.Errorf("sequential BW = %g, want %g", seq, want)
+	}
+	// Fully random still makes progress.
+	if rnd <= 0 {
+		t.Errorf("random BW = %g", rnd)
+	}
+}
+
+func TestEnergyHitRateOrdering(t *testing.T) {
+	c := DDR4()
+	seq := c.PJPerWord(1.0)
+	rnd := c.PJPerWord(0.0)
+	if seq >= rnd {
+		t.Errorf("sequential energy %g not below random %g", seq, rnd)
+	}
+	// Sequential floor: array + IO + activate amortized over a full row.
+	want := c.ReadPJPerWord + c.IOPerWordPJ + c.ActivatePJ/float64(c.RowWords)
+	if seq != want {
+		t.Errorf("sequential pJ/word = %g, want %g", seq, want)
+	}
+}
+
+func TestStreamHitRate(t *testing.T) {
+	c := DDR4()
+	if h := c.StreamHitRate(1); h != 0 {
+		t.Errorf("single-word stream hit = %g", h)
+	}
+	if h := c.StreamHitRate(c.BurstWords); h != 0 {
+		t.Errorf("one-burst stream hit = %g", h)
+	}
+	long := c.StreamHitRate(c.RowWords)
+	if long < 0.9 {
+		t.Errorf("row-long stream hit = %g, want ≥ 0.9", long)
+	}
+	if c.StreamHitRate(64) >= long {
+		t.Error("short chunk should hit less than long chunk")
+	}
+}
+
+// Properties: bandwidth and energy stay positive and finite for any hit
+// rate, including out-of-range inputs.
+func TestDRAMProperties(t *testing.T) {
+	c := DDR4()
+	f := func(raw int16) bool {
+		hit := float64(raw) / 1000
+		bw := c.WordsPerCycle(hit)
+		pj := c.PJPerWord(hit)
+		return bw > 0 && bw <= float64(c.BurstWords)/c.BurstCycles+1e-9 && pj > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Integration sanity: plugging DRAM-derived numbers into the latency floor
+// keeps them in a realistic band (a 1 GHz accelerator sees a few words per
+// cycle from one channel).
+func TestRealisticBand(t *testing.T) {
+	c := DDR4()
+	bw := c.WordsPerCycle(0.9)
+	if bw < 1 || bw > 8 {
+		t.Errorf("DDR4 @ 90%% hits = %g words/cycle, expected 1-8", bw)
+	}
+	pj := c.PJPerWord(0.9)
+	if pj < 20 || pj > 200 {
+		t.Errorf("DDR4 @ 90%% hits = %g pJ/word, expected 20-200", pj)
+	}
+}

@@ -1,0 +1,284 @@
+// Package figures regenerates the paper's evaluation artifacts: the
+// algorithm-comparison tables of Fig. 5, the scheme-comparison table of
+// Fig. 6 and the solution walk-through of Fig. 7. The same runners back
+// cmd/experiments and the repository's benchmark harness.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"digamma/internal/arch"
+	"digamma/internal/coopt"
+	"digamma/internal/core"
+	"digamma/internal/opt"
+	"digamma/internal/schemes"
+	"digamma/internal/tables"
+	"digamma/internal/workload"
+)
+
+// Options controls an experiment run.
+type Options struct {
+	Budget int      // sampling budget per algorithm run (paper: 40000)
+	Seed   int64    // RNG seed; runs are deterministic given a seed
+	Models []string // model subset; nil = the full 7-model zoo
+	Log    io.Writer
+}
+
+// withDefaults normalizes the options.
+func (o Options) withDefaults() Options {
+	if o.Budget <= 0 {
+		o.Budget = 2000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.Models) == 0 {
+		o.Models = append([]string(nil), workload.ModelNames...)
+	}
+	if o.Log == nil {
+		o.Log = io.Discard
+	}
+	return o
+}
+
+// AlgorithmNames lists the Fig. 5 columns: the eight baselines plus
+// DiGamma.
+func AlgorithmNames() []string {
+	return append(append([]string(nil), opt.BaselineNames...), "DiGamma")
+}
+
+// runAlgorithm executes one algorithm on one co-opt problem and returns
+// the best evaluation (nil best means the run produced nothing valid).
+func runAlgorithm(name string, p *coopt.Problem, budget int, seed int64) (*coopt.Evaluation, error) {
+	if name == "DiGamma" {
+		r, err := core.Optimize(p, budget, seed)
+		if err != nil {
+			return nil, err
+		}
+		return r.Best, nil
+	}
+	o, err := opt.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.RunVector(o, budget, seed)
+}
+
+// Fig5 reproduces the algorithm comparison for one platform: latency and
+// latency-area-product per model per algorithm, both normalized to CMA
+// (the paper's reference baseline). Invalid results render as N/A.
+func Fig5(platform arch.Platform, o Options) (latency, latArea *tables.Table, err error) {
+	o = o.withDefaults()
+	algs := AlgorithmNames()
+	latency = tables.NewTable(
+		fmt.Sprintf("Fig. 5 (%s): latency, normalized to CMA (lower is better)", platform.Name), algs...)
+	latArea = tables.NewTable(
+		fmt.Sprintf("Fig. 5 (%s): latency-area-product, normalized to CMA (lower is better)", platform.Name), algs...)
+
+	for _, modelName := range o.Models {
+		model, err := workload.ByName(modelName)
+		if err != nil {
+			return nil, nil, err
+		}
+		latRow := make([]float64, len(algs))
+		lapRow := make([]float64, len(algs))
+		for ai, alg := range algs {
+			p, err := coopt.NewProblem(model, platform, coopt.Latency)
+			if err != nil {
+				return nil, nil, err
+			}
+			ev, err := runAlgorithm(alg, p, o.Budget, o.Seed+int64(ai))
+			if err != nil {
+				return nil, nil, err
+			}
+			if ev == nil || !ev.Valid {
+				latRow[ai] = math.NaN()
+				lapRow[ai] = math.NaN()
+				fmt.Fprintf(o.Log, "fig5 %s/%s/%s: N/A\n", platform.Name, modelName, alg)
+				continue
+			}
+			latRow[ai] = ev.Cycles
+			lapRow[ai] = ev.LatAreaProd
+			fmt.Fprintf(o.Log, "fig5 %s/%s/%s: %.3e cycles, %.4f mm²\n",
+				platform.Name, modelName, alg, ev.Cycles, ev.Area.Total())
+		}
+		latency.SetRow(modelName, latRow)
+		latArea.SetRow(modelName, lapRow)
+	}
+	if err := latency.NormalizeBy("CMA"); err != nil {
+		return nil, nil, err
+	}
+	if err := latArea.NormalizeBy("CMA"); err != nil {
+		return nil, nil, err
+	}
+	latency.AddGeoMeanRow()
+	latArea.AddGeoMeanRow()
+	return latency, latArea, nil
+}
+
+// Fig6SchemeNames lists the Fig. 6 columns in the paper's order.
+func Fig6SchemeNames() []string {
+	return []string{
+		"Grid-S+dla-like", "Grid-S+shi-like", "Grid-S+eye-like",
+		"Buffer-focused+Gamma", "Medium-Buf-Com+Gamma", "Compute-focused+Gamma",
+		"DiGamma",
+	}
+}
+
+// Fig6 reproduces the scheme comparison for one platform: HW-opt (grid
+// search over HW with fixed mapping styles), Mapping-opt (GAMMA on fixed
+// HW configurations) and DiGamma co-optimization, normalized to the best
+// baseline (Compute-focused+Gamma).
+func Fig6(platform arch.Platform, o Options) (*tables.Table, error) {
+	o = o.withDefaults()
+	cols := Fig6SchemeNames()
+	tb := tables.NewTable(
+		fmt.Sprintf("Fig. 6 (%s): latency, normalized to Compute-focused+Gamma (lower is better)", platform.Name),
+		cols...)
+
+	for _, modelName := range o.Models {
+		model, err := workload.ByName(modelName)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(cols))
+		ci := 0
+
+		// HW-opt: grid search × 3 mapping styles.
+		for _, style := range schemes.AllStyles {
+			res, err := schemes.GridSearchHW(style, model, platform, coopt.Latency)
+			if err != nil {
+				return nil, err
+			}
+			row[ci] = evCycles(res.Best)
+			fmt.Fprintf(o.Log, "fig6 %s/%s/%s: %s\n", platform.Name, modelName, cols[ci], tables.Cell(row[ci]))
+			ci++
+		}
+
+		// Mapping-opt: GAMMA on the three fixed HW configurations.
+		p, err := coopt.NewProblem(model, platform, coopt.Latency)
+		if err != nil {
+			return nil, err
+		}
+		for fi, focus := range schemes.AllFocuses {
+			hw := schemes.FixedHW(focus, platform)
+			r, err := core.RunGamma(p, hw, o.Budget, o.Seed+int64(fi))
+			if err != nil {
+				return nil, err
+			}
+			row[ci] = evCycles(r.Best)
+			fmt.Fprintf(o.Log, "fig6 %s/%s/%s: %s\n", platform.Name, modelName, cols[ci], tables.Cell(row[ci]))
+			ci++
+		}
+
+		// HW-Map-co-opt: DiGamma.
+		r, err := core.Optimize(p, o.Budget, o.Seed+17)
+		if err != nil {
+			return nil, err
+		}
+		row[ci] = evCycles(r.Best)
+		fmt.Fprintf(o.Log, "fig6 %s/%s/DiGamma: %s\n", platform.Name, modelName, tables.Cell(row[ci]))
+
+		tb.SetRow(modelName, row)
+	}
+	if err := tb.NormalizeBy("Compute-focused+Gamma"); err != nil {
+		return nil, err
+	}
+	tb.AddGeoMeanRow()
+	return tb, nil
+}
+
+func evCycles(ev *coopt.Evaluation) float64 {
+	if ev == nil || !ev.Valid {
+		return math.NaN()
+	}
+	return ev.Cycles
+}
+
+// Fig7Solution is one scheme's found design point for the Fig. 7
+// walk-through.
+type Fig7Solution struct {
+	Scheme     string
+	Evaluation *coopt.Evaluation
+}
+
+// Fig7 reproduces the solution explanation: MnasNet at edge resources
+// under HW-opt (Grid-S + dla-like), Mapping-opt (Compute-focused + Gamma)
+// and DiGamma, with the found genes and the latency/area/product summary.
+func Fig7(o Options) ([]Fig7Solution, *tables.Table, error) {
+	o = o.withDefaults()
+	platform := arch.Edge()
+	model, err := workload.ByName("mnasnet")
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var sols []Fig7Solution
+
+	grid, err := schemes.GridSearchHW(schemes.DLALike, model, platform, coopt.Latency)
+	if err != nil {
+		return nil, nil, err
+	}
+	sols = append(sols, Fig7Solution{"HW-opt (Grid-S + dla-like)", grid.Best})
+
+	p, err := coopt.NewProblem(model, platform, coopt.Latency)
+	if err != nil {
+		return nil, nil, err
+	}
+	hw := schemes.FixedHW(schemes.ComputeFocused, platform)
+	gamma, err := core.RunGamma(p, hw, o.Budget, o.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	sols = append(sols, Fig7Solution{"Mapping-opt (Compute-focused + Gamma)", gamma.Best})
+
+	dg, err := core.Optimize(p, o.Budget, o.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	sols = append(sols, Fig7Solution{"HW-Map-co-opt (DiGamma)", dg.Best})
+
+	tb := tables.NewTable("Fig. 7: MnasNet at edge resources",
+		"Latency(cycles)", "Area(mm2)", "Lat-Area-Prod", "PE%", "Buf%")
+	for _, s := range sols {
+		ev := s.Evaluation
+		if ev == nil {
+			tb.SetRow(s.Scheme, []float64{math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN()})
+			continue
+		}
+		pe, buf := ev.Area.Ratio()
+		tb.SetRow(s.Scheme, []float64{ev.Cycles, ev.Area.Total(), ev.LatAreaProd, float64(pe), float64(buf)})
+	}
+	return sols, tb, nil
+}
+
+// RenderFig7 renders the Fig. 7 solutions with their gene tables, in the
+// spirit of the paper's figure.
+func RenderFig7(sols []Fig7Solution, tb *tables.Table) string {
+	var b strings.Builder
+	for _, s := range sols {
+		fmt.Fprintf(&b, "=== %s ===\n", s.Scheme)
+		if s.Evaluation == nil {
+			b.WriteString("(no valid solution)\n")
+			continue
+		}
+		fmt.Fprintf(&b, "HW: %s\n", s.Evaluation.HW)
+		fmt.Fprintf(&b, "Area: %s\n", s.Evaluation.Area)
+		// Show the genes of the heaviest layer, as the paper does for one
+		// representative layer.
+		hi, heavy := 0, int64(0)
+		for li, le := range s.Evaluation.Layers {
+			w := le.Layer.MACs() * int64(le.Layer.Multiplicity())
+			if w > heavy {
+				heavy, hi = w, li
+			}
+		}
+		le := s.Evaluation.Layers[hi]
+		fmt.Fprintf(&b, "Mapping of %s: %s\n\n", le.Layer.Name, s.Evaluation.Genome.Maps[hi])
+	}
+	b.WriteString(tb.Render())
+	return b.String()
+}

@@ -1,0 +1,220 @@
+package figures
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"digamma/internal/arch"
+)
+
+// Small budgets keep these integration tests fast; the shapes they assert
+// are budget-independent.
+func fastOpts(models ...string) Options {
+	return Options{Budget: 150, Seed: 7, Models: models}
+}
+
+func TestFig5SmallRun(t *testing.T) {
+	lat, lap, err := Fig5(arch.Edge(), fastOpts("ncf", "dlrm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	algs := AlgorithmNames()
+	if len(algs) != 9 || algs[len(algs)-1] != "DiGamma" {
+		t.Fatalf("algorithms = %v", algs)
+	}
+	for _, tb := range []*stringer{{lat.Render()}, {lap.Render()}} {
+		for _, want := range []string{"ncf", "dlrm", "GeoMean", "CMA", "DiGamma"} {
+			if !strings.Contains(tb.s, want) {
+				t.Errorf("table missing %q:\n%s", want, tb.s)
+			}
+		}
+	}
+	// CMA column must be exactly 1.0 wherever CMA found a valid design
+	// (it is the normalization reference).
+	row, ok := lat.Row("ncf")
+	if !ok {
+		t.Fatal("no ncf row")
+	}
+	cmaIdx := len(algs) - 2
+	if !math.IsNaN(row[cmaIdx]) && math.Abs(row[cmaIdx]-1) > 1e-12 {
+		t.Errorf("CMA normalized value = %g, want 1", row[cmaIdx])
+	}
+}
+
+type stringer struct{ s string }
+
+func TestFig6SmallRun(t *testing.T) {
+	tb, err := Fig6(arch.Edge(), fastOpts("ncf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tb.Render()
+	for _, want := range []string{"Grid-S+dla-like", "Compute-focused+Gamma", "DiGamma", "GeoMean"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("fig6 table missing %q:\n%s", want, s)
+		}
+	}
+	// Reference column must normalize to 1.
+	row, ok := tb.Row("ncf")
+	if !ok {
+		t.Fatal("no ncf row")
+	}
+	ref := -1
+	for i, c := range Fig6SchemeNames() {
+		if c == "Compute-focused+Gamma" {
+			ref = i
+		}
+	}
+	if math.Abs(row[ref]-1) > 1e-12 {
+		t.Errorf("reference column = %g", row[ref])
+	}
+	// The headline qualitative claim at any budget: shi-like collapses on
+	// the GEMM-only NCF versus dla-like.
+	if !(row[1] > row[0]) {
+		t.Errorf("shi-like (%g) not worse than dla-like (%g) on NCF", row[1], row[0])
+	}
+}
+
+func TestFig7SmallRun(t *testing.T) {
+	sols, tb, err := Fig7(Options{Budget: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 3 {
+		t.Fatalf("%d solutions, want 3", len(sols))
+	}
+	out := RenderFig7(sols, tb)
+	for _, want := range []string{"HW-opt", "Mapping-opt", "DiGamma", "Latency", "PE%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig7 output missing %q", want)
+		}
+	}
+	for _, s := range sols {
+		if s.Evaluation == nil {
+			t.Errorf("%s: no solution", s.Scheme)
+			continue
+		}
+		if !s.Evaluation.Valid {
+			t.Errorf("%s: invalid solution", s.Scheme)
+		}
+		if !arch.Edge().Fits(s.Evaluation.HW) {
+			t.Errorf("%s: exceeds edge budget", s.Scheme)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Budget <= 0 || o.Seed == 0 || len(o.Models) != 7 || o.Log == nil {
+		t.Errorf("withDefaults = %+v", o)
+	}
+}
+
+func TestFig5UnknownModel(t *testing.T) {
+	if _, _, err := Fig5(arch.Edge(), fastOpts("some-unknown-net")); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestAblationSmallRun(t *testing.T) {
+	tb, err := Ablation(arch.Edge(), fastOpts("ncf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tb.Render()
+	for _, want := range []string{"DiGamma", "-divisor-tiles", "-greedy-cross", "GeoMean"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("ablation table missing %q:\n%s", want, s)
+		}
+	}
+	row, ok := tb.Row("ncf")
+	if !ok {
+		t.Fatal("no ncf row")
+	}
+	if math.Abs(row[0]-1) > 1e-12 {
+		t.Errorf("reference column = %g, want 1", row[0])
+	}
+}
+
+func TestAblationVariantsDistinct(t *testing.T) {
+	vs := AblationVariants()
+	if len(vs) < 5 {
+		t.Fatalf("only %d variants", len(vs))
+	}
+	if vs[0].Name != "DiGamma" {
+		t.Errorf("first variant = %s, must be the reference", vs[0].Name)
+	}
+	seen := map[string]bool{}
+	for _, v := range vs {
+		if seen[v.Name] {
+			t.Errorf("duplicate variant %s", v.Name)
+		}
+		seen[v.Name] = true
+	}
+	// Each non-reference variant must differ from the default config.
+	def := vs[0].Config
+	for _, v := range vs[1:] {
+		if v.Config == def {
+			t.Errorf("variant %s identical to full DiGamma", v.Name)
+		}
+	}
+}
+
+func TestMultiSeedTable(t *testing.T) {
+	tb, err := MultiSeed(arch.Edge(), "ncf", 3, Options{Budget: 120, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tb.Render()
+	for _, want := range []string{"median", "winVsDiGamma", "DiGamma", "CMA"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("multiseed table missing %q", want)
+		}
+	}
+	// DiGamma never beats itself: win rate 0.
+	row, ok := tb.Row("DiGamma")
+	if !ok {
+		t.Fatal("no DiGamma row")
+	}
+	if row[4] != 0 {
+		t.Errorf("DiGamma win rate vs itself = %g", row[4])
+	}
+	if row[3] < 1 {
+		t.Error("DiGamma found no valid designs across seeds")
+	}
+}
+
+func TestConvergenceTable(t *testing.T) {
+	tb, err := Convergence(arch.Edge(), "ncf", 4, Options{Budget: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tb.Rows()
+	if len(rows) != 4 {
+		t.Fatalf("%d checkpoints, want 4", len(rows))
+	}
+	// Curves must be monotone non-increasing per algorithm.
+	algs := AlgorithmNames()
+	prev := make([]float64, len(algs))
+	for i := range prev {
+		prev[i] = math.Inf(1)
+	}
+	for _, r := range rows {
+		row, _ := tb.Row(r)
+		for ai := range algs {
+			if math.IsNaN(row[ai]) {
+				continue
+			}
+			if row[ai] > prev[ai]+1e-9 {
+				t.Fatalf("%s curve increased at %s: %g > %g", algs[ai], r, row[ai], prev[ai])
+			}
+			prev[ai] = row[ai]
+		}
+	}
+	// DiGamma must have found something valid by the final checkpoint.
+	last, _ := tb.Row(rows[len(rows)-1])
+	if math.IsNaN(last[len(algs)-1]) {
+		t.Error("DiGamma curve empty at final checkpoint")
+	}
+}

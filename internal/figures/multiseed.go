@@ -1,0 +1,75 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+
+	"digamma/internal/arch"
+	"digamma/internal/coopt"
+	"digamma/internal/stats"
+	"digamma/internal/tables"
+	"digamma/internal/workload"
+)
+
+// MultiSeed runs one model × platform slice of the Fig. 5 comparison
+// across several seeds and reports per-algorithm median latency with
+// inter-quartile spread and the per-seed win rate against DiGamma —
+// the statistical robustness check the paper's single-run tables omit.
+func MultiSeed(platform arch.Platform, modelName string, seeds int, o Options) (*tables.Table, error) {
+	o = o.withDefaults()
+	if seeds < 2 {
+		seeds = 5
+	}
+	model, err := workload.ByName(modelName)
+	if err != nil {
+		return nil, err
+	}
+	algs := AlgorithmNames()
+
+	// results[alg][seed] = latency (NaN when invalid).
+	results := make(map[string][]float64, len(algs))
+	for _, alg := range algs {
+		vals := make([]float64, seeds)
+		for s := 0; s < seeds; s++ {
+			p, err := coopt.NewProblem(model, platform, coopt.Latency)
+			if err != nil {
+				return nil, err
+			}
+			ev, err := runAlgorithm(alg, p, o.Budget, o.Seed+int64(s)*1000)
+			if err != nil {
+				return nil, err
+			}
+			if ev == nil || !ev.Valid {
+				vals[s] = math.NaN()
+			} else {
+				vals[s] = ev.Cycles
+			}
+			fmt.Fprintf(o.Log, "multiseed %s/%s/%s seed %d: %s\n",
+				platform.Name, modelName, alg, s, tables.Cell(vals[s]))
+		}
+		results[alg] = vals
+	}
+
+	tb := tables.NewTable(
+		fmt.Sprintf("Multi-seed (%d seeds) latency on %s/%s: median [p25, p75] cycles, win rate vs DiGamma",
+			seeds, modelName, platform.Name),
+		"median", "p25", "p75", "validRuns", "winVsDiGamma")
+	dig := results["DiGamma"]
+	for _, alg := range algs {
+		vals := results[alg]
+		valid := 0
+		for _, v := range vals {
+			if !math.IsNaN(v) {
+				valid++
+			}
+		}
+		tb.SetRow(alg, []float64{
+			stats.Median(vals),
+			stats.Quantile(vals, 0.25),
+			stats.Quantile(vals, 0.75),
+			float64(valid),
+			stats.WinRate(vals, dig),
+		})
+	}
+	return tb, nil
+}

@@ -1,0 +1,144 @@
+// Package mapping represents DNN-accelerator mapping strategies — tiling,
+// loop order, parallelism and clustering — in the per-level form used by
+// the paper's encoding (Fig. 3): each hierarchy level carries a spatial
+// (parallelized) dimension, a temporal loop order over all six dimensions,
+// and a tile size per dimension.
+package mapping
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"digamma/internal/workload"
+)
+
+// Level describes the mapping at one hierarchy level (the paper's
+// L1-config / L2-config rows). Tiles are the per-child tile sizes: at the
+// innermost level the tile one PE computes per iteration, at outer levels
+// the tile one sub-cluster receives per step.
+type Level struct {
+	Spatial workload.Dim                   // the P gene: dimension parallelized across this level's fanout
+	Order   [workload.NumDims]workload.Dim // temporal loop order, outermost first
+	Tiles   workload.Vector                // tile size per dimension (indexed by Dim)
+}
+
+// Mapping is a complete mapping: one Level per hierarchy level,
+// inner-first (Levels[0] = the paper's L1-config). The number of levels is
+// the paper's "clustering" choice.
+type Mapping struct {
+	Levels []Level
+}
+
+// Clone returns a deep copy.
+func (m Mapping) Clone() Mapping {
+	out := Mapping{Levels: make([]Level, len(m.Levels))}
+	copy(out.Levels, m.Levels)
+	return out
+}
+
+// NumLevels returns the clustering depth.
+func (m Mapping) NumLevels() int { return len(m.Levels) }
+
+// CanonicalOrder returns the dimensions in their canonical declaration
+// order, used to initialize Level.Order.
+func CanonicalOrder() [workload.NumDims]workload.Dim {
+	return workload.AllDims
+}
+
+// IsPermutation reports whether order contains each dimension exactly once.
+func IsPermutation(order [workload.NumDims]workload.Dim) bool {
+	var seen [workload.NumDims]bool
+	for _, d := range order {
+		if !d.Valid() || seen[d] {
+			return false
+		}
+		seen[d] = true
+	}
+	return true
+}
+
+// Validate checks structural legality of the mapping against a layer:
+// orders are permutations, spatial dims valid, tiles within bounds and
+// non-decreasing from inner to outer levels.
+func (m Mapping) Validate(layer workload.Layer) error {
+	if len(m.Levels) == 0 {
+		return errors.New("mapping: no levels")
+	}
+	bounds := layer.Dims()
+	for li, lv := range m.Levels {
+		if !lv.Spatial.Valid() {
+			return fmt.Errorf("mapping: level %d: invalid spatial dim %d", li, lv.Spatial)
+		}
+		if !IsPermutation(lv.Order) {
+			return fmt.Errorf("mapping: level %d: order %v is not a permutation", li, lv.Order)
+		}
+		for _, d := range workload.AllDims {
+			t := lv.Tiles[d]
+			if t < 1 || t > bounds[d] {
+				return fmt.Errorf("mapping: level %d: tile %s=%d out of [1,%d]", li, d, t, bounds[d])
+			}
+			if li > 0 && t < m.Levels[li-1].Tiles[d] {
+				return fmt.Errorf("mapping: level %d: tile %s=%d smaller than inner level's %d",
+					li, d, t, m.Levels[li-1].Tiles[d])
+			}
+		}
+	}
+	return nil
+}
+
+// Repair clamps tiles into [1, layer dim], enforces inner≤outer tile
+// monotonicity, and replaces invalid orders/spatial dims with canonical
+// defaults. It returns the repaired mapping (the receiver is not modified).
+func (m Mapping) Repair(layer workload.Layer) Mapping {
+	out := m.Clone()
+	bounds := layer.Dims()
+	for li := range out.Levels {
+		lv := &out.Levels[li]
+		if !lv.Spatial.Valid() {
+			lv.Spatial = workload.K
+		}
+		if !IsPermutation(lv.Order) {
+			lv.Order = CanonicalOrder()
+		}
+		lv.Tiles = lv.Tiles.Clamp(bounds)
+		if li > 0 {
+			lv.Tiles = lv.Tiles.Max(out.Levels[li-1].Tiles)
+		}
+	}
+	return out
+}
+
+// PositionOf returns the index of dim d in the level's loop order
+// (0 = outermost).
+func (lv Level) PositionOf(d workload.Dim) int {
+	for i, o := range lv.Order {
+		if o == d {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders a level in the paper's gene style:
+// "P=K | K:64 C:32 Y:3 X:3 R:3 S:3" with dims listed in loop order.
+func (lv Level) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "P=%s |", lv.Spatial)
+	for _, d := range lv.Order {
+		fmt.Fprintf(&b, " %s:%d", d, lv.Tiles[d])
+	}
+	return b.String()
+}
+
+// String renders all levels outer-first, matching the paper's figures.
+func (m Mapping) String() string {
+	var b strings.Builder
+	for i := len(m.Levels) - 1; i >= 0; i-- {
+		fmt.Fprintf(&b, "L%d[%s]", i+1, m.Levels[i])
+		if i > 0 {
+			b.WriteString(" ")
+		}
+	}
+	return b.String()
+}

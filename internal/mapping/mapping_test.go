@@ -1,0 +1,222 @@
+package mapping
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"digamma/internal/workload"
+)
+
+func testLayer() workload.Layer {
+	return workload.Layer{Name: "t", Type: workload.Conv,
+		K: 64, C: 32, Y: 28, X: 28, R: 3, S: 3}
+}
+
+func legalMapping() Mapping {
+	return Mapping{Levels: []Level{
+		{Spatial: workload.K, Order: CanonicalOrder(),
+			Tiles: workload.Vector{4, 2, 7, 7, 3, 3}},
+		{Spatial: workload.C, Order: CanonicalOrder(),
+			Tiles: workload.Vector{16, 8, 14, 14, 3, 3}},
+	}}
+}
+
+func TestValidateAcceptsLegal(t *testing.T) {
+	if err := legalMapping().Validate(testLayer()); err != nil {
+		t.Errorf("legal mapping rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	l := testLayer()
+	cases := map[string]func(*Mapping){
+		"no levels":      func(m *Mapping) { m.Levels = nil },
+		"bad spatial":    func(m *Mapping) { m.Levels[0].Spatial = workload.NumDims },
+		"dup order":      func(m *Mapping) { m.Levels[0].Order[1] = m.Levels[0].Order[0] },
+		"zero tile":      func(m *Mapping) { m.Levels[0].Tiles[workload.K] = 0 },
+		"oversized tile": func(m *Mapping) { m.Levels[1].Tiles[workload.C] = 1000 },
+		"non-monotone":   func(m *Mapping) { m.Levels[1].Tiles[workload.K] = 1 },
+	}
+	for name, mutate := range cases {
+		m := legalMapping()
+		mutate(&m)
+		if err := m.Validate(l); err == nil {
+			t.Errorf("%s: invalid mapping accepted", name)
+		}
+	}
+}
+
+func TestRepairFixesEverything(t *testing.T) {
+	l := testLayer()
+	m := legalMapping()
+	m.Levels[0].Spatial = workload.NumDims + 3
+	m.Levels[0].Order[0] = m.Levels[0].Order[1]
+	m.Levels[0].Tiles[workload.K] = -5
+	m.Levels[1].Tiles[workload.Y] = 9999
+	m.Levels[1].Tiles[workload.K] = 1 // violates monotonicity vs inner 4... after clamp
+	r := m.Repair(l)
+	if err := r.Validate(l); err != nil {
+		t.Fatalf("repaired mapping still invalid: %v", err)
+	}
+	// Repair must not mutate the receiver.
+	if m.Levels[0].Tiles[workload.K] != -5 {
+		t.Error("Repair mutated its receiver")
+	}
+}
+
+func TestRepairIdempotentOnLegal(t *testing.T) {
+	l := testLayer()
+	m := legalMapping()
+	r := m.Repair(l)
+	for li := range m.Levels {
+		if r.Levels[li] != m.Levels[li] {
+			t.Errorf("Repair changed a legal mapping at level %d", li)
+		}
+	}
+}
+
+func TestIsPermutation(t *testing.T) {
+	if !IsPermutation(CanonicalOrder()) {
+		t.Error("canonical order not a permutation")
+	}
+	bad := CanonicalOrder()
+	bad[0] = bad[1]
+	if IsPermutation(bad) {
+		t.Error("duplicate accepted as permutation")
+	}
+}
+
+func TestPositionOf(t *testing.T) {
+	lv := Level{Order: CanonicalOrder()}
+	for i, d := range workload.AllDims {
+		if got := lv.PositionOf(d); got != i {
+			t.Errorf("PositionOf(%v) = %d, want %d", d, got, i)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := legalMapping()
+	c := m.Clone()
+	c.Levels[0].Tiles[workload.K] = 99
+	if m.Levels[0].Tiles[workload.K] == 99 {
+		t.Error("Clone shares level storage")
+	}
+}
+
+func TestOrderFromKeys(t *testing.T) {
+	keys := [workload.NumDims]float64{0.9, 0.1, 0.5, 0.3, 0.7, 0.2}
+	order := OrderFromKeys(keys)
+	// Sorted keys: C(0.1) S(0.2) X(0.3) Y(0.5) R(0.7) K(0.9)
+	want := [workload.NumDims]workload.Dim{
+		workload.C, workload.S, workload.X, workload.Y, workload.R, workload.K}
+	if order != want {
+		t.Errorf("OrderFromKeys = %v, want %v", order, want)
+	}
+}
+
+// Property: OrderFromKeys always yields a permutation.
+func TestOrderFromKeysPermutationProperty(t *testing.T) {
+	f := func(keys [workload.NumDims]float64) bool {
+		return IsPermutation(OrderFromKeys(keys))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderFromKeysTiesStable(t *testing.T) {
+	var keys [workload.NumDims]float64 // all zero → canonical order
+	if got := OrderFromKeys(keys); got != CanonicalOrder() {
+		t.Errorf("tie-broken order = %v, want canonical", got)
+	}
+}
+
+func TestDivisors(t *testing.T) {
+	cases := map[int][]int{
+		1:  {1},
+		12: {1, 2, 3, 4, 6, 12},
+		13: {1, 13},
+		36: {1, 2, 3, 4, 6, 9, 12, 18, 36},
+		0:  {1},
+	}
+	for n, want := range cases {
+		got := Divisors(n)
+		if len(got) != len(want) {
+			t.Errorf("Divisors(%d) = %v, want %v", n, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("Divisors(%d) = %v, want %v", n, got, want)
+				break
+			}
+		}
+	}
+}
+
+// Property: every divisor divides, list is sorted ascending.
+func TestDivisorsProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		n := int(raw)%500 + 1
+		ds := Divisors(n)
+		for i, d := range ds {
+			if n%d != 0 {
+				return false
+			}
+			if i > 0 && ds[i-1] >= d {
+				return false
+			}
+		}
+		return ds[0] == 1 && ds[len(ds)-1] == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomTileBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		n := 1 + rng.Intn(100)
+		tile := RandomTile(rng, n, 0.5)
+		if tile < 1 || tile > n {
+			t.Fatalf("RandomTile(%d) = %d out of range", n, tile)
+		}
+	}
+	if RandomTile(rng, 1, 1.0) != 1 {
+		t.Error("RandomTile(1) != 1")
+	}
+}
+
+func TestRandomMappingAlwaysLegal(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	layers := []workload.Layer{
+		testLayer(),
+		{Name: "gemm", Type: workload.GEMM, K: 1000, C: 512, Y: 1, X: 1, R: 1, S: 1},
+		{Name: "dw", Type: workload.DepthwiseConv, K: 96, C: 1, Y: 56, X: 56, R: 3, S: 3},
+	}
+	for _, l := range layers {
+		for levels := 2; levels <= 3; levels++ {
+			for i := 0; i < 200; i++ {
+				m := Random(rng, l, levels)
+				if err := m.Validate(l); err != nil {
+					t.Fatalf("Random mapping invalid for %s (%d levels): %v", l.Name, levels, err)
+				}
+			}
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	m := legalMapping()
+	s := m.String()
+	if !strings.Contains(s, "P=K") || !strings.Contains(s, "P=C") {
+		t.Errorf("Mapping.String missing spatial dims: %q", s)
+	}
+	if !strings.Contains(s, "L2[") || !strings.Contains(s, "L1[") {
+		t.Errorf("Mapping.String missing level labels: %q", s)
+	}
+}

@@ -1,0 +1,81 @@
+package mapping
+
+import (
+	"math/rand"
+	"sort"
+
+	"digamma/internal/workload"
+)
+
+// RandomOrder returns a uniformly random loop-order permutation.
+func RandomOrder(rng *rand.Rand) [workload.NumDims]workload.Dim {
+	order := CanonicalOrder()
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return order
+}
+
+// OrderFromKeys decodes a random-key vector into a permutation: dimensions
+// are sorted by their key values (ties broken by canonical order). This is
+// how continuous optimizers (CMA, DE, PSO, …) drive the loop-order genes.
+func OrderFromKeys(keys [workload.NumDims]float64) [workload.NumDims]workload.Dim {
+	idx := make([]int, workload.NumDims)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	var order [workload.NumDims]workload.Dim
+	for pos, i := range idx {
+		order[pos] = workload.Dim(i)
+	}
+	return order
+}
+
+// Divisors returns the sorted positive divisors of n. Domain-aware tile
+// mutation samples from divisors to avoid ragged tile edges that waste PEs.
+func Divisors(n int) []int {
+	if n < 1 {
+		return []int{1}
+	}
+	var small, large []int
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			small = append(small, d)
+			if d != n/d {
+				large = append(large, n/d)
+			}
+		}
+	}
+	for i := len(large) - 1; i >= 0; i-- {
+		small = append(small, large[i])
+	}
+	return small
+}
+
+// RandomTile draws a tile size for a dimension of extent n: with
+// probability divisorBias it picks a random divisor of n (domain-aware),
+// otherwise a uniform value in [1, n].
+func RandomTile(rng *rand.Rand, n int, divisorBias float64) int {
+	if n <= 1 {
+		return 1
+	}
+	if rng.Float64() < divisorBias {
+		ds := Divisors(n)
+		return ds[rng.Intn(len(ds))]
+	}
+	return 1 + rng.Intn(n)
+}
+
+// Random generates a random legal mapping with the given number of levels
+// for the layer. Tile monotonicity across levels is enforced by repair.
+func Random(rng *rand.Rand, layer workload.Layer, levels int) Mapping {
+	m := Mapping{Levels: make([]Level, levels)}
+	for li := range m.Levels {
+		lv := &m.Levels[li]
+		lv.Spatial = workload.AllDims[rng.Intn(int(workload.NumDims))]
+		lv.Order = RandomOrder(rng)
+		for _, d := range workload.AllDims {
+			lv.Tiles[d] = RandomTile(rng, layer.Dim(d), 0.7)
+		}
+	}
+	return m.Repair(layer)
+}

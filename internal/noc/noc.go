@@ -1,0 +1,154 @@
+// Package noc models the operand-delivery networks-on-chip of a spatial
+// DNN accelerator: the links that distribute weights/activations from a
+// shared buffer to the PEs of a cluster and collect outputs back
+// (Sec. II-A of the paper). MAESTRO models each cluster level's NoC with a
+// bandwidth and an average hop count; this package derives those numbers
+// from a topology choice and the level fanout, so the cost model's
+// per-level bandwidth and the energy model's per-word hop cost reflect an
+// actual interconnect rather than a free parameter.
+package noc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Topology selects the interconnect structure of one hierarchy level.
+type Topology uint8
+
+// Supported topologies.
+const (
+	// Bus: one shared link; bandwidth independent of fanout, single hop,
+	// free broadcast. The cheapest and the default for small clusters.
+	Bus Topology = iota
+	// Crossbar: full bisection — bandwidth scales with fanout, one hop,
+	// quadratic wiring area (approximated in Cost).
+	Crossbar
+	// Mesh1D: a linear chain of units (systolic-style); bandwidth scales
+	// with the link width, average unicast hop count grows with fanout/2.
+	Mesh1D
+	// Tree: a binary fat-tree; log-depth hops, cheap multicast.
+	Tree
+)
+
+// String returns the topology name.
+func (t Topology) String() string {
+	switch t {
+	case Bus:
+		return "bus"
+	case Crossbar:
+		return "crossbar"
+	case Mesh1D:
+		return "mesh1d"
+	case Tree:
+		return "tree"
+	default:
+		return fmt.Sprintf("Topology(%d)", uint8(t))
+	}
+}
+
+// ParseTopology resolves a topology by name.
+func ParseTopology(s string) (Topology, error) {
+	for _, t := range []Topology{Bus, Crossbar, Mesh1D, Tree} {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("noc: unknown topology %q", s)
+}
+
+// Config describes one level's interconnect.
+type Config struct {
+	Topology  Topology
+	LinkWords float64 // words per cycle per link (default 4)
+}
+
+// Default returns the bus interconnect used when nothing is specified,
+// calibrated to the evaluation's 16 words/cycle level bandwidth.
+func Default() Config { return Config{Topology: Bus, LinkWords: 16} }
+
+// withDefaults normalizes zero values.
+func (c Config) withDefaults() Config {
+	if c.LinkWords <= 0 {
+		c.LinkWords = 4
+	}
+	return c
+}
+
+// Bandwidth returns the delivered words/cycle for a level with the given
+// fanout (number of child units attached).
+func (c Config) Bandwidth(fanout int) float64 {
+	c = c.withDefaults()
+	if fanout < 1 {
+		fanout = 1
+	}
+	switch c.Topology {
+	case Crossbar:
+		return c.LinkWords * float64(fanout)
+	case Mesh1D:
+		// The injection link is the bottleneck for distribution traffic.
+		return c.LinkWords * 2
+	case Tree:
+		// Root link bound, doubled by the two sub-trees.
+		return c.LinkWords * 2
+	default: // Bus
+		return c.LinkWords
+	}
+}
+
+// AvgHops returns the average number of link traversals a unicast word
+// makes to reach one of the fanout children — the multiplier on per-word
+// NoC energy.
+func (c Config) AvgHops(fanout int) float64 {
+	if fanout < 1 {
+		fanout = 1
+	}
+	switch c.Topology {
+	case Mesh1D:
+		return float64(fanout+1) / 2
+	case Tree:
+		return math.Max(1, math.Ceil(math.Log2(float64(fanout))))
+	default: // Bus, Crossbar
+		return 1
+	}
+}
+
+// MulticastHops returns the link traversals for one word delivered to all
+// children at once. Buses and trees broadcast cheaply; a crossbar must
+// replicate; a mesh forwards through every hop.
+func (c Config) MulticastHops(fanout int) float64 {
+	if fanout < 1 {
+		fanout = 1
+	}
+	switch c.Topology {
+	case Crossbar:
+		return float64(fanout)
+	case Mesh1D:
+		return float64(fanout)
+	default: // Bus, Tree broadcast
+		return 1
+	}
+}
+
+// AreaUm2 approximates the wiring+switch area of the level's interconnect
+// as a function of fanout and link width — enough to keep topology choices
+// honest in area-constrained search (a crossbar is not free).
+func (c Config) AreaUm2(fanout int) float64 {
+	c = c.withDefaults()
+	if fanout < 1 {
+		fanout = 1
+	}
+	const perLinkWordUm2 = 15.0 // one word-wide link's drivers + wiring
+	links := 0.0
+	switch c.Topology {
+	case Crossbar:
+		links = float64(fanout) * float64(fanout)
+	case Mesh1D:
+		links = float64(fanout)
+	case Tree:
+		links = 2 * float64(fanout)
+	default: // Bus
+		links = float64(fanout)
+	}
+	return links * c.LinkWords * perLinkWordUm2
+}

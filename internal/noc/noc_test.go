@@ -1,0 +1,108 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTopologyNames(t *testing.T) {
+	for _, top := range []Topology{Bus, Crossbar, Mesh1D, Tree} {
+		got, err := ParseTopology(top.String())
+		if err != nil || got != top {
+			t.Errorf("ParseTopology(%s) = %v, %v", top, got, err)
+		}
+	}
+	if _, err := ParseTopology("torus"); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}
+
+func TestBandwidthScaling(t *testing.T) {
+	link := 4.0
+	bus := Config{Topology: Bus, LinkWords: link}
+	xbar := Config{Topology: Crossbar, LinkWords: link}
+	if bus.Bandwidth(16) != link {
+		t.Errorf("bus BW = %g", bus.Bandwidth(16))
+	}
+	if xbar.Bandwidth(16) != link*16 {
+		t.Errorf("crossbar BW = %g", xbar.Bandwidth(16))
+	}
+	// Crossbar dominates bus at every fanout.
+	for f := 1; f <= 64; f *= 2 {
+		if xbar.Bandwidth(f) < bus.Bandwidth(f) {
+			t.Errorf("crossbar slower than bus at fanout %d", f)
+		}
+	}
+}
+
+func TestAvgHops(t *testing.T) {
+	if h := (Config{Topology: Bus}).AvgHops(32); h != 1 {
+		t.Errorf("bus hops = %g", h)
+	}
+	if h := (Config{Topology: Mesh1D}).AvgHops(15); h != 8 {
+		t.Errorf("mesh hops = %g, want 8", h)
+	}
+	if h := (Config{Topology: Tree}).AvgHops(16); h != 4 {
+		t.Errorf("tree hops = %g, want 4 (log2 16)", h)
+	}
+	if h := (Config{Topology: Tree}).AvgHops(1); h != 1 {
+		t.Errorf("tree hops at fanout 1 = %g", h)
+	}
+}
+
+func TestMulticast(t *testing.T) {
+	// Broadcast-capable fabrics deliver to all children in one traversal.
+	if h := (Config{Topology: Bus}).MulticastHops(32); h != 1 {
+		t.Errorf("bus multicast = %g", h)
+	}
+	if h := (Config{Topology: Tree}).MulticastHops(32); h != 1 {
+		t.Errorf("tree multicast = %g", h)
+	}
+	// Crossbar and mesh pay per child.
+	if h := (Config{Topology: Crossbar}).MulticastHops(32); h != 32 {
+		t.Errorf("crossbar multicast = %g", h)
+	}
+}
+
+func TestAreaOrdering(t *testing.T) {
+	// At equal link width, crossbar area must dominate for large fanouts.
+	link := 4.0
+	f := 64
+	bus := Config{Topology: Bus, LinkWords: link}.AreaUm2(f)
+	xbar := Config{Topology: Crossbar, LinkWords: link}.AreaUm2(f)
+	if xbar <= bus*8 {
+		t.Errorf("crossbar area %g not ≫ bus %g at fanout %d", xbar, bus, f)
+	}
+}
+
+// Properties: all quantities positive and monotone-ish in fanout.
+func TestNoCProperties(t *testing.T) {
+	f := func(rawTop uint8, rawFan uint8) bool {
+		top := Topology(rawTop % 4)
+		fan := int(rawFan)%128 + 1
+		c := Config{Topology: top, LinkWords: 4}
+		if c.Bandwidth(fan) <= 0 || c.AvgHops(fan) < 1 || c.MulticastHops(fan) < 1 {
+			return false
+		}
+		if c.AreaUm2(fan) <= 0 {
+			return false
+		}
+		// Multicast never cheaper than a single unicast traversal and never
+		// pricier than fanout unicasts.
+		return c.MulticastHops(fan) <= float64(fan)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	var c Config // zero LinkWords
+	if c.Bandwidth(4) <= 0 {
+		t.Error("zero-value config has no bandwidth")
+	}
+	d := Default()
+	if d.Bandwidth(1) != 16 {
+		t.Errorf("default bandwidth = %g, want 16", d.Bandwidth(1))
+	}
+}

@@ -1,0 +1,279 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Bayes is Gaussian-process Bayesian optimization with the expected
+// improvement acquisition function — the method the paper's footnote 3
+// uses (via fmfn/BayesianOptimization) to tune DiGamma's hyper-parameters.
+// It shines at very small budgets (tens of expensive evaluations), which
+// is exactly the hyper-parameter tuning regime; it is not part of the
+// Fig. 5 baseline set.
+type Bayes struct {
+	InitSamples int     // random warm-up evaluations, default 8
+	Candidates  int     // acquisition candidates per step, default 256
+	LengthScale float64 // RBF kernel length scale, default 0.25
+	Noise       float64 // observation noise (jitter), default 1e-6
+}
+
+// NewBayes returns Bayesian optimization with standard settings.
+func NewBayes() Bayes {
+	return Bayes{InitSamples: 8, Candidates: 256, LengthScale: 0.25, Noise: 1e-6}
+}
+
+// Name implements Optimizer.
+func (Bayes) Name() string { return "Bayes" }
+
+// Minimize implements Optimizer.
+func (b Bayes) Minimize(obj Objective, dim, budget int, rng *rand.Rand) ([]float64, float64) {
+	t := newTracker(obj, budget)
+	init := b.InitSamples
+	if init < 2 {
+		init = 8
+	}
+	if init > budget {
+		init = budget
+	}
+	cand := b.Candidates
+	if cand < 16 {
+		cand = 256
+	}
+	ls := b.LengthScale
+	if ls <= 0 {
+		ls = 0.25
+	}
+	noise := b.Noise
+	if noise <= 0 {
+		noise = 1e-6
+	}
+
+	var xs [][]float64
+	var ys []float64
+	record := func(x []float64) bool {
+		f, done := t.eval(x)
+		if !math.IsInf(f, 0) && !math.IsNaN(f) {
+			xs = append(xs, append([]float64(nil), x...))
+			ys = append(ys, f)
+		}
+		return done
+	}
+
+	done := false
+	for i := 0; i < init && !done; i++ {
+		done = record(uniform(rng, dim))
+	}
+
+	for !done {
+		if len(xs) < 2 {
+			// Not enough finite observations to fit a GP yet.
+			done = record(uniform(rng, dim))
+			continue
+		}
+		gp := fitGP(xs, ys, ls, noise)
+		if gp == nil {
+			done = record(uniform(rng, dim))
+			continue
+		}
+		bestY := ys[0]
+		for _, y := range ys {
+			if y < bestY {
+				bestY = y
+			}
+		}
+		// Acquisition: random candidates plus local perturbations of the
+		// incumbent, scored by expected improvement.
+		var bestX []float64
+		bestEI := math.Inf(-1)
+		incumbent := xs[argmin(ys)]
+		for c := 0; c < cand; c++ {
+			var x []float64
+			if c%3 == 0 {
+				x = make([]float64, dim)
+				for d := range x {
+					x[d] = incumbent[d] + 0.1*rng.NormFloat64()
+				}
+				clip01(x)
+			} else {
+				x = uniform(rng, dim)
+			}
+			mu, sigma := gp.predict(x)
+			ei := expectedImprovement(mu, sigma, bestY)
+			if ei > bestEI {
+				bestEI, bestX = ei, x
+			}
+		}
+		done = record(bestX)
+	}
+	return t.result(dim)
+}
+
+func argmin(ys []float64) int {
+	best := 0
+	for i, y := range ys {
+		if y < ys[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// expectedImprovement for minimization with incumbent best.
+func expectedImprovement(mu, sigma, best float64) float64 {
+	if sigma <= 1e-12 {
+		if mu < best {
+			return best - mu
+		}
+		return 0
+	}
+	z := (best - mu) / sigma
+	return (best-mu)*stdNormCDF(z) + sigma*stdNormPDF(z)
+}
+
+func stdNormPDF(z float64) float64 {
+	return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+}
+
+func stdNormCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// gp is a fitted Gaussian process with an RBF kernel over normalized
+// observations.
+type gp struct {
+	xs          [][]float64
+	alpha       []float64   // K⁻¹·y (normalized)
+	chol        [][]float64 // Cholesky factor of K
+	meanY, stdY float64
+	ls          float64
+}
+
+// fitGP fits the process; returns nil when the kernel matrix is not
+// positive definite (degenerate data).
+func fitGP(xs [][]float64, ys []float64, ls, noise float64) *gp {
+	n := len(xs)
+	mean, std := 0.0, 0.0
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(n)
+	for _, y := range ys {
+		std += (y - mean) * (y - mean)
+	}
+	std = math.Sqrt(std / float64(n))
+	if std < 1e-12 {
+		std = 1
+	}
+	yn := make([]float64, n)
+	for i, y := range ys {
+		yn[i] = (y - mean) / std
+	}
+
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := rbf(xs[i], xs[j], ls)
+			if i == j {
+				v += noise
+			}
+			k[i][j] = v
+			k[j][i] = v
+		}
+	}
+	chol, ok := cholesky(k)
+	if !ok {
+		return nil
+	}
+	alpha := cholSolve(chol, yn)
+	return &gp{xs: xs, alpha: alpha, chol: chol, meanY: mean, stdY: std, ls: ls}
+}
+
+// predict returns the posterior mean and standard deviation at x (in the
+// original y units).
+func (g *gp) predict(x []float64) (mu, sigma float64) {
+	n := len(g.xs)
+	kstar := make([]float64, n)
+	for i := range kstar {
+		kstar[i] = rbf(x, g.xs[i], g.ls)
+	}
+	m := 0.0
+	for i := range kstar {
+		m += kstar[i] * g.alpha[i]
+	}
+	// v = L⁻¹·k*; var = k(x,x) − vᵀv.
+	v := forwardSolve(g.chol, kstar)
+	variance := 1.0
+	for _, e := range v {
+		variance -= e * e
+	}
+	if variance < 0 {
+		variance = 0
+	}
+	return m*g.stdY + g.meanY, math.Sqrt(variance) * g.stdY
+}
+
+func rbf(a, b []float64, ls float64) float64 {
+	d := 0.0
+	for i := range a {
+		e := a[i] - b[i]
+		d += e * e
+	}
+	return math.Exp(-d / (2 * ls * ls))
+}
+
+// cholesky returns the lower-triangular factor L with A = L·Lᵀ.
+func cholesky(a [][]float64) ([][]float64, bool) {
+	n := len(a)
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, false
+				}
+				l[i][i] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	return l, true
+}
+
+// forwardSolve solves L·v = b for lower-triangular L.
+func forwardSolve(l [][]float64, b []float64) []float64 {
+	n := len(b)
+	v := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i][k] * v[k]
+		}
+		v[i] = sum / l[i][i]
+	}
+	return v
+}
+
+// cholSolve solves (L·Lᵀ)·x = b.
+func cholSolve(l [][]float64, b []float64) []float64 {
+	n := len(b)
+	v := forwardSolve(l, b)
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := v[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k][i] * x[k]
+		}
+		x[i] = sum / l[i][i]
+	}
+	return x
+}

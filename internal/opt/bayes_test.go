@@ -1,0 +1,153 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBayesSolvesSphereAtTinyBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	_, fb := NewBayes().Minimize(Sphere, 3, 40, rng)
+	rng2 := rand.New(rand.NewSource(1))
+	_, fr := Random{}.Minimize(Sphere, 3, 40, rng2)
+	if fb >= fr {
+		t.Errorf("Bayes (%g) should beat Random (%g) at 40 evals", fb, fr)
+	}
+	if fb > 0.05 {
+		t.Errorf("Bayes sphere best %g, want < 0.05", fb)
+	}
+}
+
+func TestBayesRespectsBudgetAndBox(t *testing.T) {
+	count := 0
+	obj := func(x []float64) float64 {
+		count++
+		for _, v := range x {
+			if v < 0 || v > 1 {
+				t.Fatalf("out-of-box point %v", x)
+			}
+		}
+		return Rastrigin(x)
+	}
+	rng := rand.New(rand.NewSource(2))
+	NewBayes().Minimize(obj, 4, 25, rng)
+	if count > 25 {
+		t.Errorf("used %d evals with budget 25", count)
+	}
+}
+
+func TestBayesSurvivesInfObjectives(t *testing.T) {
+	obj := func(x []float64) float64 {
+		if x[0] < 0.5 {
+			return math.Inf(1)
+		}
+		return Sphere(x)
+	}
+	rng := rand.New(rand.NewSource(3))
+	_, f := NewBayes().Minimize(obj, 3, 30, rng)
+	if math.IsNaN(f) {
+		t.Error("NaN result")
+	}
+}
+
+func TestBayesDeterministic(t *testing.T) {
+	r1 := rand.New(rand.NewSource(5))
+	r2 := rand.New(rand.NewSource(5))
+	_, f1 := NewBayes().Minimize(Rosenbrock, 3, 30, r1)
+	_, f2 := NewBayes().Minimize(Rosenbrock, 3, 30, r2)
+	if f1 != f2 {
+		t.Errorf("non-deterministic: %g vs %g", f1, f2)
+	}
+}
+
+func TestGPInterpolatesTrainingPoints(t *testing.T) {
+	xs := [][]float64{{0.1, 0.2}, {0.8, 0.3}, {0.5, 0.9}}
+	ys := []float64{1.0, 2.0, 3.0}
+	g := fitGP(xs, ys, 0.25, 1e-8)
+	if g == nil {
+		t.Fatal("GP fit failed")
+	}
+	for i, x := range xs {
+		mu, sigma := g.predict(x)
+		if math.Abs(mu-ys[i]) > 0.01 {
+			t.Errorf("posterior mean at training point %d = %g, want %g", i, mu, ys[i])
+		}
+		if sigma > 0.05 {
+			t.Errorf("posterior std at training point %d = %g, want ≈0", i, sigma)
+		}
+	}
+	// Far from data the posterior reverts to the prior (mean of y,
+	// sizeable uncertainty).
+	mu, sigma := g.predict([]float64{0.0, 1.0})
+	if sigma < 0.1 {
+		t.Errorf("posterior std far from data = %g, want large", sigma)
+	}
+	_ = mu
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	a := [][]float64{{4, 2, 0.6}, {2, 5, 1.5}, {0.6, 1.5, 3}}
+	l, ok := cholesky(a)
+	if !ok {
+		t.Fatal("SPD matrix rejected")
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			s := 0.0
+			for k := 0; k < 3; k++ {
+				s += l[i][k] * l[j][k]
+			}
+			if math.Abs(s-a[i][j]) > 1e-9 {
+				t.Errorf("L·Lᵀ[%d][%d] = %g, want %g", i, j, s, a[i][j])
+			}
+		}
+	}
+	// Solve A·x = b and verify.
+	b := []float64{1, 2, 3}
+	x := cholSolve(l, b)
+	for i := 0; i < 3; i++ {
+		s := 0.0
+		for j := 0; j < 3; j++ {
+			s += a[i][j] * x[j]
+		}
+		if math.Abs(s-b[i]) > 1e-9 {
+			t.Errorf("A·x[%d] = %g, want %g", i, s, b[i])
+		}
+	}
+	// Non-SPD must be rejected.
+	if _, ok := cholesky([][]float64{{1, 2}, {2, 1}}); ok {
+		t.Error("indefinite matrix accepted")
+	}
+}
+
+func TestExpectedImprovement(t *testing.T) {
+	// Far below the incumbent with no noise: EI ≈ improvement.
+	if ei := expectedImprovement(1.0, 1e-15, 5.0); math.Abs(ei-4.0) > 1e-9 {
+		t.Errorf("deterministic EI = %g, want 4", ei)
+	}
+	// Above the incumbent with no noise: zero.
+	if ei := expectedImprovement(6.0, 1e-15, 5.0); ei != 0 {
+		t.Errorf("EI above incumbent = %g", ei)
+	}
+	// Uncertainty adds value even at the incumbent mean.
+	if ei := expectedImprovement(5.0, 1.0, 5.0); ei <= 0 {
+		t.Errorf("EI with uncertainty = %g, want > 0", ei)
+	}
+	// EI grows with sigma.
+	if expectedImprovement(5.0, 2.0, 5.0) <= expectedImprovement(5.0, 0.5, 5.0) {
+		t.Error("EI not increasing in sigma")
+	}
+}
+
+func TestStdNormalHelpers(t *testing.T) {
+	if math.Abs(stdNormCDF(0)-0.5) > 1e-12 {
+		t.Error("Φ(0) != 0.5")
+	}
+	if math.Abs(stdNormPDF(0)-1/math.Sqrt(2*math.Pi)) > 1e-12 {
+		t.Error("φ(0) wrong")
+	}
+	if stdNormCDF(8) < 0.999999 || stdNormCDF(-8) > 1e-6 {
+		t.Error("CDF tails wrong")
+	}
+}

@@ -1,0 +1,293 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// CMA is the Covariance Matrix Adaptation Evolution Strategy (Hansen),
+// with rank-one and rank-µ covariance updates, cumulative step-size
+// adaptation and lazily refreshed eigendecomposition. It is the strongest
+// baseline in the paper's Fig. 5 and the normalization reference for all
+// algorithm comparisons.
+//
+// Above DiagonalAbove dimensions it switches to separable CMA-ES
+// (Ros & Hansen 2008): a diagonal covariance with O(n) updates and no
+// eigendecomposition — the same high-dimension fallback nevergrad applies.
+type CMA struct {
+	Sigma0        float64 // initial step size, default 0.3
+	Lambda        int     // population size; 0 = 4+⌊3 ln n⌋
+	DiagonalAbove int     // dimension threshold for sep-CMA; 0 = 100
+}
+
+// NewCMA returns CMA-ES with Hansen's default parameters.
+func NewCMA() CMA { return CMA{Sigma0: 0.3, DiagonalAbove: 100} }
+
+// Name implements Optimizer.
+func (CMA) Name() string { return "CMA" }
+
+// Minimize implements Optimizer.
+func (c CMA) Minimize(obj Objective, dim, budget int, rng *rand.Rand) ([]float64, float64) {
+	diagAbove := c.DiagonalAbove
+	if diagAbove <= 0 {
+		diagAbove = 100
+	}
+	if dim > diagAbove {
+		return c.minimizeSep(obj, dim, budget, rng)
+	}
+	t := newTracker(obj, budget)
+	n := dim
+	if n < 1 {
+		return t.result(dim)
+	}
+	fn := float64(n)
+
+	lambda := c.Lambda
+	if lambda <= 0 {
+		lambda = 4 + int(3*math.Log(fn))
+	}
+	if lambda < 4 {
+		lambda = 4
+	}
+	mu := lambda / 2
+	weights := make([]float64, mu)
+	wSum := 0.0
+	for i := range weights {
+		weights[i] = math.Log(float64(mu)+0.5) - math.Log(float64(i+1))
+		wSum += weights[i]
+	}
+	muEff := 0.0
+	for i := range weights {
+		weights[i] /= wSum
+		muEff += weights[i] * weights[i]
+	}
+	muEff = 1 / muEff
+
+	cc := (4 + muEff/fn) / (fn + 4 + 2*muEff/fn)
+	cs := (muEff + 2) / (fn + muEff + 5)
+	c1 := 2 / ((fn+1.3)*(fn+1.3) + muEff)
+	cmu := math.Min(1-c1, 2*(muEff-2+1/muEff)/((fn+2)*(fn+2)+muEff))
+	ds := 1 + 2*math.Max(0, math.Sqrt((muEff-1)/(fn+1))-1) + cs
+	chiN := math.Sqrt(fn) * (1 - 1/(4*fn) + 1/(21*fn*fn))
+
+	mean := uniform(rng, dim)
+	sigma := c.Sigma0
+	if sigma <= 0 {
+		sigma = 0.3
+	}
+	pc := make([]float64, n)
+	ps := make([]float64, n)
+	C := identity(n)
+	B := identity(n)
+	D := make([]float64, n)
+	for i := range D {
+		D[i] = 1
+	}
+	eigenStale := 0
+	eigenEvery := int(math.Max(1, 1/((c1+cmu)*fn*10)))
+
+	type samp struct {
+		x, z []float64
+		f    float64
+	}
+	done := false
+	for !done {
+		// Sample λ offspring: x = mean + σ·B·diag(D)·z.
+		gen := make([]samp, 0, lambda)
+		for k := 0; k < lambda && !done; k++ {
+			z := make([]float64, n)
+			for i := range z {
+				z[i] = rng.NormFloat64()
+			}
+			y := make([]float64, n) // B·D·z
+			for i := 0; i < n; i++ {
+				s := 0.0
+				for j := 0; j < n; j++ {
+					s += B[i][j] * D[j] * z[j]
+				}
+				y[i] = s
+			}
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = mean[i] + sigma*y[i]
+			}
+			clip01(x)
+			var f float64
+			f, done = t.eval(x)
+			gen = append(gen, samp{x: x, z: z, f: f})
+		}
+		if len(gen) < mu {
+			break
+		}
+		sort.Slice(gen, func(a, b int) bool { return gen[a].f < gen[b].f })
+
+		// Recombination in both x and z coordinates.
+		oldMean := append([]float64(nil), mean...)
+		zMean := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xm := 0.0
+			for k := 0; k < mu; k++ {
+				xm += weights[k] * gen[k].x[i]
+				zMean[i] += weights[k] * gen[k].z[i]
+			}
+			mean[i] = xm
+		}
+
+		// Step-size path: ps = (1-cs)·ps + √(cs(2-cs)µeff)·B·zMean.
+		csFac := math.Sqrt(cs * (2 - cs) * muEff)
+		psNorm := 0.0
+		for i := 0; i < n; i++ {
+			bz := 0.0
+			for j := 0; j < n; j++ {
+				bz += B[i][j] * zMean[j]
+			}
+			ps[i] = (1-cs)*ps[i] + csFac*bz
+			psNorm += ps[i] * ps[i]
+		}
+		psNorm = math.Sqrt(psNorm)
+
+		// Covariance path with stall (hsig) correction.
+		hsig := 0.0
+		if psNorm/math.Sqrt(1-math.Pow(1-cs, 2))/chiN < 1.4+2/(fn+1) {
+			hsig = 1
+		}
+		ccFac := math.Sqrt(cc * (2 - cc) * muEff)
+		for i := 0; i < n; i++ {
+			yi := (mean[i] - oldMean[i]) / sigma
+			pc[i] = (1-cc)*pc[i] + hsig*ccFac*yi
+		}
+
+		// Covariance update: rank-one (pc pcᵀ) + rank-µ (weighted yᵢyᵢᵀ).
+		oneMinus := 1 - c1 - cmu
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				v := oneMinus*C[i][j] + c1*(pc[i]*pc[j]+(1-hsig)*cc*(2-cc)*C[i][j])
+				for k := 0; k < mu; k++ {
+					yi := (gen[k].x[i] - oldMean[i]) / sigma
+					yj := (gen[k].x[j] - oldMean[j]) / sigma
+					v += cmu * weights[k] * yi * yj
+				}
+				C[i][j] = v
+				C[j][i] = v
+			}
+		}
+
+		// Step-size adaptation.
+		sigma *= math.Exp((cs / ds) * (psNorm/chiN - 1))
+		if sigma > 2 {
+			sigma = 2
+		}
+		if sigma < 1e-12 || math.IsNaN(sigma) {
+			// Converged or degenerate: restart around the best point.
+			sigma = c.Sigma0
+			bx, _ := t.result(dim)
+			copy(mean, bx)
+			C = identity(n)
+			B = identity(n)
+			for i := range D {
+				D[i] = 1
+			}
+			for i := range pc {
+				pc[i], ps[i] = 0, 0
+			}
+			continue
+		}
+
+		// Lazy eigendecomposition refresh.
+		eigenStale++
+		if eigenStale >= eigenEvery {
+			eigenStale = 0
+			eig := jacobiEigen(C)
+			B = eig.vectors
+			ok := true
+			for i := range D {
+				if eig.values[i] <= 0 || math.IsNaN(eig.values[i]) {
+					ok = false
+					break
+				}
+				D[i] = math.Sqrt(eig.values[i])
+			}
+			if !ok { // numerically broken covariance: reset
+				C = identity(n)
+				B = identity(n)
+				for i := range D {
+					D[i] = 1
+				}
+			}
+		}
+	}
+	return t.result(dim)
+}
+
+func identity(n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		m[i][i] = 1
+	}
+	return m
+}
+
+type eigen struct {
+	values  []float64
+	vectors [][]float64 // columns are eigenvectors: vectors[i][j] = e_j[i]
+}
+
+// jacobiEigen computes the eigendecomposition of a symmetric matrix with
+// the cyclic Jacobi method. Adequate for the dimensionalities this package
+// sees (up to a few hundred) given the lazy update schedule.
+func jacobiEigen(a [][]float64) eigen {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	v := identity(n)
+	for sweep := 0; sweep < 30; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < 1e-18 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(m[p][q]) < 1e-15 {
+					continue
+				}
+				theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+				sgn := 1.0
+				if theta < 0 {
+					sgn = -1
+				}
+				tt := sgn / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				cos := 1 / math.Sqrt(tt*tt+1)
+				sin := tt * cos
+				for k := 0; k < n; k++ {
+					mkp, mkq := m[k][p], m[k][q]
+					m[k][p] = cos*mkp - sin*mkq
+					m[k][q] = sin*mkp + cos*mkq
+				}
+				for k := 0; k < n; k++ {
+					mpk, mqk := m[p][k], m[q][k]
+					m[p][k] = cos*mpk - sin*mqk
+					m[q][k] = sin*mpk + cos*mqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k][p], v[k][q]
+					v[k][p] = cos*vkp - sin*vkq
+					v[k][q] = sin*vkp + cos*vkq
+				}
+			}
+		}
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = m[i][i]
+	}
+	return eigen{values: vals, vectors: v}
+}

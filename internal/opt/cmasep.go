@@ -1,0 +1,140 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// minimizeSep is separable CMA-ES (Ros & Hansen, PPSN 2008): the
+// covariance matrix is restricted to its diagonal, making every update
+// O(n) and removing the eigendecomposition entirely. The learning rate cµ
+// is scaled up by (n+2)/3 as the original paper prescribes, since a
+// diagonal model has far fewer degrees of freedom to learn.
+func (c CMA) minimizeSep(obj Objective, dim, budget int, rng *rand.Rand) ([]float64, float64) {
+	t := newTracker(obj, budget)
+	n := dim
+	fn := float64(n)
+
+	lambda := c.Lambda
+	if lambda <= 0 {
+		lambda = 4 + int(3*math.Log(fn))
+	}
+	if lambda < 4 {
+		lambda = 4
+	}
+	mu := lambda / 2
+	weights := make([]float64, mu)
+	wSum := 0.0
+	for i := range weights {
+		weights[i] = math.Log(float64(mu)+0.5) - math.Log(float64(i+1))
+		wSum += weights[i]
+	}
+	muEff := 0.0
+	for i := range weights {
+		weights[i] /= wSum
+		muEff += weights[i] * weights[i]
+	}
+	muEff = 1 / muEff
+
+	cc := (4 + muEff/fn) / (fn + 4 + 2*muEff/fn)
+	cs := (muEff + 2) / (fn + muEff + 5)
+	c1 := 2 / ((fn+1.3)*(fn+1.3) + muEff)
+	cmu := math.Min(1-c1, 2*(muEff-2+1/muEff)/((fn+2)*(fn+2)+muEff))
+	cmu = math.Min(1-c1, cmu*(fn+2)/3) // sep-CMA acceleration
+	ds := 1 + 2*math.Max(0, math.Sqrt((muEff-1)/(fn+1))-1) + cs
+	chiN := math.Sqrt(fn) * (1 - 1/(4*fn) + 1/(21*fn*fn))
+
+	mean := uniform(rng, dim)
+	sigma := c.Sigma0
+	if sigma <= 0 {
+		sigma = 0.3
+	}
+	pc := make([]float64, n)
+	ps := make([]float64, n)
+	cdiag := make([]float64, n) // diagonal of C
+	for i := range cdiag {
+		cdiag[i] = 1
+	}
+
+	type samp struct {
+		x, z []float64
+		f    float64
+	}
+	done := false
+	for !done {
+		gen := make([]samp, 0, lambda)
+		for k := 0; k < lambda && !done; k++ {
+			z := make([]float64, n)
+			x := make([]float64, n)
+			for i := range z {
+				z[i] = rng.NormFloat64()
+				x[i] = mean[i] + sigma*math.Sqrt(cdiag[i])*z[i]
+			}
+			clip01(x)
+			var f float64
+			f, done = t.eval(x)
+			gen = append(gen, samp{x: x, z: z, f: f})
+		}
+		if len(gen) < mu {
+			break
+		}
+		sort.Slice(gen, func(a, b int) bool { return gen[a].f < gen[b].f })
+
+		oldMean := append([]float64(nil), mean...)
+		zMean := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xm := 0.0
+			for k := 0; k < mu; k++ {
+				xm += weights[k] * gen[k].x[i]
+				zMean[i] += weights[k] * gen[k].z[i]
+			}
+			mean[i] = xm
+		}
+
+		csFac := math.Sqrt(cs * (2 - cs) * muEff)
+		psNorm := 0.0
+		for i := 0; i < n; i++ {
+			ps[i] = (1-cs)*ps[i] + csFac*zMean[i]
+			psNorm += ps[i] * ps[i]
+		}
+		psNorm = math.Sqrt(psNorm)
+
+		hsig := 0.0
+		if psNorm/math.Sqrt(1-math.Pow(1-cs, 2))/chiN < 1.4+2/(fn+1) {
+			hsig = 1
+		}
+		ccFac := math.Sqrt(cc * (2 - cc) * muEff)
+		for i := 0; i < n; i++ {
+			yi := (mean[i] - oldMean[i]) / sigma
+			pc[i] = (1-cc)*pc[i] + hsig*ccFac*yi
+		}
+
+		for i := 0; i < n; i++ {
+			v := (1-c1-cmu)*cdiag[i] + c1*(pc[i]*pc[i]+(1-hsig)*cc*(2-cc)*cdiag[i])
+			for k := 0; k < mu; k++ {
+				yi := (gen[k].x[i] - oldMean[i]) / sigma
+				v += cmu * weights[k] * yi * yi
+			}
+			if v < 1e-20 || math.IsNaN(v) {
+				v = 1e-20
+			}
+			cdiag[i] = v
+		}
+
+		sigma *= math.Exp((cs / ds) * (psNorm/chiN - 1))
+		if sigma > 2 {
+			sigma = 2
+		}
+		if sigma < 1e-12 || math.IsNaN(sigma) {
+			sigma = c.Sigma0
+			bx, _ := t.result(dim)
+			copy(mean, bx)
+			for i := range cdiag {
+				cdiag[i] = 1
+				pc[i], ps[i] = 0, 0
+			}
+		}
+	}
+	return t.result(dim)
+}

@@ -1,0 +1,77 @@
+package opt
+
+import "math/rand"
+
+// DE is Differential Evolution in the classic DE/rand/1/bin configuration
+// (Storn & Price): mutation factor F=0.5, crossover rate CR=0.9.
+type DE struct {
+	PopSize int
+	F       float64 // differential weight
+	CR      float64 // crossover probability
+}
+
+// NewDE returns DE/rand/1/bin with standard settings.
+func NewDE() DE { return DE{PopSize: 30, F: 0.5, CR: 0.9} }
+
+// Name implements Optimizer.
+func (DE) Name() string { return "DE" }
+
+// Minimize implements Optimizer.
+func (de DE) Minimize(obj Objective, dim, budget int, rng *rand.Rand) ([]float64, float64) {
+	t := newTracker(obj, budget)
+	n := de.PopSize
+	if n < 4 {
+		n = 30
+	}
+	if n > budget {
+		n = budget
+	}
+	if n < 4 {
+		// Degenerate budget: fall back to random sampling.
+		for !t.exhausted() {
+			t.eval(uniform(rng, dim))
+		}
+		return t.result(dim)
+	}
+
+	pop := make([][]float64, n)
+	fit := make([]float64, n)
+	done := false
+	for i := 0; i < n && !done; i++ {
+		pop[i] = uniform(rng, dim)
+		fit[i], done = t.eval(pop[i])
+	}
+
+	trial := make([]float64, dim)
+	for !done {
+		for i := 0; i < n && !done; i++ {
+			// Pick three distinct individuals different from i.
+			a, b, c := i, i, i
+			for a == i {
+				a = rng.Intn(n)
+			}
+			for b == i || b == a {
+				b = rng.Intn(n)
+			}
+			for c == i || c == a || c == b {
+				c = rng.Intn(n)
+			}
+			jRand := rng.Intn(dim)
+			for d := 0; d < dim; d++ {
+				if d == jRand || rng.Float64() < de.CR {
+					trial[d] = pop[a][d] + de.F*(pop[b][d]-pop[c][d])
+				} else {
+					trial[d] = pop[i][d]
+				}
+			}
+			clip01(trial)
+			var f float64
+			f, done = t.eval(trial)
+			if f <= fit[i] {
+				copy(pop[i], trial)
+				fit[i] = f
+			}
+		}
+	}
+	return t.result(dim)
+}

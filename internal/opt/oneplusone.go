@@ -1,0 +1,59 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+)
+
+// OnePlusOne is the (1+1)-Evolution Strategy with the classic 1/5th
+// success-rule step-size adaptation: a single parent produces one Gaussian
+// offspring per iteration; the step size grows on success and shrinks on
+// failure.
+type OnePlusOne struct {
+	Sigma0 float64 // initial step size (fraction of the box), default 0.2
+}
+
+// NewOnePlusOne returns a (1+1)-ES with standard settings.
+func NewOnePlusOne() OnePlusOne { return OnePlusOne{Sigma0: 0.2} }
+
+// Name implements Optimizer.
+func (OnePlusOne) Name() string { return "OnePlusOne" }
+
+// Minimize implements Optimizer.
+func (o OnePlusOne) Minimize(obj Objective, dim, budget int, rng *rand.Rand) ([]float64, float64) {
+	t := newTracker(obj, budget)
+	sigma := o.Sigma0
+	if sigma <= 0 {
+		sigma = 0.2
+	}
+	parent := uniform(rng, dim)
+	parentF, done := t.eval(parent)
+	// 1/5th rule constants (Rechenberg): expand on success by e^(1/3),
+	// shrink on failure by e^(-1/12) so the equilibrium is ~1/5 successes.
+	up := math.Exp(1.0 / 3.0)
+	down := math.Exp(-1.0 / 12.0)
+	child := make([]float64, dim)
+	for !done {
+		for i := range child {
+			child[i] = parent[i] + sigma*rng.NormFloat64()
+		}
+		clip01(child)
+		var f float64
+		f, done = t.eval(child)
+		if f <= parentF {
+			copy(parent, child)
+			parentF = f
+			sigma *= up
+		} else {
+			sigma *= down
+		}
+		if sigma < 1e-9 { // restart when fully converged
+			sigma = o.Sigma0
+			parent = uniform(rng, dim)
+			if !done {
+				parentF, done = t.eval(parent)
+			}
+		}
+	}
+	return t.result(dim)
+}

@@ -1,0 +1,126 @@
+// Package opt provides gradient-free optimizers over the unit box [0,1]^n.
+//
+// It stands in for the nevergrad library the paper plugs into its Co-opt
+// Framework: Random search, a standard GA, Particle Swarm Optimization,
+// TBPSA, (1+1)-Evolution Strategy, Differential Evolution, a passive
+// Portfolio and CMA-ES, each with literature-standard hyper-parameters.
+// Every algorithm minimizes a black-box objective within a fixed sampling
+// budget (the number of objective evaluations), mirroring the paper's
+// 40K-sample budget protocol.
+package opt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Objective is a black-box function to minimize over [0,1]^dim. Lower is
+// better; +Inf marks an invalid point.
+type Objective func(x []float64) float64
+
+// Optimizer is a budgeted black-box minimizer.
+type Optimizer interface {
+	// Name returns the algorithm's display name as used in the paper.
+	Name() string
+	// Minimize runs at most budget objective evaluations and returns the
+	// best point found and its value. rng is the only source of
+	// randomness, so runs are reproducible.
+	Minimize(obj Objective, dim, budget int, rng *rand.Rand) ([]float64, float64)
+}
+
+// ByName constructs one of the named algorithms. Valid names: "Random",
+// "stdGA", "PSO", "TBPSA", "OnePlusOne", "DE", "Portfolio", "CMA".
+func ByName(name string) (Optimizer, error) {
+	switch name {
+	case "Random":
+		return Random{}, nil
+	case "stdGA":
+		return NewStdGA(), nil
+	case "PSO":
+		return NewPSO(), nil
+	case "TBPSA":
+		return NewTBPSA(), nil
+	case "OnePlusOne", "(1+1)-ES":
+		return NewOnePlusOne(), nil
+	case "DE":
+		return NewDE(), nil
+	case "Portfolio":
+		return NewPortfolio(), nil
+	case "CMA":
+		return NewCMA(), nil
+	default:
+		return nil, fmt.Errorf("opt: unknown optimizer %q", name)
+	}
+}
+
+// BaselineNames lists the eight baseline algorithms in the paper's column
+// order (Fig. 5).
+var BaselineNames = []string{
+	"Random", "stdGA", "PSO", "TBPSA", "OnePlusOne", "DE", "Portfolio", "CMA",
+}
+
+// tracker records the best point seen and enforces the evaluation budget.
+type tracker struct {
+	obj    Objective
+	budget int
+	used   int
+	bestX  []float64
+	bestF  float64
+}
+
+func newTracker(obj Objective, budget int) *tracker {
+	return &tracker{obj: obj, budget: budget, bestF: math.Inf(1)}
+}
+
+// eval scores x if budget remains; otherwise returns +Inf and done=true.
+func (t *tracker) eval(x []float64) (f float64, done bool) {
+	if t.used >= t.budget {
+		return math.Inf(1), true
+	}
+	t.used++
+	f = t.obj(x)
+	if f < t.bestF {
+		t.bestF = f
+		t.bestX = append([]float64(nil), x...)
+	}
+	return f, t.used >= t.budget
+}
+
+func (t *tracker) exhausted() bool { return t.used >= t.budget }
+
+// result returns the best point, falling back to the box centre when the
+// budget was zero.
+func (t *tracker) result(dim int) ([]float64, float64) {
+	if t.bestX == nil {
+		c := make([]float64, dim)
+		for i := range c {
+			c[i] = 0.5
+		}
+		return c, math.Inf(1)
+	}
+	return t.bestX, t.bestF
+}
+
+// clip01 clamps x into the unit box in place and returns it.
+func clip01(x []float64) []float64 {
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		} else if v > 1 {
+			x[i] = 1
+		} else if math.IsNaN(v) {
+			x[i] = 0.5
+		}
+	}
+	return x
+}
+
+// uniform fills a fresh point sampled uniformly from the unit box.
+func uniform(rng *rand.Rand, dim int) []float64 {
+	x := make([]float64, dim)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	return x
+}

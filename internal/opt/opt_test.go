@@ -1,0 +1,288 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func allOptimizers() []Optimizer {
+	return []Optimizer{
+		Random{}, NewStdGA(), NewPSO(), NewTBPSA(),
+		NewOnePlusOne(), NewDE(), NewPortfolio(), NewCMA(),
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range BaselineNames {
+		o, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		if o.Name() != name {
+			t.Errorf("ByName(%s).Name() = %s", name, o.Name())
+		}
+	}
+	if _, err := ByName("SimulatedAnnealing"); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if o, err := ByName("(1+1)-ES"); err != nil || o.Name() != "OnePlusOne" {
+		t.Errorf("alias (1+1)-ES failed: %v %v", o, err)
+	}
+}
+
+// Every optimizer must respect the budget exactly (never exceed) and
+// return a point inside the unit box.
+func TestBudgetAndBoxRespected(t *testing.T) {
+	for _, o := range allOptimizers() {
+		for _, budget := range []int{1, 3, 17, 120} {
+			count := 0
+			obj := func(x []float64) float64 {
+				count++
+				for _, v := range x {
+					if v < 0 || v > 1 {
+						t.Fatalf("%s evaluated out-of-box point %v", o.Name(), x)
+					}
+				}
+				return Sphere(x)
+			}
+			rng := rand.New(rand.NewSource(7))
+			x, f := o.Minimize(obj, 5, budget, rng)
+			if count > budget {
+				t.Errorf("%s used %d evals with budget %d", o.Name(), count, budget)
+			}
+			if len(x) != 5 {
+				t.Errorf("%s returned point of dim %d", o.Name(), len(x))
+			}
+			if math.IsNaN(f) {
+				t.Errorf("%s returned NaN best", o.Name())
+			}
+		}
+	}
+}
+
+// Every optimizer must beat the box-centre value on the sphere within a
+// modest budget (basic effectiveness).
+func TestAllBeatCentreOnSphere(t *testing.T) {
+	centre := Sphere([]float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5})
+	for _, o := range allOptimizers() {
+		rng := rand.New(rand.NewSource(3))
+		_, f := o.Minimize(Sphere, 6, 600, rng)
+		if f >= centre {
+			t.Errorf("%s: sphere best %g not better than centre %g", o.Name(), f, centre)
+		}
+	}
+}
+
+// The strong continuous optimizers must essentially solve the sphere.
+func TestStrongOptimizersSolveSphere(t *testing.T) {
+	for _, o := range []Optimizer{NewCMA(), NewDE(), NewOnePlusOne(), NewPSO()} {
+		rng := rand.New(rand.NewSource(11))
+		_, f := o.Minimize(Sphere, 8, 4000, rng)
+		if f > 1e-3 {
+			t.Errorf("%s: sphere best %g, want < 1e-3", o.Name(), f)
+		}
+	}
+}
+
+func TestCMAOnRosenbrock(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	_, f := NewCMA().Minimize(Rosenbrock, 6, 8000, rng)
+	if f > 1.0 {
+		t.Errorf("CMA on Rosenbrock: %g, want < 1.0", f)
+	}
+}
+
+// CMA must clearly beat random search on the sphere at equal budget.
+func TestCMADominatesRandom(t *testing.T) {
+	rng1 := rand.New(rand.NewSource(9))
+	rng2 := rand.New(rand.NewSource(9))
+	_, fc := NewCMA().Minimize(Sphere, 10, 2000, rng1)
+	_, fr := Random{}.Minimize(Sphere, 10, 2000, rng2)
+	if fc >= fr/10 {
+		t.Errorf("CMA (%g) should beat Random (%g) by ≥10x on sphere", fc, fr)
+	}
+}
+
+func TestDEOnRastrigin(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	_, f := NewDE().Minimize(Rastrigin, 5, 10000, rng)
+	if f > 5.0 {
+		t.Errorf("DE on Rastrigin: %g, want < 5.0", f)
+	}
+}
+
+// Determinism: same seed, same result.
+func TestDeterministicRuns(t *testing.T) {
+	for _, o := range allOptimizers() {
+		r1 := rand.New(rand.NewSource(123))
+		r2 := rand.New(rand.NewSource(123))
+		x1, f1 := o.Minimize(Rastrigin, 4, 300, r1)
+		x2, f2 := o.Minimize(Rastrigin, 4, 300, r2)
+		if f1 != f2 {
+			t.Errorf("%s: non-deterministic best value %g vs %g", o.Name(), f1, f2)
+			continue
+		}
+		for i := range x1 {
+			if x1[i] != x2[i] {
+				t.Errorf("%s: non-deterministic best point", o.Name())
+				break
+			}
+		}
+	}
+}
+
+// Optimizers must survive objectives that return +Inf (invalid designs).
+func TestInfinityTolerance(t *testing.T) {
+	obj := func(x []float64) float64 {
+		if x[0] < 0.7 {
+			return math.Inf(1)
+		}
+		return Sphere(x)
+	}
+	for _, o := range allOptimizers() {
+		rng := rand.New(rand.NewSource(2))
+		x, f := o.Minimize(obj, 4, 800, rng)
+		if math.IsNaN(f) {
+			t.Errorf("%s returned NaN on partially-invalid objective", o.Name())
+		}
+		if !math.IsInf(f, 1) && x[0] < 0.7 {
+			t.Errorf("%s returned invalid point with finite value", o.Name())
+		}
+	}
+}
+
+func TestTrackerZeroBudget(t *testing.T) {
+	tr := newTracker(Sphere, 0)
+	if _, done := tr.eval([]float64{0.5}); !done {
+		t.Error("zero-budget eval not done")
+	}
+	x, f := tr.result(3)
+	if len(x) != 3 || !math.IsInf(f, 1) {
+		t.Errorf("zero-budget result = %v, %g", x, f)
+	}
+}
+
+func TestClip01(t *testing.T) {
+	x := []float64{-1, 0.5, 2, math.NaN()}
+	clip01(x)
+	want := []float64{0, 0.5, 1, 0.5}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Errorf("clip01[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestJacobiEigen(t *testing.T) {
+	// Known 2×2: [[2,1],[1,2]] → eigenvalues 1 and 3.
+	a := [][]float64{{2, 1}, {1, 2}}
+	e := jacobiEigen(a)
+	vals := append([]float64(nil), e.values...)
+	if vals[0] > vals[1] {
+		vals[0], vals[1] = vals[1], vals[0]
+	}
+	if math.Abs(vals[0]-1) > 1e-9 || math.Abs(vals[1]-3) > 1e-9 {
+		t.Errorf("eigenvalues = %v, want [1 3]", vals)
+	}
+	// Verify A·v = λ·v for each eigenvector.
+	for j := 0; j < 2; j++ {
+		for i := 0; i < 2; i++ {
+			av := a[i][0]*e.vectors[0][j] + a[i][1]*e.vectors[1][j]
+			if math.Abs(av-e.values[j]*e.vectors[i][j]) > 1e-9 {
+				t.Errorf("eigenpair %d violated", j)
+			}
+		}
+	}
+}
+
+func TestJacobiEigenRandomSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 12
+	// Build SPD matrix A = MᵀM + I.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			m[i][j] = rng.NormFloat64()
+		}
+	}
+	a := identity(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				a[i][j] += m[k][i] * m[k][j]
+			}
+		}
+	}
+	e := jacobiEigen(a)
+	for _, v := range e.values {
+		if v <= 0 {
+			t.Errorf("SPD eigenvalue %g ≤ 0", v)
+		}
+	}
+	// Reconstruct A from the decomposition and compare.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += e.vectors[i][k] * e.values[k] * e.vectors[j][k]
+			}
+			if math.Abs(s-a[i][j]) > 1e-6 {
+				t.Fatalf("reconstruction error at (%d,%d): %g vs %g", i, j, s, a[i][j])
+			}
+		}
+	}
+}
+
+// Portfolio must not exceed the total budget even with rounding.
+func TestPortfolioBudgetSplit(t *testing.T) {
+	count := 0
+	obj := func(x []float64) float64 { count++; return Sphere(x) }
+	rng := rand.New(rand.NewSource(5))
+	NewPortfolio().Minimize(obj, 4, 100, rng)
+	if count > 100 {
+		t.Errorf("portfolio used %d evals with budget 100", count)
+	}
+}
+
+func TestStepPlateauHandled(t *testing.T) {
+	// Plateau objectives must not crash or hang any optimizer.
+	for _, o := range allOptimizers() {
+		rng := rand.New(rand.NewSource(14))
+		_, f := o.Minimize(StepPlateau, 5, 400, rng)
+		if math.IsNaN(f) {
+			t.Errorf("%s NaN on plateau", o.Name())
+		}
+	}
+}
+
+// The separable (diagonal) high-dimension path of CMA must also solve the
+// sphere and respect budget/box.
+func TestSepCMAHighDim(t *testing.T) {
+	c := NewCMA()
+	rng := rand.New(rand.NewSource(6))
+	dim := 150 // above DiagonalAbove → sep path
+	count := 0
+	obj := func(x []float64) float64 { count++; return Sphere(x) }
+	_, f := c.Minimize(obj, dim, 6000, rng)
+	if count > 6000 {
+		t.Errorf("sep-CMA used %d evals", count)
+	}
+	centre := 0.0
+	for i := 0; i < dim; i++ {
+		centre += 0.01 // (0.5-0.6)²
+	}
+	if f > centre/10 {
+		t.Errorf("sep-CMA sphere best %g, want ≪ centre %g", f, centre)
+	}
+}
+
+func TestSepCMAForcedLowDim(t *testing.T) {
+	c := CMA{Sigma0: 0.3, DiagonalAbove: 2} // force sep path at dim 6
+	rng := rand.New(rand.NewSource(7))
+	_, f := c.Minimize(Sphere, 6, 4000, rng)
+	if f > 1e-3 {
+		t.Errorf("forced sep-CMA sphere best %g", f)
+	}
+}

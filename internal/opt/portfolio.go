@@ -1,0 +1,53 @@
+package opt
+
+import "math/rand"
+
+// Portfolio is a passive algorithm portfolio (nevergrad's "Portfolio"):
+// the sampling budget is split evenly across several member algorithms run
+// independently, and the best point across all members wins. No budget
+// re-allocation happens between members (hence "passive").
+type Portfolio struct {
+	Members []Optimizer
+}
+
+// NewPortfolio returns the default portfolio of CMA, DE and (1+1)-ES —
+// the mix nevergrad's passive portfolio leans on for continuous domains.
+func NewPortfolio() Portfolio {
+	return Portfolio{Members: []Optimizer{NewCMA(), NewDE(), NewOnePlusOne()}}
+}
+
+// Name implements Optimizer.
+func (Portfolio) Name() string { return "Portfolio" }
+
+// Minimize implements Optimizer.
+func (p Portfolio) Minimize(obj Objective, dim, budget int, rng *rand.Rand) ([]float64, float64) {
+	members := p.Members
+	if len(members) == 0 {
+		members = NewPortfolio().Members
+	}
+	share := budget / len(members)
+	var bestX []float64
+	bestF := 0.0
+	first := true
+	remaining := budget
+	for i, m := range members {
+		b := share
+		if i == len(members)-1 {
+			b = remaining // last member absorbs rounding remainder
+		}
+		remaining -= b
+		if b <= 0 {
+			continue
+		}
+		sub := rand.New(rand.NewSource(rng.Int63()))
+		x, f := m.Minimize(obj, dim, b, sub)
+		if first || f < bestF {
+			bestX, bestF = x, f
+			first = false
+		}
+	}
+	if bestX == nil {
+		return uniform(rng, dim), bestF
+	}
+	return bestX, bestF
+}

@@ -1,0 +1,91 @@
+package opt
+
+import (
+	"math/rand"
+)
+
+// PSO is canonical Particle Swarm Optimization with inertia weight
+// (Shi & Eberhart constants: ω=0.7298, c1=c2=1.49618) and velocity
+// clamping to half the box.
+type PSO struct {
+	Particles int     // swarm size, default 40
+	Omega     float64 // inertia
+	C1, C2    float64 // cognitive / social coefficients
+}
+
+// NewPSO returns a PSO with the standard constriction constants.
+func NewPSO() PSO {
+	return PSO{Particles: 40, Omega: 0.7298, C1: 1.49618, C2: 1.49618}
+}
+
+// Name implements Optimizer.
+func (PSO) Name() string { return "PSO" }
+
+// Minimize implements Optimizer.
+func (p PSO) Minimize(obj Objective, dim, budget int, rng *rand.Rand) ([]float64, float64) {
+	t := newTracker(obj, budget)
+	n := p.Particles
+	if n < 2 {
+		n = 40
+	}
+	if n > budget {
+		n = budget
+	}
+	if n < 1 {
+		n = 1
+	}
+
+	pos := make([][]float64, n)
+	vel := make([][]float64, n)
+	bestPos := make([][]float64, n)
+	bestF := make([]float64, n)
+	gBest := make([]float64, dim)
+	gBestF := 0.0
+	first := true
+
+	done := false
+	for i := 0; i < n && !done; i++ {
+		pos[i] = uniform(rng, dim)
+		vel[i] = make([]float64, dim)
+		for d := range vel[i] {
+			vel[i][d] = (rng.Float64() - 0.5) * 0.5
+		}
+		bestPos[i] = append([]float64(nil), pos[i]...)
+		bestF[i], done = t.eval(pos[i])
+		if first || bestF[i] < gBestF {
+			gBestF = bestF[i]
+			copy(gBest, pos[i])
+			first = false
+		}
+	}
+
+	const vMax = 0.5
+	for !done {
+		for i := 0; i < n && !done; i++ {
+			for d := 0; d < dim; d++ {
+				r1, r2 := rng.Float64(), rng.Float64()
+				vel[i][d] = p.Omega*vel[i][d] +
+					p.C1*r1*(bestPos[i][d]-pos[i][d]) +
+					p.C2*r2*(gBest[d]-pos[i][d])
+				if vel[i][d] > vMax {
+					vel[i][d] = vMax
+				} else if vel[i][d] < -vMax {
+					vel[i][d] = -vMax
+				}
+				pos[i][d] += vel[i][d]
+			}
+			clip01(pos[i])
+			var f float64
+			f, done = t.eval(pos[i])
+			if f < bestF[i] {
+				bestF[i] = f
+				copy(bestPos[i], pos[i])
+				if f < gBestF {
+					gBestF = f
+					copy(gBest, pos[i])
+				}
+			}
+		}
+	}
+	return t.result(dim)
+}

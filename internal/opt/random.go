@@ -1,0 +1,19 @@
+package opt
+
+import "math/rand"
+
+// Random is pure uniform random search — the weakest baseline in the
+// paper's Fig. 5 and the sanity floor for every other algorithm.
+type Random struct{}
+
+// Name implements Optimizer.
+func (Random) Name() string { return "Random" }
+
+// Minimize implements Optimizer by drawing budget uniform samples.
+func (Random) Minimize(obj Objective, dim, budget int, rng *rand.Rand) ([]float64, float64) {
+	t := newTracker(obj, budget)
+	for !t.exhausted() {
+		t.eval(uniform(rng, dim))
+	}
+	return t.result(dim)
+}

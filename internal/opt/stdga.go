@@ -1,0 +1,109 @@
+package opt
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// StdGA is a standard real-coded genetic algorithm with tournament
+// selection, uniform crossover and Gaussian mutation — the paper's
+// "stdGA" baseline. Its generic operators on the flat gene vector are
+// exactly what DiGamma's domain-aware operators are contrasted against.
+type StdGA struct {
+	PopSize     int
+	EliteFrac   float64 // fraction of the population kept unchanged
+	CrossRate   float64
+	MutRate     float64 // per-gene mutation probability
+	MutSigma    float64 // Gaussian mutation scale
+	TournamentK int
+}
+
+// NewStdGA returns a GA with conventional settings.
+func NewStdGA() StdGA {
+	return StdGA{PopSize: 50, EliteFrac: 0.1, CrossRate: 0.9,
+		MutRate: 0.1, MutSigma: 0.15, TournamentK: 3}
+}
+
+// Name implements Optimizer.
+func (StdGA) Name() string { return "stdGA" }
+
+// Minimize implements Optimizer.
+func (g StdGA) Minimize(obj Objective, dim, budget int, rng *rand.Rand) ([]float64, float64) {
+	t := newTracker(obj, budget)
+	n := g.PopSize
+	if n < 4 {
+		n = 50
+	}
+	if n > budget {
+		n = budget
+	}
+	if n < 2 {
+		for !t.exhausted() {
+			t.eval(uniform(rng, dim))
+		}
+		return t.result(dim)
+	}
+
+	type indiv struct {
+		x []float64
+		f float64
+	}
+	pop := make([]indiv, n)
+	done := false
+	for i := range pop {
+		pop[i].x = uniform(rng, dim)
+		pop[i].f, done = t.eval(pop[i].x)
+		if done {
+			break
+		}
+	}
+
+	tournament := func() indiv {
+		best := pop[rng.Intn(len(pop))]
+		for k := 1; k < g.TournamentK; k++ {
+			c := pop[rng.Intn(len(pop))]
+			if c.f < best.f {
+				best = c
+			}
+		}
+		return best
+	}
+
+	elites := int(float64(n) * g.EliteFrac)
+	if elites < 1 {
+		elites = 1
+	}
+	for !done {
+		sort.Slice(pop, func(a, b int) bool { return pop[a].f < pop[b].f })
+		next := make([]indiv, 0, n)
+		for i := 0; i < elites; i++ {
+			next = append(next, indiv{append([]float64(nil), pop[i].x...), pop[i].f})
+		}
+		for len(next) < n && !done {
+			p1, p2 := tournament(), tournament()
+			child := make([]float64, dim)
+			if rng.Float64() < g.CrossRate {
+				for d := range child {
+					if rng.Intn(2) == 0 {
+						child[d] = p1.x[d]
+					} else {
+						child[d] = p2.x[d]
+					}
+				}
+			} else {
+				copy(child, p1.x)
+			}
+			for d := range child {
+				if rng.Float64() < g.MutRate {
+					child[d] += rng.NormFloat64() * g.MutSigma
+				}
+			}
+			clip01(child)
+			var f float64
+			f, done = t.eval(child)
+			next = append(next, indiv{child, f})
+		}
+		pop = next
+	}
+	return t.result(dim)
+}

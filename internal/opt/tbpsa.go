@@ -1,0 +1,103 @@
+package opt
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// TBPSA is Test-Based Population Size Adaptation (Hellwig & Beyer), the
+// nevergrad baseline of the same name: a (µ/µ, λ) evolution strategy whose
+// population size grows when progress stalls (making it robust on noisy or
+// rugged landscapes) and shrinks while progress is steady.
+type TBPSA struct {
+	Lambda0    float64 // initial offspring count per generation
+	Sigma0     float64 // initial step size
+	GrowFact   float64 // population growth factor on stagnation
+	ShrinkFact float64
+}
+
+// NewTBPSA returns TBPSA with nevergrad-like defaults.
+func NewTBPSA() TBPSA {
+	return TBPSA{Lambda0: 12, Sigma0: 0.2, GrowFact: 1.5, ShrinkFact: 0.9}
+}
+
+// Name implements Optimizer.
+func (TBPSA) Name() string { return "TBPSA" }
+
+// Minimize implements Optimizer.
+func (tb TBPSA) Minimize(obj Objective, dim, budget int, rng *rand.Rand) ([]float64, float64) {
+	t := newTracker(obj, budget)
+	mean := uniform(rng, dim)
+	sigma := tb.Sigma0
+	if sigma <= 0 {
+		sigma = 0.2
+	}
+	lambda := tb.Lambda0
+	if lambda < 4 {
+		lambda = 12
+	}
+	prevBest, haveBest := 0.0, false
+	type samp struct {
+		x []float64
+		f float64
+	}
+	done := false
+	for !done {
+		lam := int(lambda)
+		if lam < 4 {
+			lam = 4
+		}
+		mu := lam / 4
+		if mu < 1 {
+			mu = 1
+		}
+		gen := make([]samp, 0, lam)
+		for i := 0; i < lam && !done; i++ {
+			x := make([]float64, dim)
+			for d := range x {
+				x[d] = mean[d] + sigma*rng.NormFloat64()
+			}
+			clip01(x)
+			var f float64
+			f, done = t.eval(x)
+			gen = append(gen, samp{x, f})
+		}
+		if len(gen) == 0 {
+			break
+		}
+		sort.Slice(gen, func(a, b int) bool { return gen[a].f < gen[b].f })
+		if len(gen) < mu {
+			mu = len(gen)
+		}
+		// Recombine: mean of the µ best.
+		for d := range mean {
+			s := 0.0
+			for i := 0; i < mu; i++ {
+				s += gen[i].x[d]
+			}
+			mean[d] = s / float64(mu)
+		}
+		// Test-based adaptation: grow λ when the generation failed to
+		// improve on the previous best, shrink (and cool σ slightly)
+		// otherwise.
+		genBest := gen[0].f
+		if haveBest && genBest >= prevBest {
+			lambda *= tb.GrowFact
+			sigma *= 1.05
+		} else {
+			lambda *= tb.ShrinkFact
+			if lambda < tb.Lambda0 {
+				lambda = tb.Lambda0
+			}
+			sigma *= 0.95
+		}
+		if sigma < 1e-6 {
+			sigma = tb.Sigma0
+		}
+		if genBest < prevBest || !haveBest {
+			prevBest = genBest
+			haveBest = true
+		}
+	}
+	return t.result(dim)
+}

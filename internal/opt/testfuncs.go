@@ -1,0 +1,50 @@
+package opt
+
+import "math"
+
+// Standard benchmark objectives over [0,1]^n (shifted so the optimum sits
+// at an interior, non-trivial point). They are exported for reuse by the
+// root-level benchmark harness.
+
+// Sphere is Σ(x−0.6)², optimum 0 at x=0.6…, the canonical convex test.
+func Sphere(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		d := v - 0.6
+		s += d * d
+	}
+	return s
+}
+
+// Rosenbrock is the banana function mapped to the unit box (x→4x−2),
+// optimum 0 at x≈0.75.
+func Rosenbrock(x []float64) float64 {
+	s := 0.0
+	for i := 0; i+1 < len(x); i++ {
+		a := 4*x[i] - 2
+		b := 4*x[i+1] - 2
+		s += 100*(b-a*a)*(b-a*a) + (1-a)*(1-a)
+	}
+	return s
+}
+
+// Rastrigin is the highly multi-modal test (x→10.24x−5.12), optimum 0 at
+// x=0.5.
+func Rastrigin(x []float64) float64 {
+	s := 10.0 * float64(len(x))
+	for _, v := range x {
+		a := 10.24*v - 5.12
+		s += a*a - 10*math.Cos(2*math.Pi*a)
+	}
+	return s
+}
+
+// StepPlateau is a discontinuous staircase with large flat regions — a
+// proxy for the rugged, plateau-heavy co-optimization landscape.
+func StepPlateau(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += math.Floor(math.Abs(v-0.37) * 20)
+	}
+	return s
+}

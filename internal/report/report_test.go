@@ -1,0 +1,87 @@
+package report
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"digamma/internal/arch"
+	"digamma/internal/coopt"
+	"digamma/internal/workload"
+)
+
+func sampleEvaluation(t *testing.T) *coopt.Evaluation {
+	t.Helper()
+	model := workload.Model{Name: "m", Layers: []workload.Layer{
+		{Name: "c1", Type: workload.Conv, K: 16, C: 8, Y: 8, X: 8, R: 3, S: 3, Count: 2},
+		{Name: "fc", Type: workload.GEMM, K: 32, C: 64, Y: 1, X: 1, R: 1, S: 1},
+	}}
+	p, err := coopt.NewProblem(model, arch.Edge(), coopt.Latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	ev, err := p.Evaluate(p.Space.Random(rng, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func TestFromEvaluation(t *testing.T) {
+	ev := sampleEvaluation(t)
+	r := FromEvaluation(ev)
+	if r.Metrics.Cycles != ev.Cycles {
+		t.Errorf("cycles %g != %g", r.Metrics.Cycles, ev.Cycles)
+	}
+	if r.Hardware.NumPEs != ev.HW.NumPEs() {
+		t.Error("PE count mismatch")
+	}
+	if len(r.Layers) != 2 {
+		t.Fatalf("%d layers", len(r.Layers))
+	}
+	if r.Layers[0].Count != 2 || r.Layers[0].Type != "CONV" {
+		t.Errorf("layer 0 = %+v", r.Layers[0])
+	}
+	for _, l := range r.Layers {
+		if len(l.Mapping) != 2 {
+			t.Fatalf("layer %s has %d mapping levels", l.Name, len(l.Mapping))
+		}
+		for _, lv := range l.Mapping {
+			if len(lv.Order) != int(workload.NumDims) || len(lv.Tiles) != int(workload.NumDims) {
+				t.Errorf("level incomplete: %+v", lv)
+			}
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	r := FromEvaluation(sampleEvaluation(t))
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"valid"`, `"fanouts"`, `"cycles"`, `"mapping"`, `"spatial"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %s", want)
+		}
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Metrics.Cycles != r.Metrics.Cycles || back.Hardware.NumPEs != r.Hardware.NumPEs {
+		t.Error("round trip changed metrics")
+	}
+	if len(back.Layers) != len(r.Layers) {
+		t.Error("round trip changed layers")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,205 @@
+// Package schemes implements the paper's baseline HW and Mapping
+// optimization schemes (Sec. V-A):
+//
+//   - HW-opt: grid search over PE count, array aspect ratio and buffer
+//     split, each evaluated under a fixed manual mapping style — NVDLA
+//     (dla)-like, ShiDianNao (shi)-like or Eyeriss (eye)-like;
+//   - Mapping-opt: three hand-picked hardware configurations
+//     (Buffer-focused, Medium-Buf-Com, Compute-focused) that exactly fill
+//     the platform budget, on which the GAMMA mapper searches mappings.
+package schemes
+
+import (
+	"fmt"
+
+	"digamma/internal/arch"
+	"digamma/internal/cost"
+	"digamma/internal/mapping"
+	"digamma/internal/workload"
+)
+
+// MapStyle identifies a manual-tuned mapping style.
+type MapStyle uint8
+
+// The three fixed mapping styles of the paper's HW-opt baseline.
+const (
+	DLALike MapStyle = iota // NVDLA: K across clusters, C across PEs, weight-friendly order
+	ShiLike                 // ShiDianNao: Y/X output-pixel parallelism, output stationary
+	EyeLike                 // Eyeriss: Y/R row-stationary parallelism
+)
+
+// String returns the paper's label for the style.
+func (s MapStyle) String() string {
+	switch s {
+	case DLALike:
+		return "dla-like"
+	case ShiLike:
+		return "shi-like"
+	case EyeLike:
+		return "eye-like"
+	default:
+		return fmt.Sprintf("MapStyle(%d)", uint8(s))
+	}
+}
+
+// AllStyles lists the fixed mapping styles in the paper's order.
+var AllStyles = []MapStyle{DLALike, ShiLike, EyeLike}
+
+// styleSpec captures what defines a style: per-level spatial dims, loop
+// orders, the dims pinned to their full extent in the per-PE tile, and the
+// priority order in which the outer tile is grown to fill the buffers.
+type styleSpec struct {
+	spatial [2]workload.Dim                   // [L1, L2] parallel dims
+	order   [2][workload.NumDims]workload.Dim // [L1, L2] loop orders
+	pinFull []workload.Dim                    // dims kept whole per PE
+	growth  []workload.Dim                    // outer-tile growth priority
+}
+
+func orderOf(ds ...workload.Dim) [workload.NumDims]workload.Dim {
+	var order [workload.NumDims]workload.Dim
+	var used [workload.NumDims]bool
+	i := 0
+	for _, d := range ds {
+		order[i] = d
+		used[d] = true
+		i++
+	}
+	for _, d := range workload.AllDims {
+		if !used[d] {
+			order[i] = d
+			i++
+		}
+	}
+	return order
+}
+
+func specFor(style MapStyle) styleSpec {
+	switch style {
+	case ShiLike:
+		// Output stationary: each PE owns output pixels, reduction loops
+		// run innermost locally.
+		return styleSpec{
+			spatial: [2]workload.Dim{workload.X, workload.Y},
+			order: [2][workload.NumDims]workload.Dim{
+				orderOf(workload.K, workload.C, workload.R, workload.S),
+				orderOf(workload.Y, workload.X, workload.K, workload.C),
+			},
+			pinFull: nil,
+			growth:  []workload.Dim{workload.X, workload.Y, workload.K, workload.C},
+		}
+	case EyeLike:
+		// Row stationary: filter rows across PEs in an array, output rows
+		// across arrays; each PE keeps a full filter row (S).
+		return styleSpec{
+			spatial: [2]workload.Dim{workload.R, workload.Y},
+			order: [2][workload.NumDims]workload.Dim{
+				orderOf(workload.S, workload.X, workload.C, workload.K),
+				orderOf(workload.Y, workload.K, workload.C, workload.X),
+			},
+			pinFull: []workload.Dim{workload.S},
+			growth:  []workload.Dim{workload.Y, workload.X, workload.K, workload.C},
+		}
+	default: // DLALike
+		// NVDLA: output channels across clusters, input channels across
+		// the MAC units of a cluster, weights resident per PE.
+		return styleSpec{
+			spatial: [2]workload.Dim{workload.C, workload.K},
+			order: [2][workload.NumDims]workload.Dim{
+				orderOf(workload.C, workload.R, workload.S, workload.Y),
+				orderOf(workload.K, workload.C, workload.Y, workload.X),
+			},
+			pinFull: []workload.Dim{workload.R, workload.S},
+			growth:  []workload.Dim{workload.K, workload.C, workload.Y, workload.X},
+		}
+	}
+}
+
+// StyleMapping builds the deterministic mapping a manual style induces for
+// one layer on the given hardware: minimal per-PE tiles (with the style's
+// pinned dims whole), spatial coverage matched to the fanouts, and the
+// outer tile grown greedily in the style's priority order while the
+// double-buffered requirement still fits the hardware's buffer capacities.
+func StyleMapping(style MapStyle, hw arch.HW, layer workload.Layer) mapping.Mapping {
+	spec := specFor(style)
+	dims := layer.Dims()
+
+	m := mapping.Mapping{Levels: make([]mapping.Level, 2)}
+	// Per-PE (L1) tile: ones, with pinned dims at full extent.
+	l1 := &m.Levels[0]
+	l1.Spatial = spec.spatial[0]
+	l1.Order = spec.order[0]
+	for _, d := range workload.AllDims {
+		l1.Tiles[d] = 1
+	}
+	for _, d := range spec.pinFull {
+		l1.Tiles[d] = dims[d]
+	}
+
+	// Outer (L2) tile: cover the level-0 spatial fanout, start minimal
+	// elsewhere.
+	l2 := &m.Levels[1]
+	l2.Spatial = spec.spatial[1]
+	l2.Order = spec.order[1]
+	l2.Tiles = l1.Tiles
+	sp0 := spec.spatial[0]
+	cover := l1.Tiles[sp0] * hw.Fanouts[0]
+	if cover > dims[sp0] {
+		cover = dims[sp0]
+	}
+	l2.Tiles[sp0] = cover
+
+	m = m.Repair(layer)
+
+	// Greedy growth: double one dimension at a time in priority order while
+	// the buffers still fit.
+	fits := func(cand mapping.Mapping) bool {
+		r, err := cost.Analyze(hw, cand, layer)
+		if err != nil {
+			return false
+		}
+		ok, _ := r.FitsBuffers(hw)
+		return ok
+	}
+	if !fits(m) {
+		// Even the minimal tile misses: return the minimal repair; the
+		// evaluation will record the violation.
+		return m
+	}
+	for progress := true; progress; {
+		progress = false
+		for _, d := range spec.growth {
+			cand := m.Clone()
+			t := cand.Levels[1].Tiles[d] * 2
+			// Growing the outer spatial dimension beyond dims/fanout would
+			// idle clusters (occupancy = ceil(dims/tile) < fanout); cap it.
+			max := dims[d]
+			if d == spec.spatial[1] {
+				if max = dims[d] / hw.Fanouts[1]; max < 1 {
+					max = 1
+				}
+			}
+			if t > max {
+				t = max
+			}
+			if t <= cand.Levels[1].Tiles[d] {
+				continue
+			}
+			cand.Levels[1].Tiles[d] = t
+			cand = cand.Repair(layer)
+			if fits(cand) {
+				m = cand
+				progress = true
+			}
+		}
+	}
+	return m
+}
+
+// StyleMappings builds the per-layer mappings for a whole layer list.
+func StyleMappings(style MapStyle, hw arch.HW, layers []workload.Layer) []mapping.Mapping {
+	out := make([]mapping.Mapping, len(layers))
+	for i, l := range layers {
+		out[i] = StyleMapping(style, hw, l)
+	}
+	return out
+}

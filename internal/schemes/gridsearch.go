@@ -1,0 +1,95 @@
+package schemes
+
+import (
+	"math"
+
+	"digamma/internal/arch"
+	"digamma/internal/coopt"
+	"digamma/internal/workload"
+)
+
+// GridResult is the outcome of the HW-opt grid search.
+type GridResult struct {
+	Best     *coopt.Evaluation
+	HW       arch.HW
+	Explored int // hardware configurations evaluated
+}
+
+// GridSearchHW implements the paper's HW-opt baseline: exhaustive grid
+// search over PE count (powers of two), array aspect ratio and buffer
+// split, with the mapping fixed to a manual style. Every grid point that
+// fits the budget is scored on the full model; the best evaluation wins.
+//
+// The full HW space is O(10^12) (Sec. II-C), so like the paper we grid
+// rather than enumerate: |PE choices| × |aspects| × |splits| points.
+func GridSearchHW(style MapStyle, model workload.Model, platform arch.Platform,
+	objective coopt.Objective) (*GridResult, error) {
+
+	layers := model.UniqueLayers()
+	maxPEs := platform.Area.MaxPEs(platform.AreaBudgetMM2)
+
+	res := &GridResult{}
+	splits := []float64{0.2, 0.4, 0.6, 0.8} // fraction of budget on PEs
+
+	for pow := 2; (1 << uint(pow)) <= maxPEs; pow++ {
+		pes := 1 << uint(pow)
+		for _, split := range splits {
+			peArea := float64(pes) * platform.Area.PEUm2 / 1e6
+			if peArea > platform.AreaBudgetMM2*split {
+				continue
+			}
+			bufArea := platform.AreaBudgetMM2 - peArea
+			// Aspect ratios: inner fanout from 2^1 to 2^(pow-1), plus the
+			// flat 1-D extremes.
+			for a := 0; a <= pow; a += 2 {
+				f0 := 1 << uint(a)
+				f1 := pes / f0
+				if f1 < 1 {
+					continue
+				}
+				l1PerPE := int64(bufArea * 0.25 * 1e6 / platform.Area.L1Um2PerByte / float64(pes))
+				l2 := int64(bufArea * 0.75 * 1e6 / platform.Area.L2Um2PerByte)
+				if l1PerPE < 8 || l2 < 64 {
+					continue
+				}
+				hw := arch.HW{Fanouts: []int{f0, f1}, BufBytes: []int64{l1PerPE, l2}}.Defaults()
+				if !platform.Fits(hw) {
+					continue
+				}
+				res.Explored++
+				maps := StyleMappings(style, hw, layers)
+				ev, err := coopt.EvaluateMapping(layers, hw, maps, platform, objective)
+				if err != nil {
+					return nil, err
+				}
+				if res.Best == nil || better(ev, res.Best) {
+					res.Best = ev
+					res.HW = hw
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// better prefers valid evaluations, then lower fitness.
+func better(a, b *coopt.Evaluation) bool {
+	if a.Valid != b.Valid {
+		return a.Valid
+	}
+	if a.Fitness != b.Fitness {
+		return a.Fitness < b.Fitness
+	}
+	return a.Area.Total() < b.Area.Total()
+}
+
+// NearlyEqual reports approximate equality with relative tolerance; shared
+// by scheme tests.
+func NearlyEqual(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= rel*m
+}

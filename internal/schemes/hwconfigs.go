@@ -1,0 +1,94 @@
+package schemes
+
+import (
+	"fmt"
+	"math"
+
+	"digamma/internal/arch"
+)
+
+// HWFocus selects one of the paper's hand-picked hardware balances for the
+// Mapping-opt baseline.
+type HWFocus uint8
+
+// The three fixed hardware configurations of Sec. V-A.
+const (
+	BufferFocused  HWFocus = iota // small compute + large buffer
+	MediumBufCom                  // medium compute + medium buffer
+	ComputeFocused                // large compute + small buffer
+)
+
+// String returns the paper's label.
+func (f HWFocus) String() string {
+	switch f {
+	case BufferFocused:
+		return "Buffer-focused"
+	case MediumBufCom:
+		return "Medium-Buf-Com"
+	case ComputeFocused:
+		return "Compute-focused"
+	default:
+		return fmt.Sprintf("HWFocus(%d)", uint8(f))
+	}
+}
+
+// AllFocuses lists the fixed HW configurations in the paper's order.
+var AllFocuses = []HWFocus{BufferFocused, MediumBufCom, ComputeFocused}
+
+// peAreaFrac returns the fraction of the budget spent on PEs.
+func (f HWFocus) peAreaFrac() float64 {
+	switch f {
+	case BufferFocused:
+		return 0.20
+	case MediumBufCom:
+		return 0.45
+	default:
+		return 0.70
+	}
+}
+
+// FixedHW constructs the hardware configuration a focus implies on a
+// platform: the PE share of the budget buys a near-square power-of-two
+// array, the remainder is split 25% into per-PE L1 and 75% into the shared
+// L2, exactly filling (never exceeding) the budget.
+func FixedHW(f HWFocus, p arch.Platform) arch.HW {
+	budget := p.AreaBudgetMM2
+	peBudget := budget * f.peAreaFrac()
+
+	pes := int(peBudget * 1e6 / p.Area.PEUm2)
+	if pes < 4 {
+		pes = 4
+	}
+	// Near-square hierarchy: power-of-two inner arrays, free outer count
+	// (rounding the total to a power of two would collapse the Medium and
+	// Compute focuses onto the same array on small budgets).
+	pow := int(math.Floor(math.Log2(float64(pes))))
+	f0 := 1 << uint(pow/2)
+	f1 := pes / f0
+	if f1 < 1 {
+		f1 = 1
+	}
+	pes = f0 * f1
+
+	bufBudget := budget - float64(pes)*p.Area.PEUm2/1e6
+	l1Area := bufBudget * 0.25
+	l2Area := bufBudget * 0.75
+	l1PerPE := int64(l1Area * 1e6 / p.Area.L1Um2PerByte / float64(pes))
+	l2 := int64(l2Area * 1e6 / p.Area.L2Um2PerByte)
+	if l1PerPE < 16 {
+		l1PerPE = 16
+	}
+	if l2 < 256 {
+		l2 = 256
+	}
+	hw := arch.HW{
+		Fanouts:  []int{f0, f1},
+		BufBytes: []int64{l1PerPE, l2},
+	}.Defaults()
+	// Shave the L2 until the whole configuration fits the budget (the L1
+	// floor above can push tiny budgets over).
+	for !p.Fits(hw) && hw.BufBytes[1] > 256 {
+		hw.BufBytes[1] = hw.BufBytes[1] * 9 / 10
+	}
+	return hw
+}

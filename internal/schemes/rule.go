@@ -1,0 +1,19 @@
+package schemes
+
+import (
+	"digamma/internal/arch"
+	"digamma/internal/coopt"
+	"digamma/internal/mapping"
+	"digamma/internal/workload"
+)
+
+// Rule adapts a manual mapping style into the co-opt framework's
+// Fixed-Mapping constraint: plugged into Problem.WithFixedMapping, it lets
+// any search algorithm (DiGamma's HW operators, grid search, CMA, …)
+// explore hardware configurations while every candidate is mapped with the
+// fixed style.
+func Rule(style MapStyle) coopt.MappingRule {
+	return func(hw arch.HW, layer workload.Layer) mapping.Mapping {
+		return StyleMapping(style, hw, layer)
+	}
+}

@@ -1,0 +1,266 @@
+package schemes
+
+import (
+	"math/rand"
+	"testing"
+
+	"digamma/internal/arch"
+	"digamma/internal/coopt"
+	"digamma/internal/cost"
+	"digamma/internal/mapping"
+	"digamma/internal/workload"
+)
+
+func smallHW() arch.HW {
+	return arch.HW{Fanouts: []int{16, 8}, BufBytes: []int64{2 << 10, 256 << 10}}.Defaults()
+}
+
+func convLayer() workload.Layer {
+	return workload.Layer{Name: "conv", Type: workload.Conv,
+		K: 64, C: 32, Y: 28, X: 28, R: 3, S: 3}
+}
+
+func gemmLayer() workload.Layer {
+	return workload.Layer{Name: "fc", Type: workload.GEMM,
+		K: 256, C: 256, Y: 1, X: 1, R: 1, S: 1}
+}
+
+func TestStyleNames(t *testing.T) {
+	want := map[MapStyle]string{DLALike: "dla-like", ShiLike: "shi-like", EyeLike: "eye-like"}
+	for s, n := range want {
+		if s.String() != n {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), n)
+		}
+	}
+}
+
+func TestStyleMappingsLegalAndFit(t *testing.T) {
+	hw := smallHW()
+	for _, style := range AllStyles {
+		for _, layer := range []workload.Layer{convLayer(), gemmLayer()} {
+			m := StyleMapping(style, hw, layer)
+			if err := m.Validate(layer); err != nil {
+				t.Errorf("%v on %s: invalid mapping: %v", style, layer.Name, err)
+				continue
+			}
+			r, err := cost.Analyze(hw, m, layer)
+			if err != nil {
+				t.Errorf("%v on %s: %v", style, layer.Name, err)
+				continue
+			}
+			if ok, lvl := r.FitsBuffers(hw); !ok {
+				t.Errorf("%v on %s: style mapping busts buffer level %d", style, layer.Name, lvl)
+			}
+		}
+	}
+}
+
+func TestStyleSpatialDims(t *testing.T) {
+	hw := smallHW()
+	layer := convLayer()
+	spatials := map[MapStyle][2]workload.Dim{
+		DLALike: {workload.C, workload.K},
+		ShiLike: {workload.X, workload.Y},
+		EyeLike: {workload.R, workload.Y},
+	}
+	for style, want := range spatials {
+		m := StyleMapping(style, hw, layer)
+		if m.Levels[0].Spatial != want[0] || m.Levels[1].Spatial != want[1] {
+			t.Errorf("%v spatial = %v/%v, want %v/%v", style,
+				m.Levels[0].Spatial, m.Levels[1].Spatial, want[0], want[1])
+		}
+	}
+}
+
+// The central Fig. 6 mechanism: shi-like and eye-like collapse on GEMM
+// layers (Y=X=R=S=1) while dla-like keeps the array busy.
+func TestStyleCollapseOnGEMM(t *testing.T) {
+	hw := smallHW()
+	layer := gemmLayer()
+	cycles := map[MapStyle]float64{}
+	for _, style := range AllStyles {
+		m := StyleMapping(style, hw, layer)
+		r, err := cost.Analyze(hw, m, layer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[style] = r.Cycles
+	}
+	// The collapse factor is capped by the DRAM floor (the layer has no
+	// weight reuse), so demand ≥5× rather than the raw PE-count ratio.
+	if cycles[ShiLike] < 5*cycles[DLALike] {
+		t.Errorf("shi-like (%g) should be ≫ dla-like (%g) on GEMM", cycles[ShiLike], cycles[DLALike])
+	}
+	if cycles[EyeLike] < 5*cycles[DLALike] {
+		t.Errorf("eye-like (%g) should be ≫ dla-like (%g) on GEMM", cycles[EyeLike], cycles[DLALike])
+	}
+}
+
+func TestFixedHWFocusesFillBudget(t *testing.T) {
+	for _, p := range []arch.Platform{arch.Edge(), arch.Cloud()} {
+		var peAreas []float64
+		for _, f := range AllFocuses {
+			hw := FixedHW(f, p)
+			if err := hw.Validate(); err != nil {
+				t.Fatalf("%v on %s: %v", f, p.Name, err)
+			}
+			a := p.Area.Area(hw)
+			if a.Total() > p.AreaBudgetMM2*1.001 {
+				t.Errorf("%v on %s: area %g exceeds budget %g", f, p.Name, a.Total(), p.AreaBudgetMM2)
+			}
+			if a.Total() < p.AreaBudgetMM2*0.5 {
+				t.Errorf("%v on %s: area %g wastes most of budget %g", f, p.Name, a.Total(), p.AreaBudgetMM2)
+			}
+			peAreas = append(peAreas, a.PEs)
+		}
+		// Buffer-focused < Medium < Compute-focused in PE area.
+		if !(peAreas[0] < peAreas[1] && peAreas[1] < peAreas[2]) {
+			t.Errorf("%s: PE areas not ordered: %v", p.Name, peAreas)
+		}
+	}
+}
+
+func TestFixedHWFocusNames(t *testing.T) {
+	want := map[HWFocus]string{
+		BufferFocused: "Buffer-focused", MediumBufCom: "Medium-Buf-Com", ComputeFocused: "Compute-focused"}
+	for f, n := range want {
+		if f.String() != n {
+			t.Errorf("%d.String() = %q", f, f.String())
+		}
+	}
+}
+
+func TestGridSearchFindsValidDesign(t *testing.T) {
+	model := workload.Model{Name: "m", Layers: []workload.Layer{convLayer()}}
+	res, err := GridSearchHW(DLALike, model, arch.Edge(), coopt.Latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("grid search found nothing")
+	}
+	if res.Explored < 10 {
+		t.Errorf("only %d grid points explored", res.Explored)
+	}
+	if !res.Best.Valid {
+		t.Error("grid search best is invalid")
+	}
+	if !arch.Edge().Fits(res.HW) {
+		t.Error("grid search best exceeds budget")
+	}
+}
+
+func TestGridSearchStylesDifferOnGEMMModel(t *testing.T) {
+	model := workload.Model{Name: "fc", Layers: []workload.Layer{gemmLayer()}}
+	dla, err := GridSearchHW(DLALike, model, arch.Edge(), coopt.Latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shi, err := GridSearchHW(ShiLike, model, arch.Edge(), coopt.Latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dla.Best == nil || shi.Best == nil {
+		t.Fatal("missing results")
+	}
+	if shi.Best.Cycles < 5*dla.Best.Cycles {
+		t.Errorf("grid-searched shi-like (%g) should still collapse vs dla-like (%g) on GEMM",
+			shi.Best.Cycles, dla.Best.Cycles)
+	}
+}
+
+func TestBetterPrefersValid(t *testing.T) {
+	valid := &coopt.Evaluation{Valid: true, Fitness: 100}
+	invalid := &coopt.Evaluation{Valid: false, Fitness: 1}
+	if !better(valid, invalid) {
+		t.Error("valid not preferred over invalid")
+	}
+	lower := &coopt.Evaluation{Valid: true, Fitness: 50}
+	if !better(lower, valid) {
+		t.Error("lower fitness not preferred")
+	}
+}
+
+func TestNearlyEqual(t *testing.T) {
+	if !NearlyEqual(1.0, 1.0001, 0.01) {
+		t.Error("close values not nearly equal")
+	}
+	if NearlyEqual(1.0, 2.0, 0.01) {
+		t.Error("distant values nearly equal")
+	}
+	if !NearlyEqual(0, 0, 0.01) {
+		t.Error("zeros not equal")
+	}
+}
+
+// Fixed-Mapping framework mode: candidates are mapped by the style rule,
+// so two evaluations of the same HW genes give identical mappings, and the
+// mapping genes in the genome are irrelevant.
+func TestFixedMappingModeWithRule(t *testing.T) {
+	model := workload.Model{Name: "m", Layers: []workload.Layer{convLayer(), gemmLayer()}}
+	p, err := coopt.NewProblem(model, arch.Edge(), coopt.Latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := p.WithFixedMapping(Rule(DLALike))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	g1 := fp.Space.Random(rng, 2)
+	g2 := g1.Clone()
+	// Scramble g2's mapping genes: the rule must make them irrelevant.
+	for li := range g2.Maps {
+		g2.Maps[li] = mapping.Random(rng, fp.Space.Layers[li], 2)
+	}
+	e1, err := fp.Evaluate(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := fp.Evaluate(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Cycles != e2.Cycles {
+		t.Errorf("mapping genes leaked into fixed-mapping mode: %g vs %g", e1.Cycles, e2.Cycles)
+	}
+	// The derived mappings must carry the style's signature spatial dims.
+	if e1.Genome.Maps[0].Levels[1].Spatial != workload.K {
+		t.Errorf("rule not applied: spatial = %v", e1.Genome.Maps[0].Levels[1].Spatial)
+	}
+}
+
+// DiGamma restricted to HW genes via the rule must find designs at least
+// as good as the best grid point with the same style (it searches a
+// superset of the grid).
+func TestFixedMappingSearchVsGrid(t *testing.T) {
+	model := workload.Model{Name: "m", Layers: []workload.Layer{convLayer()}}
+	grid, err := GridSearchHW(DLALike, model, arch.Edge(), coopt.Latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := coopt.NewProblem(model, arch.Edge(), coopt.Latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := p.WithFixedMapping(Rule(DLALike))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate the grid's winning fanouts through the framework path: the
+	// two flows must broadly agree (the rule probes a 25/75 buffer split,
+	// like the grid).
+	rng := rand.New(rand.NewSource(2))
+	g := fp.Space.Random(rng, 2)
+	g.Fanouts = append([]int(nil), grid.HW.Fanouts...)
+	ev, err := fp.Evaluate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Valid {
+		t.Fatalf("grid-winning HW invalid through framework path: overflow %g", ev.Overflow)
+	}
+	if !NearlyEqual(ev.Cycles, grid.Best.Cycles, 0.35) {
+		t.Errorf("framework path %g vs grid %g differ by >35%%", ev.Cycles, grid.Best.Cycles)
+	}
+}

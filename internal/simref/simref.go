@@ -1,0 +1,151 @@
+// Package simref is a brute-force reference simulator for small design
+// points: it executes mapping loop nests index by index and counts events
+// exactly — MACs issued, unit occupancy, and tensor reloads under the
+// stationarity policy. The analytical model in internal/cost computes the
+// same quantities in closed form; simref exists to cross-validate that
+// implementation (MAESTRO validates against chip prototypes; we validate
+// against exhaustive enumeration), so it deliberately favours obvious
+// code over speed and refuses problems with large iteration spaces.
+package simref
+
+import (
+	"errors"
+	"fmt"
+
+	"digamma/internal/arch"
+	"digamma/internal/mapping"
+	"digamma/internal/workload"
+)
+
+// MaxIterations bounds the loop space simulated per level; larger requests
+// return an error rather than running forever.
+const MaxIterations = 1 << 22
+
+// LevelCounts is the exact event count of one level's loop execution.
+type LevelCounts struct {
+	Iterations int             // temporal loop iterations executed
+	Loads      [3]int          // reloads per tensor (W, I, O order as in cost)
+	Occupancy  int             // child units active in the spatial dimension
+	Trips      workload.Vector // per-dim trip counts used
+}
+
+// SimulateLevel executes one level's six temporal loops in the mapping's
+// order, with the given parent tile, and counts how many times each
+// tensor's relevant index tuple changes (= reloads under a
+// hold-only-current-tile buffer). It mirrors exactly the semantics the
+// analytical model assumes.
+func SimulateLevel(lv mapping.Level, parent workload.Vector, fanout int, layer workload.Layer) (LevelCounts, error) {
+	var lc LevelCounts
+	if fanout < 1 {
+		return lc, errors.New("simref: fanout < 1")
+	}
+
+	total := 1
+	for _, d := range workload.AllDims {
+		chunks := ceilDiv(parent[d], lv.Tiles[d])
+		if d == lv.Spatial {
+			lc.Occupancy = chunks
+			if lc.Occupancy > fanout {
+				lc.Occupancy = fanout
+			}
+			lc.Trips[d] = ceilDiv(chunks, fanout)
+		} else {
+			lc.Trips[d] = chunks
+		}
+		total *= lc.Trips[d]
+		if total > MaxIterations {
+			return lc, fmt.Errorf("simref: %d iterations exceed the cap", total)
+		}
+	}
+
+	w, in, out := layer.TensorDims()
+	rel := [3][workload.NumDims]bool{w, in, out}
+	var last [3][workload.NumDims]int
+	var have [3]bool
+
+	// Execute the loop nest: idx[pos] counts iterations of the loop at
+	// order position pos (outermost = 0).
+	idx := make([]int, workload.NumDims)
+	for {
+		// Current index tuple per dimension.
+		var cur workload.Vector
+		for pos, d := range lv.Order {
+			cur[d] = idx[pos]
+		}
+		lc.Iterations++
+		for t := 0; t < 3; t++ {
+			changed := !have[t]
+			for _, d := range workload.AllDims {
+				if rel[t][d] && last[t][d] != cur[d] {
+					changed = true
+				}
+			}
+			if changed {
+				lc.Loads[t]++
+				for _, d := range workload.AllDims {
+					last[t][d] = cur[d]
+				}
+				have[t] = true
+			}
+		}
+		// Advance odometer, innermost fastest.
+		pos := len(idx) - 1
+		for pos >= 0 {
+			idx[pos]++
+			if idx[pos] < lc.Trips[lv.Order[pos]] {
+				break
+			}
+			idx[pos] = 0
+			pos--
+		}
+		if pos < 0 {
+			break
+		}
+	}
+	return lc, nil
+}
+
+// TotalCounts is the exact whole-design event count.
+type TotalCounts struct {
+	MappedMACs float64
+	ActivePEs  int // product of level occupancies
+}
+
+// SimulateMACs executes every hierarchy level's loop space (sizes
+// permitting) and returns the exact mapped MAC count including ragged
+// padding — the ground truth for cost.Result.MappedMACs.
+func SimulateMACs(hw arch.HW, m mapping.Mapping, layer workload.Layer) (TotalCounts, error) {
+	var tc TotalCounts
+	if len(m.Levels) != hw.Levels() {
+		return tc, errors.New("simref: level mismatch")
+	}
+	if err := m.Validate(layer); err != nil {
+		return tc, err
+	}
+	full := layer.Dims()
+
+	passes := 1.0
+	tc.ActivePEs = 1
+	for l := len(m.Levels) - 1; l >= 0; l-- {
+		parent := full
+		if l+1 < len(m.Levels) {
+			parent = m.Levels[l+1].Tiles
+		}
+		lc, err := SimulateLevel(m.Levels[l], parent, hw.Fanouts[l], layer)
+		if err != nil {
+			return tc, err
+		}
+		passes *= float64(lc.Iterations)
+		tc.ActivePEs *= lc.Occupancy
+	}
+	peTile := float64(m.Levels[0].Tiles.Product())
+	tc.MappedMACs = peTile * passes * float64(tc.ActivePEs)
+	return tc, nil
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}

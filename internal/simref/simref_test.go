@@ -1,0 +1,240 @@
+package simref
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"digamma/internal/arch"
+	"digamma/internal/cost"
+	"digamma/internal/mapping"
+	"digamma/internal/workload"
+)
+
+func smallLayer(rng *rand.Rand) workload.Layer {
+	pick := func(max int) int { return 1 + rng.Intn(max) }
+	switch rng.Intn(3) {
+	case 0:
+		return workload.Layer{Name: "conv", Type: workload.Conv,
+			K: pick(8), C: pick(8), Y: pick(6), X: pick(6), R: pick(3), S: pick(3)}
+	case 1:
+		return workload.Layer{Name: "dw", Type: workload.DepthwiseConv,
+			K: pick(8), C: 1, Y: pick(6), X: pick(6), R: pick(3), S: pick(3)}
+	default:
+		return workload.Layer{Name: "fc", Type: workload.GEMM,
+			K: pick(12), C: pick(12), Y: pick(4), X: 1, R: 1, S: 1}
+	}
+}
+
+// The analytical model's mapped-MAC and occupancy computation must agree
+// exactly with brute-force loop execution across random small designs.
+func TestAnalyticalMatchesBruteForceMACs(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	agree := 0
+	for trial := 0; trial < 300; trial++ {
+		layer := smallLayer(rng)
+		m := mapping.Random(rng, layer, 2)
+		hw := arch.HW{
+			Fanouts:  []int{1 + rng.Intn(8), 1 + rng.Intn(8)},
+			BufBytes: []int64{1 << 20, 1 << 20},
+		}
+		want, err := SimulateMACs(hw, m, layer)
+		if err != nil {
+			continue // iteration cap hit; skip
+		}
+		got, err := cost.Analyze(hw, m, layer)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(got.MappedMACs-want.MappedMACs) > 0.5 {
+			t.Fatalf("trial %d (%s, map %s): analytical MACs %g != simulated %g",
+				trial, layer.Name, m, got.MappedMACs, want.MappedMACs)
+		}
+		agree++
+	}
+	if agree < 200 {
+		t.Fatalf("only %d/300 trials simulated (cap too tight?)", agree)
+	}
+}
+
+// The closed-form stationarity reload count must equal loop-execution
+// counting for every tensor on random levels.
+func TestReloadCountMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 400; trial++ {
+		layer := smallLayer(rng)
+		m := mapping.Random(rng, layer, 1)
+		lv := m.Levels[0]
+		fanout := 1 + rng.Intn(6)
+		lc, err := SimulateLevel(lv, layer.Dims(), fanout, layer)
+		if err != nil {
+			continue
+		}
+		hw := arch.HW{Fanouts: []int{fanout}, BufBytes: []int64{1 << 20}}
+		r, err := cost.Analyze(hw, m, layer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Iterations must agree.
+		if float64(lc.Iterations) != r.Levels[0].Iterations {
+			t.Fatalf("trial %d: iterations %d != %g", trial, lc.Iterations, r.Levels[0].Iterations)
+		}
+		if lc.Occupancy != r.Levels[0].Occupancy {
+			t.Fatalf("trial %d: occupancy %d != %d", trial, lc.Occupancy, r.Levels[0].Occupancy)
+		}
+		// The closed-form ingress must equal Σ simulated loads × tensor
+		// footprint over the spatial-union tile.
+		eff := lv.Tiles
+		eff[lv.Spatial] *= lc.Occupancy
+		if eff[lv.Spatial] > layer.Dim(lv.Spatial) {
+			eff[lv.Spatial] = layer.Dim(lv.Spatial)
+		}
+		want := float64(lc.Loads[0])*weightFootprint(layer, eff) +
+			float64(lc.Loads[1])*inputFootprint(layer, eff)
+		got := r.Levels[0].IngressWords
+		if math.Abs(got-want) > 1e-6*math.Max(1, want) {
+			t.Fatalf("trial %d (%s, map %s): ingress %g != simulated %g (loads W=%d I=%d)",
+				trial, layer.Name, m, got, want, lc.Loads[0], lc.Loads[1])
+		}
+	}
+}
+
+// weightFootprint mirrors the analytical model's weight tile size.
+func weightFootprint(l workload.Layer, tile workload.Vector) float64 {
+	w, _, _ := l.TensorDims()
+	fp := 1.0
+	for _, d := range workload.AllDims {
+		if w[d] {
+			fp *= float64(tile[d])
+		}
+	}
+	return fp
+}
+
+// inputFootprint mirrors the analytical model's input halo formula.
+func inputFootprint(l workload.Layer, tile workload.Vector) float64 {
+	sy, sx := l.Strides()
+	ch := tile[workload.C]
+	if l.Type == workload.DepthwiseConv {
+		ch = tile[workload.K]
+	}
+	iy := (tile[workload.Y]-1)*sy + tile[workload.R]
+	ix := (tile[workload.X]-1)*sx + tile[workload.S]
+	return float64(ch) * float64(iy) * float64(ix)
+}
+
+// With every tile extent forced to the full dimension on one PE, each
+// tensor loads exactly once.
+func TestSingleTileLoadsOnce(t *testing.T) {
+	layer := workload.Layer{Name: "conv", Type: workload.Conv, K: 4, C: 3, Y: 4, X: 4, R: 3, S: 3}
+	lv := mapping.Level{
+		Spatial: workload.K,
+		Order:   mapping.CanonicalOrder(),
+		Tiles:   layer.Dims(),
+	}
+	lc, err := SimulateLevel(lv, layer.Dims(), 1, layer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.Iterations != 1 {
+		t.Errorf("iterations = %d", lc.Iterations)
+	}
+	for tIdx, loads := range lc.Loads {
+		if loads != 1 {
+			t.Errorf("tensor %d loaded %d times", tIdx, loads)
+		}
+	}
+}
+
+// Weight-stationary vs output-stationary loop orders must show the
+// expected reload asymmetry in brute force too.
+func TestSimulatedStationarity(t *testing.T) {
+	layer := workload.Layer{Name: "fc", Type: workload.GEMM, K: 6, C: 5, Y: 7, X: 1, R: 1, S: 1}
+	tiles := workload.Vector{1, 1, 1, 1, 1, 1}
+	ws := mapping.Level{Spatial: workload.X, Tiles: tiles,
+		Order: orderOf(workload.K, workload.C, workload.Y)}
+	os := mapping.Level{Spatial: workload.X, Tiles: tiles,
+		Order: orderOf(workload.Y, workload.K, workload.C)}
+	lcWS, err := SimulateLevel(ws, layer.Dims(), 1, layer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcOS, err := SimulateLevel(os, layer.Dims(), 1, layer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weight loads: K*C with weights held across Y; K*C*Y when Y is outer.
+	if lcWS.Loads[0] != 6*5 {
+		t.Errorf("WS weight loads = %d, want 30", lcWS.Loads[0])
+	}
+	if lcOS.Loads[0] != 6*5*7 {
+		t.Errorf("OS weight loads = %d, want 210", lcOS.Loads[0])
+	}
+}
+
+func TestSimulateGuards(t *testing.T) {
+	layer := workload.Layer{Name: "big", Type: workload.Conv,
+		K: 512, C: 512, Y: 64, X: 64, R: 3, S: 3}
+	lv := mapping.Level{Spatial: workload.K, Order: mapping.CanonicalOrder(),
+		Tiles: workload.Vector{1, 1, 1, 1, 1, 1}}
+	if _, err := SimulateLevel(lv, layer.Dims(), 1, layer); err == nil {
+		t.Error("iteration cap not enforced")
+	}
+	if _, err := SimulateLevel(lv, layer.Dims(), 0, layer); err == nil {
+		t.Error("zero fanout accepted")
+	}
+	m := mapping.Mapping{Levels: []mapping.Level{lv}}
+	hw := arch.HW{Fanouts: []int{2, 2}, BufBytes: []int64{1, 1}}
+	if _, err := SimulateMACs(hw, m, layer); err == nil {
+		t.Error("level mismatch accepted")
+	}
+}
+
+func orderOf(ds ...workload.Dim) [workload.NumDims]workload.Dim {
+	var order [workload.NumDims]workload.Dim
+	used := map[workload.Dim]bool{}
+	i := 0
+	for _, d := range ds {
+		order[i] = d
+		used[d] = true
+		i++
+	}
+	for _, d := range workload.AllDims {
+		if !used[d] {
+			order[i] = d
+			i++
+		}
+	}
+	return order
+}
+
+// Three-level hierarchies (DiGamma's Grow operator output) must also match
+// brute force exactly.
+func TestThreeLevelMACsMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	agree := 0
+	for trial := 0; trial < 200; trial++ {
+		layer := smallLayer(rng)
+		m := mapping.Random(rng, layer, 3)
+		hw := arch.HW{
+			Fanouts:  []int{1 + rng.Intn(4), 1 + rng.Intn(4), 1 + rng.Intn(4)},
+			BufBytes: []int64{1 << 20, 1 << 20, 1 << 20},
+		}
+		want, err := SimulateMACs(hw, m, layer)
+		if err != nil {
+			continue
+		}
+		got, err := cost.Analyze(hw, m, layer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.MappedMACs-want.MappedMACs) > 0.5 {
+			t.Fatalf("trial %d: analytical %g != simulated %g (map %s)",
+				trial, got.MappedMACs, want.MappedMACs, m)
+		}
+		agree++
+	}
+	if agree < 120 {
+		t.Fatalf("only %d/200 trials simulated", agree)
+	}
+}

@@ -1,0 +1,236 @@
+package space
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"digamma/internal/arch"
+	"digamma/internal/workload"
+)
+
+func testSpace(t *testing.T) Space {
+	t.Helper()
+	m, err := workload.ByName("resnet18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(m, arch.Edge())
+}
+
+func TestSpaceDim(t *testing.T) {
+	s := testSpace(t)
+	want := 2 + len(s.Layers)*2*13
+	if got := s.Dim(); got != want {
+		t.Errorf("Dim = %d, want %d", got, want)
+	}
+	fixed := s.WithFixedHW(arch.HW{Fanouts: []int{8, 8}, BufBytes: []int64{1024, 65536}})
+	if got := fixed.Dim(); got != want-2 {
+		t.Errorf("fixed-HW Dim = %d, want %d", got, want-2)
+	}
+}
+
+func TestSpaceValidate(t *testing.T) {
+	s := testSpace(t)
+	if err := s.Validate(); err != nil {
+		t.Errorf("valid space rejected: %v", err)
+	}
+	if err := (Space{}).Validate(); err == nil {
+		t.Error("empty space accepted")
+	}
+	bad := s
+	bad.Levels = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero-level space accepted")
+	}
+	bad2 := s
+	bad2.MaxFanout = 0
+	if err := bad2.Validate(); err == nil {
+		t.Error("zero-fanout space accepted")
+	}
+}
+
+func TestDecodeRejectsWrongLength(t *testing.T) {
+	s := testSpace(t)
+	if _, err := s.Decode(make([]float64, 3)); err == nil {
+		t.Error("wrong-length vector accepted")
+	}
+}
+
+// Every continuous vector must decode to a structurally legal genome.
+func TestDecodeAlwaysLegal(t *testing.T) {
+	s := testSpace(t)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		x := make([]float64, s.Dim())
+		for i := range x {
+			// Include out-of-box values: optimizers clip, but decode must
+			// survive anything.
+			x[i] = rng.Float64()*1.4 - 0.2
+		}
+		g, err := s.Decode(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Levels() != 2 {
+			t.Fatalf("decoded %d levels", g.Levels())
+		}
+		for l, f := range g.Fanouts {
+			if f < 1 || f > s.MaxFanout {
+				t.Fatalf("fanout[%d] = %d out of [1,%d]", l, f, s.MaxFanout)
+			}
+		}
+		for li, m := range g.Maps {
+			if err := m.Validate(s.Layers[li]); err != nil {
+				t.Fatalf("trial %d layer %d: %v", trial, li, err)
+			}
+		}
+	}
+}
+
+func TestDecodeFixedHWUsesFrozenFanouts(t *testing.T) {
+	s := testSpace(t)
+	hw := arch.HW{Fanouts: []int{16, 32}, BufBytes: []int64{2048, 1 << 20}}
+	fs := s.WithFixedHW(hw)
+	x := make([]float64, fs.Dim())
+	for i := range x {
+		x[i] = 0.5
+	}
+	g, err := fs.Decode(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Fanouts[0] != 16 || g.Fanouts[1] != 32 {
+		t.Errorf("fixed-HW fanouts = %v", g.Fanouts)
+	}
+}
+
+func TestLogScale(t *testing.T) {
+	if logScale(0, 100) != 1 {
+		t.Errorf("logScale(0) = %d, want 1", logScale(0, 100))
+	}
+	if logScale(1, 100) != 100 {
+		t.Errorf("logScale(1) = %d, want 100", logScale(1, 100))
+	}
+	if logScale(0.5, 1) != 1 {
+		t.Error("logScale with max=1 must be 1")
+	}
+	// Monotone non-decreasing in u.
+	prev := 0
+	for u := 0.0; u <= 1.0; u += 0.01 {
+		v := logScale(u, 64)
+		if v < prev {
+			t.Fatalf("logScale not monotone at u=%.2f: %d < %d", u, v, prev)
+		}
+		prev = v
+	}
+}
+
+// Property: logScale stays in range for arbitrary inputs.
+func TestLogScaleProperty(t *testing.T) {
+	f := func(u float64, rawMax uint16) bool {
+		max := int(rawMax)%512 + 1
+		v := logScale(u, max)
+		return v >= 1 && v <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomGenomeLegal(t *testing.T) {
+	s := testSpace(t)
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		levels := 2 + trial%2
+		g := s.Random(rng, levels)
+		if g.Levels() != levels {
+			t.Fatalf("Random levels = %d, want %d", g.Levels(), levels)
+		}
+		for li, m := range g.Maps {
+			if err := m.Validate(s.Layers[li]); err != nil {
+				t.Fatalf("random genome invalid: %v", err)
+			}
+		}
+	}
+}
+
+func TestRepairAlignsLevels(t *testing.T) {
+	s := testSpace(t)
+	rng := rand.New(rand.NewSource(3))
+	g := s.Random(rng, 2)
+	// Grow HW genes without touching the mappings.
+	g.Fanouts = append(g.Fanouts, 4)
+	r := s.Repair(g)
+	for li, m := range r.Maps {
+		if m.NumLevels() != 3 {
+			t.Fatalf("layer %d has %d levels after repair", li, m.NumLevels())
+		}
+		if err := m.Validate(s.Layers[li]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Shrink.
+	r.Fanouts = r.Fanouts[:2]
+	r2 := s.Repair(r)
+	if r2.Maps[0].NumLevels() != 2 {
+		t.Errorf("shrink repair left %d levels", r2.Maps[0].NumLevels())
+	}
+}
+
+func TestRepairClampsFanouts(t *testing.T) {
+	s := testSpace(t)
+	rng := rand.New(rand.NewSource(4))
+	g := s.Random(rng, 2)
+	g.Fanouts[0] = -3
+	g.Fanouts[1] = s.MaxFanout * 10
+	r := s.Repair(g)
+	if r.Fanouts[0] != 1 {
+		t.Errorf("negative fanout repaired to %d", r.Fanouts[0])
+	}
+	if r.Fanouts[1] != s.MaxFanout {
+		t.Errorf("oversized fanout repaired to %d, want %d", r.Fanouts[1], s.MaxFanout)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := testSpace(t)
+	rng := rand.New(rand.NewSource(5))
+	g := s.Random(rng, 2)
+	c := g.Clone()
+	c.Fanouts[0] = 999
+	c.Maps[0].Levels[0].Tiles[workload.K] = 999
+	if g.Fanouts[0] == 999 || g.Maps[0].Levels[0].Tiles[workload.K] == 999 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestGenomeString(t *testing.T) {
+	s := testSpace(t)
+	rng := rand.New(rand.NewSource(5))
+	g := s.Random(rng, 2)
+	str := g.String()
+	if !strings.Contains(str, "PEs=") || !strings.Contains(str, "layer 0") {
+		t.Errorf("Genome.String = %q", str)
+	}
+	if g.NumPEs() != g.Fanouts[0]*g.Fanouts[1] {
+		t.Error("NumPEs mismatch")
+	}
+}
+
+func TestDecodeDeterministic(t *testing.T) {
+	s := testSpace(t)
+	x := make([]float64, s.Dim())
+	for i := range x {
+		x[i] = float64(i%7) / 7
+	}
+	g1, err1 := s.Decode(x)
+	g2, err2 := s.Decode(x)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if g1.String() != g2.String() {
+		t.Error("Decode not deterministic")
+	}
+}

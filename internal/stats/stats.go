@@ -1,0 +1,144 @@
+// Package stats provides the summary statistics used to report
+// multi-seed experiment results: quantiles, bootstrap confidence
+// intervals and rank aggregation. Single-seed tables (the paper's format)
+// hide run-to-run variance; the multi-seed runner in internal/figures
+// uses these helpers to report medians with spread.
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Median returns the middle value (mean of the two middle values for even
+// lengths). NaN for empty input.
+func Median(xs []float64) float64 {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by linear interpolation.
+// NaN entries are ignored; NaN for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	clean := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			clean = append(clean, x)
+		}
+	}
+	if len(clean) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(clean)
+	if q <= 0 {
+		return clean[0]
+	}
+	if q >= 1 {
+		return clean[len(clean)-1]
+	}
+	pos := q * float64(len(clean)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(clean) {
+		return clean[lo]
+	}
+	return clean[lo]*(1-frac) + clean[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean, ignoring NaNs; NaN for empty input.
+func Mean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sum += x
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// StdDev returns the sample standard deviation (n−1), ignoring NaNs.
+func StdDev(xs []float64) float64 {
+	m := Mean(xs)
+	if math.IsNaN(m) {
+		return math.NaN()
+	}
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sum += (x - m) * (x - m)
+			n++
+		}
+	}
+	if n < 2 {
+		return 0
+	}
+	return math.Sqrt(sum / float64(n-1))
+}
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// BootstrapCI returns a percentile bootstrap confidence interval for the
+// median at the given confidence level (e.g. 0.95), using resamples
+// drawn from rng for reproducibility.
+func BootstrapCI(xs []float64, confidence float64, resamples int, rng *rand.Rand) (Interval, error) {
+	clean := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			clean = append(clean, x)
+		}
+	}
+	if len(clean) < 2 {
+		return Interval{}, errors.New("stats: need ≥ 2 observations")
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return Interval{}, errors.New("stats: confidence must be in (0,1)")
+	}
+	if resamples < 10 {
+		resamples = 1000
+	}
+	medians := make([]float64, resamples)
+	sample := make([]float64, len(clean))
+	for r := 0; r < resamples; r++ {
+		for i := range sample {
+			sample[i] = clean[rng.Intn(len(clean))]
+		}
+		medians[r] = Median(sample)
+	}
+	alpha := (1 - confidence) / 2
+	return Interval{
+		Lo: Quantile(medians, alpha),
+		Hi: Quantile(medians, 1-alpha),
+	}, nil
+}
+
+// WinRate returns the fraction of paired observations where a beats b
+// (strictly lower). Pairs with NaN on either side are skipped; NaN when no
+// usable pair exists.
+func WinRate(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	wins, used := 0, 0
+	for i := 0; i < n; i++ {
+		if math.IsNaN(a[i]) || math.IsNaN(b[i]) {
+			continue
+		}
+		used++
+		if a[i] < b[i] {
+			wins++
+		}
+	}
+	if used == 0 {
+		return math.NaN()
+	}
+	return float64(wins) / float64(used)
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %g", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("even median = %g", m)
+	}
+	if m := Median([]float64{1, math.NaN(), 3}); m != 2 {
+		t.Errorf("NaN-skipping median = %g", m)
+	}
+	if m := Median(nil); !math.IsNaN(m) {
+		t.Errorf("empty median = %g", m)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	cases := map[float64]float64{0: 0, 0.25: 1, 0.5: 2, 0.75: 3, 1: 4}
+	for q, want := range cases {
+		if got := Quantile(xs, q); got != want {
+			t.Errorf("Quantile(%g) = %g, want %g", q, got, want)
+		}
+	}
+	if got := Quantile(xs, -1); got != 0 {
+		t.Errorf("clamped low quantile = %g", got)
+	}
+	if got := Quantile(xs, 2); got != 4 {
+		t.Errorf("clamped high quantile = %g", got)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("mean = %g", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2.138) > 0.01 {
+		t.Errorf("stddev = %g, want ≈2.14", s)
+	}
+	if s := StdDev([]float64{1}); s != 0 {
+		t.Errorf("single-sample stddev = %g", s)
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = 10 + rng.NormFloat64()
+	}
+	ci, err := BootstrapCI(xs, 0.95, 2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := Median(xs)
+	if !(ci.Lo <= med && med <= ci.Hi) {
+		t.Errorf("median %g outside CI [%g, %g]", med, ci.Lo, ci.Hi)
+	}
+	if ci.Hi-ci.Lo > 2 {
+		t.Errorf("CI suspiciously wide: [%g, %g]", ci.Lo, ci.Hi)
+	}
+	if _, err := BootstrapCI([]float64{1}, 0.95, 100, rng); err == nil {
+		t.Error("single observation accepted")
+	}
+	if _, err := BootstrapCI(xs, 1.5, 100, rng); err == nil {
+		t.Error("bad confidence accepted")
+	}
+}
+
+func TestWinRate(t *testing.T) {
+	a := []float64{1, 2, 3, math.NaN()}
+	b := []float64{2, 2, 2, 1}
+	// a wins pair 0, ties pair 1, loses pair 2; pair 3 skipped.
+	if w := WinRate(a, b); math.Abs(w-1.0/3) > 1e-12 {
+		t.Errorf("win rate = %g, want 1/3", w)
+	}
+	if w := WinRate(nil, nil); !math.IsNaN(w) {
+		t.Errorf("empty win rate = %g", w)
+	}
+}
+
+// Properties: quantiles are monotone in q and bounded by the data.
+func TestQuantileProperties(t *testing.T) {
+	f := func(raw []uint8, q1f, q2f uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r)
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		q1 := float64(q1f) / 255
+		q2 := float64(q2f) / 255
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		v1, v2 := Quantile(xs, q1), Quantile(xs, q2)
+		return v1 <= v2+1e-9 && v1 >= lo-1e-9 && v2 <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package tables provides the statistics (geometric mean, normalization)
+// and plain-text table rendering used to regenerate the paper's result
+// figures.
+package tables
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// GeoMean returns the geometric mean of the positive entries of xs,
+// ignoring NaN/Inf/non-positive entries (the paper's N/A cells). It
+// returns NaN when no entry is usable.
+func GeoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Normalize divides each entry by the reference value, propagating NaN
+// (N/A) entries.
+func Normalize(xs []float64, ref float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		if ref > 0 && !math.IsNaN(x) {
+			out[i] = x / ref
+		} else {
+			out[i] = math.NaN()
+		}
+	}
+	return out
+}
+
+// Cell formats a table value in the paper's style: "N/A" for NaN/Inf,
+// compact fixed-point otherwise.
+func Cell(x float64) string {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return "N/A"
+	}
+	switch {
+	case x >= 1000:
+		return fmt.Sprintf("%.0f", x)
+	case x >= 10:
+		return fmt.Sprintf("%.1f", x)
+	default:
+		return fmt.Sprintf("%.2f", x)
+	}
+}
+
+// Table is a simple named-row/named-column matrix of float cells.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    []string
+	data    map[string][]float64
+}
+
+// NewTable creates an empty table with the given column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns, data: map[string][]float64{}}
+}
+
+// SetRow stores one row of values (len must match Columns).
+func (t *Table) SetRow(name string, values []float64) {
+	if _, seen := t.data[name]; !seen {
+		t.rows = append(t.rows, name)
+	}
+	t.data[name] = append([]float64(nil), values...)
+}
+
+// Row returns a copy of a row's values and whether it exists.
+func (t *Table) Row(name string) ([]float64, bool) {
+	v, ok := t.data[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]float64(nil), v...), true
+}
+
+// Rows returns the row names in insertion order.
+func (t *Table) Rows() []string { return append([]string(nil), t.rows...) }
+
+// AddGeoMeanRow appends a "GeoMean" row: per-column geometric mean across
+// all existing rows.
+func (t *Table) AddGeoMeanRow() {
+	gm := make([]float64, len(t.Columns))
+	for c := range t.Columns {
+		var col []float64
+		for _, r := range t.rows {
+			col = append(col, t.data[r][c])
+		}
+		gm[c] = GeoMean(col)
+	}
+	t.SetRow("GeoMean", gm)
+}
+
+// NormalizeBy divides every row by the named reference column,
+// reproducing the paper's "normalized to CMA / Compute-focused" tables.
+func (t *Table) NormalizeBy(refColumn string) error {
+	ref := -1
+	for i, c := range t.Columns {
+		if c == refColumn {
+			ref = i
+			break
+		}
+	}
+	if ref < 0 {
+		return fmt.Errorf("tables: no column %q", refColumn)
+	}
+	for _, r := range t.rows {
+		row := t.data[r]
+		t.data[r] = Normalize(row, row[ref])
+	}
+	return nil
+}
+
+// Render draws the table as aligned plain text (markdown-compatible).
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	width := make([]int, len(t.Columns)+1)
+	width[0] = len("GeoMean")
+	for _, r := range t.rows {
+		if len(r) > width[0] {
+			width[0] = len(r)
+		}
+	}
+	cells := make(map[string][]string)
+	for _, r := range t.rows {
+		row := make([]string, len(t.Columns))
+		for c := range t.Columns {
+			row[c] = Cell(t.data[r][c])
+		}
+		cells[r] = row
+	}
+	for c, name := range t.Columns {
+		width[c+1] = len(name)
+		for _, r := range t.rows {
+			if len(cells[r][c]) > width[c+1] {
+				width[c+1] = len(cells[r][c])
+			}
+		}
+	}
+	fmt.Fprintf(&b, "| %-*s |", width[0], "")
+	for c, name := range t.Columns {
+		fmt.Fprintf(&b, " %*s |", width[c+1], name)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "|%s|", strings.Repeat("-", width[0]+2))
+	for c := range t.Columns {
+		fmt.Fprintf(&b, "%s|", strings.Repeat("-", width[c+1]+2))
+	}
+	b.WriteString("\n")
+	for _, r := range t.rows {
+		fmt.Fprintf(&b, "| %-*s |", width[0], r)
+		for c := range t.Columns {
+			fmt.Fprintf(&b, " %*s |", width[c+1], cells[r][c])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("row," + strings.Join(t.Columns, ",") + "\n")
+	for _, r := range t.rows {
+		b.WriteString(r)
+		for c := range t.Columns {
+			b.WriteString("," + Cell(t.data[r][c]))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,150 @@
+package tables
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %g, want 4", g)
+	}
+	if g := GeoMean([]float64{5}); math.Abs(g-5) > 1e-12 {
+		t.Errorf("GeoMean(5) = %g", g)
+	}
+	// N/A entries are skipped, like the paper's tables.
+	if g := GeoMean([]float64{2, math.NaN(), 8, math.Inf(1), -1, 0}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("GeoMean with junk = %g, want 4", g)
+	}
+	if g := GeoMean(nil); !math.IsNaN(g) {
+		t.Errorf("GeoMean(nil) = %g, want NaN", g)
+	}
+}
+
+// Property: geomean lies between min and max of the valid entries.
+func TestGeoMeanBoundsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var xs []float64
+		lo, hi := math.Inf(1), 0.0
+		for _, r := range raw {
+			x := float64(r%1000) + 1
+			xs = append(xs, x)
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := GeoMean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{2, 4, math.NaN()}, 2)
+	if out[0] != 1 || out[1] != 2 || !math.IsNaN(out[2]) {
+		t.Errorf("Normalize = %v", out)
+	}
+	all := Normalize([]float64{1, 2}, 0)
+	if !math.IsNaN(all[0]) || !math.IsNaN(all[1]) {
+		t.Error("Normalize by 0 should give NaN")
+	}
+}
+
+func TestCell(t *testing.T) {
+	cases := map[float64]string{
+		math.NaN(): "N/A",
+		0.5:        "0.50",
+		12.34:      "12.3",
+		4567.8:     "4568",
+	}
+	for x, want := range cases {
+		if got := Cell(x); got != want {
+			t.Errorf("Cell(%g) = %q, want %q", x, got, want)
+		}
+	}
+	if Cell(math.Inf(1)) != "N/A" {
+		t.Error("Cell(+Inf) != N/A")
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	tb := NewTable("test", "A", "B", "C")
+	tb.SetRow("r1", []float64{1, 2, 4})
+	tb.SetRow("r2", []float64{2, 4, 8})
+	row, ok := tb.Row("r1")
+	if !ok || row[2] != 4 {
+		t.Fatalf("Row(r1) = %v, %v", row, ok)
+	}
+	if _, ok := tb.Row("nope"); ok {
+		t.Error("missing row found")
+	}
+	if rows := tb.Rows(); len(rows) != 2 || rows[0] != "r1" {
+		t.Errorf("Rows = %v", rows)
+	}
+}
+
+func TestTableOverwriteRowKeepsOrder(t *testing.T) {
+	tb := NewTable("", "A")
+	tb.SetRow("x", []float64{1})
+	tb.SetRow("y", []float64{2})
+	tb.SetRow("x", []float64{3})
+	if rows := tb.Rows(); len(rows) != 2 {
+		t.Errorf("duplicate row created: %v", rows)
+	}
+	row, _ := tb.Row("x")
+	if row[0] != 3 {
+		t.Errorf("overwrite lost: %v", row)
+	}
+}
+
+func TestNormalizeBy(t *testing.T) {
+	tb := NewTable("", "alg1", "ref", "alg2")
+	tb.SetRow("m1", []float64{10, 5, 2.5})
+	if err := tb.NormalizeBy("ref"); err != nil {
+		t.Fatal(err)
+	}
+	row, _ := tb.Row("m1")
+	if row[0] != 2 || row[1] != 1 || row[2] != 0.5 {
+		t.Errorf("normalized = %v", row)
+	}
+	if err := tb.NormalizeBy("missing"); err == nil {
+		t.Error("missing reference column accepted")
+	}
+}
+
+func TestAddGeoMeanRow(t *testing.T) {
+	tb := NewTable("", "A")
+	tb.SetRow("r1", []float64{2})
+	tb.SetRow("r2", []float64{8})
+	tb.AddGeoMeanRow()
+	gm, ok := tb.Row("GeoMean")
+	if !ok || math.Abs(gm[0]-4) > 1e-12 {
+		t.Errorf("GeoMean row = %v, %v", gm, ok)
+	}
+}
+
+func TestRenderContainsEverything(t *testing.T) {
+	tb := NewTable("Fig X", "CMA", "DiGamma")
+	tb.SetRow("resnet18", []float64{1.0, 0.3})
+	tb.SetRow("bert", []float64{math.NaN(), 0.5})
+	s := tb.Render()
+	for _, want := range []string{"Fig X", "CMA", "DiGamma", "resnet18", "bert", "N/A", "0.30"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Render missing %q in:\n%s", want, s)
+		}
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, "row,CMA,DiGamma") || !strings.Contains(csv, "resnet18,1.00,0.30") {
+		t.Errorf("CSV = %q", csv)
+	}
+}

@@ -1,0 +1,122 @@
+// Package workload defines DNN layer shapes and the model zoo used by the
+// DiGamma evaluation: MobileNetV2, ResNet-18/50, MnasNet, BERT, DLRM and NCF.
+//
+// Layers are described in the six-dimensional convolution space the paper
+// (and MAESTRO) use: K output channels, C input channels, Y/X output spatial
+// extent and R/S kernel extent. Fully-connected / GEMM layers are expressed
+// in the same space (K=M, C=reduction, Y=N, X=R=S=1) so a single analytical
+// cost model covers every layer of every model.
+package workload
+
+import "fmt"
+
+// Dim identifies one of the six loop dimensions of a convolution.
+type Dim uint8
+
+// The six mapping dimensions. The order here fixes gene positions in the
+// design-point encoding, so it must not change.
+const (
+	K       Dim = iota // output channels
+	C                  // input channels (reduction)
+	Y                  // output rows
+	X                  // output columns
+	R                  // kernel rows (reduction)
+	S                  // kernel columns (reduction)
+	NumDims            // number of dimensions (= 6)
+)
+
+// AllDims lists every dimension in canonical order.
+var AllDims = [NumDims]Dim{K, C, Y, X, R, S}
+
+var dimNames = [NumDims]string{"K", "C", "Y", "X", "R", "S"}
+
+// String returns the single-letter name used in the paper's figures.
+func (d Dim) String() string {
+	if d >= NumDims {
+		return fmt.Sprintf("Dim(%d)", uint8(d))
+	}
+	return dimNames[d]
+}
+
+// Valid reports whether d is one of the six mapping dimensions.
+func (d Dim) Valid() bool { return d < NumDims }
+
+// ParseDim converts a single-letter dimension name ("K".."S") to a Dim.
+func ParseDim(s string) (Dim, error) {
+	for i, n := range dimNames {
+		if n == s {
+			return Dim(i), nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown dimension %q", s)
+}
+
+// IsReduction reports whether iterating d produces partial sums rather than
+// independent outputs (true for C, R and S in a standard convolution).
+func (d Dim) IsReduction() bool { return d == C || d == R || d == S }
+
+// Vector is a per-dimension integer quantity (sizes, tiles, trip counts).
+type Vector [NumDims]int
+
+// Product returns the product of all entries as an int64.
+func (v Vector) Product() int64 {
+	p := int64(1)
+	for _, e := range v {
+		p *= int64(e)
+	}
+	return p
+}
+
+// Max returns the element-wise maximum of v and w.
+func (v Vector) Max(w Vector) Vector {
+	var out Vector
+	for i := range v {
+		if v[i] >= w[i] {
+			out[i] = v[i]
+		} else {
+			out[i] = w[i]
+		}
+	}
+	return out
+}
+
+// Min returns the element-wise minimum of v and w.
+func (v Vector) Min(w Vector) Vector {
+	var out Vector
+	for i := range v {
+		if v[i] <= w[i] {
+			out[i] = v[i]
+		} else {
+			out[i] = w[i]
+		}
+	}
+	return out
+}
+
+// Clamp limits every entry of v to [1, bound[d]].
+func (v Vector) Clamp(bound Vector) Vector {
+	var out Vector
+	for i := range v {
+		e := v[i]
+		if e < 1 {
+			e = 1
+		}
+		if e > bound[i] {
+			e = bound[i]
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// String renders the vector as "K:a C:b Y:c X:d R:e S:f".
+func (v Vector) String() string {
+	s := ""
+	for d := Dim(0); d < NumDims; d++ {
+		if d > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s:%d", d, v[d])
+	}
+	return s
+}

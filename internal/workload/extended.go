@@ -1,0 +1,95 @@
+package workload
+
+// Extended zoo: classic networks beyond the paper's seven evaluation
+// models, useful for regression-testing the mapper on very different
+// shape distributions (huge dense layers, large spatial extents,
+// decoder-style attention). ByName resolves them too; ModelNames (the
+// paper's set) intentionally does not list them so the reproduction
+// experiments stay faithful.
+
+// ExtendedModelNames lists the additional built-in models.
+var ExtendedModelNames = []string{"alexnet", "vgg16", "resnet34", "gpt2block"}
+
+// byExtendedName resolves the extended zoo.
+func byExtendedName(name string) (Model, bool) {
+	switch name {
+	case "alexnet":
+		return AlexNet(), true
+	case "vgg16":
+		return VGG16(), true
+	case "resnet34":
+		return ResNet34(), true
+	case "gpt2block":
+		return GPT2Block(), true
+	default:
+		return Model{}, false
+	}
+}
+
+// AlexNet returns AlexNet at 227×227, batch 1 — large kernels (11×11,
+// 5×5) and enormous fully-connected layers stress weight-side reuse.
+func AlexNet() Model {
+	return Model{Name: "alexnet", Layers: []Layer{
+		conv("conv1", 96, 3, 55, 55, 11, 11, 4, 1),
+		conv("conv2", 256, 96, 27, 27, 5, 5, 1, 1),
+		conv("conv3", 384, 256, 13, 13, 3, 3, 1, 1),
+		conv("conv4", 384, 384, 13, 13, 3, 3, 1, 1),
+		conv("conv5", 256, 384, 13, 13, 3, 3, 1, 1),
+		gemm("fc6", 4096, 9216, 1, 1),
+		gemm("fc7", 4096, 4096, 1, 1),
+		gemm("fc8", 1000, 4096, 1, 1),
+	}}
+}
+
+// VGG16 returns VGG-16 at 224×224, batch 1 — deep stacks of uniform 3×3
+// convolutions, the heaviest compute of the extended zoo.
+func VGG16() Model {
+	return Model{Name: "vgg16", Layers: []Layer{
+		conv("conv1_1", 64, 3, 224, 224, 3, 3, 1, 1),
+		conv("conv1_2", 64, 64, 224, 224, 3, 3, 1, 1),
+		conv("conv2_1", 128, 64, 112, 112, 3, 3, 1, 1),
+		conv("conv2_2", 128, 128, 112, 112, 3, 3, 1, 1),
+		conv("conv3_1", 256, 128, 56, 56, 3, 3, 1, 1),
+		conv("conv3_x", 256, 256, 56, 56, 3, 3, 1, 2),
+		conv("conv4_1", 512, 256, 28, 28, 3, 3, 1, 1),
+		conv("conv4_x", 512, 512, 28, 28, 3, 3, 1, 2),
+		conv("conv5_x", 512, 512, 14, 14, 3, 3, 1, 3),
+		gemm("fc6", 4096, 25088, 1, 1),
+		gemm("fc7", 4096, 4096, 1, 1),
+		gemm("fc8", 1000, 4096, 1, 1),
+	}}
+}
+
+// ResNet34 returns ResNet-34 at 224×224, batch 1 — the basic-block
+// sibling between the paper's ResNet-18 and ResNet-50.
+func ResNet34() Model {
+	return Model{Name: "resnet34", Layers: []Layer{
+		conv("conv1", 64, 3, 112, 112, 7, 7, 2, 1),
+		conv("layer1.conv3x3", 64, 64, 56, 56, 3, 3, 1, 6),
+		conv("layer2.down3x3", 128, 64, 28, 28, 3, 3, 2, 1),
+		conv("layer2.conv3x3", 128, 128, 28, 28, 3, 3, 1, 7),
+		conv("layer2.proj", 128, 64, 28, 28, 1, 1, 2, 1),
+		conv("layer3.down3x3", 256, 128, 14, 14, 3, 3, 2, 1),
+		conv("layer3.conv3x3", 256, 256, 14, 14, 3, 3, 1, 11),
+		conv("layer3.proj", 256, 128, 14, 14, 1, 1, 2, 1),
+		conv("layer4.down3x3", 512, 256, 7, 7, 3, 3, 2, 1),
+		conv("layer4.conv3x3", 512, 512, 7, 7, 3, 3, 1, 5),
+		conv("layer4.proj", 512, 256, 7, 7, 1, 1, 2, 1),
+		gemm("fc", 1000, 512, 1, 1),
+	}}
+}
+
+// GPT2Block returns one GPT-2-small decoder block at sequence length 1024
+// (hidden 768, 12 heads) — decode-style attention with a causal context,
+// exercising the same GEMM machinery as BERT at a longer sequence.
+func GPT2Block() Model {
+	const heads = 12
+	return Model{Name: "gpt2block", Layers: []Layer{
+		gemm("attn.qkv", 2304, 768, 1024, 1),
+		gemm("attn.scores", 1024, 64, 1024, heads),
+		gemm("attn.context", 1024, 1024, 64, heads),
+		gemm("attn.proj", 768, 768, 1024, 1),
+		gemm("ffn.expand", 3072, 768, 1024, 1),
+		gemm("ffn.reduce", 768, 3072, 1024, 1),
+	}}
+}

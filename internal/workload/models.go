@@ -1,0 +1,271 @@
+package workload
+
+import "fmt"
+
+// The model zoo reproduces the seven networks of the paper's evaluation
+// (Sec. V-A): vision (MobileNetV2, ResNet-18, ResNet-50, MnasNet), language
+// (BERT) and recommendation (DLRM, NCF). Vision models use batch 1 (edge
+// inference convention), BERT uses sequence length 512, and the
+// recommendation models use batch 256, which reproduces the compute-bound
+// versus memory-bound contrast the paper's analysis relies on.
+
+// ModelNames lists the zoo in the paper's presentation order.
+var ModelNames = []string{
+	"resnet18", "resnet50", "mobilenetv2", "mnasnet", "bert", "ncf", "dlrm",
+}
+
+// ByName returns a model from the zoo.
+func ByName(name string) (Model, error) {
+	switch name {
+	case "resnet18":
+		return ResNet18(), nil
+	case "resnet50":
+		return ResNet50(), nil
+	case "mobilenetv2":
+		return MobileNetV2(), nil
+	case "mnasnet":
+		return MnasNet(), nil
+	case "bert":
+		return BERT(), nil
+	case "dlrm":
+		return DLRM(), nil
+	case "ncf":
+		return NCF(), nil
+	default:
+		if m, ok := byExtendedName(name); ok {
+			return m, nil
+		}
+		return Model{}, fmt.Errorf("workload: unknown model %q (have %v and extended %v)",
+			name, ModelNames, ExtendedModelNames)
+	}
+}
+
+// Zoo returns all seven models in presentation order.
+func Zoo() []Model {
+	out := make([]Model, 0, len(ModelNames))
+	for _, n := range ModelNames {
+		m, err := ByName(n)
+		if err != nil {
+			panic(err) // unreachable: ModelNames and ByName are kept in sync
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func conv(name string, k, c, y, x, r, s, stride, count int) Layer {
+	return Layer{Name: name, Type: Conv, K: k, C: c, Y: y, X: x, R: r, S: s,
+		StrideY: stride, StrideX: stride, Count: count}
+}
+
+func dwconv(name string, k, y, x, r, s, stride, count int) Layer {
+	return Layer{Name: name, Type: DepthwiseConv, K: k, C: 1, Y: y, X: x, R: r, S: s,
+		StrideY: stride, StrideX: stride, Count: count}
+}
+
+// gemm builds an M×N×KR matrix multiply as K=M (output features),
+// C=KR (reduction), Y=N (batch/sequence).
+func gemm(name string, m, kr, n, count int) Layer {
+	return Layer{Name: name, Type: GEMM, K: m, C: kr, Y: n, X: 1, R: 1, S: 1, Count: count}
+}
+
+// ResNet18 returns ResNet-18 at 224×224, batch 1.
+func ResNet18() Model {
+	return Model{Name: "resnet18", Layers: []Layer{
+		conv("conv1", 64, 3, 112, 112, 7, 7, 2, 1),
+		conv("layer1.conv3x3", 64, 64, 56, 56, 3, 3, 1, 4),
+		conv("layer2.down3x3", 128, 64, 28, 28, 3, 3, 2, 1),
+		conv("layer2.conv3x3", 128, 128, 28, 28, 3, 3, 1, 3),
+		conv("layer2.proj", 128, 64, 28, 28, 1, 1, 2, 1),
+		conv("layer3.down3x3", 256, 128, 14, 14, 3, 3, 2, 1),
+		conv("layer3.conv3x3", 256, 256, 14, 14, 3, 3, 1, 3),
+		conv("layer3.proj", 256, 128, 14, 14, 1, 1, 2, 1),
+		conv("layer4.down3x3", 512, 256, 7, 7, 3, 3, 2, 1),
+		conv("layer4.conv3x3", 512, 512, 7, 7, 3, 3, 1, 3),
+		conv("layer4.proj", 512, 256, 7, 7, 1, 1, 2, 1),
+		gemm("fc", 1000, 512, 1, 1),
+	}}
+}
+
+// ResNet50 returns ResNet-50 (v1.5 stride placement) at 224×224, batch 1.
+func ResNet50() Model {
+	return Model{Name: "resnet50", Layers: []Layer{
+		conv("conv1", 64, 3, 112, 112, 7, 7, 2, 1),
+		// Stage 1: 56×56, 3 bottleneck blocks (64-64-256).
+		conv("s1.b1.reduce", 64, 64, 56, 56, 1, 1, 1, 1),
+		conv("s1.reduce", 64, 256, 56, 56, 1, 1, 1, 2),
+		conv("s1.conv3x3", 64, 64, 56, 56, 3, 3, 1, 3),
+		conv("s1.expand", 256, 64, 56, 56, 1, 1, 1, 3),
+		conv("s1.proj", 256, 64, 56, 56, 1, 1, 1, 1),
+		// Stage 2: 28×28, 4 blocks (128-128-512).
+		conv("s2.b1.reduce", 128, 256, 28, 28, 1, 1, 1, 1),
+		conv("s2.reduce", 128, 512, 28, 28, 1, 1, 1, 3),
+		conv("s2.b1.conv3x3", 128, 128, 28, 28, 3, 3, 2, 1),
+		conv("s2.conv3x3", 128, 128, 28, 28, 3, 3, 1, 3),
+		conv("s2.expand", 512, 128, 28, 28, 1, 1, 1, 4),
+		conv("s2.proj", 512, 256, 28, 28, 1, 1, 2, 1),
+		// Stage 3: 14×14, 6 blocks (256-256-1024).
+		conv("s3.b1.reduce", 256, 512, 14, 14, 1, 1, 1, 1),
+		conv("s3.reduce", 256, 1024, 14, 14, 1, 1, 1, 5),
+		conv("s3.b1.conv3x3", 256, 256, 14, 14, 3, 3, 2, 1),
+		conv("s3.conv3x3", 256, 256, 14, 14, 3, 3, 1, 5),
+		conv("s3.expand", 1024, 256, 14, 14, 1, 1, 1, 6),
+		conv("s3.proj", 1024, 512, 14, 14, 1, 1, 2, 1),
+		// Stage 4: 7×7, 3 blocks (512-512-2048).
+		conv("s4.b1.reduce", 512, 1024, 7, 7, 1, 1, 1, 1),
+		conv("s4.reduce", 512, 2048, 7, 7, 1, 1, 1, 2),
+		conv("s4.b1.conv3x3", 512, 512, 7, 7, 3, 3, 2, 1),
+		conv("s4.conv3x3", 512, 512, 7, 7, 3, 3, 1, 2),
+		conv("s4.expand", 2048, 512, 7, 7, 1, 1, 1, 3),
+		conv("s4.proj", 2048, 1024, 7, 7, 1, 1, 2, 1),
+		gemm("fc", 1000, 2048, 1, 1),
+	}}
+}
+
+// MobileNetV2 returns MobileNet-V2 at 224×224, batch 1.
+func MobileNetV2() Model {
+	return Model{Name: "mobilenetv2", Layers: []Layer{
+		conv("conv1", 32, 3, 112, 112, 3, 3, 2, 1),
+		// Block 1 (t=1, c=16, n=1, s=1) at 112×112.
+		dwconv("b1.dw", 32, 112, 112, 3, 3, 1, 1),
+		conv("b1.project", 16, 32, 112, 112, 1, 1, 1, 1),
+		// Block 2 (t=6, c=24, n=2, s=2): 112→56.
+		conv("b2.1.expand", 96, 16, 112, 112, 1, 1, 1, 1),
+		dwconv("b2.1.dw", 96, 56, 56, 3, 3, 2, 1),
+		conv("b2.1.project", 24, 96, 56, 56, 1, 1, 1, 1),
+		conv("b2.2.expand", 144, 24, 56, 56, 1, 1, 1, 1),
+		dwconv("b2.2.dw", 144, 56, 56, 3, 3, 1, 1),
+		conv("b2.2.project", 24, 144, 56, 56, 1, 1, 1, 1),
+		// Block 3 (t=6, c=32, n=3, s=2): 56→28.
+		conv("b3.1.expand", 144, 24, 56, 56, 1, 1, 1, 1),
+		dwconv("b3.1.dw", 144, 28, 28, 3, 3, 2, 1),
+		conv("b3.1.project", 32, 144, 28, 28, 1, 1, 1, 1),
+		conv("b3.expand", 192, 32, 28, 28, 1, 1, 1, 2),
+		dwconv("b3.dw", 192, 28, 28, 3, 3, 1, 2),
+		conv("b3.project", 32, 192, 28, 28, 1, 1, 1, 2),
+		// Block 4 (t=6, c=64, n=4, s=2): 28→14.
+		conv("b4.1.expand", 192, 32, 28, 28, 1, 1, 1, 1),
+		dwconv("b4.1.dw", 192, 14, 14, 3, 3, 2, 1),
+		conv("b4.1.project", 64, 192, 14, 14, 1, 1, 1, 1),
+		conv("b4.expand", 384, 64, 14, 14, 1, 1, 1, 3),
+		dwconv("b4.dw", 384, 14, 14, 3, 3, 1, 3),
+		conv("b4.project", 64, 384, 14, 14, 1, 1, 1, 3),
+		// Block 5 (t=6, c=96, n=3, s=1) at 14×14.
+		conv("b5.1.project", 96, 384, 14, 14, 1, 1, 1, 1),
+		conv("b5.expand", 576, 96, 14, 14, 1, 1, 1, 2),
+		dwconv("b5.dw", 576, 14, 14, 3, 3, 1, 3),
+		conv("b5.project", 96, 576, 14, 14, 1, 1, 1, 2),
+		// Block 6 (t=6, c=160, n=3, s=2): 14→7.
+		conv("b6.1.expand", 576, 96, 14, 14, 1, 1, 1, 1),
+		dwconv("b6.1.dw", 576, 7, 7, 3, 3, 2, 1),
+		conv("b6.1.project", 160, 576, 7, 7, 1, 1, 1, 1),
+		conv("b6.expand", 960, 160, 7, 7, 1, 1, 1, 2),
+		dwconv("b6.dw", 960, 7, 7, 3, 3, 1, 2),
+		conv("b6.project", 160, 960, 7, 7, 1, 1, 1, 2),
+		// Block 7 (t=6, c=320, n=1, s=1) at 7×7.
+		conv("b7.expand", 960, 160, 7, 7, 1, 1, 1, 1),
+		dwconv("b7.dw", 960, 7, 7, 3, 3, 1, 1),
+		conv("b7.project", 320, 960, 7, 7, 1, 1, 1, 1),
+		conv("conv_last", 1280, 320, 7, 7, 1, 1, 1, 1),
+		gemm("fc", 1000, 1280, 1, 1),
+	}}
+}
+
+// MnasNet returns MnasNet-B1 at 224×224, batch 1. Its mix of 3×3 and 5×5
+// depthwise kernels distinguishes it from MobileNetV2.
+func MnasNet() Model {
+	return Model{Name: "mnasnet", Layers: []Layer{
+		conv("conv1", 32, 3, 112, 112, 3, 3, 2, 1),
+		dwconv("sep.dw", 32, 112, 112, 3, 3, 1, 1),
+		conv("sep.project", 16, 32, 112, 112, 1, 1, 1, 1),
+		// MB3 3×3, c=24, n=3, s=2: 112→56.
+		conv("mb1.1.expand", 48, 16, 112, 112, 1, 1, 1, 1),
+		dwconv("mb1.1.dw", 48, 56, 56, 3, 3, 2, 1),
+		conv("mb1.1.project", 24, 48, 56, 56, 1, 1, 1, 1),
+		conv("mb1.expand", 72, 24, 56, 56, 1, 1, 1, 2),
+		dwconv("mb1.dw", 72, 56, 56, 3, 3, 1, 2),
+		conv("mb1.project", 24, 72, 56, 56, 1, 1, 1, 2),
+		// MB3 5×5, c=40, n=3, s=2: 56→28.
+		conv("mb2.1.expand", 72, 24, 56, 56, 1, 1, 1, 1),
+		dwconv("mb2.1.dw", 72, 28, 28, 5, 5, 2, 1),
+		conv("mb2.1.project", 40, 72, 28, 28, 1, 1, 1, 1),
+		conv("mb2.expand", 120, 40, 28, 28, 1, 1, 1, 2),
+		dwconv("mb2.dw", 120, 28, 28, 5, 5, 1, 2),
+		conv("mb2.project", 40, 120, 28, 28, 1, 1, 1, 2),
+		// MB6 5×5, c=80, n=3, s=2: 28→14.
+		conv("mb3.1.expand", 240, 40, 28, 28, 1, 1, 1, 1),
+		dwconv("mb3.1.dw", 240, 14, 14, 5, 5, 2, 1),
+		conv("mb3.1.project", 80, 240, 14, 14, 1, 1, 1, 1),
+		conv("mb3.expand", 480, 80, 14, 14, 1, 1, 1, 2),
+		dwconv("mb3.dw", 480, 14, 14, 5, 5, 1, 2),
+		conv("mb3.project", 80, 480, 14, 14, 1, 1, 1, 2),
+		// MB6 3×3, c=96, n=2, s=1 at 14×14.
+		conv("mb4.1.expand", 480, 80, 14, 14, 1, 1, 1, 1),
+		dwconv("mb4.dw", 480, 14, 14, 3, 3, 1, 1),
+		conv("mb4.1.project", 96, 480, 14, 14, 1, 1, 1, 1),
+		conv("mb4.2.expand", 576, 96, 14, 14, 1, 1, 1, 1),
+		dwconv("mb4.2.dw", 576, 14, 14, 3, 3, 1, 1),
+		conv("mb4.2.project", 96, 576, 14, 14, 1, 1, 1, 1),
+		// MB6 5×5, c=192, n=4, s=2: 14→7.
+		conv("mb5.1.expand", 576, 96, 14, 14, 1, 1, 1, 1),
+		dwconv("mb5.1.dw", 576, 7, 7, 5, 5, 2, 1),
+		conv("mb5.1.project", 192, 576, 7, 7, 1, 1, 1, 1),
+		conv("mb5.expand", 1152, 192, 7, 7, 1, 1, 1, 3),
+		dwconv("mb5.dw", 1152, 7, 7, 5, 5, 1, 3),
+		conv("mb5.project", 192, 1152, 7, 7, 1, 1, 1, 3),
+		// MB6 3×3, c=320, n=1, s=1 at 7×7.
+		conv("mb6.expand", 1152, 192, 7, 7, 1, 1, 1, 1),
+		dwconv("mb6.dw", 1152, 7, 7, 3, 3, 1, 1),
+		conv("mb6.project", 320, 1152, 7, 7, 1, 1, 1, 1),
+		conv("conv_last", 1280, 320, 7, 7, 1, 1, 1, 1),
+		gemm("fc", 1000, 1280, 1, 1),
+	}}
+}
+
+// BERT returns BERT-base (12 layers, hidden 768, 12 heads) at sequence
+// length 512, batch 1. Attention score/context products are expressed as
+// per-head GEMMs.
+func BERT() Model {
+	const layers = 12
+	const heads = 12
+	return Model{Name: "bert", Layers: []Layer{
+		gemm("attn.qkv+out", 768, 768, 512, 4*layers),
+		gemm("attn.scores", 512, 64, 512, heads*layers),
+		gemm("attn.context", 512, 512, 64, heads*layers),
+		gemm("ffn.expand", 3072, 768, 512, layers),
+		gemm("ffn.reduce", 768, 3072, 512, layers),
+	}}
+}
+
+// DLRM returns a Facebook DLRM-style recommendation model at batch 1
+// (latency-oriented online inference, as in the paper's GAMMA setup):
+// bottom MLP 13-512-256-64, 26 embedding-table gathers of dim 64, pairwise
+// feature interaction, top MLP 512-256-1. Every weight element is used at
+// most once per inference, which makes the model memory-intensive and
+// leaves no Y/X/R/S parallelism to exploit — the property behind the
+// paper's Fig. 6 collapse of shi-like and eye-like mappings.
+func DLRM() Model {
+	return Model{Name: "dlrm", Layers: []Layer{
+		gemm("bot.l1", 512, 13, 1, 1),
+		gemm("bot.l2", 256, 512, 1, 1),
+		gemm("bot.l3", 64, 256, 1, 1),
+		gemm("emb.lookup", 64, 1, 1, 26),
+		gemm("interact", 27, 64, 27, 1), // pairwise feature dots
+		gemm("top.l1", 512, 415, 1, 1),
+		gemm("top.l2", 256, 512, 1, 1),
+		gemm("top.l3", 1, 256, 1, 1),
+	}}
+}
+
+// NCF returns a Neural Collaborative Filtering model (NeuMF, predictive
+// factor 8) at batch 1. Tiny GEMMs and embedding gathers make it the most
+// memory-bound workload of the zoo.
+func NCF() Model {
+	return Model{Name: "ncf", Layers: []Layer{
+		gemm("emb.lookup", 32, 1, 1, 4),
+		gemm("mlp.l1", 32, 64, 1, 1),
+		gemm("mlp.l2", 16, 32, 1, 1),
+		gemm("mlp.l3", 8, 16, 1, 1),
+		gemm("predict", 1, 16, 1, 1),
+	}}
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The CSV model format mirrors the layer files the GAMMA/DiGamma tooling
+// consumes: one layer per row,
+//
+//	name,type,K,C,Y,X,R,S,strideY,strideX,count
+//
+// with type ∈ {CONV, DSCONV, GEMM} (case-insensitive). A header row is
+// optional and detected by a non-numeric K column. Empty strideY/strideX
+// default to 1, empty count to 1. Lines starting with '#' are comments.
+
+// ParseCSV reads a model in the CSV layer format. The model name is
+// supplied by the caller (usually the file name).
+func ParseCSV(name string, r io.Reader) (Model, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.Comment = '#'
+	cr.TrimLeadingSpace = true
+
+	m := Model{Name: name}
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Model{}, fmt.Errorf("workload: %s: %w", name, err)
+		}
+		line++
+		if len(rec) == 1 && strings.TrimSpace(rec[0]) == "" {
+			continue
+		}
+		if len(rec) < 8 {
+			return Model{}, fmt.Errorf("workload: %s line %d: %d fields, need ≥ 8", name, line, len(rec))
+		}
+		// Header detection: the K column is not a number.
+		if _, err := strconv.Atoi(strings.TrimSpace(rec[2])); err != nil && line == 1 {
+			continue
+		}
+		l, err := parseLayerRecord(rec)
+		if err != nil {
+			return Model{}, fmt.Errorf("workload: %s line %d: %w", name, line, err)
+		}
+		m.Layers = append(m.Layers, l)
+	}
+	if err := m.Validate(); err != nil {
+		return Model{}, err
+	}
+	return m, nil
+}
+
+func parseLayerRecord(rec []string) (Layer, error) {
+	get := func(i int, def int) (int, error) {
+		if i >= len(rec) || strings.TrimSpace(rec[i]) == "" {
+			return def, nil
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(rec[i]))
+		if err != nil {
+			return 0, fmt.Errorf("field %d: %w", i, err)
+		}
+		return v, nil
+	}
+	var l Layer
+	l.Name = strings.TrimSpace(rec[0])
+	switch strings.ToUpper(strings.TrimSpace(rec[1])) {
+	case "CONV", "CONV2D":
+		l.Type = Conv
+	case "DSCONV", "DWCONV", "DEPTHWISE":
+		l.Type = DepthwiseConv
+	case "GEMM", "FC", "LINEAR":
+		l.Type = GEMM
+	default:
+		return Layer{}, fmt.Errorf("unknown layer type %q", rec[1])
+	}
+	var err error
+	if l.K, err = get(2, 0); err != nil {
+		return Layer{}, err
+	}
+	if l.C, err = get(3, 0); err != nil {
+		return Layer{}, err
+	}
+	if l.Y, err = get(4, 0); err != nil {
+		return Layer{}, err
+	}
+	if l.X, err = get(5, 0); err != nil {
+		return Layer{}, err
+	}
+	if l.R, err = get(6, 0); err != nil {
+		return Layer{}, err
+	}
+	if l.S, err = get(7, 0); err != nil {
+		return Layer{}, err
+	}
+	if l.StrideY, err = get(8, 1); err != nil {
+		return Layer{}, err
+	}
+	if l.StrideX, err = get(9, 1); err != nil {
+		return Layer{}, err
+	}
+	if l.Count, err = get(10, 1); err != nil {
+		return Layer{}, err
+	}
+	return l, nil
+}
+
+// WriteCSV renders a model in the CSV layer format, including a header.
+func WriteCSV(w io.Writer, m Model) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "type", "K", "C", "Y", "X", "R", "S", "strideY", "strideX", "count"}); err != nil {
+		return err
+	}
+	for _, l := range m.Layers {
+		sy, sx := l.Strides()
+		rec := []string{
+			l.Name, l.Type.String(),
+			strconv.Itoa(l.K), strconv.Itoa(l.C), strconv.Itoa(l.Y), strconv.Itoa(l.X),
+			strconv.Itoa(l.R), strconv.Itoa(l.S),
+			strconv.Itoa(sy), strconv.Itoa(sx), strconv.Itoa(l.Multiplicity()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

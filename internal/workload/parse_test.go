@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `name,type,K,C,Y,X,R,S,strideY,strideX,count
+conv1,CONV,64,3,112,112,7,7,2,2,1
+# a comment line
+block.dw,DSCONV,96,1,56,56,3,3,,,2
+fc,GEMM,1000,512,1,1,1,1,1,1,1
+`
+
+func TestParseCSV(t *testing.T) {
+	m, err := ParseCSV("sample", strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Layers) != 3 {
+		t.Fatalf("%d layers, want 3", len(m.Layers))
+	}
+	c1 := m.Layers[0]
+	if c1.Type != Conv || c1.K != 64 || c1.StrideY != 2 {
+		t.Errorf("conv1 parsed as %+v", c1)
+	}
+	dw := m.Layers[1]
+	if dw.Type != DepthwiseConv || dw.Multiplicity() != 2 {
+		t.Errorf("dw parsed as %+v", dw)
+	}
+	sy, sx := dw.Strides()
+	if sy != 1 || sx != 1 {
+		t.Errorf("empty strides defaulted to %d,%d", sy, sx)
+	}
+	if m.Layers[2].Type != GEMM {
+		t.Errorf("fc type = %v", m.Layers[2].Type)
+	}
+}
+
+func TestParseCSVWithoutHeader(t *testing.T) {
+	m, err := ParseCSV("nohdr", strings.NewReader("l1,CONV,8,8,8,8,3,3,1,1,1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Layers) != 1 || m.Layers[0].K != 8 {
+		t.Errorf("parsed %+v", m.Layers)
+	}
+}
+
+func TestParseCSVTypeAliases(t *testing.T) {
+	src := "a,conv2d,8,8,8,8,3,3\nb,dwconv,8,1,8,8,3,3\nc,linear,8,8,1,1,1,1\n"
+	m, err := ParseCSV("alias", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []LayerType{Conv, DepthwiseConv, GEMM}
+	for i, l := range m.Layers {
+		if l.Type != want[i] {
+			t.Errorf("layer %d type = %v, want %v", i, l.Type, want[i])
+		}
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"short row": "a,CONV,8,8\n",
+		"bad type":  "a,POOL,8,8,8,8,3,3\n",
+		// A non-numeric K on line 1 reads as a header; line 2+ must error.
+		"bad number":     "a,CONV,8,8,8,8,3,3\nb,CONV,x,8,8,8,3,3\n",
+		"invalid layer":  "a,CONV,0,8,8,8,3,3\n",
+		"empty":          "",
+		"dsconv with C2": "a,DSCONV,8,2,8,8,3,3\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseCSV("bad", strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCSVRoundTripZoo(t *testing.T) {
+	for _, m := range Zoo() {
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, m); err != nil {
+			t.Fatalf("%s: write: %v", m.Name, err)
+		}
+		back, err := ParseCSV(m.Name, &buf)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", m.Name, err)
+		}
+		if len(back.Layers) != len(m.Layers) {
+			t.Fatalf("%s: %d layers back, want %d", m.Name, len(back.Layers), len(m.Layers))
+		}
+		if back.MACs() != m.MACs() {
+			t.Errorf("%s: MACs %d != %d after round trip", m.Name, back.MACs(), m.MACs())
+		}
+		for i := range back.Layers {
+			if back.Layers[i].Dims() != m.Layers[i].Dims() {
+				t.Errorf("%s layer %d dims changed", m.Name, i)
+			}
+			if back.Layers[i].Multiplicity() != m.Layers[i].Multiplicity() {
+				t.Errorf("%s layer %d count changed", m.Name, i)
+			}
+		}
+	}
+}

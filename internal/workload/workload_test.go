@@ -1,0 +1,343 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDimString(t *testing.T) {
+	want := map[Dim]string{K: "K", C: "C", Y: "Y", X: "X", R: "R", S: "S"}
+	for d, name := range want {
+		if d.String() != name {
+			t.Errorf("Dim(%d).String() = %q, want %q", d, d.String(), name)
+		}
+	}
+	if got := Dim(17).String(); got != "Dim(17)" {
+		t.Errorf("out-of-range Dim string = %q", got)
+	}
+}
+
+func TestParseDim(t *testing.T) {
+	for _, d := range AllDims {
+		got, err := ParseDim(d.String())
+		if err != nil {
+			t.Fatalf("ParseDim(%q): %v", d.String(), err)
+		}
+		if got != d {
+			t.Errorf("ParseDim(%q) = %v, want %v", d.String(), got, d)
+		}
+	}
+	if _, err := ParseDim("Q"); err == nil {
+		t.Error("ParseDim(\"Q\") succeeded, want error")
+	}
+}
+
+func TestDimReduction(t *testing.T) {
+	reductions := map[Dim]bool{K: false, C: true, Y: false, X: false, R: true, S: true}
+	for d, want := range reductions {
+		if d.IsReduction() != want {
+			t.Errorf("%v.IsReduction() = %v, want %v", d, d.IsReduction(), want)
+		}
+	}
+}
+
+func TestVectorProduct(t *testing.T) {
+	v := Vector{2, 3, 4, 5, 6, 7}
+	if got := v.Product(); got != 5040 {
+		t.Errorf("Product = %d, want 5040", got)
+	}
+}
+
+func TestVectorClamp(t *testing.T) {
+	bound := Vector{10, 10, 10, 10, 10, 10}
+	v := Vector{0, -5, 11, 10, 1, 100}
+	got := v.Clamp(bound)
+	want := Vector{1, 1, 10, 10, 1, 10}
+	if got != want {
+		t.Errorf("Clamp = %v, want %v", got, want)
+	}
+}
+
+func TestVectorMinMax(t *testing.T) {
+	a := Vector{1, 5, 3, 8, 2, 9}
+	b := Vector{4, 2, 6, 7, 2, 1}
+	if got := a.Max(b); got != (Vector{4, 5, 6, 8, 2, 9}) {
+		t.Errorf("Max = %v", got)
+	}
+	if got := a.Min(b); got != (Vector{1, 2, 3, 7, 2, 1}) {
+		t.Errorf("Min = %v", got)
+	}
+}
+
+// Clamp must always produce values within [1, bound] — property test.
+func TestVectorClampProperty(t *testing.T) {
+	f := func(raw [NumDims]int16, rawBound [NumDims]uint8) bool {
+		var v, bound Vector
+		for i := range raw {
+			v[i] = int(raw[i])
+			bound[i] = int(rawBound[i]) + 1 // ≥ 1
+		}
+		c := v.Clamp(bound)
+		for i := range c {
+			if c[i] < 1 || c[i] > bound[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayerMACs(t *testing.T) {
+	l := conv("t", 64, 32, 56, 56, 3, 3, 1, 1)
+	want := int64(64) * 32 * 56 * 56 * 9
+	if got := l.MACs(); got != want {
+		t.Errorf("MACs = %d, want %d", got, want)
+	}
+}
+
+func TestLayerTensorSizes(t *testing.T) {
+	l := conv("t", 64, 32, 56, 56, 3, 3, 1, 1)
+	if got := l.WeightSize(); got != 64*32*9 {
+		t.Errorf("WeightSize = %d", got)
+	}
+	if got := l.OutputSize(); got != 64*56*56 {
+		t.Errorf("OutputSize = %d", got)
+	}
+	if got := l.InputSize(); got != 32*58*58 {
+		t.Errorf("InputSize = %d, want %d", got, 32*58*58)
+	}
+}
+
+func TestLayerStridedInputSize(t *testing.T) {
+	l := conv("t", 64, 3, 112, 112, 7, 7, 2, 1)
+	// input extent: (112-1)*2 + 7 = 229
+	if got := l.InputSize(); got != 3*229*229 {
+		t.Errorf("InputSize = %d, want %d", got, 3*229*229)
+	}
+}
+
+func TestDepthwiseTensors(t *testing.T) {
+	l := dwconv("dw", 96, 56, 56, 3, 3, 1, 1)
+	w, in, out := l.TensorDims()
+	if w[C] || !w[K] {
+		t.Error("depthwise weight should depend on K, not C")
+	}
+	if in[C] || !in[K] {
+		t.Error("depthwise input should depend on K, not C")
+	}
+	if !out[K] || !out[Y] || !out[X] {
+		t.Error("depthwise output must depend on K,Y,X")
+	}
+	if got := l.WeightSize(); got != 96*9 {
+		t.Errorf("depthwise WeightSize = %d, want %d", got, 96*9)
+	}
+	if got := l.InputSize(); got != 96*58*58 {
+		t.Errorf("depthwise InputSize = %d, want %d", got, 96*58*58)
+	}
+}
+
+func TestLayerValidate(t *testing.T) {
+	good := conv("ok", 8, 8, 8, 8, 3, 3, 1, 1)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid layer rejected: %v", err)
+	}
+	bad := []Layer{
+		{Name: "", Type: Conv, K: 1, C: 1, Y: 1, X: 1, R: 1, S: 1},
+		conv("zero", 0, 8, 8, 8, 3, 3, 1, 1),
+		{Name: "dw", Type: DepthwiseConv, K: 8, C: 2, Y: 8, X: 8, R: 3, S: 3},
+		{Name: "gemm", Type: GEMM, K: 8, C: 8, Y: 8, X: 2, R: 1, S: 1},
+		{Name: "neg", Type: Conv, K: 8, C: 8, Y: 8, X: 8, R: 3, S: 3, StrideY: -1},
+	}
+	for _, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("invalid layer %v accepted", l)
+		}
+	}
+}
+
+func TestZooValidates(t *testing.T) {
+	zoo := Zoo()
+	if len(zoo) != 7 {
+		t.Fatalf("Zoo has %d models, want 7", len(zoo))
+	}
+	for _, m := range zoo {
+		if err := m.Validate(); err != nil {
+			t.Errorf("model %s invalid: %v", m.Name, err)
+		}
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := ByName("inceptionv9"); err == nil {
+		t.Error("ByName(inceptionv9) should fail")
+	}
+	for _, n := range ModelNames {
+		m, err := ByName(n)
+		if err != nil {
+			t.Errorf("ByName(%s): %v", n, err)
+		}
+		if m.Name != n {
+			t.Errorf("ByName(%s).Name = %s", n, m.Name)
+		}
+	}
+}
+
+// Sanity-check total MAC counts against published figures (±25%):
+// ResNet-18 ≈ 1.8 G, ResNet-50 ≈ 4.1 G, MobileNetV2 ≈ 0.3 G,
+// MnasNet-B1 ≈ 0.32 G, BERT-base@512 ≈ 43 G.
+func TestModelMACCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		want float64 // GMACs
+	}{
+		{"resnet18", 1.8},
+		{"resnet50", 4.1},
+		{"mobilenetv2", 0.30},
+		{"mnasnet", 0.32},
+		{"bert", 43.0},
+	}
+	for _, tc := range cases {
+		m, err := ByName(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(m.MACs()) / 1e9
+		if got < tc.want*0.75 || got > tc.want*1.25 {
+			t.Errorf("%s: %.2f GMACs, want %.2f ±25%%", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestUniqueLayersPreserveMACs(t *testing.T) {
+	for _, m := range Zoo() {
+		var uniq int64
+		for _, l := range m.UniqueLayers() {
+			uniq += l.MACs() * int64(l.Multiplicity())
+		}
+		if uniq != m.MACs() {
+			t.Errorf("%s: unique-layer MACs %d != model MACs %d", m.Name, uniq, m.MACs())
+		}
+	}
+}
+
+func TestUniqueLayersAreUnique(t *testing.T) {
+	for _, m := range Zoo() {
+		seen := map[string]bool{}
+		for _, l := range m.UniqueLayers() {
+			sy, sx := l.Strides()
+			key := l.Type.String() + l.Dims().String() + string(rune(sy)) + string(rune(sx))
+			if seen[key] {
+				t.Errorf("%s: duplicate unique layer %v", m.Name, l)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestUniqueLayersReduceDepth(t *testing.T) {
+	m := ResNet50()
+	uniq := m.UniqueLayers()
+	var raw int
+	for _, l := range m.Layers {
+		raw += l.Multiplicity()
+	}
+	if len(uniq) >= raw {
+		t.Errorf("ResNet-50 unique layers %d should be < total layer instances %d", len(uniq), raw)
+	}
+}
+
+func TestRecommendationModelsAreMemoryBound(t *testing.T) {
+	// Arithmetic intensity (MACs per operand word) of NCF and DLRM should be
+	// far lower than ResNet-50 — that contrast drives the paper's Fig. 6.
+	intensity := func(m Model) float64 {
+		var macs, words int64
+		for _, l := range m.Layers {
+			n := int64(l.Multiplicity())
+			macs += l.MACs() * n
+			words += (l.WeightSize() + l.InputSize() + l.OutputSize()) * n
+		}
+		return float64(macs) / float64(words)
+	}
+	resnet := intensity(ResNet50())
+	for _, name := range []string{"ncf", "dlrm"} {
+		m, _ := ByName(name)
+		if ai := intensity(m); ai > resnet/10 {
+			t.Errorf("%s arithmetic intensity %.2f is not ≪ resnet50's %.2f", name, ai, resnet)
+		}
+	}
+}
+
+func TestModelStringAndLayerString(t *testing.T) {
+	l := conv("c1", 8, 4, 2, 2, 1, 1, 1, 3)
+	s := l.String()
+	if s == "" {
+		t.Error("empty layer string")
+	}
+	v := Vector{1, 2, 3, 4, 5, 6}
+	if v.String() != "K:1 C:2 Y:3 X:4 R:5 S:6" {
+		t.Errorf("Vector.String = %q", v.String())
+	}
+}
+
+// Property: UniqueLayers never drops or fabricates layer multiplicity.
+func TestUniqueLayersCountProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var layers []Layer
+		total := 0
+		n := 1 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			c := 1 + rng.Intn(4)
+			total += c
+			layers = append(layers, conv("l", 1+rng.Intn(3), 1+rng.Intn(3),
+				1+rng.Intn(3), 1+rng.Intn(3), 1, 1, 1, c))
+		}
+		m := Model{Name: "rand", Layers: layers}
+		sum := 0
+		for _, l := range m.UniqueLayers() {
+			sum += l.Multiplicity()
+		}
+		if sum != total {
+			t.Fatalf("trial %d: unique multiplicity %d != %d", trial, sum, total)
+		}
+	}
+}
+
+func TestExtendedZoo(t *testing.T) {
+	for _, name := range ExtendedModelNames {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", name, err)
+		}
+	}
+	// MAC sanity for the classics: one-tower ungrouped AlexNet ≈ 1.14 G
+	// (the grouped two-tower original is 0.72 G), VGG-16 ≈ 15.5 G,
+	// ResNet-34 ≈ 3.6 G (±25%).
+	cases := map[string]float64{"alexnet": 1.14, "vgg16": 15.5, "resnet34": 3.6}
+	for name, want := range cases {
+		m, _ := ByName(name)
+		got := float64(m.MACs()) / 1e9
+		if got < want*0.75 || got > want*1.25 {
+			t.Errorf("%s: %.2f GMACs, want %.2f ±25%%", name, got, want)
+		}
+	}
+}
+
+func TestExtendedNotInPaperSet(t *testing.T) {
+	paper := map[string]bool{}
+	for _, n := range ModelNames {
+		paper[n] = true
+	}
+	for _, n := range ExtendedModelNames {
+		if paper[n] {
+			t.Errorf("extended model %s leaked into the paper set", n)
+		}
+	}
+}
