@@ -28,6 +28,7 @@ func main() {
 		objective = flag.String("objective", "latency", "objective: latency, energy, edp, latency-area")
 		budget    = flag.Int("budget", 4000, "sampling budget (design points evaluated)")
 		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "parallel evaluation workers (0 = all cores, 1 = serial; results identical)")
 		fixedPEs  = flag.String("fixed-pes", "", "fixed-HW mode: PE hierarchy, e.g. 16x8 (inner x outer)")
 		fixedL1   = flag.Int64("fixed-l1", 0, "fixed-HW mode: per-PE L1 bytes")
 		fixedL2   = flag.Int64("fixed-l2", 0, "fixed-HW mode: shared L2 bytes")
@@ -37,14 +38,14 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*modelName, *platName, *algorithm, *objective, *budget, *seed,
+	if err := run(*modelName, *platName, *algorithm, *objective, *budget, *seed, *workers,
 		*fixedPEs, *fixedL1, *fixedL2, *perLayer, *modelCSV, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "digamma:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelName, platName, algorithm, objective string, budget int, seed int64,
+func run(modelName, platName, algorithm, objective string, budget int, seed int64, workers int,
 	fixedPEs string, fixedL1, fixedL2 int64, perLayer bool, modelCSV, jsonOut string) error {
 
 	var model digamma.Model
@@ -70,7 +71,7 @@ func run(modelName, platName, algorithm, objective string, budget int, seed int6
 	if err != nil {
 		return err
 	}
-	opts := digamma.Options{Budget: budget, Seed: seed, Objective: obj, Algorithm: algorithm}
+	opts := digamma.Options{Budget: budget, Seed: seed, Objective: obj, Algorithm: algorithm, Workers: workers}
 
 	var best *digamma.Evaluation
 	if fixedPEs != "" {

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -31,19 +32,23 @@ func main() {
 		l2        = flag.Int64("l2", 131072, "shared L2 bytes")
 		styleName = flag.String("style", "dla-like", "mapping style: dla-like, shi-like, eye-like")
 		platName  = flag.String("platform", "edge", "platform for area/energy models")
+		workers   = flag.Int("workers", 0, "parallel per-layer analyses (0 = all cores, 1 = serial; results identical)")
 	)
 	flag.Parse()
 
-	if err := run(*modelName, *layerSpec, *pes, *l1, *l2, *styleName, *platName); err != nil {
+	if err := run(*modelName, *layerSpec, *pes, *l1, *l2, *styleName, *platName, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelName, layerSpec, pes string, l1, l2 int64, styleName, platName string) error {
+func run(modelName, layerSpec, pes string, l1, l2 int64, styleName, platName string, workers int) error {
 	platform, err := arch.PlatformByName(platName)
 	if err != nil {
 		return err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 
 	var layers []workload.Layer
@@ -82,7 +87,7 @@ func run(modelName, layerSpec, pes string, l1, l2 int64, styleName, platName str
 	}
 
 	maps := schemes.StyleMappings(style, hw, layers)
-	ev, err := coopt.EvaluateMapping(layers, hw, maps, platform, coopt.Latency)
+	ev, err := coopt.EvaluateMappingWorkers(layers, hw, maps, platform, coopt.Latency, workers)
 	if err != nil {
 		return err
 	}

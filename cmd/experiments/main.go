@@ -25,6 +25,7 @@ func main() {
 	var (
 		budget   = flag.Int("budget", 2000, "sampling budget per algorithm run (paper: 40000)")
 		seed     = flag.Int64("seed", 1, "random seed")
+		workers  = flag.Int("workers", 0, "parallel experiment cells / evaluation workers (0 = all cores, 1 = serial; tables identical)")
 		models   = flag.String("models", "", "comma-separated model subset (default: all 7)")
 		platform = flag.String("platform", "", "restrict to edge or cloud (default: both)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -47,7 +48,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := figures.Options{Budget: *budget, Seed: *seed}
+	opts := figures.Options{Budget: *budget, Seed: *seed, Workers: *workers}
 	if *models != "" {
 		opts.Models = strings.Split(*models, ",")
 	}

@@ -89,6 +89,10 @@ type Options struct {
 	// Algorithm selects the optimizer (see Algorithms()). Default
 	// "DiGamma".
 	Algorithm string
+	// Workers bounds DiGamma's parallel evaluation workers. 0 uses every
+	// available core (the default); 1 forces a serial run. Results are
+	// bit-identical at any setting — parallelism changes only wall-clock.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -113,7 +117,15 @@ func Optimize(model Model, platform Platform, o Options) (*Evaluation, error) {
 		return nil, err
 	}
 	if o.Algorithm == "DiGamma" {
-		r, err := core.Optimize(p, o.Budget, o.Seed)
+		cfg := core.DefaultConfig()
+		if o.Workers != 0 {
+			cfg.Workers = o.Workers
+		}
+		eng, err := core.New(p, cfg, randNew(o.Seed))
+		if err != nil {
+			return nil, err
+		}
+		r, err := eng.Run(o.Budget)
 		if err != nil {
 			return nil, err
 		}
@@ -135,7 +147,19 @@ func OptimizeMapping(model Model, platform Platform, hw HW, o Options) (*Evaluat
 	if err != nil {
 		return nil, err
 	}
-	r, err := core.RunGamma(p, hw, o.Budget, o.Seed)
+	fp, err := p.WithFixedHW(hw)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.GammaConfig()
+	if o.Workers != 0 {
+		cfg.Workers = o.Workers
+	}
+	eng, err := core.New(fp, cfg, randNew(o.Seed))
+	if err != nil {
+		return nil, err
+	}
+	r, err := eng.Run(o.Budget)
 	if err != nil {
 		return nil, err
 	}

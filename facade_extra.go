@@ -45,7 +45,15 @@ func OptimizeMulti(models []Model, weights []float64, platform Platform, o Optio
 		return nil, err
 	}
 	if o.Algorithm == "DiGamma" {
-		r, err := core.Optimize(p, o.Budget, o.Seed)
+		cfg := core.DefaultConfig()
+		if o.Workers != 0 {
+			cfg.Workers = o.Workers
+		}
+		eng, err := core.New(p, cfg, randNew(o.Seed))
+		if err != nil {
+			return nil, err
+		}
+		r, err := eng.Run(o.Budget)
 		if err != nil {
 			return nil, err
 		}

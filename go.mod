@@ -1,0 +1,3 @@
+module digamma
+
+go 1.24

@@ -13,8 +13,10 @@ import (
 
 	"digamma/internal/arch"
 	"digamma/internal/cost"
+	"digamma/internal/evalcache"
 	"digamma/internal/mapping"
 	"digamma/internal/opt"
+	"digamma/internal/par"
 	"digamma/internal/space"
 	"digamma/internal/workload"
 )
@@ -79,6 +81,36 @@ type Problem struct {
 	// (a manual style such as NVDLA-like) and only the HW genes are
 	// searched. See WithFixedMapping.
 	MappingRule MappingRule
+
+	// Cache, when non-nil, memoizes per-layer cost.Analyze results across
+	// evaluations, keyed on (layer index, fanout vector, mapping genes).
+	// The fitness decomposes additively over layers, so layer blocks
+	// inherited unchanged between genomes (elites, crossover, untouched
+	// layers) skip re-analysis entirely. Cached results are shared and
+	// immutable; caching never changes evaluation values, only their cost.
+	// NewProblem enables it by default; set to nil to disable. The cache
+	// is keyed only on genes that vary within one problem, so callers that
+	// mutate FixedHW or Platform directly (rather than via WithFixedHW)
+	// must install a fresh cache.
+	Cache *evalcache.Cache[*cost.Result]
+
+	// analyzers holds one precomputed cost.Analyzer per unique layer,
+	// aligned with Space.Layers. Built by the constructors; a zero-valued
+	// Problem falls back to the slower cost.Analyze path.
+	analyzers []cost.Analyzer
+	// mults caches float64(layer.Multiplicity()) per unique layer so the
+	// per-evaluation reduction loop doesn't copy Layer structs.
+	mults []float64
+}
+
+// initAnalyzers precomputes the per-layer analysis constants.
+func (p *Problem) initAnalyzers() {
+	p.analyzers = make([]cost.Analyzer, len(p.Space.Layers))
+	p.mults = make([]float64, len(p.Space.Layers))
+	for i, layer := range p.Space.Layers {
+		p.analyzers[i] = cost.NewAnalyzer(layer)
+		p.mults[i] = float64(layer.Multiplicity())
+	}
 }
 
 // NewProblem assembles a co-optimization problem with the default
@@ -92,7 +124,9 @@ func NewProblem(model workload.Model, platform arch.Platform, objective Objectiv
 		Platform:  platform,
 		Space:     space.New(model, platform),
 		Objective: objective,
+		Cache:     evalcache.New[*cost.Result](0),
 	}
+	p.initAnalyzers()
 	return p, p.Space.Validate()
 }
 
@@ -104,12 +138,19 @@ func (p *Problem) WithFixedHW(hw arch.HW) (*Problem, error) {
 	q := *p
 	q.FixedHW = &hw
 	q.Space = p.Space.WithFixedHW(hw)
+	if p.Cache != nil {
+		// The fixed HW changes non-gene analysis inputs (bandwidths, word
+		// size), so entries must not be shared with the parent problem.
+		q.Cache = evalcache.New[*cost.Result](0)
+	}
 	return &q, nil
 }
 
-// LayerEval pairs one unique layer with its analysis.
+// LayerEval pairs one unique layer with its analysis. Layer points into
+// Problem.Space.Layers (stable for the problem's lifetime) and Result may
+// be shared with the evaluation cache; treat both as immutable.
 type LayerEval struct {
-	Layer  workload.Layer
+	Layer  *workload.Layer
 	Result *cost.Result
 }
 
@@ -133,43 +174,87 @@ type Evaluation struct {
 // (minimum requirement per level, maximized across layers — the paper's
 // buffer allocation strategy), runs the performance model on every unique
 // layer, applies the area-budget constraint checker, and computes the
-// fitness.
+// fitness. Per-layer analyses hit the problem's Cache when enabled.
 func (p *Problem) Evaluate(g space.Genome) (*Evaluation, error) {
-	g = p.Space.Repair(g)
+	return p.EvaluateWorkers(g, 1)
+}
+
+// EvaluateWorkers is Evaluate with the per-layer analyses fanned out over
+// up to workers goroutines — useful for one-shot evaluations of deep
+// models, where the layer loop is the only available parallelism. Results
+// are bit-identical to the serial path: analyses are pure and the
+// reduction always runs in layer order.
+func (p *Problem) EvaluateWorkers(g space.Genome, workers int) (*Evaluation, error) {
+	g = p.Space.Repair(g) // no-op (and no clone) for already-canonical genomes
+	return p.evaluateRepaired(g, workers)
+}
+
+// EvaluateCanonical is Evaluate minus the repair pass, for callers that
+// guarantee g is exactly what Space.Repair would return — the genetic
+// engine qualifies, because repairing is the last step of breeding, and
+// the per-genome re-validation was pure overhead on the search hot path.
+// A non-canonical genome is still evaluated consistently (the performance
+// model validates mappings itself and the cache keys on the genes as
+// given), but may score a point outside the declared space; external
+// callers should prefer Evaluate.
+func (p *Problem) EvaluateCanonical(g space.Genome) (*Evaluation, error) {
+	return p.evaluateRepaired(g, 1)
+}
+
+// evaluateRepaired scores a canonical genome.
+func (p *Problem) evaluateRepaired(g space.Genome, workers int) (*Evaluation, error) {
 	ev := &Evaluation{Genome: g}
 
 	var hw arch.HW
+	bufReq := make([]int64, g.Levels())
 	if p.FixedHW != nil {
 		hw = p.FixedHW.Defaults()
 	} else {
+		// Fanouts are shared with the genome, not copied: genomes are
+		// immutable once evaluated (the engine breeds copy-on-write).
+		// bufReq stands in for the not-yet-derived buffer allocation so
+		// the configuration is structurally valid during analysis, and is
+		// filled with the derived capacities below.
 		hw = arch.HW{
-			Fanouts:  append([]int(nil), g.Fanouts...),
-			BufBytes: make([]int64, g.Levels()),
+			Fanouts:  g.Fanouts,
+			BufBytes: bufReq,
 		}.Defaults()
 	}
 
 	if p.MappingRule != nil {
+		// Private Maps header first: Repair no longer clones canonical
+		// genomes, so writing the rule's derivations through the shared
+		// header would mutate the caller's genome.
+		g.Maps = append([]mapping.Mapping(nil), g.Maps...)
 		p.applyMappingRule(hw, g.Maps)
 		ev.Genome = g
 	}
 
 	layers := p.Space.Layers
 	ev.Layers = make([]LayerEval, len(layers))
-	bufReq := make([]int64, hw.Levels())
-	bufferViolation := 0.0
+	if err := p.analyzeLayers(hw, g, ev.Layers, workers); err != nil {
+		return nil, err
+	}
 
-	for li, layer := range layers {
-		r, err := cost.Analyze(hw, g.Maps[li], layer)
-		if err != nil {
-			return nil, fmt.Errorf("coopt: layer %s: %w", layer.Name, err)
+	bufferViolation := 0.0
+	bpw := int64(hw.BytesPerWord)
+
+	for li := range layers {
+		r := ev.Layers[li].Result
+		var n float64
+		if p.mults != nil {
+			n = p.mults[li]
+		} else {
+			n = float64(layers[li].Multiplicity())
 		}
-		ev.Layers[li] = LayerEval{Layer: layer, Result: r}
-		n := float64(layer.Multiplicity())
 		ev.Cycles += r.Cycles * n
 		ev.EnergyPJ += r.EnergyPJ(p.Platform.Energy) * n
 
-		for l, b := range r.BufReqBytes(hw.BytesPerWord) {
-			if b > bufReq[l] {
+		// Double-buffered per-level requirement, maximized across layers
+		// (inlined from Result.BufReqBytes to keep the hot loop
+		// allocation-free).
+		for l := range r.Levels {
+			if b := int64(math.Ceil(r.Levels[l].BufferWords.Total())) * 2 * bpw; b > bufReq[l] {
 				bufReq[l] = b
 			}
 		}
@@ -216,6 +301,73 @@ func (p *Problem) Evaluate(g space.Genome) (*Evaluation, error) {
 	return ev, nil
 }
 
+// analyzeLayers fills out[li] with the performance-model result of every
+// unique layer, consulting the cache first and fanning out across workers
+// when asked. Each out slot is written by exactly one goroutine, so no
+// synchronization beyond the cache's own is needed.
+func (p *Problem) analyzeLayers(hw arch.HW, g space.Genome, out []LayerEval, workers int) error {
+	layers := p.Space.Layers
+	analyze := func(li int) error {
+		layer := &layers[li]
+		var key uint64
+		if p.Cache != nil {
+			key = layerKey(li, g.Fanouts, g.Maps[li])
+			if r, ok := p.Cache.Get(key); ok {
+				out[li] = LayerEval{Layer: layer, Result: r}
+				return nil
+			}
+		}
+		var r *cost.Result
+		var err error
+		if p.analyzers != nil {
+			// Genomes reaching this point are repaired, so the trusted
+			// path (no re-validation, precomputed layer constants) applies.
+			r, err = p.analyzers[li].AnalyzeTrusted(hw, g.Maps[li])
+		} else {
+			r, err = cost.Analyze(hw, g.Maps[li], *layer)
+		}
+		if err != nil {
+			return fmt.Errorf("coopt: layer %s: %w", layer.Name, err)
+		}
+		if p.Cache != nil {
+			p.Cache.Put(key, r)
+		}
+		out[li] = LayerEval{Layer: layer, Result: r}
+		return nil
+	}
+
+	return par.For(len(layers), workers, analyze)
+}
+
+// layerKey hashes the analysis inputs that vary within one problem: the
+// layer identity, the HW genes (which also fix the NoC bandwidth via the
+// per-level fanouts) and the layer's mapping genes. Everything else feeding
+// cost.Analyze — the platform, word width, fixed-HW extras — is constant
+// per Problem/Cache pair.
+func layerKey(li int, fanouts []int, m mapping.Mapping) uint64 {
+	h := evalcache.NewHasher()
+	h.Int(li)
+	h.Int(len(fanouts))
+	for _, f := range fanouts {
+		h.Int(f)
+	}
+	for i := range m.Levels {
+		lv := &m.Levels[i]
+		// Spatial and the order permutation are all < 8, so they pack into
+		// one word (3 bits each) — keying runs per layer per evaluation, so
+		// fewer hash rounds matter.
+		packed := uint64(lv.Spatial)
+		for _, d := range lv.Order {
+			packed = packed<<3 | uint64(d)
+		}
+		h.Uint64(packed)
+		for _, t := range lv.Tiles {
+			h.Int(t)
+		}
+	}
+	return h.Sum()
+}
+
 // VectorObjective adapts the problem to the continuous optimizer interface:
 // decode the vector, evaluate, return fitness. Decode errors (impossible
 // with correctly sized vectors) surface as +Inf.
@@ -253,8 +405,20 @@ func (p *Problem) RunVector(o opt.Optimizer, budget int, seed int64) (*Evaluatio
 // baseline schemes.
 func EvaluateMapping(modelLayers []workload.Layer, hw arch.HW, maps []mapping.Mapping,
 	platform arch.Platform, objective Objective) (*Evaluation, error) {
+	return EvaluateMappingWorkers(modelLayers, hw, maps, platform, objective, 1)
+}
+
+// EvaluateMappingWorkers is EvaluateMapping with the per-layer analyses
+// spread over up to workers goroutines (≤ 1 = serial; results identical).
+func EvaluateMappingWorkers(modelLayers []workload.Layer, hw arch.HW, maps []mapping.Mapping,
+	platform arch.Platform, objective Objective, workers int) (*Evaluation, error) {
 	if len(maps) != len(modelLayers) {
 		return nil, fmt.Errorf("coopt: %d mappings for %d layers", len(maps), len(modelLayers))
+	}
+	// One-shot path: validate the caller's hardware up front (the trusted
+	// analyzer fast path no longer re-validates per layer).
+	if err := hw.Validate(); err != nil {
+		return nil, err
 	}
 	p := Problem{
 		Platform:  platform,
@@ -263,5 +427,6 @@ func EvaluateMapping(modelLayers []workload.Layer, hw arch.HW, maps []mapping.Ma
 		FixedHW:   &hw,
 	}
 	p.Space = p.Space.WithFixedHW(hw)
-	return p.Evaluate(space.Genome{Fanouts: hw.Fanouts, Maps: maps})
+	p.initAnalyzers()
+	return p.EvaluateWorkers(space.Genome{Fanouts: hw.Fanouts, Maps: maps}, workers)
 }

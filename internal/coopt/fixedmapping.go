@@ -4,6 +4,8 @@ import (
 	"errors"
 
 	"digamma/internal/arch"
+	"digamma/internal/cost"
+	"digamma/internal/evalcache"
 	"digamma/internal/mapping"
 	"digamma/internal/workload"
 )
@@ -26,6 +28,12 @@ func (p *Problem) WithFixedMapping(rule MappingRule) (*Problem, error) {
 	}
 	q := *p
 	q.MappingRule = rule
+	if p.Cache != nil {
+		// Rule-derived mappings are hashed like any other genes, but a
+		// fresh cache keeps the modes' working sets from evicting each
+		// other.
+		q.Cache = evalcache.New[*cost.Result](0)
+	}
 	return &q, nil
 }
 

@@ -1,0 +1,27 @@
+package coopt
+
+import (
+	"math/rand"
+	"testing"
+
+	"digamma/internal/arch"
+	"digamma/internal/mapping"
+)
+
+// TestEvaluateMappingValidatesHW pins the restored contract: malformed
+// hardware returns an error instead of panicking.
+func TestEvaluateMappingValidatesHW(t *testing.T) {
+	layers := tinyModel().UniqueLayers()
+	maps := make([]mapping.Mapping, len(layers))
+	for i, l := range layers {
+		maps[i] = mapping.Random(rand.New(rand.NewSource(int64(i+1))), l, 2)
+	}
+	bad := arch.HW{Fanouts: []int{16, 8}, BufBytes: []int64{2048}} // mismatched lengths
+	if _, err := EvaluateMapping(layers, bad, maps, arch.Edge(), Latency); err == nil {
+		t.Fatal("mismatched fanout/buffer lengths accepted")
+	}
+	zero := arch.HW{Fanouts: []int{0, 8}, BufBytes: []int64{2048, 4096}}
+	if _, err := EvaluateMapping(layers, zero, maps, arch.Edge(), Latency); err == nil {
+		t.Fatal("zero fanout accepted")
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"strings"
 
 	"digamma/internal/arch"
+	"digamma/internal/cost"
+	"digamma/internal/evalcache"
 	"digamma/internal/space"
 	"digamma/internal/workload"
 )
@@ -58,6 +60,8 @@ func NewMultiProblem(models []workload.Model, weights []float64,
 		Platform:  platform,
 		Space:     space.New(merged, platform),
 		Objective: objective,
+		Cache:     evalcache.New[*cost.Result](0),
 	}
+	p.initAnalyzers()
 	return p, p.Space.Validate()
 }

@@ -26,11 +26,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
-	"sync"
 
 	"digamma/internal/coopt"
 	"digamma/internal/mapping"
+	"digamma/internal/par"
 	"digamma/internal/space"
 	"digamma/internal/workload"
 )
@@ -51,7 +52,7 @@ type Config struct {
 	DivisorBias float64 // chance tile mutations snap to divisors
 	GreedyCross float64 // chance crossover picks per-layer blocks greedily
 	SeedFrac    float64 // fraction of the initial population seeded conservatively
-	Workers     int     // parallel evaluation workers (≤ 1 = serial); results are deterministic either way
+	Workers     int     // parallel evaluation workers (≤ 1 = serial; DefaultConfig: GOMAXPROCS); results are deterministic either way
 
 	// FixedHW disables Mutate-HW, Grow and Aging, turning the engine into
 	// the GAMMA mapper.
@@ -73,6 +74,9 @@ func DefaultConfig() Config {
 		DivisorBias: 0.8,
 		GreedyCross: 0.8,
 		SeedFrac:    0.25,
+		// Evaluation is pure and batched, so parallelism is free
+		// determinism-wise; default to every available core.
+		Workers: runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -154,26 +158,20 @@ func (e *Engine) Run(budget int) (*Result, error) {
 	}
 
 	res := &Result{}
-	evalGenome := func(g space.Genome) (*coopt.Evaluation, error) {
-		res.Samples++
-		ev, err := e.Problem.Evaluate(g)
-		if err == nil && e.OnEvaluation != nil {
-			e.OnEvaluation(res.Samples, ev)
-		}
-		return ev, err
-	}
 
 	// Initial population: a quarter conservative seeds (minimal tiles with
 	// spatial coverage of the widest dims — cheap on buffers, so almost
 	// always feasible, mirroring GAMMA's valid-first initialization), the
-	// rest random genomes at the base clustering depth.
+	// rest random genomes at the base clustering depth. Genomes are drawn
+	// serially (the RNG stream fixes them), then evaluated as one batch so
+	// the first generation parallelizes like every later one.
 	baseLevels := e.Problem.Space.Levels
-	cur := make([]individual, 0, pop)
 	seeds := int(float64(pop) * cfg.SeedFrac)
 	if seeds < 1 && cfg.SeedFrac > 0 {
 		seeds = 1
 	}
-	for i := 0; i < pop && res.Samples < budget; i++ {
+	initial := make([]space.Genome, 0, pop)
+	for i := 0; i < pop; i++ {
 		var g space.Genome
 		if i < seeds {
 			g = e.seedGenome(i)
@@ -183,14 +181,22 @@ func (e *Engine) Run(budget int) (*Result, error) {
 		if !cfg.FixedHW {
 			g = e.repairHWBudget(g)
 		}
-		ev, err := evalGenome(g)
-		if err != nil {
-			return nil, err
-		}
-		cur = append(cur, individual{g, ev})
+		initial = append(initial, g)
 	}
-	if len(cur) == 0 {
+	if len(initial) == 0 {
 		return nil, errors.New("core: budget exhausted before first evaluation")
+	}
+	evs, err := e.evaluateBatch(initial)
+	if err != nil {
+		return nil, err
+	}
+	cur := make([]individual, 0, pop)
+	for i, ev := range evs {
+		res.Samples++
+		if e.OnEvaluation != nil {
+			e.OnEvaluation(res.Samples, ev)
+		}
+		cur = append(cur, individual{initial[i], ev})
 	}
 
 	elites := int(float64(pop) * cfg.EliteFrac)
@@ -245,41 +251,16 @@ func (e *Engine) Run(budget int) (*Result, error) {
 // result slice is identical regardless of worker count.
 func (e *Engine) evaluateBatch(gs []space.Genome) ([]*coopt.Evaluation, error) {
 	out := make([]*coopt.Evaluation, len(gs))
-	workers := e.Config.Workers
-	if workers <= 1 || len(gs) < 2 {
-		for i, g := range gs {
-			ev, err := e.Problem.Evaluate(g)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = ev
-		}
-		return out, nil
-	}
-	if workers > len(gs) {
-		workers = len(gs)
-	}
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < len(gs); i += workers {
-				ev, err := e.Problem.Evaluate(gs[i])
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				out[i] = ev
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err := par.For(len(gs), e.Config.Workers, func(i int) error {
+		ev, err := e.Problem.EvaluateCanonical(gs[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
+		out[i] = ev
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -335,7 +316,8 @@ func (e *Engine) seedGenome(variant int) space.Genome {
 			m.Levels[lvi].Tiles = m.Levels[lvi-1].Tiles
 			m.Levels[lvi].Tiles[child.Spatial] = cover
 		}
-		g.Maps[li] = m.Repair(layer)
+		m.RepairInPlace(layer) // m is freshly built and owned
+		g.Maps[li] = m
 	}
 	return g
 }
@@ -352,14 +334,25 @@ func (e *Engine) tournament(pop []individual) individual {
 
 // breed produces one child from the population using the specialized
 // operator pipeline.
+//
+// Children are bred copy-on-write: a child starts by sharing every
+// per-layer mapping block with its parents (only the slice headers and the
+// HW genes are copied), and each operator clones exactly the blocks it is
+// about to write (ownLayer / the structural grow, age and Repair paths).
+// Parents in the population are therefore never mutated in place, the
+// shared blocks hash identically in the evaluation cache, and the dominant
+// allocation of the old pipeline — two full genome deep-clones per child —
+// shrinks to the few blocks mutation actually touches.
 func (e *Engine) breed(pop []individual) space.Genome {
 	cfg := e.Config
 	p1 := e.tournament(pop)
-	child := p1.genome.Clone()
+	var child space.Genome
 
 	if e.Rng.Float64() < cfg.CrossRate {
 		p2 := e.tournament(pop)
 		child = e.crossover(p1, p2)
+	} else {
+		child = shallowCopy(p1.genome)
 	}
 	if e.Rng.Float64() < cfg.ReorderRate {
 		e.reorder(&child)
@@ -379,7 +372,14 @@ func (e *Engine) breed(pop []individual) space.Genome {
 		}
 		child = e.repairHWBudget(child)
 	}
-	return e.Problem.Space.Repair(child)
+	// No full Space.Repair here: children are canonical by construction.
+	// Parents are canonical, crossover only exchanges whole (canonical)
+	// blocks and equal-length fanout vectors, reorder preserves the
+	// permutation property, mutateLayer repairs the blocks it perturbs in
+	// place, mutateHW/grow/age/repairHWBudget keep fanouts in [1,
+	// MaxFanout] with mapping depths in lockstep. TestBredGenomesCanonical
+	// pins this invariant, which EvaluateCanonical relies on.
+	return child
 }
 
 // layerDims returns the layer bounds for layer index li.
@@ -387,17 +387,40 @@ func (e *Engine) layerDims(li int) workload.Vector {
 	return e.Problem.Space.Layers[li].Dims()
 }
 
+// shallowCopy starts a copy-on-write child: private HW genes and Maps
+// slice header, per-layer blocks shared with the parent. Any operator that
+// writes a block must take ownership first (ownLayer, or the fresh slices
+// built by grow/age/Repair).
+func shallowCopy(g space.Genome) space.Genome {
+	return space.Genome{
+		Fanouts: append([]int(nil), g.Fanouts...),
+		Maps:    append([]mapping.Mapping(nil), g.Maps...),
+	}
+}
+
+// ownLayer gives the genome a private copy of one layer's level slice so
+// in-place mutation cannot leak into the parent the block is shared with.
+// The copy has cap == len, so a later structural append reallocates
+// instead of scribbling over shared backing.
+func ownLayer(m *mapping.Mapping) {
+	nl := make([]mapping.Level, len(m.Levels))
+	copy(nl, m.Levels)
+	m.Levels = nl
+}
+
 // crossover mixes two parents at domain-meaningful block granularity:
 // whole per-layer mapping blocks and the HW gene vector as one unit (the
 // PE hierarchy only makes sense as a whole). Because the fitness
 // decomposes additively over layers, the per-layer choice is mostly
 // greedy — take the block from the parent whose evaluation ran that layer
-// faster — with a diversity-preserving random fraction.
+// faster — with a diversity-preserving random fraction. Blocks are shared,
+// not cloned: an inherited block hashes identically in the evaluation
+// cache, which is what makes crossover near-free to score.
 func (e *Engine) crossover(pa, pb individual) space.Genome {
 	a, b := pa.genome, pb.genome
-	child := a.Clone()
+	child := shallowCopy(a)
 	if !e.Config.FixedHW && e.Rng.Intn(2) == 0 && len(b.Fanouts) == len(a.Fanouts) {
-		child.Fanouts = append([]int(nil), b.Fanouts...)
+		copy(child.Fanouts, b.Fanouts)
 	}
 	for li := range child.Maps {
 		if b.Maps[li].NumLevels() != child.Maps[li].NumLevels() {
@@ -408,7 +431,7 @@ func (e *Engine) crossover(pa, pb individual) space.Genome {
 			takeB = pb.eval.Layers[li].Result.Cycles < pa.eval.Layers[li].Result.Cycles
 		}
 		if takeB {
-			child.Maps[li] = b.Maps[li].Clone()
+			child.Maps[li] = b.Maps[li]
 		}
 	}
 	return child
@@ -419,6 +442,7 @@ func (e *Engine) crossover(pa, pb individual) space.Genome {
 func (e *Engine) reorder(g *space.Genome) {
 	li := e.Rng.Intn(len(g.Maps))
 	m := &g.Maps[li]
+	ownLayer(m) // the block may be shared with a parent
 	lv := &m.Levels[e.Rng.Intn(len(m.Levels))]
 	i := e.Rng.Intn(len(lv.Order))
 	j := e.Rng.Intn(len(lv.Order))
@@ -453,6 +477,7 @@ func (e *Engine) mutateMap(g *space.Genome) {
 func (e *Engine) mutateLayer(g *space.Genome, li int) {
 	dims := e.layerDims(li)
 	m := &g.Maps[li]
+	ownLayer(m) // the block may be shared with a parent
 	for lvi := range m.Levels {
 		lv := &m.Levels[lvi]
 		parent := dims
@@ -486,6 +511,10 @@ func (e *Engine) mutateLayer(g *space.Genome, li int) {
 			lv.Spatial = e.pickSpatial(dims)
 		}
 	}
+	// Restore tile monotonicity across levels (mutation can push an inner
+	// tile past its parent's); in place, since ownLayer made the block
+	// private above.
+	m.RepairInPlace(e.Problem.Space.Layers[li])
 }
 
 // pickSpatial draws a parallelization dimension, strongly preferring
@@ -545,8 +574,12 @@ func (e *Engine) grow(g *space.Genome) {
 	g.Fanouts = append(g.Fanouts, split)
 	for li := range g.Maps {
 		m := &g.Maps[li]
-		topLv := m.Levels[len(m.Levels)-1]
-		m.Levels = append(m.Levels, topLv)
+		// Fresh backing (never append): the block may be shared with a
+		// parent genome.
+		nl := make([]mapping.Level, len(m.Levels)+1)
+		copy(nl, m.Levels)
+		nl[len(m.Levels)] = m.Levels[len(m.Levels)-1]
+		m.Levels = nl
 	}
 }
 
@@ -562,7 +595,12 @@ func (e *Engine) age(g *space.Genome) {
 	g.Fanouts[top-1] = merged
 	for li := range g.Maps {
 		m := &g.Maps[li]
-		m.Levels = m.Levels[:len(m.Levels)-1]
+		// Fresh cap == len backing rather than a re-slice: the block may be
+		// shared with a parent, and a shorter alias over shared memory would
+		// let a later grow scribble over the parent's top level.
+		nl := make([]mapping.Level, len(m.Levels)-1)
+		copy(nl, m.Levels[:len(m.Levels)-1])
+		m.Levels = nl
 	}
 }
 

@@ -86,7 +86,9 @@ func (e *Engine) RunPareto(budget int, objectives []coopt.Objective) (*ParetoRes
 	}
 	evalG := func(g space.Genome) (*pind, error) {
 		res.Samples++
-		ev, err := e.Problem.Evaluate(g)
+		// Genomes here are canonical: seeded/random initials and breed
+		// output are repaired before reaching this point.
+		ev, err := e.Problem.EvaluateCanonical(g)
 		if err != nil {
 			return nil, err
 		}

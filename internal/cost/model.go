@@ -104,6 +104,43 @@ func (r *Result) EnergyPJ(em arch.EnergyModel) float64 {
 		r.DRAMWords*em.DRAMpJ
 }
 
+// inlineLevels is the hierarchy depth covered by the fused result
+// allocation; DiGamma's clustering ceiling (MaxLevels, paper: 3) stays
+// below it, so one analysis costs one allocation on the search hot path.
+const inlineLevels = 4
+
+// resultBuf2 / resultBuf fuse the Result header with backing storage for
+// the Levels slice so both come from a single allocation. Two sizes:
+// results live in the evaluation cache, and the canonical 2-level encoding
+// dominates, so padding every result to the 4-level worst case would waste
+// ~40% of the cache's bytes.
+type resultBuf2 struct {
+	res    Result
+	levels [2]LevelStats
+}
+
+type resultBuf struct {
+	res    Result
+	levels [inlineLevels]LevelStats
+}
+
+// newResult allocates a Result with an L-level detail slice, fusing the two
+// allocations for the common shallow hierarchies.
+func newResult(L int) *Result {
+	switch {
+	case L <= 2:
+		buf := &resultBuf2{}
+		buf.res.Levels = buf.levels[:L]
+		return &buf.res
+	case L <= inlineLevels:
+		buf := &resultBuf{}
+		buf.res.Levels = buf.levels[:L]
+		return &buf.res
+	default:
+		return &Result{Levels: make([]LevelStats, L)}
+	}
+}
+
 // relevance returns, per tensor, which dims the tensor depends on.
 func relevance(layer workload.Layer) [NumTensors][workload.NumDims]bool {
 	w, in, out := layer.TensorDims()
@@ -111,16 +148,17 @@ func relevance(layer workload.Layer) [NumTensors][workload.NumDims]bool {
 }
 
 // footprint returns the tensor footprint in words for the given effective
-// tile extents, applying the input halo transform.
-func footprint(layer workload.Layer, rel [workload.NumDims]bool, t Tensor, tile workload.Vector) float64 {
+// tile extents, applying the input halo transform. It runs six times per
+// level per analysis, so the stride/halo parameters come precomputed from
+// the Analyzer.
+func (a *Analyzer) footprint(rel [workload.NumDims]bool, t Tensor, tile workload.Vector) float64 {
 	if t == Inputs {
-		sy, sx := layer.Strides()
 		ch := tile[workload.C]
-		if layer.Type == workload.DepthwiseConv {
+		if a.depthwise {
 			ch = tile[workload.K]
 		}
-		iy := (tile[workload.Y]-1)*sy + tile[workload.R]
-		ix := (tile[workload.X]-1)*sx + tile[workload.S]
+		iy := (tile[workload.Y]-1)*a.strideY + tile[workload.R]
+		ix := (tile[workload.X]-1)*a.strideX + tile[workload.S]
 		return float64(ch) * float64(iy) * float64(ix)
 	}
 	fp := 1.0
@@ -139,30 +177,75 @@ func ceilDiv(a, b int) int {
 	return (a + b - 1) / b
 }
 
+// Analyzer carries the layer-invariant inputs of the performance model —
+// tensor relevance, full dims, stride/halo parameters and the ideal MAC
+// count — precomputed once so that repeated analyses of the same layer
+// (the genetic search evaluates each unique layer thousands of times) skip
+// re-deriving them per call.
+type Analyzer struct {
+	Layer workload.Layer
+
+	rel       [NumTensors][workload.NumDims]bool
+	full      workload.Vector
+	macs      float64
+	strideY   int
+	strideX   int
+	depthwise bool
+}
+
+// NewAnalyzer precomputes the analysis constants of one layer.
+func NewAnalyzer(layer workload.Layer) Analyzer {
+	sy, sx := layer.Strides()
+	return Analyzer{
+		Layer:     layer,
+		rel:       relevance(layer),
+		full:      layer.Dims(),
+		macs:      float64(layer.MACs()),
+		strideY:   sy,
+		strideX:   sx,
+		depthwise: layer.Type == workload.DepthwiseConv,
+	}
+}
+
 // Analyze evaluates one layer on the design point (hw, m). The mapping must
 // have exactly hw.Levels() levels and be legal for the layer (callers
 // should Repair first); Analyze returns an error otherwise.
 func Analyze(hw arch.HW, m mapping.Mapping, layer workload.Layer) (*Result, error) {
+	a := NewAnalyzer(layer)
+	return a.Analyze(hw, m)
+}
+
+// Analyze validates the design point and scores it.
+func (a *Analyzer) Analyze(hw arch.HW, m mapping.Mapping) (*Result, error) {
 	hw = hw.Defaults()
 	if err := hw.Validate(); err != nil {
 		return nil, err
 	}
+	if err := m.Validate(a.Layer); err != nil {
+		return nil, err
+	}
+	return a.AnalyzeTrusted(hw, m)
+}
+
+// AnalyzeTrusted scores a design point without re-validating it: hw must
+// already be Defaults()-normalized and structurally valid, and m legal for
+// the layer (exactly what a Space.Repair guarantees). The co-opt framework
+// uses this on its hot path, where every genome is repaired before
+// evaluation; everyone else should call Analyze.
+func (a *Analyzer) AnalyzeTrusted(hw arch.HW, m mapping.Mapping) (*Result, error) {
 	if len(m.Levels) != hw.Levels() {
 		return nil, fmt.Errorf("cost: mapping has %d levels, hw has %d", len(m.Levels), hw.Levels())
 	}
-	if err := m.Validate(layer); err != nil {
-		return nil, err
-	}
 
 	L := len(m.Levels)
-	rel := relevance(layer)
-	full := layer.Dims()
+	rel := a.rel
+	full := a.full
 
-	res := &Result{Levels: make([]LevelStats, L)}
+	res := newResult(L)
 
 	// Per-level structural analysis.
 	for l := 0; l < L; l++ {
-		lv := m.Levels[l]
+		lv := &m.Levels[l]
 		parent := full
 		if l+1 < L {
 			parent = m.Levels[l+1].Tiles
@@ -201,19 +284,38 @@ func Analyze(hw arch.HW, m mapping.Mapping, layer workload.Layer) (*Result, erro
 			bufTile = eff
 		}
 		st.BufferWords = BufferReq{
-			Weights: footprint(layer, rel[Weights], Weights, bufTile),
-			Inputs:  footprint(layer, rel[Inputs], Inputs, bufTile),
-			Outputs: footprint(layer, rel[Outputs], Outputs, bufTile),
+			Weights: a.footprint(rel[Weights], Weights, bufTile),
+			Inputs:  a.footprint(rel[Inputs], Inputs, bufTile),
+			Outputs: a.footprint(rel[Outputs], Outputs, bufTile),
 		}
 
-		// Ingress traffic (weights + inputs) from the stationarity rule.
-		for _, t := range []Tensor{Weights, Inputs} {
-			loads := reloadCount(lv, st.Trips, rel[t])
-			st.IngressWords += loads * footprint(layer, rel[t], t, eff)
+		// Stationarity rule for all three tensors in one pass over the loop
+		// order (outermost first): a tensor is reloaded once per iteration
+		// of every loop at or outside its innermost relevant loop, i.e. its
+		// load count is the trip-count prefix product at that position.
+		// Trips of 1 multiply exactly, so skipping them is bit-identical.
+		loadsW, loadsI, touches := 1.0, 1.0, 1.0
+		prefix := 1.0
+		for _, d := range lv.Order {
+			if st.Trips[d] > 1 {
+				prefix *= float64(st.Trips[d])
+				if rel[Weights][d] {
+					loadsW = prefix
+				}
+				if rel[Inputs][d] {
+					loadsI = prefix
+				}
+				if rel[Outputs][d] {
+					touches = prefix
+				}
+			}
 		}
+
+		// Ingress traffic (weights + inputs).
+		st.IngressWords += loadsW * a.footprint(rel[Weights], Weights, eff)
+		st.IngressWords += loadsI * a.footprint(rel[Inputs], Inputs, eff)
 
 		// Egress traffic (outputs) with partial-sum read-modify-write.
-		touches := reloadCount(lv, st.Trips, rel[Outputs])
 		finalWrites := 1.0
 		for _, d := range workload.AllDims {
 			if rel[Outputs][d] {
@@ -224,7 +326,7 @@ func Analyze(hw arch.HW, m mapping.Mapping, layer workload.Layer) (*Result, erro
 		if revisits < 1 {
 			revisits = 1
 		}
-		st.EgressWords = finalWrites * (2*revisits - 1) * footprint(layer, rel[Outputs], Outputs, eff)
+		st.EgressWords = finalWrites * (2*revisits - 1) * a.footprint(rel[Outputs], Outputs, eff)
 	}
 
 	// Latency recursion, inner to outer.
@@ -276,34 +378,11 @@ func Analyze(hw arch.HW, m mapping.Mapping, layer workload.Layer) (*Result, erro
 	res.L1Words += 2 * res.MappedMACs
 
 	totalPEs := float64(hw.NumPEs())
-	res.ComputeOnly = float64(layer.MACs()) / totalPEs
+	res.ComputeOnly = a.macs / totalPEs
 	if res.Cycles > 0 {
-		res.Utilization = float64(layer.MACs()) / (res.Cycles * totalPEs)
+		res.Utilization = a.macs / (res.Cycles * totalPEs)
 	}
 	return res, nil
-}
-
-// reloadCount applies the stationarity rule at one level: the number of
-// times a tensor with the given relevance must be (re)loaded while the
-// level's loops run once. Loops with a single trip are ignored; if no
-// relevant loop iterates, the tensor is loaded once.
-func reloadCount(lv mapping.Level, trips workload.Vector, rel [workload.NumDims]bool) float64 {
-	innermostRelevant := -1
-	for pos := len(lv.Order) - 1; pos >= 0; pos-- {
-		d := lv.Order[pos]
-		if rel[d] && trips[d] > 1 {
-			innermostRelevant = pos
-			break
-		}
-	}
-	if innermostRelevant < 0 {
-		return 1
-	}
-	loads := 1.0
-	for pos := 0; pos <= innermostRelevant; pos++ {
-		loads *= float64(trips[lv.Order[pos]])
-	}
-	return loads
 }
 
 // FitsBuffers reports whether the analysis' double-buffered requirements

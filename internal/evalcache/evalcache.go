@@ -1,0 +1,190 @@
+// Package evalcache memoizes per-layer performance-model results for the
+// co-optimization hot path. DiGamma's fitness decomposes additively over
+// layers (the property its greedy block crossover exploits), so per-layer
+// mapping blocks recur massively across generations — elites are carried
+// unchanged, crossover moves whole blocks between genomes, and mutateMap
+// touches only a few layers per child. Caching the analysis of one
+// (hardware, layer, mapping-block) triple therefore removes the majority of
+// cost.Analyze calls from a genetic search.
+//
+// The cache is a lock-free, set-associative table rather than a mutex-and-
+// map design: lookups run several times per design-point evaluation, and a
+// fixed array of atomically-published (key, value) slots is both faster
+// than a locked hash map and naturally bounded — an insert into a full set
+// simply overwrites a victim, which is safe because every entry can be
+// recomputed deterministically. Hit/miss/eviction counters are exposed so
+// tests and reports can verify the cache's effectiveness.
+//
+// The value type is generic so callers can memoize the analysis result
+// together with any derived terms (energy on a fixed platform, buffer
+// requirements in bytes) that would otherwise be recomputed on every hit.
+package evalcache
+
+import "sync/atomic"
+
+// ways is the set associativity: a key maps to one set of this many slots.
+const ways = 4
+
+// DefaultCapacity bounds the total slot count when New is given a
+// non-positive capacity. An entry typically anchors a few hundred bytes of
+// analysis detail, so the default tops out around twenty MB fully
+// populated.
+const DefaultCapacity = 1 << 15
+
+// entry is one immutable published slot value: a 64-bit key and the
+// memoized value. Slots hold atomic pointers to entries, so readers never
+// observe a torn (key, value) pair.
+type entry[V any] struct {
+	key uint64
+	val V
+}
+
+// Cache maps a 64-bit key (see Hasher) to an immutable memoized value.
+// Callers must never mutate anything reachable from a cached value — the
+// same data is handed to every hit. All methods are safe for concurrent
+// use without locks; concurrent inserts of the same key are benign because
+// the cached function is deterministic.
+type Cache[V any] struct {
+	slots   []atomic.Pointer[entry[V]] // sets × ways
+	setMask uint64
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// New builds a cache bounded to roughly capacity entries (DefaultCapacity
+// when capacity <= 0), rounded up to a power-of-two number of sets.
+func New[V any](capacity int) *Cache[V] {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	sets := 1
+	for sets*ways < capacity {
+		sets <<= 1
+	}
+	return &Cache[V]{
+		slots:   make([]atomic.Pointer[entry[V]], sets*ways),
+		setMask: uint64(sets - 1),
+	}
+}
+
+// Get returns the cached value for key, counting the lookup as a hit or a
+// miss.
+func (c *Cache[V]) Get(key uint64) (V, bool) {
+	base := int(key&c.setMask) * ways
+	for i := base; i < base+ways; i++ {
+		if e := c.slots[i].Load(); e != nil && e.key == key {
+			c.hits.Add(1)
+			return e.val, true
+		}
+	}
+	c.misses.Add(1)
+	var zero V
+	return zero, false
+}
+
+// Put stores a value. A full set evicts one resident entry (the victim
+// slot is derived from the key, so placement is deterministic); eviction
+// affects only speed, never results, because every entry can be recomputed.
+func (c *Cache[V]) Put(key uint64, v V) {
+	base := int(key&c.setMask) * ways
+	victim := -1
+	for i := base; i < base+ways; i++ {
+		e := c.slots[i].Load()
+		if e == nil {
+			if victim < 0 {
+				victim = i
+			}
+			continue
+		}
+		if e.key == key {
+			c.slots[i].Store(&entry[V]{key: key, val: v})
+			return
+		}
+	}
+	if victim < 0 {
+		victim = base + int((key>>32)&(ways-1))
+		c.evictions.Add(1)
+	}
+	c.slots[victim].Store(&entry[V]{key: key, val: v})
+}
+
+// Len returns the current number of cached entries.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.slots {
+		if c.slots[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset drops every entry and zeroes the counters.
+func (c *Cache[V]) Reset() {
+	for i := range c.slots {
+		c.slots[i].Store(nil)
+	}
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before the first lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots the counters.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+	}
+}
+
+// FNV-1a 64-bit constants.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Hasher is an allocation-free streaming FNV-1a hash over integers, used to
+// key cache entries on (layer index, fanout vector, mapping genes). It
+// applies the FNV-1a xor-then-multiply round per 64-bit word rather than
+// per byte: keying is on the evaluation hot path, and the byte-granular
+// variant costs as much as the analysis it is trying to memoize.
+type Hasher struct {
+	h uint64
+}
+
+// NewHasher returns a Hasher at the FNV-1a offset basis.
+func NewHasher() Hasher {
+	return Hasher{h: fnvOffset64}
+}
+
+// Uint64 folds an 8-byte value into the hash with one FNV-1a round.
+func (h *Hasher) Uint64(v uint64) {
+	h.h = (h.h ^ v) * fnvPrime64
+}
+
+// Int folds an int into the hash.
+func (h *Hasher) Int(v int) { h.Uint64(uint64(v)) }
+
+// Sum returns the accumulated 64-bit hash.
+func (h *Hasher) Sum() uint64 { return h.h }

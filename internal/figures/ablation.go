@@ -2,6 +2,7 @@ package figures
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 
@@ -72,32 +73,53 @@ func Ablation(platform arch.Platform, o Options) (*tables.Table, error) {
 		fmt.Sprintf("Ablation (%s): latency, normalized to full DiGamma (higher = operator mattered)", platform.Name),
 		cols...)
 
-	for _, modelName := range o.Models {
+	// One parallel cell per model × variant; every cell owns its problem,
+	// RNG and output slot, so the table is identical at any worker count.
+	type cell struct {
+		cycles float64
+		log    string
+	}
+	cells := make([]cell, len(o.Models)*len(variants))
+	engWorkers := engineWorkers(o.Workers, len(cells))
+	err := parallelFor(len(cells), o.Workers, func(ci int) error {
+		mi, vi := ci/len(variants), ci%len(variants)
+		modelName, v := o.Models[mi], variants[vi]
 		model, err := workload.ByName(modelName)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		p, err := coopt.NewProblem(model, platform, coopt.Latency)
+		if err != nil {
+			return err
+		}
+		cfg := v.Config
+		cfg.Workers = engWorkers
+		eng, err := core.New(p, cfg, rand.New(rand.NewSource(o.Seed)))
+		if err != nil {
+			return err
+		}
+		r, err := eng.Run(o.Budget)
+		if err != nil {
+			return err
+		}
+		if r.Best == nil || !r.Best.Valid {
+			cells[ci].cycles = math.NaN()
+			return nil
+		}
+		cells[ci].cycles = r.Best.Cycles
+		cells[ci].log = fmt.Sprintf("ablation %s/%s/%s: %.3e cycles\n",
+			platform.Name, modelName, v.Name, r.Best.Cycles)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, modelName := range o.Models {
 		row := make([]float64, len(variants))
-		for vi, v := range variants {
-			p, err := coopt.NewProblem(model, platform, coopt.Latency)
-			if err != nil {
-				return nil, err
-			}
-			eng, err := core.New(p, v.Config, rand.New(rand.NewSource(o.Seed)))
-			if err != nil {
-				return nil, err
-			}
-			r, err := eng.Run(o.Budget)
-			if err != nil {
-				return nil, err
-			}
-			if r.Best == nil || !r.Best.Valid {
-				row[vi] = math.NaN()
-				continue
-			}
-			row[vi] = r.Best.Cycles
-			fmt.Fprintf(o.Log, "ablation %s/%s/%s: %.3e cycles\n",
-				platform.Name, modelName, v.Name, r.Best.Cycles)
+		for vi := range variants {
+			c := cells[mi*len(variants)+vi]
+			row[vi] = c.cycles
+			io.WriteString(o.Log, c.log)
 		}
 		tb.SetRow(modelName, row)
 	}

@@ -38,17 +38,27 @@ func Convergence(platform arch.Platform, modelName string, checkpoints int, o Op
 		marks[i] = (i + 1) * o.Budget / checkpoints
 	}
 
-	series := make(map[string][]float64, len(algs))
-	for ai, alg := range algs {
+	// One parallel cell per algorithm; each trace owns its curve slice.
+	curves := make([][]float64, len(algs))
+	err = parallelFor(len(algs), o.Workers, func(ai int) error {
 		p, err := coopt.NewProblem(model, platform, coopt.Latency)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		curve, err := traceAlgorithm(alg, p, o.Budget, o.Seed+int64(ai), marks)
+		curve, err := traceAlgorithm(algs[ai], p, o.Budget, o.Seed+int64(ai), marks,
+			engineWorkers(o.Workers, len(algs)))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		series[alg] = curve
+		curves[ai] = curve
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	series := make(map[string][]float64, len(algs))
+	for ai, alg := range algs {
+		series[alg] = curves[ai]
 	}
 	for mi, mark := range marks {
 		row := make([]float64, len(algs))
@@ -62,14 +72,16 @@ func Convergence(platform arch.Platform, modelName string, checkpoints int, o Op
 
 // traceAlgorithm runs one algorithm while recording the best *valid*
 // latency after each checkpoint's worth of samples.
-func traceAlgorithm(alg string, p *coopt.Problem, budget int, seed int64, marks []int) ([]float64, error) {
+func traceAlgorithm(alg string, p *coopt.Problem, budget int, seed int64, marks []int, workers int) ([]float64, error) {
 	curve := make([]float64, len(marks))
 	for i := range curve {
 		curve[i] = math.NaN()
 	}
 
 	if alg == "DiGamma" {
-		eng, err := core.New(p, core.DefaultConfig(), rand.New(rand.NewSource(seed)))
+		cfg := core.DefaultConfig()
+		cfg.Workers = workers
+		eng, err := core.New(p, cfg, rand.New(rand.NewSource(seed)))
 		if err != nil {
 			return nil, err
 		}

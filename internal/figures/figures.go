@@ -8,11 +8,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"strings"
 
 	"digamma/internal/arch"
 	"digamma/internal/coopt"
-	"digamma/internal/core"
 	"digamma/internal/opt"
 	"digamma/internal/schemes"
 	"digamma/internal/tables"
@@ -25,6 +25,14 @@ type Options struct {
 	Seed   int64    // RNG seed; runs are deterministic given a seed
 	Models []string // model subset; nil = the full 7-model zoo
 	Log    io.Writer
+
+	// Workers bounds the experiment's parallelism: independent
+	// (algorithm × model × seed) cells run concurrently up to this count,
+	// and single-cell runs hand the budget to the engine's evaluation
+	// workers instead. 0 = all cores; 1 = fully serial. Tables are
+	// identical for every setting — each cell keeps its own seed and
+	// output slot.
+	Workers int
 }
 
 // withDefaults normalizes the options.
@@ -41,6 +49,9 @@ func (o Options) withDefaults() Options {
 	if o.Log == nil {
 		o.Log = io.Discard
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
@@ -52,9 +63,11 @@ func AlgorithmNames() []string {
 
 // runAlgorithm executes one algorithm on one co-opt problem and returns
 // the best evaluation (nil best means the run produced nothing valid).
-func runAlgorithm(name string, p *coopt.Problem, budget int, seed int64) (*coopt.Evaluation, error) {
+// workers bounds DiGamma's evaluation parallelism; the vector baselines are
+// inherently sequential samplers.
+func runAlgorithm(name string, p *coopt.Problem, budget int, seed int64, workers int) (*coopt.Evaluation, error) {
 	if name == "DiGamma" {
-		r, err := core.Optimize(p, budget, seed)
+		r, err := runDiGamma(p, budget, seed, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -78,32 +91,51 @@ func Fig5(platform arch.Platform, o Options) (latency, latArea *tables.Table, er
 	latArea = tables.NewTable(
 		fmt.Sprintf("Fig. 5 (%s): latency-area-product, normalized to CMA (lower is better)", platform.Name), algs...)
 
-	for _, modelName := range o.Models {
+	// One cell per model × algorithm, all independent: each owns its
+	// problem, seed and output slot, so the cells fan out across
+	// Options.Workers without changing any value in the tables.
+	type cell struct {
+		lat, lap float64
+		log      string
+	}
+	cells := make([]cell, len(o.Models)*len(algs))
+	eng := engineWorkers(o.Workers, len(cells))
+	err = parallelFor(len(cells), o.Workers, func(ci int) error {
+		mi, ai := ci/len(algs), ci%len(algs)
+		modelName, alg := o.Models[mi], algs[ai]
 		model, err := workload.ByName(modelName)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
+		p, err := coopt.NewProblem(model, platform, coopt.Latency)
+		if err != nil {
+			return err
+		}
+		ev, err := runAlgorithm(alg, p, o.Budget, o.Seed+int64(ai), eng)
+		if err != nil {
+			return err
+		}
+		c := &cells[ci]
+		if ev == nil || !ev.Valid {
+			c.lat, c.lap = math.NaN(), math.NaN()
+			c.log = fmt.Sprintf("fig5 %s/%s/%s: N/A\n", platform.Name, modelName, alg)
+			return nil
+		}
+		c.lat, c.lap = ev.Cycles, ev.LatAreaProd
+		c.log = fmt.Sprintf("fig5 %s/%s/%s: %.3e cycles, %.4f mm²\n",
+			platform.Name, modelName, alg, ev.Cycles, ev.Area.Total())
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for mi, modelName := range o.Models {
 		latRow := make([]float64, len(algs))
 		lapRow := make([]float64, len(algs))
-		for ai, alg := range algs {
-			p, err := coopt.NewProblem(model, platform, coopt.Latency)
-			if err != nil {
-				return nil, nil, err
-			}
-			ev, err := runAlgorithm(alg, p, o.Budget, o.Seed+int64(ai))
-			if err != nil {
-				return nil, nil, err
-			}
-			if ev == nil || !ev.Valid {
-				latRow[ai] = math.NaN()
-				lapRow[ai] = math.NaN()
-				fmt.Fprintf(o.Log, "fig5 %s/%s/%s: N/A\n", platform.Name, modelName, alg)
-				continue
-			}
-			latRow[ai] = ev.Cycles
-			lapRow[ai] = ev.LatAreaProd
-			fmt.Fprintf(o.Log, "fig5 %s/%s/%s: %.3e cycles, %.4f mm²\n",
-				platform.Name, modelName, alg, ev.Cycles, ev.Area.Total())
+		for ai := range algs {
+			c := cells[mi*len(algs)+ai]
+			latRow[ai], lapRow[ai] = c.lat, c.lap
+			io.WriteString(o.Log, c.log)
 		}
 		latency.SetRow(modelName, latRow)
 		latArea.SetRow(modelName, lapRow)
@@ -139,50 +171,67 @@ func Fig6(platform arch.Platform, o Options) (*tables.Table, error) {
 		fmt.Sprintf("Fig. 6 (%s): latency, normalized to Compute-focused+Gamma (lower is better)", platform.Name),
 		cols...)
 
-	for _, modelName := range o.Models {
+	// One parallel cell per model row; the schemes inside a row stay
+	// serial (they share the row's co-opt problem and cache).
+	rows := make([][]float64, len(o.Models))
+	logs := make([][]string, len(o.Models))
+	eng := engineWorkers(o.Workers, len(o.Models))
+	err := parallelFor(len(o.Models), o.Workers, func(mi int) error {
+		modelName := o.Models[mi]
 		model, err := workload.ByName(modelName)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := make([]float64, len(cols))
+		logRow := make([]string, 0, len(cols))
 		ci := 0
 
 		// HW-opt: grid search × 3 mapping styles.
 		for _, style := range schemes.AllStyles {
 			res, err := schemes.GridSearchHW(style, model, platform, coopt.Latency)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row[ci] = evCycles(res.Best)
-			fmt.Fprintf(o.Log, "fig6 %s/%s/%s: %s\n", platform.Name, modelName, cols[ci], tables.Cell(row[ci]))
+			logRow = append(logRow, fmt.Sprintf("fig6 %s/%s/%s: %s\n", platform.Name, modelName, cols[ci], tables.Cell(row[ci])))
 			ci++
 		}
 
 		// Mapping-opt: GAMMA on the three fixed HW configurations.
 		p, err := coopt.NewProblem(model, platform, coopt.Latency)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for fi, focus := range schemes.AllFocuses {
 			hw := schemes.FixedHW(focus, platform)
-			r, err := core.RunGamma(p, hw, o.Budget, o.Seed+int64(fi))
+			r, err := runGamma(p, hw, o.Budget, o.Seed+int64(fi), eng)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row[ci] = evCycles(r.Best)
-			fmt.Fprintf(o.Log, "fig6 %s/%s/%s: %s\n", platform.Name, modelName, cols[ci], tables.Cell(row[ci]))
+			logRow = append(logRow, fmt.Sprintf("fig6 %s/%s/%s: %s\n", platform.Name, modelName, cols[ci], tables.Cell(row[ci])))
 			ci++
 		}
 
 		// HW-Map-co-opt: DiGamma.
-		r, err := core.Optimize(p, o.Budget, o.Seed+17)
+		r, err := runDiGamma(p, o.Budget, o.Seed+17, eng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row[ci] = evCycles(r.Best)
-		fmt.Fprintf(o.Log, "fig6 %s/%s/DiGamma: %s\n", platform.Name, modelName, tables.Cell(row[ci]))
+		logRow = append(logRow, fmt.Sprintf("fig6 %s/%s/DiGamma: %s\n", platform.Name, modelName, tables.Cell(row[ci])))
 
-		tb.SetRow(modelName, row)
+		rows[mi], logs[mi] = row, logRow
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, modelName := range o.Models {
+		for _, line := range logs[mi] {
+			io.WriteString(o.Log, line)
+		}
+		tb.SetRow(modelName, rows[mi])
 	}
 	if err := tb.NormalizeBy("Compute-focused+Gamma"); err != nil {
 		return nil, err
@@ -229,13 +278,13 @@ func Fig7(o Options) ([]Fig7Solution, *tables.Table, error) {
 		return nil, nil, err
 	}
 	hw := schemes.FixedHW(schemes.ComputeFocused, platform)
-	gamma, err := core.RunGamma(p, hw, o.Budget, o.Seed)
+	gamma, err := runGamma(p, hw, o.Budget, o.Seed, o.Workers)
 	if err != nil {
 		return nil, nil, err
 	}
 	sols = append(sols, Fig7Solution{"Mapping-opt (Compute-focused + Gamma)", gamma.Best})
 
-	dg, err := core.Optimize(p, o.Budget, o.Seed)
+	dg, err := runDiGamma(p, o.Budget, o.Seed, o.Workers)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -2,6 +2,7 @@ package figures
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"digamma/internal/arch"
@@ -26,28 +27,40 @@ func MultiSeed(platform arch.Platform, modelName string, seeds int, o Options) (
 	}
 	algs := AlgorithmNames()
 
+	// One parallel cell per algorithm × seed.
+	flat := make([]float64, len(algs)*seeds)
+	logLines := make([]string, len(flat))
+	eng := engineWorkers(o.Workers, len(flat))
+	err = parallelFor(len(flat), o.Workers, func(ci int) error {
+		ai, s := ci/seeds, ci%seeds
+		alg := algs[ai]
+		p, err := coopt.NewProblem(model, platform, coopt.Latency)
+		if err != nil {
+			return err
+		}
+		ev, err := runAlgorithm(alg, p, o.Budget, o.Seed+int64(s)*1000, eng)
+		if err != nil {
+			return err
+		}
+		if ev == nil || !ev.Valid {
+			flat[ci] = math.NaN()
+		} else {
+			flat[ci] = ev.Cycles
+		}
+		logLines[ci] = fmt.Sprintf("multiseed %s/%s/%s seed %d: %s\n",
+			platform.Name, modelName, alg, s, tables.Cell(flat[ci]))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	// results[alg][seed] = latency (NaN when invalid).
 	results := make(map[string][]float64, len(algs))
-	for _, alg := range algs {
-		vals := make([]float64, seeds)
+	for ai, alg := range algs {
+		results[alg] = flat[ai*seeds : (ai+1)*seeds]
 		for s := 0; s < seeds; s++ {
-			p, err := coopt.NewProblem(model, platform, coopt.Latency)
-			if err != nil {
-				return nil, err
-			}
-			ev, err := runAlgorithm(alg, p, o.Budget, o.Seed+int64(s)*1000)
-			if err != nil {
-				return nil, err
-			}
-			if ev == nil || !ev.Valid {
-				vals[s] = math.NaN()
-			} else {
-				vals[s] = ev.Cycles
-			}
-			fmt.Fprintf(o.Log, "multiseed %s/%s/%s seed %d: %s\n",
-				platform.Name, modelName, alg, s, tables.Cell(vals[s]))
+			io.WriteString(o.Log, logLines[ai*seeds+s])
 		}
-		results[alg] = vals
 	}
 
 	tb := tables.NewTable(

@@ -1,0 +1,57 @@
+package figures
+
+import (
+	"math/rand"
+
+	"digamma/internal/arch"
+	"digamma/internal/coopt"
+	"digamma/internal/core"
+	"digamma/internal/par"
+)
+
+// parallelFor runs fn(0..n-1) across up to workers goroutines (≤ 1 =
+// serial) and returns the first error in index order. Every cell owns its
+// output slot, so callers get deterministic results regardless of the
+// worker count; only wall-clock changes.
+func parallelFor(n, workers int, fn func(i int) error) error {
+	return par.For(n, workers, fn)
+}
+
+// engineWorkers picks the per-engine evaluation parallelism for a figure
+// run: when the figure already fans its cells out (cells > 1 under a
+// parallel Options.Workers), each engine runs serially so the cell-level
+// parallelism owns the cores; a single cell inherits the full worker
+// budget.
+func engineWorkers(figureWorkers, cells int) int {
+	if figureWorkers > 1 && cells > 1 {
+		return 1
+	}
+	return figureWorkers
+}
+
+// runDiGamma runs the DiGamma engine with default hyper-parameters at an
+// explicit evaluation-worker count (seed-deterministic like core.Optimize).
+func runDiGamma(p *coopt.Problem, budget int, seed int64, workers int) (*core.Result, error) {
+	cfg := core.DefaultConfig()
+	cfg.Workers = workers
+	eng, err := core.New(p, cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(budget)
+}
+
+// runGamma is core.RunGamma with an explicit evaluation-worker count.
+func runGamma(p *coopt.Problem, hw arch.HW, budget int, seed int64, workers int) (*core.Result, error) {
+	fp, err := p.WithFixedHW(hw)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.GammaConfig()
+	cfg.Workers = workers
+	eng, err := core.New(fp, cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(budget)
+}

@@ -1,0 +1,48 @@
+package figures
+
+import (
+	"testing"
+
+	"digamma/internal/arch"
+)
+
+// TestFig5WorkerInvariance: the rendered table must be byte-identical
+// whether the cells run serially or fanned out.
+func TestFig5WorkerInvariance(t *testing.T) {
+	opts := Options{Budget: 60, Seed: 3, Models: []string{"ncf"}}
+
+	opts.Workers = 1
+	lat1, lap1, err := Fig5(arch.Edge(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 8
+	lat8, lap8, err := Fig5(arch.Edge(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat1.CSV() != lat8.CSV() {
+		t.Errorf("latency tables differ:\n%s\n%s", lat1.CSV(), lat8.CSV())
+	}
+	if lap1.CSV() != lap8.CSV() {
+		t.Errorf("latency-area tables differ:\n%s\n%s", lap1.CSV(), lap8.CSV())
+	}
+}
+
+// TestAblationWorkerInvariance repeats the check for the ablation grid.
+func TestAblationWorkerInvariance(t *testing.T) {
+	opts := Options{Budget: 50, Seed: 2, Models: []string{"ncf"}}
+	opts.Workers = 1
+	a1, err := Ablation(arch.Edge(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 6
+	a6, err := Ablation(arch.Edge(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.CSV() != a6.CSV() {
+		t.Errorf("ablation tables differ:\n%s\n%s", a1.CSV(), a6.CSV())
+	}
+}

@@ -66,7 +66,8 @@ func (m Mapping) Validate(layer workload.Layer) error {
 		return errors.New("mapping: no levels")
 	}
 	bounds := layer.Dims()
-	for li, lv := range m.Levels {
+	for li := range m.Levels {
+		lv := &m.Levels[li] // by pointer: Validate runs per evaluation on the search hot path
 		if !lv.Spatial.Valid() {
 			return fmt.Errorf("mapping: level %d: invalid spatial dim %d", li, lv.Spatial)
 		}
@@ -107,6 +108,27 @@ func (m Mapping) Repair(layer workload.Layer) Mapping {
 		}
 	}
 	return out
+}
+
+// RepairInPlace applies Repair's fixes directly to the receiver's levels,
+// for callers that own the backing storage (the engine's mutation path,
+// which has just cloned the block it mutated). Semantically identical to
+// Repair, minus the defensive clone.
+func (m Mapping) RepairInPlace(layer workload.Layer) {
+	bounds := layer.Dims()
+	for li := range m.Levels {
+		lv := &m.Levels[li]
+		if !lv.Spatial.Valid() {
+			lv.Spatial = workload.K
+		}
+		if !IsPermutation(lv.Order) {
+			lv.Order = CanonicalOrder()
+		}
+		lv.Tiles = lv.Tiles.Clamp(bounds)
+		if li > 0 {
+			lv.Tiles = lv.Tiles.Max(m.Levels[li-1].Tiles)
+		}
+	}
 }
 
 // PositionOf returns the index of dim d in the level's loop order

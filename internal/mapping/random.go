@@ -3,6 +3,7 @@ package mapping
 import (
 	"math/rand"
 	"sort"
+	"sync"
 
 	"digamma/internal/workload"
 )
@@ -51,6 +52,23 @@ func Divisors(n int) []int {
 	return small
 }
 
+// divisorCache memoizes Divisors results for the tile sampler. Layer dim
+// extents come from a small fixed zoo, so the cache stays tiny while
+// removing the dominant allocation of random tiling (the divisor list was
+// rebuilt per sampled tile only to index one element). Values are shared
+// and must never be mutated.
+var divisorCache sync.Map // int -> []int
+
+// cachedDivisors returns the memoized (read-only) divisor list of n.
+func cachedDivisors(n int) []int {
+	if ds, ok := divisorCache.Load(n); ok {
+		return ds.([]int)
+	}
+	ds := Divisors(n)
+	divisorCache.Store(n, ds)
+	return ds
+}
+
 // RandomTile draws a tile size for a dimension of extent n: with
 // probability divisorBias it picks a random divisor of n (domain-aware),
 // otherwise a uniform value in [1, n].
@@ -59,14 +77,15 @@ func RandomTile(rng *rand.Rand, n int, divisorBias float64) int {
 		return 1
 	}
 	if rng.Float64() < divisorBias {
-		ds := Divisors(n)
+		ds := cachedDivisors(n)
 		return ds[rng.Intn(len(ds))]
 	}
 	return 1 + rng.Intn(n)
 }
 
 // Random generates a random legal mapping with the given number of levels
-// for the layer. Tile monotonicity across levels is enforced by repair.
+// for the layer. Tile monotonicity across levels is enforced by repair
+// (in place — the freshly built mapping is owned here).
 func Random(rng *rand.Rand, layer workload.Layer, levels int) Mapping {
 	m := Mapping{Levels: make([]Level, levels)}
 	for li := range m.Levels {
@@ -77,5 +96,6 @@ func Random(rng *rand.Rand, layer workload.Layer, levels int) Mapping {
 			lv.Tiles[d] = RandomTile(rng, layer.Dim(d), 0.7)
 		}
 	}
-	return m.Repair(layer)
+	m.RepairInPlace(layer)
+	return m
 }

@@ -1,0 +1,49 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForMatchesSerial(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		out := make([]int, 37)
+		err := For(len(out), workers, func(i int) error {
+			out[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForFirstErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	err := For(64, 4, func(i int) error {
+		calls.Add(1)
+		if i == 10 || i == 20 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls.Load() == 0 {
+		t.Fatal("no cells ran")
+	}
+}
+
+func TestForZeroItems(t *testing.T) {
+	if err := For(0, 8, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"strings"
 
 	"digamma/internal/arch"
@@ -187,7 +188,8 @@ func (s Space) Decode(x []float64) (Genome, error) {
 				i++
 			}
 		}
-		g.Maps[li] = m.Repair(layer)
+		m.RepairInPlace(layer) // m is freshly built and owned
+		g.Maps[li] = m
 	}
 	return g, nil
 }
@@ -215,32 +217,62 @@ func (s Space) Random(rng *rand.Rand, levels int) Genome {
 	return g
 }
 
-// Repair returns a copy of g with every mapping made legal for its layer
-// and fanouts clamped to [1, MaxFanout].
+// Repair returns a genome with every mapping made legal for its layer and
+// fanouts clamped to [1, MaxFanout]. Already-canonical genomes — the common
+// case on the search hot path, where the engine has repaired every child it
+// breeds before evaluation — are returned as-is without cloning; otherwise
+// only the offending gene blocks are copied. The result may therefore share
+// per-layer blocks with g, so callers must not mutate g afterwards.
 func (s Space) Repair(g Genome) Genome {
-	out := g.Clone()
-	cap := s.MaxFanout
+	out := g
+
+	// HW genes: frozen in Fixed-HW mode, clamped to [1, MaxFanout] otherwise.
 	if s.FixedHW != nil {
-		out.Fanouts = append([]int(nil), s.FixedHW.Fanouts...)
-	}
-	for l := range out.Fanouts {
-		if out.Fanouts[l] < 1 {
-			out.Fanouts[l] = 1
+		if !slices.Equal(g.Fanouts, s.FixedHW.Fanouts) {
+			out.Fanouts = append([]int(nil), s.FixedHW.Fanouts...)
 		}
-		if cap > 0 && out.Fanouts[l] > cap && s.FixedHW == nil {
-			out.Fanouts[l] = cap
+	} else {
+		cap := s.MaxFanout
+		for l, f := range g.Fanouts {
+			if f >= 1 && (cap <= 0 || f <= cap) {
+				continue
+			}
+			out.Fanouts = append([]int(nil), g.Fanouts...)
+			for i := l; i < len(out.Fanouts); i++ {
+				if out.Fanouts[i] < 1 {
+					out.Fanouts[i] = 1
+				}
+				if cap > 0 && out.Fanouts[i] > cap {
+					out.Fanouts[i] = cap
+				}
+			}
+			break
 		}
 	}
+
+	// Mapping genes: copy-on-write — a layer block already legal at the
+	// right clustering depth is shared, everything else is cloned and fixed.
+	shared := true
 	for li, layer := range s.Layers {
 		m := out.Maps[li]
-		// Align mapping depth with the HW genes.
-		for len(m.Levels) < len(out.Fanouts) {
-			top := m.Levels[len(m.Levels)-1]
-			top.Tiles = layer.Dims()
-			m.Levels = append(m.Levels, top)
+		if len(m.Levels) == len(out.Fanouts) && m.Validate(layer) == nil {
+			continue
 		}
-		if len(m.Levels) > len(out.Fanouts) {
-			m.Levels = m.Levels[:len(out.Fanouts)]
+		if shared {
+			out.Maps = append([]mapping.Mapping(nil), g.Maps...)
+			shared = false
+		}
+		// Align mapping depth with the HW genes.
+		if len(m.Levels) != len(out.Fanouts) {
+			m = m.Clone()
+			for len(m.Levels) < len(out.Fanouts) {
+				top := m.Levels[len(m.Levels)-1]
+				top.Tiles = layer.Dims()
+				m.Levels = append(m.Levels, top)
+			}
+			if len(m.Levels) > len(out.Fanouts) {
+				m.Levels = m.Levels[:len(out.Fanouts)]
+			}
 		}
 		out.Maps[li] = m.Repair(layer)
 	}

@@ -1,0 +1,44 @@
+#!/bin/sh
+# bench.sh — record the core benchmark trajectory.
+#
+# Runs the evaluation-hot-path benchmarks with -benchmem and writes
+# BENCH_core.json: one record per benchmark with ns/op, B/op and allocs/op,
+# so future PRs can compare against the numbers this tree produces.
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+#   BENCHTIME=2s scripts/bench.sh     # longer runs for stabler numbers
+set -eu
+
+cd "$(dirname "$0")/.."
+OUT=${1:-BENCH_core.json}
+BENCHTIME=${BENCHTIME:-1s}
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' \
+    -bench 'BenchmarkEvaluate$|BenchmarkCostAnalyze$|BenchmarkDiGammaSearch$' \
+    -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+
+awk '
+BEGIN { print "[" ; first = 1 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)           # strip the GOMAXPROCS suffix
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op")     ns     = $(i - 1)
+        if ($(i) == "B/op")      bytes  = $(i - 1)
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    if (!first) print ","
+    first = 0
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs)
+}
+END { print "\n]" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
