@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-smoke clean
+.PHONY: all build vet test race check bench bench-smoke loadgen clean
 
 all: check
 
@@ -16,7 +16,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/evalcache/ ./internal/par/ ./internal/coopt/ ./internal/core/ ./internal/figures/
+	$(GO) test -race ./internal/evalcache/ ./internal/par/ ./internal/coopt/ ./internal/core/ ./internal/figures/ ./internal/serve/
+
+# loadgen fires concurrent mixed requests at an in-process digammad and
+# reports throughput + dedup hit rate (REQUESTS/CLIENTS/BUDGET/TARGET env
+# knobs; see scripts/loadgen.sh).
+loadgen:
+	./scripts/loadgen.sh
 
 # check is the CI gate: everything tier-1 plus a one-iteration benchmark
 # smoke so the figure pipelines stay runnable.

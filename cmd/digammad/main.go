@@ -1,0 +1,65 @@
+// Command digammad serves DiGamma HW-Mapping co-optimization over HTTP:
+// submit searches, stream per-generation progress as Server-Sent Events,
+// cancel mid-run, and read results back from the deduplicating job store.
+//
+//	digammad -addr :8080
+//	curl -s localhost:8080/v1/optimize -d '{"model":"resnet18","budget":4000}'
+//	curl -s localhost:8080/v1/jobs/j000001
+//	curl -N  localhost:8080/v1/jobs/j000001/events
+//	curl -s -X DELETE localhost:8080/v1/jobs/j000001
+//	curl -s localhost:8080/metrics
+//
+// The -selftest mode is a ReqBench-style load generator: it fires N
+// concurrent mixed requests (with deliberate duplicates) at a target
+// server — or at an in-process one when no -target is given — and reports
+// throughput and the dedup hit rate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"digamma/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		jobs     = flag.Int("jobs", 0, "concurrent search jobs (0 = all cores)")
+		queue    = flag.Int("queue", 0, "queued-job bound before submits get 503 (0 = 256)")
+		store    = flag.Int("store", 0, "retained terminal jobs before eviction (0 = 1024)")
+		maxBud   = flag.Int("max-budget", 0, "per-request sampling-budget cap (0 = 1,000,000)")
+		selftest = flag.Bool("selftest", false, "run the load-generator self-test and exit")
+		requests = flag.Int("requests", 24, "selftest: total requests to fire")
+		clients  = flag.Int("clients", 8, "selftest: concurrent clients")
+		budget   = flag.Int("budget", 300, "selftest: sampling budget per request")
+		target   = flag.String("target", "", "selftest: base URL of a running digammad (empty = in-process server)")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{Workers: *jobs, QueueDepth: *queue, StoreLimit: *store, MaxBudget: *maxBud}
+	if *selftest {
+		if err := runSelftest(cfg, *target, *requests, *clients, *budget); err != nil {
+			fmt.Fprintln(os.Stderr, "digammad: selftest:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	s := serve.New(cfg)
+	defer s.Close()
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "digammad:", err)
+		os.Exit(1)
+	}
+	log.Printf("digammad listening on %s", l.Addr())
+	if err := (&http.Server{Handler: s.Handler()}).Serve(l); err != nil {
+		fmt.Fprintln(os.Stderr, "digammad:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"digamma/internal/serve"
+)
+
+// selftestMix is the request mix the load generator cycles through: four
+// distinct searches, so firing N ≥ 8 requests guarantees duplicates and a
+// measurable dedup hit rate (ReqBench-style mixed concurrent workload).
+var selftestMix = []serve.OptimizeRequest{
+	{Model: "ncf", Platform: "edge", Objective: "latency"},
+	{Model: "mnasnet", Platform: "edge", Objective: "edp"},
+	{Model: "ncf", Platform: "cloud", Objective: "energy"},
+	{Model: "mobilenetv2", Platform: "edge", Objective: "latency", Seed: 7},
+}
+
+// runSelftest fires total requests from clients concurrent workers at the
+// target server (an in-process one when target is empty), waits for every
+// job to reach a terminal state, and reports throughput plus dedup rate.
+func runSelftest(cfg serve.Config, target string, total, clients, budget int) error {
+	inProcess := target == ""
+	if inProcess {
+		s := serve.New(cfg)
+		defer s.Close()
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		target = ts.URL
+		fmt.Printf("selftest: in-process server at %s\n", target)
+	}
+	if clients < 1 {
+		clients = 1
+	}
+
+	type submitResp struct {
+		ID           string `json:"id"`
+		State        string `json:"state"`
+		Deduplicated bool   `json:"deduplicated"`
+	}
+
+	var (
+		wg        sync.WaitGroup
+		next      atomic.Int64
+		dedup     atomic.Int64
+		errCount  atomic.Int64
+		idMu      sync.Mutex
+		ids       = map[string]struct{}{}
+		firstErrs = make(chan error, clients)
+	)
+	next.Store(-1)
+	begin := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= total {
+					return
+				}
+				req := selftestMix[i%len(selftestMix)]
+				req.Budget = budget
+				body, _ := json.Marshal(req)
+				resp, err := http.Post(target+"/v1/optimize", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errCount.Add(1)
+					select {
+					case firstErrs <- err:
+					default:
+					}
+					continue
+				}
+				data, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+					errCount.Add(1)
+					select {
+					case firstErrs <- fmt.Errorf("submit: %s: %s", resp.Status, data):
+					default:
+					}
+					continue
+				}
+				var sr submitResp
+				if err := json.Unmarshal(data, &sr); err != nil {
+					errCount.Add(1)
+					continue
+				}
+				if sr.Deduplicated {
+					dedup.Add(1)
+				}
+				idMu.Lock()
+				ids[sr.ID] = struct{}{}
+				idMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	submitDur := time.Since(begin)
+
+	// Wait for every distinct job to reach a terminal state.
+	deadline := time.Now().Add(5 * time.Minute)
+	done := 0
+	for id := range ids {
+		for {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("job %s did not finish within the selftest deadline", id)
+			}
+			resp, err := http.Get(target + "/v1/jobs/" + id)
+			if err != nil {
+				return err
+			}
+			var st struct {
+				State string `json:"state"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			if st.State == "done" || st.State == "failed" || st.State == "cancelled" {
+				if st.State == "done" {
+					done++
+				}
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	totalDur := time.Since(begin)
+
+	select {
+	case err := <-firstErrs:
+		fmt.Printf("selftest: first error: %v\n", err)
+	default:
+	}
+	fmt.Printf("selftest: %d requests, %d clients, budget %d\n", total, clients, budget)
+	fmt.Printf("  distinct jobs run:   %d (done %d, errors %d)\n", len(ids), done, errCount.Load())
+	fmt.Printf("  dedup hits:          %d (%.0f%% of submissions)\n",
+		dedup.Load(), 100*float64(dedup.Load())/float64(total))
+	fmt.Printf("  submit throughput:   %.1f req/s (%.3fs)\n",
+		float64(total)/submitDur.Seconds(), submitDur.Seconds())
+	fmt.Printf("  end-to-end:          %.1f req/s (%.3fs for all jobs to finish)\n",
+		float64(total)/totalDur.Seconds(), totalDur.Seconds())
+	if errCount.Load() > 0 {
+		return fmt.Errorf("%d requests failed", errCount.Load())
+	}
+	// Only a server this run created starts empty; a warm -target one may
+	// dedup every submission against pre-existing jobs, which would make
+	// this invariant read as a failure when the server is behaving.
+	if inProcess && len(ids)+int(dedup.Load()) != total {
+		return fmt.Errorf("accounting mismatch: %d distinct + %d dedup != %d total", len(ids), dedup.Load(), total)
+	}
+	return nil
+}

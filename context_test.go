@@ -1,0 +1,145 @@
+package digamma
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	if err := (Options{}).Validate(); err != nil {
+		t.Errorf("zero options invalid: %v", err)
+	}
+	if err := (Options{Algorithm: "CMA", Objective: EDP}).Validate(); err != nil {
+		t.Errorf("CMA/EDP invalid: %v", err)
+	}
+	err := Options{Algorithm: "SimulatedAnnealing"}.Validate()
+	if !errors.Is(err, ErrUnknownAlgorithm) {
+		t.Errorf("bad algorithm: %v, want ErrUnknownAlgorithm", err)
+	}
+	err = Options{Objective: Objective(99)}.Validate()
+	if !errors.Is(err, ErrUnknownObjective) {
+		t.Errorf("bad objective: %v, want ErrUnknownObjective", err)
+	}
+}
+
+// TestOptimizeRejectsUpFront: a bad algorithm fails before any search
+// machinery runs, with the typed error (previously it surfaced deep
+// inside the run as an untyped message).
+func TestOptimizeRejectsUpFront(t *testing.T) {
+	model, err := LoadModel("ncf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = Optimize(model, EdgePlatform(), Options{Algorithm: "nope", Budget: 1_000_000})
+	if !errors.Is(err, ErrUnknownAlgorithm) {
+		t.Errorf("got %v, want ErrUnknownAlgorithm", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("validation did not fail fast")
+	}
+	if _, err = Optimize(model, EdgePlatform(), Options{Objective: Objective(7)}); !errors.Is(err, ErrUnknownObjective) {
+		t.Errorf("got %v, want ErrUnknownObjective", err)
+	}
+	hw := HW{Fanouts: []int{16, 8}, BufBytes: []int64{4096, 524288}}
+	if _, err = OptimizeMapping(model, EdgePlatform(), hw, Options{Algorithm: "nope"}); !errors.Is(err, ErrUnknownAlgorithm) {
+		t.Errorf("OptimizeMapping: got %v, want ErrUnknownAlgorithm", err)
+	}
+	if _, err = OptimizeMulti([]Model{model}, nil, EdgePlatform(), Options{Algorithm: "nope"}); !errors.Is(err, ErrUnknownAlgorithm) {
+		t.Errorf("OptimizeMulti: got %v, want ErrUnknownAlgorithm", err)
+	}
+}
+
+// TestOptimizeContextMatchesOptimize: plumbing a live context and a
+// progress callback changes nothing about the result.
+func TestOptimizeContextMatchesOptimize(t *testing.T) {
+	model, err := LoadModel("ncf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Budget: 300, Seed: 4}
+	ref, err := Optimize(model, EdgePlatform(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Progress
+	opts.OnProgress = func(p Progress) { events = append(events, p) }
+	got, err := OptimizeContext(context.Background(), model, EdgePlatform(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycles != ref.Cycles || got.Fitness != ref.Fitness || got.HW.String() != ref.HW.String() {
+		t.Errorf("context run diverged: %v/%v vs %v/%v", got.Cycles, got.Fitness, ref.Cycles, ref.Fitness)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events")
+	}
+	last := events[len(events)-1]
+	if last.Samples != 300 || last.Budget != 300 || last.BestFitness != got.Fitness {
+		t.Errorf("final progress %+v", last)
+	}
+}
+
+// TestOptimizeContextCancel: cancellation mid-search surfaces the context
+// error and returns no partial result.
+func TestOptimizeContextCancel(t *testing.T) {
+	model, err := LoadModel("resnet18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := Options{Budget: 100_000_000}
+	opts.OnProgress = func(Progress) { cancel() }
+	ev, err := OptimizeContext(ctx, model, EdgePlatform(), opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("got %v, want context.Canceled", err)
+	}
+	if ev != nil {
+		t.Error("cancelled search returned a result")
+	}
+}
+
+// TestOptimizeContextDeadline: a deadline bounds the search like a cancel.
+func TestOptimizeContextDeadline(t *testing.T) {
+	model, err := LoadModel("resnet18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err = OptimizeContext(ctx, model, EdgePlatform(), Options{Budget: 100_000_000})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("got %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestBaselineContextCancel: the vector baselines honor cancellation too,
+// draining their budget instead of evaluating it.
+func TestBaselineContextCancel(t *testing.T) {
+	model, err := LoadModel("ncf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := Options{Algorithm: "Random", Budget: 50_000_000}
+	fired := false
+	opts.OnProgress = func(p Progress) {
+		if !fired && p.Samples > 0 {
+			fired = true
+			cancel()
+		}
+	}
+	start := time.Now()
+	_, err = OptimizeContext(ctx, model, EdgePlatform(), opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("got %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Error("baseline cancel did not drain quickly")
+	}
+	if !fired {
+		t.Error("baseline emitted no progress")
+	}
+}

@@ -20,6 +20,8 @@
 package digamma
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"digamma/internal/arch"
@@ -77,6 +79,21 @@ func Algorithms() []string {
 	return append(append([]string(nil), opt.BaselineNames...), "DiGamma")
 }
 
+// Typed option-validation errors, returned (wrapped, with detail) by every
+// facade search entry point before any work is done. Serving layers map
+// them to client errors (HTTP 400); test with errors.Is.
+var (
+	// ErrUnknownAlgorithm reports an Options.Algorithm not in Algorithms().
+	ErrUnknownAlgorithm = errors.New("digamma: unknown algorithm")
+	// ErrUnknownObjective reports an out-of-range Options.Objective.
+	ErrUnknownObjective = errors.New("digamma: unknown objective")
+)
+
+// Progress is a per-generation search snapshot delivered through
+// Options.OnProgress: where the search is, the incumbent fitness, and the
+// evaluation-cache counters.
+type Progress = core.Progress
+
 // Options configures an optimization run.
 type Options struct {
 	// Budget is the sampling budget — the number of design points the
@@ -93,9 +110,17 @@ type Options struct {
 	// available core (the default); 1 forces a serial run. Results are
 	// bit-identical at any setting — parallelism changes only wall-clock.
 	Workers int
+	// OnProgress, when non-nil, receives a snapshot after every search
+	// generation (baseline algorithms report every ~budget/50 samples).
+	// It runs on the search goroutine and never influences the search:
+	// results are bit-identical with or without it.
+	OnProgress func(Progress)
 }
 
-func (o Options) withDefaults() Options {
+// withDefaults fills unset fields and validates the rest up front, so a
+// bad algorithm or objective fails before any search machinery spins up
+// (previously an unknown algorithm survived until deep inside the run).
+func (o Options) withDefaults() (Options, error) {
 	if o.Budget <= 0 {
 		o.Budget = 2000
 	}
@@ -105,13 +130,43 @@ func (o Options) withDefaults() Options {
 	if o.Algorithm == "" {
 		o.Algorithm = "DiGamma"
 	}
-	return o
+	if o.Objective > LatencyAreaProduct {
+		return o, fmt.Errorf("%w: Objective(%d) (want one of latency, energy, edp, latency-area)",
+			ErrUnknownObjective, uint8(o.Objective))
+	}
+	if o.Algorithm != "DiGamma" {
+		if _, err := opt.ByName(o.Algorithm); err != nil {
+			return o, fmt.Errorf("%w: %q (want one of %v)", ErrUnknownAlgorithm, o.Algorithm, Algorithms())
+		}
+	}
+	return o, nil
+}
+
+// Validate reports whether the options would be accepted by a search
+// entry point, without running anything: ErrUnknownAlgorithm or
+// ErrUnknownObjective (wrapped, with detail) on bad selections, nil
+// otherwise. Serving layers use it to reject requests before queueing.
+func (o Options) Validate() error {
+	_, err := o.withDefaults()
+	return err
 }
 
 // Optimize co-optimizes hardware and mapping for a model on a platform
 // and returns the best design point found.
 func Optimize(model Model, platform Platform, o Options) (*Evaluation, error) {
-	o = o.withDefaults()
+	return OptimizeContext(context.Background(), model, platform, o)
+}
+
+// OptimizeContext is Optimize with cooperative cancellation: the context
+// is checked between generations, so cancellation (or a deadline) stops
+// the search within one generation without perturbing determinism — a run
+// that completes is bit-identical to Optimize. A cancelled run returns an
+// error satisfying errors.Is(err, ctx.Err()) and no partial result.
+func OptimizeContext(ctx context.Context, model Model, platform Platform, o Options) (*Evaluation, error) {
+	o, err := o.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	p, err := coopt.NewProblem(model, platform, o.Objective)
 	if err != nil {
 		return nil, err
@@ -125,7 +180,8 @@ func Optimize(model Model, platform Platform, o Options) (*Evaluation, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := eng.Run(o.Budget)
+		eng.OnGeneration = o.OnProgress
+		r, err := eng.RunContext(ctx, o.Budget)
 		if err != nil {
 			return nil, err
 		}
@@ -133,16 +189,26 @@ func Optimize(model Model, platform Platform, o Options) (*Evaluation, error) {
 	}
 	alg, err := opt.ByName(o.Algorithm)
 	if err != nil {
-		return nil, fmt.Errorf("digamma: %w (want one of %v)", err, Algorithms())
+		// Unreachable after withDefaults, kept as a safety net.
+		return nil, fmt.Errorf("%w: %q (want one of %v)", ErrUnknownAlgorithm, o.Algorithm, Algorithms())
 	}
-	return p.RunVector(alg, o.Budget, o.Seed)
+	return p.RunVectorContext(ctx, alg, o.Budget, o.Seed, vectorProgress(o))
 }
 
 // OptimizeMapping searches only the mapping space for a fixed hardware
 // configuration (the paper's Fixed-HW use-case, i.e. the GAMMA mapper).
 // Buffer capacities in hw become constraints on the mapping.
 func OptimizeMapping(model Model, platform Platform, hw HW, o Options) (*Evaluation, error) {
-	o = o.withDefaults()
+	return OptimizeMappingContext(context.Background(), model, platform, hw, o)
+}
+
+// OptimizeMappingContext is OptimizeMapping with cooperative cancellation
+// and progress reporting, with the same guarantees as OptimizeContext.
+func OptimizeMappingContext(ctx context.Context, model Model, platform Platform, hw HW, o Options) (*Evaluation, error) {
+	o, err := o.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	p, err := coopt.NewProblem(model, platform, o.Objective)
 	if err != nil {
 		return nil, err
@@ -159,11 +225,23 @@ func OptimizeMapping(model Model, platform Platform, hw HW, o Options) (*Evaluat
 	if err != nil {
 		return nil, err
 	}
-	r, err := eng.Run(o.Budget)
+	eng.OnGeneration = o.OnProgress
+	r, err := eng.RunContext(ctx, o.Budget)
 	if err != nil {
 		return nil, err
 	}
 	return r.Best, nil
+}
+
+// vectorProgress adapts Options.OnProgress to the sample-count reporting
+// of the vector baselines (which have no generation structure).
+func vectorProgress(o Options) func(samples int, best float64) {
+	if o.OnProgress == nil {
+		return nil
+	}
+	return func(samples int, best float64) {
+		o.OnProgress(Progress{Samples: samples, Budget: o.Budget, BestFitness: best})
+	}
 }
 
 // NewProblem exposes the underlying co-optimization problem for callers

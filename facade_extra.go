@@ -1,6 +1,7 @@
 package digamma
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"os"
@@ -39,7 +40,16 @@ func WriteModelCSV(w io.Writer, m Model) error { return workload.WriteCSV(w, m) 
 // mappings are searched for every model, and the fitness is the weighted
 // sum across models (nil weights = equal).
 func OptimizeMulti(models []Model, weights []float64, platform Platform, o Options) (*Evaluation, error) {
-	o = o.withDefaults()
+	return OptimizeMultiContext(context.Background(), models, weights, platform, o)
+}
+
+// OptimizeMultiContext is OptimizeMulti with cooperative cancellation and
+// progress reporting, with the same guarantees as OptimizeContext.
+func OptimizeMultiContext(ctx context.Context, models []Model, weights []float64, platform Platform, o Options) (*Evaluation, error) {
+	o, err := o.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	p, err := coopt.NewMultiProblem(models, weights, platform, o.Objective)
 	if err != nil {
 		return nil, err
@@ -53,13 +63,14 @@ func OptimizeMulti(models []Model, weights []float64, platform Platform, o Optio
 		if err != nil {
 			return nil, err
 		}
-		r, err := eng.Run(o.Budget)
+		eng.OnGeneration = o.OnProgress
+		r, err := eng.RunContext(ctx, o.Budget)
 		if err != nil {
 			return nil, err
 		}
 		return r.Best, nil
 	}
-	return Optimize(p.Model, platform, o)
+	return OptimizeContext(ctx, p.Model, platform, o)
 }
 
 // TuneOptions re-exports the hyper-parameter tuning knobs.
@@ -90,7 +101,10 @@ func WriteReport(w io.Writer, ev *Evaluation) error {
 // non-dominated sorting over the same domain-aware operators) and returns
 // the constraint-valid Pareto front, sorted by the first objective.
 func ParetoFront(model Model, platform Platform, objectives []Objective, o Options) ([]*Evaluation, error) {
-	o = o.withDefaults()
+	o, err := o.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	p, err := coopt.NewProblem(model, platform, objectives[0])
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@
 package coopt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -388,11 +389,60 @@ func (p *Problem) VectorObjective() opt.Objective {
 // RunVector drives a generic optimizer over the problem for the given
 // sampling budget and returns the best evaluation.
 func (p *Problem) RunVector(o opt.Optimizer, budget int, seed int64) (*Evaluation, error) {
+	return p.RunVectorContext(context.Background(), o, budget, seed, nil)
+}
+
+// cancelSignal aborts a Minimize call from inside the wrapped objective —
+// the generic optimizer interface has no cancellation channel of its own,
+// so RunVectorContext panics past it and recovers on the way out.
+type cancelSignal struct{ samples int }
+
+// RunVectorContext is RunVector with cooperative cancellation and optional
+// progress reporting. The objective is wrapped with a per-probe context
+// check: once ctx is done the wrapper unwinds the optimizer immediately
+// (via a recovered sentinel panic) and the run reports ctx.Err().
+// progress, when non-nil, is called from the search goroutine roughly once
+// per generation-equivalent (every max(1, budget/50) evaluations) with the
+// number of samples spent and the best fitness seen. Runs that complete
+// without cancellation are bit-identical to RunVector: the wrapper forwards
+// objective values untouched and draws nothing from the RNG.
+func (p *Problem) RunVectorContext(ctx context.Context, o opt.Optimizer, budget int, seed int64,
+	progress func(samples int, bestFitness float64)) (ev *Evaluation, err error) {
 	if budget < 1 {
 		return nil, errors.New("coopt: non-positive budget")
 	}
+	stride := budget / 50
+	if stride < 1 {
+		stride = 1
+	}
+	obj := p.VectorObjective()
+	samples := 0
+	best := math.Inf(1)
+	wrapped := func(x []float64) float64 {
+		if ctx.Err() != nil {
+			panic(cancelSignal{samples})
+		}
+		v := obj(x)
+		samples++
+		if v < best {
+			best = v
+		}
+		if progress != nil && samples%stride == 0 {
+			progress(samples, best)
+		}
+		return v
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			sig, ok := r.(cancelSignal)
+			if !ok {
+				panic(r)
+			}
+			ev, err = nil, fmt.Errorf("coopt: search cancelled after %d samples: %w", sig.samples, ctx.Err())
+		}
+	}()
 	rng := newRand(seed)
-	x, _ := o.Minimize(p.VectorObjective(), p.Space.Dim(), budget, rng)
+	x, _ := o.Minimize(wrapped, p.Space.Dim(), budget, rng)
 	g, err := p.Space.Decode(x)
 	if err != nil {
 		return nil, err

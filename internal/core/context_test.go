@@ -1,0 +1,104 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"digamma/internal/coopt"
+)
+
+// TestRunContextCompletedBitIdentical: a context that never fires leaves
+// the search bit-identical to Run — the cancellation checks live outside
+// the RNG stream.
+func TestRunContextCompletedBitIdentical(t *testing.T) {
+	ref, err := newEngine(t, 7).Run(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var seen []Progress
+	eng := newEngine(t, 7)
+	eng.OnGeneration = func(p Progress) { seen = append(seen, p) }
+	got, err := eng.RunContext(ctx, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Best.Fitness != ref.Best.Fitness || got.Samples != ref.Samples ||
+		got.Generations != ref.Generations {
+		t.Errorf("RunContext diverged: fitness %v vs %v, samples %d vs %d",
+			got.Best.Fitness, ref.Best.Fitness, got.Samples, ref.Samples)
+	}
+	if len(got.History) != len(ref.History) {
+		t.Fatalf("history %d vs %d", len(got.History), len(ref.History))
+	}
+	for i := range got.History {
+		if got.History[i] != ref.History[i] {
+			t.Errorf("history[%d] = %v, want %v", i, got.History[i], ref.History[i])
+		}
+	}
+
+	// Progress stream invariants: one snapshot per history entry, samples
+	// monotone, final snapshot at the full budget with the final best.
+	if len(seen) != len(got.History) {
+		t.Fatalf("%d progress snapshots for %d history entries", len(seen), len(got.History))
+	}
+	for i, p := range seen {
+		if p.Budget != 400 || p.BestFitness != got.History[i] {
+			t.Errorf("snapshot %d = %+v, history %v", i, p, got.History[i])
+		}
+		if i > 0 && p.Samples < seen[i-1].Samples {
+			t.Errorf("samples went backwards at %d", i)
+		}
+	}
+	if last := seen[len(seen)-1]; last.Samples != 400 || last.BestFitness != got.Best.Fitness {
+		t.Errorf("final snapshot %+v", last)
+	}
+	if last := seen[len(seen)-1]; last.CacheHits+last.CacheMisses == 0 {
+		t.Error("no cache traffic reported")
+	}
+}
+
+// TestRunContextCancelled: cancelling mid-run stops within one generation
+// with an error carrying both ErrCancelled and the context cause.
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	eng := newEngine(t, 3)
+	gens := 0
+	eng.OnGeneration = func(Progress) {
+		gens++
+		if gens == 2 {
+			cancel()
+		}
+	}
+	res, err := eng.RunContext(ctx, 1_000_000)
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if res != nil {
+		t.Error("cancelled run returned a partial result")
+	}
+	if !errors.Is(err, ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap ErrCancelled and context.Canceled", err)
+	}
+	if gens != 2 {
+		t.Errorf("ran %d generations after cancel, want stop at 2", gens)
+	}
+}
+
+// TestRunContextPreCancelled: an already-dead context fails before any
+// evaluation.
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := newEngine(t, 3)
+	evals := 0
+	eng.OnEvaluation = func(int, *coopt.Evaluation) { evals++ }
+	if _, err := eng.RunContext(ctx, 400); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled run: %v", err)
+	}
+	if evals != 0 {
+		t.Errorf("%d evaluations ran", evals)
+	}
+}

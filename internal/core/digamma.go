@@ -22,6 +22,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -91,6 +92,23 @@ func GammaConfig() Config {
 	return c
 }
 
+// Progress is a per-generation search snapshot, delivered through
+// Engine.OnGeneration (and, one layer up, digamma.Options.OnProgress).
+// It carries everything a serving or monitoring layer wants to stream
+// without touching engine internals: where the search is, how good the
+// incumbent is, and how the evaluation cache is doing.
+type Progress struct {
+	Generation  int     // generations completed (0 after the initial batch)
+	Samples     int     // design points evaluated so far
+	Budget      int     // total sampling budget of this run
+	BestFitness float64 // incumbent objective value (includes penalties)
+
+	// CacheHits / CacheMisses snapshot the problem's evaluation cache
+	// counters (both zero when caching is disabled).
+	CacheHits   uint64
+	CacheMisses uint64
+}
+
 // Engine runs the genetic search against a co-optimization problem.
 type Engine struct {
 	Problem *coopt.Problem
@@ -101,6 +119,13 @@ type Engine struct {
 	// evaluation with the 1-based sample index — convergence tracing and
 	// progress reporting hook.
 	OnEvaluation func(sample int, ev *coopt.Evaluation)
+
+	// OnGeneration, when set, is invoked after every generation (and once
+	// more when the budget is exhausted) with a Progress snapshot. The
+	// callback runs on the search goroutine: it must not block for long,
+	// and it never influences the search (no RNG draws), so results stay
+	// bit-identical whether or not it is installed.
+	OnGeneration func(Progress)
 }
 
 // New assembles an engine. A nil rng defaults to a fixed seed so runs are
@@ -148,8 +173,25 @@ type Result struct {
 // evaluated, the paper's 40K-style budget) and returns the best
 // evaluation found.
 func (e *Engine) Run(budget int) (*Result, error) {
+	return e.RunContext(context.Background(), budget)
+}
+
+// ErrCancelled wraps the context error when a search is cut short; test
+// with errors.Is(err, context.Canceled) / context.DeadlineExceeded.
+var ErrCancelled = errors.New("core: search cancelled")
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// once per generation — never mid-batch, never on the RNG stream — so a
+// run that completes within its budget is bit-identical to Run regardless
+// of the context plumbed in. A cancelled or deadline-exceeded run returns
+// an error wrapping both ErrCancelled and ctx.Err(); no partial result is
+// returned.
+func (e *Engine) RunContext(ctx context.Context, budget int) (*Result, error) {
 	if budget < 1 {
 		return nil, errors.New("core: non-positive budget")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCancelled, err)
 	}
 	cfg := e.Config
 	pop := cfg.PopSize
@@ -210,6 +252,11 @@ func (e *Engine) Run(budget int) (*Result, error) {
 	for res.Samples < budget {
 		sort.Slice(cur, func(a, b int) bool { return cur[a].eval.Fitness < cur[b].eval.Fitness })
 		res.History = append(res.History, cur[0].eval.Fitness)
+		e.emitProgress(res, budget)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("%w after generation %d (%d samples): %w",
+				ErrCancelled, res.Generations, res.Samples, err)
+		}
 		res.Generations++
 
 		next := make([]individual, 0, pop)
@@ -243,7 +290,28 @@ func (e *Engine) Run(budget int) (*Result, error) {
 	sort.Slice(cur, func(a, b int) bool { return cur[a].eval.Fitness < cur[b].eval.Fitness })
 	res.History = append(res.History, cur[0].eval.Fitness)
 	res.Best = cur[0].eval
+	e.emitProgress(res, budget)
 	return res, nil
+}
+
+// emitProgress delivers a Progress snapshot to OnGeneration, if installed.
+// History always has ≥ 1 entry here (appended just before every call), so
+// even a budget ≤ popsize run emits exactly one snapshot.
+func (e *Engine) emitProgress(res *Result, budget int) {
+	if e.OnGeneration == nil {
+		return
+	}
+	p := Progress{
+		Generation:  len(res.History) - 1,
+		Samples:     res.Samples,
+		Budget:      budget,
+		BestFitness: res.History[len(res.History)-1],
+	}
+	if e.Problem.Cache != nil {
+		st := e.Problem.Cache.Stats()
+		p.CacheHits, p.CacheMisses = st.Hits, st.Misses
+	}
+	e.OnGeneration(p)
 }
 
 // evaluateBatch scores a slice of genomes, fanning out across

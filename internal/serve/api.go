@@ -1,0 +1,167 @@
+// Package serve is digammad's HTTP co-optimization service: a JSON API in
+// front of the digamma search engines with a bounded job queue, a worker
+// pool, an in-memory result store keyed by a canonical request hash (so
+// duplicate requests run once and repeats are served from cache), per-job
+// Server-Sent-Event progress streams, cooperative cancellation, and a
+// Prometheus-style metrics endpoint.
+//
+// Endpoints:
+//
+//	POST   /v1/optimize         submit a search (model name or inline layers)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status + result when done
+//	DELETE /v1/jobs/{id}        cancel (queued or running)
+//	GET    /v1/jobs/{id}/events SSE progress stream until a terminal state
+//	GET    /v1/models           built-in model zoo discovery
+//	GET    /v1/platforms        deployment-target discovery
+//	GET    /healthz             liveness + queue snapshot
+//	GET    /metrics             queue depth, jobs by state, evalcache hit
+//	                            rate, p50/p95 search latency
+//
+// Completed results are bit-identical to calling digamma.Optimize directly
+// with the same request: the service only adds scheduling, cancellation
+// and observability around the deterministic engines.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"digamma"
+	"digamma/internal/coopt"
+	"digamma/internal/workload"
+)
+
+// OptimizeRequest is the POST /v1/optimize body. Exactly one of Model
+// (a built-in zoo name, see GET /v1/models) or Layers (an inline workload
+// in the JSON layer format) must be set. Unset fields default like
+// digamma.Options: platform edge, objective latency, algorithm DiGamma,
+// budget 2000, seed 1.
+type OptimizeRequest struct {
+	Model  string               `json:"model,omitempty"`
+	Layers []workload.LayerSpec `json:"layers,omitempty"`
+	// ModelName labels an inline-layer workload in reports ("inline"
+	// when empty). Ignored when Model is set.
+	ModelName string `json:"model_name,omitempty"`
+	Platform  string `json:"platform,omitempty"`  // "edge" or "cloud"
+	Objective string `json:"objective,omitempty"` // latency, energy, edp, latency-area
+	Algorithm string `json:"algorithm,omitempty"` // see digamma.Algorithms()
+	Budget    int    `json:"budget,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	// Workers bounds the search's parallel evaluation workers (0 = all
+	// cores). Deliberately excluded from the dedup hash: results are
+	// bit-identical at any setting.
+	Workers int `json:"workers,omitempty"`
+}
+
+// errBadRequest marks normalization failures the HTTP layer maps to 400.
+var errBadRequest = errors.New("bad request")
+
+// searchSpec is a fully resolved, validated request: everything a worker
+// needs to run the search, plus the canonical hash dedup keys on.
+type searchSpec struct {
+	req      OptimizeRequest // normalized (defaults applied)
+	model    digamma.Model
+	platform digamma.Platform
+	opts     digamma.Options
+	hash     string
+}
+
+// buildSpec normalizes and validates a request. All errors wrap
+// errBadRequest — nothing past this point is the client's fault.
+// maxBudget (> 0) caps the sampling budget so huge-budget requests
+// cannot occupy workers indefinitely.
+func buildSpec(req OptimizeRequest, maxBudget int) (*searchSpec, error) {
+	if req.Platform == "" {
+		req.Platform = "edge"
+	}
+	if req.Objective == "" {
+		req.Objective = "latency"
+	}
+	if req.Algorithm == "" {
+		req.Algorithm = "DiGamma"
+	}
+	if req.Budget <= 0 {
+		req.Budget = 2000
+	}
+	if maxBudget > 0 && req.Budget > maxBudget {
+		return nil, fmt.Errorf("%w: budget %d exceeds this server's cap of %d", errBadRequest, req.Budget, maxBudget)
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+
+	var model digamma.Model
+	var err error
+	switch {
+	case req.Model != "" && len(req.Layers) > 0:
+		return nil, fmt.Errorf("%w: request sets both model %q and inline layers; pick one", errBadRequest, req.Model)
+	case req.Model != "":
+		if model, err = digamma.LoadModel(req.Model); err != nil {
+			return nil, fmt.Errorf("%w: %w", errBadRequest, err)
+		}
+	case len(req.Layers) > 0:
+		name := req.ModelName
+		if name == "" {
+			name = "inline"
+		}
+		if model, err = workload.FromSpecs(name, req.Layers); err != nil {
+			return nil, fmt.Errorf("%w: %w", errBadRequest, err)
+		}
+	default:
+		return nil, fmt.Errorf("%w: request needs a model name or inline layers", errBadRequest)
+	}
+
+	var platform digamma.Platform
+	switch req.Platform {
+	case "edge":
+		platform = digamma.EdgePlatform()
+	case "cloud":
+		platform = digamma.CloudPlatform()
+	default:
+		return nil, fmt.Errorf("%w: unknown platform %q (want edge or cloud)", errBadRequest, req.Platform)
+	}
+
+	obj, err := coopt.ParseObjective(req.Objective)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", errBadRequest, err)
+	}
+	opts := digamma.Options{
+		Budget:    req.Budget,
+		Seed:      req.Seed,
+		Objective: obj,
+		Algorithm: req.Algorithm,
+		Workers:   req.Workers,
+	}
+	// Typed facade validation (ErrUnknownAlgorithm / ErrUnknownObjective)
+	// happens here, at submit time, not deep inside a queued search.
+	if err := opts.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %w", errBadRequest, err)
+	}
+
+	return &searchSpec{
+		req:      req,
+		model:    model,
+		platform: platform,
+		opts:     opts,
+		hash:     requestHash(model, req),
+	}, nil
+}
+
+// requestHash produces the canonical dedup key: a digest over everything
+// that determines the search result — the resolved layer list (so an
+// inline copy of a zoo model dedups against the zoo name), platform,
+// objective, algorithm, budget and seed. Workers is excluded (results are
+// bit-identical at any worker count), as is the model's display name.
+func requestHash(model digamma.Model, req OptimizeRequest) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v1|%s|%s|%s|%d|%d\n", req.Platform, req.Objective, req.Algorithm, req.Budget, req.Seed)
+	for _, l := range model.Layers {
+		sy, sx := l.Strides()
+		fmt.Fprintf(h, "%s|%s|%d,%d,%d,%d,%d,%d|%d,%d|%d\n",
+			l.Name, l.Type, l.K, l.C, l.Y, l.X, l.R, l.S, sy, sx, l.Multiplicity())
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// benchSubmitWait pushes one request through the full HTTP path and polls
+// until the job is terminal, returning its final state.
+func benchSubmitWait(b *testing.B, url string, req OptimizeRequest) State {
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/optimize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	for !st.State.Terminal() {
+		time.Sleep(time.Millisecond)
+		r, err := http.Get(url + "/v1/jobs/" + st.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			b.Fatal(err)
+		}
+		r.Body.Close()
+	}
+	if st.State != StateDone {
+		b.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	return st.State
+}
+
+// BenchmarkServeOptimize measures one served search end-to-end — submit
+// over HTTP, queue, run (ncf, budget 200), poll to completion — the
+// serving baseline recorded in BENCH_core.json.
+func BenchmarkServeOptimize(b *testing.B) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Distinct seeds defeat the dedup store: every iteration pays for
+		// a real search.
+		benchSubmitWait(b, ts.URL, OptimizeRequest{Model: "ncf", Budget: 200, Seed: int64(i + 1)})
+	}
+}
+
+// BenchmarkServeDedup measures a repeat request served entirely from the
+// result store — the cost of a cache hit on the serving path.
+func BenchmarkServeDedup(b *testing.B) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+	warm := OptimizeRequest{Model: "ncf", Budget: 200, Seed: 1}
+	benchSubmitWait(b, ts.URL, warm)
+	body, _ := json.Marshal(warm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/optimize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var st Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if !st.Deduplicated || st.State != StateDone {
+			b.Fatalf("iteration %d not served from store: dedup %v state %s", i, st.Deduplicated, st.State)
+		}
+	}
+	if got := s.DedupHits(); got != uint64(b.N) {
+		b.Fatalf("dedup hits %d, want %d", got, b.N)
+	}
+}

@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"digamma"
+	"digamma/internal/report"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job states. queued → running → {done, failed, cancelled}; a queued job
+// may also jump straight to cancelled.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether no further transitions can happen.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Event is one entry in a job's progress stream (the SSE `data:` payload).
+// Type "progress" carries a per-generation search snapshot; type "state"
+// marks a lifecycle transition (the last one is always terminal).
+type Event struct {
+	Type         string  `json:"type"` // "progress" or "state"
+	State        State   `json:"state,omitempty"`
+	Generation   int     `json:"generation,omitempty"`
+	Samples      int     `json:"samples,omitempty"`
+	Budget       int     `json:"budget,omitempty"`
+	BestFitness  float64 `json:"best_fitness,omitempty"`
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
+	Error        string  `json:"error,omitempty"`
+}
+
+// Job is one submitted search: its resolved spec, lifecycle state, result,
+// and progress-event history with live subscribers. All mutable fields are
+// guarded by mu; the event history is append-only so subscribers replay it
+// and then follow the live channel without gaps.
+type Job struct {
+	ID   string
+	Hash string
+	spec *searchSpec
+
+	// cacheHits/cacheMisses mirror the latest progress snapshot's
+	// evalcache counters, so the server can fold a finished job's cache
+	// behaviour into the aggregate /metrics hit rate.
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+
+	mu       sync.Mutex
+	state    State
+	err      string
+	result   *digamma.Evaluation
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+	events   []Event
+	subs     map[chan Event]struct{}
+}
+
+func newJob(id string, spec *searchSpec) *Job {
+	return &Job{
+		ID:      id,
+		Hash:    spec.hash,
+		spec:    spec,
+		state:   StateQueued,
+		created: time.Now(),
+		subs:    make(map[chan Event]struct{}),
+	}
+}
+
+// State snapshots the current lifecycle phase.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// publishLocked appends ev to the history and fans it out. Subscriber
+// channels are buffered; when one is full the oldest buffered event is
+// dropped for the newest, so slow consumers skip intermediate progress but
+// always observe the terminal state event.
+func (j *Job) publishLocked(ev Event) {
+	j.events = append(j.events, ev)
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- ev:
+			default:
+			}
+		}
+	}
+}
+
+// Publish appends a progress event.
+func (j *Job) Publish(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.publishLocked(ev)
+}
+
+// Subscribe returns the event history so far plus a live channel for what
+// follows. Call unsub when done.
+func (j *Job) Subscribe() (replay []Event, ch chan Event, unsub func()) {
+	ch = make(chan Event, 64)
+	j.mu.Lock()
+	replay = append([]Event(nil), j.events...)
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return replay, ch, func() {
+		j.mu.Lock()
+		delete(j.subs, ch)
+		j.mu.Unlock()
+	}
+}
+
+// setRunning transitions queued → running and installs the cancel hook.
+// It returns false when the job was cancelled while queued (the worker
+// must skip it).
+func (j *Job) setRunning(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.publishLocked(Event{Type: "state", State: StateRunning})
+	return true
+}
+
+// finish records a terminal state. It is a no-op if the job is already
+// terminal (e.g. cancel racing with completion — first transition wins).
+func (j *Job) finish(state State, result *digamma.Evaluation, err error) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
+	j.state = state
+	j.finished = time.Now()
+	j.result = result
+	if err != nil {
+		j.err = err.Error()
+	}
+	j.publishLocked(Event{Type: "state", State: state, Error: j.err})
+	return true
+}
+
+// requestCancel implements DELETE /v1/jobs/{id}: a queued job is finished
+// as cancelled immediately; a running one has its search context
+// cancelled (the engine notices at the next generation boundary and the
+// worker records the terminal state). Returns the state observed and
+// whether this call finalized the job itself (so the caller knows to
+// run terminal bookkeeping).
+func (j *Job) requestCancel() (State, bool) {
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.state = StateCancelled
+		j.finished = time.Now()
+		j.err = "cancelled while queued"
+		j.publishLocked(Event{Type: "state", State: StateCancelled, Error: j.err})
+		j.mu.Unlock()
+		return StateCancelled, true
+	}
+	state, cancel := j.state, j.cancel
+	j.mu.Unlock()
+	if state == StateRunning && cancel != nil {
+		cancel()
+	}
+	return state, false
+}
+
+// Status is the job's wire representation (GET /v1/jobs/{id}).
+type Status struct {
+	ID           string         `json:"id"`
+	State        State          `json:"state"`
+	Deduplicated bool           `json:"deduplicated,omitempty"`
+	RequestHash  string         `json:"request_hash"`
+	Model        string         `json:"model"`
+	Platform     string         `json:"platform"`
+	Objective    string         `json:"objective"`
+	Algorithm    string         `json:"algorithm"`
+	Budget       int            `json:"budget"`
+	Seed         int64          `json:"seed"`
+	CreatedAt    time.Time      `json:"created_at"`
+	StartedAt    *time.Time     `json:"started_at,omitempty"`
+	FinishedAt   *time.Time     `json:"finished_at,omitempty"`
+	Error        string         `json:"error,omitempty"`
+	Progress     *Event         `json:"progress,omitempty"`
+	Result       *report.Report `json:"result,omitempty"`
+}
+
+// Status snapshots the job. The full result report is attached only when
+// withResult is set (job listings stay light).
+func (j *Job) Status(withResult bool) Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:          j.ID,
+		State:       j.state,
+		RequestHash: j.Hash,
+		Model:       j.spec.model.Name,
+		Platform:    j.spec.req.Platform,
+		Objective:   j.spec.req.Objective,
+		Algorithm:   j.spec.req.Algorithm,
+		Budget:      j.spec.req.Budget,
+		Seed:        j.spec.req.Seed,
+		CreatedAt:   j.created,
+		Error:       j.err,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	for i := len(j.events) - 1; i >= 0; i-- {
+		if j.events[i].Type == "progress" {
+			ev := j.events[i]
+			st.Progress = &ev
+			break
+		}
+	}
+	if withResult && j.result != nil {
+		st.Result = report.FromEvaluation(j.result)
+	}
+	return st
+}
+
+// Result returns the evaluation of a done job (nil otherwise).
+func (j *Job) Result() *digamma.Evaluation {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"digamma/internal/stats"
+)
+
+// hitRate is Hits / (Hits + Misses), 0 before any lookup.
+func hitRate(hits, misses uint64) float64 {
+	total := hits + misses
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// recordLatency folds one completed search's wall-clock seconds into the
+// quantile window. The window is capped so /metrics stays O(1)-ish and
+// reflects recent behaviour rather than all-time history.
+func (s *Server) recordLatency(seconds float64) {
+	const window = 4096
+	s.latMu.Lock()
+	defer s.latMu.Unlock()
+	if len(s.latencies) >= window {
+		copy(s.latencies, s.latencies[1:])
+		s.latencies = s.latencies[:window-1]
+	}
+	s.latencies = append(s.latencies, seconds)
+}
+
+// latencyQuantiles snapshots p50/p95 over the window (NaN-free: zeros
+// before the first completion).
+func (s *Server) latencyQuantiles() (p50, p95 float64, count int) {
+	s.latMu.Lock()
+	xs := append([]float64(nil), s.latencies...)
+	s.latMu.Unlock()
+	if len(xs) == 0 {
+		return 0, 0, 0
+	}
+	return stats.Quantile(xs, 0.5), stats.Quantile(xs, 0.95), len(xs)
+}
+
+// DedupHits reports how many submissions were served by an existing job.
+func (s *Server) DedupHits() uint64 { return s.dedupHits.Load() }
+
+// Submitted reports total POST /v1/optimize submissions accepted for
+// processing or deduplicated.
+func (s *Server) Submitted() uint64 { return s.submitted.Load() }
+
+// handleMetrics renders the service gauges/counters in the Prometheus
+// text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	states := map[State]int{
+		StateQueued: 0, StateRunning: 0, StateDone: 0, StateFailed: 0, StateCancelled: 0,
+	}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		states[j.State()]++
+	}
+	s.mu.Unlock()
+
+	hits, misses := s.cacheHits.Load(), s.cacheMisses.Load()
+	p50, p95, count := s.latencyQuantiles()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP digammad_uptime_seconds Seconds since the server started.\n")
+	fmt.Fprintf(w, "# TYPE digammad_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "digammad_uptime_seconds %g\n", time.Since(s.started).Seconds())
+	fmt.Fprintf(w, "# HELP digammad_queue_depth Jobs waiting for a worker.\n")
+	fmt.Fprintf(w, "# TYPE digammad_queue_depth gauge\n")
+	fmt.Fprintf(w, "digammad_queue_depth %d\n", s.queueDepth())
+	fmt.Fprintf(w, "# HELP digammad_jobs Jobs in the store by state.\n")
+	fmt.Fprintf(w, "# TYPE digammad_jobs gauge\n")
+	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		fmt.Fprintf(w, "digammad_jobs{state=%q} %d\n", st, states[st])
+	}
+	fmt.Fprintf(w, "# HELP digammad_submitted_total Optimize submissions accepted or deduplicated.\n")
+	fmt.Fprintf(w, "# TYPE digammad_submitted_total counter\n")
+	fmt.Fprintf(w, "digammad_submitted_total %d\n", s.submitted.Load())
+	fmt.Fprintf(w, "# HELP digammad_dedup_hits_total Submissions served by an existing job.\n")
+	fmt.Fprintf(w, "# TYPE digammad_dedup_hits_total counter\n")
+	fmt.Fprintf(w, "digammad_dedup_hits_total %d\n", s.dedupHits.Load())
+	fmt.Fprintf(w, "# HELP digammad_rejected_total Submissions rejected because the queue was full.\n")
+	fmt.Fprintf(w, "# TYPE digammad_rejected_total counter\n")
+	fmt.Fprintf(w, "digammad_rejected_total %d\n", s.rejected.Load())
+	fmt.Fprintf(w, "# HELP digammad_evalcache_hits_total Evaluation-cache hits across completed searches.\n")
+	fmt.Fprintf(w, "# TYPE digammad_evalcache_hits_total counter\n")
+	fmt.Fprintf(w, "digammad_evalcache_hits_total %d\n", hits)
+	fmt.Fprintf(w, "# HELP digammad_evalcache_misses_total Evaluation-cache misses across completed searches.\n")
+	fmt.Fprintf(w, "# TYPE digammad_evalcache_misses_total counter\n")
+	fmt.Fprintf(w, "digammad_evalcache_misses_total %d\n", misses)
+	fmt.Fprintf(w, "# HELP digammad_evalcache_hit_rate Aggregate evaluation-cache hit rate.\n")
+	fmt.Fprintf(w, "# TYPE digammad_evalcache_hit_rate gauge\n")
+	fmt.Fprintf(w, "digammad_evalcache_hit_rate %g\n", hitRate(hits, misses))
+	fmt.Fprintf(w, "# HELP digammad_search_latency_seconds Completed-search wall-clock latency quantiles.\n")
+	fmt.Fprintf(w, "# TYPE digammad_search_latency_seconds summary\n")
+	fmt.Fprintf(w, "digammad_search_latency_seconds{quantile=\"0.5\"} %g\n", p50)
+	fmt.Fprintf(w, "digammad_search_latency_seconds{quantile=\"0.95\"} %g\n", p95)
+	fmt.Fprintf(w, "digammad_search_latency_seconds_count %d\n", count)
+}

@@ -1,0 +1,459 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"digamma"
+	"digamma/internal/workload"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers sizes the job worker pool — how many searches run
+	// concurrently (each search additionally parallelizes its own
+	// evaluations per its request's Workers option). 0 = GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker; submits
+	// beyond it are rejected with 503 rather than queued unboundedly.
+	// 0 = 256.
+	QueueDepth int
+	// StoreLimit caps retained terminal jobs; the oldest-finished are
+	// evicted (and stop serving dedup hits). 0 = 1024.
+	StoreLimit int
+	// MaxBudget caps a request's sampling budget (HTTP 400 above it), so
+	// a handful of huge-budget submissions cannot occupy every worker
+	// indefinitely. 0 = 1,000,000 (25× the paper's 40K protocol).
+	MaxBudget int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.StoreLimit <= 0 {
+		c.StoreLimit = 1024
+	}
+	if c.MaxBudget <= 0 {
+		c.MaxBudget = 1_000_000
+	}
+	return c
+}
+
+// Server is the digammad service: job store, dedup index, bounded queue,
+// worker pool and HTTP handlers. Create with New, expose via Handler,
+// shut down with Close.
+//
+// The queue is a mutex-guarded deque rather than a buffered channel so a
+// job cancelled while queued frees its slot immediately — a channel slot
+// would stay occupied (rejecting new submits) until a worker happened to
+// drain the dead entry. Lock order where held together: mu → qmu → Job.mu.
+type Server struct {
+	cfg Config
+
+	qmu     sync.Mutex
+	qcond   *sync.Cond // signalled on enqueue and on Close
+	pending []*Job
+	closed  bool
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	byHash   map[string]*Job
+	finished []string // terminal job IDs in finish order, for eviction
+	seq      uint64
+
+	started     time.Time
+	submitted   atomic.Uint64
+	dedupHits   atomic.Uint64
+	rejected    atomic.Uint64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+
+	latMu     sync.Mutex
+	latencies []float64 // completed-search wall-clock seconds
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		jobs:    make(map[string]*Job),
+		byHash:  make(map[string]*Job),
+		started: time.Now(),
+		baseCtx: ctx,
+		stop:    stop,
+	}
+	s.qcond = sync.NewCond(&s.qmu)
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close cancels every running search and stops the workers. Queued jobs
+// are left in place (their state never turns terminal); Close is for
+// process shutdown, not draining.
+func (s *Server) Close() {
+	s.qmu.Lock()
+	s.closed = true
+	s.qcond.Broadcast()
+	s.qmu.Unlock()
+	s.stop()
+	s.wg.Wait()
+}
+
+// enqueue admits a job if the queue has a live slot free. Terminal
+// (cancelled-while-queued) entries are purged eagerly by dropQueued, so
+// the depth check only ever counts live work.
+func (s *Server) enqueue(j *Job) bool {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if s.closed || len(s.pending) >= s.cfg.QueueDepth {
+		return false
+	}
+	s.pending = append(s.pending, j)
+	s.qcond.Signal()
+	return true
+}
+
+// dropQueued removes a job from the pending deque (after a queued-job
+// cancellation), freeing its slot immediately.
+func (s *Server) dropQueued(j *Job) {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	for i, p := range s.pending {
+		if p == j {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// dequeue blocks until a job is available or the server closes (nil).
+func (s *Server) dequeue() *Job {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	for len(s.pending) == 0 && !s.closed {
+		s.qcond.Wait()
+	}
+	if s.closed {
+		return nil
+	}
+	j := s.pending[0]
+	s.pending = s.pending[1:]
+	return j
+}
+
+// queueDepth snapshots the number of jobs waiting for a worker.
+func (s *Server) queueDepth() int {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return len(s.pending)
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		job := s.dequeue()
+		if job == nil {
+			return
+		}
+		s.runJob(job)
+	}
+}
+
+// runJob executes one search with cancellation and progress plumbed in,
+// then records the terminal state and server-level metrics.
+func (s *Server) runJob(j *Job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	if !j.setRunning(cancel) {
+		return // cancelled while queued
+	}
+	opts := j.spec.opts
+	opts.OnProgress = func(p digamma.Progress) {
+		j.cacheHits.Store(p.CacheHits)
+		j.cacheMisses.Store(p.CacheMisses)
+		j.Publish(Event{
+			Type:         "progress",
+			Generation:   p.Generation,
+			Samples:      p.Samples,
+			Budget:       p.Budget,
+			BestFitness:  p.BestFitness,
+			CacheHitRate: hitRate(p.CacheHits, p.CacheMisses),
+		})
+	}
+	begin := time.Now()
+	ev, err := digamma.OptimizeContext(ctx, j.spec.model, j.spec.platform, opts)
+	switch {
+	case err == nil:
+		s.recordLatency(time.Since(begin).Seconds())
+		s.cacheHits.Add(j.cacheHits.Load())
+		s.cacheMisses.Add(j.cacheMisses.Load())
+		j.finish(StateDone, ev, nil)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.finish(StateCancelled, nil, err)
+	default:
+		j.finish(StateFailed, nil, err)
+	}
+	s.noteFinished(j)
+}
+
+// submit registers a job for the spec, deduplicating against any live or
+// completed job with the same canonical hash (failed and cancelled jobs
+// don't block a retry). The bool reports a dedup hit.
+func (s *Server) submit(spec *searchSpec) (*Job, bool, error) {
+	s.submitted.Add(1)
+	s.mu.Lock()
+	if prev, ok := s.byHash[spec.hash]; ok {
+		if st := prev.State(); st != StateFailed && st != StateCancelled {
+			s.mu.Unlock()
+			s.dedupHits.Add(1)
+			return prev, true, nil
+		}
+	}
+	s.seq++
+	job := newJob(fmt.Sprintf("j%06d", s.seq), spec)
+	// Enqueue before publishing into the maps, all under s.mu: if the job
+	// were visible first, a concurrent identical submit could dedup onto
+	// it in the instant before a full queue rolls it back, handing out an
+	// ID that would 404 forever. enqueue never blocks, so holding the
+	// mutex across it is safe.
+	if !s.enqueue(job) {
+		s.seq--
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return nil, false, fmt.Errorf("queue full (%d jobs waiting)", s.cfg.QueueDepth)
+	}
+	s.jobs[job.ID] = job
+	s.byHash[spec.hash] = job
+	s.mu.Unlock()
+	return job, false, nil
+}
+
+// noteFinished enters a terminal job into the eviction order and trims
+// the store to StoreLimit.
+func (s *Server) noteFinished(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finished = append(s.finished, j.ID)
+	for len(s.finished) > s.cfg.StoreLimit {
+		id := s.finished[0]
+		s.finished = s.finished[1:]
+		if old, ok := s.jobs[id]; ok {
+			delete(s.jobs, id)
+			if s.byHash[old.Hash] == old {
+				delete(s.byHash, old.Hash)
+			}
+		}
+	}
+}
+
+func (s *Server) get(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/optimize", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("GET /v1/platforms", s.handlePlatforms)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Inline workloads are at most a few thousand layers; anything near
+	// the limit is abuse, and an unbounded decode would buffer it all.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+	dec.DisallowUnknownFields()
+	var req OptimizeRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	spec, err := buildSpec(req, s.cfg.MaxBudget)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, dedup, err := s.submit(spec)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	st := job.Status(dedup && job.State() == StateDone)
+	st.Deduplicated = dedup
+	code := http.StatusAccepted
+	if dedup {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].ID < jobs[b].ID })
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status(false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status(true))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	_, finalized := j.requestCancel()
+	if finalized {
+		// Cancelled while queued: free the queue slot now rather than
+		// when a worker eventually drains the dead entry.
+		s.dropQueued(j)
+		s.noteFinished(j)
+	}
+	writeJSON(w, http.StatusOK, j.Status(false))
+}
+
+// handleEvents streams a job's progress as Server-Sent Events: the full
+// history replays first, then live events until a terminal state event or
+// client disconnect.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	replay, ch, unsub := j.Subscribe()
+	defer unsub()
+	for _, ev := range replay {
+		if done := writeSSE(w, ev); done {
+			fl.Flush()
+			return
+		}
+	}
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.baseCtx.Done():
+			return
+		case ev := <-ch:
+			done := writeSSE(w, ev)
+			fl.Flush()
+			if done {
+				return
+			}
+		}
+	}
+}
+
+// writeSSE emits one event frame and reports whether it was terminal.
+func writeSSE(w http.ResponseWriter, ev Event) bool {
+	payload, _ := json.Marshal(ev)
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, payload)
+	return ev.Type == "state" && ev.State.Terminal()
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	type modelInfo struct {
+		Name   string `json:"name"`
+		Layers int    `json:"layers"`
+		MACs   int64  `json:"macs"`
+	}
+	names := append(append([]string(nil), digamma.ModelNames...), workload.ExtendedModelNames...)
+	out := make([]modelInfo, 0, len(names))
+	for _, n := range names {
+		m, err := digamma.LoadModel(n)
+		if err != nil {
+			continue
+		}
+		out = append(out, modelInfo{Name: n, Layers: len(m.Layers), MACs: m.MACs()})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": out})
+}
+
+func (s *Server) handlePlatforms(w http.ResponseWriter, r *http.Request) {
+	type platformInfo struct {
+		Name          string  `json:"name"`
+		AreaBudgetMM2 float64 `json:"area_budget_mm2"`
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"platforms": []platformInfo{
+		{Name: "edge", AreaBudgetMM2: digamma.EdgePlatform().AreaBudgetMM2},
+		{Name: "cloud", AreaBudgetMM2: digamma.CloudPlatform().AreaBudgetMM2},
+	}})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"queue_depth":    s.queueDepth(),
+		"workers":        s.cfg.Workers,
+	})
+}

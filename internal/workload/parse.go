@@ -2,6 +2,7 @@ package workload
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -71,17 +72,10 @@ func parseLayerRecord(rec []string) (Layer, error) {
 	}
 	var l Layer
 	l.Name = strings.TrimSpace(rec[0])
-	switch strings.ToUpper(strings.TrimSpace(rec[1])) {
-	case "CONV", "CONV2D":
-		l.Type = Conv
-	case "DSCONV", "DWCONV", "DEPTHWISE":
-		l.Type = DepthwiseConv
-	case "GEMM", "FC", "LINEAR":
-		l.Type = GEMM
-	default:
-		return Layer{}, fmt.Errorf("unknown layer type %q", rec[1])
-	}
 	var err error
+	if l.Type, err = ParseLayerType(rec[1]); err != nil {
+		return Layer{}, err
+	}
 	if l.K, err = get(2, 0); err != nil {
 		return Layer{}, err
 	}
@@ -110,6 +104,128 @@ func parseLayerRecord(rec []string) (Layer, error) {
 		return Layer{}, err
 	}
 	return l, nil
+}
+
+// ParseLayerType resolves a layer-type name. Accepted spellings
+// (case-insensitive): CONV/CONV2D, DSCONV/DWCONV/DEPTHWISE, GEMM/FC/LINEAR.
+func ParseLayerType(s string) (LayerType, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "CONV", "CONV2D":
+		return Conv, nil
+	case "DSCONV", "DWCONV", "DEPTHWISE":
+		return DepthwiseConv, nil
+	case "GEMM", "FC", "LINEAR":
+		return GEMM, nil
+	default:
+		return 0, fmt.Errorf("unknown layer type %q (want CONV, DSCONV or GEMM)", s)
+	}
+}
+
+// LayerSpec is the wire form of one layer in the JSON model format —
+// the shape API clients submit inline workloads in. Zero strideY/strideX
+// and count default to 1.
+type LayerSpec struct {
+	Name    string `json:"name"`
+	Type    string `json:"type"`
+	K       int    `json:"k"`
+	C       int    `json:"c"`
+	Y       int    `json:"y"`
+	X       int    `json:"x"`
+	R       int    `json:"r"`
+	S       int    `json:"s"`
+	StrideY int    `json:"stride_y,omitempty"`
+	StrideX int    `json:"stride_x,omitempty"`
+	Count   int    `json:"count,omitempty"`
+}
+
+// Layer materializes the spec, applying the stride/count defaults. The
+// returned layer is not yet validated — Model.Validate (via FromSpecs)
+// owns the dimension checks.
+func (s LayerSpec) Layer() (Layer, error) {
+	t, err := ParseLayerType(s.Type)
+	if err != nil {
+		return Layer{}, err
+	}
+	l := Layer{
+		Name: strings.TrimSpace(s.Name), Type: t,
+		K: s.K, C: s.C, Y: s.Y, X: s.X, R: s.R, S: s.S,
+		StrideY: s.StrideY, StrideX: s.StrideX, Count: s.Count,
+	}
+	if l.StrideY == 0 {
+		l.StrideY = 1
+	}
+	if l.StrideX == 0 {
+		l.StrideX = 1
+	}
+	if l.Count == 0 {
+		l.Count = 1
+	}
+	return l, nil
+}
+
+// Spec renders a layer back into its wire form (the WriteJSON/round-trip
+// counterpart of LayerSpec.Layer).
+func Spec(l Layer) LayerSpec {
+	sy, sx := l.Strides()
+	return LayerSpec{
+		Name: l.Name, Type: l.Type.String(),
+		K: l.K, C: l.C, Y: l.Y, X: l.X, R: l.R, S: l.S,
+		StrideY: sy, StrideX: sx, Count: l.Multiplicity(),
+	}
+}
+
+// FromSpecs assembles and validates a model from wire-form layers, with
+// per-layer context on errors so API-submitted workloads fail usefully.
+func FromSpecs(name string, specs []LayerSpec) (Model, error) {
+	if len(specs) == 0 {
+		return Model{}, fmt.Errorf("workload: %s: no layers", name)
+	}
+	m := Model{Name: name, Layers: make([]Layer, 0, len(specs))}
+	for i, s := range specs {
+		l, err := s.Layer()
+		if err != nil {
+			return Model{}, fmt.Errorf("workload: %s layer %d (%q): %w", name, i, s.Name, err)
+		}
+		m.Layers = append(m.Layers, l)
+	}
+	if err := m.Validate(); err != nil {
+		return Model{}, err
+	}
+	return m, nil
+}
+
+// modelJSON is the JSON model document: {"name": ..., "layers": [...]}.
+type modelJSON struct {
+	Name   string      `json:"name"`
+	Layers []LayerSpec `json:"layers"`
+}
+
+// ParseJSON reads a model in the JSON format. An in-document name wins
+// over the caller-supplied fallback (usually the file name). Unknown
+// fields are rejected so typos in hand-written workloads surface instead
+// of silently defaulting.
+func ParseJSON(name string, r io.Reader) (Model, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc modelJSON
+	if err := dec.Decode(&doc); err != nil {
+		return Model{}, fmt.Errorf("workload: %s: %w", name, err)
+	}
+	if doc.Name != "" {
+		name = doc.Name
+	}
+	return FromSpecs(name, doc.Layers)
+}
+
+// WriteJSON renders a model in the JSON format (ParseJSON round-trips it).
+func WriteJSON(w io.Writer, m Model) error {
+	doc := modelJSON{Name: m.Name, Layers: make([]LayerSpec, len(m.Layers))}
+	for i, l := range m.Layers {
+		doc.Layers[i] = Spec(l)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // WriteCSV renders a model in the CSV layer format, including a header.

@@ -21,6 +21,12 @@ go test -run '^$' \
     -bench 'BenchmarkEvaluate$|BenchmarkCostAnalyze$|BenchmarkDiGammaSearch$' \
     -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
 
+# Serving rows: one end-to-end served search (submit → queue → run →
+# poll) and one dedup hit served straight from the result store.
+go test -run '^$' \
+    -bench 'BenchmarkServeOptimize$|BenchmarkServeDedup$' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/serve/ | tee -a "$RAW"
+
 awk '
 BEGIN { print "[" ; first = 1 }
 /^Benchmark/ {

@@ -1,0 +1,32 @@
+#!/bin/sh
+# loadgen.sh — ReqBench-style load generator for digammad.
+#
+# Builds cmd/digammad and runs its -selftest mode: N concurrent mixed
+# optimize requests (with deliberate duplicates) against an in-process
+# server — or a running one via TARGET — reporting submit/end-to-end
+# throughput and the dedup hit rate.
+#
+# Usage:
+#   scripts/loadgen.sh                       # 24 requests, 8 clients, in-process
+#   REQUESTS=200 CLIENTS=32 scripts/loadgen.sh
+#   TARGET=http://localhost:8080 scripts/loadgen.sh   # against a live server
+#   BUDGET=1000 scripts/loadgen.sh                    # heavier searches
+set -eu
+
+cd "$(dirname "$0")/.."
+REQUESTS=${REQUESTS:-24}
+CLIENTS=${CLIENTS:-8}
+BUDGET=${BUDGET:-300}
+TARGET=${TARGET:-}
+
+BIN=$(mktemp -d)/digammad
+trap 'rm -rf "$(dirname "$BIN")"' EXIT
+go build -o "$BIN" ./cmd/digammad
+
+# No exec: the shell must survive the run so the EXIT trap can clean up
+# the temporary build directory.
+"$BIN" -selftest \
+    -requests "$REQUESTS" \
+    -clients "$CLIENTS" \
+    -budget "$BUDGET" \
+    ${TARGET:+-target "$TARGET"}
