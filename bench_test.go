@@ -139,6 +139,30 @@ func BenchmarkEvaluate(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluatePhysical is BenchmarkEvaluate on the physical fidelity
+// tier: the same resnet18 design point scored with NoC/DRAM-derived
+// bandwidths and energies — the per-sample cost of the
+// physical-interconnect co-optimization scenario.
+func BenchmarkEvaluatePhysical(b *testing.B) {
+	model, err := workload.ByName("resnet18")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := coopt.NewProblem(model, arch.Edge(), coopt.Latency)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p = p.WithBackend(cost.DefaultPhysical())
+	rng := rand.New(rand.NewSource(3))
+	g := p.Space.Random(rng, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Evaluate(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkOptimizers measures raw sample throughput of every baseline
 // algorithm on a cheap objective (algorithm overhead per sample).
 func BenchmarkOptimizers(b *testing.B) {
@@ -177,6 +201,39 @@ func BenchmarkDiGammaSearch(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkDiGammaSearchPruned is BenchmarkDiGammaSearch/resnet18 with the
+// roofline screen on: candidates whose provable lower bound exceeds the
+// incumbent skip full analysis. The custom fullevals/op metric records how
+// many design points actually paid for the cost model (the screened share
+// is the search's speedup headroom; TestPruneWindowSameBest pins the
+// same-final-best property).
+func BenchmarkDiGammaSearchPruned(b *testing.B) {
+	model, err := workload.ByName("resnet18")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := coopt.NewProblem(model, arch.Edge(), coopt.Latency)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Prune = true
+	fullEvals := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := core.New(p, cfg, rand.New(rand.NewSource(int64(i+1))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := eng.Run(400)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fullEvals += r.FullEvals
+	}
+	b.ReportMetric(float64(fullEvals)/float64(b.N), "fullevals/op")
 }
 
 // BenchmarkGridSearchHW measures the HW-opt baseline's full grid sweep.

@@ -29,6 +29,8 @@ func main() {
 		budget    = flag.Int("budget", 4000, "sampling budget (design points evaluated)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "parallel evaluation workers (0 = all cores, 1 = serial; results identical)")
+		fidelity  = flag.String("fidelity", "analytical", "cost-model tier: "+strings.Join(digamma.Fidelities(), ", "))
+		prune     = flag.Bool("prune", false, "screen candidates with the roofline lower bound (genetic engines incl. fixed-HW GAMMA; vector baselines ignore it)")
 		fixedPEs  = flag.String("fixed-pes", "", "fixed-HW mode: PE hierarchy, e.g. 16x8 (inner x outer)")
 		fixedL1   = flag.Int64("fixed-l1", 0, "fixed-HW mode: per-PE L1 bytes")
 		fixedL2   = flag.Int64("fixed-l2", 0, "fixed-HW mode: shared L2 bytes")
@@ -39,14 +41,14 @@ func main() {
 	flag.Parse()
 
 	if err := run(*modelName, *platName, *algorithm, *objective, *budget, *seed, *workers,
-		*fixedPEs, *fixedL1, *fixedL2, *perLayer, *modelCSV, *jsonOut); err != nil {
+		*fidelity, *prune, *fixedPEs, *fixedL1, *fixedL2, *perLayer, *modelCSV, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "digamma:", err)
 		os.Exit(1)
 	}
 }
 
 func run(modelName, platName, algorithm, objective string, budget int, seed int64, workers int,
-	fixedPEs string, fixedL1, fixedL2 int64, perLayer bool, modelCSV, jsonOut string) error {
+	fidelity string, prune bool, fixedPEs string, fixedL1, fixedL2 int64, perLayer bool, modelCSV, jsonOut string) error {
 
 	var model digamma.Model
 	var err error
@@ -71,7 +73,8 @@ func run(modelName, platName, algorithm, objective string, budget int, seed int6
 	if err != nil {
 		return err
 	}
-	opts := digamma.Options{Budget: budget, Seed: seed, Objective: obj, Algorithm: algorithm, Workers: workers}
+	opts := digamma.Options{Budget: budget, Seed: seed, Objective: obj, Algorithm: algorithm,
+		Workers: workers, Fidelity: fidelity, Prune: prune}
 
 	var best *digamma.Evaluation
 	if fixedPEs != "" {

@@ -19,6 +19,7 @@ import (
 
 	"digamma/internal/arch"
 	"digamma/internal/coopt"
+	"digamma/internal/cost"
 	"digamma/internal/schemes"
 	"digamma/internal/workload"
 )
@@ -33,17 +34,22 @@ func main() {
 		styleName = flag.String("style", "dla-like", "mapping style: dla-like, shi-like, eye-like")
 		platName  = flag.String("platform", "edge", "platform for area/energy models")
 		workers   = flag.Int("workers", 0, "parallel per-layer analyses (0 = all cores, 1 = serial; results identical)")
+		fidelity  = flag.String("fidelity", "analytical", "cost-model tier: "+strings.Join(cost.BackendNames, ", "))
 	)
 	flag.Parse()
 
-	if err := run(*modelName, *layerSpec, *pes, *l1, *l2, *styleName, *platName, *workers); err != nil {
+	if err := run(*modelName, *layerSpec, *pes, *l1, *l2, *styleName, *platName, *workers, *fidelity); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelName, layerSpec, pes string, l1, l2 int64, styleName, platName string, workers int) error {
+func run(modelName, layerSpec, pes string, l1, l2 int64, styleName, platName string, workers int, fidelity string) error {
 	platform, err := arch.PlatformByName(platName)
+	if err != nil {
+		return err
+	}
+	backend, err := cost.BackendByName(fidelity)
 	if err != nil {
 		return err
 	}
@@ -87,7 +93,7 @@ func run(modelName, layerSpec, pes string, l1, l2 int64, styleName, platName str
 	}
 
 	maps := schemes.StyleMappings(style, hw, layers)
-	ev, err := coopt.EvaluateMappingWorkers(layers, hw, maps, platform, coopt.Latency, workers)
+	ev, err := coopt.EvaluateMappingBackend(layers, hw, maps, platform, coopt.Latency, workers, backend)
 	if err != nil {
 		return err
 	}

@@ -26,6 +26,8 @@ func main() {
 		budget   = flag.Int("budget", 2000, "sampling budget per algorithm run (paper: 40000)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		workers  = flag.Int("workers", 0, "parallel experiment cells / evaluation workers (0 = all cores, 1 = serial; tables identical)")
+		fidelity = flag.String("fidelity", "analytical", "cost-model tier: bound, analytical, physical")
+		prune    = flag.Bool("prune", false, "screen candidates with the roofline lower bound (DiGamma and Gamma cells; vector baselines ignore it)")
 		models   = flag.String("models", "", "comma-separated model subset (default: all 7)")
 		platform = flag.String("platform", "", "restrict to edge or cloud (default: both)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -48,7 +50,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := figures.Options{Budget: *budget, Seed: *seed, Workers: *workers}
+	opts := figures.Options{Budget: *budget, Seed: *seed, Workers: *workers, Fidelity: *fidelity, Prune: *prune}
 	if *models != "" {
 		opts.Models = strings.Split(*models, ",")
 	}

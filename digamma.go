@@ -27,6 +27,7 @@ import (
 	"digamma/internal/arch"
 	"digamma/internal/coopt"
 	"digamma/internal/core"
+	"digamma/internal/cost"
 	"digamma/internal/opt"
 	"digamma/internal/workload"
 )
@@ -87,7 +88,17 @@ var (
 	ErrUnknownAlgorithm = errors.New("digamma: unknown algorithm")
 	// ErrUnknownObjective reports an out-of-range Options.Objective.
 	ErrUnknownObjective = errors.New("digamma: unknown objective")
+	// ErrUnknownFidelity reports an Options.Fidelity not in Fidelities().
+	ErrUnknownFidelity = errors.New("digamma: unknown fidelity")
 )
+
+// Fidelities lists the cost-model fidelity tiers accepted by
+// Options.Fidelity, cheapest-first: "bound" (roofline lower-bound screen),
+// "analytical" (the default MAESTRO-style model) and "physical"
+// (bandwidth/energy derived from explicit NoC + DRAM models).
+func Fidelities() []string {
+	return append([]string(nil), cost.BackendNames...)
+}
 
 // Progress is a per-generation search snapshot delivered through
 // Options.OnProgress: where the search is, the incumbent fitness, and the
@@ -110,6 +121,19 @@ type Options struct {
 	// available core (the default); 1 forces a serial run. Results are
 	// bit-identical at any setting — parallelism changes only wall-clock.
 	Workers int
+	// Fidelity selects the cost-model tier scoring every design point
+	// (see Fidelities()). Default "analytical" — the unmodified default
+	// model, bit-identical to earlier releases. "physical" derives
+	// interconnect bandwidth/energy and the off-chip bandwidth floor
+	// from explicit NoC + DRAM models; "bound" scores only the provable
+	// roofline lower bound (an ultra-cheap screening tier).
+	Fidelity string
+	// Prune enables bound-based pruning inside the genetic engines —
+	// DiGamma and the fixed-HW GAMMA mapper: candidates whose roofline
+	// lower bound already exceeds the incumbent best skip the full cost
+	// model (see core.Config.Prune for the exactness window). Ignored by
+	// the baseline vector algorithms.
+	Prune bool
 	// OnProgress, when non-nil, receives a snapshot after every search
 	// generation (baseline algorithms report every ~budget/50 samples).
 	// It runs on the search goroutine and never influences the search:
@@ -139,7 +163,43 @@ func (o Options) withDefaults() (Options, error) {
 			return o, fmt.Errorf("%w: %q (want one of %v)", ErrUnknownAlgorithm, o.Algorithm, Algorithms())
 		}
 	}
+	if o.Fidelity == "" {
+		o.Fidelity = "analytical"
+	}
+	if _, err := cost.BackendByName(o.Fidelity); err != nil {
+		return o, fmt.Errorf("%w: %q (want one of %v)", ErrUnknownFidelity, o.Fidelity, Fidelities())
+	}
 	return o, nil
+}
+
+// problemFor assembles the co-optimization problem for the options,
+// applying the selected fidelity backend. The "analytical" default leaves
+// the problem untouched — the exact code path earlier releases ran.
+func (o Options) problemFor(model Model, platform Platform) (*Problem, error) {
+	p, err := coopt.NewProblem(model, platform, o.Objective)
+	if err != nil {
+		return nil, err
+	}
+	return o.applyFidelity(p)
+}
+
+// applyFidelity wires the options' fidelity tier into an assembled problem.
+func (o Options) applyFidelity(p *Problem) (*Problem, error) {
+	q, err := p.WithFidelity(o.Fidelity)
+	if err != nil {
+		// Unreachable after withDefaults, kept as a safety net.
+		return nil, fmt.Errorf("%w: %q (want one of %v)", ErrUnknownFidelity, o.Fidelity, Fidelities())
+	}
+	return q, nil
+}
+
+// engineConfig builds the DiGamma engine configuration for the options.
+func (o Options) engineConfig(base core.Config) core.Config {
+	if o.Workers != 0 {
+		base.Workers = o.Workers
+	}
+	base.Prune = o.Prune
+	return base
 }
 
 // Validate reports whether the options would be accepted by a search
@@ -167,16 +227,12 @@ func OptimizeContext(ctx context.Context, model Model, platform Platform, o Opti
 	if err != nil {
 		return nil, err
 	}
-	p, err := coopt.NewProblem(model, platform, o.Objective)
+	p, err := o.problemFor(model, platform)
 	if err != nil {
 		return nil, err
 	}
 	if o.Algorithm == "DiGamma" {
-		cfg := core.DefaultConfig()
-		if o.Workers != 0 {
-			cfg.Workers = o.Workers
-		}
-		eng, err := core.New(p, cfg, randNew(o.Seed))
+		eng, err := core.New(p, o.engineConfig(core.DefaultConfig()), randNew(o.Seed))
 		if err != nil {
 			return nil, err
 		}
@@ -209,7 +265,7 @@ func OptimizeMappingContext(ctx context.Context, model Model, platform Platform,
 	if err != nil {
 		return nil, err
 	}
-	p, err := coopt.NewProblem(model, platform, o.Objective)
+	p, err := o.problemFor(model, platform)
 	if err != nil {
 		return nil, err
 	}
@@ -217,11 +273,7 @@ func OptimizeMappingContext(ctx context.Context, model Model, platform Platform,
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.GammaConfig()
-	if o.Workers != 0 {
-		cfg.Workers = o.Workers
-	}
-	eng, err := core.New(fp, cfg, randNew(o.Seed))
+	eng, err := core.New(fp, o.engineConfig(core.GammaConfig()), randNew(o.Seed))
 	if err != nil {
 		return nil, err
 	}

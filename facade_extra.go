@@ -54,12 +54,11 @@ func OptimizeMultiContext(ctx context.Context, models []Model, weights []float64
 	if err != nil {
 		return nil, err
 	}
+	if p, err = o.applyFidelity(p); err != nil {
+		return nil, err
+	}
 	if o.Algorithm == "DiGamma" {
-		cfg := core.DefaultConfig()
-		if o.Workers != 0 {
-			cfg.Workers = o.Workers
-		}
-		eng, err := core.New(p, cfg, randNew(o.Seed))
+		eng, err := core.New(p, o.engineConfig(core.DefaultConfig()), randNew(o.Seed))
 		if err != nil {
 			return nil, err
 		}

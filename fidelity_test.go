@@ -1,0 +1,73 @@
+package digamma
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestOptionsFidelityValidation: fidelity tiers validate up front with
+// the typed error, like algorithms and objectives do.
+func TestOptionsFidelityValidation(t *testing.T) {
+	for _, fid := range Fidelities() {
+		if err := (Options{Fidelity: fid}).Validate(); err != nil {
+			t.Errorf("fidelity %q rejected: %v", fid, err)
+		}
+	}
+	err := (Options{Fidelity: "exact"}).Validate()
+	if !errors.Is(err, ErrUnknownFidelity) {
+		t.Errorf("bad fidelity: got %v, want ErrUnknownFidelity", err)
+	}
+	if err := (Options{}).Validate(); err != nil {
+		t.Errorf("empty fidelity (analytical default) rejected: %v", err)
+	}
+}
+
+// TestOptimizePhysicalFidelity: the physical tier runs end to end through
+// the facade, deterministically, and actually changes the problem — the
+// returned hardware carries the derived interconnect model.
+func TestOptimizePhysicalFidelity(t *testing.T) {
+	model, err := LoadModel("ncf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Budget: 200, Seed: 1, Fidelity: "physical", Workers: 1}
+	a, err := Optimize(model, EdgePlatform(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Optimize(model, EdgePlatform(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fitness != b.Fitness {
+		t.Errorf("physical tier not deterministic: %.9e vs %.9e", a.Fitness, b.Fitness)
+	}
+	if a.HW.NoC == nil || a.HW.DRAMWordsPerCycle <= 0 {
+		t.Errorf("physical search returned hardware without derived NoC/DRAM parameters: %+v", a.HW)
+	}
+
+	plain, err := Optimize(model, EdgePlatform(), Options{Budget: 200, Seed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.HW.NoC != nil {
+		t.Error("analytical search grew a NoC model")
+	}
+}
+
+// TestOptimizeMappingPrune: the screen also works in fixed-HW (GAMMA)
+// mode, where the bound is mapping-dependent through spatial occupancy.
+func TestOptimizeMappingPrune(t *testing.T) {
+	model, err := LoadModel("ncf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := HW{Fanouts: []int{16, 8}, BufBytes: []int64{4 << 10, 512 << 10}}
+	ev, err := OptimizeMapping(model, EdgePlatform(), hw, Options{Budget: 300, Seed: 1, Prune: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Pruned {
+		t.Error("pruned GAMMA search returned a bound-screened best")
+	}
+}

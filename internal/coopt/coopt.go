@@ -102,6 +102,81 @@ type Problem struct {
 	// mults caches float64(layer.Multiplicity()) per unique layer so the
 	// per-evaluation reduction loop doesn't copy Layer structs.
 	mults []float64
+
+	// backend is the fidelity tier scoring each layer; nil means the
+	// default analytical model on the unmodified default code path (so
+	// default-path results are structurally bit-identical to a tree that
+	// predates backends). Set with WithBackend.
+	backend cost.Backend
+	// backendSalt versions evalcache keys by backend identity so fidelity
+	// tiers never share cache lines, even if a caller wires two problems
+	// to one cache. Zero for the implicit analytical default.
+	backendSalt uint64
+	// energy holds backend.EffectiveEnergy(Platform.Energy), precomputed
+	// by WithBackend; only consulted when backend is non-nil.
+	energy arch.EnergyModel
+}
+
+// Backend reports the problem's fidelity tier (the implicit analytical
+// default when WithBackend was never called).
+func (p *Problem) Backend() cost.Backend {
+	if p.backend == nil {
+		return cost.Analytical{}
+	}
+	return p.backend
+}
+
+// WithBackend returns a copy of the problem scored by the given fidelity
+// backend, with a fresh, backend-salted evaluation cache (tiers must never
+// share cache lines) and the backend's effective energy constants
+// precomputed. A nil backend returns the problem unchanged.
+func (p *Problem) WithBackend(b cost.Backend) *Problem {
+	if b == nil {
+		return p
+	}
+	q := *p
+	q.backend = b
+	q.backendSalt = saltFromName(b.Name())
+	q.energy = b.EffectiveEnergy(p.Platform.Energy)
+	if p.Cache != nil {
+		q.Cache = evalcache.New[*cost.Result](0)
+	}
+	return &q
+}
+
+// WithFidelity resolves a fidelity tier by name (see cost.BackendNames)
+// and returns the problem scored by it. Empty and "analytical" names
+// return the problem unchanged — the single place that encodes "the
+// default tier is the untouched, backend-nil code path", which the
+// facade and the figures protocol both route through.
+func (p *Problem) WithFidelity(name string) (*Problem, error) {
+	if name == "" || name == "analytical" {
+		return p, nil
+	}
+	b, err := cost.BackendByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.WithBackend(b), nil
+}
+
+// saltFromName hashes a backend identity string into a cache-key salt.
+func saltFromName(name string) uint64 {
+	h := evalcache.NewHasher()
+	for _, b := range []byte(name) {
+		h.Uint64(uint64(b))
+	}
+	h.Int(len(name))
+	return h.Sum()
+}
+
+// energyModel returns the constants results are priced with: the
+// platform's, unless the backend derives its own.
+func (p *Problem) energyModel() arch.EnergyModel {
+	if p.backend == nil {
+		return p.Platform.Energy
+	}
+	return p.energy
 }
 
 // initAnalyzers precomputes the per-layer analysis constants.
@@ -168,7 +243,21 @@ type Evaluation struct {
 	LatAreaProd float64 // Cycles × Area.Total()
 	Fitness     float64 // minimized objective value (includes penalties)
 
+	// Pruned marks a design point that was screened out by its roofline
+	// lower bound instead of being scored by the full model: Fitness
+	// holds the bound (provably ≤ the true fitness, and already worse
+	// than the search's incumbent), and HW, Area, the metric fields and
+	// Layers are unset. Only bound-pruned searches produce these; a
+	// pruned evaluation is never a search's best.
+	Pruned bool
+
 	Layers []LayerEval // per-unique-layer detail
+}
+
+// PrunedEvaluation wraps a genome whose fitness lower bound already
+// exceeds a search incumbent, so full analysis was skipped.
+func PrunedEvaluation(g space.Genome, bound float64) *Evaluation {
+	return &Evaluation{Genome: g, Fitness: bound, Pruned: true}
 }
 
 // Evaluate decodes and scores one genome: it derives the buffer allocation
@@ -221,6 +310,12 @@ func (p *Problem) evaluateRepaired(g space.Genome, workers int) (*Evaluation, er
 			BufBytes: bufReq,
 		}.Defaults()
 	}
+	if p.backend != nil {
+		// The backend derives hardware parameters (the physical tier
+		// installs its NoC and DRAM models) before analysis; BufBytes
+		// still aliases bufReq, which the reduction below fills in.
+		hw = p.backend.PrepareHW(hw)
+	}
 
 	if p.MappingRule != nil {
 		// Private Maps header first: Repair no longer clones canonical
@@ -239,6 +334,7 @@ func (p *Problem) evaluateRepaired(g space.Genome, workers int) (*Evaluation, er
 
 	bufferViolation := 0.0
 	bpw := int64(hw.BytesPerWord)
+	em := p.energyModel()
 
 	for li := range layers {
 		r := ev.Layers[li].Result
@@ -249,7 +345,7 @@ func (p *Problem) evaluateRepaired(g space.Genome, workers int) (*Evaluation, er
 			n = float64(layers[li].Multiplicity())
 		}
 		ev.Cycles += r.Cycles * n
-		ev.EnergyPJ += r.EnergyPJ(p.Platform.Energy) * n
+		ev.EnergyPJ += r.EnergyPJ(em) * n
 
 		// Double-buffered per-level requirement, maximized across layers
 		// (inlined from Result.BufReqBytes to keep the hot loop
@@ -312,7 +408,7 @@ func (p *Problem) analyzeLayers(hw arch.HW, g space.Genome, out []LayerEval, wor
 		layer := &layers[li]
 		var key uint64
 		if p.Cache != nil {
-			key = layerKey(li, g.Fanouts, g.Maps[li])
+			key = layerKey(p.backendSalt, li, g.Fanouts, g.Maps[li])
 			if r, ok := p.Cache.Get(key); ok {
 				out[li] = LayerEval{Layer: layer, Result: r}
 				return nil
@@ -320,11 +416,19 @@ func (p *Problem) analyzeLayers(hw arch.HW, g space.Genome, out []LayerEval, wor
 		}
 		var r *cost.Result
 		var err error
-		if p.analyzers != nil {
-			// Genomes reaching this point are repaired, so the trusted
-			// path (no re-validation, precomputed layer constants) applies.
+		switch {
+		case p.backend != nil && p.analyzers != nil:
+			// Genomes reaching this point are repaired and hw is
+			// backend-prepared, exactly the trusted-analysis contract.
+			r, err = p.backend.Analyze(&p.analyzers[li], hw, g.Maps[li])
+		case p.backend != nil:
+			a := cost.NewAnalyzer(*layer)
+			r, err = p.backend.Analyze(&a, hw, g.Maps[li])
+		case p.analyzers != nil:
+			// Default tier on the unmodified hot path: trusted analysis
+			// with the precomputed layer constants.
 			r, err = p.analyzers[li].AnalyzeTrusted(hw, g.Maps[li])
-		} else {
+		default:
 			r, err = cost.Analyze(hw, g.Maps[li], *layer)
 		}
 		if err != nil {
@@ -341,12 +445,14 @@ func (p *Problem) analyzeLayers(hw arch.HW, g space.Genome, out []LayerEval, wor
 }
 
 // layerKey hashes the analysis inputs that vary within one problem: the
+// backend-identity salt (so fidelity tiers never share cache lines), the
 // layer identity, the HW genes (which also fix the NoC bandwidth via the
 // per-level fanouts) and the layer's mapping genes. Everything else feeding
 // cost.Analyze — the platform, word width, fixed-HW extras — is constant
 // per Problem/Cache pair.
-func layerKey(li int, fanouts []int, m mapping.Mapping) uint64 {
+func layerKey(salt uint64, li int, fanouts []int, m mapping.Mapping) uint64 {
 	h := evalcache.NewHasher()
+	h.Uint64(salt)
 	h.Int(li)
 	h.Int(len(fanouts))
 	for _, f := range fanouts {
@@ -367,6 +473,68 @@ func layerKey(li int, fanouts []int, m mapping.Mapping) uint64 {
 		}
 	}
 	return h.Sum()
+}
+
+// FitnessBound returns a provable lower bound on Evaluate(g).Fitness for a
+// canonical genome, at a few float operations per layer: the per-layer
+// roofline bounds (cost.Analyzer.LowerBound) reduced under the problem's
+// objective, with compute area standing in for total area. Search engines
+// use it to skip full analysis of candidates whose bound already exceeds
+// an incumbent (core.Config.Prune); pruning on it never discards a point
+// that could have beaten the incumbent. The bound is capped at the
+// invalid-fitness floor so constraint-violating points (whose fitness is a
+// penalty, not a metric) can never be out-bounded.
+func (p *Problem) FitnessBound(g space.Genome) float64 {
+	if p.analyzers == nil {
+		return 0 // no precomputed constants: the trivial bound (prunes nothing)
+	}
+	var hw arch.HW
+	if p.FixedHW != nil {
+		hw = p.FixedHW.Defaults()
+	} else {
+		hw = arch.HW{Fanouts: g.Fanouts}.Defaults()
+	}
+	if p.backend != nil {
+		hw = p.backend.PrepareHW(hw)
+	}
+	levels := hw.Levels()
+	needEnergy := p.Objective == Energy || p.Objective == EDP
+	em := p.energyModel()
+	var cyc, en float64
+	for li := range p.analyzers {
+		a := &p.analyzers[li]
+		var m mapping.Mapping
+		if p.MappingRule == nil && li < len(g.Maps) {
+			// The genome's own block tightens the compute term through
+			// its occupancy; rule-derived mappings are decoded only at
+			// evaluation time, so they fall back to the HW-only bound.
+			m = g.Maps[li]
+		}
+		b := a.LowerBound(hw, m)
+		cyc += b.Cycles * p.mults[li]
+		if needEnergy {
+			en += b.EnergyPJ(levels, em) * p.mults[li]
+		}
+	}
+	var bound float64
+	switch p.Objective {
+	case Latency:
+		bound = cyc
+	case Energy:
+		bound = en
+	case EDP:
+		bound = en * cyc
+	case LatencyAreaProduct:
+		// Compute area alone lower-bounds total area: derived buffers
+		// and NoC wiring only add to it.
+		bound = cyc * float64(hw.NumPEs()) * p.Platform.Area.PEUm2 / 1e6
+	default:
+		return 0
+	}
+	// The bound re-associates the same float products the model computes
+	// level by level; shave an epsilon so rounding can never nudge it
+	// past the true fitness.
+	return math.Min(bound*(1-1e-12), invalidBase)
 }
 
 // VectorObjective adapts the problem to the continuous optimizer interface:
@@ -462,6 +630,13 @@ func EvaluateMapping(modelLayers []workload.Layer, hw arch.HW, maps []mapping.Ma
 // spread over up to workers goroutines (≤ 1 = serial; results identical).
 func EvaluateMappingWorkers(modelLayers []workload.Layer, hw arch.HW, maps []mapping.Mapping,
 	platform arch.Platform, objective Objective, workers int) (*Evaluation, error) {
+	return EvaluateMappingBackend(modelLayers, hw, maps, platform, objective, workers, nil)
+}
+
+// EvaluateMappingBackend is EvaluateMappingWorkers scored by an explicit
+// fidelity backend (nil = the analytical default).
+func EvaluateMappingBackend(modelLayers []workload.Layer, hw arch.HW, maps []mapping.Mapping,
+	platform arch.Platform, objective Objective, workers int, backend cost.Backend) (*Evaluation, error) {
 	if len(maps) != len(modelLayers) {
 		return nil, fmt.Errorf("coopt: %d mappings for %d layers", len(maps), len(modelLayers))
 	}
@@ -470,7 +645,7 @@ func EvaluateMappingWorkers(modelLayers []workload.Layer, hw arch.HW, maps []map
 	if err := hw.Validate(); err != nil {
 		return nil, err
 	}
-	p := Problem{
+	p := &Problem{
 		Platform:  platform,
 		Objective: objective,
 		Space:     space.Space{Layers: modelLayers, Levels: hw.Levels(), MaxFanout: 1},
@@ -478,5 +653,6 @@ func EvaluateMappingWorkers(modelLayers []workload.Layer, hw arch.HW, maps []map
 	}
 	p.Space = p.Space.WithFixedHW(hw)
 	p.initAnalyzers()
+	p = p.WithBackend(backend)
 	return p.EvaluateWorkers(space.Genome{Fanouts: hw.Fanouts, Maps: maps}, workers)
 }

@@ -55,6 +55,41 @@ type Config struct {
 	SeedFrac    float64 // fraction of the initial population seeded conservatively
 	Workers     int     // parallel evaluation workers (≤ 1 = serial; DefaultConfig: GOMAXPROCS); results are deterministic either way
 
+	// Prune, when set, screens every bred candidate against its provable
+	// fitness lower bound (coopt.Problem.FitnessBound) before full
+	// analysis: a candidate whose bound already exceeds the incumbent
+	// best fitness is admitted to the population carrying the bound as
+	// its fitness (it is provably worse than the incumbent, so it can
+	// never become the best) without paying for the full cost model.
+	// Pruned candidates still consume sampling budget.
+	//
+	// Soundness: the reported best is always a fully-analyzed point, and
+	// no candidate that could have beaten the incumbent at screening
+	// time is ever pruned. Exactness: a run whose screened children
+	// never breed — budget ≤ 2·PopSize − elites, i.e. one exploration
+	// generation plus one screened generation — provably returns the
+	// *same* final best as the unpruned run (TestPruneWindowSameBest
+	// pins this on resnet18). Longer runs let bound-carrying candidates
+	// into selection among already-beaten individuals, so their
+	// trajectory (and possibly final best) can drift from the unpruned
+	// run's while full-model evaluations drop 40–75%; raise PruneMargin
+	// or PruneStall to trade the cut back toward fidelity. Off by
+	// default: the default path stays bit-identical to earlier trees.
+	Prune bool
+	// PruneMargin loosens the pruning threshold to incumbent × margin.
+	// Values ≤ 1 — including the zero default — mean the bare incumbent,
+	// the issue's literal "bound already exceeds the incumbent best".
+	// Margins > 1 screen only candidates provably far beyond the
+	// incumbent, keeping the pruned search's selection pressure closer
+	// to the exact one at the cost of a smaller evaluation cut.
+	PruneMargin float64
+	// PruneStall arms the screen only after the incumbent has stood
+	// still for this many consecutive generations: the improving phase
+	// of the search runs exactly like an unpruned one, and the bound
+	// harvests the plateau, where most of a long run's budget goes.
+	// 0 arms it from the second generation on.
+	PruneStall int
+
 	// FixedHW disables Mutate-HW, Grow and Aging, turning the engine into
 	// the GAMMA mapper.
 	FixedHW bool
@@ -107,6 +142,12 @@ type Progress struct {
 	// counters (both zero when caching is disabled).
 	CacheHits   uint64
 	CacheMisses uint64
+
+	// FullEvals / PrunedEvals split Samples into design points scored by
+	// the full cost model and points screened out by their fitness lower
+	// bound (PrunedEvals is always 0 unless Config.Prune is on).
+	FullEvals   int
+	PrunedEvals int
 }
 
 // Engine runs the genetic search against a co-optimization problem.
@@ -114,6 +155,16 @@ type Engine struct {
 	Problem *coopt.Problem
 	Config  Config
 	Rng     *rand.Rand
+
+	// best is the incumbent fitness the pruning screen compares bounds
+	// against, and stall counts consecutive generations it has stood
+	// still (arming the screen once it reaches Config.PruneStall). Both
+	// live entirely on the search goroutine: evaluateBatch snapshots
+	// them into locals before fanning out, so batch workers never touch
+	// them — a mid-batch read from a worker would be a data race AND
+	// would break the per-batch pruning determinism.
+	best  float64
+	stall int
 
 	// OnEvaluation, when set, is invoked after every design-point
 	// evaluation with the 1-based sample index — convergence tracing and
@@ -167,6 +218,13 @@ type Result struct {
 	Generations int
 	Samples     int       // objective evaluations actually spent
 	History     []float64 // best fitness after each generation
+
+	// FullEvals counts the samples scored by the full cost model;
+	// PrunedEvals counts the samples screened out by their fitness lower
+	// bound instead (non-zero only under Config.Prune). They sum to
+	// Samples.
+	FullEvals   int
+	PrunedEvals int
 }
 
 // Run executes the search within the sampling budget (total design points
@@ -194,12 +252,10 @@ func (e *Engine) RunContext(ctx context.Context, budget int) (*Result, error) {
 		return nil, fmt.Errorf("%w: %w", ErrCancelled, err)
 	}
 	cfg := e.Config
-	pop := cfg.PopSize
-	if pop > budget {
-		pop = budget
-	}
+	pop := min(cfg.PopSize, budget)
 
 	res := &Result{}
+	e.best = math.Inf(1) // no incumbent yet: the first batch is never pruned
 
 	// Initial population: a quarter conservative seeds (minimal tiles with
 	// spatial coverage of the widest dims — cheap on buffers, so almost
@@ -234,24 +290,25 @@ func (e *Engine) RunContext(ctx context.Context, budget int) (*Result, error) {
 	}
 	cur := make([]individual, 0, pop)
 	for i, ev := range evs {
-		res.Samples++
+		res.countSample(ev)
 		if e.OnEvaluation != nil {
 			e.OnEvaluation(res.Samples, ev)
 		}
 		cur = append(cur, individual{initial[i], ev})
 	}
 
-	elites := int(float64(pop) * cfg.EliteFrac)
-	if elites < 1 {
-		elites = 1
-	}
-	if elites > pop {
-		elites = pop
-	}
+	elites := min(max(int(float64(pop)*cfg.EliteFrac), 1), pop)
 
 	for res.Samples < budget {
 		sort.Slice(cur, func(a, b int) bool { return cur[a].eval.Fitness < cur[b].eval.Fitness })
 		res.History = append(res.History, cur[0].eval.Fitness)
+		// Incumbent and stall counter for the pruning screen.
+		if cur[0].eval.Fitness < e.best {
+			e.stall = 0
+		} else {
+			e.stall++
+		}
+		e.best = cur[0].eval.Fitness
 		e.emitProgress(res, budget)
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("%w after generation %d (%d samples): %w",
@@ -278,7 +335,7 @@ func (e *Engine) RunContext(ctx context.Context, budget int) (*Result, error) {
 			return nil, err
 		}
 		for i, ev := range evs {
-			res.Samples++
+			res.countSample(ev)
 			if e.OnEvaluation != nil {
 				e.OnEvaluation(res.Samples, ev)
 			}
@@ -294,6 +351,17 @@ func (e *Engine) RunContext(ctx context.Context, budget int) (*Result, error) {
 	return res, nil
 }
 
+// countSample books one evaluated design point against the budget,
+// splitting full-model scores from bound-pruned screens.
+func (res *Result) countSample(ev *coopt.Evaluation) {
+	res.Samples++
+	if ev.Pruned {
+		res.PrunedEvals++
+	} else {
+		res.FullEvals++
+	}
+}
+
 // emitProgress delivers a Progress snapshot to OnGeneration, if installed.
 // History always has ≥ 1 entry here (appended just before every call), so
 // even a budget ≤ popsize run emits exactly one snapshot.
@@ -306,6 +374,8 @@ func (e *Engine) emitProgress(res *Result, budget int) {
 		Samples:     res.Samples,
 		Budget:      budget,
 		BestFitness: res.History[len(res.History)-1],
+		FullEvals:   res.FullEvals,
+		PrunedEvals: res.PrunedEvals,
 	}
 	if e.Problem.Cache != nil {
 		st := e.Problem.Cache.Stats()
@@ -316,10 +386,22 @@ func (e *Engine) emitProgress(res *Result, budget int) {
 
 // evaluateBatch scores a slice of genomes, fanning out across
 // Config.Workers goroutines when configured. Evaluate is pure, so the
-// result slice is identical regardless of worker count.
+// result slice is identical regardless of worker count. Under
+// Config.Prune, candidates whose fitness lower bound already exceeds the
+// incumbent best skip the full cost model and carry the bound instead;
+// the incumbent is frozen for the batch, so pruning decisions are
+// deterministic too.
 func (e *Engine) evaluateBatch(gs []space.Genome) ([]*coopt.Evaluation, error) {
 	out := make([]*coopt.Evaluation, len(gs))
+	prune := e.Config.Prune && !math.IsInf(e.best, 1) && e.stall >= e.Config.PruneStall
+	threshold := e.best * math.Max(e.Config.PruneMargin, 1)
 	err := par.For(len(gs), e.Config.Workers, func(i int) error {
+		if prune {
+			if b := e.Problem.FitnessBound(gs[i]); b > threshold {
+				out[i] = coopt.PrunedEvaluation(gs[i], b)
+				return nil
+			}
+		}
 		ev, err := e.Problem.EvaluateCanonical(gs[i])
 		if err != nil {
 			return err
@@ -496,7 +578,12 @@ func (e *Engine) crossover(pa, pb individual) space.Genome {
 		}
 		takeB := e.Rng.Intn(2) == 0
 		if pa.eval != nil && pb.eval != nil && e.Rng.Float64() < e.Config.GreedyCross {
-			takeB = pb.eval.Layers[li].Result.Cycles < pa.eval.Layers[li].Result.Cycles
+			// Pruned parents carry no per-layer detail (possible only
+			// under Config.Prune); the greedy pick then keeps the random
+			// draw above, which was consumed either way.
+			if li < len(pa.eval.Layers) && li < len(pb.eval.Layers) {
+				takeB = pb.eval.Layers[li].Result.Cycles < pa.eval.Layers[li].Result.Cycles
+			}
 		}
 		if takeB {
 			child.Maps[li] = b.Maps[li]
@@ -606,7 +693,7 @@ func (e *Engine) pickSpatial(dims workload.Vector) workload.Dim {
 // paper's Mutate-HW row in Fig. 4 points at.
 func (e *Engine) mutateHW(g *space.Genome) {
 	l := e.Rng.Intn(len(g.Fanouts))
-	max := e.Problem.Space.MaxFanout
+	limit := e.Problem.Space.MaxFanout
 	switch e.Rng.Intn(3) {
 	case 0:
 		g.Fanouts[l] *= 2
@@ -615,14 +702,9 @@ func (e *Engine) mutateHW(g *space.Genome) {
 	default:
 		// Log-uniform resample.
 		u := e.Rng.Float64()
-		g.Fanouts[l] = int(math.Exp(u * math.Log(float64(max)+0.5)))
+		g.Fanouts[l] = int(math.Exp(u * math.Log(float64(limit)+0.5)))
 	}
-	if g.Fanouts[l] < 1 {
-		g.Fanouts[l] = 1
-	}
-	if g.Fanouts[l] > max {
-		g.Fanouts[l] = max
-	}
+	g.Fanouts[l] = min(max(g.Fanouts[l], 1), limit)
 }
 
 // grow adds one hierarchy level (the paper's clustering Grow operator):
@@ -638,7 +720,7 @@ func (e *Engine) grow(g *space.Genome) {
 			split = f
 		}
 	}
-	g.Fanouts[top] = maxInt(1, f/split)
+	g.Fanouts[top] = max(1, f/split)
 	g.Fanouts = append(g.Fanouts, split)
 	for li := range g.Maps {
 		m := &g.Maps[li]
@@ -655,10 +737,7 @@ func (e *Engine) grow(g *space.Genome) {
 // the level below, capped by the space's fanout bound.
 func (e *Engine) age(g *space.Genome) {
 	top := len(g.Fanouts) - 1
-	merged := g.Fanouts[top-1] * g.Fanouts[top]
-	if max := e.Problem.Space.MaxFanout; merged > max {
-		merged = max
-	}
+	merged := min(g.Fanouts[top-1]*g.Fanouts[top], e.Problem.Space.MaxFanout)
 	g.Fanouts = g.Fanouts[:top]
 	g.Fanouts[top-1] = merged
 	for li := range g.Maps {
@@ -701,9 +780,3 @@ func (e *Engine) repairHWBudget(g space.Genome) space.Genome {
 	}
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,195 @@
+// Fidelity-tiered cost backends. The analytical model in model.go is one
+// point on a fidelity/cost spectrum: below it sits a provable roofline
+// lower bound (cheap enough to screen candidates before paying for full
+// analysis), above it a physically-derived variant whose interconnect and
+// off-chip parameters come from the noc and dram models instead of free
+// constants. A Backend packages one such tier behind a uniform seam so the
+// co-optimization framework, the serving API and the CLI tools can select
+// fidelity per run, and the evaluation cache can version its keys by
+// backend identity.
+package cost
+
+import (
+	"fmt"
+
+	"digamma/internal/arch"
+	"digamma/internal/dram"
+	"digamma/internal/mapping"
+	"digamma/internal/noc"
+)
+
+// Backend is one fidelity tier of the layer cost model. Implementations
+// are immutable value types: the same backend may score layers from many
+// goroutines concurrently.
+//
+// The calling convention mirrors the co-opt hot path: PrepareHW runs once
+// per design point on a Defaults()-normalized configuration, then Analyze
+// runs once per unique layer with that prepared hardware and a mapping the
+// caller has already repaired (exactly what Analyzer.AnalyzeTrusted
+// expects). EffectiveEnergy runs once per problem, not per evaluation.
+type Backend interface {
+	// Name identifies the backend, including any fidelity-relevant
+	// parameters — cache keys and request hashes are versioned by it, so
+	// two backends that can score the same design point differently must
+	// never share a name.
+	Name() string
+
+	// PrepareHW derives or normalizes hardware parameters before analysis
+	// (the physical backend installs its NoC and DRAM models here). It
+	// must not touch BufBytes: the co-opt framework derives buffers after
+	// analysis through the same slice it passes in.
+	PrepareHW(hw arch.HW) arch.HW
+
+	// Analyze scores one layer on a prepared design point.
+	Analyze(a *Analyzer, hw arch.HW, m mapping.Mapping) (*Result, error)
+
+	// EffectiveEnergy maps the platform's energy constants to the ones
+	// this backend's results should be priced with (the physical backend
+	// replaces the free per-word DRAM constant with the derived one).
+	EffectiveEnergy(em arch.EnergyModel) arch.EnergyModel
+}
+
+// Analytical is the default backend: the MAESTRO-style closed-form model
+// of model.go, with bandwidths and energy constants taken as given.
+type Analytical struct{}
+
+// Name implements Backend.
+func (Analytical) Name() string { return "analytical" }
+
+// PrepareHW implements Backend (identity).
+func (Analytical) PrepareHW(hw arch.HW) arch.HW { return hw }
+
+// Analyze implements Backend via the trusted analytical path.
+func (Analytical) Analyze(a *Analyzer, hw arch.HW, m mapping.Mapping) (*Result, error) {
+	return a.AnalyzeTrusted(hw, m)
+}
+
+// EffectiveEnergy implements Backend (identity).
+func (Analytical) EffectiveEnergy(em arch.EnergyModel) arch.EnergyModel { return em }
+
+// Physical is the high-fidelity backend: the same closed-form analysis,
+// but with the hardware's interconnect bandwidth, hop counts and wiring
+// area derived from an explicit noc.Config per hierarchy level, and the
+// off-chip bandwidth floor plus per-word DRAM energy derived from a banked
+// dram.Config — instead of the evaluation's flat free parameters. Designs
+// that lean on cheap broadcast or free off-chip bandwidth pay for them
+// here, which shifts which points win an area-constrained search.
+type Physical struct {
+	// NoC is the interconnect model installed at every hierarchy level.
+	NoC noc.Config
+	// DRAM is the off-chip channel behind the global buffer.
+	DRAM dram.Config
+	// RowHitRate is the assumed DRAM row-buffer hit rate of the access
+	// stream, in [0,1]; it fixes both the sustained bandwidth and the
+	// per-word energy. Accelerator streams are tiled and mostly
+	// sequential, so the default (0.5) sits between random and streaming.
+	RowHitRate float64
+}
+
+// DefaultPhysical returns the physical backend used by the "physical"
+// fidelity tier: a binary fat-tree NoC whose root bandwidth matches the
+// analytical default (2 links × 8 words/cycle = 16), over a DDR4-3200
+// channel at a 0.5 row-hit rate.
+func DefaultPhysical() Physical {
+	return Physical{
+		NoC:        noc.Config{Topology: noc.Tree, LinkWords: 8},
+		DRAM:       dram.DDR4(),
+		RowHitRate: 0.5,
+	}
+}
+
+// Name implements Backend; the fidelity-relevant parameters are folded in
+// so differently-configured physical backends never collide in caches.
+func (p Physical) Name() string {
+	return fmt.Sprintf("physical/%s-%g/dram-%g-%g@%.2f",
+		p.NoC.Topology, p.NoC.LinkWords,
+		p.DRAM.WordsPerCycle(p.RowHitRate), p.DRAM.PJPerWord(p.RowHitRate), p.RowHitRate)
+}
+
+// PrepareHW implements Backend: it attaches the NoC model to every
+// hierarchy level (replacing the flat NoCWordsPerCycle) and imposes the
+// derived off-chip bandwidth floor. An explicit NoC already present on the
+// configuration is respected.
+func (p Physical) PrepareHW(hw arch.HW) arch.HW {
+	if hw.NoC == nil {
+		levels := make([]noc.Config, hw.Levels())
+		for l := range levels {
+			levels[l] = p.NoC
+		}
+		hw.NoC = levels
+	}
+	hw.DRAMWordsPerCycle = p.DRAM.WordsPerCycle(p.RowHitRate)
+	return hw
+}
+
+// Analyze implements Backend: the closed-form analysis runs unchanged —
+// the fidelity difference lives entirely in the prepared hardware and the
+// effective energy constants.
+func (p Physical) Analyze(a *Analyzer, hw arch.HW, m mapping.Mapping) (*Result, error) {
+	return a.AnalyzeTrusted(hw, m)
+}
+
+// EffectiveEnergy implements Backend: the free per-word DRAM constant is
+// replaced with the banked model's derived cost (array access + interface
+// + amortized activation at the assumed row-hit rate).
+func (p Physical) EffectiveEnergy(em arch.EnergyModel) arch.EnergyModel {
+	em.DRAMpJ = p.DRAM.PJPerWord(p.RowHitRate)
+	return em
+}
+
+// Bound is the low-fidelity backend: a provable peak-compute / bandwidth
+// roofline lower bound per layer (see Analyzer.LowerBound), costing a
+// handful of float operations instead of a full per-level analysis. Its
+// Result carries the bound as Cycles and the minimal movement counters,
+// so energy and derived objectives are lower bounds too; per-level detail
+// and buffer requirements are absent (buffers derive to zero). Useful as
+// an ultra-cheap screening tier, and — through coopt.Problem.FitnessBound
+// — as the pruning predicate of a full-fidelity search.
+type Bound struct{}
+
+// Name implements Backend.
+func (Bound) Name() string { return "bound" }
+
+// PrepareHW implements Backend (identity).
+func (Bound) PrepareHW(hw arch.HW) arch.HW { return hw }
+
+// Analyze implements Backend: the roofline bound rendered as a Result.
+func (Bound) Analyze(a *Analyzer, hw arch.HW, m mapping.Mapping) (*Result, error) {
+	b := a.LowerBound(hw, m)
+	res := &Result{
+		Cycles:      b.Cycles,
+		ComputeOnly: b.MACs / float64(hw.NumPEs()),
+		MappedMACs:  b.MACs,
+		DRAMWords:   b.MinWords,
+		NoCWords:    b.MinWords,
+		L1Words:     2 * b.MACs,
+	}
+	if hw.Levels() >= 2 {
+		res.L2Words = b.MinWords
+	}
+	if res.Cycles > 0 {
+		res.Utilization = b.MACs / (res.Cycles * float64(hw.NumPEs()))
+	}
+	return res, nil
+}
+
+// EffectiveEnergy implements Backend (identity).
+func (Bound) EffectiveEnergy(em arch.EnergyModel) arch.EnergyModel { return em }
+
+// BackendNames lists the selectable fidelity tiers, cheapest-first.
+var BackendNames = []string{"bound", "analytical", "physical"}
+
+// BackendByName resolves a fidelity tier: "analytical" (the default
+// model), "physical" (DefaultPhysical) or "bound" (the roofline screen).
+func BackendByName(name string) (Backend, error) {
+	switch name {
+	case "analytical":
+		return Analytical{}, nil
+	case "physical":
+		return DefaultPhysical(), nil
+	case "bound":
+		return Bound{}, nil
+	default:
+		return nil, fmt.Errorf("cost: unknown backend %q (want one of %v)", name, BackendNames)
+	}
+}

@@ -1,0 +1,197 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+
+	"digamma/internal/arch"
+	"digamma/internal/dram"
+	"digamma/internal/mapping"
+	"digamma/internal/noc"
+	"digamma/internal/simref"
+	"digamma/internal/workload"
+)
+
+// boundTestLayers exercises every relevance pattern the bound must cover:
+// plain and strided convolution (including stride > kernel, where the
+// contiguous-halo input footprint would over-count), depthwise
+// convolution (channel relevance flips to K) and GEMM (unit spatial).
+func boundTestLayers() []workload.Layer {
+	return []workload.Layer{
+		{Name: "conv", Type: workload.Conv, K: 16, C: 8, Y: 14, X: 14, R: 3, S: 3},
+		{Name: "conv-s2", Type: workload.Conv, K: 8, C: 16, Y: 7, X: 7, R: 3, S: 3, StrideY: 2, StrideX: 2},
+		{Name: "conv-s4", Type: workload.Conv, K: 4, C: 4, Y: 6, X: 6, R: 3, S: 3, StrideY: 4, StrideX: 4},
+		{Name: "dw", Type: workload.DepthwiseConv, K: 24, C: 1, Y: 10, X: 10, R: 3, S: 3},
+		{Name: "gemm", Type: workload.GEMM, K: 32, C: 24, Y: 12, X: 1, R: 1, S: 1},
+	}
+}
+
+func randomHW(rng *rand.Rand) arch.HW {
+	levels := 2 + rng.Intn(2)
+	hw := arch.HW{Fanouts: make([]int, levels), BufBytes: make([]int64, levels)}
+	for l := range hw.Fanouts {
+		hw.Fanouts[l] = 1 << rng.Intn(5)
+		hw.BufBytes[l] = 1 << (8 + rng.Intn(8))
+	}
+	return hw.Defaults()
+}
+
+func TestBackendByName(t *testing.T) {
+	for _, name := range BackendNames {
+		b, err := BackendByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if name == "physical" {
+			// The physical tier's name folds its parameters in; the
+			// bare tier name is still how it is selected.
+			if b.Name() == "physical" {
+				t.Errorf("physical backend name carries no parameters: %s", b.Name())
+			}
+		} else if b.Name() != name {
+			t.Errorf("BackendByName(%s).Name() = %s", name, b.Name())
+		}
+	}
+	if _, err := BackendByName("exact"); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+// TestBoundNeverExceedsAnalytical is the core soundness property: for
+// random design points, under both the flat default hardware and the
+// physically-prepared one, the roofline bound's cycles and energy never
+// exceed the full analytical model's.
+func TestBoundNeverExceedsAnalytical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	backends := []Backend{Analytical{}, DefaultPhysical()}
+	em := arch.DefaultEnergyModel()
+	checked := 0
+	for _, layer := range boundTestLayers() {
+		a := NewAnalyzer(layer)
+		for trial := 0; trial < 400; trial++ {
+			hw := randomHW(rng)
+			for _, be := range backends {
+				prepared := be.PrepareHW(hw)
+				m := mapping.Random(rng, layer, prepared.Levels())
+				res, err := be.Analyze(&a, prepared, m)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", layer.Name, be.Name(), err)
+				}
+				b := a.LowerBound(prepared, m)
+				if b.Cycles > res.Cycles {
+					t.Fatalf("%s/%s: bound cycles %.9e > analytical %.9e\nhw %v\nmapping %v",
+						layer.Name, be.Name(), b.Cycles, res.Cycles, prepared, m)
+				}
+				eff := be.EffectiveEnergy(em)
+				if be, ae := b.EnergyPJ(prepared.Levels(), eff), res.EnergyPJ(eff); be > ae {
+					t.Fatalf("%s: bound energy %.9e > analytical %.9e", layer.Name, be, ae)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no design points checked")
+	}
+}
+
+// TestBackendsCrossCheckSimref extends the simref validation into the
+// backend seam: on exhaustively-simulable design points the analytical
+// backend's MappedMACs must equal the brute-force count exactly, and the
+// bound tier must stay at or below it.
+func TestBackendsCrossCheckSimref(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	analytical, bound := Analytical{}, Bound{}
+	for _, layer := range boundTestLayers() {
+		a := NewAnalyzer(layer)
+		for trial := 0; trial < 120; trial++ {
+			hw := randomHW(rng)
+			m := mapping.Random(rng, layer, hw.Levels())
+			exact, err := simref.SimulateMACs(hw, m, layer)
+			if err != nil {
+				continue // iteration space over the simulator's cap
+			}
+			res, err := analytical.Analyze(&a, hw, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.MappedMACs != exact.MappedMACs {
+				t.Fatalf("%s: analytical MappedMACs %.0f != simref %.0f\nhw %v\nmapping %v",
+					layer.Name, res.MappedMACs, exact.MappedMACs, hw, m)
+			}
+			lo, err := bound.Analyze(&a, hw, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lo.MappedMACs > exact.MappedMACs {
+				t.Fatalf("%s: bound MACs %.0f > exact %.0f", layer.Name, lo.MappedMACs, exact.MappedMACs)
+			}
+			if lo.Cycles > res.Cycles {
+				t.Fatalf("%s: bound tier cycles %.9e > analytical %.9e", layer.Name, lo.Cycles, res.Cycles)
+			}
+		}
+	}
+}
+
+// TestPhysicalPrepareHW: the physical tier installs its NoC on every
+// level, imposes the derived off-chip floor, and re-prices DRAM energy.
+func TestPhysicalPrepareHW(t *testing.T) {
+	p := DefaultPhysical()
+	hw := arch.HW{Fanouts: []int{16, 8}, BufBytes: []int64{2 << 10, 256 << 10}}.Defaults()
+	prepared := p.PrepareHW(hw)
+	if len(prepared.NoC) != hw.Levels() {
+		t.Fatalf("NoC on %d of %d levels", len(prepared.NoC), hw.Levels())
+	}
+	if prepared.DRAMWordsPerCycle <= 0 {
+		t.Error("no off-chip bandwidth floor derived")
+	}
+	if want := p.DRAM.WordsPerCycle(p.RowHitRate); prepared.DRAMWordsPerCycle != want {
+		t.Errorf("floor %.3f, want %.3f", prepared.DRAMWordsPerCycle, want)
+	}
+	// An explicit NoC on the configuration wins over the backend's.
+	custom := hw
+	custom.NoC = []noc.Config{{Topology: noc.Crossbar, LinkWords: 2}, {Topology: noc.Bus, LinkWords: 4}}
+	if got := p.PrepareHW(custom); got.NoC[0].Topology != noc.Crossbar {
+		t.Error("backend overwrote an explicit NoC model")
+	}
+
+	em := arch.DefaultEnergyModel()
+	eff := p.EffectiveEnergy(em)
+	if eff.DRAMpJ == em.DRAMpJ {
+		t.Error("physical tier kept the free DRAM energy constant")
+	}
+	if want := p.DRAM.PJPerWord(p.RowHitRate); eff.DRAMpJ != want {
+		t.Errorf("DRAMpJ %.3f, want derived %.3f", eff.DRAMpJ, want)
+	}
+
+	// Differently-parameterized physical tiers must never share a name
+	// (names version cache keys and request hashes).
+	other := Physical{NoC: noc.Config{Topology: noc.Crossbar, LinkWords: 4}, DRAM: dram.DDR4(), RowHitRate: 0.9}
+	if other.Name() == p.Name() {
+		t.Errorf("distinct physical configs share name %q", p.Name())
+	}
+}
+
+// TestBoundBackendResult pins the bound tier's Result shape: roofline
+// cycles, minimal movement counters, no per-level detail (buffers derive
+// to zero), utilization ≤ 1.
+func TestBoundBackendResult(t *testing.T) {
+	layer := boundTestLayers()[0]
+	a := NewAnalyzer(layer)
+	hw := arch.HW{Fanouts: []int{8, 4}, BufBytes: []int64{1 << 10, 64 << 10}}.Defaults()
+	m := mapping.Random(rand.New(rand.NewSource(3)), layer, 2)
+	res, err := Bound{}.Analyze(&a, hw, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a.LowerBound(hw, m)
+	if res.Cycles != b.Cycles || res.DRAMWords != b.MinWords || res.MappedMACs != b.MACs {
+		t.Errorf("bound result disagrees with LowerBound: %+v vs %+v", res, b)
+	}
+	if len(res.Levels) != 0 {
+		t.Errorf("bound tier carries %d levels of detail", len(res.Levels))
+	}
+	if res.Utilization <= 0 || res.Utilization > 1+1e-9 {
+		t.Errorf("utilization %.3f", res.Utilization)
+	}
+}

@@ -1,0 +1,116 @@
+package cost
+
+import (
+	"digamma/internal/arch"
+	"digamma/internal/mapping"
+	"digamma/internal/workload"
+)
+
+// Bounds is a provable per-layer lower bound on the analytical model's
+// outputs for one design point: no mapping of the layer onto the hardware
+// can score below it. The property tests in backend_test.go pin this
+// against the full model and the simref exact enumerator.
+type Bounds struct {
+	// Cycles is the roofline latency bound: the layer cannot finish
+	// faster than its MACs over the active PEs, nor faster than its
+	// minimal operand traffic over the top-level (and, when modeled,
+	// off-chip) bandwidth.
+	Cycles float64
+	// MACs is the ideal multiply-accumulate count — a lower bound on
+	// MappedMACs, which additionally charges ragged-tile padding.
+	MACs float64
+	// MinWords lower-bounds the words crossing the top hierarchy level
+	// (and hence DRAMWords, NoCWords, and the L2 traffic of multi-level
+	// designs): every weight and needed input enters at least once, every
+	// output leaves at least once.
+	MinWords float64
+}
+
+// lowerBoundWords computes the minimal chip-boundary traffic of the layer:
+// the full weight and output footprints, plus the input elements a stride
+// can actually skip accounted out (for stride > kernel the halo rows
+// between taps are never read, so the contiguous-halo footprint would
+// overestimate — and a bound must never overestimate).
+func lowerBoundWords(a *Analyzer) float64 {
+	full := a.full
+	words := a.footprint(a.rel[Weights], Weights, full)
+	words += a.footprint(a.rel[Outputs], Outputs, full)
+
+	ch := full[workload.C]
+	if a.depthwise {
+		ch = full[workload.K]
+	}
+	iy := (full[workload.Y]-1)*min(a.strideY, full[workload.R]) + full[workload.R]
+	ix := (full[workload.X]-1)*min(a.strideX, full[workload.S]) + full[workload.S]
+	words += float64(ch) * float64(iy) * float64(ix)
+	return words
+}
+
+// computeFloor returns the latency recursion's serial-iteration floor:
+// the per-PE tile latency times every level's temporal trip count, which
+// equals MappedMACs over the active PEs — the mapping's true compute
+// roofline including ragged-tile padding and spatial under-utilization.
+// When the mapping's depth does not match the hardware, the ideal
+// MACs-over-all-PEs floor stands in (a mapping-independent bound is still
+// a bound).
+func (a *Analyzer) computeFloor(hw arch.HW, m mapping.Mapping) float64 {
+	if len(m.Levels) == 0 || len(m.Levels) != hw.Levels() {
+		return a.macs / float64(hw.NumPEs())
+	}
+	floor := float64(m.Levels[0].Tiles.Product())
+	for l := len(m.Levels) - 1; l >= 0; l-- {
+		parent := a.full
+		if l+1 < len(m.Levels) {
+			parent = m.Levels[l+1].Tiles
+		}
+		lv := &m.Levels[l]
+		for _, d := range workload.AllDims {
+			chunks := ceilDiv(parent[d], lv.Tiles[d])
+			if d == lv.Spatial {
+				chunks = ceilDiv(chunks, hw.Fanouts[l])
+			}
+			floor *= float64(chunks)
+		}
+	}
+	return floor
+}
+
+// LowerBound computes the layer's roofline bound on the (prepared,
+// Defaults()-normalized) hardware. The mapping, when its depth matches the
+// hardware, tightens the compute term to its exact serial-iteration floor;
+// an empty or mismatched mapping yields the hardware-only bound, which is
+// what Problem.FitnessBound uses for rule-derived mappings.
+func (a *Analyzer) LowerBound(hw arch.HW, m mapping.Mapping) Bounds {
+	words := a.lbWords
+	if words == 0 {
+		// Analyzer built without the bound constants (the one-shot
+		// Analyze path); derive them here — every layer moves ≥ 1 word.
+		words = lowerBoundWords(a)
+	}
+	b := Bounds{MACs: a.macs, MinWords: words}
+	cyc := a.computeFloor(hw, m)
+	if bw := hw.LevelBandwidth(hw.Levels() - 1); bw > 0 {
+		if t := words / bw; t > cyc {
+			cyc = t
+		}
+	}
+	if hw.DRAMWordsPerCycle > 0 {
+		if t := words / hw.DRAMWordsPerCycle; t > cyc {
+			cyc = t
+		}
+	}
+	b.Cycles = cyc
+	return b
+}
+
+// EnergyPJ prices the bound's minimal event counts: every MAC plus its two
+// L1 operand reads, and the minimal boundary words through the NoC, the
+// off-chip interface and — on multi-level hierarchies — the shared buffer.
+// It lower-bounds Result.EnergyPJ under the same energy model.
+func (b Bounds) EnergyPJ(levels int, em arch.EnergyModel) float64 {
+	e := b.MACs*(em.MACpJ+2*em.L1pJ) + b.MinWords*(em.NoCpJ+em.DRAMpJ)
+	if levels >= 2 {
+		e += b.MinWords * em.L2pJ
+	}
+	return e
+}

@@ -191,10 +191,21 @@ type Analyzer struct {
 	strideY   int
 	strideX   int
 	depthwise bool
+	lbWords   float64 // minimal chip-boundary words (see bound.go)
 }
 
-// NewAnalyzer precomputes the analysis constants of one layer.
+// NewAnalyzer precomputes the analysis constants of one layer, including
+// the roofline-bound traffic floor LowerBound screens with.
 func NewAnalyzer(layer workload.Layer) Analyzer {
+	a := newAnalyzer(layer)
+	a.lbWords = lowerBoundWords(&a)
+	return a
+}
+
+// newAnalyzer fills only the constants the analytical model reads — the
+// one-shot Analyze path builds a throwaway Analyzer per call and must not
+// pay for bound constants it never uses.
+func newAnalyzer(layer workload.Layer) Analyzer {
 	sy, sx := layer.Strides()
 	return Analyzer{
 		Layer:     layer,
@@ -211,7 +222,7 @@ func NewAnalyzer(layer workload.Layer) Analyzer {
 // have exactly hw.Levels() levels and be legal for the layer (callers
 // should Repair first); Analyze returns an error otherwise.
 func Analyze(hw arch.HW, m mapping.Mapping, layer workload.Layer) (*Result, error) {
-	a := NewAnalyzer(layer)
+	a := newAnalyzer(layer)
 	return a.Analyze(hw, m)
 }
 

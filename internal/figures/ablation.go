@@ -88,12 +88,13 @@ func Ablation(platform arch.Platform, o Options) (*tables.Table, error) {
 		if err != nil {
 			return err
 		}
-		p, err := coopt.NewProblem(model, platform, coopt.Latency)
+		p, err := newProblem(model, platform, coopt.Latency, o.Fidelity)
 		if err != nil {
 			return err
 		}
 		cfg := v.Config
 		cfg.Workers = engWorkers
+		cfg.Prune = o.Prune
 		eng, err := core.New(p, cfg, rand.New(rand.NewSource(o.Seed)))
 		if err != nil {
 			return err

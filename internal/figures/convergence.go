@@ -41,7 +41,7 @@ func Convergence(platform arch.Platform, modelName string, checkpoints int, o Op
 	// One parallel cell per algorithm; each trace owns its curve slice.
 	curves := make([][]float64, len(algs))
 	err = parallelFor(len(algs), o.Workers, func(ai int) error {
-		p, err := coopt.NewProblem(model, platform, coopt.Latency)
+		p, err := newProblem(model, platform, coopt.Latency, o.Fidelity)
 		if err != nil {
 			return err
 		}

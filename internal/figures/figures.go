@@ -33,6 +33,16 @@ type Options struct {
 	// identical for every setting — each cell keeps its own seed and
 	// output slot.
 	Workers int
+
+	// Fidelity selects the cost-model tier scoring every cell (see
+	// cost.BackendNames); empty = "analytical", the default model the
+	// published tables use. The physical tier re-runs the whole protocol
+	// with NoC/DRAM-derived bandwidths and energies — the
+	// physical-interconnect co-optimization scenario.
+	Fidelity string
+	// Prune enables bound-based pruning inside the DiGamma cells (the
+	// vector baselines ignore it).
+	Prune bool
 }
 
 // withDefaults normalizes the options.
@@ -65,9 +75,9 @@ func AlgorithmNames() []string {
 // the best evaluation (nil best means the run produced nothing valid).
 // workers bounds DiGamma's evaluation parallelism; the vector baselines are
 // inherently sequential samplers.
-func runAlgorithm(name string, p *coopt.Problem, budget int, seed int64, workers int) (*coopt.Evaluation, error) {
+func runAlgorithm(name string, p *coopt.Problem, budget int, seed int64, workers int, prune bool) (*coopt.Evaluation, error) {
 	if name == "DiGamma" {
-		r, err := runDiGamma(p, budget, seed, workers)
+		r, err := runDiGamma(p, budget, seed, workers, prune)
 		if err != nil {
 			return nil, err
 		}
@@ -107,11 +117,11 @@ func Fig5(platform arch.Platform, o Options) (latency, latArea *tables.Table, er
 		if err != nil {
 			return err
 		}
-		p, err := coopt.NewProblem(model, platform, coopt.Latency)
+		p, err := newProblem(model, platform, coopt.Latency, o.Fidelity)
 		if err != nil {
 			return err
 		}
-		ev, err := runAlgorithm(alg, p, o.Budget, o.Seed+int64(ai), eng)
+		ev, err := runAlgorithm(alg, p, o.Budget, o.Seed+int64(ai), eng, o.Prune)
 		if err != nil {
 			return err
 		}
@@ -198,13 +208,13 @@ func Fig6(platform arch.Platform, o Options) (*tables.Table, error) {
 		}
 
 		// Mapping-opt: GAMMA on the three fixed HW configurations.
-		p, err := coopt.NewProblem(model, platform, coopt.Latency)
+		p, err := newProblem(model, platform, coopt.Latency, o.Fidelity)
 		if err != nil {
 			return err
 		}
 		for fi, focus := range schemes.AllFocuses {
 			hw := schemes.FixedHW(focus, platform)
-			r, err := runGamma(p, hw, o.Budget, o.Seed+int64(fi), eng)
+			r, err := runGamma(p, hw, o.Budget, o.Seed+int64(fi), eng, o.Prune)
 			if err != nil {
 				return err
 			}
@@ -214,7 +224,7 @@ func Fig6(platform arch.Platform, o Options) (*tables.Table, error) {
 		}
 
 		// HW-Map-co-opt: DiGamma.
-		r, err := runDiGamma(p, o.Budget, o.Seed+17, eng)
+		r, err := runDiGamma(p, o.Budget, o.Seed+17, eng, o.Prune)
 		if err != nil {
 			return err
 		}
@@ -273,18 +283,18 @@ func Fig7(o Options) ([]Fig7Solution, *tables.Table, error) {
 	}
 	sols = append(sols, Fig7Solution{"HW-opt (Grid-S + dla-like)", grid.Best})
 
-	p, err := coopt.NewProblem(model, platform, coopt.Latency)
+	p, err := newProblem(model, platform, coopt.Latency, o.Fidelity)
 	if err != nil {
 		return nil, nil, err
 	}
 	hw := schemes.FixedHW(schemes.ComputeFocused, platform)
-	gamma, err := runGamma(p, hw, o.Budget, o.Seed, o.Workers)
+	gamma, err := runGamma(p, hw, o.Budget, o.Seed, o.Workers, o.Prune)
 	if err != nil {
 		return nil, nil, err
 	}
 	sols = append(sols, Fig7Solution{"Mapping-opt (Compute-focused + Gamma)", gamma.Best})
 
-	dg, err := runDiGamma(p, o.Budget, o.Seed, o.Workers)
+	dg, err := runDiGamma(p, o.Budget, o.Seed, o.Workers, o.Prune)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -34,11 +34,11 @@ func MultiSeed(platform arch.Platform, modelName string, seeds int, o Options) (
 	err = parallelFor(len(flat), o.Workers, func(ci int) error {
 		ai, s := ci/seeds, ci%seeds
 		alg := algs[ai]
-		p, err := coopt.NewProblem(model, platform, coopt.Latency)
+		p, err := newProblem(model, platform, coopt.Latency, o.Fidelity)
 		if err != nil {
 			return err
 		}
-		ev, err := runAlgorithm(alg, p, o.Budget, o.Seed+int64(s)*1000, eng)
+		ev, err := runAlgorithm(alg, p, o.Budget, o.Seed+int64(s)*1000, eng, o.Prune)
 		if err != nil {
 			return err
 		}

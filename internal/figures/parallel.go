@@ -7,7 +7,18 @@ import (
 	"digamma/internal/coopt"
 	"digamma/internal/core"
 	"digamma/internal/par"
+	"digamma/internal/workload"
 )
+
+// newProblem assembles one cell's co-opt problem at the experiment's
+// fidelity tier (empty = the default analytical model).
+func newProblem(model workload.Model, platform arch.Platform, objective coopt.Objective, fidelity string) (*coopt.Problem, error) {
+	p, err := coopt.NewProblem(model, platform, objective)
+	if err != nil {
+		return nil, err
+	}
+	return p.WithFidelity(fidelity)
+}
 
 // parallelFor runs fn(0..n-1) across up to workers goroutines (≤ 1 =
 // serial) and returns the first error in index order. Every cell owns its
@@ -31,9 +42,10 @@ func engineWorkers(figureWorkers, cells int) int {
 
 // runDiGamma runs the DiGamma engine with default hyper-parameters at an
 // explicit evaluation-worker count (seed-deterministic like core.Optimize).
-func runDiGamma(p *coopt.Problem, budget int, seed int64, workers int) (*core.Result, error) {
+func runDiGamma(p *coopt.Problem, budget int, seed int64, workers int, prune bool) (*core.Result, error) {
 	cfg := core.DefaultConfig()
 	cfg.Workers = workers
+	cfg.Prune = prune
 	eng, err := core.New(p, cfg, rand.New(rand.NewSource(seed)))
 	if err != nil {
 		return nil, err
@@ -42,13 +54,14 @@ func runDiGamma(p *coopt.Problem, budget int, seed int64, workers int) (*core.Re
 }
 
 // runGamma is core.RunGamma with an explicit evaluation-worker count.
-func runGamma(p *coopt.Problem, hw arch.HW, budget int, seed int64, workers int) (*core.Result, error) {
+func runGamma(p *coopt.Problem, hw arch.HW, budget int, seed int64, workers int, prune bool) (*core.Result, error) {
 	fp, err := p.WithFixedHW(hw)
 	if err != nil {
 		return nil, err
 	}
 	cfg := core.GammaConfig()
 	cfg.Workers = workers
+	cfg.Prune = prune
 	eng, err := core.New(fp, cfg, rand.New(rand.NewSource(seed)))
 	if err != nil {
 		return nil, err

@@ -50,6 +50,14 @@ type OptimizeRequest struct {
 	Algorithm string `json:"algorithm,omitempty"` // see digamma.Algorithms()
 	Budget    int    `json:"budget,omitempty"`
 	Seed      int64  `json:"seed,omitempty"`
+	// Fidelity selects the cost-model tier (see digamma.Fidelities()):
+	// "analytical" (default), "physical" or "bound". Fitness-relevant,
+	// so it participates in the dedup hash.
+	Fidelity string `json:"fidelity,omitempty"`
+	// Prune enables bound-based pruning inside DiGamma searches. It can
+	// change which design point a search returns (see core.Config.Prune),
+	// so it participates in the dedup hash.
+	Prune bool `json:"prune,omitempty"`
 	// Workers bounds the search's parallel evaluation workers (0 = all
 	// cores). Deliberately excluded from the dedup hash: results are
 	// bit-identical at any setting.
@@ -91,6 +99,9 @@ func buildSpec(req OptimizeRequest, maxBudget int) (*searchSpec, error) {
 	}
 	if req.Seed == 0 {
 		req.Seed = 1
+	}
+	if req.Fidelity == "" {
+		req.Fidelity = "analytical"
 	}
 
 	var model digamma.Model
@@ -134,6 +145,8 @@ func buildSpec(req OptimizeRequest, maxBudget int) (*searchSpec, error) {
 		Objective: obj,
 		Algorithm: req.Algorithm,
 		Workers:   req.Workers,
+		Fidelity:  req.Fidelity,
+		Prune:     req.Prune,
 	}
 	// Typed facade validation (ErrUnknownAlgorithm / ErrUnknownObjective)
 	// happens here, at submit time, not deep inside a queued search.
@@ -150,14 +163,19 @@ func buildSpec(req OptimizeRequest, maxBudget int) (*searchSpec, error) {
 	}, nil
 }
 
-// requestHash produces the canonical dedup key: a digest over everything
-// that determines the search result — the resolved layer list (so an
-// inline copy of a zoo model dedups against the zoo name), platform,
-// objective, algorithm, budget and seed. Workers is excluded (results are
-// bit-identical at any worker count), as is the model's display name.
+// requestHash produces the canonical dedup key: a digest over every
+// fitness-relevant request field — the resolved layer list (so an inline
+// copy of a zoo model dedups against the zoo name), platform, objective,
+// algorithm, budget, seed, fidelity tier and the prune switch. Each field
+// occupies its own '|'-delimited, newline-terminated slot of a versioned
+// layout, so two requests differing in any single field can never collide
+// (TestRequestHashFieldSensitivity audits this). Workers is excluded
+// (results are bit-identical at any worker count), as is the model's
+// display name.
 func requestHash(model digamma.Model, req OptimizeRequest) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "v1|%s|%s|%s|%d|%d\n", req.Platform, req.Objective, req.Algorithm, req.Budget, req.Seed)
+	fmt.Fprintf(h, "v2|%s|%s|%s|%d|%d|%s|%t\n",
+		req.Platform, req.Objective, req.Algorithm, req.Budget, req.Seed, req.Fidelity, req.Prune)
 	for _, l := range model.Layers {
 		sy, sx := l.Strides()
 		fmt.Fprintf(h, "%s|%s|%d,%d,%d,%d,%d,%d|%d,%d|%d\n",

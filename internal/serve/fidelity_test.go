@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"digamma"
+)
+
+// TestFidelityEndToEnd submits the same search at every fidelity tier:
+// each tier is its own dedup entry, each completes, the physical tier's
+// served result is bit-identical to the direct facade call, and the tiers
+// order as bound ≤ analytical ≤ physical on the found latency's cost-model
+// reading (the physical model only adds constraints — a NoC hop structure
+// and an off-chip bandwidth floor).
+func TestFidelityEndToEnd(t *testing.T) {
+	_, url := testServer(t, Config{Workers: 2})
+
+	req := OptimizeRequest{Model: "ncf", Budget: 240, Seed: 3}
+	ids := map[string]string{}
+	for _, fid := range digamma.Fidelities() {
+		r := req
+		r.Fidelity = fid
+		st, code := submit(t, url, r)
+		if code != 202 {
+			t.Fatalf("submit fidelity %s: HTTP %d", fid, code)
+		}
+		ids[fid] = st.ID
+	}
+	// "analytical" is the default tier: an explicit spelling must dedup
+	// onto the empty one, and the tiers must not collide with each other.
+	dup, code := submit(t, url, req)
+	if code != 200 || dup.ID != ids["analytical"] {
+		t.Errorf("default fidelity did not dedup onto analytical (HTTP %d, %s vs %s)", code, dup.ID, ids["analytical"])
+	}
+	if ids["bound"] == ids["analytical"] || ids["analytical"] == ids["physical"] {
+		t.Fatalf("fidelity tiers share jobs: %v", ids)
+	}
+
+	cycles := map[string]float64{}
+	for fid, id := range ids {
+		st := waitState(t, url, id, StateDone, 30*time.Second)
+		if st.Fidelity != fid {
+			t.Errorf("job %s reports fidelity %q, want %q", id, st.Fidelity, fid)
+		}
+		full := getStatus(t, url, id)
+		if full.Result == nil {
+			t.Fatalf("fidelity %s: no result", fid)
+		}
+		cycles[fid] = full.Result.Metrics.Cycles
+	}
+
+	model, err := digamma.LoadModel("ncf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := digamma.Optimize(model, digamma.EdgePlatform(), digamma.Options{
+		Budget: 240, Seed: 3, Fidelity: "physical",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles["physical"] != direct.Cycles {
+		t.Errorf("served physical cycles %.9e != direct %.9e", cycles["physical"], direct.Cycles)
+	}
+	if !(cycles["bound"] <= cycles["analytical"]) {
+		t.Errorf("bound tier found %.3e cycles above the analytical tier's %.3e", cycles["bound"], cycles["analytical"])
+	}
+}
+
+// TestPruneEndToEnd: a pruned search is its own dedup entry, completes,
+// and serves a full-model (non-bound) result identical to the direct
+// pruned facade call.
+func TestPruneEndToEnd(t *testing.T) {
+	_, url := testServer(t, Config{Workers: 1})
+
+	base := OptimizeRequest{Model: "ncf", Budget: 240, Seed: 3}
+	pruned := base
+	pruned.Prune = true
+	a, _ := submit(t, url, base)
+	b, code := submit(t, url, pruned)
+	if code != 202 || a.ID == b.ID {
+		t.Fatalf("pruned request deduped onto the unpruned one (HTTP %d)", code)
+	}
+	waitState(t, url, b.ID, StateDone, 30*time.Second)
+	st := getStatus(t, url, b.ID)
+	if !st.Prune || st.Result == nil {
+		t.Fatalf("pruned job: prune=%v result=%v", st.Prune, st.Result != nil)
+	}
+
+	model, err := digamma.LoadModel("ncf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := digamma.Optimize(model, digamma.EdgePlatform(), digamma.Options{
+		Budget: 240, Seed: 3, Prune: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Result.Metrics.Cycles != direct.Cycles {
+		t.Errorf("served pruned cycles %.9e != direct %.9e", st.Result.Metrics.Cycles, direct.Cycles)
+	}
+}

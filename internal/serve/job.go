@@ -201,6 +201,8 @@ type Status struct {
 	Algorithm    string         `json:"algorithm"`
 	Budget       int            `json:"budget"`
 	Seed         int64          `json:"seed"`
+	Fidelity     string         `json:"fidelity"`
+	Prune        bool           `json:"prune,omitempty"`
 	CreatedAt    time.Time      `json:"created_at"`
 	StartedAt    *time.Time     `json:"started_at,omitempty"`
 	FinishedAt   *time.Time     `json:"finished_at,omitempty"`
@@ -224,6 +226,8 @@ func (j *Job) Status(withResult bool) Status {
 		Algorithm:   j.spec.req.Algorithm,
 		Budget:      j.spec.req.Budget,
 		Seed:        j.spec.req.Seed,
+		Fidelity:    j.spec.req.Fidelity,
+		Prune:       j.spec.req.Prune,
 		CreatedAt:   j.created,
 		Error:       j.err,
 	}

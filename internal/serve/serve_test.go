@@ -532,14 +532,7 @@ func TestRequestHashCanonical(t *testing.T) {
 	if specA.hash != specB.hash {
 		t.Error("Workers perturbed the request hash")
 	}
-	for name, mutate := range map[string]func(*OptimizeRequest){
-		"seed":      func(r *OptimizeRequest) { r.Seed = 3 },
-		"budget":    func(r *OptimizeRequest) { r.Budget = 301 },
-		"platform":  func(r *OptimizeRequest) { r.Platform = "cloud" },
-		"objective": func(r *OptimizeRequest) { r.Objective = "edp" },
-		"algorithm": func(r *OptimizeRequest) { r.Algorithm = "Random" },
-		"model":     func(r *OptimizeRequest) { r.Model = "mnasnet" },
-	} {
+	for name, mutate := range hashFieldMutations() {
 		req := base
 		mutate(&req)
 		spec, err := buildSpec(req, 0)
@@ -549,5 +542,49 @@ func TestRequestHashCanonical(t *testing.T) {
 		if spec.hash == specA.hash {
 			t.Errorf("changing %s did not change the request hash", name)
 		}
+	}
+}
+
+// hashFieldMutations perturbs each fitness-relevant request field in turn.
+// New fitness-relevant fields must be added here: the sensitivity tests
+// below are the audit the dedup hash is held to.
+func hashFieldMutations() map[string]func(*OptimizeRequest) {
+	return map[string]func(*OptimizeRequest){
+		"seed":      func(r *OptimizeRequest) { r.Seed = 3 },
+		"budget":    func(r *OptimizeRequest) { r.Budget = 301 },
+		"platform":  func(r *OptimizeRequest) { r.Platform = "cloud" },
+		"objective": func(r *OptimizeRequest) { r.Objective = "edp" },
+		"algorithm": func(r *OptimizeRequest) { r.Algorithm = "Random" },
+		"model":     func(r *OptimizeRequest) { r.Model = "mnasnet" },
+		"fidelity":  func(r *OptimizeRequest) { r.Fidelity = "physical" },
+		"prune":     func(r *OptimizeRequest) { r.Prune = true },
+	}
+}
+
+// TestRequestHashFieldSensitivity audits the dedup key field by field:
+// every single-field variant must hash differently from the base *and*
+// from every other variant — a positional-layout bug (two fields swapping
+// slots, or one absorbing another's bytes) would surface as a pairwise
+// collision here.
+func TestRequestHashFieldSensitivity(t *testing.T) {
+	base := OptimizeRequest{Model: "ncf", Budget: 300, Seed: 2}
+	baseSpec, err := buildSpec(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{"base": baseSpec.hash}
+	for name, mutate := range hashFieldMutations() {
+		req := base
+		mutate(&req)
+		spec, err := buildSpec(req, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for prev, h := range seen {
+			if h == spec.hash {
+				t.Errorf("requests differing only in %q vs %q collide on %s", name, prev, h)
+			}
+		}
+		seen[name] = spec.hash
 	}
 }

@@ -207,7 +207,7 @@ func (s Space) Random(rng *rand.Rand, levels int) Genome {
 		copy(g.Fanouts, s.FixedHW.Fanouts)
 	} else {
 		for l := range g.Fanouts {
-			g.Fanouts[l] = 1 + rng.Intn(maxInt(1, s.MaxFanout))
+			g.Fanouts[l] = 1 + rng.Intn(max(1, s.MaxFanout))
 		}
 	}
 	g.Maps = make([]mapping.Mapping, len(s.Layers))
@@ -232,18 +232,16 @@ func (s Space) Repair(g Genome) Genome {
 			out.Fanouts = append([]int(nil), s.FixedHW.Fanouts...)
 		}
 	} else {
-		cap := s.MaxFanout
+		limit := s.MaxFanout
 		for l, f := range g.Fanouts {
-			if f >= 1 && (cap <= 0 || f <= cap) {
+			if f >= 1 && (limit <= 0 || f <= limit) {
 				continue
 			}
 			out.Fanouts = append([]int(nil), g.Fanouts...)
 			for i := l; i < len(out.Fanouts); i++ {
-				if out.Fanouts[i] < 1 {
-					out.Fanouts[i] = 1
-				}
-				if cap > 0 && out.Fanouts[i] > cap {
-					out.Fanouts[i] = cap
+				out.Fanouts[i] = max(out.Fanouts[i], 1)
+				if limit > 0 {
+					out.Fanouts[i] = min(out.Fanouts[i], limit)
 				}
 			}
 			break
@@ -279,9 +277,3 @@ func (s Space) Repair(g Genome) Genome {
 	return out
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

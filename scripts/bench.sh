@@ -18,7 +18,7 @@ RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' \
-    -bench 'BenchmarkEvaluate$|BenchmarkCostAnalyze$|BenchmarkDiGammaSearch$' \
+    -bench 'BenchmarkEvaluate$|BenchmarkEvaluatePhysical$|BenchmarkCostAnalyze$|BenchmarkDiGammaSearch$|BenchmarkDiGammaSearchPruned$' \
     -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
 
 # Serving rows: one end-to-end served search (submit → queue → run →
