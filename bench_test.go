@@ -6,6 +6,7 @@
 package digamma
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -234,6 +235,60 @@ func BenchmarkDiGammaSearchPruned(b *testing.B) {
 		fullEvals += r.FullEvals
 	}
 	b.ReportMetric(float64(fullEvals)/float64(b.N), "fullevals/op")
+}
+
+// BenchmarkDiGammaSearchIslands pits the island-model engine against the
+// single population at equal sampling budget (4000 samples — deep enough
+// for the ring's diversity to pay for its partitioned populations). Each
+// sub-benchmark reports wall-clock per search plus bestfit/op: the mean
+// best fitness at budget over a FIXED 16-seed set (seeds rotate i mod 16,
+// and the metric sums only the first pass) — lower is better. Runs too
+// short to cover all 16 seeds (e.g. the CI -benchtime 1x smoke) skip the
+// metric entirely rather than record an incomparable partial mean, so
+// every bestfit_per_op value in BENCH_core.json measures the same
+// statistic. The islands=2 rows ride the default migration period and
+// must land at or below their islands=1 rows' bestfit: the equal-budget
+// parity the island model is held to on resnet18 and mobilenetv2.
+func BenchmarkDiGammaSearchIslands(b *testing.B) {
+	const (
+		islandBudget = 4000
+		fitSeeds     = 16
+	)
+	for _, name := range []string{"resnet18", "mobilenetv2"} {
+		for _, islands := range []int{1, 2} {
+			b.Run(fmt.Sprintf("%s/islands=%d", name, islands), func(b *testing.B) {
+				model, err := workload.ByName(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p, err := coopt.NewProblem(model, arch.Edge(), coopt.Latency)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := core.DefaultConfig()
+				cfg.Islands = islands
+				bestSum, counted := 0.0, 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng, err := core.New(p, cfg, rand.New(rand.NewSource(int64(i%fitSeeds)+1)))
+					if err != nil {
+						b.Fatal(err)
+					}
+					r, err := eng.Run(islandBudget)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i < fitSeeds {
+						bestSum += r.Best.Fitness
+						counted++
+					}
+				}
+				if counted == fitSeeds {
+					b.ReportMetric(bestSum/float64(counted), "bestfit/op")
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkGridSearchHW measures the HW-opt baseline's full grid sweep.

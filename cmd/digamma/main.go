@@ -31,6 +31,9 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel evaluation workers (0 = all cores, 1 = serial; results identical)")
 		fidelity  = flag.String("fidelity", "analytical", "cost-model tier: "+strings.Join(digamma.Fidelities(), ", "))
 		prune     = flag.Bool("prune", false, "screen candidates with the roofline lower bound (genetic engines incl. fixed-HW GAMMA; vector baselines ignore it)")
+		islands   = flag.Int("islands", 0, "split the genetic search into K semi-isolated populations with ring elite migration (<=1 = classic single population; results never depend on -workers)")
+		migrate   = flag.Int("migrate-every", 0, "island elite-migration period in generations (0 = engine default)")
+		profiles  = flag.String("island-profile", "", "comma-separated per-island operator profiles, rotated across islands: "+strings.Join(digamma.IslandProfiles(), ", "))
 		fixedPEs  = flag.String("fixed-pes", "", "fixed-HW mode: PE hierarchy, e.g. 16x8 (inner x outer)")
 		fixedL1   = flag.Int64("fixed-l1", 0, "fixed-HW mode: per-PE L1 bytes")
 		fixedL2   = flag.Int64("fixed-l2", 0, "fixed-HW mode: shared L2 bytes")
@@ -41,14 +44,29 @@ func main() {
 	flag.Parse()
 
 	if err := run(*modelName, *platName, *algorithm, *objective, *budget, *seed, *workers,
-		*fidelity, *prune, *fixedPEs, *fixedL1, *fixedL2, *perLayer, *modelCSV, *jsonOut); err != nil {
+		*fidelity, *prune, *islands, *migrate, splitProfiles(*profiles),
+		*fixedPEs, *fixedL1, *fixedL2, *perLayer, *modelCSV, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "digamma:", err)
 		os.Exit(1)
 	}
 }
 
+// splitProfiles turns the -island-profile flag into a profile rotation;
+// empty means the default profile on every island.
+func splitProfiles(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
 func run(modelName, platName, algorithm, objective string, budget int, seed int64, workers int,
-	fidelity string, prune bool, fixedPEs string, fixedL1, fixedL2 int64, perLayer bool, modelCSV, jsonOut string) error {
+	fidelity string, prune bool, islands, migrateEvery int, profiles []string,
+	fixedPEs string, fixedL1, fixedL2 int64, perLayer bool, modelCSV, jsonOut string) error {
 
 	var model digamma.Model
 	var err error
@@ -74,7 +92,8 @@ func run(modelName, platName, algorithm, objective string, budget int, seed int6
 		return err
 	}
 	opts := digamma.Options{Budget: budget, Seed: seed, Objective: obj, Algorithm: algorithm,
-		Workers: workers, Fidelity: fidelity, Prune: prune}
+		Workers: workers, Fidelity: fidelity, Prune: prune,
+		Islands: islands, MigrateEvery: migrateEvery, IslandProfiles: profiles}
 
 	var best *digamma.Evaluation
 	if fixedPEs != "" {

@@ -37,13 +37,14 @@ func main() {
 		requests = flag.Int("requests", 24, "selftest: total requests to fire")
 		clients  = flag.Int("clients", 8, "selftest: concurrent clients")
 		budget   = flag.Int("budget", 300, "selftest: sampling budget per request")
+		islands  = flag.Int("islands", 0, "selftest: run the request mix on the K-island engine (<=1 = single population)")
 		target   = flag.String("target", "", "selftest: base URL of a running digammad (empty = in-process server)")
 	)
 	flag.Parse()
 
 	cfg := serve.Config{Workers: *jobs, QueueDepth: *queue, StoreLimit: *store, MaxBudget: *maxBud}
 	if *selftest {
-		if err := runSelftest(cfg, *target, *requests, *clients, *budget); err != nil {
+		if err := runSelftest(cfg, *target, *requests, *clients, *budget, *islands); err != nil {
 			fmt.Fprintln(os.Stderr, "digammad: selftest:", err)
 			os.Exit(1)
 		}

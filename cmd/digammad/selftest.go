@@ -27,7 +27,10 @@ var selftestMix = []serve.OptimizeRequest{
 // runSelftest fires total requests from clients concurrent workers at the
 // target server (an in-process one when target is empty), waits for every
 // job to reach a terminal state, and reports throughput plus dedup rate.
-func runSelftest(cfg serve.Config, target string, total, clients, budget int) error {
+// islands > 1 runs the whole mix on the K-island engine — one variant
+// additionally rotates the heterogeneous profiles — so serving loadgen
+// rows cover island searches too.
+func runSelftest(cfg serve.Config, target string, total, clients, budget, islands int) error {
 	inProcess := target == ""
 	if inProcess {
 		s := serve.New(cfg)
@@ -69,6 +72,12 @@ func runSelftest(cfg serve.Config, target string, total, clients, budget int) er
 				}
 				req := selftestMix[i%len(selftestMix)]
 				req.Budget = budget
+				if islands > 1 {
+					req.Islands = islands
+					if i%len(selftestMix) == 1 {
+						req.IslandProfiles = []string{"default", "explorer", "exploiter", "scout"}
+					}
+				}
 				body, _ := json.Marshal(req)
 				resp, err := http.Post(target+"/v1/optimize", "application/json", bytes.NewReader(body))
 				if err != nil {

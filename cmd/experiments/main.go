@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"digamma"
 	"digamma/internal/arch"
 	"digamma/internal/figures"
 )
@@ -28,6 +29,9 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel experiment cells / evaluation workers (0 = all cores, 1 = serial; tables identical)")
 		fidelity = flag.String("fidelity", "analytical", "cost-model tier: bound, analytical, physical")
 		prune    = flag.Bool("prune", false, "screen candidates with the roofline lower bound (DiGamma and Gamma cells; vector baselines ignore it)")
+		islands  = flag.Int("islands", 0, "island-model DiGamma/Gamma cells: K semi-isolated populations with ring elite migration (<=1 = single population)")
+		migrate  = flag.Int("migrate-every", 0, "island elite-migration period in generations (0 = engine default)")
+		profs    = flag.String("island-profile", "", "comma-separated per-island operator profiles, rotated across islands: "+strings.Join(digamma.IslandProfiles(), ", "))
 		models   = flag.String("models", "", "comma-separated model subset (default: all 7)")
 		platform = flag.String("platform", "", "restrict to edge or cloud (default: both)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -40,7 +44,7 @@ func main() {
 	var rest []string
 	for _, a := range os.Args[1:] {
 		switch a {
-		case "fig5", "fig6", "fig7", "ablation", "convergence", "multiseed", "all":
+		case "fig5", "fig6", "fig7", "ablation", "convergence", "multiseed", "islands", "all":
 			which = a
 		default:
 			rest = append(rest, a)
@@ -50,7 +54,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := figures.Options{Budget: *budget, Seed: *seed, Workers: *workers, Fidelity: *fidelity, Prune: *prune}
+	opts := figures.Options{Budget: *budget, Seed: *seed, Workers: *workers, Fidelity: *fidelity, Prune: *prune,
+		Islands: *islands, MigrateEvery: *migrate}
+	if *profs != "" {
+		for _, p := range strings.Split(*profs, ",") {
+			opts.IslandProfiles = append(opts.IslandProfiles, strings.TrimSpace(p))
+		}
+	}
 	if *models != "" {
 		opts.Models = strings.Split(*models, ",")
 	}
@@ -141,6 +151,14 @@ func run(w io.Writer, which string, platforms []arch.Platform, opts figures.Opti
 				emit(tb.Render(), tb.CSV())
 			}
 		}
+	case "islands":
+		for _, p := range platforms {
+			tb, err := figures.IslandSweep(p, opts)
+			if err != nil {
+				return err
+			}
+			emit(tb.Render(), tb.CSV())
+		}
 	case "all":
 		for _, sub := range []string{"fig5", "fig6", "fig7", "ablation"} {
 			if err := run(w, sub, platforms, opts, csv); err != nil {
@@ -148,7 +166,7 @@ func run(w io.Writer, which string, platforms []arch.Platform, opts figures.Opti
 			}
 		}
 	default:
-		return fmt.Errorf("unknown experiment %q (want fig5, fig6, fig7, ablation or all)", which)
+		return fmt.Errorf("unknown experiment %q (want fig5, fig6, fig7, ablation, convergence, multiseed, islands or all)", which)
 	}
 	return nil
 }

@@ -90,6 +90,12 @@ var (
 	ErrUnknownObjective = errors.New("digamma: unknown objective")
 	// ErrUnknownFidelity reports an Options.Fidelity not in Fidelities().
 	ErrUnknownFidelity = errors.New("digamma: unknown fidelity")
+	// ErrUnknownProfile reports an Options.IslandProfiles entry not in
+	// IslandProfiles().
+	ErrUnknownProfile = errors.New("digamma: unknown island profile")
+	// ErrBadIslands reports a negative Options.Islands or
+	// Options.MigrateEvery.
+	ErrBadIslands = errors.New("digamma: bad island configuration")
 )
 
 // Fidelities lists the cost-model fidelity tiers accepted by
@@ -98,6 +104,16 @@ var (
 // (bandwidth/energy derived from explicit NoC + DRAM models).
 func Fidelities() []string {
 	return append([]string(nil), cost.BackendNames...)
+}
+
+// IslandProfiles lists the per-island operator profiles accepted by
+// Options.IslandProfiles: "default" (the tuned rates as-is), "explorer"
+// (boosted Grow/Mutate/Reorder rates), "exploiter" (high elite fraction,
+// strongly divisor-biased tiling) and "scout" (a screening island scored
+// on the "bound" fidelity tier whose migrating elites are re-scored by
+// the full model).
+func IslandProfiles() []string {
+	return append([]string(nil), core.ProfileNames...)
 }
 
 // Progress is a per-generation search snapshot delivered through
@@ -134,6 +150,23 @@ type Options struct {
 	// model (see core.Config.Prune for the exactness window). Ignored by
 	// the baseline vector algorithms.
 	Prune bool
+	// Islands splits the genetic search into K semi-isolated populations
+	// stepped in lockstep, exchanging elites over a deterministic ring
+	// every MigrateEvery generations (see core.Config.Islands). ≤ 1 (the
+	// default) runs the classic single population — bit-identical to
+	// earlier releases. Results depend only on
+	// (Seed, Islands, MigrateEvery, IslandProfiles), never on Workers.
+	// Ignored by the baseline vector algorithms.
+	Islands int
+	// MigrateEvery is the island elite-migration period in generations;
+	// 0 uses core.DefaultMigrateEvery.
+	MigrateEvery int
+	// IslandProfiles assigns per-island operator profiles by name (see
+	// IslandProfiles()): island i runs the profile at i mod len. Empty
+	// runs every island on "default". Heterogeneous profiles — explorer,
+	// exploiter, the bound-fidelity scout — are the island model's
+	// diversity lever.
+	IslandProfiles []string
 	// OnProgress, when non-nil, receives a snapshot after every search
 	// generation (baseline algorithms report every ~budget/50 samples).
 	// It runs on the search goroutine and never influences the search:
@@ -169,6 +202,17 @@ func (o Options) withDefaults() (Options, error) {
 	if _, err := cost.BackendByName(o.Fidelity); err != nil {
 		return o, fmt.Errorf("%w: %q (want one of %v)", ErrUnknownFidelity, o.Fidelity, Fidelities())
 	}
+	if o.Islands < 0 {
+		return o, fmt.Errorf("%w: Islands %d (want ≥ 0)", ErrBadIslands, o.Islands)
+	}
+	if o.MigrateEvery < 0 {
+		return o, fmt.Errorf("%w: MigrateEvery %d (want ≥ 0)", ErrBadIslands, o.MigrateEvery)
+	}
+	for _, name := range o.IslandProfiles {
+		if _, err := core.ProfileByName(name); err != nil {
+			return o, fmt.Errorf("%w: %q (want one of %v)", ErrUnknownProfile, name, IslandProfiles())
+		}
+	}
 	return o, nil
 }
 
@@ -199,6 +243,9 @@ func (o Options) engineConfig(base core.Config) core.Config {
 		base.Workers = o.Workers
 	}
 	base.Prune = o.Prune
+	base.Islands = o.Islands
+	base.MigrateEvery = o.MigrateEvery
+	base.Profiles = o.IslandProfiles
 	return base
 }
 

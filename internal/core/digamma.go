@@ -25,16 +25,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
 	"math/rand"
 	"runtime"
-	"sort"
 
 	"digamma/internal/coopt"
-	"digamma/internal/mapping"
 	"digamma/internal/par"
 	"digamma/internal/space"
-	"digamma/internal/workload"
 )
 
 // Config holds DiGamma's hyper-parameters. The paper tunes these with
@@ -93,7 +89,36 @@ type Config struct {
 	// FixedHW disables Mutate-HW, Grow and Aging, turning the engine into
 	// the GAMMA mapper.
 	FixedHW bool
+
+	// Islands splits the search into K semi-isolated populations stepped
+	// in lockstep, exchanging elites over a deterministic ring every
+	// MigrateEvery generations. ≤ 1 (the default) runs the classic
+	// single-population engine — bit-identical to trees that predate the
+	// island model. Each island owns a private RNG stream derived from
+	// the master seed, so results are a pure function of
+	// (Seed, Islands, MigrateEvery, Profiles) and never of Workers. The
+	// sampling budget is split evenly across islands (remainder to the
+	// first ones); K is clamped to the budget.
+	Islands int
+	// MigrateEvery is the ring-migration period in generations; 0 means
+	// DefaultMigrateEvery. Ignored for single-island runs.
+	MigrateEvery int
+	// MigrateCount is the number of elites each island exports per
+	// migration event; 0 means the island's own elite count.
+	MigrateCount int
+	// Profiles assigns per-island operator-rate profiles by name (see
+	// ProfileByName): island i runs Profiles[i mod len(Profiles)]; empty
+	// means every island runs the "default" profile (the base Config
+	// as-is). Heterogeneous profiles — explore-heavy, exploit-heavy, and
+	// the bound-fidelity "scout" — are the island model's diversity
+	// lever. If every island resolves to a scout, island 0 falls back to
+	// "default" so the run always has a full-fidelity population.
+	Profiles []string
 }
+
+// DefaultMigrateEvery is the elite-migration period (in generations)
+// used when Config.MigrateEvery is 0.
+const DefaultMigrateEvery = 3
 
 // DefaultConfig returns the tuned DiGamma defaults.
 func DefaultConfig() Config {
@@ -143,28 +168,25 @@ type Progress struct {
 	CacheHits   uint64
 	CacheMisses uint64
 
-	// FullEvals / PrunedEvals split Samples into design points scored by
-	// the full cost model and points screened out by their fitness lower
-	// bound (PrunedEvals is always 0 unless Config.Prune is on).
+	// FullEvals / PrunedEvals / ScoutEvals split Samples into design
+	// points scored by the full cost model, points screened out by their
+	// fitness lower bound (0 unless Config.Prune is on), and points a
+	// scout island scored on the bound fidelity tier (0 unless a "scout"
+	// profile is configured). They sum to Samples.
 	FullEvals   int
 	PrunedEvals int
+	ScoutEvals  int
 }
 
-// Engine runs the genetic search against a co-optimization problem.
+// Engine runs the genetic search against a co-optimization problem. It is
+// a coordinator: the generation loop itself lives in the island unit
+// (population, RNG stream, operator-rate profile, prune state — see
+// island.go), and RunContext steps Config.Islands of them in lockstep
+// with deterministic ring migration of elites.
 type Engine struct {
 	Problem *coopt.Problem
 	Config  Config
 	Rng     *rand.Rand
-
-	// best is the incumbent fitness the pruning screen compares bounds
-	// against, and stall counts consecutive generations it has stood
-	// still (arming the screen once it reaches Config.PruneStall). Both
-	// live entirely on the search goroutine: evaluateBatch snapshots
-	// them into locals before fanning out, so batch workers never touch
-	// them — a mid-batch read from a worker would be a data race AND
-	// would break the per-batch pruning determinism.
-	best  float64
-	stall int
 
 	// OnEvaluation, when set, is invoked after every design-point
 	// evaluation with the 1-based sample index — convergence tracing and
@@ -200,6 +222,17 @@ func New(p *coopt.Problem, cfg Config, rng *rand.Rand) (*Engine, error) {
 		// depth, so the hierarchy must not grow or age.
 		cfg.GrowRate, cfg.AgeRate = 0, 0
 	}
+	if cfg.Islands < 0 {
+		return nil, fmt.Errorf("core: negative island count %d", cfg.Islands)
+	}
+	if cfg.MigrateEvery < 0 {
+		return nil, fmt.Errorf("core: negative migration period %d", cfg.MigrateEvery)
+	}
+	for _, name := range cfg.Profiles {
+		if _, err := ProfileByName(name); err != nil {
+			return nil, err
+		}
+	}
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
@@ -219,12 +252,15 @@ type Result struct {
 	Samples     int       // objective evaluations actually spent
 	History     []float64 // best fitness after each generation
 
-	// FullEvals counts the samples scored by the full cost model;
+	// FullEvals counts the samples scored by the full cost model
+	// (including a scout island's elites re-scored at migration);
 	// PrunedEvals counts the samples screened out by their fitness lower
-	// bound instead (non-zero only under Config.Prune). They sum to
-	// Samples.
+	// bound instead (non-zero only under Config.Prune); ScoutEvals counts
+	// the samples a scout island scored on the bound fidelity tier
+	// (non-zero only under a "scout" profile). They sum to Samples.
 	FullEvals   int
 	PrunedEvals int
+	ScoutEvals  int
 }
 
 // Run executes the search within the sampling budget (total design points
@@ -244,6 +280,14 @@ var ErrCancelled = errors.New("core: search cancelled")
 // of the context plumbed in. A cancelled or deadline-exceeded run returns
 // an error wrapping both ErrCancelled and ctx.Err(); no partial result is
 // returned.
+//
+// RunContext is the island coordinator: it builds Config.Islands islands
+// (see island.go), steps them in lockstep generations — concurrently
+// across the worker budget — and exchanges elites over a deterministic
+// ring every MigrateEvery generations. A single-island run (the default)
+// is bit-identical to the classic panmictic engine; a K-island run's
+// results depend only on (Seed, Islands, MigrateEvery, Profiles), never
+// on Workers.
 func (e *Engine) RunContext(ctx context.Context, budget int) (*Result, error) {
 	if budget < 1 {
 		return nil, errors.New("core: non-positive budget")
@@ -251,64 +295,47 @@ func (e *Engine) RunContext(ctx context.Context, budget int) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrCancelled, err)
 	}
-	cfg := e.Config
-	pop := min(cfg.PopSize, budget)
-
-	res := &Result{}
-	e.best = math.Inf(1) // no incumbent yet: the first batch is never pruned
-
-	// Initial population: a quarter conservative seeds (minimal tiles with
-	// spatial coverage of the widest dims — cheap on buffers, so almost
-	// always feasible, mirroring GAMMA's valid-first initialization), the
-	// rest random genomes at the base clustering depth. Genomes are drawn
-	// serially (the RNG stream fixes them), then evaluated as one batch so
-	// the first generation parallelizes like every later one.
-	baseLevels := e.Problem.Space.Levels
-	seeds := int(float64(pop) * cfg.SeedFrac)
-	if seeds < 1 && cfg.SeedFrac > 0 {
-		seeds = 1
-	}
-	initial := make([]space.Genome, 0, pop)
-	for i := 0; i < pop; i++ {
-		var g space.Genome
-		if i < seeds {
-			g = e.seedGenome(i)
-		} else {
-			g = e.Problem.Space.Random(e.Rng, baseLevels)
-		}
-		if !cfg.FixedHW {
-			g = e.repairHWBudget(g)
-		}
-		initial = append(initial, g)
-	}
-	if len(initial) == 0 {
-		return nil, errors.New("core: budget exhausted before first evaluation")
-	}
-	evs, err := e.evaluateBatch(initial)
+	islands, err := e.buildIslands(budget)
 	if err != nil {
 		return nil, err
 	}
-	cur := make([]individual, 0, pop)
-	for i, ev := range evs {
-		res.countSample(ev)
-		if e.OnEvaluation != nil {
-			e.OnEvaluation(res.Samples, ev)
-		}
-		cur = append(cur, individual{initial[i], ev})
+	res := &Result{}
+
+	// Initial populations: genomes drawn serially per island (each
+	// island's private RNG stream fixes them), then evaluated as one
+	// batch per island — island-concurrent — so the first generation
+	// parallelizes like every later one.
+	initial := make([][]space.Genome, len(islands))
+	for i, is := range islands {
+		initial[i] = is.initialGenomes()
+	}
+	evs := make([][]*coopt.Evaluation, len(islands))
+	err = e.forIslands(islands, func(i, workers int) error {
+		var err error
+		evs[i], err = islands[i].evaluateBatch(initial[i], workers)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, is := range islands {
+		e.account(res, is, evs[i])
+		is.install(nil, initial[i], evs[i])
+	}
+	if res.Samples == 0 {
+		return nil, errors.New("core: budget exhausted before first evaluation")
 	}
 
-	elites := min(max(int(float64(pop)*cfg.EliteFrac), 1), pop)
+	migrateEvery := e.Config.MigrateEvery
+	if migrateEvery == 0 {
+		migrateEvery = DefaultMigrateEvery
+	}
 
 	for res.Samples < budget {
-		sort.Slice(cur, func(a, b int) bool { return cur[a].eval.Fitness < cur[b].eval.Fitness })
-		res.History = append(res.History, cur[0].eval.Fitness)
-		// Incumbent and stall counter for the pruning screen.
-		if cur[0].eval.Fitness < e.best {
-			e.stall = 0
-		} else {
-			e.stall++
+		for _, is := range islands {
+			is.beginGeneration()
 		}
-		e.best = cur[0].eval.Fitness
+		res.History = append(res.History, bestOf(islands).eval.Fitness)
 		e.emitProgress(res, budget)
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("%w after generation %d (%d samples): %w",
@@ -316,50 +343,263 @@ func (e *Engine) RunContext(ctx context.Context, budget int) (*Result, error) {
 		}
 		res.Generations++
 
-		next := make([]individual, 0, pop)
-		next = append(next, cur[:elites]...)
+		if len(islands) > 1 && res.Generations%migrateEvery == 0 {
+			if err := e.migrate(islands, res); err != nil {
+				return nil, err
+			}
+		}
 
-		// Breed serially (the RNG stream fixes the children), then
-		// evaluate the batch — in parallel when configured; evaluation is
-		// pure, so results and sample accounting stay deterministic.
-		need := pop - len(next)
-		if remaining := budget - res.Samples; need > remaining {
-			need = remaining
-		}
-		children := make([]space.Genome, need)
-		for i := range children {
-			children[i] = e.breed(cur)
-		}
-		evs, err := e.evaluateBatch(children)
+		// Each island breeds serially on its own RNG stream (which fixes
+		// the children) and evaluates the batch — island-concurrent, and
+		// evaluation is pure, so results and sample accounting stay
+		// deterministic at any worker count.
+		children := make([][]space.Genome, len(islands))
+		evs := make([][]*coopt.Evaluation, len(islands))
+		err := e.forIslands(islands, func(i, workers int) error {
+			is := islands[i]
+			children[i] = is.breedChildren()
+			if len(children[i]) == 0 {
+				return nil // budget share spent: the island idles
+			}
+			var err error
+			evs[i], err = is.evaluateBatch(children[i], workers)
+			return err
+		})
 		if err != nil {
 			return nil, err
 		}
-		for i, ev := range evs {
-			res.countSample(ev)
-			if e.OnEvaluation != nil {
-				e.OnEvaluation(res.Samples, ev)
+		for i, is := range islands {
+			if len(children[i]) == 0 {
+				continue
 			}
-			next = append(next, individual{children[i], ev})
+			e.account(res, is, evs[i])
+			is.install(is.cur[:is.elites], children[i], evs[i])
 		}
-		cur = next
 	}
 
-	sort.Slice(cur, func(a, b int) bool { return cur[a].eval.Fitness < cur[b].eval.Fitness })
-	res.History = append(res.History, cur[0].eval.Fitness)
-	res.Best = cur[0].eval
+	for _, is := range islands {
+		is.sortPop()
+	}
+	best := bestOf(islands)
+	res.History = append(res.History, best.eval.Fitness)
+	res.Best = best.eval
 	e.emitProgress(res, budget)
 	return res, nil
 }
 
-// countSample books one evaluated design point against the budget,
-// splitting full-model scores from bound-pruned screens.
-func (res *Result) countSample(ev *coopt.Evaluation) {
-	res.Samples++
-	if ev.Pruned {
-		res.PrunedEvals++
-	} else {
-		res.FullEvals++
+// buildIslands assembles the run's islands: the island count clamped to
+// the budget, per-island budget shares (even split, remainder to the
+// first islands), per-island profiles under the Config.Profiles rotation,
+// and per-island RNG streams. A single island runs on the engine's RNG
+// unchanged — the bit-identical classic engine; K > 1 islands draw one
+// seed each from the master stream before any search work, so island
+// streams are independent yet fixed by the master seed.
+func (e *Engine) buildIslands(budget int) ([]*island, error) {
+	k := max(e.Config.Islands, 1)
+	if k > budget {
+		k = budget
 	}
+
+	profiles := make([]Profile, k)
+	anyFull := false
+	for i := range profiles {
+		pr, err := profileFor(e.Config.Profiles, i)
+		if err != nil {
+			return nil, err
+		}
+		profiles[i] = pr
+		if !pr.Scout {
+			anyFull = true
+		}
+	}
+	if !anyFull {
+		// Every island would screen on the bound tier with nowhere to
+		// migrate to; island 0 falls back to the default profile so the
+		// run always has a full-fidelity population to report from.
+		profiles[0] = Profile{Name: "default"}
+	}
+
+	rngs := make([]*rand.Rand, k)
+	if k == 1 {
+		rngs[0] = e.Rng
+	} else {
+		for i := range rngs {
+			rngs[i] = rand.New(rand.NewSource(e.Rng.Int63()))
+		}
+	}
+
+	// The global population is partitioned across the ring — the classic
+	// island model: K islands of PopSize/K individuals step as many
+	// generations as one PopSize population would, so equal budget buys
+	// equal search depth plus the diversity of semi-isolated evolution.
+	// The floor of 4 keeps tournaments and crossover meaningful on very
+	// small slices.
+	islands := make([]*island, k)
+	share, extra := budget/k, budget%k
+	popShare, popExtra := e.Config.PopSize/k, e.Config.PopSize%k
+	for i := range islands {
+		b := share
+		if i < extra {
+			b++
+		}
+		pop := popShare
+		if i < popExtra {
+			pop++
+		}
+		pop = max(pop, 4)
+		is, err := newIsland(e, i, profiles[i], rngs[i], pop, b)
+		if err != nil {
+			return nil, err
+		}
+		islands[i] = is
+	}
+	return islands, nil
+}
+
+// forIslands runs one lockstep phase: fn(i, workers) for every island,
+// concurrently up to the engine's worker budget, with the workers split
+// across the islands' batch evaluations — the remainder goes to the
+// first islands, so no core idles when k does not divide the budget
+// (results never depend on the split; only wall-clock does). A single
+// island runs on the caller's goroutine with the full worker budget —
+// exactly the classic engine's shape.
+func (e *Engine) forIslands(islands []*island, fn func(i, workers int) error) error {
+	k := len(islands)
+	workers := max(e.Config.Workers, 1)
+	return par.For(k, min(k, workers), func(i int) error {
+		w := workers / k
+		if i < workers%k {
+			w++
+		}
+		return fn(i, max(w, 1))
+	})
+}
+
+// account books one island batch against the run: sample counters split
+// by how each point was scored, and the OnEvaluation hook in batch order.
+// Runs on the coordinator goroutine, island by island in ring order, so
+// sample indices are deterministic and the hook never races.
+func (e *Engine) account(res *Result, is *island, evs []*coopt.Evaluation) {
+	for _, ev := range evs {
+		res.Samples++
+		is.samples++
+		switch {
+		case is.scout:
+			res.ScoutEvals++
+		case ev.Pruned:
+			res.PrunedEvals++
+		default:
+			res.FullEvals++
+		}
+		if e.OnEvaluation != nil {
+			e.OnEvaluation(res.Samples, ev)
+		}
+	}
+}
+
+// bestOf returns the best individual across the full-fidelity islands.
+// Scout islands are excluded: their fitnesses are bound-tier readings,
+// comparable only after the migration re-score. buildIslands guarantees
+// at least one non-scout island with a non-empty population.
+func bestOf(islands []*island) individual {
+	var best individual
+	found := false
+	for _, is := range islands {
+		if is.scout || len(is.cur) == 0 {
+			continue
+		}
+		if !found || is.cur[0].eval.Fitness < best.eval.Fitness {
+			best = is.cur[0]
+			found = true
+		}
+	}
+	return best
+}
+
+// migrate exchanges elites over the deterministic ring: island i's top
+// MigrateCount individuals replace the worst individuals of the next
+// non-scout island clockwise. Outgoing sets are snapshotted before any
+// replacement lands, so the exchange is order-independent; no RNG is
+// drawn, so migration preserves the per-island streams. A scout island's
+// elites are re-scored by the full model first (spending the scout's
+// remaining budget share) — bound-tier fitnesses never leak into a
+// full-fidelity population — and scout islands export without importing.
+// Every population is re-sorted afterwards so elite selection and
+// tournament pressure see the migrants immediately.
+func (e *Engine) migrate(islands []*island, res *Result) error {
+	k := len(islands)
+	out := make([][]individual, k)
+	for i, src := range islands {
+		m := e.Config.MigrateCount
+		if m <= 0 {
+			m = src.elites
+		}
+		m = min(m, len(src.cur))
+		sel := append([]individual(nil), src.cur[:m]...)
+		if src.scout {
+			var err error
+			if sel, err = e.rescore(src, sel, res); err != nil {
+				return err
+			}
+		}
+		out[i] = sel
+	}
+
+	// replaceAt[j]: next slot to overwrite in island j, walking up from
+	// the worst. Multiple sources can funnel into one destination when
+	// scouts are skipped; the cursor keeps their migrants from clobbering
+	// each other, and slot 0 (the destination's own best) is never taken.
+	replaceAt := make([]int, k)
+	for j, is := range islands {
+		replaceAt[j] = len(is.cur) - 1
+	}
+	for i := range islands {
+		j := (i + 1) % k
+		for islands[j].scout {
+			j = (j + 1) % k
+		}
+		if j == i {
+			continue
+		}
+		dst := islands[j]
+		for _, ind := range out[i] {
+			if replaceAt[j] < 1 {
+				break
+			}
+			dst.cur[replaceAt[j]] = ind
+			replaceAt[j]--
+		}
+	}
+	for _, is := range islands {
+		is.sortPop()
+	}
+	return nil
+}
+
+// rescore scores a scout island's outgoing elites with the run's
+// full-fidelity model so they migrate at comparable fitness. Re-scores
+// spend the scout's remaining budget share (counted as FullEvals);
+// elites the share cannot afford are dropped from the migration — still
+// deterministic, since the cut depends only on the sample counters.
+func (e *Engine) rescore(src *island, sel []individual, res *Result) ([]individual, error) {
+	out := make([]individual, 0, len(sel))
+	for _, ind := range sel {
+		if src.samples >= src.budget {
+			break
+		}
+		ev, err := src.full.EvaluateCanonical(ind.genome)
+		if err != nil {
+			return nil, err
+		}
+		src.samples++
+		res.Samples++
+		res.FullEvals++
+		if e.OnEvaluation != nil {
+			e.OnEvaluation(res.Samples, ev)
+		}
+		out = append(out, individual{ind.genome, ev})
+	}
+	return out, nil
 }
 
 // emitProgress delivers a Progress snapshot to OnGeneration, if installed.
@@ -376,6 +616,7 @@ func (e *Engine) emitProgress(res *Result, budget int) {
 		BestFitness: res.History[len(res.History)-1],
 		FullEvals:   res.FullEvals,
 		PrunedEvals: res.PrunedEvals,
+		ScoutEvals:  res.ScoutEvals,
 	}
 	if e.Problem.Cache != nil {
 		st := e.Problem.Cache.Stats()
@@ -383,400 +624,3 @@ func (e *Engine) emitProgress(res *Result, budget int) {
 	}
 	e.OnGeneration(p)
 }
-
-// evaluateBatch scores a slice of genomes, fanning out across
-// Config.Workers goroutines when configured. Evaluate is pure, so the
-// result slice is identical regardless of worker count. Under
-// Config.Prune, candidates whose fitness lower bound already exceeds the
-// incumbent best skip the full cost model and carry the bound instead;
-// the incumbent is frozen for the batch, so pruning decisions are
-// deterministic too.
-func (e *Engine) evaluateBatch(gs []space.Genome) ([]*coopt.Evaluation, error) {
-	out := make([]*coopt.Evaluation, len(gs))
-	prune := e.Config.Prune && !math.IsInf(e.best, 1) && e.stall >= e.Config.PruneStall
-	threshold := e.best * math.Max(e.Config.PruneMargin, 1)
-	err := par.For(len(gs), e.Config.Workers, func(i int) error {
-		if prune {
-			if b := e.Problem.FitnessBound(gs[i]); b > threshold {
-				out[i] = coopt.PrunedEvaluation(gs[i], b)
-				return nil
-			}
-		}
-		ev, err := e.Problem.EvaluateCanonical(gs[i])
-		if err != nil {
-			return err
-		}
-		out[i] = ev
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
-// seedGenome builds a conservative, almost-always-feasible starting point:
-// per-PE tiles of 1 (minimal buffers), the outer tile sized to spread the
-// widest dimension across the inner fanout, and — for co-opt — modest
-// power-of-two fanouts varied per seed index.
-func (e *Engine) seedGenome(variant int) space.Genome {
-	sp := e.Problem.Space
-	levels := sp.Levels
-	var g space.Genome
-
-	if sp.FixedHW != nil {
-		g.Fanouts = append([]int(nil), sp.FixedHW.Fanouts...)
-		levels = len(g.Fanouts)
-	} else {
-		g.Fanouts = make([]int, levels)
-		for l := range g.Fanouts {
-			f := 1 << uint(2+(variant+l)%5) // 4..64, varied per seed
-			if f > sp.MaxFanout {
-				f = sp.MaxFanout
-			}
-			g.Fanouts[l] = f
-		}
-	}
-
-	g.Maps = make([]mapping.Mapping, len(sp.Layers))
-	for li, layer := range sp.Layers {
-		dims := layer.Dims()
-		// Widest dims first for parallelization.
-		var byWidth []workload.Dim
-		byWidth = append(byWidth, workload.AllDims[:]...)
-		sort.SliceStable(byWidth, func(a, b int) bool { return dims[byWidth[a]] > dims[byWidth[b]] })
-
-		m := mapping.Mapping{Levels: make([]mapping.Level, levels)}
-		for lvi := range m.Levels {
-			lv := &m.Levels[lvi]
-			lv.Spatial = byWidth[lvi%len(byWidth)]
-			lv.Order = mapping.CanonicalOrder()
-			for _, d := range workload.AllDims {
-				lv.Tiles[d] = 1
-			}
-		}
-		// Outer levels cover their child level's spatial fanout so the
-		// array is actually occupied.
-		for lvi := 1; lvi < levels; lvi++ {
-			child := m.Levels[lvi-1]
-			cover := child.Tiles[child.Spatial] * g.Fanouts[lvi-1]
-			if cover > dims[child.Spatial] {
-				cover = dims[child.Spatial]
-			}
-			m.Levels[lvi].Tiles = m.Levels[lvi-1].Tiles
-			m.Levels[lvi].Tiles[child.Spatial] = cover
-		}
-		m.RepairInPlace(layer) // m is freshly built and owned
-		g.Maps[li] = m
-	}
-	return g
-}
-
-// tournament picks the better of two random individuals.
-func (e *Engine) tournament(pop []individual) individual {
-	a := pop[e.Rng.Intn(len(pop))]
-	b := pop[e.Rng.Intn(len(pop))]
-	if b.eval.Fitness < a.eval.Fitness {
-		return b
-	}
-	return a
-}
-
-// breed produces one child from the population using the specialized
-// operator pipeline.
-//
-// Children are bred copy-on-write: a child starts by sharing every
-// per-layer mapping block with its parents (only the slice headers and the
-// HW genes are copied), and each operator clones exactly the blocks it is
-// about to write (ownLayer / the structural grow, age and Repair paths).
-// Parents in the population are therefore never mutated in place, the
-// shared blocks hash identically in the evaluation cache, and the dominant
-// allocation of the old pipeline — two full genome deep-clones per child —
-// shrinks to the few blocks mutation actually touches.
-func (e *Engine) breed(pop []individual) space.Genome {
-	cfg := e.Config
-	p1 := e.tournament(pop)
-	var child space.Genome
-
-	if e.Rng.Float64() < cfg.CrossRate {
-		p2 := e.tournament(pop)
-		child = e.crossover(p1, p2)
-	} else {
-		child = shallowCopy(p1.genome)
-	}
-	if e.Rng.Float64() < cfg.ReorderRate {
-		e.reorder(&child)
-	}
-	if e.Rng.Float64() < cfg.MutMapRate {
-		e.mutateMap(&child)
-	}
-	if !cfg.FixedHW {
-		if e.Rng.Float64() < cfg.MutHWRate {
-			e.mutateHW(&child)
-		}
-		if e.Rng.Float64() < cfg.GrowRate && child.Levels() < cfg.MaxLevels {
-			e.grow(&child)
-		}
-		if e.Rng.Float64() < cfg.AgeRate && child.Levels() > 2 {
-			e.age(&child)
-		}
-		child = e.repairHWBudget(child)
-	}
-	// No full Space.Repair here: children are canonical by construction.
-	// Parents are canonical, crossover only exchanges whole (canonical)
-	// blocks and equal-length fanout vectors, reorder preserves the
-	// permutation property, mutateLayer repairs the blocks it perturbs in
-	// place, mutateHW/grow/age/repairHWBudget keep fanouts in [1,
-	// MaxFanout] with mapping depths in lockstep. TestBredGenomesCanonical
-	// pins this invariant, which EvaluateCanonical relies on.
-	return child
-}
-
-// layerDims returns the layer bounds for layer index li.
-func (e *Engine) layerDims(li int) workload.Vector {
-	return e.Problem.Space.Layers[li].Dims()
-}
-
-// shallowCopy starts a copy-on-write child: private HW genes and Maps
-// slice header, per-layer blocks shared with the parent. Any operator that
-// writes a block must take ownership first (ownLayer, or the fresh slices
-// built by grow/age/Repair).
-func shallowCopy(g space.Genome) space.Genome {
-	return space.Genome{
-		Fanouts: append([]int(nil), g.Fanouts...),
-		Maps:    append([]mapping.Mapping(nil), g.Maps...),
-	}
-}
-
-// ownLayer gives the genome a private copy of one layer's level slice so
-// in-place mutation cannot leak into the parent the block is shared with.
-// The copy has cap == len, so a later structural append reallocates
-// instead of scribbling over shared backing.
-func ownLayer(m *mapping.Mapping) {
-	nl := make([]mapping.Level, len(m.Levels))
-	copy(nl, m.Levels)
-	m.Levels = nl
-}
-
-// crossover mixes two parents at domain-meaningful block granularity:
-// whole per-layer mapping blocks and the HW gene vector as one unit (the
-// PE hierarchy only makes sense as a whole). Because the fitness
-// decomposes additively over layers, the per-layer choice is mostly
-// greedy — take the block from the parent whose evaluation ran that layer
-// faster — with a diversity-preserving random fraction. Blocks are shared,
-// not cloned: an inherited block hashes identically in the evaluation
-// cache, which is what makes crossover near-free to score.
-func (e *Engine) crossover(pa, pb individual) space.Genome {
-	a, b := pa.genome, pb.genome
-	child := shallowCopy(a)
-	if !e.Config.FixedHW && e.Rng.Intn(2) == 0 && len(b.Fanouts) == len(a.Fanouts) {
-		copy(child.Fanouts, b.Fanouts)
-	}
-	for li := range child.Maps {
-		if b.Maps[li].NumLevels() != child.Maps[li].NumLevels() {
-			continue
-		}
-		takeB := e.Rng.Intn(2) == 0
-		if pa.eval != nil && pb.eval != nil && e.Rng.Float64() < e.Config.GreedyCross {
-			// Pruned parents carry no per-layer detail (possible only
-			// under Config.Prune); the greedy pick then keeps the random
-			// draw above, which was consumed either way.
-			if li < len(pa.eval.Layers) && li < len(pb.eval.Layers) {
-				takeB = pb.eval.Layers[li].Result.Cycles < pa.eval.Layers[li].Result.Cycles
-			}
-		}
-		if takeB {
-			child.Maps[li] = b.Maps[li]
-		}
-	}
-	return child
-}
-
-// reorder swaps two loop positions at a random level of a random layer —
-// the specialized operator for the order space.
-func (e *Engine) reorder(g *space.Genome) {
-	li := e.Rng.Intn(len(g.Maps))
-	m := &g.Maps[li]
-	ownLayer(m) // the block may be shared with a parent
-	lv := &m.Levels[e.Rng.Intn(len(m.Levels))]
-	i := e.Rng.Intn(len(lv.Order))
-	j := e.Rng.Intn(len(lv.Order))
-	lv.Order[i], lv.Order[j] = lv.Order[j], lv.Order[i]
-}
-
-// mutateMap perturbs tiling and parallelism. A handful of layers mutate
-// per child (expected ~3, so deep models still see every layer touched
-// within a few generations). Tiles move either by a geometric local step
-// (×2 / ÷2, fine-grained exploitation) or a divisor-biased resample
-// relative to the parent level's tile (the domain-aware move that avoids
-// ragged edges); the spatial dimension is re-targeted occasionally,
-// preferring dimensions with extent > 1 so parallelism is never knowingly
-// wasted.
-func (e *Engine) mutateMap(g *space.Genome) {
-	prob := 3.0 / float64(len(g.Maps))
-	if prob > 1 {
-		prob = 1
-	}
-	mutated := false
-	for li := range g.Maps {
-		if e.Rng.Float64() < prob {
-			e.mutateLayer(g, li)
-			mutated = true
-		}
-	}
-	if !mutated {
-		e.mutateLayer(g, e.Rng.Intn(len(g.Maps)))
-	}
-}
-
-func (e *Engine) mutateLayer(g *space.Genome, li int) {
-	dims := e.layerDims(li)
-	m := &g.Maps[li]
-	ownLayer(m) // the block may be shared with a parent
-	for lvi := range m.Levels {
-		lv := &m.Levels[lvi]
-		parent := dims
-		if lvi+1 < len(m.Levels) {
-			parent = m.Levels[lvi+1].Tiles
-		}
-		for _, d := range workload.AllDims {
-			if e.Rng.Float64() >= 0.3 {
-				continue
-			}
-			if e.Rng.Intn(2) == 0 {
-				// Local geometric step.
-				t := lv.Tiles[d]
-				if e.Rng.Intn(2) == 0 {
-					t *= 2
-				} else {
-					t /= 2
-				}
-				if t < 1 {
-					t = 1
-				}
-				if t > parent[d] {
-					t = parent[d]
-				}
-				lv.Tiles[d] = t
-			} else {
-				lv.Tiles[d] = mapping.RandomTile(e.Rng, parent[d], e.Config.DivisorBias)
-			}
-		}
-		if e.Rng.Float64() < 0.3 {
-			lv.Spatial = e.pickSpatial(dims)
-		}
-	}
-	// Restore tile monotonicity across levels (mutation can push an inner
-	// tile past its parent's); in place, since ownLayer made the block
-	// private above.
-	m.RepairInPlace(e.Problem.Space.Layers[li])
-}
-
-// pickSpatial draws a parallelization dimension, strongly preferring
-// dimensions the layer can actually fill.
-func (e *Engine) pickSpatial(dims workload.Vector) workload.Dim {
-	var wide []workload.Dim
-	for _, d := range workload.AllDims {
-		if dims[d] > 1 {
-			wide = append(wide, d)
-		}
-	}
-	if len(wide) > 0 && e.Rng.Float64() < 0.9 {
-		return wide[e.Rng.Intn(len(wide))]
-	}
-	return workload.AllDims[e.Rng.Intn(int(workload.NumDims))]
-}
-
-// mutateHW perturbs the PE hierarchy: one fanout gene takes a geometric
-// step (×2, ÷2) or a fresh log-uniform draw. The derived buffer allocation
-// downstream automatically re-balances memory — this is the coupling the
-// paper's Mutate-HW row in Fig. 4 points at.
-func (e *Engine) mutateHW(g *space.Genome) {
-	l := e.Rng.Intn(len(g.Fanouts))
-	limit := e.Problem.Space.MaxFanout
-	switch e.Rng.Intn(3) {
-	case 0:
-		g.Fanouts[l] *= 2
-	case 1:
-		g.Fanouts[l] /= 2
-	default:
-		// Log-uniform resample.
-		u := e.Rng.Float64()
-		g.Fanouts[l] = int(math.Exp(u * math.Log(float64(limit)+0.5)))
-	}
-	g.Fanouts[l] = min(max(g.Fanouts[l], 1), limit)
-}
-
-// grow adds one hierarchy level (the paper's clustering Grow operator):
-// the top fanout is factored into two levels, and every layer mapping
-// gains a copy of its top level so decode stays legal.
-func (e *Engine) grow(g *space.Genome) {
-	top := len(g.Fanouts) - 1
-	f := g.Fanouts[top]
-	split := 1 + e.Rng.Intn(4)
-	if f >= 4 {
-		split = 2 + e.Rng.Intn(f/2)
-		if split > f {
-			split = f
-		}
-	}
-	g.Fanouts[top] = max(1, f/split)
-	g.Fanouts = append(g.Fanouts, split)
-	for li := range g.Maps {
-		m := &g.Maps[li]
-		// Fresh backing (never append): the block may be shared with a
-		// parent genome.
-		nl := make([]mapping.Level, len(m.Levels)+1)
-		copy(nl, m.Levels)
-		nl[len(m.Levels)] = m.Levels[len(m.Levels)-1]
-		m.Levels = nl
-	}
-}
-
-// age removes the top hierarchy level (Aging), folding its fanout into
-// the level below, capped by the space's fanout bound.
-func (e *Engine) age(g *space.Genome) {
-	top := len(g.Fanouts) - 1
-	merged := min(g.Fanouts[top-1]*g.Fanouts[top], e.Problem.Space.MaxFanout)
-	g.Fanouts = g.Fanouts[:top]
-	g.Fanouts[top-1] = merged
-	for li := range g.Maps {
-		m := &g.Maps[li]
-		// Fresh cap == len backing rather than a re-slice: the block may be
-		// shared with a parent, and a shorter alias over shared memory would
-		// let a later grow scribble over the parent's top level.
-		nl := make([]mapping.Level, len(m.Levels)-1)
-		copy(nl, m.Levels[:len(m.Levels)-1])
-		m.Levels = nl
-	}
-}
-
-// repairHWBudget shrinks the PE array until the compute area alone leaves
-// room inside the budget — the "HW exploration strategy respects the
-// interaction between HW and mapping": points the checker would always
-// reject are never proposed, so no samples are wasted on hopeless HW.
-func (e *Engine) repairHWBudget(g space.Genome) space.Genome {
-	budget := e.Problem.Platform.AreaBudgetMM2
-	am := e.Problem.Platform.Area
-	for {
-		pes := 1
-		for _, f := range g.Fanouts {
-			pes *= f
-		}
-		if float64(pes)*am.PEUm2/1e6 <= budget*0.95 {
-			return g
-		}
-		// Halve the largest fanout.
-		l := 0
-		for i, f := range g.Fanouts {
-			if f > g.Fanouts[l] {
-				l = i
-			}
-		}
-		if g.Fanouts[l] <= 1 {
-			return g
-		}
-		g.Fanouts[l] /= 2
-	}
-}
-

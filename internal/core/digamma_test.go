@@ -37,6 +37,18 @@ func newEngine(t *testing.T, seed int64) *Engine {
 	return e
 }
 
+// opIsland wraps an engine in a single default-profile island on the
+// engine's own RNG stream, so the operator unit tests below drive the
+// extracted operator pipeline exactly as a single-population run does.
+func opIsland(t *testing.T, e *Engine) *island {
+	t.Helper()
+	is, err := newIsland(e, 0, Profile{Name: "default"}, e.Rng, e.Config.PopSize, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return is
+}
+
 func TestNewValidation(t *testing.T) {
 	if _, err := New(nil, DefaultConfig(), nil); err == nil {
 		t.Error("nil problem accepted")
@@ -145,8 +157,9 @@ func TestGammaKeepsHWFixed(t *testing.T) {
 
 func TestGrowAndAgeKeepGenomesLegal(t *testing.T) {
 	e := newEngine(t, 13)
+	is := opIsland(t, e)
 	g := e.Problem.Space.Random(e.Rng, 2)
-	e.grow(&g)
+	is.grow(&g)
 	if g.Levels() != 3 {
 		t.Fatalf("grow produced %d levels", g.Levels())
 	}
@@ -159,7 +172,7 @@ func TestGrowAndAgeKeepGenomesLegal(t *testing.T) {
 			t.Fatalf("post-grow mapping has %d levels", m.NumLevels())
 		}
 	}
-	e.age(&rep)
+	is.age(&rep)
 	if rep.Levels() != 2 {
 		t.Fatalf("age produced %d levels", rep.Levels())
 	}
@@ -173,9 +186,10 @@ func TestGrowAndAgeKeepGenomesLegal(t *testing.T) {
 
 func TestMutateHWStaysInBounds(t *testing.T) {
 	e := newEngine(t, 17)
+	is := opIsland(t, e)
 	g := e.Problem.Space.Random(e.Rng, 2)
 	for i := 0; i < 500; i++ {
-		e.mutateHW(&g)
+		is.mutateHW(&g)
 		for l, f := range g.Fanouts {
 			if f < 1 || f > e.Problem.Space.MaxFanout {
 				t.Fatalf("iteration %d: fanout[%d] = %d out of bounds", i, l, f)
@@ -186,10 +200,11 @@ func TestMutateHWStaysInBounds(t *testing.T) {
 
 func TestRepairHWBudgetBoundsComputeArea(t *testing.T) {
 	e := newEngine(t, 19)
+	is := opIsland(t, e)
 	g := e.Problem.Space.Random(e.Rng, 2)
 	g.Fanouts[0] = e.Problem.Space.MaxFanout
 	g.Fanouts[1] = e.Problem.Space.MaxFanout
-	g = e.repairHWBudget(g)
+	g = is.repairHWBudget(g)
 	peArea := float64(g.NumPEs()) * e.Problem.Platform.Area.PEUm2 / 1e6
 	if peArea > e.Problem.Platform.AreaBudgetMM2 {
 		t.Errorf("repaired compute area %g exceeds budget %g",
@@ -199,9 +214,10 @@ func TestRepairHWBudgetBoundsComputeArea(t *testing.T) {
 
 func TestReorderPreservesPermutation(t *testing.T) {
 	e := newEngine(t, 23)
+	is := opIsland(t, e)
 	g := e.Problem.Space.Random(e.Rng, 2)
 	for i := 0; i < 200; i++ {
-		e.reorder(&g)
+		is.reorder(&g)
 	}
 	for li, m := range g.Maps {
 		if err := m.Validate(e.Problem.Space.Layers[li]); err != nil {
@@ -212,9 +228,10 @@ func TestReorderPreservesPermutation(t *testing.T) {
 
 func TestMutateMapKeepsLegalAfterRepair(t *testing.T) {
 	e := newEngine(t, 29)
+	is := opIsland(t, e)
 	g := e.Problem.Space.Random(e.Rng, 2)
 	for i := 0; i < 300; i++ {
-		e.mutateMap(&g)
+		is.mutateMap(&g)
 		r := e.Problem.Space.Repair(g)
 		for li, m := range r.Maps {
 			if err := m.Validate(e.Problem.Space.Layers[li]); err != nil {
@@ -226,11 +243,12 @@ func TestMutateMapKeepsLegalAfterRepair(t *testing.T) {
 
 func TestPickSpatialPrefersWideDims(t *testing.T) {
 	e := newEngine(t, 31)
+	is := opIsland(t, e)
 	dims := workload.Vector{64, 128, 1, 1, 1, 1} // GEMM-like
 	narrow := 0
 	const trials = 2000
 	for i := 0; i < trials; i++ {
-		d := e.pickSpatial(dims)
+		d := is.pickSpatial(dims)
 		if dims[d] == 1 {
 			narrow++
 		}
@@ -242,6 +260,7 @@ func TestPickSpatialPrefersWideDims(t *testing.T) {
 
 func TestCrossoverAlignsStructure(t *testing.T) {
 	e := newEngine(t, 37)
+	is := opIsland(t, e)
 	ga := e.Problem.Space.Random(e.Rng, 2)
 	gb := e.Problem.Space.Random(e.Rng, 2)
 	ea, err := e.Problem.Evaluate(ga)
@@ -255,7 +274,7 @@ func TestCrossoverAlignsStructure(t *testing.T) {
 	a := individual{ga, ea}
 	b := individual{gb, eb}
 	for i := 0; i < 100; i++ {
-		c := e.crossover(a, b)
+		c := is.crossover(a, b)
 		r := e.Problem.Space.Repair(c)
 		for li, m := range r.Maps {
 			if err := m.Validate(e.Problem.Space.Layers[li]); err != nil {
@@ -270,6 +289,7 @@ func TestCrossoverAlignsStructure(t *testing.T) {
 // time.
 func TestCrossoverGreedyPicksFasterBlocks(t *testing.T) {
 	e := newEngine(t, 41)
+	is := opIsland(t, e)
 	ga := e.Problem.Space.Random(e.Rng, 2)
 	gb := ga.Clone() // same HW so per-layer cycles are comparable
 	for li := range gb.Maps {
@@ -286,7 +306,7 @@ func TestCrossoverGreedyPicksFasterBlocks(t *testing.T) {
 	better := 0
 	const trials = 200
 	for i := 0; i < trials; i++ {
-		c := e.crossover(individual{ga, ea}, individual{gb, eb})
+		c := is.crossover(individual{ga, ea}, individual{gb, eb})
 		ec, err := e.Problem.Evaluate(c)
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,585 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"digamma/internal/coopt"
+	"digamma/internal/mapping"
+	"digamma/internal/par"
+	"digamma/internal/space"
+	"digamma/internal/workload"
+)
+
+// island is the extracted unit of the genetic search: one semi-isolated
+// population together with everything its generation loop touches — the
+// RNG stream, the profile-applied operator rates, the scoring problem and
+// the pruning state. Engine.RunContext coordinates K of them in lockstep
+// (K = 1 reproduces the classic single-population engine bit-for-bit: the
+// sole island runs on the engine's own RNG with the base Config).
+//
+// Everything an island mutates is island-private — cur, rng, best, stall,
+// samples — so K islands breed and evaluate concurrently under par.For
+// with no synchronization, and results are a pure function of
+// (Seed, Islands, MigrateEvery, Profiles), never of Workers.
+type island struct {
+	id  int
+	cfg Config // base Config with this island's profile applied
+
+	// rng is the island's private stream. Island 0 of a single-island run
+	// uses the engine's RNG unchanged (bit-identical to the pre-island
+	// engine); multi-island runs derive one seed per island from the
+	// master stream before any search work.
+	rng *rand.Rand
+
+	// prob scores this island's population: the engine's problem, except
+	// for scout islands, which screen on the "bound" fidelity tier.
+	prob *coopt.Problem
+	// full is the engine's full-fidelity problem, used to re-score a scout
+	// island's elites at migration time. full == prob for normal islands.
+	full *coopt.Problem
+	// scout mirrors Profile.Scout: bound-tier population, export-only
+	// migration, never the reported best.
+	scout bool
+
+	cur    []individual
+	pop    int // individuals per generation (≤ cfg.PopSize, ≤ budget)
+	elites int // carried over unchanged each generation
+
+	// best is the incumbent fitness the pruning screen compares bounds
+	// against, and stall counts consecutive generations it has stood
+	// still (arming the screen once it reaches cfg.PruneStall). Both live
+	// entirely on the island's step: evaluateBatch snapshots them into
+	// locals before fanning out, so batch workers never touch them — a
+	// mid-batch read from a worker would be a data race AND would break
+	// the per-batch pruning determinism.
+	best  float64
+	stall int
+
+	budget  int // this island's share of the run's sampling budget
+	samples int // spent so far, including migration re-scores
+}
+
+// newIsland assembles one island: profile applied on top of the engine's
+// Config (with the fixed-HW / fixed-mapping rate fixups re-asserted, so a
+// profile can never re-enable an operator the problem forbids), the
+// scoring problem resolved (scouts screen on the bound tier), and the
+// population sized to popTarget — the island's slice of the run's global
+// population — clamped to its budget share.
+func newIsland(e *Engine, id int, pr Profile, rng *rand.Rand, popTarget, budget int) (*island, error) {
+	cfg := e.Config
+	if pr.apply != nil {
+		pr.apply(&cfg)
+	}
+	if cfg.FixedHW {
+		cfg.MutHWRate, cfg.GrowRate, cfg.AgeRate = 0, 0, 0
+	}
+	if e.Problem.MappingRule != nil {
+		cfg.GrowRate, cfg.AgeRate = 0, 0
+	}
+
+	prob := e.Problem
+	if pr.Scout {
+		var err error
+		if prob, err = e.Problem.WithFidelity("bound"); err != nil {
+			return nil, err
+		}
+		// Pruning against the roofline bound is pointless when the island
+		// already scores *on* the bound.
+		cfg.Prune = false
+	}
+
+	cfg.PopSize = popTarget
+	pop := min(cfg.PopSize, budget)
+	is := &island{
+		id:     id,
+		cfg:    cfg,
+		rng:    rng,
+		prob:   prob,
+		full:   e.Problem,
+		scout:  pr.Scout,
+		pop:    pop,
+		elites: min(max(int(float64(pop)*cfg.EliteFrac), 1), pop),
+		best:   math.Inf(1), // no incumbent yet: the first batch is never pruned
+		budget: budget,
+	}
+	return is, nil
+}
+
+// initialGenomes draws the island's starting population: a quarter
+// conservative seeds (minimal tiles with spatial coverage of the widest
+// dims — cheap on buffers, so almost always feasible, mirroring GAMMA's
+// valid-first initialization), the rest random genomes at the base
+// clustering depth. Genomes are drawn serially (the island's RNG stream
+// fixes them); the caller evaluates them as one batch so the first
+// generation parallelizes like every later one.
+func (is *island) initialGenomes() []space.Genome {
+	cfg := is.cfg
+	baseLevels := is.prob.Space.Levels
+	seeds := int(float64(is.pop) * cfg.SeedFrac)
+	if seeds < 1 && cfg.SeedFrac > 0 {
+		seeds = 1
+	}
+	initial := make([]space.Genome, 0, is.pop)
+	for i := 0; i < is.pop; i++ {
+		var g space.Genome
+		if i < seeds {
+			// The variant is offset by the island id so the ring starts
+			// from K disjoint conservative designs (multi-start
+			// diversity); island 0 — hence any single-island run — keeps
+			// the classic variants exactly.
+			g = is.seedGenome(i + is.id*seeds)
+		} else {
+			g = is.prob.Space.Random(is.rng, baseLevels)
+		}
+		if !cfg.FixedHW {
+			g = is.repairHWBudget(g)
+		}
+		initial = append(initial, g)
+	}
+	return initial
+}
+
+// install merges a batch of evaluated genomes into the population (the
+// initial batch, or a generation's children after the elites).
+func (is *island) install(keep []individual, gs []space.Genome, evs []*coopt.Evaluation) {
+	next := make([]individual, 0, is.pop)
+	next = append(next, keep...)
+	for i, ev := range evs {
+		next = append(next, individual{gs[i], ev})
+	}
+	is.cur = next
+}
+
+// beginGeneration sorts the population and advances the pruning incumbent
+// and its stall counter — the head of the generation loop.
+func (is *island) beginGeneration() {
+	is.sortPop()
+	if is.cur[0].eval.Fitness < is.best {
+		is.stall = 0
+	} else {
+		is.stall++
+	}
+	is.best = is.cur[0].eval.Fitness
+}
+
+// sortPop orders the population best-first. Deterministic for a given
+// population order, so results never depend on worker counts.
+func (is *island) sortPop() {
+	sort.Slice(is.cur, func(a, b int) bool { return is.cur[a].eval.Fitness < is.cur[b].eval.Fitness })
+}
+
+// breedChildren breeds the generation's offspring serially on the
+// island's RNG stream (which fixes them), capped by the remaining budget
+// share. The caller evaluates the batch.
+func (is *island) breedChildren() []space.Genome {
+	need := is.pop - is.elites
+	if remaining := is.budget - is.samples; need > remaining {
+		need = remaining
+	}
+	if need <= 0 {
+		return nil
+	}
+	children := make([]space.Genome, need)
+	for i := range children {
+		children[i] = is.breed()
+	}
+	return children
+}
+
+// evaluateBatch scores a slice of genomes against the island's problem,
+// fanning out across workers goroutines when configured. Evaluation is
+// pure, so the result slice is identical regardless of worker count.
+// Under cfg.Prune, candidates whose fitness lower bound already exceeds
+// the incumbent best skip the full cost model and carry the bound
+// instead; the incumbent is frozen for the batch, so pruning decisions
+// are deterministic too.
+func (is *island) evaluateBatch(gs []space.Genome, workers int) ([]*coopt.Evaluation, error) {
+	out := make([]*coopt.Evaluation, len(gs))
+	prune := is.cfg.Prune && !math.IsInf(is.best, 1) && is.stall >= is.cfg.PruneStall
+	threshold := is.best * math.Max(is.cfg.PruneMargin, 1)
+	err := par.For(len(gs), workers, func(i int) error {
+		if prune {
+			if b := is.prob.FitnessBound(gs[i]); b > threshold {
+				out[i] = coopt.PrunedEvaluation(gs[i], b)
+				return nil
+			}
+		}
+		ev, err := is.prob.EvaluateCanonical(gs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = ev
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// seedGenome builds a conservative, almost-always-feasible starting point:
+// per-PE tiles of 1 (minimal buffers), the outer tile sized to spread the
+// widest dimension across the inner fanout, and — for co-opt — modest
+// power-of-two fanouts varied per seed index.
+func (is *island) seedGenome(variant int) space.Genome {
+	sp := is.prob.Space
+	levels := sp.Levels
+	var g space.Genome
+
+	if sp.FixedHW != nil {
+		g.Fanouts = append([]int(nil), sp.FixedHW.Fanouts...)
+		levels = len(g.Fanouts)
+	} else {
+		g.Fanouts = make([]int, levels)
+		for l := range g.Fanouts {
+			f := 1 << uint(2+(variant+l)%5) // 4..64, varied per seed
+			if f > sp.MaxFanout {
+				f = sp.MaxFanout
+			}
+			g.Fanouts[l] = f
+		}
+	}
+
+	g.Maps = make([]mapping.Mapping, len(sp.Layers))
+	for li, layer := range sp.Layers {
+		dims := layer.Dims()
+		// Widest dims first for parallelization.
+		var byWidth []workload.Dim
+		byWidth = append(byWidth, workload.AllDims[:]...)
+		sort.SliceStable(byWidth, func(a, b int) bool { return dims[byWidth[a]] > dims[byWidth[b]] })
+
+		m := mapping.Mapping{Levels: make([]mapping.Level, levels)}
+		for lvi := range m.Levels {
+			lv := &m.Levels[lvi]
+			lv.Spatial = byWidth[lvi%len(byWidth)]
+			lv.Order = mapping.CanonicalOrder()
+			for _, d := range workload.AllDims {
+				lv.Tiles[d] = 1
+			}
+		}
+		// Outer levels cover their child level's spatial fanout so the
+		// array is actually occupied.
+		for lvi := 1; lvi < levels; lvi++ {
+			child := m.Levels[lvi-1]
+			cover := child.Tiles[child.Spatial] * g.Fanouts[lvi-1]
+			if cover > dims[child.Spatial] {
+				cover = dims[child.Spatial]
+			}
+			m.Levels[lvi].Tiles = m.Levels[lvi-1].Tiles
+			m.Levels[lvi].Tiles[child.Spatial] = cover
+		}
+		m.RepairInPlace(layer) // m is freshly built and owned
+		g.Maps[li] = m
+	}
+	return g
+}
+
+// tournament picks the better of two random individuals.
+func (is *island) tournament() individual {
+	a := is.cur[is.rng.Intn(len(is.cur))]
+	b := is.cur[is.rng.Intn(len(is.cur))]
+	if b.eval.Fitness < a.eval.Fitness {
+		return b
+	}
+	return a
+}
+
+// breed produces one child from the population using the specialized
+// operator pipeline.
+//
+// Children are bred copy-on-write: a child starts by sharing every
+// per-layer mapping block with its parents (only the slice headers and the
+// HW genes are copied), and each operator clones exactly the blocks it is
+// about to write (ownLayer / the structural grow, age and Repair paths).
+// Parents in the population are therefore never mutated in place, the
+// shared blocks hash identically in the evaluation cache, and the dominant
+// allocation of the old pipeline — two full genome deep-clones per child —
+// shrinks to the few blocks mutation actually touches.
+func (is *island) breed() space.Genome {
+	cfg := is.cfg
+	p1 := is.tournament()
+	var child space.Genome
+
+	if is.rng.Float64() < cfg.CrossRate {
+		p2 := is.tournament()
+		child = is.crossover(p1, p2)
+	} else {
+		child = shallowCopy(p1.genome)
+	}
+	if is.rng.Float64() < cfg.ReorderRate {
+		is.reorder(&child)
+	}
+	if is.rng.Float64() < cfg.MutMapRate {
+		is.mutateMap(&child)
+	}
+	if !cfg.FixedHW {
+		if is.rng.Float64() < cfg.MutHWRate {
+			is.mutateHW(&child)
+		}
+		if is.rng.Float64() < cfg.GrowRate && child.Levels() < cfg.MaxLevels {
+			is.grow(&child)
+		}
+		if is.rng.Float64() < cfg.AgeRate && child.Levels() > 2 {
+			is.age(&child)
+		}
+		child = is.repairHWBudget(child)
+	}
+	// No full Space.Repair here: children are canonical by construction.
+	// Parents are canonical, crossover only exchanges whole (canonical)
+	// blocks and equal-length fanout vectors, reorder preserves the
+	// permutation property, mutateLayer repairs the blocks it perturbs in
+	// place, mutateHW/grow/age/repairHWBudget keep fanouts in [1,
+	// MaxFanout] with mapping depths in lockstep. TestBredGenomesCanonical
+	// pins this invariant, which EvaluateCanonical relies on.
+	return child
+}
+
+// layerDims returns the layer bounds for layer index li.
+func (is *island) layerDims(li int) workload.Vector {
+	return is.prob.Space.Layers[li].Dims()
+}
+
+// shallowCopy starts a copy-on-write child: private HW genes and Maps
+// slice header, per-layer blocks shared with the parent. Any operator that
+// writes a block must take ownership first (ownLayer, or the fresh slices
+// built by grow/age/Repair).
+func shallowCopy(g space.Genome) space.Genome {
+	return space.Genome{
+		Fanouts: append([]int(nil), g.Fanouts...),
+		Maps:    append([]mapping.Mapping(nil), g.Maps...),
+	}
+}
+
+// ownLayer gives the genome a private copy of one layer's level slice so
+// in-place mutation cannot leak into the parent the block is shared with.
+// The copy has cap == len, so a later structural append reallocates
+// instead of scribbling over shared backing.
+func ownLayer(m *mapping.Mapping) {
+	nl := make([]mapping.Level, len(m.Levels))
+	copy(nl, m.Levels)
+	m.Levels = nl
+}
+
+// crossover mixes two parents at domain-meaningful block granularity:
+// whole per-layer mapping blocks and the HW gene vector as one unit (the
+// PE hierarchy only makes sense as a whole). Because the fitness
+// decomposes additively over layers, the per-layer choice is mostly
+// greedy — take the block from the parent whose evaluation ran that layer
+// faster — with a diversity-preserving random fraction. Blocks are shared,
+// not cloned: an inherited block hashes identically in the evaluation
+// cache, which is what makes crossover near-free to score.
+func (is *island) crossover(pa, pb individual) space.Genome {
+	a, b := pa.genome, pb.genome
+	child := shallowCopy(a)
+	if !is.cfg.FixedHW && is.rng.Intn(2) == 0 && len(b.Fanouts) == len(a.Fanouts) {
+		copy(child.Fanouts, b.Fanouts)
+	}
+	for li := range child.Maps {
+		if b.Maps[li].NumLevels() != child.Maps[li].NumLevels() {
+			continue
+		}
+		takeB := is.rng.Intn(2) == 0
+		if pa.eval != nil && pb.eval != nil && is.rng.Float64() < is.cfg.GreedyCross {
+			// Pruned parents carry no per-layer detail (possible only
+			// under Config.Prune); the greedy pick then keeps the random
+			// draw above, which was consumed either way.
+			if li < len(pa.eval.Layers) && li < len(pb.eval.Layers) {
+				takeB = pb.eval.Layers[li].Result.Cycles < pa.eval.Layers[li].Result.Cycles
+			}
+		}
+		if takeB {
+			child.Maps[li] = b.Maps[li]
+		}
+	}
+	return child
+}
+
+// reorder swaps two loop positions at a random level of a random layer —
+// the specialized operator for the order space.
+func (is *island) reorder(g *space.Genome) {
+	li := is.rng.Intn(len(g.Maps))
+	m := &g.Maps[li]
+	ownLayer(m) // the block may be shared with a parent
+	lv := &m.Levels[is.rng.Intn(len(m.Levels))]
+	i := is.rng.Intn(len(lv.Order))
+	j := is.rng.Intn(len(lv.Order))
+	lv.Order[i], lv.Order[j] = lv.Order[j], lv.Order[i]
+}
+
+// mutateMap perturbs tiling and parallelism. A handful of layers mutate
+// per child (expected ~3, so deep models still see every layer touched
+// within a few generations). Tiles move either by a geometric local step
+// (×2 / ÷2, fine-grained exploitation) or a divisor-biased resample
+// relative to the parent level's tile (the domain-aware move that avoids
+// ragged edges); the spatial dimension is re-targeted occasionally,
+// preferring dimensions with extent > 1 so parallelism is never knowingly
+// wasted.
+func (is *island) mutateMap(g *space.Genome) {
+	prob := 3.0 / float64(len(g.Maps))
+	if prob > 1 {
+		prob = 1
+	}
+	mutated := false
+	for li := range g.Maps {
+		if is.rng.Float64() < prob {
+			is.mutateLayer(g, li)
+			mutated = true
+		}
+	}
+	if !mutated {
+		is.mutateLayer(g, is.rng.Intn(len(g.Maps)))
+	}
+}
+
+func (is *island) mutateLayer(g *space.Genome, li int) {
+	dims := is.layerDims(li)
+	m := &g.Maps[li]
+	ownLayer(m) // the block may be shared with a parent
+	for lvi := range m.Levels {
+		lv := &m.Levels[lvi]
+		parent := dims
+		if lvi+1 < len(m.Levels) {
+			parent = m.Levels[lvi+1].Tiles
+		}
+		for _, d := range workload.AllDims {
+			if is.rng.Float64() >= 0.3 {
+				continue
+			}
+			if is.rng.Intn(2) == 0 {
+				// Local geometric step.
+				t := lv.Tiles[d]
+				if is.rng.Intn(2) == 0 {
+					t *= 2
+				} else {
+					t /= 2
+				}
+				if t < 1 {
+					t = 1
+				}
+				if t > parent[d] {
+					t = parent[d]
+				}
+				lv.Tiles[d] = t
+			} else {
+				lv.Tiles[d] = mapping.RandomTile(is.rng, parent[d], is.cfg.DivisorBias)
+			}
+		}
+		if is.rng.Float64() < 0.3 {
+			lv.Spatial = is.pickSpatial(dims)
+		}
+	}
+	// Restore tile monotonicity across levels (mutation can push an inner
+	// tile past its parent's); in place, since ownLayer made the block
+	// private above.
+	m.RepairInPlace(is.prob.Space.Layers[li])
+}
+
+// pickSpatial draws a parallelization dimension, strongly preferring
+// dimensions the layer can actually fill.
+func (is *island) pickSpatial(dims workload.Vector) workload.Dim {
+	var wide []workload.Dim
+	for _, d := range workload.AllDims {
+		if dims[d] > 1 {
+			wide = append(wide, d)
+		}
+	}
+	if len(wide) > 0 && is.rng.Float64() < 0.9 {
+		return wide[is.rng.Intn(len(wide))]
+	}
+	return workload.AllDims[is.rng.Intn(int(workload.NumDims))]
+}
+
+// mutateHW perturbs the PE hierarchy: one fanout gene takes a geometric
+// step (×2, ÷2) or a fresh log-uniform draw. The derived buffer allocation
+// downstream automatically re-balances memory — this is the coupling the
+// paper's Mutate-HW row in Fig. 4 points at.
+func (is *island) mutateHW(g *space.Genome) {
+	l := is.rng.Intn(len(g.Fanouts))
+	limit := is.prob.Space.MaxFanout
+	switch is.rng.Intn(3) {
+	case 0:
+		g.Fanouts[l] *= 2
+	case 1:
+		g.Fanouts[l] /= 2
+	default:
+		// Log-uniform resample.
+		u := is.rng.Float64()
+		g.Fanouts[l] = int(math.Exp(u * math.Log(float64(limit)+0.5)))
+	}
+	g.Fanouts[l] = min(max(g.Fanouts[l], 1), limit)
+}
+
+// grow adds one hierarchy level (the paper's clustering Grow operator):
+// the top fanout is factored into two levels, and every layer mapping
+// gains a copy of its top level so decode stays legal.
+func (is *island) grow(g *space.Genome) {
+	top := len(g.Fanouts) - 1
+	f := g.Fanouts[top]
+	split := 1 + is.rng.Intn(4)
+	if f >= 4 {
+		split = 2 + is.rng.Intn(f/2)
+		if split > f {
+			split = f
+		}
+	}
+	g.Fanouts[top] = max(1, f/split)
+	g.Fanouts = append(g.Fanouts, split)
+	for li := range g.Maps {
+		m := &g.Maps[li]
+		// Fresh backing (never append): the block may be shared with a
+		// parent genome.
+		nl := make([]mapping.Level, len(m.Levels)+1)
+		copy(nl, m.Levels)
+		nl[len(m.Levels)] = m.Levels[len(m.Levels)-1]
+		m.Levels = nl
+	}
+}
+
+// age removes the top hierarchy level (Aging), folding its fanout into
+// the level below, capped by the space's fanout bound.
+func (is *island) age(g *space.Genome) {
+	top := len(g.Fanouts) - 1
+	merged := min(g.Fanouts[top-1]*g.Fanouts[top], is.prob.Space.MaxFanout)
+	g.Fanouts = g.Fanouts[:top]
+	g.Fanouts[top-1] = merged
+	for li := range g.Maps {
+		m := &g.Maps[li]
+		// Fresh cap == len backing rather than a re-slice: the block may be
+		// shared with a parent, and a shorter alias over shared memory would
+		// let a later grow scribble over the parent's top level.
+		nl := make([]mapping.Level, len(m.Levels)-1)
+		copy(nl, m.Levels[:len(m.Levels)-1])
+		m.Levels = nl
+	}
+}
+
+// repairHWBudget shrinks the PE array until the compute area alone leaves
+// room inside the budget — the "HW exploration strategy respects the
+// interaction between HW and mapping": points the checker would always
+// reject are never proposed, so no samples are wasted on hopeless HW.
+func (is *island) repairHWBudget(g space.Genome) space.Genome {
+	budget := is.prob.Platform.AreaBudgetMM2
+	am := is.prob.Platform.Area
+	for {
+		pes := 1
+		for _, f := range g.Fanouts {
+			pes *= f
+		}
+		if float64(pes)*am.PEUm2/1e6 <= budget*0.95 {
+			return g
+		}
+		// Halve the largest fanout.
+		l := 0
+		for i, f := range g.Fanouts {
+			if f > g.Fanouts[l] {
+				l = i
+			}
+		}
+		if g.Fanouts[l] <= 1 {
+			return g
+		}
+		g.Fanouts[l] /= 2
+	}
+}

@@ -99,17 +99,26 @@ func (e *Engine) RunPareto(budget int, objectives []coopt.Objective) (*ParetoRes
 		return &pind{individual: individual{g, ev}, vals: vals}, nil
 	}
 
+	// A single ad-hoc island on the engine's own RNG stream carries the
+	// operator pipeline (seeding, breeding, HW repair); the NSGA-II
+	// machinery below owns selection, so the island's population is set
+	// per breeding call.
+	is, err := newIsland(e, 0, Profile{Name: "default"}, e.Rng, e.Config.PopSize, budget)
+	if err != nil {
+		return nil, err
+	}
+
 	baseLevels := e.Problem.Space.Levels
 	cur := make([]*pind, 0, pop)
 	for i := 0; i < pop && res.Samples < budget; i++ {
 		var g space.Genome
 		if i < pop/4 {
-			g = e.seedGenome(i)
+			g = is.seedGenome(i)
 		} else {
 			g = e.Problem.Space.Random(e.Rng, baseLevels)
 		}
 		if !cfg.FixedHW {
-			g = e.repairHWBudget(g)
+			g = is.repairHWBudget(g)
 		}
 		p, err := evalG(g)
 		if err != nil {
@@ -192,8 +201,9 @@ func (e *Engine) RunPareto(budget int, objectives []coopt.Objective) (*ParetoRes
 		res.Generations++
 
 		// Binary tournaments on (rank, crowding) feed the single-objective
-		// breeding pipeline: pass the tournament winners as a two-element
-		// population so e.breed's own tournament is a no-op choice.
+		// breeding pipeline: install the tournament winners as a
+		// two-element island population so the island's own tournament is
+		// a no-op choice.
 		next := make([]*pind, 0, pop)
 		// Elitism: keep the best by (rank, crowding).
 		sorted := append([]*pind(nil), cur...)
@@ -214,7 +224,8 @@ func (e *Engine) RunPareto(budget int, objectives []coopt.Objective) (*ParetoRes
 		}
 		for len(next) < pop && res.Samples < budget {
 			p1, p2 := tour(), tour()
-			child := e.breed([]individual{p1.individual, p2.individual})
+			is.cur = []individual{p1.individual, p2.individual}
+			child := is.breed()
 			c, err := evalG(child)
 			if err != nil {
 				return nil, err

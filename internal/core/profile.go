@@ -1,0 +1,105 @@
+package core
+
+import "fmt"
+
+// Profile is a per-island operator-rate overlay for the island-model
+// search (Config.Islands > 1, though a single-island run may carry one
+// too): a named adjustment of the genetic operator rates on top of the
+// run's base Config, in the spirit of ConfuciuX's coarse-explore /
+// fine-exploit split. Heterogeneous profiles let K semi-isolated
+// populations cover different regions of the joint HW+mapping space —
+// explore-heavy islands feed diversity, exploit-heavy islands refine it,
+// and the ring migration of elites couples the two.
+//
+// Profiles adjust only operator rates (and, for the scout, the evaluation
+// fidelity); they never touch PopSize, Workers, the budget split or the
+// RNG streams, so results stay a pure function of
+// (Seed, Islands, MigrateEvery, Profiles).
+type Profile struct {
+	// Name is the profile's identity as used in Config.Profiles,
+	// digamma.Options.IslandProfiles, the -island-profile flags and the
+	// serve "island_profiles" request field.
+	Name string
+
+	// Scout marks a screening island: its population is scored on the
+	// "bound" fidelity tier (the provable roofline lower bound, ~10×
+	// cheaper than the full model — the cost.Backend seam from the
+	// fidelity stack), and its migrating elites are re-scored by the
+	// run's full model before they enter a neighbour population. A scout
+	// island's own (bound-tier) individuals are never eligible to be the
+	// search's reported best, and scout islands export elites without
+	// importing any. Bound-based pruning is forced off inside a scout
+	// island — the island already *is* the bound tier.
+	Scout bool
+
+	// apply mutates the operator rates of a copy of the base Config.
+	// Nil for the default profile.
+	apply func(*Config)
+}
+
+// ProfileNames lists the built-in island profiles.
+var ProfileNames = []string{"default", "explorer", "exploiter", "scout"}
+
+// ProfileByName resolves a built-in island profile. The empty name is the
+// default profile (base Config untouched).
+//
+//	default   — the run's Config as-is.
+//	explorer  — boosted Grow/Aging, Mutate and Reorder rates with a thin
+//	            elite band: wide structural exploration of clustering,
+//	            tiling and loop orders.
+//	exploiter — high elite fraction, strongly divisor-biased tiling and
+//	            near-always greedy crossover: local refinement around the
+//	            incumbents.
+//	scout     — explorer-leaning rates evaluated on the "bound" fidelity
+//	            tier; elites are re-scored by the full model when they
+//	            migrate (see Profile.Scout).
+func ProfileByName(name string) (Profile, error) {
+	switch name {
+	case "", "default":
+		return Profile{Name: "default"}, nil
+	case "explorer":
+		return Profile{Name: "explorer", apply: func(c *Config) {
+			c.EliteFrac = 0.05
+			c.ReorderRate = 0.50
+			c.MutMapRate = 0.90
+			c.MutHWRate = 0.50
+			c.GrowRate = 0.15
+			c.AgeRate = 0.15
+			c.DivisorBias = 0.50
+		}}, nil
+	case "exploiter":
+		return Profile{Name: "exploiter", apply: func(c *Config) {
+			c.EliteFrac = 0.25
+			c.CrossRate = 0.70
+			c.ReorderRate = 0.15
+			c.MutMapRate = 0.50
+			c.MutHWRate = 0.15
+			c.GrowRate = 0.02
+			c.AgeRate = 0.02
+			c.DivisorBias = 0.95
+			c.GreedyCross = 0.95
+		}}, nil
+	case "scout":
+		return Profile{Name: "scout", Scout: true, apply: func(c *Config) {
+			c.EliteFrac = 0.05
+			c.ReorderRate = 0.45
+			c.MutMapRate = 0.85
+			c.MutHWRate = 0.45
+			c.GrowRate = 0.10
+			c.AgeRate = 0.10
+			c.DivisorBias = 0.60
+		}}, nil
+	default:
+		return Profile{}, fmt.Errorf("core: unknown island profile %q (want one of %v)", name, ProfileNames)
+	}
+}
+
+// profileFor returns the profile governing island i under the configured
+// rotation: island i uses Profiles[i mod len(Profiles)]; an empty list
+// means every island runs the default profile.
+func profileFor(profiles []string, i int) (Profile, error) {
+	if len(profiles) == 0 {
+		return Profile{Name: "default"}, nil
+	}
+	return ProfileByName(profiles[i%len(profiles)])
+}

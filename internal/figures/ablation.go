@@ -92,10 +92,7 @@ func Ablation(platform arch.Platform, o Options) (*tables.Table, error) {
 		if err != nil {
 			return err
 		}
-		cfg := v.Config
-		cfg.Workers = engWorkers
-		cfg.Prune = o.Prune
-		eng, err := core.New(p, cfg, rand.New(rand.NewSource(o.Seed)))
+		eng, err := core.New(p, o.coreConfig(v.Config, engWorkers), rand.New(rand.NewSource(o.Seed)))
 		if err != nil {
 			return err
 		}

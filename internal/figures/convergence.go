@@ -45,8 +45,8 @@ func Convergence(platform arch.Platform, modelName string, checkpoints int, o Op
 		if err != nil {
 			return err
 		}
-		curve, err := traceAlgorithm(algs[ai], p, o.Budget, o.Seed+int64(ai), marks,
-			engineWorkers(o.Workers, len(algs)))
+		curve, err := traceAlgorithm(algs[ai], p, o.Seed+int64(ai), marks,
+			engineWorkers(o.Workers, len(algs)), o)
 		if err != nil {
 			return err
 		}
@@ -71,17 +71,19 @@ func Convergence(platform arch.Platform, modelName string, checkpoints int, o Op
 }
 
 // traceAlgorithm runs one algorithm while recording the best *valid*
-// latency after each checkpoint's worth of samples.
-func traceAlgorithm(alg string, p *coopt.Problem, budget int, seed int64, marks []int, workers int) ([]float64, error) {
+// latency after each checkpoint's worth of samples. The experiment's
+// engine knobs (pruning, islands) apply to the DiGamma trace, so the
+// convergence protocol can put islands=1 and islands=K side by side at
+// equal budget.
+func traceAlgorithm(alg string, p *coopt.Problem, seed int64, marks []int, workers int, o Options) ([]float64, error) {
+	budget := o.Budget
 	curve := make([]float64, len(marks))
 	for i := range curve {
 		curve[i] = math.NaN()
 	}
 
 	if alg == "DiGamma" {
-		cfg := core.DefaultConfig()
-		cfg.Workers = workers
-		eng, err := core.New(p, cfg, rand.New(rand.NewSource(seed)))
+		eng, err := core.New(p, o.coreConfig(core.DefaultConfig(), workers), rand.New(rand.NewSource(seed)))
 		if err != nil {
 			return nil, err
 		}
@@ -102,7 +104,7 @@ func traceAlgorithm(alg string, p *coopt.Problem, budget int, seed int64, marks 
 		return curve, nil
 	}
 
-	o, err := opt.ByName(alg)
+	vec, err := opt.ByName(alg)
 	if err != nil {
 		return nil, err
 	}
@@ -120,7 +122,7 @@ func traceAlgorithm(alg string, p *coopt.Problem, budget int, seed int64, marks 
 		}
 		return f
 	}
-	o.Minimize(wrapped, p.Space.Dim(), budget, rand.New(rand.NewSource(seed)))
+	vec.Minimize(wrapped, p.Space.Dim(), budget, rand.New(rand.NewSource(seed)))
 	propagateMins(curve)
 	return curve, nil
 }

@@ -43,6 +43,16 @@ type Options struct {
 	// Prune enables bound-based pruning inside the DiGamma cells (the
 	// vector baselines ignore it).
 	Prune bool
+
+	// Islands / MigrateEvery / IslandProfiles thread the island-model
+	// search into every DiGamma and Gamma cell (see core.Config.Islands):
+	// the convergence, ablation and figure protocols then compare
+	// islands=1 against islands=K at equal sampling budget. Zero values
+	// run the classic single population; the vector baselines ignore all
+	// three. Cell results stay independent of Workers either way.
+	Islands        int
+	MigrateEvery   int
+	IslandProfiles []string
 }
 
 // withDefaults normalizes the options.
@@ -75,19 +85,19 @@ func AlgorithmNames() []string {
 // the best evaluation (nil best means the run produced nothing valid).
 // workers bounds DiGamma's evaluation parallelism; the vector baselines are
 // inherently sequential samplers.
-func runAlgorithm(name string, p *coopt.Problem, budget int, seed int64, workers int, prune bool) (*coopt.Evaluation, error) {
+func runAlgorithm(name string, p *coopt.Problem, budget int, seed int64, workers int, o Options) (*coopt.Evaluation, error) {
 	if name == "DiGamma" {
-		r, err := runDiGamma(p, budget, seed, workers, prune)
+		r, err := runDiGamma(p, budget, seed, workers, o)
 		if err != nil {
 			return nil, err
 		}
 		return r.Best, nil
 	}
-	o, err := opt.ByName(name)
+	alg, err := opt.ByName(name)
 	if err != nil {
 		return nil, err
 	}
-	return p.RunVector(o, budget, seed)
+	return p.RunVector(alg, budget, seed)
 }
 
 // Fig5 reproduces the algorithm comparison for one platform: latency and
@@ -121,7 +131,7 @@ func Fig5(platform arch.Platform, o Options) (latency, latArea *tables.Table, er
 		if err != nil {
 			return err
 		}
-		ev, err := runAlgorithm(alg, p, o.Budget, o.Seed+int64(ai), eng, o.Prune)
+		ev, err := runAlgorithm(alg, p, o.Budget, o.Seed+int64(ai), eng, o)
 		if err != nil {
 			return err
 		}
@@ -214,7 +224,7 @@ func Fig6(platform arch.Platform, o Options) (*tables.Table, error) {
 		}
 		for fi, focus := range schemes.AllFocuses {
 			hw := schemes.FixedHW(focus, platform)
-			r, err := runGamma(p, hw, o.Budget, o.Seed+int64(fi), eng, o.Prune)
+			r, err := runGamma(p, hw, o.Budget, o.Seed+int64(fi), eng, o)
 			if err != nil {
 				return err
 			}
@@ -224,7 +234,7 @@ func Fig6(platform arch.Platform, o Options) (*tables.Table, error) {
 		}
 
 		// HW-Map-co-opt: DiGamma.
-		r, err := runDiGamma(p, o.Budget, o.Seed+17, eng, o.Prune)
+		r, err := runDiGamma(p, o.Budget, o.Seed+17, eng, o)
 		if err != nil {
 			return err
 		}
@@ -288,13 +298,13 @@ func Fig7(o Options) ([]Fig7Solution, *tables.Table, error) {
 		return nil, nil, err
 	}
 	hw := schemes.FixedHW(schemes.ComputeFocused, platform)
-	gamma, err := runGamma(p, hw, o.Budget, o.Seed, o.Workers, o.Prune)
+	gamma, err := runGamma(p, hw, o.Budget, o.Seed, o.Workers, o)
 	if err != nil {
 		return nil, nil, err
 	}
 	sols = append(sols, Fig7Solution{"Mapping-opt (Compute-focused + Gamma)", gamma.Best})
 
-	dg, err := runDiGamma(p, o.Budget, o.Seed, o.Workers, o.Prune)
+	dg, err := runDiGamma(p, o.Budget, o.Seed, o.Workers, o)
 	if err != nil {
 		return nil, nil, err
 	}

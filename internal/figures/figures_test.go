@@ -2,6 +2,7 @@ package figures
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -155,7 +156,7 @@ func TestAblationVariantsDistinct(t *testing.T) {
 	// Each non-reference variant must differ from the default config.
 	def := vs[0].Config
 	for _, v := range vs[1:] {
-		if v.Config == def {
+		if reflect.DeepEqual(v.Config, def) {
 			t.Errorf("variant %s identical to full DiGamma", v.Name)
 		}
 	}

@@ -1,0 +1,111 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"digamma/internal/arch"
+	"digamma/internal/coopt"
+	"digamma/internal/tables"
+	"digamma/internal/workload"
+)
+
+// IslandConfig is one column of the island-sweep protocol: a named
+// island-model configuration run at the same sampling budget as every
+// other column.
+type IslandConfig struct {
+	Name         string
+	Islands      int
+	MigrateEvery int
+	Profiles     []string
+}
+
+// IslandConfigs lists the island-sweep columns: the single-population
+// reference, homogeneous rings at K = 2 and K = 4, a heterogeneous K = 4
+// ring rotating the built-in profiles (explorer/exploiter diversity in
+// the ConfuciuX coarse/fine spirit), and the same ring with a
+// bound-fidelity scout screening a quarter of the budget.
+func IslandConfigs() []IslandConfig {
+	return []IslandConfig{
+		{Name: "single", Islands: 1},
+		{Name: "k2", Islands: 2, MigrateEvery: 3},
+		{Name: "k4", Islands: 4, MigrateEvery: 3},
+		{Name: "k4-mixed", Islands: 4, MigrateEvery: 3,
+			Profiles: []string{"default", "explorer", "exploiter", "default"}},
+		{Name: "k4-scout", Islands: 4, MigrateEvery: 3,
+			Profiles: []string{"default", "explorer", "exploiter", "scout"}},
+	}
+}
+
+// IslandSweep compares the island configurations at equal sampling budget
+// on every model of the experiment: best latency per configuration,
+// normalized to the single-population engine (values < 1 mean the island
+// ring found a better design for the same budget). One parallel cell per
+// model × configuration; every cell owns its problem, seed and output
+// slot, so the table is identical at any worker count.
+func IslandSweep(platform arch.Platform, o Options) (*tables.Table, error) {
+	o = o.withDefaults()
+	cfgs := IslandConfigs()
+	cols := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		cols[i] = c.Name
+	}
+	tb := tables.NewTable(
+		fmt.Sprintf("Island sweep (%s): latency at equal budget, normalized to the single population (lower is better)",
+			platform.Name),
+		cols...)
+
+	type cell struct {
+		cycles float64
+		log    string
+	}
+	cells := make([]cell, len(o.Models)*len(cfgs))
+	eng := engineWorkers(o.Workers, len(cells))
+	err := parallelFor(len(cells), o.Workers, func(ci int) error {
+		mi, ki := ci/len(cfgs), ci%len(cfgs)
+		modelName, kc := o.Models[mi], cfgs[ki]
+		model, err := workload.ByName(modelName)
+		if err != nil {
+			return err
+		}
+		p, err := newProblem(model, platform, coopt.Latency, o.Fidelity)
+		if err != nil {
+			return err
+		}
+		ko := o
+		ko.Islands = kc.Islands
+		ko.MigrateEvery = kc.MigrateEvery
+		ko.IslandProfiles = kc.Profiles
+		r, err := runDiGamma(p, o.Budget, o.Seed, eng, ko)
+		if err != nil {
+			return err
+		}
+		if r.Best == nil || !r.Best.Valid {
+			cells[ci].cycles = math.NaN()
+			cells[ci].log = fmt.Sprintf("islands %s/%s/%s: N/A\n", platform.Name, modelName, kc.Name)
+			return nil
+		}
+		cells[ci].cycles = r.Best.Cycles
+		cells[ci].log = fmt.Sprintf("islands %s/%s/%s: %.3e cycles (%d full, %d pruned, %d scout)\n",
+			platform.Name, modelName, kc.Name, r.Best.Cycles, r.FullEvals, r.PrunedEvals, r.ScoutEvals)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, modelName := range o.Models {
+		row := make([]float64, len(cfgs))
+		for ki := range cfgs {
+			c := cells[mi*len(cfgs)+ki]
+			row[ki] = c.cycles
+			io.WriteString(o.Log, c.log)
+		}
+		tb.SetRow(modelName, row)
+	}
+	if err := tb.NormalizeBy("single"); err != nil {
+		return nil, err
+	}
+	tb.AddGeoMeanRow()
+	return tb, nil
+}

@@ -1,0 +1,42 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"digamma/internal/arch"
+)
+
+// TestIslandSweepTable: the sweep renders every configuration column with
+// the single-population reference normalized to 1, and — like every
+// figure — produces identical tables at any worker count.
+func TestIslandSweepTable(t *testing.T) {
+	opts := Options{Budget: 200, Seed: 3, Models: []string{"ncf"}, Workers: 1}
+	tb, err := IslandSweep(arch.Edge(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tb.Render()
+	for _, want := range []string{"single", "k2", "k4", "k4-mixed", "k4-scout", "ncf", "GeoMean"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("island sweep table missing %q:\n%s", want, s)
+		}
+	}
+	row, ok := tb.Row("ncf")
+	if !ok {
+		t.Fatal("no ncf row")
+	}
+	if row[0] != 1 {
+		t.Errorf("single-population reference column = %g, want 1", row[0])
+	}
+
+	par := opts
+	par.Workers = 8
+	tb2, err := IslandSweep(arch.Edge(), par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.CSV() != tb2.CSV() {
+		t.Errorf("island sweep differs across worker counts:\n%s\nvs\n%s", tb.CSV(), tb2.CSV())
+	}
+}

@@ -38,7 +38,7 @@ func MultiSeed(platform arch.Platform, modelName string, seeds int, o Options) (
 		if err != nil {
 			return err
 		}
-		ev, err := runAlgorithm(alg, p, o.Budget, o.Seed+int64(s)*1000, eng, o.Prune)
+		ev, err := runAlgorithm(alg, p, o.Budget, o.Seed+int64(s)*1000, eng, o)
 		if err != nil {
 			return err
 		}

@@ -40,29 +40,37 @@ func engineWorkers(figureWorkers, cells int) int {
 	return figureWorkers
 }
 
+// coreConfig threads the experiment's engine knobs — evaluation workers,
+// bound pruning, and the island configuration — into one cell's base
+// engine configuration.
+func (o Options) coreConfig(base core.Config, workers int) core.Config {
+	base.Workers = workers
+	base.Prune = o.Prune
+	base.Islands = o.Islands
+	base.MigrateEvery = o.MigrateEvery
+	base.Profiles = o.IslandProfiles
+	return base
+}
+
 // runDiGamma runs the DiGamma engine with default hyper-parameters at an
-// explicit evaluation-worker count (seed-deterministic like core.Optimize).
-func runDiGamma(p *coopt.Problem, budget int, seed int64, workers int, prune bool) (*core.Result, error) {
-	cfg := core.DefaultConfig()
-	cfg.Workers = workers
-	cfg.Prune = prune
-	eng, err := core.New(p, cfg, rand.New(rand.NewSource(seed)))
+// explicit evaluation-worker count (seed-deterministic like core.Optimize),
+// under the experiment's prune and island knobs.
+func runDiGamma(p *coopt.Problem, budget int, seed int64, workers int, o Options) (*core.Result, error) {
+	eng, err := core.New(p, o.coreConfig(core.DefaultConfig(), workers), rand.New(rand.NewSource(seed)))
 	if err != nil {
 		return nil, err
 	}
 	return eng.Run(budget)
 }
 
-// runGamma is core.RunGamma with an explicit evaluation-worker count.
-func runGamma(p *coopt.Problem, hw arch.HW, budget int, seed int64, workers int, prune bool) (*core.Result, error) {
+// runGamma is core.RunGamma with an explicit evaluation-worker count and
+// the experiment's prune and island knobs.
+func runGamma(p *coopt.Problem, hw arch.HW, budget int, seed int64, workers int, o Options) (*core.Result, error) {
 	fp, err := p.WithFixedHW(hw)
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.GammaConfig()
-	cfg.Workers = workers
-	cfg.Prune = prune
-	eng, err := core.New(fp, cfg, rand.New(rand.NewSource(seed)))
+	eng, err := core.New(fp, o.coreConfig(core.GammaConfig(), workers), rand.New(rand.NewSource(seed)))
 	if err != nil {
 		return nil, err
 	}

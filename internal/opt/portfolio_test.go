@@ -1,0 +1,69 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPortfolioSpendsFullBudget is the regression test for the budget
+// split: every objective evaluation across the members must be accounted
+// for, including the remainder of budget % len(members) — the last member
+// absorbs it, so the portfolio spends exactly its budget (each member's
+// tracker already guarantees it never overspends its share).
+func TestPortfolioSpendsFullBudget(t *testing.T) {
+	p := NewPortfolio()
+	members := len(p.Members) // 3: budgets below exercise every remainder
+	if members != 3 {
+		t.Fatalf("default portfolio has %d members, test assumes 3", members)
+	}
+	for _, budget := range []int{100, 101, 99, 31, 7, 3, 2, 1} {
+		calls := 0
+		obj := func(x []float64) float64 {
+			calls++
+			return Sphere(x)
+		}
+		p.Minimize(obj, 6, budget, rand.New(rand.NewSource(int64(budget))))
+		if calls != budget {
+			t.Errorf("budget %d: portfolio spent %d evaluations (remainder %d dropped?)",
+				budget, calls, budget%members)
+		}
+	}
+}
+
+// TestPortfolioRemainderGoesToLastMember pins where the remainder lands:
+// with a counting member list, the last member's share is
+// budget/len + budget%len.
+func TestPortfolioRemainderGoesToLastMember(t *testing.T) {
+	var got []int
+	counter := func() Optimizer {
+		return countingOpt{spent: func(n int) { got = append(got, n) }}
+	}
+	p := Portfolio{Members: []Optimizer{counter(), counter(), counter()}}
+	p.Minimize(Sphere, 4, 101, rand.New(rand.NewSource(1)))
+	want := []int{33, 33, 35}
+	if len(got) != len(want) {
+		t.Fatalf("members run: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("member budgets %v, want %v", got, want)
+		}
+	}
+}
+
+// countingOpt spends its whole budget on random probes and reports how
+// much it was handed.
+type countingOpt struct {
+	spent func(n int)
+}
+
+func (countingOpt) Name() string { return "counting" }
+
+func (c countingOpt) Minimize(obj Objective, dim, budget int, rng *rand.Rand) ([]float64, float64) {
+	c.spent(budget)
+	t := newTracker(obj, budget)
+	for !t.exhausted() {
+		t.eval(uniform(rng, dim))
+	}
+	return t.result(dim)
+}

@@ -2,6 +2,8 @@ package par
 
 import (
 	"errors"
+	"fmt"
+	"math/rand"
 	"sync/atomic"
 	"testing"
 )
@@ -45,5 +47,83 @@ func TestForFirstErrorWins(t *testing.T) {
 func TestForZeroItems(t *testing.T) {
 	if err := For(0, 8, func(int) error { return errors.New("never") }); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestForProperties is the randomized property test of For's contract:
+// across arbitrary (n, workers) shapes — including workers ≤ 0 and
+// workers > n — (1) every slot is claimed by exactly one invocation
+// (slot isolation: fn(i) can safely own output slot i), and (2) when any
+// invocations fail, the error reported is the failing error with the
+// LOWEST index, regardless of scheduling (first-error-in-index-order).
+func TestForProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xd16a))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(80)
+		workers := rng.Intn(12) - 2 // [-2, 9]: serial, degenerate and parallel shapes
+		if trial%7 == 0 {
+			workers = n + 1 + rng.Intn(8) // deliberately more workers than slots
+		}
+
+		// A random error set; empty on many trials.
+		failing := map[int]bool{}
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.1 {
+				failing[i] = true
+			}
+		}
+		errAt := make([]error, n)
+		firstErr := -1
+		for i := 0; i < n; i++ {
+			if failing[i] {
+				errAt[i] = fmt.Errorf("slot %d failed", i)
+				if firstErr < 0 {
+					firstErr = i
+				}
+			}
+		}
+
+		calls := make([]atomic.Int32, n)
+		err := For(n, workers, func(i int) error {
+			calls[i].Add(1)
+			return errAt[i]
+		})
+
+		if firstErr < 0 {
+			if err != nil {
+				t.Fatalf("trial %d (n=%d workers=%d): unexpected error %v", trial, n, workers, err)
+			}
+			// No error: every slot ran exactly once.
+			for i := range calls {
+				if c := calls[i].Load(); c != 1 {
+					t.Fatalf("trial %d (n=%d workers=%d): slot %d ran %d times", trial, n, workers, i, c)
+				}
+			}
+			continue
+		}
+		if !errors.Is(err, errAt[firstErr]) {
+			t.Fatalf("trial %d (n=%d workers=%d): got %v, want lowest-index error %v",
+				trial, n, workers, err, errAt[firstErr])
+		}
+		// Even on failure, no slot ever runs twice, and no slot after an
+		// error can have run without every earlier slot having run too on
+		// the serial path (workers ≤ 1 stops at the first failure).
+		for i := range calls {
+			if c := calls[i].Load(); c > 1 {
+				t.Fatalf("trial %d: slot %d ran %d times", trial, i, c)
+			}
+		}
+		if workers <= 1 || n <= 1 {
+			for i := 0; i <= firstErr; i++ {
+				if calls[i].Load() != 1 {
+					t.Fatalf("trial %d: serial run skipped slot %d before the failure", trial, i)
+				}
+			}
+			for i := firstErr + 1; i < n; i++ {
+				if calls[i].Load() != 0 {
+					t.Fatalf("trial %d: serial run continued past the failure at %d", trial, firstErr)
+				}
+			}
+		}
 	}
 }

@@ -58,6 +58,17 @@ type OptimizeRequest struct {
 	// change which design point a search returns (see core.Config.Prune),
 	// so it participates in the dedup hash.
 	Prune bool `json:"prune,omitempty"`
+	// Islands splits the genetic search into K semi-isolated populations
+	// with deterministic ring migration (see digamma.Options.Islands).
+	// Fitness-relevant, so it participates in the dedup hash; ≤ 1 runs
+	// the classic single population.
+	Islands int `json:"islands,omitempty"`
+	// MigrateEvery is the island elite-migration period in generations
+	// (0 = the engine default). In the dedup hash.
+	MigrateEvery int `json:"migrate_every,omitempty"`
+	// IslandProfiles assigns per-island operator profiles by name (see
+	// digamma.IslandProfiles()). In the dedup hash.
+	IslandProfiles []string `json:"island_profiles,omitempty"`
 	// Workers bounds the search's parallel evaluation workers (0 = all
 	// cores). Deliberately excluded from the dedup hash: results are
 	// bit-identical at any setting.
@@ -140,13 +151,16 @@ func buildSpec(req OptimizeRequest, maxBudget int) (*searchSpec, error) {
 		return nil, fmt.Errorf("%w: %w", errBadRequest, err)
 	}
 	opts := digamma.Options{
-		Budget:    req.Budget,
-		Seed:      req.Seed,
-		Objective: obj,
-		Algorithm: req.Algorithm,
-		Workers:   req.Workers,
-		Fidelity:  req.Fidelity,
-		Prune:     req.Prune,
+		Budget:         req.Budget,
+		Seed:           req.Seed,
+		Objective:      obj,
+		Algorithm:      req.Algorithm,
+		Workers:        req.Workers,
+		Fidelity:       req.Fidelity,
+		Prune:          req.Prune,
+		Islands:        req.Islands,
+		MigrateEvery:   req.MigrateEvery,
+		IslandProfiles: req.IslandProfiles,
 	}
 	// Typed facade validation (ErrUnknownAlgorithm / ErrUnknownObjective)
 	// happens here, at submit time, not deep inside a queued search.
@@ -166,16 +180,25 @@ func buildSpec(req OptimizeRequest, maxBudget int) (*searchSpec, error) {
 // requestHash produces the canonical dedup key: a digest over every
 // fitness-relevant request field — the resolved layer list (so an inline
 // copy of a zoo model dedups against the zoo name), platform, objective,
-// algorithm, budget, seed, fidelity tier and the prune switch. Each field
-// occupies its own '|'-delimited, newline-terminated slot of a versioned
-// layout, so two requests differing in any single field can never collide
-// (TestRequestHashFieldSensitivity audits this). Workers is excluded
-// (results are bit-identical at any worker count), as is the model's
-// display name.
+// algorithm, budget, seed, fidelity tier, the prune switch and the island
+// configuration (count, migration period, profile rotation — the knobs a
+// K-island search's result is a function of). Each field occupies its own
+// '|'-delimited, newline-terminated slot of a versioned layout — the
+// profile list is additionally length-prefixed so a profile name can
+// never absorb a neighbouring slot — so two requests differing in any
+// single field can never collide (TestRequestHashFieldSensitivity audits
+// this). Workers is excluded (results are bit-identical at any worker
+// count), as is the model's display name.
 func requestHash(model digamma.Model, req OptimizeRequest) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "v2|%s|%s|%s|%d|%d|%s|%t\n",
-		req.Platform, req.Objective, req.Algorithm, req.Budget, req.Seed, req.Fidelity, req.Prune)
+	fmt.Fprintf(h, "v3|%s|%s|%s|%d|%d|%s|%t|%d|%d\n",
+		req.Platform, req.Objective, req.Algorithm, req.Budget, req.Seed, req.Fidelity, req.Prune,
+		req.Islands, req.MigrateEvery)
+	fmt.Fprintf(h, "profiles|%d", len(req.IslandProfiles))
+	for _, name := range req.IslandProfiles {
+		fmt.Fprintf(h, "|%d:%s", len(name), name)
+	}
+	fmt.Fprintln(h)
 	for _, l := range model.Layers {
 		sy, sx := l.Strides()
 		fmt.Fprintf(h, "%s|%s|%d,%d,%d,%d,%d,%d|%d,%d|%d\n",

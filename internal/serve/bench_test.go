@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"strconv"
 	"testing"
 	"time"
 )
@@ -52,6 +54,34 @@ func BenchmarkServeOptimize(b *testing.B) {
 		// Distinct seeds defeat the dedup store: every iteration pays for
 		// a real search.
 		benchSubmitWait(b, ts.URL, OptimizeRequest{Model: "ncf", Budget: 200, Seed: int64(i + 1)})
+	}
+}
+
+// BenchmarkServeOptimizeIslands is BenchmarkServeOptimize with the
+// island-model engine behind the same HTTP path: K islands (default 4,
+// DIGAMMAD_BENCH_ISLANDS overrides — scripts/bench.sh threads its ISLANDS
+// knob through) with a heterogeneous profile ring. The row pins the
+// serving overhead of island searches in BENCH_core.json.
+func BenchmarkServeOptimizeIslands(b *testing.B) {
+	islands := 4
+	if v := os.Getenv("DIGAMMAD_BENCH_ISLANDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			b.Fatalf("bad DIGAMMAD_BENCH_ISLANDS %q", v)
+		}
+		islands = n
+	}
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSubmitWait(b, ts.URL, OptimizeRequest{
+			Model: "ncf", Budget: 200, Seed: int64(i + 1),
+			Islands: islands, MigrateEvery: 2,
+			IslandProfiles: []string{"default", "explorer", "exploiter", "scout"},
+		})
 	}
 }
 

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"digamma"
+)
+
+// TestIslandsEndToEnd: an island-model request is its own dedup entry,
+// reports its island knobs in the job status, completes, and serves a
+// result bit-identical to the direct facade call with the same options —
+// the serving layer only schedules the deterministic engine.
+func TestIslandsEndToEnd(t *testing.T) {
+	_, url := testServer(t, Config{Workers: 2})
+
+	base := OptimizeRequest{Model: "ncf", Budget: 320, Seed: 3}
+	isl := base
+	isl.Islands = 4
+	isl.MigrateEvery = 2
+	isl.IslandProfiles = []string{"default", "explorer", "exploiter", "scout"}
+
+	a, _ := submit(t, url, base)
+	b, code := submit(t, url, isl)
+	if code != 202 || a.ID == b.ID {
+		t.Fatalf("island request deduped onto the single-population one (HTTP %d)", code)
+	}
+	waitState(t, url, b.ID, StateDone, 30*time.Second)
+	st := getStatus(t, url, b.ID)
+	if st.Islands != 4 || st.MigrateEvery != 2 || len(st.Profiles) != 4 {
+		t.Errorf("job status dropped island knobs: islands=%d migrate=%d profiles=%v",
+			st.Islands, st.MigrateEvery, st.Profiles)
+	}
+	if st.Result == nil {
+		t.Fatal("island job reported no result")
+	}
+
+	model, err := digamma.LoadModel("ncf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := digamma.Optimize(model, digamma.EdgePlatform(), digamma.Options{
+		Budget: 320, Seed: 3, Islands: 4, MigrateEvery: 2,
+		IslandProfiles: []string{"default", "explorer", "exploiter", "scout"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Result.Metrics.Cycles != direct.Cycles {
+		t.Errorf("served island cycles %.9e != direct %.9e", st.Result.Metrics.Cycles, direct.Cycles)
+	}
+
+	// A differing migration period is a different search: new dedup entry.
+	isl2 := isl
+	isl2.MigrateEvery = 3
+	c, code := submit(t, url, isl2)
+	if code != 202 || c.ID == b.ID {
+		t.Errorf("migrate_every=3 deduped onto migrate_every=2 (HTTP %d)", code)
+	}
+
+	// Unknown profiles are the client's fault: typed 400 before queueing.
+	bad := isl
+	bad.IslandProfiles = []string{"bogus"}
+	if _, code := submit(t, url, bad); code != 400 {
+		t.Errorf("unknown island profile: HTTP %d, want 400", code)
+	}
+}

@@ -203,6 +203,9 @@ type Status struct {
 	Seed         int64          `json:"seed"`
 	Fidelity     string         `json:"fidelity"`
 	Prune        bool           `json:"prune,omitempty"`
+	Islands      int            `json:"islands,omitempty"`
+	MigrateEvery int            `json:"migrate_every,omitempty"`
+	Profiles     []string       `json:"island_profiles,omitempty"`
 	CreatedAt    time.Time      `json:"created_at"`
 	StartedAt    *time.Time     `json:"started_at,omitempty"`
 	FinishedAt   *time.Time     `json:"finished_at,omitempty"`
@@ -217,19 +220,22 @@ func (j *Job) Status(withResult bool) Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := Status{
-		ID:          j.ID,
-		State:       j.state,
-		RequestHash: j.Hash,
-		Model:       j.spec.model.Name,
-		Platform:    j.spec.req.Platform,
-		Objective:   j.spec.req.Objective,
-		Algorithm:   j.spec.req.Algorithm,
-		Budget:      j.spec.req.Budget,
-		Seed:        j.spec.req.Seed,
-		Fidelity:    j.spec.req.Fidelity,
-		Prune:       j.spec.req.Prune,
-		CreatedAt:   j.created,
-		Error:       j.err,
+		ID:           j.ID,
+		State:        j.state,
+		RequestHash:  j.Hash,
+		Model:        j.spec.model.Name,
+		Platform:     j.spec.req.Platform,
+		Objective:    j.spec.req.Objective,
+		Algorithm:    j.spec.req.Algorithm,
+		Budget:       j.spec.req.Budget,
+		Seed:         j.spec.req.Seed,
+		Fidelity:     j.spec.req.Fidelity,
+		Prune:        j.spec.req.Prune,
+		Islands:      j.spec.req.Islands,
+		MigrateEvery: j.spec.req.MigrateEvery,
+		Profiles:     j.spec.req.IslandProfiles,
+		CreatedAt:    j.created,
+		Error:        j.err,
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -558,6 +558,14 @@ func hashFieldMutations() map[string]func(*OptimizeRequest) {
 		"model":     func(r *OptimizeRequest) { r.Model = "mnasnet" },
 		"fidelity":  func(r *OptimizeRequest) { r.Fidelity = "physical" },
 		"prune":     func(r *OptimizeRequest) { r.Prune = true },
+		"islands":   func(r *OptimizeRequest) { r.Islands = 4 },
+		"migrate":   func(r *OptimizeRequest) { r.MigrateEvery = 3 },
+		"profiles":  func(r *OptimizeRequest) { r.IslandProfiles = []string{"explorer", "scout"} },
+		// Profile-list layout traps: a rotation of one two-element name
+		// must not collide with two one-element names, nor with the same
+		// names carrying a shifted separator.
+		"profiles-split": func(r *OptimizeRequest) { r.IslandProfiles = []string{"explorer"} },
+		"profiles-pair":  func(r *OptimizeRequest) { r.IslandProfiles = []string{"explorer", "explorer"} },
 	}
 }
 

@@ -276,4 +276,3 @@ func (s Space) Repair(g Genome) Genome {
 	}
 	return out
 }
-

@@ -1,0 +1,73 @@
+package digamma
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestIslandOptionsValidate: island knobs fail fast with typed errors —
+// serving layers map them to HTTP 400 before queueing anything.
+func TestIslandOptionsValidate(t *testing.T) {
+	if err := (Options{IslandProfiles: []string{"warp"}}).Validate(); !errors.Is(err, ErrUnknownProfile) {
+		t.Errorf("unknown profile: err = %v, want ErrUnknownProfile", err)
+	}
+	if err := (Options{Islands: -2}).Validate(); !errors.Is(err, ErrBadIslands) {
+		t.Errorf("negative islands: err = %v, want ErrBadIslands", err)
+	}
+	if err := (Options{MigrateEvery: -1}).Validate(); !errors.Is(err, ErrBadIslands) {
+		t.Errorf("negative migrate-every: err = %v, want ErrBadIslands", err)
+	}
+	if err := (Options{Islands: 4, MigrateEvery: 2,
+		IslandProfiles: []string{"default", "explorer", "exploiter", "scout"}}).Validate(); err != nil {
+		t.Errorf("valid island options rejected: %v", err)
+	}
+	if got := IslandProfiles(); len(got) != 4 {
+		t.Errorf("IslandProfiles() = %v", got)
+	}
+}
+
+// TestIslandFacadeDeterministic: the facade's island search is a pure
+// function of its options — repeat runs and worker counts never change
+// the design point, for both co-opt and the fixed-HW mapper.
+func TestIslandFacadeDeterministic(t *testing.T) {
+	model, err := LoadModel("ncf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Budget: 400, Seed: 9, Islands: 3, MigrateEvery: 2,
+		IslandProfiles: []string{"default", "explorer", "scout"}}
+
+	a, err := Optimize(model, EdgePlatform(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repeat := opts
+	repeat.Workers = 1
+	b, err := Optimize(model, EdgePlatform(), repeat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Fitness != b.Fitness {
+		t.Errorf("island run depends on workers: %.9e vs %.9e cycles", a.Cycles, b.Cycles)
+	}
+
+	single, err := Optimize(model, EdgePlatform(), Options{Budget: 400, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Valid || !single.Valid {
+		t.Fatalf("invalid results: islands=%v single=%v", a.Valid, single.Valid)
+	}
+
+	hw := a.HW
+	mapped, err := OptimizeMapping(model, EdgePlatform(), hw, Options{Budget: 300, Seed: 4, Islands: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l, f := range hw.Fanouts {
+		if mapped.HW.Fanouts[l] != f {
+			t.Errorf("island GAMMA changed the fixed HW: %v vs %v", mapped.HW.Fanouts, hw.Fanouts)
+			break
+		}
+	}
+}

@@ -2,29 +2,33 @@
 # bench.sh — record the core benchmark trajectory.
 #
 # Runs the evaluation-hot-path benchmarks with -benchmem and writes
-# BENCH_core.json: one record per benchmark with ns/op, B/op and allocs/op,
-# so future PRs can compare against the numbers this tree produces.
+# BENCH_core.json: one record per benchmark with ns/op, B/op and allocs/op
+# (plus bestfit/op for the island-vs-single search rows), so future PRs
+# can compare against the numbers this tree produces.
 #
 # Usage:
 #   scripts/bench.sh [output.json]
 #   BENCHTIME=2s scripts/bench.sh     # longer runs for stabler numbers
+#   ISLANDS=8 scripts/bench.sh        # island count for the served island row
 set -eu
 
 cd "$(dirname "$0")/.."
 OUT=${1:-BENCH_core.json}
 BENCHTIME=${BENCHTIME:-1s}
+ISLANDS=${ISLANDS:-4}
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' \
-    -bench 'BenchmarkEvaluate$|BenchmarkEvaluatePhysical$|BenchmarkCostAnalyze$|BenchmarkDiGammaSearch$|BenchmarkDiGammaSearchPruned$' \
+    -bench 'BenchmarkEvaluate$|BenchmarkEvaluatePhysical$|BenchmarkCostAnalyze$|BenchmarkDiGammaSearch$|BenchmarkDiGammaSearchPruned$|BenchmarkDiGammaSearchIslands$' \
     -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
 
 # Serving rows: one end-to-end served search (submit → queue → run →
-# poll) and one dedup hit served straight from the result store.
-go test -run '^$' \
-    -bench 'BenchmarkServeOptimize$|BenchmarkServeDedup$' \
+# poll), the same search on the K-island engine (ISLANDS knob), and one
+# dedup hit served straight from the result store.
+DIGAMMAD_BENCH_ISLANDS=$ISLANDS go test -run '^$' \
+    -bench 'BenchmarkServeOptimize$|BenchmarkServeOptimizeIslands$|BenchmarkServeDedup$' \
     -benchmem -benchtime "$BENCHTIME" ./internal/serve/ | tee -a "$RAW"
 
 awk '
@@ -32,17 +36,20 @@ BEGIN { print "[" ; first = 1 }
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)           # strip the GOMAXPROCS suffix
-    ns = ""; bytes = ""; allocs = ""
+    ns = ""; bytes = ""; allocs = ""; bestfit = ""
     for (i = 2; i <= NF; i++) {
-        if ($(i) == "ns/op")     ns     = $(i - 1)
-        if ($(i) == "B/op")      bytes  = $(i - 1)
-        if ($(i) == "allocs/op") allocs = $(i - 1)
+        if ($(i) == "ns/op")      ns      = $(i - 1)
+        if ($(i) == "B/op")       bytes   = $(i - 1)
+        if ($(i) == "allocs/op")  allocs  = $(i - 1)
+        if ($(i) == "bestfit/op") bestfit = $(i - 1)
     }
     if (ns == "") next
     if (!first) print ","
     first = 0
-    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
         name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs)
+    if (bestfit != "") printf ", \"bestfit_per_op\": %s", bestfit
+    printf "}"
 }
 END { print "\n]" }
 ' "$RAW" > "$OUT"

@@ -11,12 +11,14 @@
 #   REQUESTS=200 CLIENTS=32 scripts/loadgen.sh
 #   TARGET=http://localhost:8080 scripts/loadgen.sh   # against a live server
 #   BUDGET=1000 scripts/loadgen.sh                    # heavier searches
+#   ISLANDS=4 scripts/loadgen.sh                      # island-model searches
 set -eu
 
 cd "$(dirname "$0")/.."
 REQUESTS=${REQUESTS:-24}
 CLIENTS=${CLIENTS:-8}
 BUDGET=${BUDGET:-300}
+ISLANDS=${ISLANDS:-0}
 TARGET=${TARGET:-}
 
 BIN=$(mktemp -d)/digammad
@@ -29,4 +31,5 @@ go build -o "$BIN" ./cmd/digammad
     -requests "$REQUESTS" \
     -clients "$CLIENTS" \
     -budget "$BUDGET" \
+    -islands "$ISLANDS" \
     ${TARGET:+-target "$TARGET"}
