@@ -204,6 +204,54 @@ func BenchmarkDiGammaSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkDiGammaSearchDelta isolates the dirty-layer delta evaluation
+// path on the resnet18 search (bit-identical results by construction —
+// TestDeltaBitIdentical): "off" scores every bred candidate from scratch,
+// "on" (the engine default) clones parent analyses for clean layers,
+// "on+prune" stacks the PR-3 roofline screen on top, and "on+islands=2"
+// runs the delta path under the PR-4 ring. The reused/op metric counts
+// the per-layer analyses per search that skipped hash, cache probe and
+// cost model entirely.
+func BenchmarkDiGammaSearchDelta(b *testing.B) {
+	model, err := workload.ByName("resnet18")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := coopt.NewProblem(model, arch.Edge(), coopt.Latency)
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := []struct {
+		name   string
+		mutate func(*core.Config)
+	}{
+		{"off", func(c *core.Config) { c.NoDelta = true }},
+		{"on", func(c *core.Config) {}},
+		{"on+prune", func(c *core.Config) { c.Prune = true }},
+		{"on+islands=2", func(c *core.Config) { c.Islands = 2 }},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			v.mutate(&cfg)
+			reused := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng, err := core.New(p, cfg, rand.New(rand.NewSource(int64(i+1))))
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := eng.Run(400)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reused += r.LayersReused
+			}
+			b.ReportMetric(float64(reused)/float64(b.N), "reused/op")
+		})
+	}
+}
+
 // BenchmarkDiGammaSearchPruned is BenchmarkDiGammaSearch/resnet18 with the
 // roofline screen on: candidates whose provable lower bound exceeds the
 // incumbent skip full analysis. The custom fullevals/op metric records how

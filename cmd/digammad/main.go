@@ -21,6 +21,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"digamma/internal/serve"
@@ -39,6 +40,7 @@ func main() {
 		budget   = flag.Int("budget", 300, "selftest: sampling budget per request")
 		islands  = flag.Int("islands", 0, "selftest: run the request mix on the K-island engine (<=1 = single population)")
 		target   = flag.String("target", "", "selftest: base URL of a running digammad (empty = in-process server)")
+		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (CPU/heap profiling of the serving hot path)")
 	)
 	flag.Parse()
 
@@ -53,13 +55,30 @@ func main() {
 
 	s := serve.New(cfg)
 	defer s.Close()
+	handler := s.Handler()
+	if *pprofOn {
+		// Profiling endpoints ride the API listener behind an explicit
+		// flag: off by default (they expose internals and cost a mutex
+		// hit per sample), one flag away when a hot-path regression needs
+		// `go tool pprof http://host/debug/pprof/profile` against the
+		// serving deployment.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("digammad: pprof enabled under /debug/pprof/")
+	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "digammad:", err)
 		os.Exit(1)
 	}
 	log.Printf("digammad listening on %s", l.Addr())
-	if err := (&http.Server{Handler: s.Handler()}).Serve(l); err != nil {
+	if err := (&http.Server{Handler: handler}).Serve(l); err != nil {
 		fmt.Fprintln(os.Stderr, "digammad:", err)
 		os.Exit(1)
 	}

@@ -80,6 +80,15 @@ func TestOptimizeContextMatchesOptimize(t *testing.T) {
 	if last.Samples != 300 || last.Budget != 300 || last.BestFitness != got.Fitness {
 		t.Errorf("final progress %+v", last)
 	}
+	// The engine's delta-path and pool counters thread through the facade:
+	// a default DiGamma run scores most children incrementally and serves
+	// buffers from the recycling pool.
+	if last.DeltaEvals == 0 || last.LayersReused == 0 {
+		t.Errorf("delta counters missing from facade progress: %+v", last)
+	}
+	if last.PoolGets == 0 || last.PoolReuses == 0 {
+		t.Errorf("pool counters missing from facade progress: %+v", last)
+	}
 }
 
 // TestOptimizeContextCancel: cancellation mid-search surfaces the context

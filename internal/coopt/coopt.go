@@ -92,8 +92,10 @@ type Problem struct {
 	// NewProblem enables it by default; set to nil to disable. The cache
 	// is keyed only on genes that vary within one problem, so callers that
 	// mutate FixedHW or Platform directly (rather than via WithFixedHW)
-	// must install a fresh cache.
-	Cache *evalcache.Cache[*cost.Result]
+	// must install a fresh cache. The intrusive variant stores results
+	// directly (their CacheKey field carries the key), so an insert costs
+	// no allocation beyond the result itself.
+	Cache *evalcache.Intrusive[cost.Result]
 
 	// analyzers holds one precomputed cost.Analyzer per unique layer,
 	// aligned with Space.Layers. Built by the constructors; a zero-valued
@@ -139,7 +141,7 @@ func (p *Problem) WithBackend(b cost.Backend) *Problem {
 	q.backendSalt = saltFromName(b.Name())
 	q.energy = b.EffectiveEnergy(p.Platform.Energy)
 	if p.Cache != nil {
-		q.Cache = evalcache.New[*cost.Result](0)
+		q.Cache = newResultCache()
 	}
 	return &q
 }
@@ -200,7 +202,7 @@ func NewProblem(model workload.Model, platform arch.Platform, objective Objectiv
 		Platform:  platform,
 		Space:     space.New(model, platform),
 		Objective: objective,
-		Cache:     evalcache.New[*cost.Result](0),
+		Cache:     newResultCache(),
 	}
 	p.initAnalyzers()
 	return p, p.Space.Validate()
@@ -217,9 +219,16 @@ func (p *Problem) WithFixedHW(hw arch.HW) (*Problem, error) {
 	if p.Cache != nil {
 		// The fixed HW changes non-gene analysis inputs (bandwidths, word
 		// size), so entries must not be shared with the parent problem.
-		q.Cache = evalcache.New[*cost.Result](0)
+		q.Cache = newResultCache()
 	}
 	return &q, nil
+}
+
+// newResultCache builds the per-layer analysis cache: intrusive, so an
+// insert stores the freshly analyzed result directly (keyed through
+// Result.CacheKey) instead of allocating a wrapper entry per miss.
+func newResultCache() *evalcache.Intrusive[cost.Result] {
+	return evalcache.NewIntrusive(0, func(r *cost.Result) uint64 { return r.CacheKey })
 }
 
 // LayerEval pairs one unique layer with its analysis. Layer points into
@@ -252,12 +261,63 @@ type Evaluation struct {
 	Pruned bool
 
 	Layers []LayerEval // per-unique-layer detail
+
+	// scratch backs the derived buffer-requirement vector (ev.HW.BufBytes
+	// in co-opt mode), kept across pool recycles so re-scoring into a
+	// reused Evaluation allocates nothing.
+	scratch []int64
+	// pinned marks an evaluation that migrated between islands and is
+	// therefore referenced by more than one population: EvalPool.Recycle
+	// refuses it, because recycling one owner's copy would corrupt the
+	// other's.
+	pinned bool
 }
 
 // PrunedEvaluation wraps a genome whose fitness lower bound already
 // exceeds a search incumbent, so full analysis was skipped.
 func PrunedEvaluation(g space.Genome, bound float64) *Evaluation {
-	return &Evaluation{Genome: g, Fitness: bound, Pruned: true}
+	ev := &Evaluation{}
+	PrunedInto(ev, g, bound)
+	return ev
+}
+
+// PrunedInto is PrunedEvaluation writing into a pooled (possibly recycled)
+// Evaluation.
+func PrunedInto(ev *Evaluation, g space.Genome, bound float64) {
+	ev.reset(g, 0)
+	ev.Fitness = bound
+	ev.Pruned = true
+}
+
+// Pin marks the evaluation as shared between owners (island migration),
+// excluding it from pool recycling for the rest of its life.
+func (ev *Evaluation) Pin() { ev.pinned = true }
+
+// reset clears ev for re-scoring: every scored field zeroed, Layers
+// re-sliced to L (entries are fully overwritten by the scorer), and the
+// reusable backing (Layers capacity, buffer scratch) kept.
+func (ev *Evaluation) reset(g space.Genome, L int) {
+	layers := ev.Layers
+	if cap(layers) < L {
+		layers = make([]LayerEval, L)
+	} else {
+		layers = layers[:L]
+	}
+	*ev = Evaluation{Genome: g, Layers: layers, scratch: ev.scratch}
+}
+
+// bufScratch returns ev's zeroed n-element buffer-requirement vector,
+// reusing the scratch backing when it is big enough.
+func (ev *Evaluation) bufScratch(n int) []int64 {
+	if cap(ev.scratch) < n {
+		ev.scratch = make([]int64, n)
+	}
+	buf := ev.scratch[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	ev.scratch = buf
+	return buf
 }
 
 // Evaluate decodes and scores one genome: it derives the buffer allocation
@@ -291,12 +351,79 @@ func (p *Problem) EvaluateCanonical(g space.Genome) (*Evaluation, error) {
 	return p.evaluateRepaired(g, 1)
 }
 
-// evaluateRepaired scores a canonical genome.
+// evaluateRepaired scores a canonical genome into a fresh Evaluation.
 func (p *Problem) evaluateRepaired(g space.Genome, workers int) (*Evaluation, error) {
-	ev := &Evaluation{Genome: g}
+	ev := &Evaluation{Genome: g, Layers: make([]LayerEval, len(p.Space.Layers))}
+	if err := p.scoreFull(ev, workers); err != nil {
+		return nil, err
+	}
+	return ev, nil
+}
 
+// EvaluateCanonicalInto is EvaluateCanonical scoring into a caller-owned
+// (typically pooled, possibly recycled) Evaluation, serially. Every scored
+// field is rewritten; only the Layers capacity and buffer scratch survive
+// from a previous life.
+func (p *Problem) EvaluateCanonicalInto(ev *Evaluation, g space.Genome) error {
+	ev.reset(g, len(p.Space.Layers))
+	return p.scoreFull(ev, 1)
+}
+
+// EvaluateDelta scores a canonical child genome given its breeding
+// parent's evaluation and the dirty set the operators recorded, writing
+// into ev. Clean layers clone the parent's per-layer analyses — skipping
+// the cache-key hash, the cache probe and the cost model entirely — and
+// only dirty layers are re-analyzed before the ordinary reduction
+// re-derives buffers, constraints and fitness.
+//
+// The result is bit-identical to EvaluateCanonical: per-layer analyses
+// are pure functions of (fanouts, mapping block), the dirty set
+// conservatively covers every gene the child does not share with its
+// parent, and the reduction runs the same float operations in the same
+// order either way (the delta determinism suite pins this across
+// backends, objectives and constraint modes).
+//
+// Returns the number of per-layer analyses reused from the parent, or -1
+// when the delta path was ineligible — nil/pruned parent, HW genes or
+// clustering depth touched, a mapping rule in force — and a full
+// evaluation ran instead.
+func (p *Problem) EvaluateDelta(ev *Evaluation, g space.Genome, parent *Evaluation, d space.Dirty) (int, error) {
+	L := len(p.Space.Layers)
+	if parent == nil || parent.Pruned || len(parent.Layers) != L ||
+		d.Full() || p.MappingRule != nil {
+		return -1, p.EvaluateCanonicalInto(ev, g)
+	}
+	ev.reset(g, L)
+	hw, bufReq := p.prepareHW(ev)
+	reused := 0
+	for li := 0; li < L; li++ {
+		if d.Layer(li) {
+			r, err := p.analyzeLayer(hw, g, li)
+			if err != nil {
+				return -1, err
+			}
+			ev.Layers[li] = LayerEval{Layer: &p.Space.Layers[li], Result: r}
+		} else {
+			// Value copy of (layer ptr, result ptr): the parent may be
+			// recycled later without invalidating the child, and the
+			// shared Result is immutable.
+			ev.Layers[li] = parent.Layers[li]
+			reused++
+		}
+	}
+	if err := p.reduce(ev, hw, bufReq); err != nil {
+		return -1, err
+	}
+	return reused, nil
+}
+
+// prepareHW derives the hardware configuration analyses run against, plus
+// the buffer-requirement accumulator the reduction fills (backed by ev's
+// scratch so pooled evaluations allocate nothing).
+func (p *Problem) prepareHW(ev *Evaluation) (arch.HW, []int64) {
+	g := ev.Genome
+	bufReq := ev.bufScratch(g.Levels())
 	var hw arch.HW
-	bufReq := make([]int64, g.Levels())
 	if p.FixedHW != nil {
 		hw = p.FixedHW.Defaults()
 	} else {
@@ -304,7 +431,7 @@ func (p *Problem) evaluateRepaired(g space.Genome, workers int) (*Evaluation, er
 		// immutable once evaluated (the engine breeds copy-on-write).
 		// bufReq stands in for the not-yet-derived buffer allocation so
 		// the configuration is structurally valid during analysis, and is
-		// filled with the derived capacities below.
+		// filled with the derived capacities by the reduction.
 		hw = arch.HW{
 			Fanouts:  g.Fanouts,
 			BufBytes: bufReq,
@@ -313,25 +440,42 @@ func (p *Problem) evaluateRepaired(g space.Genome, workers int) (*Evaluation, er
 	if p.backend != nil {
 		// The backend derives hardware parameters (the physical tier
 		// installs its NoC and DRAM models) before analysis; BufBytes
-		// still aliases bufReq, which the reduction below fills in.
+		// still aliases bufReq.
 		hw = p.backend.PrepareHW(hw)
 	}
+	return hw, bufReq
+}
+
+// scoreFull scores ev.Genome (canonical) into ev from scratch: hardware
+// setup, per-layer analyses (cache-assisted, fanned across workers) and
+// the reduction. ev.Layers must be pre-sized to the problem's layer count
+// and every other scored field zeroed.
+func (p *Problem) scoreFull(ev *Evaluation, workers int) error {
+	hw, bufReq := p.prepareHW(ev)
 
 	if p.MappingRule != nil {
 		// Private Maps header first: Repair no longer clones canonical
 		// genomes, so writing the rule's derivations through the shared
 		// header would mutate the caller's genome.
+		g := ev.Genome
 		g.Maps = append([]mapping.Mapping(nil), g.Maps...)
 		p.applyMappingRule(hw, g.Maps)
 		ev.Genome = g
 	}
 
-	layers := p.Space.Layers
-	ev.Layers = make([]LayerEval, len(layers))
-	if err := p.analyzeLayers(hw, g, ev.Layers, workers); err != nil {
-		return nil, err
+	if err := p.analyzeLayers(hw, ev.Genome, ev.Layers, workers); err != nil {
+		return err
 	}
+	return p.reduce(ev, hw, bufReq)
+}
 
+// reduce aggregates ev.Layers into the model-level metrics, derives the
+// buffer allocation (minimum requirement per level, maximized across
+// layers — the paper's buffer allocation strategy), applies the
+// constraint checkers and computes the fitness. Runs in layer order
+// unconditionally, so full and delta evaluations reduce identically.
+func (p *Problem) reduce(ev *Evaluation, hw arch.HW, bufReq []int64) error {
+	layers := p.Space.Layers
 	bufferViolation := 0.0
 	bpw := int64(hw.BytesPerWord)
 	em := p.energyModel()
@@ -393,55 +537,63 @@ func (p *Problem) evaluateRepaired(g space.Genome, workers int) (*Evaluation, er
 	case p.Objective == LatencyAreaProduct:
 		ev.Fitness = ev.LatAreaProd
 	default:
-		return nil, fmt.Errorf("coopt: unsupported objective %v", p.Objective)
+		return fmt.Errorf("coopt: unsupported objective %v", p.Objective)
 	}
-	return ev, nil
+	return nil
+}
+
+// analyzeLayer scores one unique layer of g on hw, consulting the cache
+// first and publishing fresh results into it.
+func (p *Problem) analyzeLayer(hw arch.HW, g space.Genome, li int) (*cost.Result, error) {
+	layer := &p.Space.Layers[li]
+	var key uint64
+	if p.Cache != nil {
+		key = layerKey(p.backendSalt, li, g.Fanouts, g.Maps[li])
+		if r, ok := p.Cache.Get(key); ok {
+			return r, nil
+		}
+	}
+	var r *cost.Result
+	var err error
+	switch {
+	case p.backend != nil && p.analyzers != nil:
+		// Genomes reaching this point are repaired and hw is
+		// backend-prepared, exactly the trusted-analysis contract.
+		r, err = p.backend.Analyze(&p.analyzers[li], hw, g.Maps[li])
+	case p.backend != nil:
+		a := cost.NewAnalyzer(*layer)
+		r, err = p.backend.Analyze(&a, hw, g.Maps[li])
+	case p.analyzers != nil:
+		// Default tier on the unmodified hot path: trusted analysis
+		// with the precomputed layer constants.
+		r, err = p.analyzers[li].AnalyzeTrusted(hw, g.Maps[li])
+	default:
+		r, err = cost.Analyze(hw, g.Maps[li], *layer)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("coopt: layer %s: %w", layer.Name, err)
+	}
+	if p.Cache != nil {
+		r.CacheKey = key
+		p.Cache.Put(r)
+	}
+	return r, nil
 }
 
 // analyzeLayers fills out[li] with the performance-model result of every
-// unique layer, consulting the cache first and fanning out across workers
-// when asked. Each out slot is written by exactly one goroutine, so no
-// synchronization beyond the cache's own is needed.
+// unique layer, fanning out across workers when asked. Each out slot is
+// written by exactly one goroutine, so no synchronization beyond the
+// cache's own is needed.
 func (p *Problem) analyzeLayers(hw arch.HW, g space.Genome, out []LayerEval, workers int) error {
 	layers := p.Space.Layers
-	analyze := func(li int) error {
-		layer := &layers[li]
-		var key uint64
-		if p.Cache != nil {
-			key = layerKey(p.backendSalt, li, g.Fanouts, g.Maps[li])
-			if r, ok := p.Cache.Get(key); ok {
-				out[li] = LayerEval{Layer: layer, Result: r}
-				return nil
-			}
-		}
-		var r *cost.Result
-		var err error
-		switch {
-		case p.backend != nil && p.analyzers != nil:
-			// Genomes reaching this point are repaired and hw is
-			// backend-prepared, exactly the trusted-analysis contract.
-			r, err = p.backend.Analyze(&p.analyzers[li], hw, g.Maps[li])
-		case p.backend != nil:
-			a := cost.NewAnalyzer(*layer)
-			r, err = p.backend.Analyze(&a, hw, g.Maps[li])
-		case p.analyzers != nil:
-			// Default tier on the unmodified hot path: trusted analysis
-			// with the precomputed layer constants.
-			r, err = p.analyzers[li].AnalyzeTrusted(hw, g.Maps[li])
-		default:
-			r, err = cost.Analyze(hw, g.Maps[li], *layer)
-		}
+	return par.For(len(layers), workers, func(li int) error {
+		r, err := p.analyzeLayer(hw, g, li)
 		if err != nil {
-			return fmt.Errorf("coopt: layer %s: %w", layer.Name, err)
+			return err
 		}
-		if p.Cache != nil {
-			p.Cache.Put(key, r)
-		}
-		out[li] = LayerEval{Layer: layer, Result: r}
+		out[li] = LayerEval{Layer: &layers[li], Result: r}
 		return nil
-	}
-
-	return par.For(len(layers), workers, analyze)
+	})
 }
 
 // layerKey hashes the analysis inputs that vary within one problem: the
@@ -615,7 +767,13 @@ func (p *Problem) RunVectorContext(ctx context.Context, o opt.Optimizer, budget 
 	if err != nil {
 		return nil, err
 	}
-	return p.Evaluate(g)
+	ev, err = p.Evaluate(g)
+	if err != nil {
+		return nil, err
+	}
+	// The returned best may be retained long after the run (the serving
+	// job store); detach it from the slab-allocated analysis results.
+	return ev.Detach(), nil
 }
 
 // EvaluateMapping scores a complete per-layer mapping set against a fixed

@@ -4,8 +4,6 @@ import (
 	"errors"
 
 	"digamma/internal/arch"
-	"digamma/internal/cost"
-	"digamma/internal/evalcache"
 	"digamma/internal/mapping"
 	"digamma/internal/workload"
 )
@@ -32,7 +30,7 @@ func (p *Problem) WithFixedMapping(rule MappingRule) (*Problem, error) {
 		// Rule-derived mappings are hashed like any other genes, but a
 		// fresh cache keeps the modes' working sets from evicting each
 		// other.
-		q.Cache = evalcache.New[*cost.Result](0)
+		q.Cache = newResultCache()
 	}
 	return &q, nil
 }

@@ -6,8 +6,6 @@ import (
 	"strings"
 
 	"digamma/internal/arch"
-	"digamma/internal/cost"
-	"digamma/internal/evalcache"
 	"digamma/internal/space"
 	"digamma/internal/workload"
 )
@@ -60,7 +58,7 @@ func NewMultiProblem(models []workload.Model, weights []float64,
 		Platform:  platform,
 		Space:     space.New(merged, platform),
 		Objective: objective,
-		Cache:     evalcache.New[*cost.Result](0),
+		Cache:     newResultCache(),
 	}
 	p.initAnalyzers()
 	return p, p.Space.Validate()

@@ -1,0 +1,100 @@
+package coopt
+
+// EvalPool hands out Evaluation buffers for the search hot path: fresh
+// buffers come from chunked slabs (one allocation amortized over many
+// evaluations) and dead buffers — individuals dropped from a population —
+// are recycled through a freelist, so a steady-state generation loop
+// re-scores into the same memory instead of feeding the garbage
+// collector ~3 allocations per design point.
+//
+// The pool is deliberately NOT safe for concurrent use: the engine gives
+// each island its own pool and acquires every buffer serially before
+// fanning a batch out, which keeps the hot path free of pool locks.
+// Recycling rules (enforced by the caller):
+//
+//   - recycle an Evaluation only when nothing else can reach it — in the
+//     engine that means individuals dropped at install time, and only
+//     when no OnEvaluation hook may have retained them;
+//   - never recycle an evaluation that migrated between islands: both
+//     populations reference the same pointer (Evaluation.Pin marks these,
+//     and Recycle refuses them).
+//
+// Shared analysis Results referenced from a recycled buffer's Layers are
+// unaffected: children that cloned them hold their own (layer, result)
+// pointer pairs, and the Results themselves are immutable and owned by
+// the evaluation cache.
+type EvalPool struct {
+	free  []*Evaluation
+	chunk []Evaluation
+
+	gets   uint64
+	reuses uint64
+}
+
+// evalPoolChunk is the slab size: how many Evaluations one allocation
+// covers when the freelist is empty.
+const evalPoolChunk = 64
+
+// NewEvalPool builds an empty pool.
+func NewEvalPool() *EvalPool { return &EvalPool{} }
+
+// Get returns an Evaluation buffer: recycled when available, otherwise
+// carved from the current slab. The buffer's scored fields are stale —
+// every scorer resets them — but its Layers capacity and scratch survive,
+// which is the point.
+func (pl *EvalPool) Get() *Evaluation {
+	pl.gets++
+	if n := len(pl.free); n > 0 {
+		ev := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		pl.reuses++
+		return ev
+	}
+	if len(pl.chunk) == 0 {
+		pl.chunk = make([]Evaluation, evalPoolChunk)
+	}
+	ev := &pl.chunk[0]
+	pl.chunk = pl.chunk[1:]
+	return ev
+}
+
+// Recycle returns a dead Evaluation to the freelist. Pinned (migrated)
+// evaluations and nils are refused; see the type comment for the aliasing
+// rules the caller must uphold.
+func (pl *EvalPool) Recycle(ev *Evaluation) {
+	if ev == nil || ev.pinned {
+		return
+	}
+	pl.free = append(pl.free, ev)
+}
+
+// Stats reports buffer acquisitions and how many were served by the
+// freelist; reuses/gets is the pool reuse rate surfaced through
+// core.Result and the serving metrics.
+func (pl *EvalPool) Stats() (gets, reuses uint64) { return pl.gets, pl.reuses }
+
+// Detach returns a self-contained deep copy of the evaluation: private
+// genome, hardware vectors, layer slice and slab-detached analysis
+// results. An evaluation that outlives its search — the engine's
+// reported best, a long-retained serving result — must be detached,
+// because the live one is woven into the search's slab allocators: its
+// buffer comes from a pool chunk, its genome blocks from breeding
+// arenas, and its per-layer Results from 64-wide analysis slabs. One
+// retained pointer would otherwise pin every slab it touches (a 10–60×
+// resident-memory amplification in a long-lived server); the detached
+// copy pins only itself. Layer identity pointers still reference the
+// problem's stable layer table.
+func (ev *Evaluation) Detach() *Evaluation {
+	out := *ev
+	out.scratch = nil
+	out.pinned = false
+	out.Genome = ev.Genome.Clone()
+	out.HW.Fanouts = append([]int(nil), ev.HW.Fanouts...)
+	out.HW.BufBytes = append([]int64(nil), ev.HW.BufBytes...)
+	out.Layers = make([]LayerEval, len(ev.Layers))
+	for i, le := range ev.Layers {
+		out.Layers[i] = LayerEval{Layer: le.Layer, Result: le.Result.Clone()}
+	}
+	return &out
+}

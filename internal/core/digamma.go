@@ -86,6 +86,16 @@ type Config struct {
 	// 0 arms it from the second generation on.
 	PruneStall int
 
+	// NoDelta disables the dirty-layer delta evaluation path: every bred
+	// candidate is scored from scratch instead of cloning its breeding
+	// parent's analyses for the layers the operators did not touch.
+	// Results are bit-identical either way — the delta path reuses only
+	// analyses whose inputs are provably unchanged and re-reduces in the
+	// same order (TestDeltaBitIdentical pins this across knob
+	// combinations) — so the switch exists for benchmarking the delta
+	// speedup and as an escape hatch, not as a fidelity trade.
+	NoDelta bool
+
 	// FixedHW disables Mutate-HW, Grow and Aging, turning the engine into
 	// the GAMMA mapper.
 	FixedHW bool
@@ -176,6 +186,21 @@ type Progress struct {
 	FullEvals   int
 	PrunedEvals int
 	ScoutEvals  int
+
+	// DeltaEvals counts the bred candidates scored by the dirty-layer
+	// delta path (results bit-identical to full evaluation; 0 when
+	// Config.NoDelta is set), and LayersReused the per-layer analyses
+	// those candidates cloned from their breeding parents — work the
+	// search skipped without touching even the cache-key hash.
+	DeltaEvals   int
+	LayersReused int
+
+	// PoolGets / PoolReuses count Evaluation-buffer acquisitions from the
+	// per-island pools and how many were served by recycling a dropped
+	// individual's buffer; PoolReuses/PoolGets is the pool reuse rate
+	// (0/0 before the first batch).
+	PoolGets   uint64
+	PoolReuses uint64
 }
 
 // Engine runs the genetic search against a co-optimization problem. It is
@@ -261,6 +286,21 @@ type Result struct {
 	FullEvals   int
 	PrunedEvals int
 	ScoutEvals  int
+
+	// DeltaEvals counts the bred candidates scored by the dirty-layer
+	// delta path — a subset of FullEvals/ScoutEvals, bit-identical to a
+	// from-scratch evaluation, 0 under Config.NoDelta — and LayersReused
+	// the per-layer analyses those candidates cloned from their breeding
+	// parents instead of hashing, probing the cache or re-running the
+	// cost model.
+	DeltaEvals   int
+	LayersReused int
+
+	// PoolGets / PoolReuses count Evaluation-buffer acquisitions from the
+	// per-island pools and how many were served by recycling a dropped
+	// individual's buffer; PoolReuses/PoolGets is the pool reuse rate.
+	PoolGets   uint64
+	PoolReuses uint64
 }
 
 // Run executes the search within the sampling budget (total design points
@@ -312,7 +352,7 @@ func (e *Engine) RunContext(ctx context.Context, budget int) (*Result, error) {
 	evs := make([][]*coopt.Evaluation, len(islands))
 	err = e.forIslands(islands, func(i, workers int) error {
 		var err error
-		evs[i], err = islands[i].evaluateBatch(initial[i], workers)
+		evs[i], err = islands[i].evaluateBatch(initial[i], nil, nil, workers)
 		return err
 	})
 	if err != nil {
@@ -320,7 +360,7 @@ func (e *Engine) RunContext(ctx context.Context, budget int) (*Result, error) {
 	}
 	for i, is := range islands {
 		e.account(res, is, evs[i])
-		is.install(nil, initial[i], evs[i])
+		is.install(0, initial[i], evs[i])
 	}
 	if res.Samples == 0 {
 		return nil, errors.New("core: budget exhausted before first evaluation")
@@ -331,12 +371,17 @@ func (e *Engine) RunContext(ctx context.Context, budget int) (*Result, error) {
 		migrateEvery = DefaultMigrateEvery
 	}
 
+	// The brood-size and output rows are hoisted out of the generation
+	// loop (and each island's breeding/evaluation buffers live on the
+	// island), so a steady-state generation allocates nothing beyond what
+	// the evaluations themselves need.
+	counts := make([]int, len(islands))
 	for res.Samples < budget {
 		for _, is := range islands {
 			is.beginGeneration()
 		}
 		res.History = append(res.History, bestOf(islands).eval.Fitness)
-		e.emitProgress(res, budget)
+		e.emitProgress(res, budget, islands)
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("%w after generation %d (%d samples): %w",
 				ErrCancelled, res.Generations, res.Samples, err)
@@ -353,27 +398,26 @@ func (e *Engine) RunContext(ctx context.Context, budget int) (*Result, error) {
 		// the children) and evaluates the batch — island-concurrent, and
 		// evaluation is pure, so results and sample accounting stay
 		// deterministic at any worker count.
-		children := make([][]space.Genome, len(islands))
-		evs := make([][]*coopt.Evaluation, len(islands))
 		err := e.forIslands(islands, func(i, workers int) error {
 			is := islands[i]
-			children[i] = is.breedChildren()
-			if len(children[i]) == 0 {
+			counts[i] = is.breedChildren()
+			if counts[i] == 0 {
 				return nil // budget share spent: the island idles
 			}
 			var err error
-			evs[i], err = is.evaluateBatch(children[i], workers)
+			n := counts[i]
+			evs[i], err = is.evaluateBatch(is.children[:n], is.parents[:n], is.dirt[:n], workers)
 			return err
 		})
 		if err != nil {
 			return nil, err
 		}
 		for i, is := range islands {
-			if len(children[i]) == 0 {
+			if counts[i] == 0 {
 				continue
 			}
 			e.account(res, is, evs[i])
-			is.install(is.cur[:is.elites], children[i], evs[i])
+			is.install(is.elites, is.children[:counts[i]], evs[i])
 		}
 	}
 
@@ -382,9 +426,29 @@ func (e *Engine) RunContext(ctx context.Context, budget int) (*Result, error) {
 	}
 	best := bestOf(islands)
 	res.History = append(res.History, best.eval.Fitness)
-	res.Best = best.eval
-	e.emitProgress(res, budget)
+	// The best escapes the run: detach it from the search's slab
+	// allocators (pool chunks, breeding arenas, analysis slabs) so a
+	// caller retaining it — the serving job store keeps results for
+	// thousands of jobs — pins only the evaluation itself.
+	res.Best = best.eval.Detach()
+	e.emitProgress(res, budget, islands)
+	e.collectDelta(res, islands)
 	return res, nil
+}
+
+// collectDelta folds the islands' delta-path and pool counters into the
+// run counters (idempotent: the fields are overwritten, not accumulated,
+// so per-generation progress snapshots and the final result agree).
+func (e *Engine) collectDelta(res *Result, islands []*island) {
+	res.DeltaEvals, res.LayersReused = 0, 0
+	res.PoolGets, res.PoolReuses = 0, 0
+	for _, is := range islands {
+		res.DeltaEvals += is.deltaEvals
+		res.LayersReused += is.layersReused
+		gets, reuses := is.pool.Stats()
+		res.PoolGets += gets
+		res.PoolReuses += reuses
+	}
 }
 
 // buildIslands assembles the run's islands: the island count clamped to
@@ -542,6 +606,12 @@ func (e *Engine) migrate(islands []*island, res *Result) error {
 				return err
 			}
 		}
+		// A migrant's evaluation is about to be referenced by two
+		// populations (the source keeps its copy); pin it so neither
+		// island's pool ever recycles it under the other.
+		for _, ind := range sel {
+			ind.eval.Pin()
+		}
 		out[i] = sel
 	}
 
@@ -565,6 +635,14 @@ func (e *Engine) migrate(islands []*island, res *Result) error {
 		for _, ind := range out[i] {
 			if replaceAt[j] < 1 {
 				break
+			}
+			if dst.recycle {
+				// The overwritten individual leaves the run here, exactly
+				// like an install-time drop. Its buffer is safe to reuse:
+				// anything shared across islands — including dst's own
+				// elites exported this round — was pinned above, and
+				// Recycle refuses pinned evaluations.
+				dst.pool.Recycle(dst.cur[replaceAt[j]].eval)
 			}
 			dst.cur[replaceAt[j]] = ind
 			replaceAt[j]--
@@ -605,18 +683,23 @@ func (e *Engine) rescore(src *island, sel []individual, res *Result) ([]individu
 // emitProgress delivers a Progress snapshot to OnGeneration, if installed.
 // History always has ≥ 1 entry here (appended just before every call), so
 // even a budget ≤ popsize run emits exactly one snapshot.
-func (e *Engine) emitProgress(res *Result, budget int) {
+func (e *Engine) emitProgress(res *Result, budget int, islands []*island) {
 	if e.OnGeneration == nil {
 		return
 	}
+	e.collectDelta(res, islands)
 	p := Progress{
-		Generation:  len(res.History) - 1,
-		Samples:     res.Samples,
-		Budget:      budget,
-		BestFitness: res.History[len(res.History)-1],
-		FullEvals:   res.FullEvals,
-		PrunedEvals: res.PrunedEvals,
-		ScoutEvals:  res.ScoutEvals,
+		Generation:   len(res.History) - 1,
+		Samples:      res.Samples,
+		Budget:       budget,
+		BestFitness:  res.History[len(res.History)-1],
+		FullEvals:    res.FullEvals,
+		PrunedEvals:  res.PrunedEvals,
+		ScoutEvals:   res.ScoutEvals,
+		DeltaEvals:   res.DeltaEvals,
+		LayersReused: res.LayersReused,
+		PoolGets:     res.PoolGets,
+		PoolReuses:   res.PoolReuses,
 	}
 	if e.Problem.Cache != nil {
 		st := e.Problem.Cache.Stats()

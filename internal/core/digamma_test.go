@@ -8,6 +8,7 @@ import (
 	"digamma/internal/arch"
 	"digamma/internal/coopt"
 	"digamma/internal/opt"
+	"digamma/internal/space"
 	"digamma/internal/workload"
 )
 
@@ -204,7 +205,7 @@ func TestRepairHWBudgetBoundsComputeArea(t *testing.T) {
 	g := e.Problem.Space.Random(e.Rng, 2)
 	g.Fanouts[0] = e.Problem.Space.MaxFanout
 	g.Fanouts[1] = e.Problem.Space.MaxFanout
-	g = is.repairHWBudget(g)
+	g = is.repairHWBudget(g, nil)
 	peArea := float64(g.NumPEs()) * e.Problem.Platform.Area.PEUm2 / 1e6
 	if peArea > e.Problem.Platform.AreaBudgetMM2 {
 		t.Errorf("repaired compute area %g exceeds budget %g",
@@ -217,7 +218,7 @@ func TestReorderPreservesPermutation(t *testing.T) {
 	is := opIsland(t, e)
 	g := e.Problem.Space.Random(e.Rng, 2)
 	for i := 0; i < 200; i++ {
-		is.reorder(&g)
+		is.reorder(&g, new(space.Dirty))
 	}
 	for li, m := range g.Maps {
 		if err := m.Validate(e.Problem.Space.Layers[li]); err != nil {
@@ -231,7 +232,7 @@ func TestMutateMapKeepsLegalAfterRepair(t *testing.T) {
 	is := opIsland(t, e)
 	g := e.Problem.Space.Random(e.Rng, 2)
 	for i := 0; i < 300; i++ {
-		is.mutateMap(&g)
+		is.mutateMap(&g, new(space.Dirty))
 		r := e.Problem.Space.Repair(g)
 		for li, m := range r.Maps {
 			if err := m.Validate(e.Problem.Space.Layers[li]); err != nil {
@@ -274,7 +275,7 @@ func TestCrossoverAlignsStructure(t *testing.T) {
 	a := individual{ga, ea}
 	b := individual{gb, eb}
 	for i := 0; i < 100; i++ {
-		c := is.crossover(a, b)
+		c := is.crossover(a, b, new(space.Dirty))
 		r := e.Problem.Space.Repair(c)
 		for li, m := range r.Maps {
 			if err := m.Validate(e.Problem.Space.Layers[li]); err != nil {
@@ -306,7 +307,7 @@ func TestCrossoverGreedyPicksFasterBlocks(t *testing.T) {
 	better := 0
 	const trials = 200
 	for i := 0; i < trials; i++ {
-		c := is.crossover(individual{ga, ea}, individual{gb, eb})
+		c := is.crossover(individual{ga, ea}, individual{gb, eb}, new(space.Dirty))
 		ec, err := e.Problem.Evaluate(c)
 		if err != nil {
 			t.Fatal(err)

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"digamma/internal/coopt"
@@ -20,9 +21,10 @@ import (
 // sole island runs on the engine's own RNG with the base Config).
 //
 // Everything an island mutates is island-private — cur, rng, best, stall,
-// samples — so K islands breed and evaluate concurrently under par.For
-// with no synchronization, and results are a pure function of
-// (Seed, Islands, MigrateEvery, Profiles), never of Workers.
+// samples, the evaluation pool and the breeding arenas — so K islands
+// breed and evaluate concurrently under par.For with no synchronization,
+// and results are a pure function of (Seed, Islands, MigrateEvery,
+// Profiles), never of Workers.
 type island struct {
 	id  int
 	cfg Config // base Config with this island's profile applied
@@ -44,8 +46,9 @@ type island struct {
 	scout bool
 
 	cur    []individual
-	pop    int // individuals per generation (≤ cfg.PopSize, ≤ budget)
-	elites int // carried over unchanged each generation
+	alt    []individual // spare population buffer, swapped with cur at install
+	pop    int          // individuals per generation (≤ cfg.PopSize, ≤ budget)
+	elites int          // carried over unchanged each generation
 
 	// best is the incumbent fitness the pruning screen compares bounds
 	// against, and stall counts consecutive generations it has stood
@@ -59,6 +62,39 @@ type island struct {
 
 	budget  int // this island's share of the run's sampling budget
 	samples int // spent so far, including migration re-scores
+
+	// pool hands out Evaluation buffers (chunked slabs + freelist);
+	// recycle gates the freelist on "nothing outside the island can hold
+	// a dropped evaluation" — false whenever an OnEvaluation hook may
+	// have retained one.
+	pool    *coopt.EvalPool
+	recycle bool
+
+	// Per-generation breeding buffers, reused across generations: the
+	// bred children, each child's breeding parent (its evaluation seeds
+	// the delta path) and the operator-recorded dirty set, plus the
+	// evaluation output row and the per-slot delta accounting
+	// (reused[i] ≥ 0 delta with that many layers cloned, -1 full
+	// evaluation, -2 bound-pruned; written one slot per batch worker,
+	// summed serially).
+	children []space.Genome
+	parents  []*coopt.Evaluation
+	dirt     []space.Dirty
+	evals    []*coopt.Evaluation
+	reused   []int32
+
+	// Breeding arenas: chunked backing stores for the genome headers and
+	// mapping blocks children allocate. Blocks are shared copy-on-write
+	// across generations, so arenas only ever advance (dead chunks are
+	// reclaimed by the GC once no genome references them); the win is one
+	// slab allocation amortizing dozens of header/block allocations.
+	levelArena  []mapping.Level
+	fanoutArena []int
+	mapsArena   []mapping.Mapping
+
+	// Delta accounting, summed into Result by the coordinator.
+	deltaEvals   int // children scored by the delta path
+	layersReused int // per-layer analyses those children cloned from parents
 }
 
 // newIsland assembles one island: profile applied on top of the engine's
@@ -103,6 +139,10 @@ func newIsland(e *Engine, id int, pr Profile, rng *rand.Rand, popTarget, budget 
 		elites: min(max(int(float64(pop)*cfg.EliteFrac), 1), pop),
 		best:   math.Inf(1), // no incumbent yet: the first batch is never pruned
 		budget: budget,
+		pool:   coopt.NewEvalPool(),
+		// Recycling dropped evaluations is safe only while the engine is
+		// the sole holder; an OnEvaluation hook may retain them.
+		recycle: e.OnEvaluation == nil,
 	}
 	return is, nil
 }
@@ -134,7 +174,7 @@ func (is *island) initialGenomes() []space.Genome {
 			g = is.prob.Space.Random(is.rng, baseLevels)
 		}
 		if !cfg.FixedHW {
-			g = is.repairHWBudget(g)
+			g = is.repairHWBudget(g, nil)
 		}
 		initial = append(initial, g)
 	}
@@ -142,13 +182,22 @@ func (is *island) initialGenomes() []space.Genome {
 }
 
 // install merges a batch of evaluated genomes into the population (the
-// initial batch, or a generation's children after the elites).
-func (is *island) install(keep []individual, gs []space.Genome, evs []*coopt.Evaluation) {
-	next := make([]individual, 0, is.pop)
-	next = append(next, keep...)
+// initial batch, or a generation's children after the first keepN
+// incumbents). Dropped individuals' evaluations return to the island's
+// pool when recycling is allowed; the population buffers double-swap so
+// the loop stops allocating after the first generation.
+func (is *island) install(keepN int, gs []space.Genome, evs []*coopt.Evaluation) {
+	next := is.alt[:0]
+	next = append(next, is.cur[:keepN]...)
 	for i, ev := range evs {
 		next = append(next, individual{gs[i], ev})
 	}
+	if is.recycle {
+		for _, ind := range is.cur[keepN:] {
+			is.pool.Recycle(ind.eval)
+		}
+	}
+	is.alt = is.cur[:0]
 	is.cur = next
 }
 
@@ -172,51 +221,116 @@ func (is *island) sortPop() {
 
 // breedChildren breeds the generation's offspring serially on the
 // island's RNG stream (which fixes them), capped by the remaining budget
-// share. The caller evaluates the batch.
-func (is *island) breedChildren() []space.Genome {
+// share, into the island's reusable child/parent/dirty buffers. Returns
+// the brood size; the caller evaluates children[:n] as one batch.
+func (is *island) breedChildren() int {
 	need := is.pop - is.elites
 	if remaining := is.budget - is.samples; need > remaining {
 		need = remaining
 	}
 	if need <= 0 {
-		return nil
+		return 0
 	}
-	children := make([]space.Genome, need)
-	for i := range children {
-		children[i] = is.breed()
+	is.children = growSlice(is.children, need)
+	is.parents = growSlice(is.parents, need)
+	is.dirt = growSlice(is.dirt, need)
+	for i := 0; i < need; i++ {
+		is.dirt[i] = space.Dirty{}
+		is.children[i], is.parents[i] = is.breed(&is.dirt[i])
 	}
-	return children
+	return need
+}
+
+// growSlice resizes buf to n elements, reusing its backing when possible.
+func growSlice[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
 }
 
 // evaluateBatch scores a slice of genomes against the island's problem,
-// fanning out across workers goroutines when configured. Evaluation is
+// fanning out across workers goroutines when configured, into pooled
+// Evaluation buffers acquired serially up front (the pool is not
+// concurrency-safe; the workers only fill their own slot). Evaluation is
 // pure, so the result slice is identical regardless of worker count.
-// Under cfg.Prune, candidates whose fitness lower bound already exceeds
-// the incumbent best skip the full cost model and carry the bound
-// instead; the incumbent is frozen for the batch, so pruning decisions
-// are deterministic too.
-func (is *island) evaluateBatch(gs []space.Genome, workers int) ([]*coopt.Evaluation, error) {
-	out := make([]*coopt.Evaluation, len(gs))
+//
+// parents/dirt, when non-nil, carry each child's breeding parent and the
+// operators' dirty set: candidates take the delta path, cloning the
+// parent's analyses for clean layers (bit-identical to a full evaluation;
+// disabled by Config.NoDelta). Under cfg.Prune, candidates whose fitness
+// lower bound already exceeds the incumbent best skip the cost model
+// entirely and carry the bound instead; the incumbent is frozen for the
+// batch, so pruning decisions are deterministic too.
+func (is *island) evaluateBatch(gs []space.Genome, parents []*coopt.Evaluation, dirt []space.Dirty, workers int) ([]*coopt.Evaluation, error) {
+	is.evals = growSlice(is.evals, len(gs))
+	is.reused = growSlice(is.reused, len(gs))
+	out, reused := is.evals[:len(gs)], is.reused[:len(gs)]
+	for i := range gs {
+		out[i] = is.pool.Get()
+	}
 	prune := is.cfg.Prune && !math.IsInf(is.best, 1) && is.stall >= is.cfg.PruneStall
 	threshold := is.best * math.Max(is.cfg.PruneMargin, 1)
+	delta := parents != nil && !is.cfg.NoDelta
 	err := par.For(len(gs), workers, func(i int) error {
 		if prune {
 			if b := is.prob.FitnessBound(gs[i]); b > threshold {
-				out[i] = coopt.PrunedEvaluation(gs[i], b)
+				coopt.PrunedInto(out[i], gs[i], b)
+				reused[i] = -2
 				return nil
 			}
 		}
-		ev, err := is.prob.EvaluateCanonical(gs[i])
-		if err != nil {
+		if delta {
+			n, err := is.prob.EvaluateDelta(out[i], gs[i], parents[i], dirt[i])
+			reused[i] = int32(n)
 			return err
 		}
-		out[i] = ev
-		return nil
+		reused[i] = -1
+		return is.prob.EvaluateCanonicalInto(out[i], gs[i])
 	})
 	if err != nil {
 		return nil, err
 	}
+	for _, n := range reused {
+		if n >= 0 {
+			is.deltaEvals++
+			is.layersReused += int(n)
+		}
+	}
 	return out, nil
+}
+
+// takeLevels carves an owned, cap==len block of n levels from the
+// island's arena (one slab allocation amortizes many blocks). cap==len
+// matters: a later structural append must reallocate rather than scribble
+// over the next block.
+func (is *island) takeLevels(n int) []mapping.Level {
+	if len(is.levelArena) < n {
+		is.levelArena = make([]mapping.Level, max(512, n))
+	}
+	s := is.levelArena[:n:n]
+	is.levelArena = is.levelArena[n:]
+	return s
+}
+
+// takeFanouts carves an owned cap==len fanout vector from the arena.
+func (is *island) takeFanouts(n int) []int {
+	if len(is.fanoutArena) < n {
+		is.fanoutArena = make([]int, max(256, n))
+	}
+	s := is.fanoutArena[:n:n]
+	is.fanoutArena = is.fanoutArena[n:]
+	return s
+}
+
+// takeMaps carves an owned cap==len mapping header slice from the arena.
+func (is *island) takeMaps(n int) []mapping.Mapping {
+	if len(is.mapsArena) < n {
+		is.mapsArena = make([]mapping.Mapping, max(16*n, 64))
+	}
+	s := is.mapsArena[:n:n]
+	is.mapsArena = is.mapsArena[n:]
+	return s
 }
 
 // seedGenome builds a conservative, almost-always-feasible starting point:
@@ -287,7 +401,10 @@ func (is *island) tournament() individual {
 }
 
 // breed produces one child from the population using the specialized
-// operator pipeline.
+// operator pipeline, recording into d exactly which slice of the design
+// point each operator touched — the dirty set the delta evaluation path
+// trusts — and returning the breeding parent's evaluation alongside the
+// child (clean layers clone their analyses from it).
 //
 // Children are bred copy-on-write: a child starts by sharing every
 // per-layer mapping block with its parents (only the slice headers and the
@@ -297,34 +414,37 @@ func (is *island) tournament() individual {
 // shared blocks hash identically in the evaluation cache, and the dominant
 // allocation of the old pipeline — two full genome deep-clones per child —
 // shrinks to the few blocks mutation actually touches.
-func (is *island) breed() space.Genome {
+func (is *island) breed(d *space.Dirty) (space.Genome, *coopt.Evaluation) {
 	cfg := is.cfg
 	p1 := is.tournament()
 	var child space.Genome
 
 	if is.rng.Float64() < cfg.CrossRate {
 		p2 := is.tournament()
-		child = is.crossover(p1, p2)
+		child = is.crossover(p1, p2, d)
 	} else {
-		child = shallowCopy(p1.genome)
+		child = is.shallowCopy(p1.genome)
 	}
 	if is.rng.Float64() < cfg.ReorderRate {
-		is.reorder(&child)
+		is.reorder(&child, d)
 	}
 	if is.rng.Float64() < cfg.MutMapRate {
-		is.mutateMap(&child)
+		is.mutateMap(&child, d)
 	}
 	if !cfg.FixedHW {
 		if is.rng.Float64() < cfg.MutHWRate {
 			is.mutateHW(&child)
+			d.MarkHW()
 		}
 		if is.rng.Float64() < cfg.GrowRate && child.Levels() < cfg.MaxLevels {
 			is.grow(&child)
+			d.MarkAll() // clustering depth changed: no parent analysis survives
 		}
 		if is.rng.Float64() < cfg.AgeRate && child.Levels() > 2 {
 			is.age(&child)
+			d.MarkAll()
 		}
-		child = is.repairHWBudget(child)
+		child = is.repairHWBudget(child, d)
 	}
 	// No full Space.Repair here: children are canonical by construction.
 	// Parents are canonical, crossover only exchanges whole (canonical)
@@ -333,7 +453,7 @@ func (is *island) breed() space.Genome {
 	// place, mutateHW/grow/age/repairHWBudget keep fanouts in [1,
 	// MaxFanout] with mapping depths in lockstep. TestBredGenomesCanonical
 	// pins this invariant, which EvaluateCanonical relies on.
-	return child
+	return child, p1.eval
 }
 
 // layerDims returns the layer bounds for layer index li.
@@ -342,22 +462,23 @@ func (is *island) layerDims(li int) workload.Vector {
 }
 
 // shallowCopy starts a copy-on-write child: private HW genes and Maps
-// slice header, per-layer blocks shared with the parent. Any operator that
-// writes a block must take ownership first (ownLayer, or the fresh slices
-// built by grow/age/Repair).
-func shallowCopy(g space.Genome) space.Genome {
-	return space.Genome{
-		Fanouts: append([]int(nil), g.Fanouts...),
-		Maps:    append([]mapping.Mapping(nil), g.Maps...),
-	}
+// slice header (arena-carved), per-layer blocks shared with the parent.
+// Any operator that writes a block must take ownership first (ownLayer, or
+// the fresh slices built by grow/age/Repair).
+func (is *island) shallowCopy(g space.Genome) space.Genome {
+	f := is.takeFanouts(len(g.Fanouts))
+	copy(f, g.Fanouts)
+	m := is.takeMaps(len(g.Maps))
+	copy(m, g.Maps)
+	return space.Genome{Fanouts: f, Maps: m}
 }
 
 // ownLayer gives the genome a private copy of one layer's level slice so
 // in-place mutation cannot leak into the parent the block is shared with.
 // The copy has cap == len, so a later structural append reallocates
 // instead of scribbling over shared backing.
-func ownLayer(m *mapping.Mapping) {
-	nl := make([]mapping.Level, len(m.Levels))
+func (is *island) ownLayer(m *mapping.Mapping) {
+	nl := is.takeLevels(len(m.Levels))
 	copy(nl, m.Levels)
 	m.Levels = nl
 }
@@ -370,11 +491,20 @@ func ownLayer(m *mapping.Mapping) {
 // faster — with a diversity-preserving random fraction. Blocks are shared,
 // not cloned: an inherited block hashes identically in the evaluation
 // cache, which is what makes crossover near-free to score.
-func (is *island) crossover(pa, pb individual) space.Genome {
+//
+// Dirty accounting is relative to parent A (the delta parent): taking B's
+// fanouts marks the HW genes unless the vectors are equal, and taking B's
+// block marks the layer unless both parents share the identical backing
+// (common elite ancestry) — in which case the child's genes equal A's and
+// A's analysis stands.
+func (is *island) crossover(pa, pb individual, d *space.Dirty) space.Genome {
 	a, b := pa.genome, pb.genome
-	child := shallowCopy(a)
+	child := is.shallowCopy(a)
 	if !is.cfg.FixedHW && is.rng.Intn(2) == 0 && len(b.Fanouts) == len(a.Fanouts) {
 		copy(child.Fanouts, b.Fanouts)
+		if !slices.Equal(child.Fanouts, a.Fanouts) {
+			d.MarkHW()
+		}
 	}
 	for li := range child.Maps {
 		if b.Maps[li].NumLevels() != child.Maps[li].NumLevels() {
@@ -391,6 +521,9 @@ func (is *island) crossover(pa, pb individual) space.Genome {
 		}
 		if takeB {
 			child.Maps[li] = b.Maps[li]
+			if !mapping.SameLevels(a.Maps[li], b.Maps[li]) {
+				d.MarkLayer(li)
+			}
 		}
 	}
 	return child
@@ -398,10 +531,11 @@ func (is *island) crossover(pa, pb individual) space.Genome {
 
 // reorder swaps two loop positions at a random level of a random layer —
 // the specialized operator for the order space.
-func (is *island) reorder(g *space.Genome) {
+func (is *island) reorder(g *space.Genome, d *space.Dirty) {
 	li := is.rng.Intn(len(g.Maps))
 	m := &g.Maps[li]
-	ownLayer(m) // the block may be shared with a parent
+	is.ownLayer(m) // the block may be shared with a parent
+	d.MarkLayer(li)
 	lv := &m.Levels[is.rng.Intn(len(m.Levels))]
 	i := is.rng.Intn(len(lv.Order))
 	j := is.rng.Intn(len(lv.Order))
@@ -416,7 +550,7 @@ func (is *island) reorder(g *space.Genome) {
 // ragged edges); the spatial dimension is re-targeted occasionally,
 // preferring dimensions with extent > 1 so parallelism is never knowingly
 // wasted.
-func (is *island) mutateMap(g *space.Genome) {
+func (is *island) mutateMap(g *space.Genome, d *space.Dirty) {
 	prob := 3.0 / float64(len(g.Maps))
 	if prob > 1 {
 		prob = 1
@@ -424,19 +558,20 @@ func (is *island) mutateMap(g *space.Genome) {
 	mutated := false
 	for li := range g.Maps {
 		if is.rng.Float64() < prob {
-			is.mutateLayer(g, li)
+			is.mutateLayer(g, li, d)
 			mutated = true
 		}
 	}
 	if !mutated {
-		is.mutateLayer(g, is.rng.Intn(len(g.Maps)))
+		is.mutateLayer(g, is.rng.Intn(len(g.Maps)), d)
 	}
 }
 
-func (is *island) mutateLayer(g *space.Genome, li int) {
+func (is *island) mutateLayer(g *space.Genome, li int, dirt *space.Dirty) {
 	dims := is.layerDims(li)
 	m := &g.Maps[li]
-	ownLayer(m) // the block may be shared with a parent
+	is.ownLayer(m) // the block may be shared with a parent
+	dirt.MarkLayer(li)
 	for lvi := range m.Levels {
 		lv := &m.Levels[lvi]
 		parent := dims
@@ -479,14 +614,16 @@ func (is *island) mutateLayer(g *space.Genome, li int) {
 // pickSpatial draws a parallelization dimension, strongly preferring
 // dimensions the layer can actually fill.
 func (is *island) pickSpatial(dims workload.Vector) workload.Dim {
-	var wide []workload.Dim
+	var wide [workload.NumDims]workload.Dim
+	n := 0
 	for _, d := range workload.AllDims {
 		if dims[d] > 1 {
-			wide = append(wide, d)
+			wide[n] = d
+			n++
 		}
 	}
-	if len(wide) > 0 && is.rng.Float64() < 0.9 {
-		return wide[is.rng.Intn(len(wide))]
+	if n > 0 && is.rng.Float64() < 0.9 {
+		return wide[is.rng.Intn(n)]
 	}
 	return workload.AllDims[is.rng.Intn(int(workload.NumDims))]
 }
@@ -530,7 +667,7 @@ func (is *island) grow(g *space.Genome) {
 		m := &g.Maps[li]
 		// Fresh backing (never append): the block may be shared with a
 		// parent genome.
-		nl := make([]mapping.Level, len(m.Levels)+1)
+		nl := is.takeLevels(len(m.Levels) + 1)
 		copy(nl, m.Levels)
 		nl[len(m.Levels)] = m.Levels[len(m.Levels)-1]
 		m.Levels = nl
@@ -549,7 +686,7 @@ func (is *island) age(g *space.Genome) {
 		// Fresh cap == len backing rather than a re-slice: the block may be
 		// shared with a parent, and a shorter alias over shared memory would
 		// let a later grow scribble over the parent's top level.
-		nl := make([]mapping.Level, len(m.Levels)-1)
+		nl := is.takeLevels(len(m.Levels) - 1)
 		copy(nl, m.Levels[:len(m.Levels)-1])
 		m.Levels = nl
 	}
@@ -559,7 +696,9 @@ func (is *island) age(g *space.Genome) {
 // room inside the budget — the "HW exploration strategy respects the
 // interaction between HW and mapping": points the checker would always
 // reject are never proposed, so no samples are wasted on hopeless HW.
-func (is *island) repairHWBudget(g space.Genome) space.Genome {
+// Every shrink is recorded in d (when non-nil): the fanouts no longer
+// match the breeding parent's.
+func (is *island) repairHWBudget(g space.Genome, d *space.Dirty) space.Genome {
 	budget := is.prob.Platform.AreaBudgetMM2
 	am := is.prob.Platform.Area
 	for {
@@ -581,5 +720,8 @@ func (is *island) repairHWBudget(g space.Genome) space.Genome {
 			return g
 		}
 		g.Fanouts[l] /= 2
+		if d != nil {
+			d.MarkHW()
+		}
 	}
 }

@@ -118,7 +118,7 @@ func (e *Engine) RunPareto(budget int, objectives []coopt.Objective) (*ParetoRes
 			g = e.Problem.Space.Random(e.Rng, baseLevels)
 		}
 		if !cfg.FixedHW {
-			g = is.repairHWBudget(g)
+			g = is.repairHWBudget(g, nil)
 		}
 		p, err := evalG(g)
 		if err != nil {
@@ -225,7 +225,10 @@ func (e *Engine) RunPareto(budget int, objectives []coopt.Objective) (*ParetoRes
 		for len(next) < pop && res.Samples < budget {
 			p1, p2 := tour(), tour()
 			is.cur = []individual{p1.individual, p2.individual}
-			child := is.breed()
+			// NSGA-II owns selection and scores from scratch; the dirty
+			// set breeding records is not consumed here.
+			var dirt space.Dirty
+			child, _ := is.breed(&dirt)
 			c, err := evalG(child)
 			if err != nil {
 				return nil, err
@@ -249,7 +252,9 @@ func (e *Engine) RunPareto(budget int, objectives []coopt.Objective) (*ParetoRes
 			continue
 		}
 		seen[key] = true
-		res.Front = append(res.Front, p.eval)
+		// Front members escape the run; detach them from the analysis
+		// slabs (see Result.Best).
+		res.Front = append(res.Front, p.eval.Detach())
 	}
 	sort.Slice(res.Front, func(a, b int) bool {
 		return objectiveValue(res.Front[a], objectives[0]) < objectiveValue(res.Front[b], objectives[0])

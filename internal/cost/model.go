@@ -22,6 +22,7 @@ package cost
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"digamma/internal/arch"
 	"digamma/internal/mapping"
@@ -81,6 +82,23 @@ type Result struct {
 	L2Words     float64      // words through shared buffers
 	Levels      []LevelStats // per-level detail, inner-first
 	Utilization float64      // effective PE utilization = ideal / achieved cycles
+
+	// CacheKey is the evaluation-cache key this result is published under
+	// (set once by the cache owner before the result is shared, zero for
+	// results that never enter a cache). Not an analysis output: it exists
+	// so the intrusive cache can read the key off the value instead of
+	// allocating a separate (key, value) pair per insert.
+	CacheKey uint64
+}
+
+// Clone returns a deep copy with private backing. Search results are
+// slab-allocated (see newResult); a result that outlives its search —
+// the returned best, a retained report — must be cloned so it cannot pin
+// a whole slab of dead slab-mates in memory.
+func (r *Result) Clone() *Result {
+	out := *r
+	out.Levels = append([]LevelStats(nil), r.Levels...)
+	return &out
 }
 
 // BufReqBytes returns the minimum per-instance buffer capacity (bytes) for
@@ -124,12 +142,37 @@ type resultBuf struct {
 	levels [inlineLevels]LevelStats
 }
 
+// resultSlab hands out 2-level result buffers carved from slabs: one
+// allocation covers resultSlabLen analyses. Fresh results are written
+// once, published (to the evaluation cache and Evaluations) and then
+// immutable, so slab-mates never alias mutable state; the GC reclaims a
+// slab when its last surviving result is dropped. Arenas cycle through a
+// sync.Pool so concurrent analyzers never share a partially-filled slab.
+type resultSlab struct {
+	buf  []resultBuf2
+	next int
+}
+
+const resultSlabLen = 64
+
+var resultSlabs = sync.Pool{New: func() any { return &resultSlab{} }}
+
 // newResult allocates a Result with an L-level detail slice, fusing the two
-// allocations for the common shallow hierarchies.
+// allocations for the common shallow hierarchies. The dominant 2-level
+// case (the canonical encoding) is slab-allocated: the analysis hot path
+// creates thousands of results per search, and one slab allocation per 64
+// of them keeps the garbage collector off the critical path.
 func newResult(L int) *Result {
 	switch {
 	case L <= 2:
-		buf := &resultBuf2{}
+		a := resultSlabs.Get().(*resultSlab)
+		if a.next == len(a.buf) {
+			a.buf = make([]resultBuf2, resultSlabLen)
+			a.next = 0
+		}
+		buf := &a.buf[a.next]
+		a.next++
+		resultSlabs.Put(a)
 		buf.res.Levels = buf.levels[:L]
 		return &buf.res
 	case L <= inlineLevels:

@@ -7,129 +7,23 @@
 // (hardware, layer, mapping-block) triple therefore removes the majority of
 // cost.Analyze calls from a genetic search.
 //
-// The cache is a lock-free, set-associative table rather than a mutex-and-
-// map design: lookups run several times per design-point evaluation, and a
-// fixed array of atomically-published (key, value) slots is both faster
-// than a locked hash map and naturally bounded — an insert into a full set
-// simply overwrites a victim, which is safe because every entry can be
-// recomputed deterministically. Hit/miss/eviction counters are exposed so
-// tests and reports can verify the cache's effectiveness.
-//
-// The value type is generic so callers can memoize the analysis result
-// together with any derived terms (energy on a fixed platform, buffer
-// requirements in bytes) that would otherwise be recomputed on every hit.
+// The cache (see Intrusive) is a lock-free, set-associative table rather
+// than a mutex-and-map design: lookups run several times per design-point
+// evaluation, and a fixed array of atomically-published slots is both
+// faster than a locked hash map and naturally bounded — an insert into a
+// full set simply overwrites a victim, which is safe because every entry
+// can be recomputed deterministically. Hit/miss/eviction counters are
+// exposed so tests and reports can verify the cache's effectiveness.
 package evalcache
-
-import "sync/atomic"
 
 // ways is the set associativity: a key maps to one set of this many slots.
 const ways = 4
 
-// DefaultCapacity bounds the total slot count when New is given a
-// non-positive capacity. An entry typically anchors a few hundred bytes of
-// analysis detail, so the default tops out around twenty MB fully
+// DefaultCapacity bounds the total slot count when a constructor is given
+// a non-positive capacity. An entry typically anchors a few hundred bytes
+// of analysis detail, so the default tops out around twenty MB fully
 // populated.
 const DefaultCapacity = 1 << 15
-
-// entry is one immutable published slot value: a 64-bit key and the
-// memoized value. Slots hold atomic pointers to entries, so readers never
-// observe a torn (key, value) pair.
-type entry[V any] struct {
-	key uint64
-	val V
-}
-
-// Cache maps a 64-bit key (see Hasher) to an immutable memoized value.
-// Callers must never mutate anything reachable from a cached value — the
-// same data is handed to every hit. All methods are safe for concurrent
-// use without locks; concurrent inserts of the same key are benign because
-// the cached function is deterministic.
-type Cache[V any] struct {
-	slots   []atomic.Pointer[entry[V]] // sets × ways
-	setMask uint64
-
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
-}
-
-// New builds a cache bounded to roughly capacity entries (DefaultCapacity
-// when capacity <= 0), rounded up to a power-of-two number of sets.
-func New[V any](capacity int) *Cache[V] {
-	if capacity <= 0 {
-		capacity = DefaultCapacity
-	}
-	sets := 1
-	for sets*ways < capacity {
-		sets <<= 1
-	}
-	return &Cache[V]{
-		slots:   make([]atomic.Pointer[entry[V]], sets*ways),
-		setMask: uint64(sets - 1),
-	}
-}
-
-// Get returns the cached value for key, counting the lookup as a hit or a
-// miss.
-func (c *Cache[V]) Get(key uint64) (V, bool) {
-	base := int(key&c.setMask) * ways
-	for i := base; i < base+ways; i++ {
-		if e := c.slots[i].Load(); e != nil && e.key == key {
-			c.hits.Add(1)
-			return e.val, true
-		}
-	}
-	c.misses.Add(1)
-	var zero V
-	return zero, false
-}
-
-// Put stores a value. A full set evicts one resident entry (the victim
-// slot is derived from the key, so placement is deterministic); eviction
-// affects only speed, never results, because every entry can be recomputed.
-func (c *Cache[V]) Put(key uint64, v V) {
-	base := int(key&c.setMask) * ways
-	victim := -1
-	for i := base; i < base+ways; i++ {
-		e := c.slots[i].Load()
-		if e == nil {
-			if victim < 0 {
-				victim = i
-			}
-			continue
-		}
-		if e.key == key {
-			c.slots[i].Store(&entry[V]{key: key, val: v})
-			return
-		}
-	}
-	if victim < 0 {
-		victim = base + int((key>>32)&(ways-1))
-		c.evictions.Add(1)
-	}
-	c.slots[victim].Store(&entry[V]{key: key, val: v})
-}
-
-// Len returns the current number of cached entries.
-func (c *Cache[V]) Len() int {
-	n := 0
-	for i := range c.slots {
-		if c.slots[i].Load() != nil {
-			n++
-		}
-	}
-	return n
-}
-
-// Reset drops every entry and zeroes the counters.
-func (c *Cache[V]) Reset() {
-	for i := range c.slots {
-		c.slots[i].Store(nil)
-	}
-	c.hits.Store(0)
-	c.misses.Store(0)
-	c.evictions.Store(0)
-}
 
 // Stats is a snapshot of the cache counters.
 type Stats struct {
@@ -146,16 +40,6 @@ func (s Stats) HitRate() float64 {
 		return 0
 	}
 	return float64(s.Hits) / float64(total)
-}
-
-// Stats snapshots the counters.
-func (c *Cache[V]) Stats() Stats {
-	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Entries:   c.Len(),
-	}
 }
 
 // FNV-1a 64-bit constants.

@@ -1,56 +1,16 @@
 package evalcache
 
-import (
-	"sync"
-	"testing"
-)
+import "testing"
 
-func TestGetPutRoundTrip(t *testing.T) {
-	c := New[int](1024)
-	if _, ok := c.Get(42); ok {
-		t.Fatal("hit on empty cache")
-	}
-	c.Put(42, 7)
-	v, ok := c.Get(42)
-	if !ok || v != 7 {
-		t.Fatalf("Get(42) = %d, %v; want 7, true", v, ok)
-	}
-	c.Put(42, 9) // same-key overwrite
-	if v, _ := c.Get(42); v != 9 {
-		t.Fatalf("overwrite: got %d, want 9", v)
-	}
-	if c.Len() != 1 {
-		t.Fatalf("Len = %d, want 1", c.Len())
-	}
-}
-
-func TestCounters(t *testing.T) {
-	c := New[int](1024)
-	c.Get(1) // miss
-	c.Put(1, 1)
-	c.Get(1) // hit
-	c.Get(2) // miss
-	st := c.Stats()
-	if st.Hits != 1 || st.Misses != 2 {
-		t.Fatalf("stats = %+v, want 1 hit / 2 misses", st)
-	}
-	if got := st.HitRate(); got != 1.0/3.0 {
-		t.Fatalf("hit rate = %g", got)
-	}
-	c.Reset()
-	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
-		t.Fatalf("post-reset stats = %+v", st)
-	}
-	if _, ok := c.Get(1); ok {
-		t.Fatal("entry survived Reset")
-	}
-}
+// Eviction/bounding behaviour shared with intrusive_test.go's functional
+// tests: the table never exceeds its capacity, accounts every displaced
+// insert, and never serves another key's value.
 
 func TestEvictionBoundsSize(t *testing.T) {
-	c := New[int](64) // 16 sets × 4 ways
+	c := newKeyedCache(64) // 16 sets × 4 ways
 	n := 10_000
 	for i := 1; i <= n; i++ {
-		c.Put(uint64(i), i)
+		c.Put(&keyed{key: uint64(i), val: i})
 	}
 	if c.Len() > 64 {
 		t.Fatalf("Len = %d exceeds capacity 64", c.Len())
@@ -65,36 +25,34 @@ func TestEvictionBoundsSize(t *testing.T) {
 }
 
 func TestEvictedKeysMiss(t *testing.T) {
-	c := New[int](16) // 4 sets × 4 ways
+	c := newKeyedCache(16) // 4 sets × 4 ways
 	for i := 1; i <= 1000; i++ {
-		c.Put(uint64(i), i)
+		c.Put(&keyed{key: uint64(i), val: i})
 	}
 	// Whatever remains must return its own value, never another key's.
 	for i := 1; i <= 1000; i++ {
-		if v, ok := c.Get(uint64(i)); ok && v != i {
-			t.Fatalf("Get(%d) returned %d", i, v)
+		if v, ok := c.Get(uint64(i)); ok && v.val != i {
+			t.Fatalf("Get(%d) returned %d", i, v.val)
 		}
 	}
 }
 
-func TestConcurrentAccess(t *testing.T) {
-	c := New[int](4096)
-	var wg sync.WaitGroup
-	for w := 0; w < 8; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := 0; i < 5000; i++ {
-				key := uint64(i % 512)
-				if v, ok := c.Get(key); ok && v != int(key) {
-					t.Errorf("Get(%d) = %d", key, v)
-					return
-				}
-				c.Put(key, int(key))
-			}
-		}(w)
+func TestHitRate(t *testing.T) {
+	c := newKeyedCache(1024)
+	c.Get(1) // miss
+	c.Put(&keyed{key: 1, val: 1})
+	c.Get(1) // hit
+	c.Get(2) // miss
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 1 hit / 2 misses", st)
 	}
-	wg.Wait()
+	if got := st.HitRate(); got != 1.0/3.0 {
+		t.Fatalf("hit rate = %g", got)
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Fatal("empty hit rate not 0")
+	}
 }
 
 func TestHasherDistinguishesOrder(t *testing.T) {

@@ -40,6 +40,16 @@ func (m Mapping) Clone() Mapping {
 // NumLevels returns the clustering depth.
 func (m Mapping) NumLevels() int { return len(m.Levels) }
 
+// SameLevels reports whether two mappings share the identical level
+// backing (same length, same first element address) — and therefore carry
+// identical genes. The copy-on-write breeding engine uses it to recognize
+// blocks two parents inherited from a common ancestor, without comparing
+// gene values.
+func SameLevels(a, b Mapping) bool {
+	return len(a.Levels) == len(b.Levels) &&
+		(len(a.Levels) == 0 || &a.Levels[0] == &b.Levels[0])
+}
+
 // CanonicalOrder returns the dimensions in their canonical declaration
 // order, used to initialize Level.Order.
 func CanonicalOrder() [workload.NumDims]workload.Dim {

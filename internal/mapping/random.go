@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"digamma/internal/workload"
 )
@@ -59,8 +60,22 @@ func Divisors(n int) []int {
 // and must never be mutated.
 var divisorCache sync.Map // int -> []int
 
+// divisorTable short-circuits the sync.Map for small extents — in
+// practice every layer dimension of the zoo. Slots publish immutable
+// divisor lists via atomic pointers, so the tile sampler's hottest lookup
+// is one array index + one atomic load instead of a hash-trie walk.
+var divisorTable [1024]atomic.Pointer[[]int]
+
 // cachedDivisors returns the memoized (read-only) divisor list of n.
 func cachedDivisors(n int) []int {
+	if n >= 0 && n < len(divisorTable) {
+		if ds := divisorTable[n].Load(); ds != nil {
+			return *ds
+		}
+		ds := Divisors(n)
+		divisorTable[n].Store(&ds)
+		return ds
+	}
 	if ds, ok := divisorCache.Load(n); ok {
 		return ds.([]int)
 	}

@@ -39,7 +39,14 @@ type Event struct {
 	Budget       int     `json:"budget,omitempty"`
 	BestFitness  float64 `json:"best_fitness,omitempty"`
 	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
-	Error        string  `json:"error,omitempty"`
+	// DeltaEvals / LayersReused / PoolReuseRate surface the engine's
+	// dirty-layer delta path: candidates scored incrementally, per-layer
+	// analyses cloned from breeding parents, and the share of Evaluation
+	// buffers served by recycling (see core.Progress).
+	DeltaEvals    int     `json:"delta_evals,omitempty"`
+	LayersReused  int     `json:"layers_reused,omitempty"`
+	PoolReuseRate float64 `json:"pool_reuse_rate,omitempty"`
+	Error         string  `json:"error,omitempty"`
 }
 
 // Job is one submitted search: its resolved spec, lifecycle state, result,
@@ -53,9 +60,15 @@ type Job struct {
 
 	// cacheHits/cacheMisses mirror the latest progress snapshot's
 	// evalcache counters, so the server can fold a finished job's cache
-	// behaviour into the aggregate /metrics hit rate.
-	cacheHits   atomic.Uint64
-	cacheMisses atomic.Uint64
+	// behaviour into the aggregate /metrics hit rate; deltaEvals,
+	// layersReused, poolGets and poolReuses do the same for the delta
+	// path and the evaluation pool.
+	cacheHits    atomic.Uint64
+	cacheMisses  atomic.Uint64
+	deltaEvals   atomic.Uint64
+	layersReused atomic.Uint64
+	poolGets     atomic.Uint64
+	poolReuses   atomic.Uint64
 
 	mu       sync.Mutex
 	state    State

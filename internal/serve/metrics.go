@@ -95,6 +95,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP digammad_evalcache_hit_rate Aggregate evaluation-cache hit rate.\n")
 	fmt.Fprintf(w, "# TYPE digammad_evalcache_hit_rate gauge\n")
 	fmt.Fprintf(w, "digammad_evalcache_hit_rate %g\n", hitRate(hits, misses))
+	fmt.Fprintf(w, "# HELP digammad_delta_evals_total Candidates scored by the dirty-layer delta path across completed searches.\n")
+	fmt.Fprintf(w, "# TYPE digammad_delta_evals_total counter\n")
+	fmt.Fprintf(w, "digammad_delta_evals_total %d\n", s.deltaEvals.Load())
+	fmt.Fprintf(w, "# HELP digammad_delta_layers_reused_total Per-layer analyses cloned from breeding parents instead of recomputed.\n")
+	fmt.Fprintf(w, "# TYPE digammad_delta_layers_reused_total counter\n")
+	fmt.Fprintf(w, "digammad_delta_layers_reused_total %d\n", s.layersReused.Load())
+	// One load per counter, reuses before gets: runJob adds gets first,
+	// so this order guarantees gets ≥ reuses and the derived rate can
+	// never underflow mid-scrape.
+	poolReuses := s.poolReuses.Load()
+	poolGets := s.poolGets.Load()
+	fmt.Fprintf(w, "# HELP digammad_evalpool_gets_total Evaluation-buffer acquisitions across completed searches.\n")
+	fmt.Fprintf(w, "# TYPE digammad_evalpool_gets_total counter\n")
+	fmt.Fprintf(w, "digammad_evalpool_gets_total %d\n", poolGets)
+	fmt.Fprintf(w, "# HELP digammad_evalpool_reuses_total Evaluation-buffer acquisitions served by recycling.\n")
+	fmt.Fprintf(w, "# TYPE digammad_evalpool_reuses_total counter\n")
+	fmt.Fprintf(w, "digammad_evalpool_reuses_total %d\n", poolReuses)
+	fmt.Fprintf(w, "# HELP digammad_evalpool_reuse_rate Aggregate evaluation-pool reuse rate.\n")
+	fmt.Fprintf(w, "# TYPE digammad_evalpool_reuse_rate gauge\n")
+	fmt.Fprintf(w, "digammad_evalpool_reuse_rate %g\n",
+		hitRate(poolReuses, poolGets-poolReuses))
 	fmt.Fprintf(w, "# HELP digammad_search_latency_seconds Completed-search wall-clock latency quantiles.\n")
 	fmt.Fprintf(w, "# TYPE digammad_search_latency_seconds summary\n")
 	fmt.Fprintf(w, "digammad_search_latency_seconds{quantile=\"0.5\"} %g\n", p50)

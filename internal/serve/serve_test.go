@@ -492,12 +492,24 @@ func TestMetrics(t *testing.T) {
 		"digammad_submitted_total 2",
 		"digammad_dedup_hits_total 1",
 		"digammad_evalcache_hit_rate ",
+		"digammad_delta_evals_total ",
+		"digammad_delta_layers_reused_total ",
+		"digammad_evalpool_gets_total ",
+		"digammad_evalpool_reuses_total ",
+		"digammad_evalpool_reuse_rate ",
 		`digammad_search_latency_seconds{quantile="0.5"}`,
 		`digammad_search_latency_seconds{quantile="0.95"}`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q in:\n%s", want, text)
 		}
+	}
+	// The engine's default path is the delta path: a completed DiGamma
+	// search must have scored candidates incrementally and reused parent
+	// layer analyses.
+	var deltas float64
+	if _, err := fmt.Sscanf(findLine(text, "digammad_delta_evals_total"), "digammad_delta_evals_total %g", &deltas); err != nil || deltas <= 0 {
+		t.Errorf("delta evals not recorded (%v): %s", err, findLine(text, "digammad_delta_evals_total"))
 	}
 	// The GA revisits genomes heavily, so a completed search must have
 	// registered real cache traffic.

@@ -73,12 +73,16 @@ type Server struct {
 	finished []string // terminal job IDs in finish order, for eviction
 	seq      uint64
 
-	started     time.Time
-	submitted   atomic.Uint64
-	dedupHits   atomic.Uint64
-	rejected    atomic.Uint64
-	cacheHits   atomic.Uint64
-	cacheMisses atomic.Uint64
+	started      time.Time
+	submitted    atomic.Uint64
+	dedupHits    atomic.Uint64
+	rejected     atomic.Uint64
+	cacheHits    atomic.Uint64
+	cacheMisses  atomic.Uint64
+	deltaEvals   atomic.Uint64
+	layersReused atomic.Uint64
+	poolGets     atomic.Uint64
+	poolReuses   atomic.Uint64
 
 	latMu     sync.Mutex
 	latencies []float64 // completed-search wall-clock seconds
@@ -192,13 +196,20 @@ func (s *Server) runJob(j *Job) {
 	opts.OnProgress = func(p digamma.Progress) {
 		j.cacheHits.Store(p.CacheHits)
 		j.cacheMisses.Store(p.CacheMisses)
+		j.deltaEvals.Store(uint64(p.DeltaEvals))
+		j.layersReused.Store(uint64(p.LayersReused))
+		j.poolGets.Store(p.PoolGets)
+		j.poolReuses.Store(p.PoolReuses)
 		j.Publish(Event{
-			Type:         "progress",
-			Generation:   p.Generation,
-			Samples:      p.Samples,
-			Budget:       p.Budget,
-			BestFitness:  p.BestFitness,
-			CacheHitRate: hitRate(p.CacheHits, p.CacheMisses),
+			Type:          "progress",
+			Generation:    p.Generation,
+			Samples:       p.Samples,
+			Budget:        p.Budget,
+			BestFitness:   p.BestFitness,
+			CacheHitRate:  hitRate(p.CacheHits, p.CacheMisses),
+			DeltaEvals:    p.DeltaEvals,
+			LayersReused:  p.LayersReused,
+			PoolReuseRate: hitRate(p.PoolReuses, p.PoolGets-p.PoolReuses),
 		})
 	}
 	begin := time.Now()
@@ -208,6 +219,10 @@ func (s *Server) runJob(j *Job) {
 		s.recordLatency(time.Since(begin).Seconds())
 		s.cacheHits.Add(j.cacheHits.Load())
 		s.cacheMisses.Add(j.cacheMisses.Load())
+		s.deltaEvals.Add(j.deltaEvals.Load())
+		s.layersReused.Add(j.layersReused.Load())
+		s.poolGets.Add(j.poolGets.Load())
+		s.poolReuses.Add(j.poolReuses.Load())
 		j.finish(StateDone, ev, nil)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.finish(StateCancelled, nil, err)

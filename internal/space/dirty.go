@@ -1,0 +1,67 @@
+package space
+
+// Dirty records which parts of a child genome differ from the breeding
+// parent it was derived from — the operator-locality contract behind the
+// delta evaluation path. DiGamma's domain-aware operators each perturb a
+// known slice of the design point (one layer's loop order, a few layers'
+// tiles, one HW gene), so the breeder can mark exactly what it touched and
+// the evaluator can clone the parent's per-layer analyses for everything
+// else, skipping even the cache-key hash for clean layers.
+//
+// Marking is conservative by construction: an operator that *may* have
+// changed a block marks it dirty, and anything that invalidates every
+// per-layer analysis at once — HW genes (they key every layer) or a
+// structural grow/age (the clustering depth changes) — collapses the set
+// to "everything dirty", which routes the child down the ordinary full
+// evaluation. Extra dirty bits only cost speed; a missing one would cost
+// correctness, so only the operators themselves may clear the zero value.
+//
+// The per-layer set is a 64-bit mask; models with more unique layers than
+// that (none in the zoo) degrade soundly to all-dirty.
+type Dirty struct {
+	hw   bool
+	all  bool
+	mask uint64
+}
+
+// dirtyMaskBits is the per-layer capacity of the bitmask.
+const dirtyMaskBits = 64
+
+// MarkHW records that the HW genes (fanouts) changed. Every per-layer
+// cache key includes the fanout vector, so no parent analysis survives.
+func (d *Dirty) MarkHW() { d.hw = true }
+
+// MarkAll records a structural change (grow/age, or unknown provenance):
+// every layer block is dirty regardless of the mask.
+func (d *Dirty) MarkAll() { d.all = true }
+
+// MarkLayer records that layer li's mapping block changed. Indices beyond
+// the mask capacity degrade to MarkAll.
+func (d *Dirty) MarkLayer(li int) {
+	if li >= dirtyMaskBits {
+		d.all = true
+		return
+	}
+	d.mask |= 1 << uint(li)
+}
+
+// HW reports whether the HW genes changed.
+func (d Dirty) HW() bool { return d.hw }
+
+// All reports whether every layer was structurally invalidated.
+func (d Dirty) All() bool { return d.all }
+
+// Full reports whether no per-layer reuse is possible — the delta path
+// must fall back to a full evaluation.
+func (d Dirty) Full() bool { return d.hw || d.all }
+
+// Layer reports whether layer li's mapping block is dirty.
+func (d Dirty) Layer(li int) bool {
+	if d.all || d.hw {
+		return true
+	}
+	if li >= dirtyMaskBits {
+		return true
+	}
+	return d.mask&(1<<uint(li)) != 0
+}

@@ -21,7 +21,7 @@ RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' \
-    -bench 'BenchmarkEvaluate$|BenchmarkEvaluatePhysical$|BenchmarkCostAnalyze$|BenchmarkDiGammaSearch$|BenchmarkDiGammaSearchPruned$|BenchmarkDiGammaSearchIslands$' \
+    -bench 'BenchmarkEvaluate$|BenchmarkEvaluatePhysical$|BenchmarkCostAnalyze$|BenchmarkDiGammaSearch$|BenchmarkDiGammaSearchDelta$|BenchmarkDiGammaSearchPruned$|BenchmarkDiGammaSearchIslands$' \
     -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
 
 # Serving rows: one end-to-end served search (submit → queue → run →
@@ -36,12 +36,13 @@ BEGIN { print "[" ; first = 1 }
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)           # strip the GOMAXPROCS suffix
-    ns = ""; bytes = ""; allocs = ""; bestfit = ""
+    ns = ""; bytes = ""; allocs = ""; bestfit = ""; reused = ""
     for (i = 2; i <= NF; i++) {
         if ($(i) == "ns/op")      ns      = $(i - 1)
         if ($(i) == "B/op")       bytes   = $(i - 1)
         if ($(i) == "allocs/op")  allocs  = $(i - 1)
         if ($(i) == "bestfit/op") bestfit = $(i - 1)
+        if ($(i) == "reused/op")  reused  = $(i - 1)
     }
     if (ns == "") next
     if (!first) print ","
@@ -49,6 +50,7 @@ BEGIN { print "[" ; first = 1 }
     printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
         name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs)
     if (bestfit != "") printf ", \"bestfit_per_op\": %s", bestfit
+    if (reused != "") printf ", \"reused_per_op\": %s", reused
     printf "}"
 }
 END { print "\n]" }
