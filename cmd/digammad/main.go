@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,6 +24,9 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"digamma/internal/serve"
 )
@@ -34,6 +38,9 @@ func main() {
 		queue    = flag.Int("queue", 0, "queued-job bound before submits get 503 (0 = 256)")
 		store    = flag.Int("store", 0, "retained terminal jobs before eviction (0 = 1024)")
 		maxBud   = flag.Int("max-budget", 0, "per-request sampling-budget cap (0 = 1,000,000)")
+		dataDir  = flag.String("data-dir", "", "durable store directory: WAL + results + checkpoints (empty = in-memory only, no crash recovery)")
+		ckEvery  = flag.Int("checkpoint-every", 5, "generations between engine checkpoints when -data-dir is set (0 = only recover whole jobs, never mid-search)")
+		deadline = flag.Duration("job-deadline", 0, "per-job wall-clock bound; exceeded jobs finish degraded with their best-so-far result (0 = none)")
 		selftest = flag.Bool("selftest", false, "run the load-generator self-test and exit")
 		requests = flag.Int("requests", 24, "selftest: total requests to fire")
 		clients  = flag.Int("clients", 8, "selftest: concurrent clients")
@@ -44,7 +51,18 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := serve.Config{Workers: *jobs, QueueDepth: *queue, StoreLimit: *store, MaxBudget: *maxBud}
+	cfg := serve.Config{
+		Workers: *jobs, QueueDepth: *queue, StoreLimit: *store, MaxBudget: *maxBud,
+		CheckpointEvery: *ckEvery, JobDeadline: *deadline,
+	}
+	if *dataDir != "" {
+		ds, err := serve.OpenDiskStore(*dataDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "digammad: opening data dir:", err)
+			os.Exit(1)
+		}
+		cfg.Store = ds
+	}
 	if *selftest {
 		if err := runSelftest(cfg, *target, *requests, *clients, *budget, *islands); err != nil {
 			fmt.Fprintln(os.Stderr, "digammad: selftest:", err)
@@ -53,8 +71,11 @@ func main() {
 		return
 	}
 
-	s := serve.New(cfg)
-	defer s.Close()
+	s, err := serve.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "digammad:", err)
+		os.Exit(1)
+	}
 	handler := s.Handler()
 	if *pprofOn {
 		// Profiling endpoints ride the API listener behind an explicit
@@ -78,8 +99,36 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("digammad listening on %s", l.Addr())
-	if err := (&http.Server{Handler: handler}).Serve(l); err != nil {
+
+	srv := &http.Server{Handler: handler}
+	// SIGINT/SIGTERM drain gracefully: stop accepting, cancel running
+	// searches at their next generation boundary (each emits a final
+	// checkpoint into the store), flush the WAL, then close the listener.
+	// Draining the server first also unblocks every SSE handler (they
+	// select on the server's base context), so Shutdown cannot deadlock
+	// behind an open event stream.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		log.Printf("digammad: draining (signal received)")
+		drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Drain(drainCtx); err != nil {
+			log.Printf("digammad: drain: %v", err)
+		}
+		shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel2()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("digammad: shutdown: %v", err)
+		}
+	}()
+	if err := srv.Serve(l); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "digammad:", err)
 		os.Exit(1)
 	}
+	<-done
+	log.Printf("digammad: drained, exiting")
 }

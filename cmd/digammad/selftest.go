@@ -33,7 +33,10 @@ var selftestMix = []serve.OptimizeRequest{
 func runSelftest(cfg serve.Config, target string, total, clients, budget, islands int) error {
 	inProcess := target == ""
 	if inProcess {
-		s := serve.New(cfg)
+		s, err := serve.New(cfg)
+		if err != nil {
+			return err
+		}
 		defer s.Close()
 		ts := httptest.NewServer(s.Handler())
 		defer ts.Close()
@@ -135,7 +138,7 @@ func runSelftest(cfg serve.Config, target string, total, clients, budget, island
 			if err != nil {
 				return err
 			}
-			if st.State == "done" || st.State == "failed" || st.State == "cancelled" {
+			if st.State == "done" || st.State == "degraded" || st.State == "failed" || st.State == "cancelled" {
 				if st.State == "done" {
 					done++
 				}

@@ -121,6 +121,19 @@ func IslandProfiles() []string {
 // evaluation-cache counters.
 type Progress = core.Progress
 
+// Checkpoint is a versioned, resumable snapshot of a genetic search at a
+// generation boundary, delivered through Options.OnCheckpoint and fed back
+// through Options.Resume. Serialize with its Marshal method; decode with
+// UnmarshalCheckpoint. A resumed run is bit-identical to the uninterrupted
+// one.
+type Checkpoint = core.Checkpoint
+
+// UnmarshalCheckpoint decodes a checkpoint previously serialized with
+// Checkpoint.Marshal, validating its format version.
+func UnmarshalCheckpoint(data []byte) (*Checkpoint, error) {
+	return core.UnmarshalCheckpoint(data)
+}
+
 // Options configures an optimization run.
 type Options struct {
 	// Budget is the sampling budget — the number of design points the
@@ -172,6 +185,26 @@ type Options struct {
 	// It runs on the search goroutine and never influences the search:
 	// results are bit-identical with or without it.
 	OnProgress func(Progress)
+	// CheckpointEvery, when > 0 together with OnCheckpoint, emits a
+	// resumable Checkpoint every that-many generations and once more at
+	// the cancellation boundary (the drain path). 0 — the default — turns
+	// checkpointing off entirely. Genetic engines only; the baseline
+	// vector algorithms ignore it.
+	CheckpointEvery int
+	// OnCheckpoint receives the periodic checkpoints. It runs on the
+	// search goroutine, owns persistence, and never influences the
+	// search.
+	OnCheckpoint func(*Checkpoint)
+	// Resume restores the search from a checkpoint instead of a fresh
+	// initial population. The model, platform, options and budget must
+	// match the checkpointed run's (fingerprint-verified); the resumed
+	// run's result is bit-identical to the uninterrupted one.
+	Resume *Checkpoint
+	// BestEffort makes a cancelled or deadline-exceeded genetic search
+	// return its best-so-far evaluation alongside the error — the
+	// serving layer's "degraded" per-job deadline semantics — instead of
+	// the default nil result.
+	BestEffort bool
 }
 
 // withDefaults fills unset fields and validates the rest up front, so a
@@ -246,7 +279,34 @@ func (o Options) engineConfig(base core.Config) core.Config {
 	base.Islands = o.Islands
 	base.MigrateEvery = o.MigrateEvery
 	base.Profiles = o.IslandProfiles
+	base.CheckpointEvery = o.CheckpointEvery
+	base.BestEffort = o.BestEffort
 	return base
+}
+
+// runEngine assembles the seeded genetic engine for a problem, wires the
+// progress/durability hooks and runs it. The seeded construction is
+// bit-identical to the classic one (core.TestNewSeededMatchesNew pins it)
+// and is what makes checkpointing and resume possible. Under BestEffort an
+// interrupted run returns its partial best alongside the error.
+func (o Options) runEngine(ctx context.Context, p *Problem, base core.Config) (*Evaluation, error) {
+	eng, err := core.NewSeeded(p, o.engineConfig(base), o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	eng.OnGeneration = o.OnProgress
+	eng.OnCheckpoint = o.OnCheckpoint
+	eng.Resume = o.Resume
+	r, err := eng.RunContext(ctx, o.Budget)
+	if err != nil {
+		if r != nil {
+			// Only possible under BestEffort: the engine finalized a
+			// partial result at the interrupting generation boundary.
+			return r.Best, err
+		}
+		return nil, err
+	}
+	return r.Best, nil
 }
 
 // Validate reports whether the options would be accepted by a search
@@ -279,16 +339,7 @@ func OptimizeContext(ctx context.Context, model Model, platform Platform, o Opti
 		return nil, err
 	}
 	if o.Algorithm == "DiGamma" {
-		eng, err := core.New(p, o.engineConfig(core.DefaultConfig()), randNew(o.Seed))
-		if err != nil {
-			return nil, err
-		}
-		eng.OnGeneration = o.OnProgress
-		r, err := eng.RunContext(ctx, o.Budget)
-		if err != nil {
-			return nil, err
-		}
-		return r.Best, nil
+		return o.runEngine(ctx, p, core.DefaultConfig())
 	}
 	alg, err := opt.ByName(o.Algorithm)
 	if err != nil {
@@ -320,16 +371,7 @@ func OptimizeMappingContext(ctx context.Context, model Model, platform Platform,
 	if err != nil {
 		return nil, err
 	}
-	eng, err := core.New(fp, o.engineConfig(core.GammaConfig()), randNew(o.Seed))
-	if err != nil {
-		return nil, err
-	}
-	eng.OnGeneration = o.OnProgress
-	r, err := eng.RunContext(ctx, o.Budget)
-	if err != nil {
-		return nil, err
-	}
-	return r.Best, nil
+	return o.runEngine(ctx, fp, core.GammaConfig())
 }
 
 // vectorProgress adapts Options.OnProgress to the sample-count reporting

@@ -58,16 +58,7 @@ func OptimizeMultiContext(ctx context.Context, models []Model, weights []float64
 		return nil, err
 	}
 	if o.Algorithm == "DiGamma" {
-		eng, err := core.New(p, o.engineConfig(core.DefaultConfig()), randNew(o.Seed))
-		if err != nil {
-			return nil, err
-		}
-		eng.OnGeneration = o.OnProgress
-		r, err := eng.RunContext(ctx, o.Budget)
-		if err != nil {
-			return nil, err
-		}
-		return r.Best, nil
+		return o.runEngine(ctx, p, core.DefaultConfig())
 	}
 	return OptimizeContext(ctx, p.Model, platform, o)
 }

@@ -1,0 +1,326 @@
+// Engine checkpoints: a search interrupted at any generation boundary can
+// resume bit-identically to an uninterrupted run. The repo's core
+// invariant makes this cheap and exact — results are a pure function of
+// (Seed, Islands, MigrateEvery, Profiles) — so a checkpoint only needs to
+// capture the part of that function's state that is expensive to rebuild:
+// each island's population (genomes + fitness), its RNG stream *position*
+// (not the generator internals: the stream is replayed from the seed),
+// the prune/scout incumbents, and the run's sample accounting.
+//
+// The snapshot point is the generation boundary — populations evaluated
+// and installed, no RNG drawn for the next generation — which is exactly
+// where RunContext checks its context, so a cancelled (drained) run's
+// final checkpoint and a periodic checkpoint are indistinguishable.
+//
+// Resume re-evaluates the stored genomes instead of serializing analyses:
+// evaluation is pure, so the fitness comes back bit-identical (verified —
+// a mismatch means the checkpoint belongs to a different problem or code
+// version and the resume is refused), pruned individuals are rebuilt from
+// their stored bound via coopt.PrunedInto, and the RNG streams are
+// fast-forwarded from the master seed by their recorded draw counts.
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"digamma/internal/coopt"
+	"digamma/internal/mapping"
+	"digamma/internal/space"
+)
+
+// CheckpointVersion is the format version stamped into every checkpoint;
+// decoding refuses other versions rather than guessing.
+const CheckpointVersion = 1
+
+// replaySource wraps the engine's deterministic rand source and counts
+// state advances. Both Int63 and Uint64 step the underlying generator
+// exactly once, so "n calls happened" fully determines the stream
+// position: a fresh source for the same seed fast-forwarded by n draws is
+// bit-identical to the live one. rand.New over the wrapper forwards every
+// draw 1:1, so a wrapped engine's stream is identical to an unwrapped one.
+type replaySource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func newReplaySource(seed int64) *replaySource {
+	return &replaySource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (s *replaySource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+func (s *replaySource) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+func (s *replaySource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.n = 0
+}
+
+// fastForward replays draws until the stream position reaches n.
+func (s *replaySource) fastForward(n uint64) {
+	for s.n < n {
+		s.Uint64()
+	}
+}
+
+// NewSeeded assembles an engine whose RNG streams are replayable from
+// seed — the construction checkpointing and resume require. The engine is
+// otherwise bit-identical to New(p, cfg, rand.New(rand.NewSource(seed))):
+// the wrapper only counts draws.
+func NewSeeded(p *coopt.Problem, cfg Config, seed int64) (*Engine, error) {
+	src := newReplaySource(seed)
+	e, err := New(p, cfg, rand.New(src))
+	if err != nil {
+		return nil, err
+	}
+	e.seed = seed
+	e.master = src
+	return e, nil
+}
+
+// Checkpoint is one generation-boundary snapshot of a running search:
+// versioned, self-describing (ConfigSum fingerprints the problem and every
+// fitness-relevant knob) and JSON-serializable. Resuming from it yields a
+// Result whose best genome, fitness, History and sample accounting are
+// bit-identical to the uninterrupted run's; only the pool-reuse and
+// layer-reuse telemetry may differ (identity-based block sharing across
+// individuals is not reconstructed).
+type Checkpoint struct {
+	Version   int    `json:"version"`
+	ConfigSum string `json:"config_sum"` // problem + config fingerprint
+	Seed      int64  `json:"seed"`
+	Budget    int    `json:"budget"`
+
+	Generations int       `json:"generations"`
+	Samples     int       `json:"samples"`
+	FullEvals   int       `json:"full_evals"`
+	PrunedEvals int       `json:"pruned_evals"`
+	ScoutEvals  int       `json:"scout_evals"`
+	History     []float64 `json:"history"`
+
+	Islands []IslandState `json:"islands"`
+}
+
+// IslandState snapshots one island at the generation boundary.
+type IslandState struct {
+	// Draws is the island's RNG stream position: the number of state
+	// advances since the stream's seed (drawn from the master stream at
+	// build time, re-derived identically on resume).
+	Draws uint64 `json:"rng_draws"`
+
+	Best    float64 `json:"best"`  // prune incumbent
+	Stall   int     `json:"stall"` // generations the incumbent stood still
+	Samples int     `json:"samples"`
+
+	DeltaEvals   int    `json:"delta_evals"`
+	LayersReused int    `json:"layers_reused"`
+	PoolGets     uint64 `json:"pool_gets"`
+	PoolReuses   uint64 `json:"pool_reuses"`
+
+	// Pop is the population in install order (the order beginGeneration's
+	// sort sees, so tie-breaking behaves identically after resume).
+	Pop []IndividualState `json:"pop"`
+}
+
+// IndividualState is one population member: its genome and how it was
+// scored. Pruned individuals carry their fitness lower bound and are
+// rebuilt without re-running the cost model; everything else is
+// re-evaluated on resume (evaluation is pure, so the fitness must come
+// back identical — checked).
+type IndividualState struct {
+	Fanouts []int             `json:"fanouts"`
+	Maps    []mapping.Mapping `json:"maps"`
+	Fitness float64           `json:"fitness"`
+	Pruned  bool              `json:"pruned,omitempty"`
+}
+
+// Marshal serializes the checkpoint as JSON.
+func (ck *Checkpoint) Marshal() ([]byte, error) {
+	return json.Marshal(ck)
+}
+
+// UnmarshalCheckpoint decodes a checkpoint and validates its version.
+func UnmarshalCheckpoint(data []byte) (*Checkpoint, error) {
+	var ck Checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("core: bad checkpoint: %w", err)
+	}
+	if ck.Version != CheckpointVersion {
+		return nil, fmt.Errorf("core: checkpoint version %d, this build reads %d", ck.Version, CheckpointVersion)
+	}
+	return &ck, nil
+}
+
+// configSum fingerprints everything a checkpoint's validity depends on:
+// the fitness-relevant engine knobs and the problem identity (layers,
+// platform budget, objective, backend, fixed HW). Workers is excluded —
+// results never depend on it — so a resume may legally change it.
+func (e *Engine) configSum() string {
+	h := sha256.New()
+	c := e.Config
+	fmt.Fprintf(h, "cfg|%d|%g|%g|%g|%g|%g|%g|%g|%d|%g|%g|%g\n",
+		c.PopSize, c.EliteFrac, c.CrossRate, c.ReorderRate, c.MutMapRate,
+		c.MutHWRate, c.GrowRate, c.AgeRate, c.MaxLevels, c.DivisorBias,
+		c.GreedyCross, c.SeedFrac)
+	fmt.Fprintf(h, "prune|%t|%g|%d|delta|%t|fixed|%t\n",
+		c.Prune, c.PruneMargin, c.PruneStall, c.NoDelta, c.FixedHW)
+	fmt.Fprintf(h, "islands|%d|%d|%d|%d", c.Islands, c.MigrateEvery, c.MigrateCount, len(c.Profiles))
+	for _, name := range c.Profiles {
+		fmt.Fprintf(h, "|%s", name)
+	}
+	fmt.Fprintln(h)
+	p := e.Problem
+	fmt.Fprintf(h, "prob|%s|%s|%g|%d|%d\n",
+		p.Objective, p.Backend().Name(), p.Platform.AreaBudgetMM2, p.Space.Levels, p.Space.MaxFanout)
+	if p.FixedHW != nil {
+		fmt.Fprintf(h, "hw|%v\n", p.FixedHW.Fanouts)
+	}
+	for _, l := range p.Space.Layers {
+		sy, sx := l.Strides()
+		fmt.Fprintf(h, "%s|%d,%d,%d,%d,%d,%d|%d,%d|%d\n",
+			l.Type, l.K, l.C, l.Y, l.X, l.R, l.S, sy, sx, l.Multiplicity())
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// snapshot captures the run at the current generation boundary.
+func (e *Engine) snapshot(res *Result, budget int, islands []*island) *Checkpoint {
+	ck := &Checkpoint{
+		Version:     CheckpointVersion,
+		ConfigSum:   e.configSum(),
+		Seed:        e.seed,
+		Budget:      budget,
+		Generations: res.Generations,
+		Samples:     res.Samples,
+		FullEvals:   res.FullEvals,
+		PrunedEvals: res.PrunedEvals,
+		ScoutEvals:  res.ScoutEvals,
+		History:     append([]float64(nil), res.History...),
+		Islands:     make([]IslandState, len(islands)),
+	}
+	for i, is := range islands {
+		gets, reuses := is.pool.Stats()
+		st := IslandState{
+			Draws:        is.src.n,
+			Best:         is.best,
+			Stall:        is.stall,
+			Samples:      is.samples,
+			DeltaEvals:   is.deltaEvals,
+			LayersReused: is.layersReused,
+			PoolGets:     gets + is.poolGetBias,
+			PoolReuses:   reuses + is.poolReuseBias,
+			Pop:          make([]IndividualState, len(is.cur)),
+		}
+		for pi, ind := range is.cur {
+			// Deep-copy through Clone so the checkpoint never aliases the
+			// arena-backed genome blocks a later generation mutates.
+			g := ind.genome.Clone()
+			st.Pop[pi] = IndividualState{
+				Fanouts: g.Fanouts,
+				Maps:    g.Maps,
+				Fitness: ind.eval.Fitness,
+				Pruned:  ind.eval.Pruned,
+			}
+		}
+		ck.Islands[i] = st
+	}
+	return ck
+}
+
+// emitCheckpoint snapshots the run and hands it to OnCheckpoint. All
+// gating lives here so call sites stay branch-cheap: nothing happens (and
+// nothing allocates) unless checkpointing was requested, and the very
+// first boundary (generation 0: just the initial batch, no cheaper than a
+// fresh start) is skipped.
+func (e *Engine) emitCheckpoint(res *Result, budget int, islands []*island) {
+	if e.OnCheckpoint == nil || e.Config.CheckpointEvery <= 0 || res.Generations == 0 {
+		return
+	}
+	e.OnCheckpoint(e.snapshot(res, budget, islands))
+}
+
+// restore rebuilds the run's state from a checkpoint: validates it
+// against this engine's problem + config fingerprint, fast-forwards every
+// RNG stream to its recorded position, re-evaluates the stored genomes
+// into the islands' pools (pure evaluation ⇒ identical fitness, which is
+// verified), and restores the sample accounting. After restore the
+// generation loop continues exactly as the uninterrupted run would have.
+func (e *Engine) restore(ck *Checkpoint, islands []*island, res *Result, budget int) error {
+	if ck.Version != CheckpointVersion {
+		return fmt.Errorf("core: checkpoint version %d, this build reads %d", ck.Version, CheckpointVersion)
+	}
+	if ck.Seed != e.seed {
+		return fmt.Errorf("core: checkpoint seed %d, engine seeded with %d", ck.Seed, e.seed)
+	}
+	if ck.Budget != budget {
+		return fmt.Errorf("core: checkpoint budget %d, run budget %d", ck.Budget, budget)
+	}
+	if sum := e.configSum(); ck.ConfigSum != sum {
+		return fmt.Errorf("core: checkpoint config %s does not match engine config %s (different problem or knobs)", ck.ConfigSum, sum)
+	}
+	if len(ck.Islands) != len(islands) {
+		return fmt.Errorf("core: checkpoint has %d islands, run builds %d", len(ck.Islands), len(islands))
+	}
+	if ck.Generations < 1 {
+		return errors.New("core: checkpoint precedes the first generation")
+	}
+	for i, is := range islands {
+		st := ck.Islands[i]
+		if len(st.Pop) == 0 {
+			return fmt.Errorf("core: checkpoint island %d has an empty population", i)
+		}
+		// The island-seed draws were already replayed identically by
+		// buildIslands; what remains is the island's own stream position.
+		is.src.fastForward(st.Draws)
+		is.cur = is.cur[:0]
+		for pi, ind := range st.Pop {
+			g := space.Genome{Fanouts: ind.Fanouts, Maps: ind.Maps}
+			ev := is.pool.Get()
+			if ind.Pruned {
+				coopt.PrunedInto(ev, g, ind.Fitness)
+			} else {
+				if err := is.prob.EvaluateCanonicalInto(ev, g); err != nil {
+					return fmt.Errorf("core: checkpoint island %d individual %d: %w", i, pi, err)
+				}
+				if ev.Fitness != ind.Fitness {
+					return fmt.Errorf("core: checkpoint island %d individual %d re-evaluates to %g, checkpoint recorded %g (different cost model?)",
+						i, pi, ev.Fitness, ind.Fitness)
+				}
+			}
+			is.cur = append(is.cur, individual{g, ev})
+		}
+		is.best = st.Best
+		is.stall = st.Stall
+		is.samples = st.Samples
+		is.deltaEvals = st.DeltaEvals
+		is.layersReused = st.LayersReused
+		// The rebuilt pool's counters restart from this population's Gets;
+		// the bias re-bases them onto the original run's totals so chained
+		// resumes keep reporting cumulative telemetry.
+		gets, reuses := is.pool.Stats()
+		if st.PoolGets > gets {
+			is.poolGetBias = st.PoolGets - gets
+		}
+		if st.PoolReuses > reuses {
+			is.poolReuseBias = st.PoolReuses - reuses
+		}
+	}
+	res.Generations = ck.Generations
+	res.Samples = ck.Samples
+	res.FullEvals = ck.FullEvals
+	res.PrunedEvals = ck.PrunedEvals
+	res.ScoutEvals = ck.ScoutEvals
+	res.History = append(res.History[:0], ck.History...)
+	return nil
+}

@@ -100,6 +100,24 @@ type Config struct {
 	// the GAMMA mapper.
 	FixedHW bool
 
+	// CheckpointEvery, when > 0, emits a Checkpoint through
+	// Engine.OnCheckpoint every that-many generations (and once more at
+	// the cancellation boundary, so a drained search can resume where it
+	// stopped). Requires an engine built with NewSeeded — checkpoints
+	// record RNG stream positions relative to the seed. 0 (the default)
+	// disables checkpointing entirely: the generation loop's only extra
+	// work is a pair of predictable branches, so the default hot path
+	// stays allocation-free and bit-identical to earlier trees.
+	CheckpointEvery int
+
+	// BestEffort makes a cancelled or deadline-exceeded run return its
+	// best-so-far partial Result alongside the ErrCancelled-wrapped error
+	// (instead of the default nil result) — the serving layer's
+	// "degraded" per-job deadline semantics. The partial result is the
+	// state at the interrupting generation boundary, so it is exactly
+	// what an equal-budget run would have returned.
+	BestEffort bool
+
 	// Islands splits the search into K semi-isolated populations stepped
 	// in lockstep, exchanging elites over a deterministic ring every
 	// MigrateEvery generations. ≤ 1 (the default) runs the classic
@@ -224,6 +242,25 @@ type Engine struct {
 	// and it never influences the search (no RNG draws), so results stay
 	// bit-identical whether or not it is installed.
 	OnGeneration func(Progress)
+
+	// OnCheckpoint, when set together with Config.CheckpointEvery > 0 on
+	// a NewSeeded engine, receives a resumable snapshot at every
+	// CheckpointEvery-th generation boundary and at the cancellation
+	// boundary. The callback owns persistence (and its failures); it runs
+	// on the search goroutine and never influences the search.
+	OnCheckpoint func(*Checkpoint)
+
+	// Resume, when set, restores the run from a prior checkpoint instead
+	// of drawing an initial population: the resumed run is bit-identical
+	// to the uninterrupted one. Requires NewSeeded with the checkpoint's
+	// seed; the problem, config and budget must match the checkpoint's
+	// fingerprint.
+	Resume *Checkpoint
+
+	// seed/master back the checkpointing machinery (NewSeeded); a plain
+	// New engine leaves them zero and cannot checkpoint or resume.
+	seed   int64
+	master *replaySource
 }
 
 // New assembles an engine. A nil rng defaults to a fixed seed so runs are
@@ -319,7 +356,7 @@ var ErrCancelled = errors.New("core: search cancelled")
 // run that completes within its budget is bit-identical to Run regardless
 // of the context plumbed in. A cancelled or deadline-exceeded run returns
 // an error wrapping both ErrCancelled and ctx.Err(); no partial result is
-// returned.
+// returned unless Config.BestEffort opts into one.
 //
 // RunContext is the island coordinator: it builds Config.Islands islands
 // (see island.go), steps them in lockstep generations — concurrently
@@ -335,32 +372,47 @@ func (e *Engine) RunContext(ctx context.Context, budget int) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrCancelled, err)
 	}
+	if e.OnCheckpoint != nil && e.Config.CheckpointEvery > 0 && e.master == nil {
+		return nil, errors.New("core: checkpointing requires an engine built with NewSeeded")
+	}
+	if e.Resume != nil && e.master == nil {
+		return nil, errors.New("core: resume requires an engine built with NewSeeded")
+	}
 	islands, err := e.buildIslands(budget)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{}
-
-	// Initial populations: genomes drawn serially per island (each
-	// island's private RNG stream fixes them), then evaluated as one
-	// batch per island — island-concurrent — so the first generation
-	// parallelizes like every later one.
-	initial := make([][]space.Genome, len(islands))
-	for i, is := range islands {
-		initial[i] = is.initialGenomes()
-	}
 	evs := make([][]*coopt.Evaluation, len(islands))
-	err = e.forIslands(islands, func(i, workers int) error {
-		var err error
-		evs[i], err = islands[i].evaluateBatch(initial[i], nil, nil, workers)
-		return err
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i, is := range islands {
-		e.account(res, is, evs[i])
-		is.install(0, initial[i], evs[i])
+
+	if e.Resume != nil {
+		// Resume: rebuild the checkpointed populations and accounting
+		// instead of drawing an initial batch; the loop below then
+		// continues exactly as the uninterrupted run would have.
+		if err := e.restore(e.Resume, islands, res, budget); err != nil {
+			return nil, err
+		}
+	} else {
+		// Initial populations: genomes drawn serially per island (each
+		// island's private RNG stream fixes them), then evaluated as one
+		// batch per island — island-concurrent — so the first generation
+		// parallelizes like every later one.
+		initial := make([][]space.Genome, len(islands))
+		for i, is := range islands {
+			initial[i] = is.initialGenomes()
+		}
+		err = e.forIslands(islands, func(i, workers int) error {
+			var err error
+			evs[i], err = islands[i].evaluateBatch(initial[i], nil, nil, workers)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, is := range islands {
+			e.account(res, is, evs[i])
+			is.install(0, initial[i], evs[i])
+		}
 	}
 	if res.Samples == 0 {
 		return nil, errors.New("core: budget exhausted before first evaluation")
@@ -377,14 +429,29 @@ func (e *Engine) RunContext(ctx context.Context, budget int) (*Result, error) {
 	// the evaluations themselves need.
 	counts := make([]int, len(islands))
 	for res.Samples < budget {
+		// Top of the body is the generation boundary: populations
+		// installed, no RNG drawn for the next generation. A cancellation
+		// detected here (the drain path) leaves state indistinguishable
+		// from a periodic checkpoint's, so the final checkpoint of a
+		// drained run resumes bit-identically.
+		if err := ctx.Err(); err != nil {
+			e.emitCheckpoint(res, budget, islands)
+			return e.cancelled(res, budget, islands, err)
+		}
+		if e.Config.CheckpointEvery > 0 && res.Generations%e.Config.CheckpointEvery == 0 {
+			e.emitCheckpoint(res, budget, islands)
+		}
 		for _, is := range islands {
 			is.beginGeneration()
 		}
 		res.History = append(res.History, bestOf(islands).eval.Fitness)
 		e.emitProgress(res, budget, islands)
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("%w after generation %d (%d samples): %w",
-				ErrCancelled, res.Generations, res.Samples, err)
+			// Mid-body boundary (a cancel fired from the OnGeneration hook
+			// lands here): best/stall/History have advanced past the
+			// snapshot format's boundary, so no checkpoint — a resume
+			// falls back to the last periodic one.
+			return e.cancelled(res, budget, islands, err)
 		}
 		res.Generations++
 
@@ -421,6 +488,13 @@ func (e *Engine) RunContext(ctx context.Context, budget int) (*Result, error) {
 		}
 	}
 
+	return e.finalize(res, budget, islands), nil
+}
+
+// finalize closes out a run (completed, or interrupted under BestEffort):
+// orders the populations, promotes the global best and folds the delta/pool
+// telemetry into the result.
+func (e *Engine) finalize(res *Result, budget int, islands []*island) *Result {
 	for _, is := range islands {
 		is.sortPop()
 	}
@@ -433,7 +507,20 @@ func (e *Engine) RunContext(ctx context.Context, budget int) (*Result, error) {
 	res.Best = best.eval.Detach()
 	e.emitProgress(res, budget, islands)
 	e.collectDelta(res, islands)
-	return res, nil
+	return res
+}
+
+// cancelled shapes an interrupted run's return: by default no partial
+// result escapes; under Config.BestEffort the best-so-far state is
+// finalized and returned alongside the error — the serving layer's
+// "degraded" per-job deadline semantics.
+func (e *Engine) cancelled(res *Result, budget int, islands []*island, err error) (*Result, error) {
+	cerr := fmt.Errorf("%w after generation %d (%d samples): %w",
+		ErrCancelled, res.Generations, res.Samples, err)
+	if e.Config.BestEffort {
+		return e.finalize(res, budget, islands), cerr
+	}
+	return nil, cerr
 }
 
 // collectDelta folds the islands' delta-path and pool counters into the
@@ -446,8 +533,10 @@ func (e *Engine) collectDelta(res *Result, islands []*island) {
 		res.DeltaEvals += is.deltaEvals
 		res.LayersReused += is.layersReused
 		gets, reuses := is.pool.Stats()
-		res.PoolGets += gets
-		res.PoolReuses += reuses
+		// The biases are non-zero only on a resumed run: they re-base the
+		// rebuilt pool's counters onto the original run's totals.
+		res.PoolGets += gets + is.poolGetBias
+		res.PoolReuses += reuses + is.poolReuseBias
 	}
 }
 
@@ -483,12 +572,24 @@ func (e *Engine) buildIslands(budget int) ([]*island, error) {
 		profiles[0] = Profile{Name: "default"}
 	}
 
+	// On a NewSeeded engine every island stream runs through a
+	// draw-counting replaySource so checkpoints can record (and restore
+	// fast-forward) its position; the wrapper forwards draws 1:1, so the
+	// streams — and therefore the search — are bit-identical to the
+	// unseeded construction.
 	rngs := make([]*rand.Rand, k)
+	srcs := make([]*replaySource, k)
 	if k == 1 {
-		rngs[0] = e.Rng
+		rngs[0], srcs[0] = e.Rng, e.master
 	} else {
 		for i := range rngs {
-			rngs[i] = rand.New(rand.NewSource(e.Rng.Int63()))
+			seed := e.Rng.Int63()
+			if e.master != nil {
+				srcs[i] = newReplaySource(seed)
+				rngs[i] = rand.New(srcs[i])
+			} else {
+				rngs[i] = rand.New(rand.NewSource(seed))
+			}
 		}
 	}
 
@@ -515,6 +616,7 @@ func (e *Engine) buildIslands(budget int) ([]*island, error) {
 		if err != nil {
 			return nil, err
 		}
+		is.src = srcs[i]
 		islands[i] = is
 	}
 	return islands, nil

@@ -34,6 +34,10 @@ type island struct {
 	// engine); multi-island runs derive one seed per island from the
 	// master stream before any search work.
 	rng *rand.Rand
+	// src is rng's draw-counting source on a NewSeeded engine (nil
+	// otherwise): its position is what checkpoints record and restore
+	// fast-forwards.
+	src *replaySource
 
 	// prob scores this island's population: the engine's problem, except
 	// for scout islands, which screen on the "bound" fidelity tier.
@@ -69,6 +73,12 @@ type island struct {
 	// have retained one.
 	pool    *coopt.EvalPool
 	recycle bool
+	// poolGetBias/poolReuseBias re-base the pool's counters onto a resumed
+	// run's cumulative totals (a restored island's pool restarts from the
+	// rebuilt population, not from zero evaluations ago). Zero on a fresh
+	// run — pure telemetry, never consulted by the search.
+	poolGetBias   uint64
+	poolReuseBias uint64
 
 	// Per-generation breeding buffers, reused across generations: the
 	// bred children, each child's breeding parent (its evaluation seeds

@@ -1,0 +1,41 @@
+package faults
+
+import (
+	"digamma/internal/arch"
+	"digamma/internal/cost"
+	"digamma/internal/mapping"
+)
+
+// PointBackend is the default injection point consulted by Backend.
+const PointBackend = "backend.analyze"
+
+// Backend wraps a cost backend so every layer analysis first consults the
+// injector — the "backend errors" and "slow evals" chaos knobs. Install
+// with coopt.Problem.WithBackend. It reports the inner backend's Name
+// (the injector never changes what a successful analysis computes, so the
+// evaluation-cache contract holds), and with a nil injector it is a
+// pass-through.
+type Backend struct {
+	Inner cost.Backend
+	Inj   *Injector
+	// Point overrides the injection point name; empty = PointBackend.
+	Point string
+}
+
+func (b Backend) Name() string                 { return b.Inner.Name() }
+func (b Backend) PrepareHW(hw arch.HW) arch.HW { return b.Inner.PrepareHW(hw) }
+
+func (b Backend) EffectiveEnergy(em arch.EnergyModel) arch.EnergyModel {
+	return b.Inner.EffectiveEnergy(em)
+}
+
+func (b Backend) Analyze(a *cost.Analyzer, hw arch.HW, m mapping.Mapping) (*cost.Result, error) {
+	point := b.Point
+	if point == "" {
+		point = PointBackend
+	}
+	if err := b.Inj.Hit(point); err != nil {
+		return nil, err
+	}
+	return b.Inner.Analyze(a, hw, m)
+}

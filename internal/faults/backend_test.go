@@ -1,0 +1,69 @@
+package faults_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"digamma/internal/arch"
+	"digamma/internal/coopt"
+	"digamma/internal/core"
+	"digamma/internal/cost"
+	"digamma/internal/faults"
+	"digamma/internal/workload"
+)
+
+func backendProblem(t *testing.T, b cost.Backend) *coopt.Problem {
+	t.Helper()
+	m, err := workload.ByName("ncf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := coopt.NewProblem(m, arch.Edge(), coopt.Latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.WithBackend(b)
+}
+
+func runSearch(t *testing.T, p *coopt.Problem) (*core.Result, error) {
+	t.Helper()
+	e, err := core.NewSeeded(p, core.DefaultConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.RunContext(context.Background(), 240)
+}
+
+// TestBackendPassThrough: an unarmed (or nil) injector behind the Backend
+// wrapper is invisible — a whole search returns the identical best design
+// point, so chaos plumbing can stay installed in test rigs at zero risk.
+func TestBackendPassThrough(t *testing.T) {
+	want, err := runSearch(t, backendProblem(t, cost.Analytical{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := runSearch(t, backendProblem(t, faults.Backend{Inner: cost.Analytical{}, Inj: faults.New(1)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Best.Fitness != want.Best.Fitness || got.Samples != want.Samples {
+		t.Fatalf("wrapped search diverged: fitness %v/%v samples %d/%d",
+			got.Best.Fitness, want.Best.Fitness, got.Samples, want.Samples)
+	}
+}
+
+// TestBackendErrorFailsSearchGracefully: an injected analysis error
+// surfaces as a search error wrapping ErrInjected — no panic, no partial
+// result — which is exactly what turns into a "failed" job in serve.
+func TestBackendErrorFailsSearchGracefully(t *testing.T) {
+	inj := faults.New(1)
+	inj.Set(faults.PointBackend, faults.Knob{Every: 10})
+	res, err := runSearch(t, backendProblem(t, faults.Backend{Inner: cost.Analytical{}, Inj: inj}))
+	if err == nil || !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("err = %v, want wrapped ErrInjected", err)
+	}
+	if res != nil {
+		t.Fatalf("failed search returned a result: %+v", res)
+	}
+}

@@ -1,0 +1,115 @@
+// Package faults is a deterministic fault-injection harness: seeded,
+// knob-driven failures at named injection points, driving the repo's
+// crash-recovery and chaos tests. Production code calls Injector.Hit at
+// its failure-prone points (backend evaluations, worker runs, store
+// writes); with a nil injector — the production default — Hit is a single
+// nil check, so the harness costs nothing when it is not armed.
+//
+// Determinism matters more than realism here: every fault schedule is a
+// pure function of the injector's seed and the order of hits at each
+// point (per-point counters, not a shared one, so concurrent points do
+// not perturb each other's schedules). A chaos test that fails can be
+// replayed exactly.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the root of every error an Injector returns; test with
+// errors.Is.
+var ErrInjected = errors.New("faults: injected failure")
+
+// Knob arms one injection point. Zero value: the point never fires.
+type Knob struct {
+	// Prob fires the fault on each hit with this probability, drawn from
+	// the injector's seeded stream.
+	Prob float64
+	// Every fires the fault deterministically on every N-th hit of the
+	// point (1 = every hit). Checked before Prob; 0 disables.
+	Every int
+	// Delay is slept before the outcome is delivered — slow-evaluation /
+	// slow-write injection. Applied on every *firing* hit.
+	Delay time.Duration
+	// Panic makes a firing hit panic instead of returning an error —
+	// worker poisoning, for the recover() isolation tests.
+	Panic bool
+}
+
+// Injector drives a set of named injection points. Safe for concurrent
+// use; a nil *Injector is inert and always legal to call.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	knobs map[string]Knob
+	hits  map[string]int
+	fired map[string]int
+}
+
+// New returns an injector whose probabilistic faults draw from a stream
+// seeded with seed. No points are armed until Set.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		knobs: make(map[string]Knob),
+		hits:  make(map[string]int),
+		fired: make(map[string]int),
+	}
+}
+
+// Set arms (or, with a zero Knob, disarms) one injection point.
+func (in *Injector) Set(point string, k Knob) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.knobs[point] = k
+}
+
+// Hit reports whether the named point should fail right now: nil for
+// "proceed", an ErrInjected-wrapped error for an injected failure. A
+// firing hit sleeps Knob.Delay first and panics instead when Knob.Panic
+// is set. Nil receivers (the production default) always proceed.
+func (in *Injector) Hit(point string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	k, ok := in.knobs[point]
+	if !ok {
+		in.mu.Unlock()
+		return nil
+	}
+	in.hits[point]++
+	fire := k.Every > 0 && in.hits[point]%k.Every == 0
+	if !fire && k.Prob > 0 {
+		fire = in.rng.Float64() < k.Prob
+	}
+	if fire {
+		in.fired[point]++
+	}
+	in.mu.Unlock()
+	if !fire {
+		return nil
+	}
+	if k.Delay > 0 {
+		time.Sleep(k.Delay)
+	}
+	if k.Panic {
+		panic(fmt.Sprintf("faults: injected panic at %s", point))
+	}
+	return fmt.Errorf("%w at %s", ErrInjected, point)
+}
+
+// Counts returns per-point (hits, fired) tallies — test assertions that a
+// schedule actually exercised its points.
+func (in *Injector) Counts(point string) (hits, fired int) {
+	if in == nil {
+		return 0, 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits[point], in.fired[point]
+}

@@ -1,0 +1,115 @@
+package faults
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilInjectorInert: the production default — a nil injector — always
+// proceeds, at zero configuration.
+func TestNilInjectorInert(t *testing.T) {
+	var in *Injector
+	if err := in.Hit("anything"); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if h, f := in.Counts("anything"); h != 0 || f != 0 {
+		t.Fatalf("nil injector counted %d/%d", h, f)
+	}
+}
+
+// TestEveryDeterministic: an Every=N knob fires on exactly the N-th,
+// 2N-th, ... hits — the schedule chaos tests replay.
+func TestEveryDeterministic(t *testing.T) {
+	in := New(1)
+	in.Set("p", Knob{Every: 3})
+	var fires []int
+	for i := 1; i <= 10; i++ {
+		if err := in.Hit("p"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: error %v does not wrap ErrInjected", i, err)
+			}
+			fires = append(fires, i)
+		}
+	}
+	want := []int{3, 6, 9}
+	if len(fires) != len(want) {
+		t.Fatalf("fired at %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fires, want)
+		}
+	}
+	if h, f := in.Counts("p"); h != 10 || f != 3 {
+		t.Fatalf("counts %d/%d, want 10/3", h, f)
+	}
+}
+
+// TestProbSeeded: two injectors with the same seed fire on the same hits;
+// an unarmed point never fires and draws nothing from the stream.
+func TestProbSeeded(t *testing.T) {
+	a, b := New(42), New(42)
+	a.Set("p", Knob{Prob: 0.5})
+	b.Set("p", Knob{Prob: 0.5})
+	for i := 0; i < 200; i++ {
+		ea, eb := a.Hit("p"), b.Hit("p")
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("hit %d: same-seed injectors diverged", i)
+		}
+		if err := a.Hit("unarmed"); err != nil {
+			t.Fatalf("unarmed point fired: %v", err)
+		}
+	}
+	if _, f := a.Counts("p"); f == 0 || f == 200 {
+		t.Fatalf("p=0.5 fired %d/200 — knob not probabilistic", f)
+	}
+}
+
+// TestPanicKnob: a Panic knob panics instead of returning, so worker
+// recover() isolation can be exercised.
+func TestPanicKnob(t *testing.T) {
+	in := New(1)
+	in.Set("p", Knob{Every: 1, Panic: true})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic knob did not panic")
+		}
+	}()
+	_ = in.Hit("p")
+}
+
+// TestDelayKnob: a firing hit sleeps its Delay (slow-eval injection).
+func TestDelayKnob(t *testing.T) {
+	in := New(1)
+	in.Set("p", Knob{Every: 1, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := in.Hit("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("firing hit returned after %v, want ≥ 30ms", d)
+	}
+}
+
+// TestConcurrentHits: Hit is safe under concurrency (the chaos suite runs
+// it from every evaluation worker) — exercised under -race in CI.
+func TestConcurrentHits(t *testing.T) {
+	in := New(1)
+	in.Set("p", Knob{Prob: 0.3})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = in.Hit("p")
+			}
+		}()
+	}
+	wg.Wait()
+	if h, _ := in.Counts("p"); h != 800 {
+		t.Fatalf("hits %d, want 800", h)
+	}
+}

@@ -45,7 +45,10 @@ func benchSubmitWait(b *testing.B, url string, req OptimizeRequest) State {
 // over HTTP, queue, run (ncf, budget 200), poll to completion — the
 // serving baseline recorded in BENCH_core.json.
 func BenchmarkServeOptimize(b *testing.B) {
-	s := New(Config{Workers: 1})
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer s.Close()
@@ -71,7 +74,10 @@ func BenchmarkServeOptimizeIslands(b *testing.B) {
 		}
 		islands = n
 	}
-	s := New(Config{Workers: 1})
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer s.Close()
@@ -88,7 +94,10 @@ func BenchmarkServeOptimizeIslands(b *testing.B) {
 // BenchmarkServeDedup measures a repeat request served entirely from the
 // result store — the cost of a cache hit on the serving path.
 func BenchmarkServeDedup(b *testing.B) {
-	s := New(Config{Workers: 1})
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer s.Close()

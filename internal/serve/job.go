@@ -13,19 +13,22 @@ import (
 // State is a job's lifecycle phase.
 type State string
 
-// Job states. queued → running → {done, failed, cancelled}; a queued job
-// may also jump straight to cancelled.
+// Job states. queued → running → {done, degraded, failed, cancelled}; a
+// queued job may also jump straight to cancelled. Degraded is done's
+// best-effort sibling: the job's wall-clock deadline expired and the
+// result is the best design point found within it, not the full budget's.
 const (
 	StateQueued    State = "queued"
 	StateRunning   State = "running"
 	StateDone      State = "done"
+	StateDegraded  State = "degraded"
 	StateFailed    State = "failed"
 	StateCancelled State = "cancelled"
 )
 
 // Terminal reports whether no further transitions can happen.
 func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
+	return s == StateDone || s == StateDegraded || s == StateFailed || s == StateCancelled
 }
 
 // Event is one entry in a job's progress stream (the SSE `data:` payload).
@@ -70,16 +73,26 @@ type Job struct {
 	poolGets     atomic.Uint64
 	poolReuses   atomic.Uint64
 
-	mu       sync.Mutex
-	state    State
-	err      string
-	result   *digamma.Evaluation
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	cancel   context.CancelFunc
-	events   []Event
-	subs     map[chan Event]struct{}
+	// resume, when set by startup recovery, is the engine checkpoint the
+	// re-enqueued search continues from. recovered marks a job rebuilt
+	// from the store after a restart.
+	resume    *digamma.Checkpoint
+	recovered bool
+
+	mu     sync.Mutex
+	state  State
+	err    string
+	result *digamma.Evaluation
+	// resultReport carries a recovered job's persisted result: after a
+	// restart the live evaluation is gone, but the serialized report —
+	// the wire shape clients read — survives in the store.
+	resultReport *report.Report
+	created      time.Time
+	started      time.Time
+	finished     time.Time
+	cancel       context.CancelFunc
+	events       []Event
+	subs         map[chan Event]struct{}
 }
 
 func newJob(id string, spec *searchSpec) *Job {
@@ -265,10 +278,48 @@ func (j *Job) Status(withResult bool) Status {
 			break
 		}
 	}
-	if withResult && j.result != nil {
-		st.Result = report.FromEvaluation(j.result)
+	if withResult {
+		switch {
+		case j.result != nil:
+			st.Result = report.FromEvaluation(j.result)
+		case j.resultReport != nil:
+			st.Result = j.resultReport
+		}
 	}
 	return st
+}
+
+// restoreTerminal rehydrates a recovered job straight into its persisted
+// terminal state (no worker involved): status, error, result report and
+// the terminal state event subscribers would otherwise never see.
+func (j *Job) restoreTerminal(rec *TerminalRecord) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = rec.State
+	j.err = rec.Error
+	j.resultReport = rec.Result
+	j.finished = rec.FinishedAt
+	j.publishLocked(Event{Type: "state", State: rec.State, Error: rec.Error})
+}
+
+// terminalRecord snapshots the job's persisted wire state for the store.
+func (j *Job) terminalRecord() TerminalRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec := TerminalRecord{
+		ID:         j.ID,
+		Hash:       j.Hash,
+		State:      j.state,
+		Error:      j.err,
+		FinishedAt: j.finished,
+	}
+	switch {
+	case j.result != nil:
+		rec.Result = report.FromEvaluation(j.result)
+	case j.resultReport != nil:
+		rec.Result = j.resultReport
+	}
+	return rec
 }
 
 // Result returns the evaluation of a done job (nil otherwise).

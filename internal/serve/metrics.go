@@ -54,7 +54,8 @@ func (s *Server) Submitted() uint64 { return s.submitted.Load() }
 // text exposition format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	states := map[State]int{
-		StateQueued: 0, StateRunning: 0, StateDone: 0, StateFailed: 0, StateCancelled: 0,
+		StateQueued: 0, StateRunning: 0, StateDone: 0, StateDegraded: 0,
+		StateFailed: 0, StateCancelled: 0,
 	}
 	s.mu.Lock()
 	for _, j := range s.jobs {
@@ -74,7 +75,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "digammad_queue_depth %d\n", s.queueDepth())
 	fmt.Fprintf(w, "# HELP digammad_jobs Jobs in the store by state.\n")
 	fmt.Fprintf(w, "# TYPE digammad_jobs gauge\n")
-	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+	for _, st := range []State{StateQueued, StateRunning, StateDone, StateDegraded, StateFailed, StateCancelled} {
 		fmt.Fprintf(w, "digammad_jobs{state=%q} %d\n", st, states[st])
 	}
 	fmt.Fprintf(w, "# HELP digammad_submitted_total Optimize submissions accepted or deduplicated.\n")
@@ -116,6 +117,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE digammad_evalpool_reuse_rate gauge\n")
 	fmt.Fprintf(w, "digammad_evalpool_reuse_rate %g\n",
 		hitRate(poolReuses, poolGets-poolReuses))
+	fmt.Fprintf(w, "# HELP digammad_jobs_recovered_total Incomplete jobs re-enqueued from the store at startup.\n")
+	fmt.Fprintf(w, "# TYPE digammad_jobs_recovered_total counter\n")
+	fmt.Fprintf(w, "digammad_jobs_recovered_total %d\n", s.jobsRecovered.Load())
+	fmt.Fprintf(w, "# HELP digammad_checkpoints_written_total Engine checkpoints persisted to the store.\n")
+	fmt.Fprintf(w, "# TYPE digammad_checkpoints_written_total counter\n")
+	fmt.Fprintf(w, "digammad_checkpoints_written_total %d\n", s.checkpointsWritten.Load())
+	fmt.Fprintf(w, "# HELP digammad_panics_recovered_total Worker panics isolated to their own job.\n")
+	fmt.Fprintf(w, "# TYPE digammad_panics_recovered_total counter\n")
+	fmt.Fprintf(w, "digammad_panics_recovered_total %d\n", s.panicsRecovered.Load())
+	fmt.Fprintf(w, "# HELP digammad_jobs_degraded_total Jobs finished best-effort at their wall-clock deadline.\n")
+	fmt.Fprintf(w, "# TYPE digammad_jobs_degraded_total counter\n")
+	fmt.Fprintf(w, "digammad_jobs_degraded_total %d\n", s.jobsDegraded.Load())
+	fmt.Fprintf(w, "# HELP digammad_store_errors_total Store writes that failed (WAL, result or checkpoint).\n")
+	fmt.Fprintf(w, "# TYPE digammad_store_errors_total counter\n")
+	fmt.Fprintf(w, "digammad_store_errors_total %d\n", s.storeErrors.Load())
 	fmt.Fprintf(w, "# HELP digammad_search_latency_seconds Completed-search wall-clock latency quantiles.\n")
 	fmt.Fprintf(w, "# TYPE digammad_search_latency_seconds summary\n")
 	fmt.Fprintf(w, "digammad_search_latency_seconds{quantile=\"0.5\"} %g\n", p50)

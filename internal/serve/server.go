@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"digamma"
+	"digamma/internal/faults"
 	"digamma/internal/workload"
 )
 
@@ -33,6 +34,21 @@ type Config struct {
 	// a handful of huge-budget submissions cannot occupy every worker
 	// indefinitely. 0 = 1,000,000 (25× the paper's 40K protocol).
 	MaxBudget int
+	// Store persists accepted jobs, results and checkpoints so a crash or
+	// redeploy loses no work (see Store). nil = no durability — the
+	// in-memory-only behaviour of earlier trees.
+	Store Store
+	// CheckpointEvery, when > 0 with a Store configured, checkpoints every
+	// running search every that-many generations (and at the drain
+	// boundary), so recovery resumes mid-search instead of restarting.
+	CheckpointEvery int
+	// JobDeadline, when > 0, bounds each job's search wall-clock. A job
+	// that exceeds it finishes as "degraded" carrying the best design
+	// point found in time — a partial result, excluded from dedup.
+	JobDeadline time.Duration
+	// Faults arms the deterministic fault-injection harness (tests only;
+	// nil in production). Points: "worker.run" plus the Store points.
+	Faults *faults.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -73,16 +89,24 @@ type Server struct {
 	finished []string // terminal job IDs in finish order, for eviction
 	seq      uint64
 
-	started      time.Time
-	submitted    atomic.Uint64
-	dedupHits    atomic.Uint64
-	rejected     atomic.Uint64
-	cacheHits    atomic.Uint64
-	cacheMisses  atomic.Uint64
-	deltaEvals   atomic.Uint64
-	layersReused atomic.Uint64
-	poolGets     atomic.Uint64
-	poolReuses   atomic.Uint64
+	store    Store
+	draining atomic.Bool
+
+	started            time.Time
+	submitted          atomic.Uint64
+	dedupHits          atomic.Uint64
+	rejected           atomic.Uint64
+	cacheHits          atomic.Uint64
+	cacheMisses        atomic.Uint64
+	deltaEvals         atomic.Uint64
+	layersReused       atomic.Uint64
+	poolGets           atomic.Uint64
+	poolReuses         atomic.Uint64
+	jobsRecovered      atomic.Uint64
+	checkpointsWritten atomic.Uint64
+	panicsRecovered    atomic.Uint64
+	jobsDegraded       atomic.Uint64
+	storeErrors        atomic.Uint64
 
 	latMu     sync.Mutex
 	latencies []float64 // completed-search wall-clock seconds
@@ -92,29 +116,87 @@ type Server struct {
 	wg      sync.WaitGroup
 }
 
-// New builds a server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a server, replays the store's recovery records (persisted
+// results re-serve status and dedup hits; incomplete jobs re-enqueue,
+// resuming from their latest checkpoint) and starts the worker pool.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg,
+		store:   cfg.Store,
 		jobs:    make(map[string]*Job),
 		byHash:  make(map[string]*Job),
 		started: time.Now(),
 		baseCtx: ctx,
 		stop:    stop,
 	}
+	if s.store == nil {
+		s.store = nullStore{}
+	}
 	s.qcond = sync.NewCond(&s.qmu)
+	if err := s.recoverJobs(); err != nil {
+		stop()
+		return nil, err
+	}
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
-// Close cancels every running search and stops the workers. Queued jobs
-// are left in place (their state never turns terminal); Close is for
-// process shutdown, not draining.
+// recoverJobs rebuilds the job store from persisted state before any
+// worker or handler runs (so no locking is needed): terminal jobs come
+// back with their persisted status, result report and dedup entry;
+// incomplete jobs re-enter the queue carrying their latest checkpoint.
+func (s *Server) recoverJobs() error {
+	recs, err := s.store.Recover()
+	if err != nil {
+		return fmt.Errorf("serve: recovering store: %w", err)
+	}
+	for _, rj := range recs {
+		spec, err := buildSpec(rj.Record.Req, s.cfg.MaxBudget)
+		if err != nil {
+			// The request is no longer valid under this server's limits or
+			// model zoo; recovery drops it rather than wedging startup.
+			continue
+		}
+		job := newJob(rj.Record.ID, spec)
+		job.recovered = true
+		if !rj.Record.CreatedAt.IsZero() {
+			job.created = rj.Record.CreatedAt
+		}
+		var n uint64
+		if _, err := fmt.Sscanf(rj.Record.ID, "j%06d", &n); err == nil && n > s.seq {
+			s.seq = n
+		}
+		s.jobs[job.ID] = job
+		if rj.Terminal != nil {
+			job.restoreTerminal(rj.Terminal)
+			s.finished = append(s.finished, job.ID)
+			// Only full, successful results serve dedup hits again;
+			// degraded results are partial, and failed/cancelled never
+			// blocked a retry.
+			if rj.Terminal.State == StateDone {
+				s.byHash[job.Hash] = job
+			}
+		} else {
+			job.resume = rj.Resume
+			s.byHash[job.Hash] = job
+			s.pending = append(s.pending, job)
+			s.jobsRecovered.Add(1)
+		}
+	}
+	return nil
+}
+
+// Close cancels every running search and stops the workers, then releases
+// the store. Queued and in-flight jobs are left non-terminal — with a
+// durable store they are exactly what the next process recovers, so from
+// the store's perspective Close and a crash are the same event (the
+// in-process chaos tests rely on that). For a clean, checkpointing
+// shutdown use Drain.
 func (s *Server) Close() {
 	s.qmu.Lock()
 	s.closed = true
@@ -122,6 +204,37 @@ func (s *Server) Close() {
 	s.qmu.Unlock()
 	s.stop()
 	s.wg.Wait()
+	_ = s.store.Close()
+}
+
+// Drain gracefully stops the server: new submissions are rejected, every
+// running search is cancelled at its next generation boundary — emitting a
+// final checkpoint through the store — queued and in-flight jobs stay
+// non-terminal in the WAL for the next process to recover, and the store
+// is flushed and closed. Returns ctx.Err() if the workers outlive the
+// context; the store is closed either way.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.qmu.Lock()
+	s.closed = true
+	s.qcond.Broadcast()
+	s.qmu.Unlock()
+	s.stop()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = fmt.Errorf("serve: drain cut short: %w", ctx.Err())
+	}
+	if cerr := s.store.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	return err
 }
 
 // enqueue admits a job if the queue has a live slot free. Terminal
@@ -184,8 +297,12 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob executes one search with cancellation and progress plumbed in,
-// then records the terminal state and server-level metrics.
+// runJob executes one search with cancellation, checkpointing and progress
+// plumbed in, then records the terminal state and server-level metrics.
+// A drain or Close that interrupts the search leaves the job non-terminal:
+// the WAL still lists it as accepted-but-unfinished, so the next process
+// recovers it — from its final checkpoint when checkpointing is on —
+// instead of marking it cancelled.
 func (s *Server) runJob(j *Job) {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	defer cancel()
@@ -212,34 +329,107 @@ func (s *Server) runJob(j *Job) {
 			PoolReuseRate: hitRate(p.PoolReuses, p.PoolGets-p.PoolReuses),
 		})
 	}
+	if _, inMemoryOnly := s.store.(nullStore); !inMemoryOnly && s.cfg.CheckpointEvery > 0 {
+		opts.CheckpointEvery = s.cfg.CheckpointEvery
+		opts.OnCheckpoint = func(ck *digamma.Checkpoint) {
+			if err := s.store.SaveCheckpoint(j.ID, ck); err != nil {
+				s.storeErrors.Add(1)
+				return
+			}
+			s.checkpointsWritten.Add(1)
+		}
+	}
+	opts.Resume = j.resume
+	runCtx := ctx
+	if s.cfg.JobDeadline > 0 {
+		// BestEffort turns a deadline expiry into a usable partial result
+		// (finished as StateDegraded below) instead of a bare error.
+		opts.BestEffort = true
+		var cancelDeadline context.CancelFunc
+		runCtx, cancelDeadline = context.WithTimeout(ctx, s.cfg.JobDeadline)
+		defer cancelDeadline()
+	}
 	begin := time.Now()
-	ev, err := digamma.OptimizeContext(ctx, j.spec.model, j.spec.platform, opts)
+	ev, err := s.searchGuarded(runCtx, j, opts)
+	if err != nil && opts.Resume != nil && runCtx.Err() == nil {
+		// A checkpoint that no longer restores (engine knobs changed across
+		// the restart, corrupt blob, ...) should not fail the job outright;
+		// fall back to a fresh search of the same spec.
+		opts.Resume = nil
+		ev, err = s.searchGuarded(runCtx, j, opts)
+	}
 	switch {
 	case err == nil:
 		s.recordLatency(time.Since(begin).Seconds())
-		s.cacheHits.Add(j.cacheHits.Load())
-		s.cacheMisses.Add(j.cacheMisses.Load())
-		s.deltaEvals.Add(j.deltaEvals.Load())
-		s.layersReused.Add(j.layersReused.Load())
-		s.poolGets.Add(j.poolGets.Load())
-		s.poolReuses.Add(j.poolReuses.Load())
+		s.foldTelemetry(j)
 		j.finish(StateDone, ev, nil)
+	case s.baseCtx.Err() != nil:
+		// Drain/Close interrupted the search: leave the job non-terminal so
+		// a durable store recovers it on restart.
+		return
+	case ev != nil && errors.Is(err, context.DeadlineExceeded):
+		s.jobsDegraded.Add(1)
+		s.recordLatency(time.Since(begin).Seconds())
+		s.foldTelemetry(j)
+		j.finish(StateDegraded, ev, err)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.finish(StateCancelled, nil, err)
 	default:
 		j.finish(StateFailed, nil, err)
 	}
 	s.noteFinished(j)
+	s.persistTerminal(j)
+}
+
+// searchGuarded runs the search behind the fault-injection harness and a
+// panic barrier: a panicking worker — injected or real — fails only its
+// own job, never the process.
+func (s *Server) searchGuarded(ctx context.Context, j *Job, opts digamma.Options) (ev *digamma.Evaluation, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicsRecovered.Add(1)
+			ev, err = nil, fmt.Errorf("panic: %v", r)
+		}
+	}()
+	if err := s.cfg.Faults.Hit("worker.run"); err != nil {
+		return nil, err
+	}
+	return digamma.OptimizeContext(ctx, j.spec.model, j.spec.platform, opts)
+}
+
+// foldTelemetry folds a finishing job's evaluation counters into the
+// server-level aggregates served by /metrics.
+func (s *Server) foldTelemetry(j *Job) {
+	s.cacheHits.Add(j.cacheHits.Load())
+	s.cacheMisses.Add(j.cacheMisses.Load())
+	s.deltaEvals.Add(j.deltaEvals.Load())
+	s.layersReused.Add(j.layersReused.Load())
+	s.poolGets.Add(j.poolGets.Load())
+	s.poolReuses.Add(j.poolReuses.Load())
+}
+
+// persistTerminal writes a terminal job's record to the store, so recovery
+// serves its result instead of re-running it. Store failures are counted,
+// not fatal: the in-memory state stays authoritative for this process.
+func (s *Server) persistTerminal(j *Job) {
+	if err := s.store.SaveTerminal(j.terminalRecord()); err != nil {
+		s.storeErrors.Add(1)
+	}
 }
 
 // submit registers a job for the spec, deduplicating against any live or
-// completed job with the same canonical hash (failed and cancelled jobs
-// don't block a retry). The bool reports a dedup hit.
+// fully-completed job with the same canonical hash (failed, cancelled and
+// degraded jobs don't block a retry — a degraded result is partial, so a
+// resubmit deserves the full budget). The bool reports a dedup hit.
 func (s *Server) submit(spec *searchSpec) (*Job, bool, error) {
 	s.submitted.Add(1)
+	if s.draining.Load() {
+		s.rejected.Add(1)
+		return nil, false, errors.New("server is draining")
+	}
 	s.mu.Lock()
 	if prev, ok := s.byHash[spec.hash]; ok {
-		if st := prev.State(); st != StateFailed && st != StateCancelled {
+		if st := prev.State(); st != StateFailed && st != StateCancelled && st != StateDegraded {
 			s.mu.Unlock()
 			s.dedupHits.Add(1)
 			return prev, true, nil
@@ -247,21 +437,47 @@ func (s *Server) submit(spec *searchSpec) (*Job, bool, error) {
 	}
 	s.seq++
 	job := newJob(fmt.Sprintf("j%06d", s.seq), spec)
-	// Enqueue before publishing into the maps, all under s.mu: if the job
-	// were visible first, a concurrent identical submit could dedup onto
-	// it in the instant before a full queue rolls it back, handing out an
-	// ID that would 404 forever. enqueue never blocks, so holding the
-	// mutex across it is safe.
-	if !s.enqueue(job) {
+	// Ordering, all under s.mu: capacity first (a full queue must never
+	// reach the WAL), then the WAL append (once a client can observe the
+	// ID, a crash must not forget the job), then the enqueue and map
+	// publication. If the job were visible before it was enqueued, a
+	// concurrent identical submit could dedup onto it in the instant
+	// before a rollback, handing out an ID that would 404 forever. All
+	// queue growth happens here under s.mu, so the deque can only shrink
+	// between the capacity check and the enqueue — which therefore cannot
+	// fail for depth, only for a racing Close/Drain.
+	if !s.hasQueueSlot() {
 		s.seq--
 		s.mu.Unlock()
 		s.rejected.Add(1)
 		return nil, false, fmt.Errorf("queue full (%d jobs waiting)", s.cfg.QueueDepth)
 	}
+	if err := s.store.LogAccepted(JobRecord{ID: job.ID, Hash: job.Hash, CreatedAt: job.created, Req: spec.req}); err != nil {
+		s.seq--
+		s.mu.Unlock()
+		s.storeErrors.Add(1)
+		s.rejected.Add(1)
+		return nil, false, fmt.Errorf("persisting job: %w", err)
+	}
+	if !s.enqueue(job) {
+		// The ID is burned — it is in the WAL, and recovery after the
+		// shutdown in progress will pick the job up; don't reuse the seq.
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return nil, false, errors.New("server is draining")
+	}
 	s.jobs[job.ID] = job
 	s.byHash[spec.hash] = job
 	s.mu.Unlock()
 	return job, false, nil
+}
+
+// hasQueueSlot reports whether the pending deque can admit one more live
+// entry (and the server is still accepting work).
+func (s *Server) hasQueueSlot() bool {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return !s.closed && len(s.pending) < s.cfg.QueueDepth
 }
 
 // noteFinished enters a terminal job into the eviction order and trims
@@ -377,9 +593,11 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	_, finalized := j.requestCancel()
 	if finalized {
 		// Cancelled while queued: free the queue slot now rather than
-		// when a worker eventually drains the dead entry.
+		// when a worker eventually drains the dead entry, and persist the
+		// terminal state so recovery doesn't resurrect the job.
 		s.dropQueued(j)
 		s.noteFinished(j)
+		s.persistTerminal(j)
 	}
 	writeJSON(w, http.StatusOK, j.Status(false))
 }
@@ -406,7 +624,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	replay, ch, unsub := j.Subscribe()
 	defer unsub()
 	for _, ev := range replay {
-		if done := writeSSE(w, ev); done {
+		done, err := writeSSE(w, ev)
+		if err != nil {
+			return // client went away mid-replay; stop writing
+		}
+		if done {
 			fl.Flush()
 			return
 		}
@@ -417,22 +639,28 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		case <-s.baseCtx.Done():
+			// Shutdown: tell the client the stream is ending for a
+			// server-side reason, not because the job reached a terminal
+			// state (it may be recovered and resumed after a restart).
+			_, _ = writeSSE(w, Event{Type: "error", Error: "server shutting down"})
+			fl.Flush()
 			return
 		case ev := <-ch:
-			done := writeSSE(w, ev)
+			done, err := writeSSE(w, ev)
 			fl.Flush()
-			if done {
+			if err != nil || done {
 				return
 			}
 		}
 	}
 }
 
-// writeSSE emits one event frame and reports whether it was terminal.
-func writeSSE(w http.ResponseWriter, ev Event) bool {
+// writeSSE emits one event frame, reporting whether it was terminal and
+// any write error (a disconnected client) so the handler stops streaming.
+func writeSSE(w http.ResponseWriter, ev Event) (terminal bool, err error) {
 	payload, _ := json.Marshal(ev)
-	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, payload)
-	return ev.Type == "state" && ev.State.Terminal()
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, payload)
+	return ev.Type == "state" && ev.State.Terminal(), err
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,366 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"digamma"
+	"digamma/internal/faults"
+	"digamma/internal/report"
+)
+
+// Store persists digammad's job lifecycle so a crash or redeploy loses no
+// accepted work: an append-only log of accepted request specs, terminal
+// results, and the latest engine checkpoint per in-flight job. Recover
+// replays all three into the startup path — incomplete jobs re-enqueue
+// (resuming from their checkpoint), completed ones serve status and dedup
+// hits again.
+//
+// All methods may be called concurrently. Close flushes and releases the
+// store; from the store's point of view a process crash and a Close are
+// the same event, which is what lets the in-process chaos tests simulate
+// kill/restart cycles.
+type Store interface {
+	// LogAccepted durably appends one accepted job before the submit call
+	// returns — the job either never existed or is recoverable, no
+	// in-between.
+	LogAccepted(rec JobRecord) error
+	// SaveTerminal durably records a job's terminal state (atomically:
+	// recovery sees the whole record or none of it).
+	SaveTerminal(rec TerminalRecord) error
+	// SaveCheckpoint atomically replaces the job's latest resumable
+	// engine checkpoint.
+	SaveCheckpoint(id string, ck *digamma.Checkpoint) error
+	// Recover returns every accepted job in acceptance order, joined with
+	// its terminal record and latest checkpoint when present.
+	Recover() ([]RecoveredJob, error)
+	// Close flushes and releases the store.
+	Close() error
+}
+
+// JobRecord is the WAL entry for one accepted job.
+type JobRecord struct {
+	ID        string          `json:"id"`
+	Hash      string          `json:"hash"`
+	CreatedAt time.Time       `json:"created_at"`
+	Req       OptimizeRequest `json:"request"`
+}
+
+// TerminalRecord is a job's persisted terminal state. Result carries the
+// serialized report (the wire shape clients read), not the live
+// evaluation — recovery restores what GET /v1/jobs/{id} returns, it never
+// re-runs the cost model.
+type TerminalRecord struct {
+	ID         string         `json:"id"`
+	Hash       string         `json:"hash"`
+	State      State          `json:"state"`
+	Error      string         `json:"error,omitempty"`
+	FinishedAt time.Time      `json:"finished_at"`
+	Result     *report.Report `json:"result,omitempty"`
+}
+
+// RecoveredJob joins one accepted job with whatever outcome survived.
+type RecoveredJob struct {
+	Record   JobRecord
+	Terminal *TerminalRecord     // nil: the job never finished — re-enqueue it
+	Resume   *digamma.Checkpoint // latest checkpoint, nil if none was written
+}
+
+// nullStore is the default when no durability is configured: every write
+// succeeds by doing nothing and recovery finds nothing — the exact
+// in-memory-only behaviour earlier trees shipped.
+type nullStore struct{}
+
+func (nullStore) LogAccepted(JobRecord) error                      { return nil }
+func (nullStore) SaveTerminal(TerminalRecord) error                { return nil }
+func (nullStore) SaveCheckpoint(string, *digamma.Checkpoint) error { return nil }
+func (nullStore) Recover() ([]RecoveredJob, error)                 { return nil, nil }
+func (nullStore) Close() error                                     { return nil }
+
+// MemStore is an in-memory Store whose contents survive Close — it
+// persists across Server lifetimes within one process, which is exactly
+// the crash/restart boundary the in-process recovery tests exercise
+// (Close == crash as far as any Store can tell).
+type MemStore struct {
+	mu       sync.Mutex
+	accepted []JobRecord
+	terminal map[string]*TerminalRecord
+	ckpts    map[string]*digamma.Checkpoint
+
+	// Faults, when set, injects write failures at the same points the
+	// disk store exposes: faults.PointWAL, PointResult, PointCheckpoint.
+	Faults *faults.Injector
+}
+
+// Injection points shared by every Store implementation.
+const (
+	PointWAL        = "store.wal"
+	PointResult     = "store.result"
+	PointCheckpoint = "store.checkpoint"
+)
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{
+		terminal: make(map[string]*TerminalRecord),
+		ckpts:    make(map[string]*digamma.Checkpoint),
+	}
+}
+
+func (m *MemStore) LogAccepted(rec JobRecord) error {
+	if err := m.Faults.Hit(PointWAL); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.accepted = append(m.accepted, rec)
+	return nil
+}
+
+func (m *MemStore) SaveTerminal(rec TerminalRecord) error {
+	if err := m.Faults.Hit(PointResult); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.terminal[rec.ID] = &rec
+	return nil
+}
+
+func (m *MemStore) SaveCheckpoint(id string, ck *digamma.Checkpoint) error {
+	if err := m.Faults.Hit(PointCheckpoint); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ckpts[id] = ck
+	return nil
+}
+
+func (m *MemStore) Recover() ([]RecoveredJob, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]RecoveredJob, 0, len(m.accepted))
+	for _, rec := range m.accepted {
+		out = append(out, RecoveredJob{
+			Record:   rec,
+			Terminal: m.terminal[rec.ID],
+			Resume:   m.ckpts[rec.ID],
+		})
+	}
+	return out, nil
+}
+
+// Close is deliberately a no-op: the store's contents are the "disk" that
+// survives a simulated crash.
+func (m *MemStore) Close() error { return nil }
+
+// DiskStore persists jobs under a data directory:
+//
+//	wal.log           append-only CRC-framed JSONL of accepted JobRecords
+//	results/<id>.json TerminalRecord, written via temp file + rename
+//	ckpt/<id>.json    latest engine Checkpoint, written via temp file + rename
+//
+// The WAL is the source of truth for acceptance: a record is fsynced
+// before the submit returns 202, so an accepted job survives any
+// subsequent crash. Results and checkpoints are atomically renamed into
+// place — recovery sees each file entirely or not at all, and a torn WAL
+// tail (a crash mid-append) is detected by its CRC frame and truncated
+// away without losing any earlier record.
+type DiskStore struct {
+	dir string
+
+	// Faults, when set, injects write failures at PointWAL, PointResult
+	// and PointCheckpoint — the chaos suite's store-fault knobs.
+	Faults *faults.Injector
+
+	mu       sync.Mutex
+	wal      *os.File
+	replayed []JobRecord
+}
+
+// OpenDiskStore opens (creating if needed) a disk store rooted at dir,
+// replaying the WAL and truncating any torn tail before reopening it for
+// append.
+func OpenDiskStore(dir string) (*DiskStore, error) {
+	for _, d := range []string{dir, filepath.Join(dir, "results"), filepath.Join(dir, "ckpt")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	s := &DiskStore{dir: dir}
+	walPath := filepath.Join(dir, "wal.log")
+	data, err := os.ReadFile(walPath)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	records, valid := replayWAL(data)
+	if valid < len(data) {
+		// Torn tail (crash mid-append): keep the valid prefix. Truncation
+		// happens before the file is reopened for append, so the next
+		// record starts at a clean frame boundary.
+		if err := os.Truncate(walPath, int64(valid)); err != nil {
+			return nil, fmt.Errorf("store: truncating torn WAL tail: %w", err)
+		}
+	}
+	s.replayed = records
+	if s.wal, err = os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return s, nil
+}
+
+// replayWAL decodes the valid prefix of WAL bytes, returning the records
+// and the byte offset of the first invalid frame (== len(data) when the
+// log is wholly valid). Each frame is "%08x <json>\n" with the CRC32
+// (IEEE) of the JSON payload — enough to catch a torn or bit-rotted tail
+// without a heavyweight format.
+func replayWAL(data []byte) ([]JobRecord, int) {
+	var records []JobRecord
+	off := 0
+	for off < len(data) {
+		nl := -1
+		for i := off; i < len(data); i++ {
+			if data[i] == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			break // no trailing newline: torn tail
+		}
+		line := string(data[off:nl])
+		crcHex, payload, ok := strings.Cut(line, " ")
+		if !ok || len(crcHex) != 8 {
+			break
+		}
+		var crc uint32
+		if _, err := fmt.Sscanf(crcHex, "%08x", &crc); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE([]byte(payload)) != crc {
+			break
+		}
+		var rec JobRecord
+		if err := json.Unmarshal([]byte(payload), &rec); err != nil {
+			break
+		}
+		records = append(records, rec)
+		off = nl + 1
+	}
+	return records, off
+}
+
+func (s *DiskStore) LogAccepted(rec JobRecord) error {
+	if err := s.Faults.Hit(PointWAL); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	frame := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(payload), payload)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return fmt.Errorf("store: closed")
+	}
+	if _, err := s.wal.WriteString(frame); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// Acceptance is a durability promise (the submit hands out a job ID
+	// the client may poll after a crash), so it is the one write worth an
+	// fsync on the request path.
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+func (s *DiskStore) SaveTerminal(rec TerminalRecord) error {
+	if err := s.Faults.Hit(PointResult); err != nil {
+		return err
+	}
+	return s.atomicWrite(filepath.Join(s.dir, "results", rec.ID+".json"), rec)
+}
+
+func (s *DiskStore) SaveCheckpoint(id string, ck *digamma.Checkpoint) error {
+	if err := s.Faults.Hit(PointCheckpoint); err != nil {
+		return err
+	}
+	return s.atomicWrite(filepath.Join(s.dir, "ckpt", id+".json"), ck)
+}
+
+// atomicWrite marshals v and renames it into place, so readers (and
+// recovery) never observe a half-written file.
+func (s *DiskStore) atomicWrite(path string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+func (s *DiskStore) Recover() ([]RecoveredJob, error) {
+	s.mu.Lock()
+	records := s.replayed
+	s.mu.Unlock()
+	out := make([]RecoveredJob, 0, len(records))
+	for _, rec := range records {
+		rj := RecoveredJob{Record: rec}
+		if data, err := os.ReadFile(filepath.Join(s.dir, "results", rec.ID+".json")); err == nil {
+			var term TerminalRecord
+			if json.Unmarshal(data, &term) == nil {
+				rj.Terminal = &term
+			}
+		}
+		if rj.Terminal == nil {
+			if data, err := os.ReadFile(filepath.Join(s.dir, "ckpt", rec.ID+".json")); err == nil {
+				if ck, err := digamma.UnmarshalCheckpoint(data); err == nil {
+					rj.Resume = ck
+				}
+			}
+		}
+		out = append(out, rj)
+	}
+	return out, nil
+}
+
+func (s *DiskStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Sync()
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	s.wal = nil
+	return err
+}

@@ -12,6 +12,12 @@
 #   TARGET=http://localhost:8080 scripts/loadgen.sh   # against a live server
 #   BUDGET=1000 scripts/loadgen.sh                    # heavier searches
 #   ISLANDS=4 scripts/loadgen.sh                      # island-model searches
+#
+# Kill-after mode (crash-recovery smoke): starts a durable digammad,
+# SIGKILLs it mid-load, restarts it over the same data dir, and verifies
+# the interrupted jobs are recovered and finish.
+#   KILL_AFTER=2 scripts/loadgen.sh          # SIGKILL 2s into the load
+#   KILL_AFTER=2 ADDR=127.0.0.1:18418 BUDGET=20000 scripts/loadgen.sh
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -20,16 +26,83 @@ CLIENTS=${CLIENTS:-8}
 BUDGET=${BUDGET:-300}
 ISLANDS=${ISLANDS:-0}
 TARGET=${TARGET:-}
+KILL_AFTER=${KILL_AFTER:-}
+ADDR=${ADDR:-127.0.0.1:18418}
 
-BIN=$(mktemp -d)/digammad
-trap 'rm -rf "$(dirname "$BIN")"' EXIT
+TMP=$(mktemp -d)
+BIN=$TMP/digammad
+trap 'rm -rf "$TMP"; [ -n "${SRV_PID:-}" ] && kill -9 "$SRV_PID" 2>/dev/null || true' EXIT
 go build -o "$BIN" ./cmd/digammad
 
-# No exec: the shell must survive the run so the EXIT trap can clean up
-# the temporary build directory.
-"$BIN" -selftest \
-    -requests "$REQUESTS" \
-    -clients "$CLIENTS" \
-    -budget "$BUDGET" \
-    -islands "$ISLANDS" \
-    ${TARGET:+-target "$TARGET"}
+if [ -z "$KILL_AFTER" ]; then
+    # No exec: the shell must survive the run so the EXIT trap can clean
+    # up the temporary build directory.
+    "$BIN" -selftest \
+        -requests "$REQUESTS" \
+        -clients "$CLIENTS" \
+        -budget "$BUDGET" \
+        -islands "$ISLANDS" \
+        ${TARGET:+-target "$TARGET"}
+    exit 0
+fi
+
+# --- kill-after mode ---------------------------------------------------
+DATA=$TMP/data
+URL="http://$ADDR"
+
+wait_healthy() {
+    i=0
+    while ! curl -fsS "$URL/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -ge 100 ] && { echo "loadgen: digammad did not come up at $URL" >&2; exit 1; }
+        sleep 0.1
+    done
+}
+
+metric() { # metric NAME -> value (0 when absent)
+    curl -fsS "$URL/metrics" | awk -v m="$1" '$1 == m { print $2; found = 1 } END { if (!found) print 0 }'
+}
+
+"$BIN" -addr "$ADDR" -data-dir "$DATA" -checkpoint-every 2 &
+SRV_PID=$!
+wait_healthy
+echo "loadgen: durable digammad up (pid $SRV_PID, data $DATA)"
+
+# Fire the load in the background and SIGKILL the server mid-flight. The
+# selftest client is expected to fail — its server just died — so don't
+# let its exit status stop the script.
+"$BIN" -selftest -target "$URL" \
+    -requests "$REQUESTS" -clients "$CLIENTS" -budget "$BUDGET" -islands "$ISLANDS" \
+    >"$TMP/load.log" 2>&1 &
+LOAD_PID=$!
+sleep "$KILL_AFTER"
+kill -9 "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+wait "$LOAD_PID" 2>/dev/null || true
+echo "loadgen: SIGKILLed digammad after ${KILL_AFTER}s of load"
+
+"$BIN" -addr "$ADDR" -data-dir "$DATA" -checkpoint-every 2 &
+SRV_PID=$!
+wait_healthy
+RECOVERED=$(metric digammad_jobs_recovered_total)
+echo "loadgen: restarted; digammad_jobs_recovered_total=$RECOVERED"
+if [ "$RECOVERED" -lt 1 ]; then
+    echo "loadgen: FAIL — no jobs recovered after SIGKILL (accepted work was lost)" >&2
+    exit 1
+fi
+
+# Wait for every recovered job to reach a terminal state.
+i=0
+while :; do
+    LIVE=$(curl -fsS "$URL/v1/jobs" | grep -c '"state": "\(queued\|running\)"' || true)
+    [ "$LIVE" -eq 0 ] && break
+    i=$((i + 1))
+    [ "$i" -ge 600 ] && { echo "loadgen: FAIL — $LIVE recovered jobs still unfinished" >&2; exit 1; }
+    sleep 0.5
+done
+DONE=$(metric 'digammad_jobs{state="done"}')
+echo "loadgen: recovery complete — $DONE jobs done after restart"
+kill "$SRV_PID" 2>/dev/null
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=
+echo "loadgen: kill-after smoke PASS"
