@@ -16,6 +16,7 @@ import (
 	"digamma/internal/cost"
 	"digamma/internal/figures"
 	"digamma/internal/mapping"
+	"digamma/internal/obs"
 	"digamma/internal/opt"
 	"digamma/internal/schemes"
 	"digamma/internal/workload"
@@ -197,6 +198,36 @@ func BenchmarkDiGammaSearch(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Optimize(p, 400, int64(i+1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDiGammaSearchTraced mirrors BenchmarkDiGammaSearch with a live
+// flight recorder attached, quantifying the tracing tax when enabled.
+// bench_guard.sh deliberately guards only the untraced rows — this row
+// exists so BENCH_core.json records the traced cost beside its baseline.
+func BenchmarkDiGammaSearchTraced(b *testing.B) {
+	for _, name := range []string{"ncf", "resnet18"} {
+		b.Run(name, func(b *testing.B) {
+			model, err := workload.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := coopt.NewProblem(model, arch.Edge(), coopt.Latency)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng, err := core.New(p, core.DefaultConfig(), rand.New(rand.NewSource(int64(i+1))))
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng.Trace = obs.NewTracer(0)
+				if _, err := eng.Run(400); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -19,7 +19,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -30,6 +30,25 @@ import (
 
 	"digamma/internal/serve"
 )
+
+// newLogger builds the process logger from the -log-level / -log-format
+// flags. All digammad and serve-layer logging goes through it; "json"
+// emits one machine-parseable object per line for log shippers.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
 
 func main() {
 	var (
@@ -48,12 +67,22 @@ func main() {
 		islands  = flag.Int("islands", 0, "selftest: run the request mix on the K-island engine (<=1 = single population)")
 		target   = flag.String("target", "", "selftest: base URL of a running digammad (empty = in-process server)")
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (CPU/heap profiling of the serving hot path)")
+		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		logFmt   = flag.String("log-format", "text", "log encoding: text or json")
+		trSpans  = flag.Int("trace-spans", 0, "per-job flight-recorder span capacity (0 = default 4096, negative disables tracing and /trace + /report)")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel, *logFmt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "digammad:", err)
+		os.Exit(1)
+	}
 
 	cfg := serve.Config{
 		Workers: *jobs, QueueDepth: *queue, StoreLimit: *store, MaxBudget: *maxBud,
 		CheckpointEvery: *ckEvery, JobDeadline: *deadline,
+		TraceSpans: *trSpans, Log: logger,
 	}
 	if *dataDir != "" {
 		ds, err := serve.OpenDiskStore(*dataDir)
@@ -91,14 +120,14 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		mux.Handle("/", handler)
 		handler = mux
-		log.Printf("digammad: pprof enabled under /debug/pprof/")
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "digammad:", err)
 		os.Exit(1)
 	}
-	log.Printf("digammad listening on %s", l.Addr())
+	logger.Info("digammad listening", "addr", l.Addr().String())
 
 	srv := &http.Server{Handler: handler}
 	// SIGINT/SIGTERM drain gracefully: stop accepting, cancel running
@@ -113,16 +142,16 @@ func main() {
 	go func() {
 		defer close(done)
 		<-ctx.Done()
-		log.Printf("digammad: draining (signal received)")
+		logger.Info("draining", "cause", "signal")
 		drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := s.Drain(drainCtx); err != nil {
-			log.Printf("digammad: drain: %v", err)
+			logger.Error("drain failed", "err", err)
 		}
 		shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel2()
 		if err := srv.Shutdown(shutCtx); err != nil {
-			log.Printf("digammad: shutdown: %v", err)
+			logger.Error("shutdown failed", "err", err)
 		}
 	}()
 	if err := srv.Serve(l); err != nil && err != http.ErrServerClosed {
@@ -130,5 +159,5 @@ func main() {
 		os.Exit(1)
 	}
 	<-done
-	log.Printf("digammad: drained, exiting")
+	logger.Info("drained, exiting")
 }

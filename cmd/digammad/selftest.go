@@ -171,5 +171,68 @@ func runSelftest(cfg serve.Config, target string, total, clients, budget, island
 	if inProcess && len(ids)+int(dedup.Load()) != total {
 		return fmt.Errorf("accounting mismatch: %d distinct + %d dedup != %d total", len(ids), dedup.Load(), total)
 	}
+	return verifyObservability(target, ids)
+}
+
+// verifyObservability is the loadgen's telemetry smoke: after the mix
+// completes it scrapes /metrics and pulls one job's /trace and /report,
+// checking each parses into the documented shape. Tracing disabled
+// (-trace-spans < 0) legitimately 404s the per-job endpoints; that is
+// reported, not failed.
+func verifyObservability(target string, ids map[string]struct{}) error {
+	resp, err := http.Get(target + "/metrics")
+	if err != nil {
+		return fmt.Errorf("observability: metrics scrape: %w", err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(metrics, []byte("# TYPE digammad_build_info gauge")) {
+		return fmt.Errorf("observability: /metrics missing digammad_build_info")
+	}
+	if !bytes.Contains(metrics, []byte("# TYPE digammad_search_latency_seconds histogram")) {
+		return fmt.Errorf("observability: /metrics missing the search-latency histogram")
+	}
+
+	var id string
+	for id = range ids {
+		break
+	}
+	if id == "" {
+		return nil
+	}
+	resp, err = http.Get(target + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		return fmt.Errorf("observability: trace fetch: %w", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		fmt.Printf("  observability:       tracing disabled on target, skipping /trace and /report\n")
+		return nil
+	}
+	var trace struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil || len(trace.TraceEvents) == 0 {
+		return fmt.Errorf("observability: job %s trace invalid (%d events, err %v)", id, len(trace.TraceEvents), err)
+	}
+
+	resp, err = http.Get(target + "/v1/jobs/" + id + "/report")
+	if err != nil {
+		return fmt.Errorf("observability: report fetch: %w", err)
+	}
+	data, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var rep struct {
+		Search struct {
+			SearchSeconds float64           `json:"search_seconds"`
+			Phases        []json.RawMessage `json:"phases"`
+		} `json:"search"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil || len(rep.Search.Phases) == 0 {
+		return fmt.Errorf("observability: job %s report invalid (%d phases, err %v): %s", id, len(rep.Search.Phases), err, data)
+	}
+	fmt.Printf("  observability:       %d trace events, %d report phases, %.3fs search span (job %s)\n",
+		len(trace.TraceEvents), len(rep.Search.Phases), rep.Search.SearchSeconds, id)
 	return nil
 }

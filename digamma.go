@@ -28,6 +28,7 @@ import (
 	"digamma/internal/coopt"
 	"digamma/internal/core"
 	"digamma/internal/cost"
+	"digamma/internal/obs"
 	"digamma/internal/opt"
 	"digamma/internal/workload"
 )
@@ -134,6 +135,19 @@ func UnmarshalCheckpoint(data []byte) (*Checkpoint, error) {
 	return core.UnmarshalCheckpoint(data)
 }
 
+// Tracer is a bounded flight recorder for one search: per-generation
+// phase spans (init, breed, evaluate, migrate, checkpoint), per-operator
+// attribution of fitness improvements and per-island statistics. Install
+// one via Options.Trace, then export its Snapshot as Chrome trace_event
+// JSON (obs.WriteTraceEvents) or reduce it to a run report
+// (obs.BuildReport). Tracing never draws from the search's RNG streams,
+// so a traced run's result is bit-identical to an untraced one.
+type Tracer = obs.Tracer
+
+// NewTracer returns a tracer whose flight recorder holds spanCap spans
+// (0 = obs.DefaultSpanCap); once full, the oldest spans are overwritten.
+func NewTracer(spanCap int) *Tracer { return obs.NewTracer(spanCap) }
+
 // Options configures an optimization run.
 type Options struct {
 	// Budget is the sampling budget — the number of design points the
@@ -205,6 +219,13 @@ type Options struct {
 	// serving layer's "degraded" per-job deadline semantics — instead of
 	// the default nil result.
 	BestEffort bool
+	// Trace, when non-nil, records the search into the tracer's flight
+	// recorder: an umbrella "search" span plus the engine's per-generation
+	// phase spans, operator attribution and island statistics. Tracing is
+	// off the RNG stream — results are bit-identical with or without it —
+	// and a nil Trace costs one branch per phase boundary. Genetic engines
+	// only; the baseline vector algorithms record just the umbrella span.
+	Trace *Tracer
 }
 
 // withDefaults fills unset fields and validates the rest up front, so a
@@ -297,6 +318,7 @@ func (o Options) runEngine(ctx context.Context, p *Problem, base core.Config) (*
 	eng.OnGeneration = o.OnProgress
 	eng.OnCheckpoint = o.OnCheckpoint
 	eng.Resume = o.Resume
+	eng.Trace = o.Trace
 	r, err := eng.RunContext(ctx, o.Budget)
 	if err != nil {
 		if r != nil {
@@ -334,6 +356,7 @@ func OptimizeContext(ctx context.Context, model Model, platform Platform, o Opti
 	if err != nil {
 		return nil, err
 	}
+	defer o.traceSearch()()
 	p, err := o.problemFor(model, platform)
 	if err != nil {
 		return nil, err
@@ -363,6 +386,7 @@ func OptimizeMappingContext(ctx context.Context, model Model, platform Platform,
 	if err != nil {
 		return nil, err
 	}
+	defer o.traceSearch()()
 	p, err := o.problemFor(model, platform)
 	if err != nil {
 		return nil, err
@@ -372,6 +396,24 @@ func OptimizeMappingContext(ctx context.Context, model Model, platform Platform,
 		return nil, err
 	}
 	return o.runEngine(ctx, fp, core.GammaConfig())
+}
+
+// traceSearch opens the umbrella "search" span covering an entire
+// optimize call — problem assembly included, so setup time lands in the
+// report's synthesized "other" row — and returns the closer to defer.
+// A no-op closure when tracing is off.
+func (o Options) traceSearch() func() {
+	if o.Trace == nil {
+		return func() {}
+	}
+	t0 := o.Trace.Now()
+	return func() {
+		o.Trace.Record(obs.Span{
+			Name: obs.PhaseSearch, Cat: obs.CatRun,
+			Island: -1, Gen: -1,
+			Start: t0, Dur: o.Trace.Now() - t0,
+		})
+	}
 }
 
 // vectorProgress adapts Options.OnProgress to the sample-count reporting

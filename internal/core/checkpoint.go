@@ -30,6 +30,7 @@ import (
 
 	"digamma/internal/coopt"
 	"digamma/internal/mapping"
+	"digamma/internal/obs"
 	"digamma/internal/space"
 )
 
@@ -247,7 +248,9 @@ func (e *Engine) emitCheckpoint(res *Result, budget int, islands []*island) {
 	if e.OnCheckpoint == nil || e.Config.CheckpointEvery <= 0 || res.Generations == 0 {
 		return
 	}
+	t0 := e.Trace.Now()
 	e.OnCheckpoint(e.snapshot(res, budget, islands))
+	e.traceSpan(obs.PhaseCkpt, -1, res.Generations, t0)
 }
 
 // restore rebuilds the run's state from a checkpoint: validates it

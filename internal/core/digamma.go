@@ -25,10 +25,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
+	"time"
 
 	"digamma/internal/coopt"
+	"digamma/internal/obs"
 	"digamma/internal/par"
 	"digamma/internal/space"
 )
@@ -257,6 +260,14 @@ type Engine struct {
 	// fingerprint.
 	Resume *Checkpoint
 
+	// Trace, when set, records per-generation phase spans (init, breed,
+	// evaluate, migrate, checkpoint, finalize), per-operator attribution
+	// and per-island statistics into the tracer's flight recorder. The
+	// tracer only reads wall-clock time and counters the search already
+	// computed — never the RNG streams — so results are bit-identical
+	// traced or not; a nil Trace costs one branch per phase boundary.
+	Trace *obs.Tracer
+
 	// seed/master back the checkpointing machinery (NewSeeded); a plain
 	// New engine leaves them zero and cannot checkpoint or resume.
 	seed   int64
@@ -403,7 +414,9 @@ func (e *Engine) RunContext(ctx context.Context, budget int) (*Result, error) {
 		}
 		err = e.forIslands(islands, func(i, workers int) error {
 			var err error
+			t0 := e.Trace.Now()
 			evs[i], err = islands[i].evaluateBatch(initial[i], nil, nil, workers)
+			e.traceEvaluate(obs.PhaseInit, islands[i], 0, t0, len(initial[i]))
 			return err
 		})
 		if err != nil {
@@ -456,9 +469,11 @@ func (e *Engine) RunContext(ctx context.Context, budget int) (*Result, error) {
 		res.Generations++
 
 		if len(islands) > 1 && res.Generations%migrateEvery == 0 {
+			t0 := e.Trace.Now()
 			if err := e.migrate(islands, res); err != nil {
 				return nil, err
 			}
+			e.traceSpan(obs.PhaseMigrate, -1, res.Generations, t0)
 		}
 
 		// Each island breeds serially on its own RNG stream (which fixes
@@ -467,13 +482,20 @@ func (e *Engine) RunContext(ctx context.Context, budget int) (*Result, error) {
 		// deterministic at any worker count.
 		err := e.forIslands(islands, func(i, workers int) error {
 			is := islands[i]
+			// res.Generations is written only on the coordinator between
+			// lockstep phases, so reading it here for span labels is safe.
+			gen := res.Generations
+			t0 := e.Trace.Now()
 			counts[i] = is.breedChildren()
 			if counts[i] == 0 {
 				return nil // budget share spent: the island idles
 			}
+			e.traceSpan(obs.PhaseBreed, is.id, gen, t0)
 			var err error
 			n := counts[i]
+			t1 := e.Trace.Now()
 			evs[i], err = is.evaluateBatch(is.children[:n], is.parents[:n], is.dirt[:n], workers)
+			e.traceEvaluate(obs.PhaseEvaluate, is, gen, t1, n)
 			return err
 		})
 		if err != nil {
@@ -483,8 +505,12 @@ func (e *Engine) RunContext(ctx context.Context, budget int) (*Result, error) {
 			if counts[i] == 0 {
 				continue
 			}
+			e.traceOps(is, counts[i], evs[i])
 			e.account(res, is, evs[i])
 			is.install(is.elites, is.children[:counts[i]], evs[i])
+		}
+		if e.Trace != nil {
+			e.traceIslands(islands)
 		}
 	}
 
@@ -495,6 +521,7 @@ func (e *Engine) RunContext(ctx context.Context, budget int) (*Result, error) {
 // orders the populations, promotes the global best and folds the delta/pool
 // telemetry into the result.
 func (e *Engine) finalize(res *Result, budget int, islands []*island) *Result {
+	t0 := e.Trace.Now()
 	for _, is := range islands {
 		is.sortPop()
 	}
@@ -507,6 +534,10 @@ func (e *Engine) finalize(res *Result, budget int, islands []*island) *Result {
 	res.Best = best.eval.Detach()
 	e.emitProgress(res, budget, islands)
 	e.collectDelta(res, islands)
+	if e.Trace != nil {
+		e.traceIslands(islands)
+		e.traceSpan(obs.PhaseFinalize, -1, res.Generations, t0)
+	}
 	return res
 }
 
@@ -808,4 +839,105 @@ func (e *Engine) emitProgress(res *Result, budget int, islands []*island) {
 		p.CacheHits, p.CacheMisses = st.Hits, st.Misses
 	}
 	e.OnGeneration(p)
+}
+
+// traceSpan records one phase span opened at t0 and closing now. One
+// branch and no clock read when tracing is off (Now returned 0).
+func (e *Engine) traceSpan(name string, island, gen int, t0 time.Duration) {
+	if e.Trace == nil {
+		return
+	}
+	e.Trace.Record(obs.Span{
+		Name: name, Cat: obs.CatPhase,
+		Island: int32(island), Gen: int32(gen),
+		Start: t0, Dur: e.Trace.Now() - t0,
+	})
+}
+
+// traceEvaluate records an evaluate/init span carrying the batch
+// composition read back from the island's per-slot accounting
+// (reused[i] ≥ 0 delta, -1 full, -2 bound-pruned).
+func (e *Engine) traceEvaluate(name string, is *island, gen int, t0 time.Duration, n int) {
+	if e.Trace == nil {
+		return
+	}
+	var full, delta, pruned int32
+	for _, r := range is.reused[:n] {
+		switch {
+		case r >= 0:
+			delta++
+		case r == -1:
+			full++
+		default:
+			pruned++
+		}
+	}
+	e.Trace.Record(obs.Span{
+		Name: name, Cat: obs.CatPhase,
+		Island: int32(is.id), Gen: int32(gen),
+		Start: t0, Dur: e.Trace.Now() - t0,
+		N: int32(n), Full: full, Delta: delta, Pruned: pruned,
+	})
+}
+
+// traceOps folds one island batch's per-operator attribution into the
+// tracer. Runs on the coordinator before install, while the breeding
+// parents' evaluations are still valid: each child's fitness improvement
+// over its breeding parent is co-attributed to every operator in the
+// child's mask (a win's gain is credited to each participant, so gains
+// are comparative across operators, not additive).
+func (e *Engine) traceOps(is *island, n int, evs []*coopt.Evaluation) {
+	if e.Trace == nil || !is.traced {
+		return
+	}
+	var stats [obs.NumOps]obs.OpStat
+	for i := 0; i < n; i++ {
+		mask := is.ops[i]
+		gain := is.parents[i].Fitness - evs[i].Fitness
+		for op := obs.Op(0); op < obs.NumOps; op++ {
+			if !mask.Has(op) {
+				continue
+			}
+			stats[op].Children++
+			if gain > 0 {
+				stats[op].Wins++
+				stats[op].Gain += gain
+			}
+		}
+	}
+	e.Trace.FoldOps(&stats)
+}
+
+// traceIslands records each island's latest best fitness, diversity
+// (population fitness standard deviation, computed inline without
+// allocating) and cumulative samples. Coordinator-only, outside the
+// concurrent phases.
+func (e *Engine) traceIslands(islands []*island) {
+	for _, is := range islands {
+		var bestF, mean float64
+		if len(is.cur) > 0 {
+			bestF = is.cur[0].eval.Fitness
+			for _, ind := range is.cur {
+				mean += ind.eval.Fitness
+			}
+			mean /= float64(len(is.cur))
+		}
+		div := 0.0
+		if len(is.cur) > 1 {
+			varsum := 0.0
+			for _, ind := range is.cur {
+				d := ind.eval.Fitness - mean
+				varsum += d * d
+			}
+			div = math.Sqrt(varsum / float64(len(is.cur)))
+		}
+		e.Trace.ObserveIsland(obs.IslandStat{
+			Island:      is.id,
+			Profile:     is.profile,
+			Scout:       is.scout,
+			Samples:     int64(is.samples),
+			BestFitness: bestF,
+			Diversity:   div,
+		})
+	}
 }

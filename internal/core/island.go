@@ -8,6 +8,7 @@ import (
 
 	"digamma/internal/coopt"
 	"digamma/internal/mapping"
+	"digamma/internal/obs"
 	"digamma/internal/par"
 	"digamma/internal/space"
 	"digamma/internal/workload"
@@ -105,6 +106,16 @@ type island struct {
 	// Delta accounting, summed into Result by the coordinator.
 	deltaEvals   int // children scored by the delta path
 	layersReused int // per-layer analyses those children cloned from parents
+
+	// Tracing (engine.Trace != nil): profile is the island's profile name
+	// for report attribution, and ops records each bred child's operator
+	// mask (one byte per slot, reused across generations) so the
+	// coordinator can co-attribute fitness improvements. The masks are
+	// computed for free in branches breed already takes; when traced is
+	// false they are discarded and the buffer never allocates.
+	traced  bool
+	profile string
+	ops     []obs.OpMask
 }
 
 // newIsland assembles one island: profile applied on top of the engine's
@@ -153,6 +164,12 @@ func newIsland(e *Engine, id int, pr Profile, rng *rand.Rand, popTarget, budget 
 		// Recycling dropped evaluations is safe only while the engine is
 		// the sole holder; an OnEvaluation hook may retain them.
 		recycle: e.OnEvaluation == nil,
+		traced:  e.Trace != nil,
+	}
+	if is.traced {
+		if is.profile = pr.Name; is.profile == "" {
+			is.profile = "default"
+		}
 	}
 	return is, nil
 }
@@ -244,9 +261,16 @@ func (is *island) breedChildren() int {
 	is.children = growSlice(is.children, need)
 	is.parents = growSlice(is.parents, need)
 	is.dirt = growSlice(is.dirt, need)
+	if is.traced {
+		is.ops = growSlice(is.ops, need)
+	}
 	for i := 0; i < need; i++ {
 		is.dirt[i] = space.Dirty{}
-		is.children[i], is.parents[i] = is.breed(&is.dirt[i])
+		child, parent, mask := is.breed(&is.dirt[i])
+		is.children[i], is.parents[i] = child, parent
+		if is.traced {
+			is.ops[i] = mask
+		}
 	}
 	return need
 }
@@ -424,35 +448,42 @@ func (is *island) tournament() individual {
 // shared blocks hash identically in the evaluation cache, and the dominant
 // allocation of the old pipeline — two full genome deep-clones per child —
 // shrinks to the few blocks mutation actually touches.
-func (is *island) breed(d *space.Dirty) (space.Genome, *coopt.Evaluation) {
+func (is *island) breed(d *space.Dirty) (space.Genome, *coopt.Evaluation, obs.OpMask) {
 	cfg := is.cfg
 	p1 := is.tournament()
 	var child space.Genome
+	var mask obs.OpMask
 
 	if is.rng.Float64() < cfg.CrossRate {
 		p2 := is.tournament()
 		child = is.crossover(p1, p2, d)
+		mask.Set(obs.OpCross)
 	} else {
 		child = is.shallowCopy(p1.genome)
 	}
 	if is.rng.Float64() < cfg.ReorderRate {
 		is.reorder(&child, d)
+		mask.Set(obs.OpReorder)
 	}
 	if is.rng.Float64() < cfg.MutMapRate {
 		is.mutateMap(&child, d)
+		mask.Set(obs.OpMutMap)
 	}
 	if !cfg.FixedHW {
 		if is.rng.Float64() < cfg.MutHWRate {
 			is.mutateHW(&child)
 			d.MarkHW()
+			mask.Set(obs.OpMutHW)
 		}
 		if is.rng.Float64() < cfg.GrowRate && child.Levels() < cfg.MaxLevels {
 			is.grow(&child)
 			d.MarkAll() // clustering depth changed: no parent analysis survives
+			mask.Set(obs.OpGrow)
 		}
 		if is.rng.Float64() < cfg.AgeRate && child.Levels() > 2 {
 			is.age(&child)
 			d.MarkAll()
+			mask.Set(obs.OpAge)
 		}
 		child = is.repairHWBudget(child, d)
 	}
@@ -463,7 +494,7 @@ func (is *island) breed(d *space.Dirty) (space.Genome, *coopt.Evaluation) {
 	// place, mutateHW/grow/age/repairHWBudget keep fanouts in [1,
 	// MaxFanout] with mapping depths in lockstep. TestBredGenomesCanonical
 	// pins this invariant, which EvaluateCanonical relies on.
-	return child, p1.eval
+	return child, p1.eval, mask
 }
 
 // layerDims returns the layer bounds for layer index li.

@@ -228,7 +228,7 @@ func (e *Engine) RunPareto(budget int, objectives []coopt.Objective) (*ParetoRes
 			// NSGA-II owns selection and scores from scratch; the dirty
 			// set breeding records is not consumed here.
 			var dirt space.Dirty
-			child, _ := is.breed(&dirt)
+			child, _, _ := is.breed(&dirt)
 			c, err := evalG(child)
 			if err != nil {
 				return nil, err

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a lock-free cumulative histogram in the Prometheus mold:
+// fixed upper bounds chosen at construction, one atomic counter per
+// bucket plus a +Inf overflow bucket, and an atomically-accumulated sum.
+// Observe is wait-free (one atomic add, plus a CAS loop for the float
+// sum); rendering sums the buckets cumulatively, so a scrape racing an
+// Observe sees a consistent-enough view (counters only ever grow).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64   // float64 bits
+	count  atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given strictly-increasing
+// upper bounds (exclusive of +Inf, which is always appended).
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not increasing at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// LatencyBuckets spans end-to-end search latencies: 1 ms to 5 minutes.
+func LatencyBuckets() []float64 {
+	return []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+}
+
+// PhaseBuckets spans per-generation engine phases: 10 µs to 10 s.
+func PhaseBuckets() []float64 {
+	return []float64{1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, .01, .025, .05, .1, .25, .5, 1, 2.5, 10}
+}
+
+// IOBuckets spans store writes (fsync-dominated): 50 µs to 2.5 s.
+func IOBuckets() []float64 {
+	return []float64{5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, .01, .025, .05, .1, .25, .5, 1, 2.5}
+}
+
+// Observe folds one value in.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// WritePromSeries renders the histogram's _bucket/_sum/_count series for
+// one label set in the Prometheus text exposition format. labels is the
+// rendered inner label list without braces (e.g. `phase="breed"`), empty
+// for an unlabeled family; the caller writes the # HELP / # TYPE header
+// once per family before rendering its label sets.
+func (h *Histogram) WritePromSeries(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatBound(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	brace := ""
+	if labels != "" {
+		brace = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, brace, math.Float64frombits(h.sum.Load()))
+	// _count renders the same cumulative total as the +Inf bucket so the
+	// two can never disagree within one scrape, even racing an Observe.
+	fmt.Fprintf(w, "%s_count%s %d\n", name, brace, cum)
+}
+
+// formatBound renders a bucket bound the way Prometheus clients expect
+// (shortest float representation, no exponent for common values).
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}

@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if tr.Now() != 0 {
+		t.Fatal("nil tracer Now != 0")
+	}
+	if !tr.Epoch().IsZero() {
+		t.Fatal("nil tracer epoch not zero")
+	}
+	tr.Record(Span{Name: PhaseBreed})
+	var stats [NumOps]OpStat
+	tr.FoldOps(&stats)
+	tr.ObserveIsland(IslandStat{Island: 0})
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 0 || snap.Dropped != 0 {
+		t.Fatalf("nil tracer snapshot not empty: %+v", snap)
+	}
+}
+
+func TestTracerRingBounded(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Span{Name: PhaseBreed, Cat: CatPhase, Gen: int32(i)})
+	}
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(snap.Spans))
+	}
+	if snap.Dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", snap.Dropped)
+	}
+	// Oldest surviving first: generations 6,7,8,9.
+	for i, sp := range snap.Spans {
+		if want := int32(6 + i); sp.Gen != want {
+			t.Fatalf("span %d gen = %d, want %d", i, sp.Gen, want)
+		}
+	}
+}
+
+func TestTracerDefaultCap(t *testing.T) {
+	tr := NewTracer(0)
+	if tr.cap != DefaultSpanCap {
+		t.Fatalf("cap = %d, want %d", tr.cap, DefaultSpanCap)
+	}
+}
+
+func TestObserveIslandLatestWins(t *testing.T) {
+	tr := NewTracer(16)
+	tr.ObserveIsland(IslandStat{Island: 0, BestFitness: 5})
+	tr.ObserveIsland(IslandStat{Island: 1, BestFitness: 9})
+	tr.ObserveIsland(IslandStat{Island: 0, BestFitness: 3, Samples: 40})
+	snap := tr.Snapshot()
+	if len(snap.Islands) != 2 {
+		t.Fatalf("islands = %d, want 2", len(snap.Islands))
+	}
+	for _, is := range snap.Islands {
+		if is.Island == 0 {
+			if is.BestFitness != 3 || is.Samples != 40 {
+				t.Fatalf("island 0 not latest: %+v", is)
+			}
+			if is.Generations != 2 {
+				t.Fatalf("island 0 generations = %d, want 2", is.Generations)
+			}
+		}
+	}
+}
+
+func TestOpMask(t *testing.T) {
+	var m OpMask
+	m.Set(OpCross)
+	m.Set(OpGrow)
+	if !m.Has(OpCross) || !m.Has(OpGrow) || m.Has(OpMutHW) {
+		t.Fatalf("mask = %b", m)
+	}
+	for op := Op(0); op < NumOps; op++ {
+		if op.String() == "unknown" || op.String() == "" {
+			t.Fatalf("op %d has no name", op)
+		}
+	}
+}
+
+func TestFoldOps(t *testing.T) {
+	tr := NewTracer(16)
+	var batch [NumOps]OpStat
+	batch[OpCross] = OpStat{Children: 3, Wins: 1, Gain: .5}
+	tr.FoldOps(&batch)
+	tr.FoldOps(&batch)
+	snap := tr.Snapshot()
+	got := snap.Ops[OpCross]
+	if got.Children != 6 || got.Wins != 2 || got.Gain != 1 {
+		t.Fatalf("folded = %+v", got)
+	}
+}
+
+func TestFitnessStddev(t *testing.T) {
+	if got := FitnessStddev(nil); got != 0 {
+		t.Fatalf("stddev(nil) = %g", got)
+	}
+	if got := FitnessStddev([]float64{5}); got != 0 {
+		t.Fatalf("stddev(1 value) = %g", got)
+	}
+	got := FitnessStddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("stddev = %g, want 2", got)
+	}
+}
+
+func TestHistogramCumulative(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{.5, 1.5, 1.7, 3, 100} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	h.WritePromSeries(&buf, "x_seconds", `phase="breed"`)
+	out := buf.String()
+	want := []string{
+		`x_seconds_bucket{phase="breed",le="1"} 1`,
+		`x_seconds_bucket{phase="breed",le="2"} 3`,
+		`x_seconds_bucket{phase="breed",le="5"} 4`,
+		`x_seconds_bucket{phase="breed",le="+Inf"} 5`,
+		`x_seconds_count{phase="breed"} 5`,
+	}
+	for _, w := range want {
+		if !strings.Contains(out, w) {
+			t.Fatalf("missing %q in:\n%s", w, out)
+		}
+	}
+	if !strings.Contains(out, `x_seconds_sum{phase="breed"} 106.7`) {
+		t.Fatalf("sum wrong in:\n%s", out)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+
+	// Unlabeled rendering uses bare _sum/_count names.
+	var buf2 bytes.Buffer
+	h.WritePromSeries(&buf2, "y", "")
+	if !strings.Contains(buf2.String(), "y_sum 106.7") || !strings.Contains(buf2.String(), "y_count 5") {
+		t.Fatalf("unlabeled render wrong:\n%s", buf2.String())
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on non-increasing bounds")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+func TestBucketPresetsIncreasing(t *testing.T) {
+	for name, b := range map[string][]float64{
+		"latency": LatencyBuckets(),
+		"phase":   PhaseBuckets(),
+		"io":      IOBuckets(),
+	} {
+		NewHistogram(b) // panics if not strictly increasing
+		if len(b) < 10 {
+			t.Fatalf("%s buckets too coarse: %d", name, len(b))
+		}
+	}
+}
+
+func TestWriteTraceEvents(t *testing.T) {
+	tr := NewTracer(64)
+	tr.Record(Span{Name: PhaseQueueWait, Cat: CatRun, Island: -1, Gen: -1, Dur: 3 * time.Millisecond})
+	tr.Record(Span{Name: PhaseEvaluate, Cat: CatPhase, Island: 0, Gen: 2, Start: 10 * time.Millisecond, Dur: time.Millisecond, N: 24, Full: 4, Delta: 18, Pruned: 2})
+	tr.Record(Span{Name: PhaseBreed, Cat: CatPhase, Island: 1, Gen: 2, Dur: time.Microsecond})
+
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace JSON invalid: %v\n%s", err, buf.String())
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	// 3 metadata (serve, island 0, island 1) + 3 complete events.
+	var meta, complete int
+	for _, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if ev.PID != 1 {
+				t.Fatalf("pid = %d", ev.PID)
+			}
+			if ev.Name == PhaseEvaluate {
+				if ev.TID != 1 {
+					t.Fatalf("evaluate tid = %d, want 1 (island 0)", ev.TID)
+				}
+				if ev.TS != 10000 || ev.Dur != 1000 {
+					t.Fatalf("evaluate ts/dur = %g/%g", ev.TS, ev.Dur)
+				}
+				if ev.Args["full"] != float64(4) || ev.Args["delta"] != float64(18) || ev.Args["pruned"] != float64(2) {
+					t.Fatalf("evaluate args = %v", ev.Args)
+				}
+			}
+			if ev.Name == PhaseQueueWait && ev.TID != 0 {
+				t.Fatalf("queue_wait tid = %d, want 0 (serve lane)", ev.TID)
+			}
+		}
+	}
+	if meta != 3 || complete != 3 {
+		t.Fatalf("meta/complete = %d/%d, want 3/3", meta, complete)
+	}
+}
+
+func TestBuildReport(t *testing.T) {
+	tr := NewTracer(256)
+	// One search umbrella of 100 ms; engine phases total 70 ms; queue 5 ms.
+	tr.Record(Span{Name: PhaseQueueWait, Cat: CatRun, Island: -1, Gen: -1, Dur: 5 * time.Millisecond})
+	tr.Record(Span{Name: PhaseSearch, Cat: CatRun, Island: -1, Gen: -1, Dur: 100 * time.Millisecond})
+	tr.Record(Span{Name: PhaseInit, Cat: CatPhase, Island: 0, Gen: 0, Dur: 10 * time.Millisecond, N: 32, Full: 32})
+	for g := int32(1); g <= 3; g++ {
+		tr.Record(Span{Name: PhaseBreed, Cat: CatPhase, Island: 0, Gen: g, Dur: 4 * time.Millisecond})
+		tr.Record(Span{Name: PhaseEvaluate, Cat: CatPhase, Island: 0, Gen: g, Dur: 16 * time.Millisecond, N: 24, Full: 4, Delta: 18, Pruned: 2})
+	}
+	tr.Record(Span{Name: IOWALAppend, Cat: CatIO, Island: -1, Gen: -1, Dur: 2 * time.Millisecond})
+	var ops [NumOps]OpStat
+	ops[OpCross] = OpStat{Children: 10, Wins: 4, Gain: 2.5}
+	ops[OpGrow] = OpStat{Children: 2}
+	tr.FoldOps(&ops)
+	tr.ObserveIsland(IslandStat{Island: 0, Profile: "default", Samples: 104, BestFitness: 1.5, Diversity: .2})
+
+	rep := BuildReport(tr.Snapshot())
+	if math.Abs(rep.SearchSeconds-.1) > 1e-9 {
+		t.Fatalf("search = %g", rep.SearchSeconds)
+	}
+	if math.Abs(rep.QueueSeconds-.005) > 1e-9 {
+		t.Fatalf("queue = %g", rep.QueueSeconds)
+	}
+
+	byName := map[string]PhaseStat{}
+	sum := 0.0
+	for _, p := range rep.Phases {
+		byName[p.Name] = p
+		sum += p.Seconds
+	}
+	// Phases must sum exactly to the search span via the synthesized "other".
+	if math.Abs(sum-rep.SearchSeconds) > 1e-9 {
+		t.Fatalf("phase sum %g != search %g", sum, rep.SearchSeconds)
+	}
+	if other := byName[PhaseOther]; math.Abs(other.Seconds-.030) > 1e-9 {
+		t.Fatalf("other = %g, want 0.030", other.Seconds)
+	}
+	ev := byName[PhaseEvaluate]
+	if ev.Count != 3 || math.Abs(ev.Seconds-.048) > 1e-9 || math.Abs(ev.MeanMs-16) > 1e-9 || math.Abs(ev.MaxMs-16) > 1e-9 {
+		t.Fatalf("evaluate = %+v", ev)
+	}
+	// Sorted descending by seconds (before the appended "other").
+	if rep.Phases[0].Name != PhaseEvaluate {
+		t.Fatalf("phases[0] = %q, want evaluate", rep.Phases[0].Name)
+	}
+
+	if len(rep.IO) != 1 || rep.IO[0].Name != IOWALAppend || rep.IO[0].Count != 1 {
+		t.Fatalf("io = %+v", rep.IO)
+	}
+
+	if len(rep.Operators) != 2 {
+		t.Fatalf("operators = %+v", rep.Operators)
+	}
+	var cross OpReport
+	for _, o := range rep.Operators {
+		if o.Name == "crossover" {
+			cross = o
+		}
+	}
+	if cross.Children != 10 || cross.Wins != 4 || math.Abs(cross.WinRate-.4) > 1e-12 || cross.Gain != 2.5 {
+		t.Fatalf("crossover = %+v", cross)
+	}
+
+	if len(rep.Islands) != 1 {
+		t.Fatalf("islands = %+v", rep.Islands)
+	}
+	is := rep.Islands[0]
+	if is.FullEvals != 32+3*4 || is.DeltaEvals != 3*18 || is.PrunedEvals != 3*2 {
+		t.Fatalf("island eval split = %+v", is)
+	}
+	if math.Abs(is.BusySeconds-.070) > 1e-9 {
+		t.Fatalf("busy = %g, want 0.070", is.BusySeconds)
+	}
+
+	// JSON round-trip: the report is an API payload.
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildReportEmpty(t *testing.T) {
+	rep := BuildReport(Snapshot{})
+	if rep.SearchSeconds != 0 || len(rep.Phases) != 0 || len(rep.Operators) != 0 {
+		t.Fatalf("empty report = %+v", rep)
+	}
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// PhaseStat aggregates every span of one name: occurrence count, total
+// seconds and the mean/max per-span milliseconds.
+type PhaseStat struct {
+	Name    string  `json:"name"`
+	Count   int64   `json:"count"`
+	Seconds float64 `json:"seconds"`
+	MeanMs  float64 `json:"mean_ms"`
+	MaxMs   float64 `json:"max_ms"`
+}
+
+// OpReport is one operator's attribution row: children bred with the
+// operator in their pipeline (its sampling-budget spend), how many beat
+// their breeding parent, the win rate, and the total fitness gain
+// co-attributed to it.
+type OpReport struct {
+	Name     string  `json:"name"`
+	Children uint64  `json:"children"`
+	Wins     uint64  `json:"wins"`
+	WinRate  float64 `json:"win_rate"`
+	Gain     float64 `json:"gain"`
+}
+
+// IslandReport is one island's row: identity, final best/diversity
+// observations, samples spent, the evaluate-path split summed from its
+// evaluate spans, and its cumulative busy time across phase spans.
+type IslandReport struct {
+	Island      int     `json:"island"`
+	Profile     string  `json:"profile"`
+	Scout       bool    `json:"scout,omitempty"`
+	Generations int64   `json:"generations"`
+	Samples     int64   `json:"samples"`
+	BestFitness float64 `json:"best_fitness"`
+	Diversity   float64 `json:"diversity"`
+	FullEvals   int64   `json:"full_evals"`
+	DeltaEvals  int64   `json:"delta_evals"`
+	PrunedEvals int64   `json:"pruned_evals"`
+	BusySeconds float64 `json:"busy_seconds"`
+}
+
+// RunReport is the structured summary a snapshot reduces to: where the
+// search's time went, which operators earned their budget, how each
+// island behaved, and what store I/O cost.
+//
+// Phase accounting: Phases holds the leaf engine phases plus a
+// synthesized "other" row (SearchSeconds minus the engine phases —
+// coordinator bookkeeping, population install, problem setup), so for a
+// single-island run ΣPhases.Seconds equals SearchSeconds exactly. With
+// K > 1 islands the leaf phases run concurrently, so their sum is
+// cumulative busy time and may exceed SearchSeconds; "other" is clamped
+// at 0 and the sum is then busy time, not wall-clock.
+type RunReport struct {
+	SearchSeconds float64        `json:"search_seconds"`
+	QueueSeconds  float64        `json:"queue_seconds,omitempty"`
+	Phases        []PhaseStat    `json:"phases"`
+	IO            []PhaseStat    `json:"io,omitempty"`
+	Operators     []OpReport     `json:"operators,omitempty"`
+	Islands       []IslandReport `json:"islands,omitempty"`
+	SpansDropped  uint64         `json:"spans_dropped,omitempty"`
+}
+
+// BuildReport reduces a snapshot to its run report.
+func BuildReport(snap Snapshot) RunReport {
+	type agg struct {
+		count int64
+		total time.Duration
+		max   time.Duration
+	}
+	phases := map[string]*agg{}
+	ios := map[string]*agg{}
+	busy := map[int32]time.Duration{}
+	evalSplit := map[int32][3]int64{} // full, delta, pruned per island
+	var rep RunReport
+
+	fold := func(m map[string]*agg, sp Span) {
+		a := m[sp.Name]
+		if a == nil {
+			a = &agg{}
+			m[sp.Name] = a
+		}
+		a.count++
+		a.total += sp.Dur
+		if sp.Dur > a.max {
+			a.max = sp.Dur
+		}
+	}
+	for _, sp := range snap.Spans {
+		switch sp.Cat {
+		case CatPhase:
+			fold(phases, sp)
+			busy[sp.Island] += sp.Dur
+			if sp.Name == PhaseEvaluate || sp.Name == PhaseInit {
+				s := evalSplit[sp.Island]
+				s[0] += int64(sp.Full)
+				s[1] += int64(sp.Delta)
+				s[2] += int64(sp.Pruned)
+				evalSplit[sp.Island] = s
+			}
+		case CatIO:
+			fold(ios, sp)
+		case CatRun:
+			switch sp.Name {
+			case PhaseSearch:
+				rep.SearchSeconds += sp.Dur.Seconds()
+			case PhaseQueueWait:
+				rep.QueueSeconds += sp.Dur.Seconds()
+			}
+		}
+	}
+
+	rows := func(m map[string]*agg) []PhaseStat {
+		out := make([]PhaseStat, 0, len(m))
+		for name, a := range m {
+			out = append(out, PhaseStat{
+				Name:    name,
+				Count:   a.count,
+				Seconds: a.total.Seconds(),
+				MeanMs:  a.total.Seconds() * 1e3 / float64(a.count),
+				MaxMs:   a.max.Seconds() * 1e3,
+			})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Seconds > out[j].Seconds })
+		return out
+	}
+	rep.Phases = rows(phases)
+	rep.IO = rows(ios)
+
+	// Synthesize the "other" row so the phase table accounts for the whole
+	// search span (see the RunReport doc for the K > 1 caveat).
+	if rep.SearchSeconds > 0 {
+		engine := 0.0
+		for _, p := range rep.Phases {
+			engine += p.Seconds
+		}
+		if other := rep.SearchSeconds - engine; other > 0 {
+			rep.Phases = append(rep.Phases, PhaseStat{Name: PhaseOther, Count: 1, Seconds: other, MeanMs: other * 1e3, MaxMs: other * 1e3})
+		}
+	}
+
+	for op := Op(0); op < NumOps; op++ {
+		st := snap.Ops[op]
+		if st.Children == 0 {
+			continue
+		}
+		rep.Operators = append(rep.Operators, OpReport{
+			Name:     op.String(),
+			Children: st.Children,
+			Wins:     st.Wins,
+			WinRate:  float64(st.Wins) / float64(st.Children),
+			Gain:     st.Gain,
+		})
+	}
+
+	for _, is := range snap.Islands {
+		split := evalSplit[int32(is.Island)]
+		rep.Islands = append(rep.Islands, IslandReport{
+			Island:      is.Island,
+			Profile:     is.Profile,
+			Scout:       is.Scout,
+			Generations: is.Generations,
+			Samples:     is.Samples,
+			BestFitness: is.BestFitness,
+			Diversity:   is.Diversity,
+			FullEvals:   split[0],
+			DeltaEvals:  split[1],
+			PrunedEvals: split[2],
+			BusySeconds: busy[int32(is.Island)].Seconds(),
+		})
+	}
+	sort.Slice(rep.Islands, func(i, j int) bool { return rep.Islands[i].Island < rep.Islands[j].Island })
+
+	rep.SpansDropped = snap.Dropped
+	return rep
+}

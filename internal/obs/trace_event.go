@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// traceEvent is one entry of the Chrome trace_event JSON format (the
+// "JSON Array Format" consumed by chrome://tracing and Perfetto).
+// Timestamps and durations are microseconds.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the top-level trace_event object.
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+// WriteTraceEvents renders a snapshot as Chrome trace_event JSON. Lanes
+// (tids) are: 0 for the serve/coordinator timeline (spans with Island -1),
+// island i on lane i+1. Every span becomes a complete ("X") event with its
+// generation and evaluate-split counts in args; thread-name metadata
+// events label the lanes. See docs/trace-format.md for the full mapping.
+func WriteTraceEvents(w io.Writer, snap Snapshot) error {
+	const pid = 1
+	events := make([]traceEvent, 0, len(snap.Spans)+8)
+	lanes := map[int]bool{}
+	laneName := func(island int32) (int, string) {
+		if island < 0 {
+			return 0, "serve"
+		}
+		return int(island) + 1, "island " + strconv.Itoa(int(island))
+	}
+	for _, sp := range snap.Spans {
+		tid, name := laneName(sp.Island)
+		if !lanes[tid] {
+			lanes[tid] = true
+			events = append(events, traceEvent{
+				Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+				Args: map[string]any{"name": name},
+			})
+		}
+		ev := traceEvent{
+			Name: sp.Name,
+			Cat:  sp.Cat,
+			Ph:   "X",
+			TS:   float64(sp.Start.Microseconds()),
+			Dur:  float64(sp.Dur.Nanoseconds()) / 1e3,
+			PID:  pid,
+			TID:  tid,
+		}
+		args := map[string]any{}
+		if sp.Gen >= 0 {
+			args["gen"] = sp.Gen
+		}
+		if sp.N > 0 {
+			args["n"] = sp.N
+			if sp.Name == PhaseEvaluate || sp.Name == PhaseInit {
+				args["full"] = sp.Full
+				args["delta"] = sp.Delta
+				args["pruned"] = sp.Pruned
+			}
+		}
+		if len(args) > 0 {
+			ev.Args = args
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{DisplayTimeUnit: "ms", TraceEvents: events})
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"digamma"
+	"digamma/internal/obs"
 	"digamma/internal/report"
 )
 
@@ -79,6 +80,12 @@ type Job struct {
 	resume    *digamma.Checkpoint
 	recovered bool
 
+	// trace is the job's flight recorder (nil when tracing is disabled):
+	// the engine records its phase spans into it, the serve layer its
+	// queue-wait and store-I/O spans. Immutable after construction, so it
+	// is read without the job lock.
+	trace *obs.Tracer
+
 	mu     sync.Mutex
 	state  State
 	err    string
@@ -93,6 +100,9 @@ type Job struct {
 	cancel       context.CancelFunc
 	events       []Event
 	subs         map[chan Event]struct{}
+	// runReport is the structured run report built when the job reaches a
+	// terminal state (GET /v1/jobs/{id}/report).
+	runReport *JobReport
 }
 
 func newJob(id string, spec *searchSpec) *Job {
@@ -169,6 +179,14 @@ func (j *Job) setRunning(cancel context.CancelFunc) bool {
 	j.state = StateRunning
 	j.started = time.Now()
 	j.cancel = cancel
+	// Queue wait: creation (or recovery) → worker pickup, on the serve
+	// lane. Recorded as a run-cat span so the report excludes it from the
+	// phase sum (it precedes the search).
+	j.trace.Record(obs.Span{
+		Name: obs.PhaseQueueWait, Cat: obs.CatRun,
+		Island: -1, Gen: -1,
+		Dur: j.started.Sub(j.created),
+	})
 	j.publishLocked(Event{Type: "state", State: StateRunning})
 	return true
 }
@@ -327,4 +345,26 @@ func (j *Job) Result() *digamma.Evaluation {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.result
+}
+
+// Report returns the job's run report, nil until a terminal state built
+// one.
+func (j *Job) Report() *JobReport {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.runReport
+}
+
+// setReport attaches the terminal run report.
+func (j *Job) setReport(rep *JobReport) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.runReport = rep
+}
+
+// times snapshots the lifecycle timestamps for report building.
+func (j *Job) times() (created, started, finished time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.created, j.started, j.finished
 }

@@ -3,8 +3,12 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sort"
 	"time"
 
+	"digamma/internal/obs"
 	"digamma/internal/stats"
 )
 
@@ -18,17 +22,24 @@ func hitRate(hits, misses uint64) float64 {
 }
 
 // recordLatency folds one completed search's wall-clock seconds into the
-// quantile window. The window is capped so /metrics stays O(1)-ish and
-// reflects recent behaviour rather than all-time history.
-func (s *Server) recordLatency(seconds float64) {
+// cumulative per-backend histogram (all-time, for /metrics) and the
+// recent-latency ring (a bounded window behind /healthz's p50/p95 and the
+// run report's recency view). The ring overwrites its oldest slot in
+// place — O(1) per completion, where the old window shifted 4096 floats
+// with a copy on every finished search.
+func (s *Server) recordLatency(seconds float64, backend string) {
+	if h := s.latHist[backend]; h != nil {
+		h.Observe(seconds)
+	}
 	const window = 4096
 	s.latMu.Lock()
 	defer s.latMu.Unlock()
-	if len(s.latencies) >= window {
-		copy(s.latencies, s.latencies[1:])
-		s.latencies = s.latencies[:window-1]
+	if len(s.latencies) < window {
+		s.latencies = append(s.latencies, seconds)
+		return
 	}
-	s.latencies = append(s.latencies, seconds)
+	s.latencies[s.latHead] = seconds
+	s.latHead = (s.latHead + 1) % window
 }
 
 // latencyQuantiles snapshots p50/p95 over the window (NaN-free: zeros
@@ -64,9 +75,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	hits, misses := s.cacheHits.Load(), s.cacheMisses.Load()
-	p50, p95, count := s.latencyQuantiles()
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP digammad_build_info Build metadata; the value is always 1.\n")
+	fmt.Fprintf(w, "# TYPE digammad_build_info gauge\n")
+	fmt.Fprintf(w, "digammad_build_info{version=%q,go_version=%q} 1\n", buildVersion(), runtime.Version())
 	fmt.Fprintf(w, "# HELP digammad_uptime_seconds Seconds since the server started.\n")
 	fmt.Fprintf(w, "# TYPE digammad_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "digammad_uptime_seconds %g\n", time.Since(s.started).Seconds())
@@ -132,9 +145,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP digammad_store_errors_total Store writes that failed (WAL, result or checkpoint).\n")
 	fmt.Fprintf(w, "# TYPE digammad_store_errors_total counter\n")
 	fmt.Fprintf(w, "digammad_store_errors_total %d\n", s.storeErrors.Load())
-	fmt.Fprintf(w, "# HELP digammad_search_latency_seconds Completed-search wall-clock latency quantiles.\n")
-	fmt.Fprintf(w, "# TYPE digammad_search_latency_seconds summary\n")
-	fmt.Fprintf(w, "digammad_search_latency_seconds{quantile=\"0.5\"} %g\n", p50)
-	fmt.Fprintf(w, "digammad_search_latency_seconds{quantile=\"0.95\"} %g\n", p95)
-	fmt.Fprintf(w, "digammad_search_latency_seconds_count %d\n", count)
+	// Histogram families. Label sets are fixed at construction (every
+	// backend/phase/op renders on every scrape, zero or not) and iterated
+	// sorted, so scrape-to-scrape output is stable.
+	writeHistFamily(w, "digammad_search_latency_seconds",
+		"Completed-search wall-clock latency by cost-model backend.", "backend", s.latHist)
+	writeHistFamily(w, "digammad_phase_seconds",
+		"Engine phase-span durations across traced jobs.", "phase", s.phaseHist)
+	writeHistFamily(w, "digammad_store_io_seconds",
+		"Store write latencies by operation (WAL append, checkpoint, result, report).", "op", s.ioHist)
+}
+
+// writeHistFamily renders one labeled histogram family: HELP/TYPE once,
+// then each label value's _bucket/_sum/_count series in sorted order.
+func writeHistFamily(w http.ResponseWriter, name, help, label string, hists map[string]*obs.Histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	keys := make([]string, 0, len(hists))
+	for k := range hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		hists[k].WritePromSeries(w, name, fmt.Sprintf("%s=%q", label, k))
+	}
+}
+
+// buildVersion reports the main module's version as baked in by the Go
+// toolchain ("(devel)" for a plain go build of a work tree).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
 }

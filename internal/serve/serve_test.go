@@ -500,8 +500,11 @@ func TestMetrics(t *testing.T) {
 		"digammad_evalpool_gets_total ",
 		"digammad_evalpool_reuses_total ",
 		"digammad_evalpool_reuse_rate ",
-		`digammad_search_latency_seconds{quantile="0.5"}`,
-		`digammad_search_latency_seconds{quantile="0.95"}`,
+		`digammad_build_info{version=`,
+		`digammad_search_latency_seconds_bucket{backend="analytical",le="+Inf"} 1`,
+		`digammad_search_latency_seconds_count{backend="analytical"} 1`,
+		`digammad_phase_seconds_bucket{phase="evaluate",le="+Inf"}`,
+		`digammad_store_io_seconds_count{op="wal_append"} 1`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q in:\n%s", want, text)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sort"
@@ -13,7 +14,9 @@ import (
 	"time"
 
 	"digamma"
+	"digamma/internal/cost"
 	"digamma/internal/faults"
+	"digamma/internal/obs"
 	"digamma/internal/workload"
 )
 
@@ -49,6 +52,15 @@ type Config struct {
 	// Faults arms the deterministic fault-injection harness (tests only;
 	// nil in production). Points: "worker.run" plus the Store points.
 	Faults *faults.Injector
+	// TraceSpans sizes each job's flight recorder (the per-job bounded
+	// span ring exported via /v1/jobs/{id}/trace and summarized by
+	// /v1/jobs/{id}/report). 0 = obs.DefaultSpanCap; negative disables
+	// per-job tracing entirely (jobs then run the engine's zero-cost
+	// disabled path and serve 404 on trace/report).
+	TraceSpans int
+	// Log receives the server's structured logs (job lifecycle, drain,
+	// recovery, store errors). nil discards them.
+	Log *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -109,7 +121,18 @@ type Server struct {
 	storeErrors        atomic.Uint64
 
 	latMu     sync.Mutex
-	latencies []float64 // completed-search wall-clock seconds
+	latencies []float64 // ring of recent completed-search wall-clock seconds
+	latHead   int       // next slot to overwrite once the ring is full
+
+	// Cumulative histograms behind /metrics, keyed by their one label
+	// value. The key sets are fixed at construction (every backend, every
+	// engine phase, every store op), so scrapes always see the same
+	// series — no label churn as traffic shifts.
+	latHist   map[string]*obs.Histogram // by cost-model backend ("fidelity")
+	phaseHist map[string]*obs.Histogram // by engine phase
+	ioHist    map[string]*obs.Histogram // by store I/O op
+
+	log *slog.Logger
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -128,11 +151,27 @@ func New(cfg Config) (*Server, error) {
 		jobs:    make(map[string]*Job),
 		byHash:  make(map[string]*Job),
 		started: time.Now(),
+		log:     cfg.Log,
 		baseCtx: ctx,
 		stop:    stop,
 	}
 	if s.store == nil {
 		s.store = nullStore{}
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
+	}
+	s.latHist = make(map[string]*obs.Histogram, len(cost.BackendNames))
+	for _, b := range cost.BackendNames {
+		s.latHist[b] = obs.NewHistogram(obs.LatencyBuckets())
+	}
+	s.phaseHist = make(map[string]*obs.Histogram)
+	for _, p := range []string{obs.PhaseInit, obs.PhaseBreed, obs.PhaseEvaluate, obs.PhaseMigrate, obs.PhaseCkpt, obs.PhaseFinalize} {
+		s.phaseHist[p] = obs.NewHistogram(obs.PhaseBuckets())
+	}
+	s.ioHist = make(map[string]*obs.Histogram)
+	for _, op := range []string{obs.IOWALAppend, obs.IOCkptSave, obs.IOResult, obs.IOReport} {
+		s.ioHist[op] = obs.NewHistogram(obs.IOBuckets())
 	}
 	s.qcond = sync.NewCond(&s.qmu)
 	if err := s.recoverJobs(); err != nil {
@@ -182,13 +221,37 @@ func (s *Server) recoverJobs() error {
 				s.byHash[job.Hash] = job
 			}
 		} else {
+			// Only re-run jobs get a flight recorder: a terminal-restored
+			// job's recorder died with the process (its persisted report
+			// still serves; /trace reports the recorder as gone).
+			job.trace = s.newTracer()
 			job.resume = rj.Resume
 			s.byHash[job.Hash] = job
 			s.pending = append(s.pending, job)
 			s.jobsRecovered.Add(1)
+			s.jobLog(job).Info("job recovered", "resuming", job.resume != nil)
 		}
 	}
+	if n := len(recs); n > 0 {
+		s.log.Info("store recovery complete", "records", n, "requeued", s.jobsRecovered.Load())
+	}
 	return nil
+}
+
+// newTracer builds one job's flight recorder per Config.TraceSpans
+// (nil = tracing disabled: the engine runs its zero-cost path).
+func (s *Server) newTracer() *obs.Tracer {
+	if s.cfg.TraceSpans < 0 {
+		return nil
+	}
+	return obs.NewTracer(s.cfg.TraceSpans)
+}
+
+// jobLog returns the job-scoped logger: every line carries the job id and
+// canonical request hash, so one grep correlates a request with its
+// search.
+func (s *Server) jobLog(j *Job) *slog.Logger {
+	return s.log.With("job", j.ID, "hash", j.Hash)
 }
 
 // Close cancels every running search and stops the workers, then releases
@@ -214,7 +277,8 @@ func (s *Server) Close() {
 // is flushed and closed. Returns ctx.Err() if the workers outlive the
 // context; the store is closed either way.
 func (s *Server) Drain(ctx context.Context) error {
-	s.draining.Store(true)
+	s.draining.Store(true) // /readyz flips to 503 from here on
+	s.log.Info("drain started", "queue_depth", s.queueDepth())
 	s.qmu.Lock()
 	s.closed = true
 	s.qcond.Broadcast()
@@ -234,6 +298,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	if cerr := s.store.Close(); err == nil && cerr != nil {
 		err = cerr
 	}
+	s.log.Info("drain finished", "err", err)
 	return err
 }
 
@@ -309,7 +374,11 @@ func (s *Server) runJob(j *Job) {
 	if !j.setRunning(cancel) {
 		return // cancelled while queued
 	}
+	log := s.jobLog(j)
+	log.Info("job running", "model", j.spec.model.Name, "budget", j.spec.req.Budget,
+		"resuming", j.resume != nil)
 	opts := j.spec.opts
+	opts.Trace = j.trace
 	opts.OnProgress = func(p digamma.Progress) {
 		j.cacheHits.Store(p.CacheHits)
 		j.cacheMisses.Store(p.CacheMisses)
@@ -332,8 +401,12 @@ func (s *Server) runJob(j *Job) {
 	if _, inMemoryOnly := s.store.(nullStore); !inMemoryOnly && s.cfg.CheckpointEvery > 0 {
 		opts.CheckpointEvery = s.cfg.CheckpointEvery
 		opts.OnCheckpoint = func(ck *digamma.Checkpoint) {
-			if err := s.store.SaveCheckpoint(j.ID, ck); err != nil {
+			t0 := j.trace.Now()
+			err := s.store.SaveCheckpoint(j.ID, ck)
+			s.recordIO(j, obs.IOCkptSave, t0)
+			if err != nil {
 				s.storeErrors.Add(1)
+				log.Warn("checkpoint write failed", "err", err)
 				return
 			}
 			s.checkpointsWritten.Add(1)
@@ -358,18 +431,20 @@ func (s *Server) runJob(j *Job) {
 		opts.Resume = nil
 		ev, err = s.searchGuarded(runCtx, j, opts)
 	}
+	backend := j.spec.req.Fidelity
 	switch {
 	case err == nil:
-		s.recordLatency(time.Since(begin).Seconds())
+		s.recordLatency(time.Since(begin).Seconds(), backend)
 		s.foldTelemetry(j)
 		j.finish(StateDone, ev, nil)
 	case s.baseCtx.Err() != nil:
 		// Drain/Close interrupted the search: leave the job non-terminal so
 		// a durable store recovers it on restart.
+		log.Info("job interrupted by shutdown, left recoverable")
 		return
 	case ev != nil && errors.Is(err, context.DeadlineExceeded):
 		s.jobsDegraded.Add(1)
-		s.recordLatency(time.Since(begin).Seconds())
+		s.recordLatency(time.Since(begin).Seconds(), backend)
 		s.foldTelemetry(j)
 		j.finish(StateDegraded, ev, err)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
@@ -377,8 +452,55 @@ func (s *Server) runJob(j *Job) {
 	default:
 		j.finish(StateFailed, nil, err)
 	}
+	log.Info("job finished", "state", string(j.State()),
+		"wall_seconds", time.Since(begin).Seconds(), "err", err)
 	s.noteFinished(j)
 	s.persistTerminal(j)
+	s.finishReport(j)
+}
+
+// recordIO records one store write into the job's trace and the
+// /metrics histogram for its op.
+func (s *Server) recordIO(j *Job, op string, t0 time.Duration) {
+	if j.trace == nil {
+		return
+	}
+	dur := j.trace.Now() - t0
+	j.trace.Record(obs.Span{Name: op, Cat: obs.CatIO, Island: -1, Gen: -1, Start: t0, Dur: dur})
+	if h := s.ioHist[op]; h != nil {
+		h.Observe(dur.Seconds())
+	}
+}
+
+// finishReport closes out a terminal job's observability: folds its phase
+// spans into the /metrics histograms, builds the structured run report,
+// attaches it for GET /v1/jobs/{id}/report and persists it next to the
+// result. Runs after persistTerminal so the result_save span is in the
+// report's I/O table.
+func (s *Server) finishReport(j *Job) {
+	if j.trace == nil {
+		return
+	}
+	for _, sp := range j.trace.Snapshot().Spans {
+		if sp.Cat != obs.CatPhase {
+			continue
+		}
+		if h := s.phaseHist[sp.Name]; h != nil {
+			h.Observe(sp.Dur.Seconds())
+		}
+	}
+	rep := s.buildReport(j)
+	j.setReport(rep)
+	data, err := json.Marshal(rep)
+	if err == nil {
+		t0 := j.trace.Now()
+		err = s.store.SaveReport(j.ID, data)
+		s.recordIO(j, obs.IOReport, t0)
+	}
+	if err != nil {
+		s.storeErrors.Add(1)
+		s.jobLog(j).Warn("report write failed", "err", err)
+	}
 }
 
 // searchGuarded runs the search behind the fault-injection harness and a
@@ -412,8 +534,12 @@ func (s *Server) foldTelemetry(j *Job) {
 // serves its result instead of re-running it. Store failures are counted,
 // not fatal: the in-memory state stays authoritative for this process.
 func (s *Server) persistTerminal(j *Job) {
-	if err := s.store.SaveTerminal(j.terminalRecord()); err != nil {
+	t0 := j.trace.Now()
+	err := s.store.SaveTerminal(j.terminalRecord())
+	s.recordIO(j, obs.IOResult, t0)
+	if err != nil {
 		s.storeErrors.Add(1)
+		s.jobLog(j).Warn("result write failed", "err", err)
 	}
 }
 
@@ -437,6 +563,7 @@ func (s *Server) submit(spec *searchSpec) (*Job, bool, error) {
 	}
 	s.seq++
 	job := newJob(fmt.Sprintf("j%06d", s.seq), spec)
+	job.trace = s.newTracer()
 	// Ordering, all under s.mu: capacity first (a full queue must never
 	// reach the WAL), then the WAL append (once a client can observe the
 	// ID, a crash must not forget the job), then the enqueue and map
@@ -452,7 +579,10 @@ func (s *Server) submit(spec *searchSpec) (*Job, bool, error) {
 		s.rejected.Add(1)
 		return nil, false, fmt.Errorf("queue full (%d jobs waiting)", s.cfg.QueueDepth)
 	}
-	if err := s.store.LogAccepted(JobRecord{ID: job.ID, Hash: job.Hash, CreatedAt: job.created, Req: spec.req}); err != nil {
+	t0 := job.trace.Now()
+	err := s.store.LogAccepted(JobRecord{ID: job.ID, Hash: job.Hash, CreatedAt: job.created, Req: spec.req})
+	s.recordIO(job, obs.IOWALAppend, t0)
+	if err != nil {
 		s.seq--
 		s.mu.Unlock()
 		s.storeErrors.Add(1)
@@ -469,6 +599,8 @@ func (s *Server) submit(spec *searchSpec) (*Job, bool, error) {
 	s.jobs[job.ID] = job
 	s.byHash[spec.hash] = job
 	s.mu.Unlock()
+	s.jobLog(job).Info("job accepted", "model", spec.model.Name,
+		"budget", spec.req.Budget, "seed", spec.req.Seed, "fidelity", spec.req.Fidelity)
 	return job, false, nil
 }
 
@@ -512,9 +644,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /v1/platforms", s.handlePlatforms)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -692,11 +827,29 @@ func (s *Server) handlePlatforms(w http.ResponseWriter, r *http.Request) {
 	}})
 }
 
+// handleHealth is liveness: 200 as long as the process serves HTTP, with
+// a snapshot of uptime, queue depth and the recent-latency window (p50/
+// p95 over the ring recordLatency maintains). Readiness lives on /readyz.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	p50, p95, count := s.latencyQuantiles()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
-		"uptime_seconds": time.Since(s.started).Seconds(),
-		"queue_depth":    s.queueDepth(),
-		"workers":        s.cfg.Workers,
+		"status":             "ok",
+		"uptime_seconds":     time.Since(s.started).Seconds(),
+		"queue_depth":        s.queueDepth(),
+		"workers":            s.cfg.Workers,
+		"recent_latency_p50": p50,
+		"recent_latency_p95": p95,
+		"recent_searches":    count,
 	})
+}
+
+// handleReady is readiness: 503 once Drain has started — the flag flips
+// before the listener closes, so a load balancer stops routing new work
+// while in-flight requests still complete.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }

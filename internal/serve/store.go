@@ -37,6 +37,13 @@ type Store interface {
 	// SaveCheckpoint atomically replaces the job's latest resumable
 	// engine checkpoint.
 	SaveCheckpoint(id string, ck *digamma.Checkpoint) error
+	// SaveReport atomically persists a terminal job's run-report JSON
+	// (GET /v1/jobs/{id}/report), so the phase/operator breakdown
+	// survives a restart alongside the result.
+	SaveReport(id string, data []byte) error
+	// LoadReport returns a previously saved run report, or (nil, nil)
+	// when none was persisted for the id.
+	LoadReport(id string) ([]byte, error)
 	// Recover returns every accepted job in acceptance order, joined with
 	// its terminal record and latest checkpoint when present.
 	Recover() ([]RecoveredJob, error)
@@ -80,6 +87,8 @@ type nullStore struct{}
 func (nullStore) LogAccepted(JobRecord) error                      { return nil }
 func (nullStore) SaveTerminal(TerminalRecord) error                { return nil }
 func (nullStore) SaveCheckpoint(string, *digamma.Checkpoint) error { return nil }
+func (nullStore) SaveReport(string, []byte) error                  { return nil }
+func (nullStore) LoadReport(string) ([]byte, error)                { return nil, nil }
 func (nullStore) Recover() ([]RecoveredJob, error)                 { return nil, nil }
 func (nullStore) Close() error                                     { return nil }
 
@@ -92,6 +101,7 @@ type MemStore struct {
 	accepted []JobRecord
 	terminal map[string]*TerminalRecord
 	ckpts    map[string]*digamma.Checkpoint
+	reports  map[string][]byte
 
 	// Faults, when set, injects write failures at the same points the
 	// disk store exposes: faults.PointWAL, PointResult, PointCheckpoint.
@@ -103,6 +113,7 @@ const (
 	PointWAL        = "store.wal"
 	PointResult     = "store.result"
 	PointCheckpoint = "store.checkpoint"
+	PointReport     = "store.report"
 )
 
 // NewMemStore returns an empty in-memory store.
@@ -110,6 +121,7 @@ func NewMemStore() *MemStore {
 	return &MemStore{
 		terminal: make(map[string]*TerminalRecord),
 		ckpts:    make(map[string]*digamma.Checkpoint),
+		reports:  make(map[string][]byte),
 	}
 }
 
@@ -143,6 +155,22 @@ func (m *MemStore) SaveCheckpoint(id string, ck *digamma.Checkpoint) error {
 	return nil
 }
 
+func (m *MemStore) SaveReport(id string, data []byte) error {
+	if err := m.Faults.Hit(PointReport); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reports[id] = append([]byte(nil), data...)
+	return nil
+}
+
+func (m *MemStore) LoadReport(id string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reports[id], nil
+}
+
 func (m *MemStore) Recover() ([]RecoveredJob, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -166,6 +194,7 @@ func (m *MemStore) Close() error { return nil }
 //	wal.log           append-only CRC-framed JSONL of accepted JobRecords
 //	results/<id>.json TerminalRecord, written via temp file + rename
 //	ckpt/<id>.json    latest engine Checkpoint, written via temp file + rename
+//	report/<id>.json  run report (phase/operator breakdown), temp file + rename
 //
 // The WAL is the source of truth for acceptance: a record is fsynced
 // before the submit returns 202, so an accepted job survives any
@@ -189,7 +218,7 @@ type DiskStore struct {
 // replaying the WAL and truncating any torn tail before reopening it for
 // append.
 func OpenDiskStore(dir string) (*DiskStore, error) {
-	for _, d := range []string{dir, filepath.Join(dir, "results"), filepath.Join(dir, "ckpt")} {
+	for _, d := range []string{dir, filepath.Join(dir, "results"), filepath.Join(dir, "ckpt"), filepath.Join(dir, "report")} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
@@ -297,6 +326,21 @@ func (s *DiskStore) SaveCheckpoint(id string, ck *digamma.Checkpoint) error {
 	return s.atomicWrite(filepath.Join(s.dir, "ckpt", id+".json"), ck)
 }
 
+func (s *DiskStore) SaveReport(id string, data []byte) error {
+	if err := s.Faults.Hit(PointReport); err != nil {
+		return err
+	}
+	return s.atomicWriteRaw(filepath.Join(s.dir, "report", id+".json"), data)
+}
+
+func (s *DiskStore) LoadReport(id string) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, "report", id+".json"))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	return data, err
+}
+
 // atomicWrite marshals v and renames it into place, so readers (and
 // recovery) never observe a half-written file.
 func (s *DiskStore) atomicWrite(path string, v any) error {
@@ -304,6 +348,12 @@ func (s *DiskStore) atomicWrite(path string, v any) error {
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	return s.atomicWriteRaw(path, data)
+}
+
+// atomicWriteRaw writes pre-serialized bytes via temp file + fsync +
+// rename.
+func (s *DiskStore) atomicWriteRaw(path string, data []byte) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)

@@ -102,6 +102,25 @@ while :; do
 done
 DONE=$(metric 'digammad_jobs{state="done"}')
 echo "loadgen: recovery complete — $DONE jobs done after restart"
+
+# Observability smoke on the recovered server: the histogram metrics must
+# expose well-formed families, and one finished job's trace and report
+# must parse. A job recovered terminal serves its persisted report; a job
+# re-run after recovery also has a live flight recorder.
+curl -fsS "$URL/metrics" | grep -q '^# TYPE digammad_build_info gauge$' \
+    || { echo "loadgen: FAIL — /metrics missing digammad_build_info" >&2; exit 1; }
+curl -fsS "$URL/metrics" | grep -q '^# TYPE digammad_search_latency_seconds histogram$' \
+    || { echo "loadgen: FAIL — /metrics missing the latency histogram" >&2; exit 1; }
+JOB=$(curl -fsS "$URL/v1/jobs" | sed -n 's/.*"id": "\(j[0-9]*\)".*/\1/p' | head -1)
+if [ -n "$JOB" ]; then
+    EVENTS=$(curl -fsS "$URL/v1/jobs/$JOB/trace" | grep -o '"ph":' | wc -l || true)
+    PHASES=$(curl -fsS "$URL/v1/jobs/$JOB/report" | grep -o '"name":' | wc -l || true)
+    if [ "$EVENTS" -lt 1 ] && [ "$PHASES" -lt 1 ]; then
+        echo "loadgen: FAIL — job $JOB served neither trace events nor report phases" >&2
+        exit 1
+    fi
+    echo "loadgen: observability smoke — job $JOB: $EVENTS trace events, $PHASES report rows"
+fi
 kill "$SRV_PID" 2>/dev/null
 wait "$SRV_PID" 2>/dev/null || true
 SRV_PID=
