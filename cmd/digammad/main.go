@@ -25,9 +25,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"digamma"
 	"digamma/internal/serve"
 )
 
@@ -60,6 +62,9 @@ func main() {
 		dataDir  = flag.String("data-dir", "", "durable store directory: WAL + results + checkpoints (empty = in-memory only, no crash recovery)")
 		ckEvery  = flag.Int("checkpoint-every", 5, "generations between engine checkpoints when -data-dir is set (0 = only recover whole jobs, never mid-search)")
 		deadline = flag.Duration("job-deadline", 0, "per-job wall-clock bound; exceeded jobs finish degraded with their best-so-far result (0 = none)")
+		anaDir   = flag.String("analysis-dir", "", "shared analysis store directory (empty = <data-dir>/evalstore when -data-dir is set, else memory-only)")
+		noShared = flag.Bool("no-shared-analysis", false, "disable the cross-request shared analysis tier (each search then caches only within itself)")
+		noWarm   = flag.Bool("no-warm", false, "selftest: skip the near-duplicate shared-analysis phase")
 		selftest = flag.Bool("selftest", false, "run the load-generator self-test and exit")
 		requests = flag.Int("requests", 24, "selftest: total requests to fire")
 		clients  = flag.Int("clients", 8, "selftest: concurrent clients")
@@ -92,8 +97,29 @@ func main() {
 		}
 		cfg.Store = ds
 	}
+	// The shared analysis tier persists next to the job store by default,
+	// so the warm tier survives restarts whenever durability is on at all;
+	// -analysis-dir splits it out (e.g. faster disk), -no-shared-analysis
+	// turns cross-request reuse off entirely.
+	cfg.NoSharedAnalysis = *noShared
+	if dir := *anaDir; !*noShared {
+		if dir == "" && *dataDir != "" {
+			dir = filepath.Join(*dataDir, "evalstore")
+		}
+		if dir != "" {
+			as, err := digamma.OpenAnalysisStore(dir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "digammad: opening analysis store:", err)
+				os.Exit(1)
+			}
+			cfg.Analysis = as
+			defer as.Close()
+			logger.Info("analysis store open", "dir", dir,
+				"loaded", as.Stats().Loaded, "results", as.Stats().Results)
+		}
+	}
 	if *selftest {
-		if err := runSelftest(cfg, *target, *requests, *clients, *budget, *islands); err != nil {
+		if err := runSelftest(cfg, *target, *requests, *clients, *budget, *islands, !*noWarm); err != nil {
 			fmt.Fprintln(os.Stderr, "digammad: selftest:", err)
 			os.Exit(1)
 		}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"digamma/internal/serve"
+	"digamma/internal/workload"
 )
 
 // selftestMix is the request mix the load generator cycles through: four
@@ -29,8 +30,10 @@ var selftestMix = []serve.OptimizeRequest{
 // job to reach a terminal state, and reports throughput plus dedup rate.
 // islands > 1 runs the whole mix on the K-island engine — one variant
 // additionally rotates the heterogeneous profiles — so serving loadgen
-// rows cover island searches too.
-func runSelftest(cfg serve.Config, target string, total, clients, budget, islands int) error {
+// rows cover island searches too. warm adds a near-duplicate phase after
+// the mix: same-layer searches under fresh seeds (shared-analysis
+// traffic), half of them warm-started, with the tier's hit rate reported.
+func runSelftest(cfg serve.Config, target string, total, clients, budget, islands int, warm bool) error {
 	inProcess := target == ""
 	if inProcess {
 		s, err := serve.New(cfg)
@@ -171,7 +174,148 @@ func runSelftest(cfg serve.Config, target string, total, clients, budget, island
 	if inProcess && len(ids)+int(dedup.Load()) != total {
 		return fmt.Errorf("accounting mismatch: %d distinct + %d dedup != %d total", len(ids), dedup.Load(), total)
 	}
+	if warm {
+		if err := runWarmPhase(target, budget); err != nil {
+			return err
+		}
+	}
 	return verifyObservability(target, ids)
+}
+
+// runWarmPhase is the near-duplicate leg: a base four-layer GEMM tower
+// followed by requests that each perturb exactly one layer's width (the
+// ReqBench near-duplicate discipline — the shape of customer-variant
+// traffic), under seeds no earlier request used, so none of them dedups
+// and every hit they score comes from the shared analysis tier. All but
+// the first opt into warm_start, seeding from the nearest prior result.
+// Completion rides one GET /v1/jobs/{id}?wait= long-poll per job instead
+// of a status poll loop. Afterwards the tier's counters are scraped off
+// /metrics and the hit rate reported.
+func runWarmPhase(target string, budget int) error {
+	const n = 8
+	// Snapshot the tier before the phase: the counters are process-wide,
+	// and the mix's cold searches would otherwise drown the
+	// near-duplicate stream's hit rate in their misses.
+	hits0, err := scrapeCounter(target, "digammad_analysis_hits_total")
+	if err != nil {
+		return err
+	}
+	misses0, err := scrapeCounter(target, "digammad_analysis_misses_total")
+	if err != nil {
+		return err
+	}
+	baseLayers := func() []workload.LayerSpec {
+		return []workload.LayerSpec{
+			{Name: "fc0", Type: "gemm", K: 256, C: 512, Y: 1, X: 1, R: 1, S: 1},
+			{Name: "fc1", Type: "gemm", K: 128, C: 256, Y: 1, X: 1, R: 1, S: 1},
+			{Name: "fc2", Type: "gemm", K: 64, C: 128, Y: 1, X: 1, R: 1, S: 1},
+			{Name: "fc3", Type: "gemm", K: 32, C: 64, Y: 1, X: 1, R: 1, S: 1},
+		}
+	}
+	macs := func(layers []workload.LayerSpec) float64 {
+		total := 0.0
+		for _, l := range layers {
+			total += float64(l.K) * float64(l.C)
+		}
+		return total
+	}
+	baseMacs := macs(baseLayers())
+	var refFitness float64
+	for i := 0; i < n; i++ {
+		layers := baseLayers()
+		if i > 0 {
+			// Perturb one layer per request: bounded width bump on a
+			// rotating layer, the near-duplicate signature.
+			layers[i%len(layers)].C += 8 * i
+		}
+		req := serve.OptimizeRequest{
+			Layers: layers, Platform: "edge", Objective: "latency",
+			Budget: budget, Seed: int64(1000 + i), WarmStart: i > 0,
+		}
+		if i > 0 && refFitness > 0 {
+			// Time-to-target: ask for a design within 5% of the base
+			// request's quality, scaled by the perturbed workload's
+			// compute — the full near-duplicate serving path, where a
+			// warm-started search stops at its first generation boundary.
+			req.Target = refFitness * 1.05 * macs(layers) / baseMacs
+		}
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(target+"/v1/optimize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("warm phase submit: %w", err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("warm phase submit: %s: %s", resp.Status, data)
+		}
+		var sr struct {
+			ID     string `json:"id"`
+			State  string `json:"state"`
+			Result *struct {
+				Metrics struct {
+					Fitness float64 `json:"fitness"`
+				} `json:"metrics"`
+			} `json:"result"`
+		}
+		if err := json.Unmarshal(data, &sr); err != nil {
+			return fmt.Errorf("warm phase submit: %w", err)
+		}
+		deadline := time.Now().Add(2 * time.Minute)
+		for sr.State != "done" {
+			if sr.State == "degraded" || sr.State == "failed" || sr.State == "cancelled" {
+				return fmt.Errorf("warm phase job %s finished %s", sr.ID, sr.State)
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("warm phase job %s did not finish in time", sr.ID)
+			}
+			resp, err := http.Get(target + "/v1/jobs/" + sr.ID + "?wait=30s")
+			if err != nil {
+				return err
+			}
+			err = json.NewDecoder(resp.Body).Decode(&sr)
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+		}
+		if i == 0 && sr.Result != nil {
+			refFitness = sr.Result.Metrics.Fitness
+		}
+	}
+	hits, err := scrapeCounter(target, "digammad_analysis_hits_total")
+	if err != nil {
+		return err
+	}
+	misses, err := scrapeCounter(target, "digammad_analysis_misses_total")
+	if err != nil {
+		return err
+	}
+	hits, misses = hits-hits0, misses-misses0
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = 100 * hits / (hits + misses)
+	}
+	fmt.Printf("  analysis tier:       %d near-duplicate requests, %.0f hits / %.0f misses (%.0f%% hit rate)\n",
+		n, hits, misses, rate)
+	return nil
+}
+
+// scrapeCounter reads one scalar series off the target's /metrics.
+func scrapeCounter(target, name string) (float64, error) {
+	resp, err := http.Get(target + "/metrics")
+	if err != nil {
+		return 0, fmt.Errorf("scraping %s: %w", name, err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		var v float64
+		if _, err := fmt.Sscanf(string(line), name+" %g", &v); err == nil {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("/metrics has no %s series (shared analysis disabled on target?)", name)
 }
 
 // verifyObservability is the loadgen's telemetry smoke: after the mix

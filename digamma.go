@@ -226,6 +226,33 @@ type Options struct {
 	// and a nil Trace costs one branch per phase boundary. Genetic engines
 	// only; the baseline vector algorithms record just the umbrella span.
 	Trace *Tracer
+	// SharedCache, when non-nil, attaches a process-wide shared analysis
+	// tier (see AnalysisStore): per-layer cost-model analyses computed by
+	// any search probe and feed it, so near-duplicate searches skip
+	// re-analysis across requests — and across restarts, with a
+	// disk-backed store. Pure reuse of pure functions: results are
+	// bit-identical with or without it, and with any store content.
+	SharedCache *AnalysisStore
+	// WarmStart, together with SharedCache, seeds the search's first
+	// full-fidelity island from the nearest prior result in the store
+	// (highest per-layer content-hash overlap, same objective/platform/
+	// fidelity/mode). Unlike pure cache sharing this changes the search
+	// trajectory — the result depends on what ran before — so it is
+	// opt-in, and serving layers hash it into their dedup key. Ignored
+	// on resumed runs and by the baseline vector algorithms.
+	WarmStart bool
+	// Target, when > 0, stops the genetic search at the first generation
+	// boundary where the best design is valid with fitness ≤ Target,
+	// instead of always spending the whole Budget — time-to-target mode.
+	// This is what converts warm starts into wall-clock wins: a search
+	// seeded from a near-duplicate prior result opens at or near the
+	// target and returns within its first generations. Deterministic
+	// (the stop depends only on the trajectory, never on Workers or
+	// wall-clock) but budget-truncating, so serving layers hash it into
+	// their dedup key. The fitness scale is the Objective's: cycles for
+	// Latency, picojoules for Energy, and so on. Ignored by the baseline
+	// vector algorithms. Default 0: always run the full budget.
+	Target float64
 }
 
 // withDefaults fills unset fields and validates the rest up front, so a
@@ -288,7 +315,7 @@ func (o Options) applyFidelity(p *Problem) (*Problem, error) {
 		// Unreachable after withDefaults, kept as a safety net.
 		return nil, fmt.Errorf("%w: %q (want one of %v)", ErrUnknownFidelity, o.Fidelity, Fidelities())
 	}
-	return q, nil
+	return o.attachShared(q), nil
 }
 
 // engineConfig builds the DiGamma engine configuration for the options.
@@ -302,6 +329,7 @@ func (o Options) engineConfig(base core.Config) core.Config {
 	base.Profiles = o.IslandProfiles
 	base.CheckpointEvery = o.CheckpointEvery
 	base.BestEffort = o.BestEffort
+	base.Target = o.Target
 	return base
 }
 
@@ -311,7 +339,7 @@ func (o Options) engineConfig(base core.Config) core.Config {
 // and is what makes checkpointing and resume possible. Under BestEffort an
 // interrupted run returns its partial best alongside the error.
 func (o Options) runEngine(ctx context.Context, p *Problem, base core.Config) (*Evaluation, error) {
-	eng, err := core.NewSeeded(p, o.engineConfig(base), o.Seed)
+	eng, err := core.NewSeeded(p, o.warmConfig(p, o.engineConfig(base)), o.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -328,6 +356,7 @@ func (o Options) runEngine(ctx context.Context, p *Problem, base core.Config) (*
 		}
 		return nil, err
 	}
+	o.recordResult(p, r.Best)
 	return r.Best, nil
 }
 
@@ -369,7 +398,12 @@ func OptimizeContext(ctx context.Context, model Model, platform Platform, o Opti
 		// Unreachable after withDefaults, kept as a safety net.
 		return nil, fmt.Errorf("%w: %q (want one of %v)", ErrUnknownAlgorithm, o.Algorithm, Algorithms())
 	}
-	return p.RunVectorContext(ctx, alg, o.Budget, o.Seed, vectorProgress(o))
+	ev, err := p.RunVectorContext(ctx, alg, o.Budget, o.Seed, vectorProgress(o))
+	if err != nil {
+		return nil, err
+	}
+	o.recordResult(p, ev)
+	return ev, nil
 }
 
 // OptimizeMapping searches only the mapping space for a fixed hardware

@@ -11,10 +11,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"digamma/internal/arch"
 	"digamma/internal/cost"
 	"digamma/internal/evalcache"
+	"digamma/internal/evalstore"
 	"digamma/internal/mapping"
 	"digamma/internal/opt"
 	"digamma/internal/par"
@@ -117,6 +119,22 @@ type Problem struct {
 	// energy holds backend.EffectiveEnergy(Platform.Energy), precomputed
 	// by WithBackend; only consulted when backend is non-nil.
 	energy arch.EnergyModel
+
+	// shared is the optional cross-request analysis tier behind the
+	// private Cache: probed on L1 misses under a content hash that covers
+	// every analysis input, so any two problems — any process, any time —
+	// that analyze the same configuration share one result. Sharing never
+	// changes evaluation values (analyses are pure), only their cost.
+	// Installed with WithShared.
+	shared *evalstore.Store
+	// sharedCtx holds one precomputed per-layer key context, aligned with
+	// Space.Layers; rebuilt whenever the backend or fixed HW changes.
+	sharedCtx []evalstore.Context
+	// sharedHits counts this problem family's own shared-tier hits (the
+	// store's counters are process-global, so per-search accounting needs
+	// a private tally). Pointer-shared across WithBackend/WithFixedHW
+	// copies: one search, one counter.
+	sharedHits *atomic.Uint64
 }
 
 // Backend reports the problem's fidelity tier (the implicit analytical
@@ -143,7 +161,55 @@ func (p *Problem) WithBackend(b cost.Backend) *Problem {
 	if p.Cache != nil {
 		q.Cache = newResultCache()
 	}
+	q.rehashShared()
 	return &q
+}
+
+// WithShared returns a copy of the problem backed by the cross-request
+// analysis store: L1 cache misses probe st before paying for the cost
+// model, and fresh analyses are published back. Results are bit-identical
+// with or without the store — the key covers every analysis input — so
+// this is purely a performance knob. A nil store returns the problem
+// unchanged.
+func (p *Problem) WithShared(st *evalstore.Store) *Problem {
+	if st == nil {
+		return p
+	}
+	q := *p
+	q.shared = st
+	q.sharedHits = new(atomic.Uint64)
+	q.rehashShared()
+	return &q
+}
+
+// SharedHits reports how many per-layer analyses this problem (and its
+// WithBackend/WithFixedHW derivatives — they share the counter) recovered
+// from the shared store instead of re-running the cost model.
+func (p *Problem) SharedHits() uint64 {
+	if p.sharedHits == nil {
+		return 0
+	}
+	return p.sharedHits.Load()
+}
+
+// Shared reports the problem's cross-request analysis store (nil when
+// detached).
+func (p *Problem) Shared() *evalstore.Store { return p.shared }
+
+// SharedContexts exposes the per-layer key contexts (aligned with
+// Space.Layers) for callers building warm-start queries; nil without a
+// shared store.
+func (p *Problem) SharedContexts() []evalstore.Context { return p.sharedCtx }
+
+// rehashShared rebuilds the per-layer shared-store key contexts. Must run
+// after any change to the backend, the fixed HW or the layer set — the
+// contexts fold in exactly the analysis inputs that do not vary per probe.
+func (p *Problem) rehashShared() {
+	if p.shared == nil {
+		p.sharedCtx = nil
+		return
+	}
+	p.sharedCtx = evalstore.NewContexts(p.shared.Fingerprint(), p.Backend().Name(), p.Space.Layers, p.FixedHW)
 }
 
 // WithFidelity resolves a fidelity tier by name (see cost.BackendNames)
@@ -221,6 +287,9 @@ func (p *Problem) WithFixedHW(hw arch.HW) (*Problem, error) {
 		// size), so entries must not be shared with the parent problem.
 		q.Cache = newResultCache()
 	}
+	// The shared tier needs no reset — its keys fold the fixed HW in —
+	// but the per-layer contexts must be rebuilt around it.
+	q.rehashShared()
 	return &q, nil
 }
 
@@ -542,14 +611,34 @@ func (p *Problem) reduce(ev *Evaluation, hw arch.HW, bufReq []int64) error {
 	return nil
 }
 
-// analyzeLayer scores one unique layer of g on hw, consulting the cache
-// first and publishing fresh results into it.
+// analyzeLayer scores one unique layer of g on hw, consulting the private
+// cache first, then the shared cross-request tier, and publishing fresh
+// results into both.
 func (p *Problem) analyzeLayer(hw arch.HW, g space.Genome, li int) (*cost.Result, error) {
 	layer := &p.Space.Layers[li]
 	var key uint64
 	if p.Cache != nil {
 		key = layerKey(p.backendSalt, li, g.Fanouts, g.Maps[li])
 		if r, ok := p.Cache.Get(key); ok {
+			return r, nil
+		}
+	}
+	var sk evalstore.Key
+	if p.shared != nil {
+		// L2 probe only after an L1 miss: the content hash costs a
+		// SHA-256, which is noise next to the analysis it may save but
+		// not next to an L1 hit.
+		sk = evalstore.ProbeKey(&p.sharedCtx[li], g.Fanouts, g.Maps[li])
+		if r, ok := p.shared.Get(sk); ok {
+			p.sharedHits.Add(1)
+			if p.Cache != nil {
+				// The store's copy is shared across problems, so it can't
+				// carry this problem's L1 key; promote a private clone.
+				c := r.Clone()
+				c.CacheKey = key
+				p.Cache.Put(c)
+				return c, nil
+			}
 			return r, nil
 		}
 	}
@@ -576,6 +665,9 @@ func (p *Problem) analyzeLayer(hw arch.HW, g space.Genome, li int) (*cost.Result
 	if p.Cache != nil {
 		r.CacheKey = key
 		p.Cache.Put(r)
+	}
+	if p.shared != nil {
+		p.shared.Put(sk, r) // Put clones; r stays owned by this search
 	}
 	return r, nil
 }

@@ -174,8 +174,8 @@ func (e *Engine) configSum() string {
 		c.PopSize, c.EliteFrac, c.CrossRate, c.ReorderRate, c.MutMapRate,
 		c.MutHWRate, c.GrowRate, c.AgeRate, c.MaxLevels, c.DivisorBias,
 		c.GreedyCross, c.SeedFrac)
-	fmt.Fprintf(h, "prune|%t|%g|%d|delta|%t|fixed|%t\n",
-		c.Prune, c.PruneMargin, c.PruneStall, c.NoDelta, c.FixedHW)
+	fmt.Fprintf(h, "prune|%t|%g|%d|delta|%t|fixed|%t|target|%g\n",
+		c.Prune, c.PruneMargin, c.PruneStall, c.NoDelta, c.FixedHW, c.Target)
 	fmt.Fprintf(h, "islands|%d|%d|%d|%d", c.Islands, c.MigrateEvery, c.MigrateCount, len(c.Profiles))
 	for _, name := range c.Profiles {
 		fmt.Fprintf(h, "|%s", name)

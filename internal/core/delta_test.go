@@ -82,9 +82,14 @@ func TestDeltaBitIdentical(t *testing.T) {
 				if !reflect.DeepEqual(on.Best.Genome, off.Best.Genome) {
 					t.Errorf("seed %d: best genomes differ", seed)
 				}
-				if off.DeltaEvals != 0 || off.LayersReused != 0 {
-					t.Errorf("seed %d: NoDelta run reported delta counters %d/%d",
-						seed, off.DeltaEvals, off.LayersReused)
+				if off.DeltaEvals != 0 {
+					t.Errorf("seed %d: NoDelta run reported %d delta evals", seed, off.DeltaEvals)
+				}
+				// LayersReused also counts migration re-score cache hits,
+				// which NoDelta does not disable — so it may be non-zero
+				// for island runs, but must be zero without migration.
+				if tc.name != "islands" && off.LayersReused != 0 {
+					t.Errorf("seed %d: NoDelta run reported %d reused layers", seed, off.LayersReused)
 				}
 				if tc.name != "structural" && on.DeltaEvals == 0 {
 					t.Errorf("seed %d: delta run never took the delta path", seed)

@@ -145,6 +145,29 @@ type Config struct {
 	// lever. If every island resolves to a scout, island 0 falls back to
 	// "default" so the run always has a full-fidelity population.
 	Profiles []string
+
+	// Warm seeds the first full-fidelity island's initial population with
+	// these genomes (repaired and budget-clamped first), replacing an
+	// equal number of its random draws — the cross-request warm-start
+	// path: the facade adapts the nearest prior result from the shared
+	// analysis store into a genome and plants it here. Empty (the
+	// default) changes nothing; a non-empty set changes the search
+	// trajectory, so serving layers must hash the knob into their dedup
+	// keys. Ignored on resumed runs (the checkpoint's populations already
+	// embody whatever seeding the original run had).
+	Warm []space.Genome
+
+	// Target, when > 0, ends the search at the first generation boundary
+	// where the global best is valid with Fitness ≤ Target — time-to-
+	// target mode, the serving layer's lever for turning warm-started
+	// near-duplicate searches into wall-clock wins: a search seeded at or
+	// near the target stops after its first generations instead of
+	// spending the whole budget polishing. Deterministic — the stop
+	// depends only on the search trajectory, never on wall-clock or
+	// Workers — but budget-truncating, so serving layers must hash the
+	// knob into their dedup keys. 0 (the default) always runs the full
+	// budget.
+	Target float64
 }
 
 // DefaultMigrateEvery is the elite-migration period (in generations)
@@ -211,8 +234,9 @@ type Progress struct {
 	// DeltaEvals counts the bred candidates scored by the dirty-layer
 	// delta path (results bit-identical to full evaluation; 0 when
 	// Config.NoDelta is set), and LayersReused the per-layer analyses
-	// those candidates cloned from their breeding parents — work the
-	// search skipped without touching even the cache-key hash.
+	// the search recovered without re-running the cost model: delta-path
+	// clones from breeding parents plus cache-tier hits during migration
+	// re-scores.
 	DeltaEvals   int
 	LayersReused int
 
@@ -272,6 +296,12 @@ type Engine struct {
 	// New engine leaves them zero and cannot checkpoint or resume.
 	seed   int64
 	master *replaySource
+
+	// rescoreReused counts per-layer analyses the migration re-score
+	// recovered from the evaluation cache tiers (L1 + shared) instead of
+	// re-running the cost model. Reset per run, folded into
+	// Result.LayersReused by collectDelta.
+	rescoreReused int
 }
 
 // New assembles an engine. A nil rng defaults to a fixed seed so runs are
@@ -338,9 +368,9 @@ type Result struct {
 	// DeltaEvals counts the bred candidates scored by the dirty-layer
 	// delta path — a subset of FullEvals/ScoutEvals, bit-identical to a
 	// from-scratch evaluation, 0 under Config.NoDelta — and LayersReused
-	// the per-layer analyses those candidates cloned from their breeding
-	// parents instead of hashing, probing the cache or re-running the
-	// cost model.
+	// the per-layer analyses the search recovered instead of re-running
+	// the cost model: delta-path clones from breeding parents plus L1 and
+	// shared-tier cache hits during migration re-scores.
 	DeltaEvals   int
 	LayersReused int
 
@@ -393,6 +423,7 @@ func (e *Engine) RunContext(ctx context.Context, budget int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.rescoreReused = 0
 	res := &Result{}
 	evs := make([][]*coopt.Evaluation, len(islands))
 
@@ -441,7 +472,7 @@ func (e *Engine) RunContext(ctx context.Context, budget int) (*Result, error) {
 	// island), so a steady-state generation allocates nothing beyond what
 	// the evaluations themselves need.
 	counts := make([]int, len(islands))
-	for res.Samples < budget {
+	for res.Samples < budget && !e.reachedTarget(islands) {
 		// Top of the body is the generation boundary: populations
 		// installed, no RNG drawn for the next generation. A cancellation
 		// detected here (the drain path) leaves state indistinguishable
@@ -560,6 +591,7 @@ func (e *Engine) cancelled(res *Result, budget int, islands []*island, err error
 func (e *Engine) collectDelta(res *Result, islands []*island) {
 	res.DeltaEvals, res.LayersReused = 0, 0
 	res.PoolGets, res.PoolReuses = 0, 0
+	res.LayersReused = e.rescoreReused
 	for _, is := range islands {
 		res.DeltaEvals += is.deltaEvals
 		res.LayersReused += is.layersReused
@@ -650,6 +682,17 @@ func (e *Engine) buildIslands(budget int) ([]*island, error) {
 		is.src = srcs[i]
 		islands[i] = is
 	}
+	if len(e.Config.Warm) > 0 {
+		// Warm-start genomes seed exactly one island — the first
+		// full-fidelity one — so the rest of the ring still explores from
+		// scratch and a bad prior can be out-competed by migration.
+		for _, is := range islands {
+			if !is.scout {
+				is.warm = e.Config.Warm
+				break
+			}
+		}
+	}
 	return islands, nil
 }
 
@@ -698,6 +741,31 @@ func (e *Engine) account(res *Result, is *island, evs []*coopt.Evaluation) {
 // Scout islands are excluded: their fitnesses are bound-tier readings,
 // comparable only after the migration re-score. buildIslands guarantees
 // at least one non-scout island with a non-empty population.
+// reachedTarget reports whether the time-to-target stop rule fires: a
+// Target is set and some full-fidelity individual already meets it.
+// Evaluated only at generation boundaries, so the stop commutes with
+// checkpointing and is a pure function of the search trajectory. The
+// populations are not yet sorted at the post-install boundary (sorting
+// happens in beginGeneration), so this scans rather than trusting cur[0]
+// — a warm-started search whose seed opens at the target must stop
+// before breeding a single generation.
+func (e *Engine) reachedTarget(islands []*island) bool {
+	if e.Config.Target <= 0 {
+		return false
+	}
+	for _, is := range islands {
+		if is.scout {
+			continue
+		}
+		for _, ind := range is.cur {
+			if ind.eval != nil && ind.eval.Valid && ind.eval.Fitness <= e.Config.Target {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 func bestOf(islands []*island) individual {
 	var best individual
 	found := false
@@ -792,7 +860,17 @@ func (e *Engine) migrate(islands []*island, res *Result) error {
 // spend the scout's remaining budget share (counted as FullEvals);
 // elites the share cannot afford are dropped from the migration — still
 // deterministic, since the cut depends only on the sample counters.
+// Per-layer analyses recovered from the cache tiers (the destination
+// island usually evaluated nearby designs already, and cross-search hits
+// land here too) are counted into rescoreReused; reading the counters is
+// race-free because migration is a coordinator-serial phase.
 func (e *Engine) rescore(src *island, sel []individual, res *Result) ([]individual, error) {
+	t0 := e.Trace.Now()
+	h0 := src.full.SharedHits()
+	var l0 uint64
+	if src.full.Cache != nil {
+		l0 = src.full.Cache.Stats().Hits
+	}
 	out := make([]individual, 0, len(sel))
 	for _, ind := range sel {
 		if src.samples >= src.budget {
@@ -809,6 +887,19 @@ func (e *Engine) rescore(src *island, sel []individual, res *Result) ([]individu
 			e.OnEvaluation(res.Samples, ev)
 		}
 		out = append(out, individual{ind.genome, ev})
+	}
+	recovered := int(src.full.SharedHits() - h0)
+	if src.full.Cache != nil {
+		recovered += int(src.full.Cache.Stats().Hits - l0)
+	}
+	e.rescoreReused += recovered
+	if e.Trace != nil {
+		e.Trace.Record(obs.Span{
+			Name: obs.PhaseRescore, Cat: obs.CatPhase,
+			Island: int32(src.id), Gen: int32(res.Generations),
+			Start: t0, Dur: e.Trace.Now() - t0,
+			N: int32(len(out)), Delta: int32(recovered),
+		})
 	}
 	return out, nil
 }

@@ -68,6 +68,11 @@ type island struct {
 	budget  int // this island's share of the run's sampling budget
 	samples int // spent so far, including migration re-scores
 
+	// warm holds the engine's Config.Warm genomes when this island is the
+	// run's designated warm-start target (the first full-fidelity island);
+	// initialGenomes plants them in place of its last random draws.
+	warm []space.Genome
+
 	// pool hands out Evaluation buffers (chunked slabs + freelist);
 	// recycle gates the freelist on "nothing outside the island can hold
 	// a dropped evaluation" — false whenever an OnEvaluation hook may
@@ -188,16 +193,28 @@ func (is *island) initialGenomes() []space.Genome {
 	if seeds < 1 && cfg.SeedFrac > 0 {
 		seeds = 1
 	}
+	// Warm-start genomes take the tail slots — after the conservative
+	// seeds, displacing random draws only — so a warm population keeps
+	// the classic multi-start diversity. The displaced slots draw no RNG,
+	// which shifts the island's stream: warm start deliberately changes
+	// the trajectory (it is opt-in and dedup-hashed upstream), but stays
+	// a pure function of (seed, warm set).
+	warm := min(len(is.warm), is.pop-seeds)
 	initial := make([]space.Genome, 0, is.pop)
 	for i := 0; i < is.pop; i++ {
 		var g space.Genome
-		if i < seeds {
+		switch {
+		case i < seeds:
 			// The variant is offset by the island id so the ring starts
 			// from K disjoint conservative designs (multi-start
 			// diversity); island 0 — hence any single-island run — keeps
 			// the classic variants exactly.
 			g = is.seedGenome(i + is.id*seeds)
-		} else {
+		case is.pop-i <= warm:
+			// Prior results come from outside this search: repair against
+			// this problem's space before the budget clamp below.
+			g = is.prob.Space.Repair(is.warm[warm-(is.pop-i)])
+		default:
 			g = is.prob.Space.Random(is.rng, baseLevels)
 		}
 		if !cfg.FixedHW {

@@ -1,0 +1,10 @@
+package cost
+
+// Fingerprint versions the semantics of the performance model. Any change
+// that can alter an analysis result for the same (hardware, mapping,
+// layer) inputs — a fixed traffic formula, a new charging rule, a changed
+// default — must bump this string. Persistent analysis caches
+// (internal/evalstore) stamp their segments with it and discard entries
+// recorded under a different fingerprint, so stale results can never leak
+// across model versions.
+const Fingerprint = "digamma-cost/v1"

@@ -1,0 +1,241 @@
+// Package evalstore is the cross-request analysis tier: a process-wide,
+// optionally disk-backed store of per-layer cost-model results sitting
+// behind each search's private evalcache L1. Where the L1 keys on a
+// per-search salted FNV hash (cheap, but meaningless outside its own
+// search), this tier keys on a collision-safe, process-independent
+// 128-bit content hash of every analysis input — layer spec, fanout
+// vector, mapping block, backend identity, fixed-HW bandwidth context and
+// the cost-model fingerprint — so any two searches, in any process at any
+// time, that analyze the same configuration share one result.
+//
+// Per-layer analyses are pure functions of those inputs, so cache sharing
+// never changes evaluation values, only their cost: searches with the
+// shared tier attached are bit-identical to searches without it (pinned
+// by the golden suite). The store also keeps a small index of completed
+// search results, which opt-in warm starts seed new populations from —
+// that DOES change search trajectories, which is why warm start is a
+// separate knob hashed into the serving dedup key.
+package evalstore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math/bits"
+
+	"digamma/internal/arch"
+	"digamma/internal/mapping"
+	"digamma/internal/workload"
+)
+
+// Key is the 128-bit content hash one per-layer analysis is stored under:
+// a Murmur3-style mix of the probe genes seeded by the SHA-256 context
+// digest of every other analysis input. Unlike the evalcache's 64-bit FNV
+// keys, a Key is stable across processes and restarts and collision-safe
+// at any realistic store size.
+type Key struct{ Hi, Lo uint64 }
+
+// Context digests the analysis inputs that are fixed for one
+// (problem, layer) pair across every probe: the cost-model fingerprint,
+// the backend identity, the layer spec, and — in fixed-HW mode — the
+// given hardware's non-gene analysis inputs (bandwidths, word sizes,
+// interconnect configs). Problems compute one Context per unique layer
+// up front; per-probe keys then hash only the genes (fanouts + mapping
+// block) on top of it.
+type Context [32]byte
+
+// SpecHash returns the context's short hex form, used by the warm-start
+// result index as a per-layer identity ("these two searches analyzed the
+// same layer under the same model version, backend and HW context").
+func (c Context) SpecHash() string { return hex.EncodeToString(c[:16]) }
+
+// NewContexts builds the per-layer contexts for one problem.
+//
+// The layer encoding covers exactly the fields the analyzer reads: type,
+// the six dimension bounds and the effective strides. Name and Count are
+// deliberately excluded — the display name is cosmetic and the
+// multiplicity is applied during reduction, after analysis — so renamed
+// or repeated layers still share analyses.
+//
+// fixed, when non-nil, is the problem's fixed hardware. Its static
+// analysis inputs (fanouts, per-level NoC configs or the flat bandwidth,
+// DRAM bandwidth, word size, clock) are folded in because they feed the
+// cost model without appearing in the genome. In co-opt mode the
+// hardware is derived from the HW genes plus arch defaults, which the
+// fingerprint already pins.
+func NewContexts(fingerprint, backend string, layers []workload.Layer, fixed *arch.HW) []Context {
+	prefix := make([]byte, 0, 256)
+	prefix = appendString(prefix, "digamma-evalstore/ctx1")
+	prefix = appendString(prefix, fingerprint)
+	prefix = appendString(prefix, backend)
+	if fixed != nil {
+		hw := fixed.Defaults()
+		prefix = appendUint(prefix, 1) // fixed-HW mode marker
+		prefix = appendUint(prefix, uint64(len(hw.Fanouts)))
+		for _, f := range hw.Fanouts {
+			prefix = appendUint(prefix, uint64(f))
+		}
+		prefix = appendFloat(prefix, hw.NoCWordsPerCycle)
+		prefix = appendFloat(prefix, hw.DRAMWordsPerCycle)
+		prefix = appendFloat(prefix, hw.ClockGHz)
+		prefix = appendUint(prefix, uint64(hw.BytesPerWord))
+		prefix = appendUint(prefix, uint64(len(hw.NoC)))
+		for _, nc := range hw.NoC {
+			prefix = appendString(prefix, nc.Topology.String())
+			prefix = appendFloat(prefix, nc.LinkWords)
+		}
+	} else {
+		prefix = appendUint(prefix, 0)
+	}
+
+	out := make([]Context, len(layers))
+	buf := make([]byte, 0, len(prefix)+96)
+	for i := range layers {
+		l := &layers[i]
+		sy, sx := l.Strides()
+		buf = append(buf[:0], prefix...)
+		buf = appendUint(buf, uint64(l.Type))
+		buf = appendUint(buf, uint64(l.K))
+		buf = appendUint(buf, uint64(l.C))
+		buf = appendUint(buf, uint64(l.Y))
+		buf = appendUint(buf, uint64(l.X))
+		buf = appendUint(buf, uint64(l.R))
+		buf = appendUint(buf, uint64(l.S))
+		buf = appendUint(buf, uint64(sy))
+		buf = appendUint(buf, uint64(sx))
+		out[i] = sha256.Sum256(buf)
+	}
+	return out
+}
+
+// ProbeKey hashes the genes of one probe — the shared fanout vector and
+// the layer's mapping block — on top of the layer's context digest,
+// yielding the 128-bit store key.
+//
+// Probes fire on every L1 miss, and for cheap analytical layers the
+// analysis they may save runs in a few hundred nanoseconds — a SHA-256
+// here would cost as much as the analyze and erase the tier's win. The
+// probe therefore uses a Murmur3-style 128-bit word mix: allocation-free,
+// process-independent (pure arithmetic, no per-process seeds) and
+// collision-safe at any realistic store size (the genes feeding it are
+// search genomes, not adversarial input). The SHA-256 context digest
+// seeds all four mixing lanes, so full cryptographic separation between
+// problems/layers is preserved; only the per-probe gene suffix takes the
+// fast path.
+func ProbeKey(ctx *Context, fanouts []int, m mapping.Mapping) Key {
+	var h probeHasher
+	h.seed(ctx)
+	h.word(uint64(len(fanouts)))
+	for _, f := range fanouts {
+		h.word(uint64(f))
+	}
+	h.word(uint64(len(m.Levels)))
+	for i := range m.Levels {
+		lv := &m.Levels[i]
+		// Spatial and the order permutation are all < 8: pack 3 bits each.
+		packed := uint64(lv.Spatial)
+		for _, d := range lv.Order {
+			packed = packed<<3 | uint64(d)
+		}
+		h.word(packed)
+		for _, t := range lv.Tiles {
+			h.word(uint64(t))
+		}
+	}
+	return h.sum()
+}
+
+// probeHasher is the Murmur3 x64 128-bit construction over a stream of
+// uint64 words (each word is one 8-byte little-endian block half). It is
+// a value type living on the caller's stack: hashing a probe performs no
+// allocation.
+type probeHasher struct {
+	h1, h2 uint64 // accumulator lanes
+	k1     uint64 // buffered odd word awaiting its block partner
+	odd    bool
+	n      uint64 // words consumed (folded into the finalizer)
+}
+
+const (
+	probeC1 = 0x87c37b91114253d5
+	probeC2 = 0x4cf5ad432745937f
+)
+
+// seed folds the full 256-bit context digest in: two words initialize the
+// lanes, the other two run through a regular mixing round.
+func (h *probeHasher) seed(ctx *Context) {
+	h.h1 = binary.LittleEndian.Uint64(ctx[0:8])
+	h.h2 = binary.LittleEndian.Uint64(ctx[8:16])
+	h.mix(binary.LittleEndian.Uint64(ctx[16:24]), binary.LittleEndian.Uint64(ctx[24:32]))
+}
+
+func (h *probeHasher) word(w uint64) {
+	h.n++
+	if !h.odd {
+		h.k1, h.odd = w, true
+		return
+	}
+	h.odd = false
+	h.mix(h.k1, w)
+}
+
+func (h *probeHasher) mix(k1, k2 uint64) {
+	k1 *= probeC1
+	k1 = bits.RotateLeft64(k1, 31)
+	k1 *= probeC2
+	h.h1 ^= k1
+	h.h1 = bits.RotateLeft64(h.h1, 27)
+	h.h1 += h.h2
+	h.h1 = h.h1*5 + 0x52dce729
+	k2 *= probeC2
+	k2 = bits.RotateLeft64(k2, 33)
+	k2 *= probeC1
+	h.h2 ^= k2
+	h.h2 = bits.RotateLeft64(h.h2, 31)
+	h.h2 += h.h1
+	h.h2 = h.h2*5 + 0x38495ab5
+}
+
+func (h *probeHasher) sum() Key {
+	if h.odd { // trailing word: Murmur3 tail handling for a half block
+		k1 := h.k1 * probeC1
+		k1 = bits.RotateLeft64(k1, 31)
+		k1 *= probeC2
+		h.h1 ^= k1
+	}
+	h.h1 ^= h.n * 8
+	h.h2 ^= h.n * 8
+	h.h1 += h.h2
+	h.h2 += h.h1
+	h.h1 = fmix64(h.h1)
+	h.h2 = fmix64(h.h2)
+	h.h1 += h.h2
+	h.h2 += h.h1
+	return Key{Hi: h.h1, Lo: h.h2}
+}
+
+// fmix64 is Murmur3's 64-bit finalizer: full avalanche, so every gene bit
+// diffuses into every key bit.
+func fmix64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+func appendUint(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendFloat(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, floatBits(v))
+}
+
+// appendString length-prefixes so adjacent fields can never absorb each
+// other.
+func appendString(b []byte, s string) []byte {
+	b = appendUint(b, uint64(len(s)))
+	return append(b, s...)
+}

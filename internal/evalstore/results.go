@@ -1,0 +1,270 @@
+package evalstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"digamma/internal/mapping"
+	"digamma/internal/workload"
+)
+
+// The result index records the best genome each completed search found,
+// keyed by the per-layer context digests it searched over. A later
+// search looks up the prior result whose layer set overlaps its own the
+// most and seeds one island's initial population from it — the
+// warm-start path. Matching is by SpecHash, so "the same layer" means
+// the same dims, strides, backend, HW context and cost-model version.
+//
+// Determinism contract: warm start is a pure function of (request, index
+// content). Records are kept and scanned in insertion order and ties
+// keep the earliest record, so identical stores yield identical warm
+// seeds; but because the index content itself depends on what ran
+// before, warm start is opt-in and hashed into the serving dedup key —
+// unlike pure cache sharing, it changes search trajectories.
+
+// defaultResultLimit bounds the index; oldest records are evicted first.
+const defaultResultLimit = 1024
+
+// LevelRecord is one mapping level of a stored genome.
+type LevelRecord struct {
+	Spatial int   `json:"spatial"`
+	Order   []int `json:"order"`
+	Tiles   []int `json:"tiles"`
+}
+
+// MappingRecord is one layer's mapping block of a stored genome.
+type MappingRecord struct {
+	Levels []LevelRecord `json:"levels"`
+}
+
+// ResultRecord is one completed search in the index.
+type ResultRecord struct {
+	// Identity scopes matching: searches only warm-start from priors
+	// with the same objective, platform, fidelity, mode and clustering
+	// depth (the facade builds it; see digamma.Options).
+	Identity string `json:"identity"`
+	// Layers holds one Context.SpecHash per unique layer, aligned with
+	// Maps.
+	Layers  []string        `json:"layers"`
+	Fanouts []int           `json:"fanouts"`
+	Maps    []MappingRecord `json:"maps"`
+	Fitness float64         `json:"fitness"`
+}
+
+// NewMappingRecord flattens one mapping block into its index form.
+func NewMappingRecord(m mapping.Mapping) MappingRecord {
+	rec := MappingRecord{Levels: make([]LevelRecord, len(m.Levels))}
+	for i, lv := range m.Levels {
+		lr := LevelRecord{
+			Spatial: int(lv.Spatial),
+			Order:   make([]int, workload.NumDims),
+			Tiles:   make([]int, workload.NumDims),
+		}
+		for d := 0; d < int(workload.NumDims); d++ {
+			lr.Order[d] = int(lv.Order[d])
+			lr.Tiles[d] = lv.Tiles[d]
+		}
+		rec.Levels[i] = lr
+	}
+	return rec
+}
+
+// Mapping rebuilds the mapping block. Stored records come from the same
+// codebase, but the index is a JSON file on disk: out-of-range values are
+// clamped to valid dims so a tampered or stale record yields a merely
+// arbitrary genome, never a panic. Callers repair the result against
+// their own space before use.
+func (mr MappingRecord) Mapping() mapping.Mapping {
+	m := mapping.Mapping{Levels: make([]mapping.Level, len(mr.Levels))}
+	for i, lr := range mr.Levels {
+		lv := mapping.Level{Spatial: clampDim(lr.Spatial)}
+		for d := 0; d < int(workload.NumDims); d++ {
+			if d < len(lr.Order) {
+				lv.Order[d] = clampDim(lr.Order[d])
+			} else {
+				lv.Order[d] = workload.Dim(d)
+			}
+			lv.Tiles[d] = 1
+			if d < len(lr.Tiles) && lr.Tiles[d] > 0 {
+				lv.Tiles[d] = lr.Tiles[d]
+			}
+		}
+		m.Levels[i] = lv
+	}
+	return m
+}
+
+func clampDim(v int) workload.Dim {
+	if v < 0 || v >= int(workload.NumDims) {
+		return 0
+	}
+	return workload.Dim(v)
+}
+
+type resultIndex struct {
+	mu    sync.Mutex
+	recs  []ResultRecord
+	limit int
+}
+
+func (ix *resultIndex) len() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return len(ix.recs)
+}
+
+// add appends (or refreshes) a record, returning a snapshot to persist.
+// A record with the same identity and layer set replaces the old one
+// only when it is at least as fit — the index keeps the best known
+// genome per exact workload.
+func (ix *resultIndex) add(rec ResultRecord) []ResultRecord {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for i := range ix.recs {
+		old := &ix.recs[i]
+		if old.Identity == rec.Identity && sameLayers(old.Layers, rec.Layers) {
+			if rec.Fitness <= old.Fitness {
+				*old = rec
+			}
+			return append([]ResultRecord(nil), ix.recs...)
+		}
+	}
+	ix.recs = append(ix.recs, rec)
+	if ix.limit > 0 && len(ix.recs) > ix.limit {
+		ix.recs = append(ix.recs[:0], ix.recs[len(ix.recs)-ix.limit:]...)
+	}
+	return append([]ResultRecord(nil), ix.recs...)
+}
+
+func sameLayers(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// nearest returns the record sharing the most layer hashes with the
+// query (set overlap; each stored layer matches at most once), requiring
+// at least one match. Scanned in insertion order; ties keep the earliest.
+func (ix *resultIndex) nearest(identity string, layers []string) (ResultRecord, int, bool) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	bestIdx, bestOverlap := -1, 0
+	for i := range ix.recs {
+		rec := &ix.recs[i]
+		if rec.Identity != identity {
+			continue
+		}
+		overlap := overlapCount(layers, rec.Layers)
+		if overlap > bestOverlap {
+			bestIdx, bestOverlap = i, overlap
+		}
+	}
+	if bestIdx < 0 {
+		return ResultRecord{}, 0, false
+	}
+	// Deep-ish copy so callers can adapt the genome freely.
+	out := ix.recs[bestIdx]
+	out.Layers = append([]string(nil), out.Layers...)
+	out.Fanouts = append([]int(nil), out.Fanouts...)
+	out.Maps = append([]MappingRecord(nil), out.Maps...)
+	return out, bestOverlap, true
+}
+
+func overlapCount(query, stored []string) int {
+	used := make([]bool, len(stored))
+	n := 0
+	for _, q := range query {
+		for j, s := range stored {
+			if !used[j] && s == q {
+				used[j] = true
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// RecordResult files a completed search into the warm-start index and —
+// when the store is disk-backed — persists the index atomically
+// (temp + fsync + rename, so a crash leaves either the old index or the
+// new one, never a torn file).
+func (s *Store) RecordResult(rec ResultRecord) {
+	if len(rec.Layers) == 0 || len(rec.Maps) != len(rec.Layers) {
+		return
+	}
+	snapshot := s.results.add(rec)
+	s.diskMu.Lock()
+	defer s.diskMu.Unlock()
+	if s.disk == nil {
+		return
+	}
+	if err := s.writeResultIndex(snapshot); err != nil {
+		s.log.Warn("evalstore: result index write failed", "err", err)
+	}
+}
+
+// Nearest looks up the prior result with the highest per-layer overlap
+// for a new search (see resultIndex.nearest).
+func (s *Store) Nearest(identity string, layers []string) (ResultRecord, int, bool) {
+	return s.results.nearest(identity, layers)
+}
+
+// writeResultIndex persists the index snapshot. Caller holds diskMu.
+func (s *Store) writeResultIndex(recs []ResultRecord) error {
+	if err := s.faults.Hit(PointIndex); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(recs, "", " ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(s.disk.dir, resultsFile)
+	tmp, err := os.CreateTemp(s.disk.dir, resultsFile+".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err = tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(name, path)
+	}
+	if err != nil {
+		os.Remove(name)
+	}
+	return err
+}
+
+// loadResultIndex restores a persisted index; a missing file is empty,
+// an unreadable one is reported (and ignored — it will be rewritten).
+func loadResultIndex(path string, ix *resultIndex) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var recs []ResultRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return fmt.Errorf("evalstore: parsing %s: %w", filepath.Base(path), err)
+	}
+	ix.mu.Lock()
+	ix.recs = recs
+	ix.mu.Unlock()
+	return nil
+}

@@ -88,7 +88,7 @@ func Ablation(platform arch.Platform, o Options) (*tables.Table, error) {
 		if err != nil {
 			return err
 		}
-		p, err := newProblem(model, platform, coopt.Latency, o.Fidelity)
+		p, err := o.newProblem(model, platform, coopt.Latency)
 		if err != nil {
 			return err
 		}
@@ -125,5 +125,6 @@ func Ablation(platform arch.Platform, o Options) (*tables.Table, error) {
 		return nil, err
 	}
 	tb.AddGeoMeanRow()
+	o.logShared("ablation")
 	return tb, nil
 }

@@ -41,7 +41,7 @@ func Convergence(platform arch.Platform, modelName string, checkpoints int, o Op
 	// One parallel cell per algorithm; each trace owns its curve slice.
 	curves := make([][]float64, len(algs))
 	err = parallelFor(len(algs), o.Workers, func(ai int) error {
-		p, err := newProblem(model, platform, coopt.Latency, o.Fidelity)
+		p, err := o.newProblem(model, platform, coopt.Latency)
 		if err != nil {
 			return err
 		}
@@ -67,6 +67,7 @@ func Convergence(platform arch.Platform, modelName string, checkpoints int, o Op
 		}
 		tb.SetRow(fmt.Sprintf("%d samples", mark), row)
 	}
+	o.logShared("convergence")
 	return tb, nil
 }
 

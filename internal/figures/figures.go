@@ -13,6 +13,7 @@ import (
 
 	"digamma/internal/arch"
 	"digamma/internal/coopt"
+	"digamma/internal/evalstore"
 	"digamma/internal/opt"
 	"digamma/internal/schemes"
 	"digamma/internal/tables"
@@ -44,6 +45,13 @@ type Options struct {
 	// vector baselines ignore it).
 	Prune bool
 
+	// Shared is the experiment-wide shared analysis tier: every cell's
+	// problem attaches to it, so cells that revisit the same layers (the
+	// same model across algorithms and seeds) reuse per-layer analyses
+	// across the whole grid. Pure cache sharing — tables are identical
+	// with or without it. nil = a fresh per-run memory store.
+	Shared *evalstore.Store
+
 	// Islands / MigrateEvery / IslandProfiles thread the island-model
 	// search into every DiGamma and Gamma cell (see core.Config.Islands):
 	// the convergence, ablation and figure protocols then compare
@@ -71,6 +79,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Shared == nil {
+		o.Shared = evalstore.NewMemory()
 	}
 	return o
 }
@@ -127,7 +138,7 @@ func Fig5(platform arch.Platform, o Options) (latency, latArea *tables.Table, er
 		if err != nil {
 			return err
 		}
-		p, err := newProblem(model, platform, coopt.Latency, o.Fidelity)
+		p, err := o.newProblem(model, platform, coopt.Latency)
 		if err != nil {
 			return err
 		}
@@ -168,6 +179,7 @@ func Fig5(platform arch.Platform, o Options) (latency, latArea *tables.Table, er
 	}
 	latency.AddGeoMeanRow()
 	latArea.AddGeoMeanRow()
+	o.logShared("fig5")
 	return latency, latArea, nil
 }
 
@@ -218,7 +230,7 @@ func Fig6(platform arch.Platform, o Options) (*tables.Table, error) {
 		}
 
 		// Mapping-opt: GAMMA on the three fixed HW configurations.
-		p, err := newProblem(model, platform, coopt.Latency, o.Fidelity)
+		p, err := o.newProblem(model, platform, coopt.Latency)
 		if err != nil {
 			return err
 		}
@@ -257,6 +269,7 @@ func Fig6(platform arch.Platform, o Options) (*tables.Table, error) {
 		return nil, err
 	}
 	tb.AddGeoMeanRow()
+	o.logShared("fig6")
 	return tb, nil
 }
 
@@ -293,7 +306,7 @@ func Fig7(o Options) ([]Fig7Solution, *tables.Table, error) {
 	}
 	sols = append(sols, Fig7Solution{"HW-opt (Grid-S + dla-like)", grid.Best})
 
-	p, err := newProblem(model, platform, coopt.Latency, o.Fidelity)
+	p, err := o.newProblem(model, platform, coopt.Latency)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -321,6 +334,7 @@ func Fig7(o Options) ([]Fig7Solution, *tables.Table, error) {
 		pe, buf := ev.Area.Ratio()
 		tb.SetRow(s.Scheme, []float64{ev.Cycles, ev.Area.Total(), ev.LatAreaProd, float64(pe), float64(buf)})
 	}
+	o.logShared("fig7")
 	return sols, tb, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"digamma/internal/arch"
+	"digamma/internal/evalstore"
 )
 
 // Small budgets keep these integration tests fast; the shapes they assert
@@ -217,5 +218,35 @@ func TestConvergenceTable(t *testing.T) {
 	last, _ := tb.Row(rows[len(rows)-1])
 	if math.IsNaN(last[len(algs)-1]) {
 		t.Error("DiGamma curve empty at final checkpoint")
+	}
+}
+
+// TestSharedTierAcrossCells: the experiment-wide shared analysis tier is
+// really shared — the multi-seed protocol revisits the same model across
+// seeds, whose cells re-evaluate the deterministic conservative seed
+// genomes, so an injected store must register cross-cell hits — and
+// sharing never changes a table: the same run against a fresh store
+// renders identically.
+func TestSharedTierAcrossCells(t *testing.T) {
+	store := evalstore.NewMemory()
+	o := fastOpts()
+	o.Shared = store
+	tb, err := MultiSeed(arch.Edge(), "ncf", 3, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.Stats()
+	if st.Hits == 0 || st.Inserts == 0 {
+		t.Fatalf("multi-seed cells never shared analyses: %+v", st)
+	}
+	t.Logf("multiseed shared tier: %d hits / %d misses (%.0f%% reuse)",
+		st.Hits, st.Misses, 100*st.HitRate())
+
+	tb2, err := MultiSeed(arch.Edge(), "ncf", 3, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Render() != tb2.Render() {
+		t.Errorf("shared tier changed the table:\n%s\nvs\n%s", tb.Render(), tb2.Render())
 	}
 }

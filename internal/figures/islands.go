@@ -69,7 +69,7 @@ func IslandSweep(platform arch.Platform, o Options) (*tables.Table, error) {
 		if err != nil {
 			return err
 		}
-		p, err := newProblem(model, platform, coopt.Latency, o.Fidelity)
+		p, err := o.newProblem(model, platform, coopt.Latency)
 		if err != nil {
 			return err
 		}
@@ -107,5 +107,6 @@ func IslandSweep(platform arch.Platform, o Options) (*tables.Table, error) {
 		return nil, err
 	}
 	tb.AddGeoMeanRow()
+	o.logShared("islands")
 	return tb, nil
 }

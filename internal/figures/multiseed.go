@@ -34,7 +34,7 @@ func MultiSeed(platform arch.Platform, modelName string, seeds int, o Options) (
 	err = parallelFor(len(flat), o.Workers, func(ci int) error {
 		ai, s := ci/seeds, ci%seeds
 		alg := algs[ai]
-		p, err := newProblem(model, platform, coopt.Latency, o.Fidelity)
+		p, err := o.newProblem(model, platform, coopt.Latency)
 		if err != nil {
 			return err
 		}
@@ -84,5 +84,6 @@ func MultiSeed(platform arch.Platform, modelName string, seeds int, o Options) (
 			stats.WinRate(vals, dig),
 		})
 	}
+	o.logShared("multiseed")
 	return tb, nil
 }

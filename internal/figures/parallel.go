@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"fmt"
 	"math/rand"
 
 	"digamma/internal/arch"
@@ -11,13 +12,36 @@ import (
 )
 
 // newProblem assembles one cell's co-opt problem at the experiment's
-// fidelity tier (empty = the default analytical model).
-func newProblem(model workload.Model, platform arch.Platform, objective coopt.Objective, fidelity string) (*coopt.Problem, error) {
+// fidelity tier (empty = the default analytical model), attached to the
+// experiment-wide shared analysis tier so cells revisiting the same
+// layers — one model across algorithms and seeds — reuse per-layer
+// analyses instead of recomputing them. Sharing never changes a table
+// cell; it only removes redundant cost-model work.
+func (o Options) newProblem(model workload.Model, platform arch.Platform, objective coopt.Objective) (*coopt.Problem, error) {
 	p, err := coopt.NewProblem(model, platform, objective)
 	if err != nil {
 		return nil, err
 	}
-	return p.WithFidelity(fidelity)
+	p, err = p.WithFidelity(o.Fidelity)
+	if err != nil {
+		return nil, err
+	}
+	if o.Shared != nil {
+		p = p.WithShared(o.Shared)
+	}
+	return p, nil
+}
+
+// logShared appends the run's aggregate analysis-reuse line to the
+// experiment log: cumulative shared-tier totals across every cell that
+// ran against o.Shared so far.
+func (o Options) logShared(figure string) {
+	if o.Shared == nil {
+		return
+	}
+	st := o.Shared.Stats()
+	fmt.Fprintf(o.Log, "%s shared analysis: %d hits / %d misses (%.0f%% reuse), %d entries\n",
+		figure, st.Hits, st.Misses, 100*st.HitRate(), st.Entries)
 }
 
 // parallelFor runs fn(0..n-1) across up to workers goroutines (≤ 1 =

@@ -98,6 +98,34 @@ func RandomTile(rng *rand.Rand, n int, divisorBias float64) int {
 	return 1 + rng.Intn(n)
 }
 
+// NearestDivisor returns the divisor of n closest to t (the larger one on
+// ties, clamped to [1, n]). Warm-start adaptation snaps a prior result's
+// tiles to divisors of the target layer's dims: a tiling tuned for a
+// near-duplicate shape usually lands one ragged edge away from clean on
+// the new bounds, and the snap removes that padding penalty before the
+// seed is ever scored.
+func NearestDivisor(n, t int) int {
+	if n <= 1 {
+		return 1
+	}
+	if t >= n {
+		return n
+	}
+	if t <= 1 {
+		return 1
+	}
+	ds := cachedDivisors(n)
+	i := sort.SearchInts(ds, t)
+	if i < len(ds) && ds[i] == t {
+		return t
+	}
+	// ds[i-1] < t < ds[i]; i is in [1, len(ds)-1] since 1 < t < n.
+	if t-ds[i-1] < ds[i]-t {
+		return ds[i-1]
+	}
+	return ds[i]
+}
+
 // Random generates a random legal mapping with the given number of levels
 // for the layer. Tile monotonicity across levels is enforced by repair
 // (in place — the freshly built mapping is owned here).

@@ -42,6 +42,7 @@ const (
 	PhaseBreed     = "breed"      // engine: operator pipeline per generation
 	PhaseEvaluate  = "evaluate"   // engine: batch scoring per generation
 	PhaseMigrate   = "migrate"    // engine: ring elite exchange (+ scout re-score)
+	PhaseRescore   = "rescore"    // engine: scout elites re-scored on the full model
 	PhaseCkpt      = "checkpoint" // engine: snapshot build + OnCheckpoint callback
 	PhaseFinalize  = "finalize"   // engine: final sort, detach, telemetry fold
 	PhaseOther     = "other"      // report-synthesized: search − Σ engine phases

@@ -69,6 +69,19 @@ type OptimizeRequest struct {
 	// IslandProfiles assigns per-island operator profiles by name (see
 	// digamma.IslandProfiles()). In the dedup hash.
 	IslandProfiles []string `json:"island_profiles,omitempty"`
+	// WarmStart seeds one island's initial population from the nearest
+	// prior result in the server's shared analysis store (by per-layer
+	// content-hash overlap). Unlike pure cache sharing it changes the
+	// search trajectory — the result depends on what the server ran
+	// before — so it is opt-in and participates in the dedup hash.
+	// Ignored when the shared tier is disabled.
+	WarmStart bool `json:"warm_start,omitempty"`
+	// Target, when > 0, stops the search at the first generation whose
+	// best valid design reaches fitness ≤ Target instead of spending the
+	// whole budget (time-to-target mode, see digamma.Options.Target; the
+	// scale is the objective's — cycles for latency). Budget-truncating,
+	// so it participates in the dedup hash.
+	Target float64 `json:"target,omitempty"`
 	// Workers bounds the search's parallel evaluation workers (0 = all
 	// cores). Deliberately excluded from the dedup hash: results are
 	// bit-identical at any setting.
@@ -161,6 +174,8 @@ func buildSpec(req OptimizeRequest, maxBudget int) (*searchSpec, error) {
 		Islands:        req.Islands,
 		MigrateEvery:   req.MigrateEvery,
 		IslandProfiles: req.IslandProfiles,
+		WarmStart:      req.WarmStart,
+		Target:         req.Target,
 	}
 	// Typed facade validation (ErrUnknownAlgorithm / ErrUnknownObjective)
 	// happens here, at submit time, not deep inside a queued search.
@@ -182,7 +197,10 @@ func buildSpec(req OptimizeRequest, maxBudget int) (*searchSpec, error) {
 // copy of a zoo model dedups against the zoo name), platform, objective,
 // algorithm, budget, seed, fidelity tier, the prune switch and the island
 // configuration (count, migration period, profile rotation — the knobs a
-// K-island search's result is a function of). Each field occupies its own
+// K-island search's result is a function of), the warm-start switch
+// (warm runs depend on the server's prior traffic, so they must never
+// dedup against cold ones) and the time-to-target threshold (it truncates
+// the budget). Each field occupies its own
 // '|'-delimited, newline-terminated slot of a versioned layout — the
 // profile list is additionally length-prefixed so a profile name can
 // never absorb a neighbouring slot — so two requests differing in any
@@ -191,9 +209,9 @@ func buildSpec(req OptimizeRequest, maxBudget int) (*searchSpec, error) {
 // count), as is the model's display name.
 func requestHash(model digamma.Model, req OptimizeRequest) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "v3|%s|%s|%s|%d|%d|%s|%t|%d|%d\n",
+	fmt.Fprintf(h, "v4|%s|%s|%s|%d|%d|%s|%t|%d|%d|%t|%g\n",
 		req.Platform, req.Objective, req.Algorithm, req.Budget, req.Seed, req.Fidelity, req.Prune,
-		req.Islands, req.MigrateEvery)
+		req.Islands, req.MigrateEvery, req.WarmStart, req.Target)
 	fmt.Fprintf(h, "profiles|%d", len(req.IslandProfiles))
 	for _, name := range req.IslandProfiles {
 		fmt.Fprintf(h, "|%d:%s", len(name), name)

@@ -86,6 +86,12 @@ type Job struct {
 	// is read without the job lock.
 	trace *obs.Tracer
 
+	// done closes on the first terminal transition. GET
+	// /v1/jobs/{id}?wait= long-polls on it instead of burning status
+	// round-trips — at sub-millisecond warm-started search times, poll
+	// quantization would otherwise dominate the request latency.
+	done chan struct{}
+
 	mu     sync.Mutex
 	state  State
 	err    string
@@ -113,6 +119,21 @@ func newJob(id string, spec *searchSpec) *Job {
 		state:   StateQueued,
 		created: time.Now(),
 		subs:    make(map[chan Event]struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Done returns a channel closed once the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// closeDoneLocked releases Done waiters. Every terminal transition is
+// guarded against double entry, but the select keeps a future refactor
+// from turning a second close into a panic.
+func (j *Job) closeDoneLocked() {
+	select {
+	case <-j.done:
+	default:
+		close(j.done)
 	}
 }
 
@@ -206,6 +227,7 @@ func (j *Job) finish(state State, result *digamma.Evaluation, err error) bool {
 		j.err = err.Error()
 	}
 	j.publishLocked(Event{Type: "state", State: state, Error: j.err})
+	j.closeDoneLocked()
 	return true
 }
 
@@ -222,6 +244,7 @@ func (j *Job) requestCancel() (State, bool) {
 		j.finished = time.Now()
 		j.err = "cancelled while queued"
 		j.publishLocked(Event{Type: "state", State: StateCancelled, Error: j.err})
+		j.closeDoneLocked()
 		j.mu.Unlock()
 		return StateCancelled, true
 	}
@@ -318,6 +341,7 @@ func (j *Job) restoreTerminal(rec *TerminalRecord) {
 	j.resultReport = rec.Result
 	j.finished = rec.FinishedAt
 	j.publishLocked(Event{Type: "state", State: rec.State, Error: rec.Error})
+	j.closeDoneLocked()
 }
 
 // terminalRecord snapshots the job's persisted wire state for the store.

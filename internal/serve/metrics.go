@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"digamma"
 	"digamma/internal/obs"
 	"digamma/internal/stats"
 )
@@ -61,6 +62,15 @@ func (s *Server) DedupHits() uint64 { return s.dedupHits.Load() }
 // processing or deduplicated.
 func (s *Server) Submitted() uint64 { return s.submitted.Load() }
 
+// AnalysisStats snapshots the shared analysis tier's counters (zero when
+// the tier is disabled via Config.NoSharedAnalysis).
+func (s *Server) AnalysisStats() digamma.AnalysisStats {
+	if s.analysis == nil {
+		return digamma.AnalysisStats{}
+	}
+	return s.analysis.Stats()
+}
+
 // handleMetrics renders the service gauges/counters in the Prometheus
 // text exposition format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -109,6 +119,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP digammad_evalcache_hit_rate Aggregate evaluation-cache hit rate.\n")
 	fmt.Fprintf(w, "# TYPE digammad_evalcache_hit_rate gauge\n")
 	fmt.Fprintf(w, "digammad_evalcache_hit_rate %g\n", hitRate(hits, misses))
+	ast := s.AnalysisStats()
+	fmt.Fprintf(w, "# HELP digammad_analysis_hits_total Shared-analysis-tier hits across all jobs (cross-request reuse).\n")
+	fmt.Fprintf(w, "# TYPE digammad_analysis_hits_total counter\n")
+	fmt.Fprintf(w, "digammad_analysis_hits_total %d\n", ast.Hits)
+	fmt.Fprintf(w, "# HELP digammad_analysis_misses_total Shared-analysis-tier misses across all jobs.\n")
+	fmt.Fprintf(w, "# TYPE digammad_analysis_misses_total counter\n")
+	fmt.Fprintf(w, "digammad_analysis_misses_total %d\n", ast.Misses)
+	fmt.Fprintf(w, "# HELP digammad_analysis_inserts_total Fresh per-layer analyses published to the shared tier.\n")
+	fmt.Fprintf(w, "# TYPE digammad_analysis_inserts_total counter\n")
+	fmt.Fprintf(w, "digammad_analysis_inserts_total %d\n", ast.Inserts)
+	fmt.Fprintf(w, "# HELP digammad_analysis_hit_rate Shared-analysis-tier hit rate.\n")
+	fmt.Fprintf(w, "# TYPE digammad_analysis_hit_rate gauge\n")
+	fmt.Fprintf(w, "digammad_analysis_hit_rate %g\n", ast.HitRate())
+	fmt.Fprintf(w, "# HELP digammad_analysis_entries Resident shared-tier entries.\n")
+	fmt.Fprintf(w, "# TYPE digammad_analysis_entries gauge\n")
+	fmt.Fprintf(w, "digammad_analysis_entries %d\n", ast.Entries)
+	fmt.Fprintf(w, "# HELP digammad_analysis_loaded Entries recovered from disk segments at startup.\n")
+	fmt.Fprintf(w, "# TYPE digammad_analysis_loaded gauge\n")
+	fmt.Fprintf(w, "digammad_analysis_loaded %d\n", ast.Loaded)
+	fmt.Fprintf(w, "# HELP digammad_analysis_segments On-disk analysis-store segment files (0 when memory-only).\n")
+	fmt.Fprintf(w, "# TYPE digammad_analysis_segments gauge\n")
+	fmt.Fprintf(w, "digammad_analysis_segments %d\n", ast.Segments)
+	fmt.Fprintf(w, "# HELP digammad_analysis_results Warm-start result records in the index.\n")
+	fmt.Fprintf(w, "# TYPE digammad_analysis_results gauge\n")
+	fmt.Fprintf(w, "digammad_analysis_results %d\n", ast.Results)
 	fmt.Fprintf(w, "# HELP digammad_delta_evals_total Candidates scored by the dirty-layer delta path across completed searches.\n")
 	fmt.Fprintf(w, "# TYPE digammad_delta_evals_total counter\n")
 	fmt.Fprintf(w, "digammad_delta_evals_total %d\n", s.deltaEvals.Load())

@@ -578,6 +578,8 @@ func hashFieldMutations() map[string]func(*OptimizeRequest) {
 		"prune":     func(r *OptimizeRequest) { r.Prune = true },
 		"islands":   func(r *OptimizeRequest) { r.Islands = 4 },
 		"migrate":   func(r *OptimizeRequest) { r.MigrateEvery = 3 },
+		"warmstart": func(r *OptimizeRequest) { r.WarmStart = true },
+		"target":    func(r *OptimizeRequest) { r.Target = 1e12 },
 		"profiles":  func(r *OptimizeRequest) { r.IslandProfiles = []string{"explorer", "scout"} },
 		// Profile-list layout traps: a rotation of one two-element name
 		// must not collide with two one-element names, nor with the same
@@ -612,5 +614,71 @@ func TestRequestHashFieldSensitivity(t *testing.T) {
 			}
 		}
 		seen[name] = spec.hash
+	}
+}
+
+// TestJobWaitLongPoll pins the ?wait= long-poll: one GET held until the
+// job is terminal replaces a status poll loop, a wait on an
+// already-terminal job returns immediately, an expired window returns
+// the still-running status rather than hanging, and a malformed duration
+// is a 400.
+func TestJobWaitLongPoll(t *testing.T) {
+	_, url := testServer(t, Config{Workers: 1})
+	st, code := submit(t, url, OptimizeRequest{Model: "ncf", Budget: 300, Seed: 7})
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	// Single held round-trip to terminal.
+	resp, err := http.Get(url + "/v1/jobs/" + st.ID + "?wait=10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Status
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.State != StateDone {
+		t.Fatalf("long-poll returned non-terminal state %s (error %q)", got.State, got.Error)
+	}
+	if got.Result == nil {
+		t.Fatal("long-poll terminal status missing result")
+	}
+	// A wait on a terminal job must not block for the window.
+	t0 := time.Now()
+	resp, err = http.Get(url + "/v1/jobs/" + st.ID + "?wait=10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(t0); d > 2*time.Second {
+		t.Fatalf("wait on terminal job blocked %v", d)
+	}
+	// Malformed duration.
+	resp, err = http.Get(url + "/v1/jobs/" + st.ID + "?wait=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad wait duration: HTTP %d, want 400", resp.StatusCode)
+	}
+	// An expired window yields whatever state the job is in — submit a
+	// big job and wait a hair: the response must come back promptly.
+	st2, _ := submit(t, url, OptimizeRequest{Model: "resnet18", Budget: 5000, Seed: 8})
+	t0 = time.Now()
+	resp, err = http.Get(url + "/v1/jobs/" + st2.ID + "?wait=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(t0); d > 2*time.Second {
+		t.Fatalf("1ms wait took %v", d)
+	}
+	if got.ID != st2.ID {
+		t.Fatalf("wrong job: %s", got.ID)
 	}
 }

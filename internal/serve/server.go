@@ -49,6 +49,16 @@ type Config struct {
 	// that exceeds it finishes as "degraded" carrying the best design
 	// point found in time — a partial result, excluded from dedup.
 	JobDeadline time.Duration
+	// Analysis is the server's shared analysis tier: every job's search
+	// reads and feeds it, so near-duplicate requests recover per-layer
+	// cost-model analyses computed by earlier jobs. Pure cache sharing —
+	// results stay bit-identical to a cold search. Pass a disk-backed
+	// store (digamma.OpenAnalysisStore) to keep the warm tier across
+	// restarts. nil = a fresh memory-only store, unless NoSharedAnalysis.
+	Analysis *digamma.AnalysisStore
+	// NoSharedAnalysis disables the shared analysis tier entirely: each
+	// job then caches analyses only within its own search.
+	NoSharedAnalysis bool
 	// Faults arms the deterministic fault-injection harness (tests only;
 	// nil in production). Points: "worker.run" plus the Store points.
 	Faults *faults.Injector
@@ -102,6 +112,7 @@ type Server struct {
 	seq      uint64
 
 	store    Store
+	analysis *digamma.AnalysisStore // shared evaluation tier; nil when disabled
 	draining atomic.Bool
 
 	started            time.Time
@@ -158,6 +169,9 @@ func New(cfg Config) (*Server, error) {
 	if s.store == nil {
 		s.store = nullStore{}
 	}
+	if s.analysis = cfg.Analysis; s.analysis == nil && !cfg.NoSharedAnalysis {
+		s.analysis = digamma.NewAnalysisStore()
+	}
 	if s.log == nil {
 		s.log = slog.New(slog.DiscardHandler)
 	}
@@ -166,7 +180,7 @@ func New(cfg Config) (*Server, error) {
 		s.latHist[b] = obs.NewHistogram(obs.LatencyBuckets())
 	}
 	s.phaseHist = make(map[string]*obs.Histogram)
-	for _, p := range []string{obs.PhaseInit, obs.PhaseBreed, obs.PhaseEvaluate, obs.PhaseMigrate, obs.PhaseCkpt, obs.PhaseFinalize} {
+	for _, p := range []string{obs.PhaseInit, obs.PhaseBreed, obs.PhaseEvaluate, obs.PhaseMigrate, obs.PhaseRescore, obs.PhaseCkpt, obs.PhaseFinalize} {
 		s.phaseHist[p] = obs.NewHistogram(obs.PhaseBuckets())
 	}
 	s.ioHist = make(map[string]*obs.Histogram)
@@ -378,6 +392,10 @@ func (s *Server) runJob(j *Job) {
 	log.Info("job running", "model", j.spec.model.Name, "budget", j.spec.req.Budget,
 		"resuming", j.resume != nil)
 	opts := j.spec.opts
+	// The server's shared tier backs every job. Safe under dedup: pure
+	// cache sharing is bit-identical, and the trajectory-changing warm
+	// start rides in via the spec (and its hash) instead.
+	opts.SharedCache = s.analysis
 	opts.Trace = j.trace
 	opts.OnProgress = func(p digamma.Progress) {
 		j.cacheHits.Store(p.CacheHits)
@@ -710,11 +728,37 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
 }
 
+// maxJobWait caps GET /v1/jobs/{id}?wait= long-polls so a client typo
+// ("wait=1h") cannot pin a handler goroutine for the server's lifetime.
+const maxJobWait = 30 * time.Second
+
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j := s.get(r.PathValue("id"))
 	if j == nil {
 		writeError(w, http.StatusNotFound, errors.New("no such job"))
 		return
+	}
+	// ?wait=<duration> long-polls: the response is held until the job is
+	// terminal or the window expires, then carries the usual status. One
+	// round-trip replaces a poll loop — warm-started near-duplicate
+	// searches finish in well under a millisecond, where any fixed poll
+	// interval would dominate the observed latency.
+	if d := r.URL.Query().Get("wait"); d != "" {
+		dur, err := time.ParseDuration(d)
+		if err != nil || dur < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait duration %q", d))
+			return
+		}
+		if dur > maxJobWait {
+			dur = maxJobWait
+		}
+		t := time.NewTimer(dur)
+		select {
+		case <-j.Done():
+		case <-t.C:
+		case <-r.Context().Done():
+		}
+		t.Stop()
 	}
 	writeJSON(w, http.StatusOK, j.Status(true))
 }

@@ -21,14 +21,17 @@ RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' \
-    -bench 'BenchmarkEvaluate$|BenchmarkEvaluatePhysical$|BenchmarkCostAnalyze$|BenchmarkDiGammaSearch$|BenchmarkDiGammaSearchDelta$|BenchmarkDiGammaSearchPruned$|BenchmarkDiGammaSearchIslands$|BenchmarkDiGammaSearchTraced$' \
+    -bench 'BenchmarkEvaluate$|BenchmarkEvaluatePhysical$|BenchmarkCostAnalyze$|BenchmarkDiGammaSearch$|BenchmarkDiGammaSearchDelta$|BenchmarkDiGammaSearchPruned$|BenchmarkDiGammaSearchIslands$|BenchmarkDiGammaSearchTraced$|BenchmarkDiGammaSearchSharedCache$' \
     -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
 
 # Serving rows: one end-to-end served search (submit → queue → run →
-# poll), the same search on the K-island engine (ISLANDS knob), and one
-# dedup hit served straight from the result store.
+# long-poll), the same search on the K-island engine (ISLANDS knob), one
+# dedup hit served straight from the result store, and the near-duplicate
+# warm-traffic pair (cold vs shared-tier + warm-start + time-to-target;
+# the warm/cold ratio is the cross-request reuse headline, gated ≥ 2× by
+# bench_guard.sh).
 DIGAMMAD_BENCH_ISLANDS=$ISLANDS go test -run '^$' \
-    -bench 'BenchmarkServeOptimize$|BenchmarkServeOptimizeIslands$|BenchmarkServeDedup$' \
+    -bench 'BenchmarkServeOptimize$|BenchmarkServeOptimizeIslands$|BenchmarkServeDedup$|BenchmarkServeWarmTraffic$' \
     -benchmem -benchtime "$BENCHTIME" ./internal/serve/ | tee -a "$RAW"
 
 awk '
@@ -36,13 +39,15 @@ BEGIN { print "[" ; first = 1 }
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)           # strip the GOMAXPROCS suffix
-    ns = ""; bytes = ""; allocs = ""; bestfit = ""; reused = ""
+    ns = ""; bytes = ""; allocs = ""; bestfit = ""; reused = ""; hitrate = ""; sharedhits = ""
     for (i = 2; i <= NF; i++) {
-        if ($(i) == "ns/op")      ns      = $(i - 1)
-        if ($(i) == "B/op")       bytes   = $(i - 1)
-        if ($(i) == "allocs/op")  allocs  = $(i - 1)
-        if ($(i) == "bestfit/op") bestfit = $(i - 1)
-        if ($(i) == "reused/op")  reused  = $(i - 1)
+        if ($(i) == "ns/op")         ns         = $(i - 1)
+        if ($(i) == "B/op")          bytes      = $(i - 1)
+        if ($(i) == "allocs/op")     allocs     = $(i - 1)
+        if ($(i) == "bestfit/op")    bestfit    = $(i - 1)
+        if ($(i) == "reused/op")     reused     = $(i - 1)
+        if ($(i) == "hitrate/op")    hitrate    = $(i - 1)
+        if ($(i) == "sharedhits/op") sharedhits = $(i - 1)
     }
     if (ns == "") next
     if (!first) print ","
@@ -51,6 +56,8 @@ BEGIN { print "[" ; first = 1 }
         name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs)
     if (bestfit != "") printf ", \"bestfit_per_op\": %s", bestfit
     if (reused != "") printf ", \"reused_per_op\": %s", reused
+    if (hitrate != "") printf ", \"hitrate_per_op\": %s", hitrate
+    if (sharedhits != "") printf ", \"sharedhits_per_op\": %s", sharedhits
     printf "}"
 }
 END { print "\n]" }

@@ -30,12 +30,19 @@
 # Usage:
 #   scripts/bench_guard.sh [baseline.json]
 #   TOL=50 BENCHTIME=2s scripts/bench_guard.sh
+#
+# A third gate covers the cross-request reuse tentpole: the serve-level
+# near-duplicate stream (BenchmarkServeWarmTraffic) must run ≥ WARM_MIN×
+# (default 2×) faster warm — shared tier + warm_start + time-to-target —
+# than cold. The ratio compares two runs on this machine, so it needs no
+# calibration and holds across runner speeds.
 set -eu
 
 cd "$(dirname "$0")/.."
 BASE=${1:-BENCH_core.json}
 TOL=${TOL:-30}
 BENCHTIME=${BENCHTIME:-1s}
+WARM_MIN=${WARM_MIN:-2.0}
 
 [ -f "$BASE" ] || { echo "bench_guard: no baseline $BASE"; exit 1; }
 
@@ -104,3 +111,27 @@ END {
     exit failed
 }
 ' "$RAW"
+
+# --- near-duplicate reuse gate -----------------------------------------
+WRAW=$(mktemp)
+trap 'rm -f "$RAW" "$WRAW"' EXIT
+
+go test -run '^$' -bench 'BenchmarkServeWarmTraffic$' \
+    -benchtime "$BENCHTIME" ./internal/serve/ | tee "$WRAW"
+
+awk -v min="$WARM_MIN" '
+/^BenchmarkServeWarmTraffic\/cold/ { cold = $3 }
+/^BenchmarkServeWarmTraffic\/warm/ { warm = $3 }
+END {
+    if (cold == "" || warm == "" || warm + 0 == 0) {
+        print "bench_guard: warm-traffic rows missing"; exit 1
+    }
+    ratio = cold / warm
+    printf "bench_guard: near-duplicate warm speedup %.2fx (cold %.0f ns/op, warm %.0f ns/op, floor %.1fx)\n", \
+        ratio, cold, warm, min
+    if (ratio < min) {
+        printf "REGRESSION BenchmarkServeWarmTraffic: warm/cold speedup %.2fx < %.1fx\n", ratio, min
+        exit 1
+    }
+}
+' "$WRAW"

@@ -4,7 +4,11 @@
 # Builds cmd/digammad and runs its -selftest mode: N concurrent mixed
 # optimize requests (with deliberate duplicates) against an in-process
 # server — or a running one via TARGET — reporting submit/end-to-end
-# throughput and the dedup hit rate.
+# throughput and the dedup hit rate. The mix is followed by a
+# near-duplicate phase: a base GEMM tower, then requests that each
+# perturb exactly one layer's width, warm-started and time-to-target
+# bounded, with the shared analysis tier's hit rate reported (NOWARM=1
+# skips the whole near-duplicate phase).
 #
 # Usage:
 #   scripts/loadgen.sh                       # 24 requests, 8 clients, in-process
@@ -12,6 +16,7 @@
 #   TARGET=http://localhost:8080 scripts/loadgen.sh   # against a live server
 #   BUDGET=1000 scripts/loadgen.sh                    # heavier searches
 #   ISLANDS=4 scripts/loadgen.sh                      # island-model searches
+#   NOWARM=1 scripts/loadgen.sh                       # skip the near-duplicate phase
 #
 # Kill-after mode (crash-recovery smoke): starts a durable digammad,
 # SIGKILLs it mid-load, restarts it over the same data dir, and verifies
@@ -26,6 +31,7 @@ CLIENTS=${CLIENTS:-8}
 BUDGET=${BUDGET:-300}
 ISLANDS=${ISLANDS:-0}
 TARGET=${TARGET:-}
+NOWARM=${NOWARM:-}
 KILL_AFTER=${KILL_AFTER:-}
 ADDR=${ADDR:-127.0.0.1:18418}
 
@@ -42,6 +48,7 @@ if [ -z "$KILL_AFTER" ]; then
         -clients "$CLIENTS" \
         -budget "$BUDGET" \
         -islands "$ISLANDS" \
+        ${NOWARM:+-no-warm} \
         ${TARGET:+-target "$TARGET"}
     exit 0
 fi
