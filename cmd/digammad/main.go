@@ -26,12 +26,32 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"digamma"
 	"digamma/internal/serve"
 )
+
+// parseTenantWeights turns the -tenant-weights flag ("gold=3,silver=1")
+// into the scheduler's weight map. Tenants absent from the map weigh 1.
+func parseTenantWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, kv := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(kv, "=")
+		w, err := strconv.Atoi(val)
+		if !ok || name == "" || err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -tenant-weights entry %q (want name=weight, weight >= 1)", kv)
+		}
+		out[name] = w
+	}
+	return out, nil
+}
 
 // newLogger builds the process logger from the -log-level / -log-format
 // flags. All digammad and serve-layer logging goes through it; "json"
@@ -64,12 +84,24 @@ func main() {
 		deadline = flag.Duration("job-deadline", 0, "per-job wall-clock bound; exceeded jobs finish degraded with their best-so-far result (0 = none)")
 		anaDir   = flag.String("analysis-dir", "", "shared analysis store directory (empty = <data-dir>/evalstore when -data-dir is set, else memory-only)")
 		noShared = flag.Bool("no-shared-analysis", false, "disable the cross-request shared analysis tier (each search then caches only within itself)")
+		waitCap  = flag.Duration("wait-cap", 0, "cap on ?wait= long-polls; an expired window returns the current status with 200 (0 = 30s)")
+		weights  = flag.String("tenant-weights", "", "per-tenant scheduler weights, e.g. gold=3,silver=1 (absent tenants weigh 1)")
+		tJobCap  = flag.Int("tenant-cap", 0, "per-tenant queued+running job cap; submits past it get 429 + Retry-After (0 = unlimited)")
+		tBudCap  = flag.Int("tenant-budget-cap", 0, "per-tenant outstanding evaluation-budget cap, 429 above it (0 = unlimited)")
+		quantum  = flag.Int("sched-quantum", 0, "evals replenished per weight unit per scheduling rotation (0 = 2000)")
+		maxBatch = flag.Int("max-batch", 0, "max items per POST /v1/batches, 400 above it (0 = 256)")
+		tSeries  = flag.Int("tenant-series", 0, "distinct tenant labels on /metrics before aggregation into the overflow label (0 = 32)")
 		noWarm   = flag.Bool("no-warm", false, "selftest: skip the near-duplicate shared-analysis phase")
 		selftest = flag.Bool("selftest", false, "run the load-generator self-test and exit")
 		requests = flag.Int("requests", 24, "selftest: total requests to fire")
 		clients  = flag.Int("clients", 8, "selftest: concurrent clients")
 		budget   = flag.Int("budget", 300, "selftest: sampling budget per request")
 		islands  = flag.Int("islands", 0, "selftest: run the request mix on the K-island engine (<=1 = single population)")
+		tenants  = flag.Int("tenants", 0, "selftest: spread traffic across N tenants and run the two-tenant contention phase (0 = single-tenant legacy traffic)")
+		batchN   = flag.Int("batch", 0, "selftest: also submit an N-item near-duplicate sweep as one POST /v1/batches (0 = skip)")
+		sustain  = flag.Duration("sustain", 0, "selftest: sustained-load phase duration, open-loop submits at -rate (0 = skip)")
+		rate     = flag.Float64("rate", 4, "selftest: sustained-phase submit rate, requests per second")
+		p95Max   = flag.Duration("p95-max", 0, "selftest: fail when the sustained phase's p95 end-to-end latency exceeds this (0 = report only)")
 		target   = flag.String("target", "", "selftest: base URL of a running digammad (empty = in-process server)")
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (CPU/heap profiling of the serving hot path)")
 		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
@@ -84,10 +116,18 @@ func main() {
 		os.Exit(1)
 	}
 
+	tw, err := parseTenantWeights(*weights)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "digammad:", err)
+		os.Exit(1)
+	}
 	cfg := serve.Config{
 		Workers: *jobs, QueueDepth: *queue, StoreLimit: *store, MaxBudget: *maxBud,
 		CheckpointEvery: *ckEvery, JobDeadline: *deadline,
 		TraceSpans: *trSpans, Log: logger,
+		TenantWeights: tw, TenantJobCap: *tJobCap, TenantBudgetCap: *tBudCap,
+		SchedQuantum: *quantum, WaitCap: *waitCap,
+		MaxBatchItems: *maxBatch, MaxTenantSeries: *tSeries,
 	}
 	if *dataDir != "" {
 		ds, err := serve.OpenDiskStore(*dataDir)
@@ -119,7 +159,19 @@ func main() {
 		}
 	}
 	if *selftest {
-		if err := runSelftest(cfg, *target, *requests, *clients, *budget, *islands, !*noWarm); err != nil {
+		opts := selftestOpts{
+			Target: *target, Total: *requests, Clients: *clients,
+			Budget: *budget, Islands: *islands, Warm: !*noWarm,
+			Tenants: *tenants, Batch: *batchN,
+			Sustain: *sustain, Rate: *rate, P95Max: *p95Max,
+		}
+		// The contention phase wants asymmetric weights so fairness has
+		// something to measure; give the in-process server 3:1 unless the
+		// operator chose their own.
+		if opts.Tenants >= 2 && *target == "" && cfg.TenantWeights == nil {
+			cfg.TenantWeights = map[string]int{"gold": 3, "silver": 1}
+		}
+		if err := runSelftest(cfg, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "digammad: selftest:", err)
 			os.Exit(1)
 		}

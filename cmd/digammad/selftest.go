@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +15,18 @@ import (
 	"digamma/internal/serve"
 	"digamma/internal/workload"
 )
+
+// selftestOpts collects the load-generator knobs (see the -selftest flags
+// in main.go). Zero values skip the corresponding optional phase.
+type selftestOpts struct {
+	Target                          string
+	Total, Clients, Budget, Islands int
+	Warm                            bool
+	Tenants, Batch                  int
+	Sustain                         time.Duration
+	Rate                            float64
+	P95Max                          time.Duration
+}
 
 // selftestMix is the request mix the load generator cycles through: four
 // distinct searches, so firing N ≥ 8 requests guarantees duplicates and a
@@ -33,7 +46,12 @@ var selftestMix = []serve.OptimizeRequest{
 // rows cover island searches too. warm adds a near-duplicate phase after
 // the mix: same-layer searches under fresh seeds (shared-analysis
 // traffic), half of them warm-started, with the tier's hit rate reported.
-func runSelftest(cfg serve.Config, target string, total, clients, budget, islands int, warm bool) error {
+// Tenants > 0 spreads the mix across that many tenants and (at >= 2) runs
+// the two-tenant contention phase; Batch submits a near-duplicate sweep
+// as one POST /v1/batches; Sustain runs the open-loop SLO phase.
+func runSelftest(cfg serve.Config, opts selftestOpts) error {
+	target := opts.Target
+	total, clients, budget, islands := opts.Total, opts.Clients, opts.Budget, opts.Islands
 	inProcess := target == ""
 	if inProcess {
 		s, err := serve.New(cfg)
@@ -78,6 +96,9 @@ func runSelftest(cfg serve.Config, target string, total, clients, budget, island
 				}
 				req := selftestMix[i%len(selftestMix)]
 				req.Budget = budget
+				if opts.Tenants > 0 {
+					req.Tenant = fmt.Sprintf("t%d", i%opts.Tenants)
+				}
 				if islands > 1 {
 					req.Islands = islands
 					if i%len(selftestMix) == 1 {
@@ -174,12 +195,347 @@ func runSelftest(cfg serve.Config, target string, total, clients, budget, island
 	if inProcess && len(ids)+int(dedup.Load()) != total {
 		return fmt.Errorf("accounting mismatch: %d distinct + %d dedup != %d total", len(ids), dedup.Load(), total)
 	}
-	if warm {
+	if opts.Warm {
 		if err := runWarmPhase(target, budget); err != nil {
 			return err
 		}
 	}
+	if opts.Batch > 1 {
+		if err := runBatchPhase(target, opts.Batch, budget); err != nil {
+			return err
+		}
+	}
+	if opts.Tenants >= 2 {
+		if err := runContentionPhase(target, budget); err != nil {
+			return err
+		}
+	}
+	if opts.Sustain > 0 {
+		if err := runSustainedPhase(target, opts); err != nil {
+			return err
+		}
+	}
 	return verifyObservability(target, ids)
+}
+
+// submitJob POSTs one optimize request and returns the accepted job's id
+// and whether it deduplicated onto an existing one.
+func submitJob(target string, req serve.OptimizeRequest) (id string, dedup bool, err error) {
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(target+"/v1/optimize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", false, err
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return "", false, fmt.Errorf("submit: %s: %s", resp.Status, data)
+	}
+	var sr struct {
+		ID           string `json:"id"`
+		Deduplicated bool   `json:"deduplicated"`
+	}
+	if err := json.Unmarshal(data, &sr); err != nil {
+		return "", false, err
+	}
+	return sr.ID, sr.Deduplicated, nil
+}
+
+// waitTerminal long-polls GET /v1/jobs/{id}?wait= until the job settles,
+// returning its terminal state.
+func waitTerminal(target, id string, deadline time.Time) (string, error) {
+	for {
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("job %s did not finish in time", id)
+		}
+		resp, err := http.Get(target + "/v1/jobs/" + id + "?wait=30s")
+		if err != nil {
+			return "", err
+		}
+		var st struct {
+			State string `json:"state"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return "", err
+		}
+		switch st.State {
+		case "done", "degraded", "failed", "cancelled":
+			return st.State, nil
+		}
+	}
+}
+
+// pct reads the q-quantile (0..1) off a sorted latency slice.
+func pct(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// latencyTable prints one "tenant n p50 p95 p99" row per key, sorted.
+func latencyTable(lat map[string][]time.Duration) {
+	tenants := make([]string, 0, len(lat))
+	for t := range lat {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	fmt.Printf("  %-10s %6s %10s %10s %10s\n", "tenant", "n", "p50", "p95", "p99")
+	for _, t := range tenants {
+		d := lat[t]
+		sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+		fmt.Printf("  %-10s %6d %10s %10s %10s\n", t, len(d),
+			pct(d, 0.50).Round(time.Millisecond),
+			pct(d, 0.95).Round(time.Millisecond),
+			pct(d, 0.99).Round(time.Millisecond))
+	}
+}
+
+// runBatchPhase submits one n-item near-duplicate sweep as a single POST
+// /v1/batches — shared defaults, per-item width perturbations, and a
+// deliberate duplicate of the base item at the tail so the in-batch dedup
+// path is exercised — then long-polls the batch endpoint to completion.
+func runBatchPhase(target string, n, budget int) error {
+	base := func() []workload.LayerSpec {
+		return []workload.LayerSpec{
+			{Name: "bfc0", Type: "gemm", K: 128, C: 256, Y: 1, X: 1, R: 1, S: 1},
+			{Name: "bfc1", Type: "gemm", K: 64, C: 128, Y: 1, X: 1, R: 1, S: 1},
+		}
+	}
+	breq := serve.BatchRequest{
+		Defaults: serve.OptimizeRequest{
+			Layers: base(), Platform: "edge", Objective: "latency",
+			Budget: budget, Seed: 4242,
+		},
+		Items: make([]serve.OptimizeRequest, n),
+	}
+	// Item 0 and item n-1 are pure defaults (the duplicate pair); the rest
+	// perturb one layer's width — the sweep signature.
+	for i := 1; i < n-1; i++ {
+		layers := base()
+		layers[i%len(layers)].C += 4 * i
+		breq.Items[i] = serve.OptimizeRequest{Layers: layers}
+	}
+	body, _ := json.Marshal(breq)
+	begin := time.Now()
+	resp, err := http.Post(target+"/v1/batches", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("batch phase: %w", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("batch phase: %s: %s", resp.Status, data)
+	}
+	var bst struct {
+		ID           string `json:"id"`
+		State        string `json:"state"`
+		Total        int    `json:"total"`
+		Completed    int    `json:"completed"`
+		Deduplicated int    `json:"deduplicated"`
+	}
+	if err := json.Unmarshal(data, &bst); err != nil {
+		return fmt.Errorf("batch phase: %w", err)
+	}
+	deadline := time.Now().Add(5 * time.Minute)
+	for bst.State == "running" {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("batch phase: batch %s did not finish in time", bst.ID)
+		}
+		resp, err := http.Get(target + "/v1/batches/" + bst.ID + "?wait=30s")
+		if err != nil {
+			return err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&bst)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+	}
+	dur := time.Since(begin)
+	fmt.Printf("  batch sweep:         %d items as one submit: %d completed, %d dedup, %.3fs (%.1f items/s)\n",
+		bst.Total, bst.Completed, bst.Deduplicated, dur.Seconds(), float64(bst.Total)/dur.Seconds())
+	if bst.State != "done" {
+		return fmt.Errorf("batch phase: batch %s finished %s", bst.ID, bst.State)
+	}
+	if bst.Deduplicated < 1 {
+		return fmt.Errorf("batch phase: duplicate tail item was not deduplicated")
+	}
+	return nil
+}
+
+// runContentionPhase is the fairness leg: two tenants ("gold" and
+// "silver" — 3:1 weighted on the in-process server) submit interleaved
+// unique searches that saturate the worker pool, each request's
+// end-to-end latency is recorded, and afterwards the per-tenant
+// dispatched-eval counters and the scheduler's starvation guard are read
+// off /metrics. A healthy scheduler shows zero forced dispatches.
+func runContentionPhase(target string, budget int) error {
+	evals0 := map[string]float64{}
+	for _, tenant := range []string{"gold", "silver"} {
+		v, _ := scrapeCounter(target, fmt.Sprintf("digammad_tenant_evals_total{tenant=%q}", tenant))
+		evals0[tenant] = v
+	}
+	starved0, err := scrapeCounter(target, "digammad_sched_starvation_total")
+	if err != nil {
+		return fmt.Errorf("contention phase: %w", err)
+	}
+
+	const perTenant = 6
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		lat = map[string][]time.Duration{}
+	)
+	deadline := time.Now().Add(5 * time.Minute)
+	var firstErr atomic.Value
+	for i := 0; i < 2*perTenant; i++ {
+		tenant := "gold"
+		if i%2 == 1 {
+			tenant = "silver"
+		}
+		req := serve.OptimizeRequest{
+			Model: "ncf", Platform: "edge", Objective: "latency",
+			Budget: budget, Seed: int64(5000 + i), Tenant: tenant,
+		}
+		wg.Add(1)
+		go func(tenant string, req serve.OptimizeRequest) {
+			defer wg.Done()
+			begin := time.Now()
+			id, _, err := submitJob(target, req)
+			if err == nil {
+				_, err = waitTerminal(target, id, deadline)
+			}
+			if err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+			mu.Lock()
+			lat[tenant] = append(lat[tenant], time.Since(begin))
+			mu.Unlock()
+		}(tenant, req)
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return fmt.Errorf("contention phase: %w", err)
+	}
+
+	fmt.Printf("  contention phase:    %d jobs across gold and silver\n", 2*perTenant)
+	latencyTable(lat)
+	goldEvals, _ := scrapeCounter(target, `digammad_tenant_evals_total{tenant="gold"}`)
+	silverEvals, _ := scrapeCounter(target, `digammad_tenant_evals_total{tenant="silver"}`)
+	gold, silver := goldEvals-evals0["gold"], silverEvals-evals0["silver"]
+	if gold+silver > 0 {
+		fmt.Printf("  eval shares:         gold %.0f%% / silver %.0f%%\n",
+			100*gold/(gold+silver), 100*silver/(gold+silver))
+	}
+	starved, err := scrapeCounter(target, "digammad_sched_starvation_total")
+	if err != nil {
+		return fmt.Errorf("contention phase: %w", err)
+	}
+	if starved != starved0 {
+		return fmt.Errorf("contention phase: starvation guard fired %.0f times", starved-starved0)
+	}
+	fmt.Printf("  starvation guard:    0 forced dispatches\n")
+	return nil
+}
+
+// runSustainedPhase is the SLO leg: an open-loop generator submits unique
+// searches at opts.Rate for opts.Sustain (spread across opts.Tenants
+// tenants when set), long-polling each to completion. It reports
+// completed throughput and p50/p95/p99 end-to-end latency — per tenant
+// when multi-tenant — and fails when p95 exceeds opts.P95Max or the
+// starvation guard fired.
+func runSustainedPhase(target string, opts selftestOpts) error {
+	starved0, err := scrapeCounter(target, "digammad_sched_starvation_total")
+	if err != nil {
+		return fmt.Errorf("sustained phase: %w", err)
+	}
+	rate := opts.Rate
+	if rate <= 0 {
+		rate = 1
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		lat      = map[string][]time.Duration{}
+		errCount atomic.Int64
+		firstErr atomic.Value
+	)
+	begin := time.Now()
+	end := begin.Add(opts.Sustain)
+	deadline := end.Add(5 * time.Minute)
+	submitted := 0
+	for time.Now().Before(end) {
+		tenant := ""
+		if opts.Tenants > 0 {
+			tenant = fmt.Sprintf("t%d", submitted%opts.Tenants)
+		}
+		req := serve.OptimizeRequest{
+			Model: "ncf", Platform: "edge", Objective: "latency",
+			Budget: opts.Budget, Seed: int64(9000 + submitted), Tenant: tenant,
+		}
+		key := tenant
+		if key == "" {
+			key = "default"
+		}
+		submitted++
+		wg.Add(1)
+		go func(key string, req serve.OptimizeRequest) {
+			defer wg.Done()
+			t0 := time.Now()
+			id, _, err := submitJob(target, req)
+			if err == nil {
+				_, err = waitTerminal(target, id, deadline)
+			}
+			if err != nil {
+				errCount.Add(1)
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+			mu.Lock()
+			lat[key] = append(lat[key], time.Since(t0))
+			mu.Unlock()
+		}(key, req)
+		time.Sleep(interval)
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	var all []time.Duration
+	for _, d := range lat {
+		all = append(all, d...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	p50, p95, p99 := pct(all, 0.50), pct(all, 0.95), pct(all, 0.99)
+	fmt.Printf("  sustained phase:     %d submits over %.1fs at %.1f req/s target\n",
+		submitted, elapsed.Seconds(), rate)
+	fmt.Printf("  throughput:          %.1f completed/s (%d completed, %d errors)\n",
+		float64(len(all))/elapsed.Seconds(), len(all), errCount.Load())
+	fmt.Printf("  latency:             p50 %s  p95 %s  p99 %s\n",
+		p50.Round(time.Millisecond), p95.Round(time.Millisecond), p99.Round(time.Millisecond))
+	if opts.Tenants > 0 {
+		latencyTable(lat)
+	}
+	if n := errCount.Load(); n > 0 {
+		err, _ := firstErr.Load().(error)
+		return fmt.Errorf("sustained phase: %d requests failed (first: %v)", n, err)
+	}
+	starved, err := scrapeCounter(target, "digammad_sched_starvation_total")
+	if err != nil {
+		return fmt.Errorf("sustained phase: %w", err)
+	}
+	if starved != starved0 {
+		return fmt.Errorf("sustained phase: starvation guard fired %.0f times", starved-starved0)
+	}
+	if opts.P95Max > 0 && p95 > opts.P95Max {
+		return fmt.Errorf("sustained phase: p95 %s exceeds the %s SLO", p95, opts.P95Max)
+	}
+	return nil
 }
 
 // runWarmPhase is the near-duplicate leg: a base four-layer GEMM tower

@@ -28,6 +28,7 @@ import (
 	"digamma/internal/coopt"
 	"digamma/internal/core"
 	"digamma/internal/cost"
+	"digamma/internal/evalcache"
 	"digamma/internal/obs"
 	"digamma/internal/opt"
 	"digamma/internal/workload"
@@ -301,7 +302,17 @@ func (o Options) withDefaults() (Options, error) {
 // applying the selected fidelity backend. The "analytical" default leaves
 // the problem untouched — the exact code path earlier releases ran.
 func (o Options) problemFor(model Model, platform Platform) (*Problem, error) {
-	p, err := coopt.NewProblem(model, platform, o.Objective)
+	// Bound the analysis cache near the search's actual demand (2× B×L
+	// headroom against set-conflict evictions, floored so tiny requests
+	// never thrash); len(model.Layers) over-counts duplicates, which only
+	// errs toward the safe (larger) side.
+	hint := 0
+	if o.Budget > 0 {
+		if hint = max(2*o.Budget*len(model.Layers), 1<<9); hint >= evalcache.DefaultCapacity {
+			hint = 0 // long search: the default capacity is the right one
+		}
+	}
+	p, err := coopt.NewProblemSized(model, platform, o.Objective, hint)
 	if err != nil {
 		return nil, err
 	}

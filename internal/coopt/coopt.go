@@ -107,6 +107,13 @@ type Problem struct {
 	// per-evaluation reduction loop doesn't copy Layer structs.
 	mults []float64
 
+	// cacheCap bounds every analysis cache this problem family builds
+	// (including the fresh caches WithFixedHW/WithBackend copies install);
+	// 0 means evalcache.DefaultCapacity. Set via SizeCache so short
+	// searches don't pay the default cache's fixed allocation on every
+	// request.
+	cacheCap int
+
 	// backend is the fidelity tier scoring each layer; nil means the
 	// default analytical model on the unmodified default code path (so
 	// default-path results are structurally bit-identical to a tree that
@@ -159,7 +166,7 @@ func (p *Problem) WithBackend(b cost.Backend) *Problem {
 	q.backendSalt = saltFromName(b.Name())
 	q.energy = b.EffectiveEnergy(p.Platform.Energy)
 	if p.Cache != nil {
-		q.Cache = newResultCache()
+		q.Cache = q.newResultCache()
 	}
 	q.rehashShared()
 	return &q
@@ -260,6 +267,18 @@ func (p *Problem) initAnalyzers() {
 // NewProblem assembles a co-optimization problem with the default
 // two-level encoding.
 func NewProblem(model workload.Model, platform arch.Platform, objective Objective) (*Problem, error) {
+	return NewProblemSized(model, platform, objective, 0)
+}
+
+// NewProblemSized is NewProblem with the analysis cache bounded to
+// roughly cacheEntries from construction (<= 0 means
+// evalcache.DefaultCapacity). A search of B evals over L unique layers
+// inserts at most B×L analyses, so callers that know their budget should
+// bound the cache near that product: the default capacity's fixed
+// allocation (512 KiB) otherwise dominates the per-request cost of short
+// searches. Purely a performance knob — analyses are pure, so an
+// undersized cache re-derives evicted entries with bit-identical values.
+func NewProblemSized(model workload.Model, platform arch.Platform, objective Objective, cacheEntries int) (*Problem, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
@@ -268,8 +287,9 @@ func NewProblem(model workload.Model, platform arch.Platform, objective Objectiv
 		Platform:  platform,
 		Space:     space.New(model, platform),
 		Objective: objective,
-		Cache:     newResultCache(),
+		cacheCap:  cacheEntries,
 	}
+	p.Cache = p.newResultCache()
 	p.initAnalyzers()
 	return p, p.Space.Validate()
 }
@@ -285,7 +305,7 @@ func (p *Problem) WithFixedHW(hw arch.HW) (*Problem, error) {
 	if p.Cache != nil {
 		// The fixed HW changes non-gene analysis inputs (bandwidths, word
 		// size), so entries must not be shared with the parent problem.
-		q.Cache = newResultCache()
+		q.Cache = q.newResultCache()
 	}
 	// The shared tier needs no reset — its keys fold the fixed HW in —
 	// but the per-layer contexts must be rebuilt around it.
@@ -296,8 +316,24 @@ func (p *Problem) WithFixedHW(hw arch.HW) (*Problem, error) {
 // newResultCache builds the per-layer analysis cache: intrusive, so an
 // insert stores the freshly analyzed result directly (keyed through
 // Result.CacheKey) instead of allocating a wrapper entry per miss.
-func newResultCache() *evalcache.Intrusive[cost.Result] {
-	return evalcache.NewIntrusive(0, func(r *cost.Result) uint64 { return r.CacheKey })
+func (p *Problem) newResultCache() *evalcache.Intrusive[cost.Result] {
+	return evalcache.NewIntrusive(p.cacheCap, func(r *cost.Result) uint64 { return r.CacheKey })
+}
+
+// SizeCache bounds the analysis cache to roughly entries (rounded up to a
+// power-of-two set count; <= 0 restores evalcache.DefaultCapacity) and
+// replaces the current cache. Copies made afterwards (WithFixedHW,
+// WithBackend, WithFidelity) inherit the bound. Sizing is purely a
+// performance knob: analyses are pure, so an undersized cache re-derives
+// evicted entries with bit-identical values. Callers that know the
+// search's eval budget should bound the cache near budget x layers —
+// the default capacity's fixed allocation (512 KiB) otherwise dominates
+// the per-request cost of short searches.
+func (p *Problem) SizeCache(entries int) {
+	p.cacheCap = entries
+	if p.Cache != nil {
+		p.Cache = p.newResultCache()
+	}
 }
 
 // LayerEval pairs one unique layer with its analysis. Layer points into

@@ -58,8 +58,8 @@ func NewMultiProblem(models []workload.Model, weights []float64,
 		Platform:  platform,
 		Space:     space.New(merged, platform),
 		Objective: objective,
-		Cache:     newResultCache(),
 	}
+	p.Cache = p.newResultCache()
 	p.initAnalyzers()
 	return p, p.Space.Validate()
 }

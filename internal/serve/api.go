@@ -42,6 +42,13 @@ import (
 type OptimizeRequest struct {
 	Model  string               `json:"model,omitempty"`
 	Layers []workload.LayerSpec `json:"layers,omitempty"`
+	// Tenant names the submitting tenant for fair scheduling and
+	// per-tenant admission control (the X-Digamma-Tenant header fills it
+	// when the body leaves it empty; empty means the default tenant, so
+	// legacy traffic schedules exactly as before). Deliberately excluded
+	// from the dedup hash: a search's result is independent of who asked
+	// for it, so identical specs dedup across tenants.
+	Tenant string `json:"tenant,omitempty"`
 	// ModelName labels an inline-layer workload in reports ("inline"
 	// when empty). Ignored when Model is set.
 	ModelName string `json:"model_name,omitempty"`
@@ -91,6 +98,13 @@ type OptimizeRequest struct {
 // errBadRequest marks normalization failures the HTTP layer maps to 400.
 var errBadRequest = errors.New("bad request")
 
+// DefaultTenant is the tenant legacy (tenant-less) traffic schedules
+// under.
+const DefaultTenant = "default"
+
+// TenantHeader carries the tenant name when the request body doesn't.
+const TenantHeader = "X-Digamma-Tenant"
+
 // searchSpec is a fully resolved, validated request: everything a worker
 // needs to run the search, plus the canonical hash dedup keys on.
 type searchSpec struct {
@@ -126,6 +140,9 @@ func buildSpec(req OptimizeRequest, maxBudget int) (*searchSpec, error) {
 	}
 	if req.Fidelity == "" {
 		req.Fidelity = "analytical"
+	}
+	if req.Tenant == "" {
+		req.Tenant = DefaultTenant
 	}
 
 	var model digamma.Model

@@ -60,6 +60,13 @@ type Event struct {
 type Job struct {
 	ID   string
 	Hash string
+	// Tenant is the submitting tenant (DefaultTenant for legacy traffic):
+	// the key the fair scheduler queues and accounts the job under.
+	Tenant string
+	// cost is the job's admission weight — its sampling budget, the
+	// deficit-round-robin currency (≈ in-flight evaluations while the
+	// search runs).
+	cost int
 	spec *searchSpec
 
 	// cacheHits/cacheMisses mirror the latest progress snapshot's
@@ -115,6 +122,8 @@ func newJob(id string, spec *searchSpec) *Job {
 	return &Job{
 		ID:      id,
 		Hash:    spec.hash,
+		Tenant:  spec.req.Tenant,
+		cost:    spec.req.Budget,
 		spec:    spec,
 		state:   StateQueued,
 		created: time.Now(),
@@ -261,6 +270,7 @@ type Status struct {
 	ID           string         `json:"id"`
 	State        State          `json:"state"`
 	Deduplicated bool           `json:"deduplicated,omitempty"`
+	Tenant       string         `json:"tenant,omitempty"` // omitted for the default tenant
 	RequestHash  string         `json:"request_hash"`
 	Model        string         `json:"model"`
 	Platform     string         `json:"platform"`
@@ -303,6 +313,9 @@ func (j *Job) Status(withResult bool) Status {
 		Profiles:     j.spec.req.IslandProfiles,
 		CreatedAt:    j.created,
 		Error:        j.err,
+	}
+	if j.Tenant != DefaultTenant {
+		st.Tenant = j.Tenant
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -189,6 +189,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"Engine phase-span durations across traced jobs.", "phase", s.phaseHist)
 	writeHistFamily(w, "digammad_store_io_seconds",
 		"Store write latencies by operation (WAL append, checkpoint, result, report).", "op", s.ioHist)
+	// Per-tenant families last: bounded-cardinality label sets (see
+	// tenantRegistry) that only grow up to the cap, never churn.
+	s.writeTenantMetrics(w)
 }
 
 // writeHistFamily renders one labeled histogram family: HELP/TYPE once,

@@ -225,14 +225,19 @@ func scrapeFamilies(t *testing.T, text string) (types map[string]string, series 
 
 // TestMetricsLint scrapes /metrics twice around a completed job and checks
 // the exposition is well-formed, counters are monotonic, and the label
-// sets are identical across scrapes (no series churn).
+// sets are identical across scrapes (no series churn). A tenant-tagged
+// warm-up job registers a tenant label before the first scrape, so the
+// churn and monotonicity checks cover the per-tenant families too.
 func TestMetricsLint(t *testing.T) {
 	_, url := testServer(t, Config{Workers: 1})
+
+	warm, _ := submit(t, url, OptimizeRequest{Model: "ncf", Budget: 300, Seed: 8, Tenant: "linty"})
+	waitState(t, url, warm.ID, StateDone, time.Minute)
 
 	_, first := getBody(t, url+"/metrics")
 	types1, series1 := scrapeFamilies(t, string(first))
 
-	st, _ := submit(t, url, OptimizeRequest{Model: "ncf", Budget: 300, Seed: 9})
+	st, _ := submit(t, url, OptimizeRequest{Model: "ncf", Budget: 300, Seed: 9, Tenant: "linty"})
 	waitState(t, url, st.ID, StateDone, time.Minute)
 
 	_, second := getBody(t, url+"/metrics")
@@ -270,8 +275,16 @@ func TestMetricsLint(t *testing.T) {
 			t.Errorf("series %s went backwards: %g → %g", key, before, series2[key])
 		}
 	}
-	if series2[`digammad_search_latency_seconds_count{backend="analytical"}`] != 1 {
-		t.Errorf("latency histogram did not count the completed job")
+	if series2[`digammad_search_latency_seconds_count{backend="analytical"}`] != 2 {
+		t.Errorf("latency histogram did not count the completed jobs")
+	}
+	evals := `digammad_tenant_evals_total{tenant="linty"}`
+	if _, ok := series2[evals]; !ok {
+		t.Errorf("per-tenant eval counter missing from /metrics")
+	}
+	if series2[evals] <= series1[evals] {
+		t.Errorf("tenant eval counter did not advance with the completed job: %g → %g",
+			series1[evals], series2[evals])
 	}
 }
 

@@ -62,6 +62,36 @@ type Config struct {
 	// Faults arms the deterministic fault-injection harness (tests only;
 	// nil in production). Points: "worker.run" plus the Store points.
 	Faults *faults.Injector
+	// TenantWeights assigns deficit-round-robin weights per tenant name
+	// (see scheduler): a weight-3 tenant is dispatched three eval-quanta
+	// per rotation for every one a weight-1 tenant gets. Tenants absent
+	// from the map weigh 1, so the empty map is exact fair sharing.
+	TenantWeights map[string]int
+	// TenantJobCap bounds one tenant's queued+running jobs; a submit past
+	// it gets 429 with Retry-After while the service still has global
+	// headroom. 0 = unlimited (legacy behaviour).
+	TenantJobCap int
+	// TenantBudgetCap bounds one tenant's outstanding evaluation budget —
+	// the summed sampling budgets of its queued and running jobs (≈
+	// in-flight evals). 0 = unlimited.
+	TenantBudgetCap int
+	// SchedQuantum is the evals-per-weight-unit replenished each
+	// scheduling rotation (the fairness granularity: a saturating tenant
+	// can delay another by at most one rotation of quanta). 0 = 2000.
+	SchedQuantum int
+	// WaitCap caps ?wait= long-polls on job and batch status endpoints so
+	// a client typo cannot pin a handler goroutine indefinitely; an
+	// expired window returns the current (possibly non-terminal) status
+	// with 200. 0 = 30s.
+	WaitCap time.Duration
+	// MaxBatchItems caps POST /v1/batches item counts (400 above it).
+	// 0 = 256.
+	MaxBatchItems int
+	// MaxTenantSeries caps the distinct tenant label values the /metrics
+	// exposition will mint; tenants beyond the cap aggregate into the
+	// "_overflow" label, so tenant-name churn cannot grow the scrape
+	// without bound. 0 = 32.
+	MaxTenantSeries int
 	// TraceSpans sizes each job's flight recorder (the per-job bounded
 	// span ring exported via /v1/jobs/{id}/trace and summarized by
 	// /v1/jobs/{id}/report). 0 = obs.DefaultSpanCap; negative disables
@@ -86,6 +116,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxBudget <= 0 {
 		c.MaxBudget = 1_000_000
 	}
+	if c.SchedQuantum <= 0 {
+		c.SchedQuantum = defaultQuantum
+	}
+	if c.WaitCap <= 0 {
+		c.WaitCap = 30 * time.Second
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 256
+	}
+	if c.MaxTenantSeries <= 0 {
+		c.MaxTenantSeries = 32
+	}
 	return c
 }
 
@@ -93,23 +135,24 @@ func (c Config) withDefaults() Config {
 // worker pool and HTTP handlers. Create with New, expose via Handler,
 // shut down with Close.
 //
-// The queue is a mutex-guarded deque rather than a buffered channel so a
-// job cancelled while queued frees its slot immediately — a channel slot
-// would stay occupied (rejecting new submits) until a worker happened to
-// drain the dead entry. Lock order where held together: mu → qmu → Job.mu.
+// The queue is the tenant-keyed deficit-round-robin scheduler (see
+// scheduler in sched.go) rather than a buffered channel so a job
+// cancelled while queued frees its slot immediately and tenants share
+// workers by weight instead of head-of-line order. Lock order where held
+// together: mu → sched.mu → Job.mu.
 type Server struct {
 	cfg Config
 
-	qmu     sync.Mutex
-	qcond   *sync.Cond // signalled on enqueue and on Close
-	pending []*Job
-	closed  bool
+	sched *scheduler
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	byHash   map[string]*Job
-	finished []string // terminal job IDs in finish order, for eviction
-	seq      uint64
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	byHash    map[string]*Job
+	finished  []string // terminal job IDs in finish order, for eviction
+	seq       uint64
+	batches   map[string]*Batch
+	bfinished []string // terminal batch IDs in finish order, for eviction
+	bseq      uint64
 
 	store    Store
 	analysis *digamma.AnalysisStore // shared evaluation tier; nil when disabled
@@ -143,6 +186,10 @@ type Server struct {
 	phaseHist map[string]*obs.Histogram // by engine phase
 	ioHist    map[string]*obs.Histogram // by store I/O op
 
+	// tenantStats is the bounded-cardinality per-tenant metrics registry
+	// (rejections, completed evals, queue-wait histogram by tenant label).
+	tenantStats *tenantRegistry
+
 	log *slog.Logger
 
 	baseCtx context.Context
@@ -158,14 +205,17 @@ func New(cfg Config) (*Server, error) {
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg,
+		sched:   newScheduler(cfg.QueueDepth, cfg.TenantJobCap, cfg.TenantBudgetCap, cfg.SchedQuantum, cfg.TenantWeights),
 		store:   cfg.Store,
 		jobs:    make(map[string]*Job),
 		byHash:  make(map[string]*Job),
+		batches: make(map[string]*Batch),
 		started: time.Now(),
 		log:     cfg.Log,
 		baseCtx: ctx,
 		stop:    stop,
 	}
+	s.tenantStats = newTenantRegistry(cfg.MaxTenantSeries, cfg.TenantWeights)
 	if s.store == nil {
 		s.store = nullStore{}
 	}
@@ -187,7 +237,6 @@ func New(cfg Config) (*Server, error) {
 	for _, op := range []string{obs.IOWALAppend, obs.IOCkptSave, obs.IOResult, obs.IOReport} {
 		s.ioHist[op] = obs.NewHistogram(obs.IOBuckets())
 	}
-	s.qcond = sync.NewCond(&s.qmu)
 	if err := s.recoverJobs(); err != nil {
 		stop()
 		return nil, err
@@ -209,6 +258,12 @@ func (s *Server) recoverJobs() error {
 		return fmt.Errorf("serve: recovering store: %w", err)
 	}
 	for _, rj := range recs {
+		if rj.Record.Dedup {
+			// A batch member deduplicated onto a job accepted earlier: no
+			// job of its own to rebuild (recoverBatches resolves the
+			// reference against the target's record).
+			continue
+		}
 		spec, err := buildSpec(rj.Record.Req, s.cfg.MaxBudget)
 		if err != nil {
 			// The request is no longer valid under this server's limits or
@@ -241,11 +296,14 @@ func (s *Server) recoverJobs() error {
 			job.trace = s.newTracer()
 			job.resume = rj.Resume
 			s.byHash[job.Hash] = job
-			s.pending = append(s.pending, job)
+			// force: the WAL promised these jobs; capacity was checked when
+			// they were first accepted.
+			s.sched.enqueue(job, true)
 			s.jobsRecovered.Add(1)
 			s.jobLog(job).Info("job recovered", "resuming", job.resume != nil)
 		}
 	}
+	s.recoverBatches(recs)
 	if n := len(recs); n > 0 {
 		s.log.Info("store recovery complete", "records", n, "requeued", s.jobsRecovered.Load())
 	}
@@ -275,10 +333,7 @@ func (s *Server) jobLog(j *Job) *slog.Logger {
 // in-process chaos tests rely on that). For a clean, checkpointing
 // shutdown use Drain.
 func (s *Server) Close() {
-	s.qmu.Lock()
-	s.closed = true
-	s.qcond.Broadcast()
-	s.qmu.Unlock()
+	s.sched.close()
 	s.stop()
 	s.wg.Wait()
 	_ = s.store.Close()
@@ -293,10 +348,7 @@ func (s *Server) Close() {
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true) // /readyz flips to 503 from here on
 	s.log.Info("drain started", "queue_depth", s.queueDepth())
-	s.qmu.Lock()
-	s.closed = true
-	s.qcond.Broadcast()
-	s.qmu.Unlock()
+	s.sched.close()
 	s.stop()
 	done := make(chan struct{})
 	go func() {
@@ -316,63 +368,22 @@ func (s *Server) Drain(ctx context.Context) error {
 	return err
 }
 
-// enqueue admits a job if the queue has a live slot free. Terminal
-// (cancelled-while-queued) entries are purged eagerly by dropQueued, so
-// the depth check only ever counts live work.
-func (s *Server) enqueue(j *Job) bool {
-	s.qmu.Lock()
-	defer s.qmu.Unlock()
-	if s.closed || len(s.pending) >= s.cfg.QueueDepth {
-		return false
-	}
-	s.pending = append(s.pending, j)
-	s.qcond.Signal()
-	return true
-}
-
-// dropQueued removes a job from the pending deque (after a queued-job
-// cancellation), freeing its slot immediately.
-func (s *Server) dropQueued(j *Job) {
-	s.qmu.Lock()
-	defer s.qmu.Unlock()
-	for i, p := range s.pending {
-		if p == j {
-			s.pending = append(s.pending[:i], s.pending[i+1:]...)
-			return
-		}
-	}
-}
-
-// dequeue blocks until a job is available or the server closes (nil).
-func (s *Server) dequeue() *Job {
-	s.qmu.Lock()
-	defer s.qmu.Unlock()
-	for len(s.pending) == 0 && !s.closed {
-		s.qcond.Wait()
-	}
-	if s.closed {
-		return nil
-	}
-	j := s.pending[0]
-	s.pending = s.pending[1:]
-	return j
-}
-
 // queueDepth snapshots the number of jobs waiting for a worker.
 func (s *Server) queueDepth() int {
-	s.qmu.Lock()
-	defer s.qmu.Unlock()
-	return len(s.pending)
+	return s.sched.depth()
 }
 
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
-		job := s.dequeue()
+		job := s.sched.dequeue()
 		if job == nil {
 			return
 		}
 		s.runJob(job)
+		// Settle the tenant's running/outstanding accounting whether the
+		// job finished, was cancelled, or was left recoverable by a drain.
+		s.sched.release(job)
 	}
 }
 
@@ -388,6 +399,7 @@ func (s *Server) runJob(j *Job) {
 	if !j.setRunning(cancel) {
 		return // cancelled while queued
 	}
+	s.tenantStats.observeQueueWait(j.Tenant, time.Since(j.created).Seconds())
 	log := s.jobLog(j)
 	log.Info("job running", "model", j.spec.model.Name, "budget", j.spec.req.Budget,
 		"resuming", j.resume != nil)
@@ -454,6 +466,7 @@ func (s *Server) runJob(j *Job) {
 	case err == nil:
 		s.recordLatency(time.Since(begin).Seconds(), backend)
 		s.foldTelemetry(j)
+		s.tenantStats.addEvals(j.Tenant, uint64(j.cost))
 		j.finish(StateDone, ev, nil)
 	case s.baseCtx.Err() != nil:
 		// Drain/Close interrupted the search: leave the job non-terminal so
@@ -464,6 +477,7 @@ func (s *Server) runJob(j *Job) {
 		s.jobsDegraded.Add(1)
 		s.recordLatency(time.Since(begin).Seconds(), backend)
 		s.foldTelemetry(j)
+		s.tenantStats.addEvals(j.Tenant, uint64(j.cost))
 		j.finish(StateDegraded, ev, err)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.finish(StateCancelled, nil, err)
@@ -582,20 +596,23 @@ func (s *Server) submit(spec *searchSpec) (*Job, bool, error) {
 	s.seq++
 	job := newJob(fmt.Sprintf("j%06d", s.seq), spec)
 	job.trace = s.newTracer()
-	// Ordering, all under s.mu: capacity first (a full queue must never
-	// reach the WAL), then the WAL append (once a client can observe the
-	// ID, a crash must not forget the job), then the enqueue and map
+	// Ordering, all under s.mu: admission first (a rejected submit must
+	// never reach the WAL), then the WAL append (once a client can observe
+	// the ID, a crash must not forget the job), then the enqueue and map
 	// publication. If the job were visible before it was enqueued, a
 	// concurrent identical submit could dedup onto it in the instant
 	// before a rollback, handing out an ID that would 404 forever. All
-	// queue growth happens here under s.mu, so the deque can only shrink
-	// between the capacity check and the enqueue — which therefore cannot
-	// fail for depth, only for a racing Close/Drain.
-	if !s.hasQueueSlot() {
+	// queue growth happens here under s.mu, so the scheduler's state can
+	// only shrink between the admission check and the enqueue — which
+	// therefore cannot fail for capacity, only for a racing Close/Drain.
+	if err := s.sched.admit(spec.req.Tenant, 1, spec.req.Budget); err != nil {
 		s.seq--
 		s.mu.Unlock()
 		s.rejected.Add(1)
-		return nil, false, fmt.Errorf("queue full (%d jobs waiting)", s.cfg.QueueDepth)
+		if errors.Is(err, errTenantCap) {
+			s.tenantStats.addRejection(spec.req.Tenant)
+		}
+		return nil, false, err
 	}
 	t0 := job.trace.Now()
 	err := s.store.LogAccepted(JobRecord{ID: job.ID, Hash: job.Hash, CreatedAt: job.created, Req: spec.req})
@@ -607,27 +624,19 @@ func (s *Server) submit(spec *searchSpec) (*Job, bool, error) {
 		s.rejected.Add(1)
 		return nil, false, fmt.Errorf("persisting job: %w", err)
 	}
-	if !s.enqueue(job) {
+	if !s.sched.enqueue(job, false) {
 		// The ID is burned — it is in the WAL, and recovery after the
 		// shutdown in progress will pick the job up; don't reuse the seq.
 		s.mu.Unlock()
 		s.rejected.Add(1)
-		return nil, false, errors.New("server is draining")
+		return nil, false, errClosed
 	}
 	s.jobs[job.ID] = job
 	s.byHash[spec.hash] = job
 	s.mu.Unlock()
-	s.jobLog(job).Info("job accepted", "model", spec.model.Name,
+	s.jobLog(job).Info("job accepted", "model", spec.model.Name, "tenant", spec.req.Tenant,
 		"budget", spec.req.Budget, "seed", spec.req.Seed, "fidelity", spec.req.Fidelity)
 	return job, false, nil
-}
-
-// hasQueueSlot reports whether the pending deque can admit one more live
-// entry (and the server is still accepting work).
-func (s *Server) hasQueueSlot() bool {
-	s.qmu.Lock()
-	defer s.qmu.Unlock()
-	return !s.closed && len(s.pending) < s.cfg.QueueDepth
 }
 
 // noteFinished enters a terminal job into the eviction order and trims
@@ -658,6 +667,10 @@ func (s *Server) get(id string) *Job {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/optimize", s.handleSubmit)
+	mux.HandleFunc("POST /v1/batches", s.handleBatchSubmit)
+	mux.HandleFunc("GET /v1/batches/{id}", s.handleBatch)
+	mux.HandleFunc("DELETE /v1/batches/{id}", s.handleBatchCancel)
+	mux.HandleFunc("GET /v1/batches/{id}/events", s.handleBatchEvents)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
@@ -694,6 +707,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
+	if req.Tenant == "" {
+		req.Tenant = r.Header.Get(TenantHeader)
+	}
 	spec, err := buildSpec(req, s.cfg.MaxBudget)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -701,7 +717,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	job, dedup, err := s.submit(spec)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err)
+		s.writeSubmitError(w, spec.req.Tenant, err)
 		return
 	}
 	st := job.Status(dedup && job.State() == StateDone)
@@ -728,9 +744,55 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
 }
 
-// maxJobWait caps GET /v1/jobs/{id}?wait= long-polls so a client typo
-// ("wait=1h") cannot pin a handler goroutine for the server's lifetime.
-const maxJobWait = 30 * time.Second
+// writeSubmitError maps a submit failure onto its admission-control HTTP
+// status: a tenant over its own cap gets 429 with a Retry-After estimated
+// from that tenant's live load (the service still has headroom, so backing
+// off is the right client move); a full queue or a draining server stays
+// 503, exactly the single-tenant behaviour earlier trees shipped.
+func (s *Server) writeSubmitError(w http.ResponseWriter, tenant string, err error) {
+	if errors.Is(err, errTenantCap) {
+		retry := s.sched.tenantLoad(tenant)
+		if retry < 1 {
+			retry = 1
+		} else if retry > 30 {
+			retry = 30
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retry))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, err)
+}
+
+// waitFor blocks until done closes, the request's ?wait= window (capped at
+// Config.WaitCap) expires, or the client disconnects. Reports a bad
+// duration via a 400 and false; every other outcome returns true — an
+// expired window is not an error, the caller serves the current status
+// with 200.
+func (s *Server) waitFor(w http.ResponseWriter, r *http.Request, done <-chan struct{}) bool {
+	d := r.URL.Query().Get("wait")
+	if d == "" {
+		return true
+	}
+	dur, err := time.ParseDuration(d)
+	if err != nil || dur < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait duration %q", d))
+		return false
+	}
+	// The cap exists so a client typo ("wait=1h") cannot pin a handler
+	// goroutine for the server's lifetime.
+	if dur > s.cfg.WaitCap {
+		dur = s.cfg.WaitCap
+	}
+	t := time.NewTimer(dur)
+	select {
+	case <-done:
+	case <-t.C:
+	case <-r.Context().Done():
+	}
+	t.Stop()
+	return true
+}
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j := s.get(r.PathValue("id"))
@@ -739,26 +801,13 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// ?wait=<duration> long-polls: the response is held until the job is
-	// terminal or the window expires, then carries the usual status. One
-	// round-trip replaces a poll loop — warm-started near-duplicate
-	// searches finish in well under a millisecond, where any fixed poll
-	// interval would dominate the observed latency.
-	if d := r.URL.Query().Get("wait"); d != "" {
-		dur, err := time.ParseDuration(d)
-		if err != nil || dur < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait duration %q", d))
-			return
-		}
-		if dur > maxJobWait {
-			dur = maxJobWait
-		}
-		t := time.NewTimer(dur)
-		select {
-		case <-j.Done():
-		case <-t.C:
-		case <-r.Context().Done():
-		}
-		t.Stop()
+	// terminal or the window expires, then carries the usual status (200
+	// with the current, possibly non-terminal state — never an opaque
+	// timeout). One round-trip replaces a poll loop — warm-started
+	// near-duplicate searches finish in well under a millisecond, where
+	// any fixed poll interval would dominate the observed latency.
+	if !s.waitFor(w, r, j.Done()) {
+		return
 	}
 	writeJSON(w, http.StatusOK, j.Status(true))
 }
@@ -769,16 +818,23 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, errors.New("no such job"))
 		return
 	}
+	s.cancelJob(j)
+	writeJSON(w, http.StatusOK, j.Status(false))
+}
+
+// cancelJob requests one job's cancellation, settling a queued job's
+// scheduler slot and terminal persistence immediately (shared by the job
+// DELETE handler and batch-wide DELETE).
+func (s *Server) cancelJob(j *Job) {
 	_, finalized := j.requestCancel()
 	if finalized {
-		// Cancelled while queued: free the queue slot now rather than
-		// when a worker eventually drains the dead entry, and persist the
-		// terminal state so recovery doesn't resurrect the job.
-		s.dropQueued(j)
+		// Cancelled while queued: free the queue slot and tenant budget now
+		// rather than when a worker eventually drains the dead entry, and
+		// persist the terminal state so recovery doesn't resurrect the job.
+		s.sched.dropQueued(j)
 		s.noteFinished(j)
 		s.persistTerminal(j)
 	}
-	writeJSON(w, http.StatusOK, j.Status(false))
 }
 
 // handleEvents streams a job's progress as Server-Sent Events: the full

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"digamma/internal/obs"
+)
+
+// OverflowTenant is the aggregate label for tenants beyond the
+// Config.MaxTenantSeries cardinality cap: their metrics still count, they
+// just share one series instead of minting new ones.
+const OverflowTenant = "_overflow"
+
+// tenantSeries is one tenant label's metric state.
+type tenantSeries struct {
+	rejections uint64
+	evals      uint64 // completed evaluation budget (done + degraded jobs)
+	queueWait  *obs.Histogram
+}
+
+// tenantRegistry is the bounded-cardinality per-tenant metrics store. The
+// label set only ever grows, up to the cap — a tenant observed once keeps
+// its series for the process lifetime (scrape-to-scrape stability), and a
+// label-churn tenant beyond the cap lands in OverflowTenant instead of
+// growing the scrape without bound. DefaultTenant, every configured weight
+// key and the overflow bucket are pre-registered at construction, so
+// legacy (single-tenant) traffic never changes the exposition's label set
+// mid-flight.
+type tenantRegistry struct {
+	mu     sync.Mutex
+	cap    int
+	series map[string]*tenantSeries
+}
+
+func newTenantRegistry(maxSeries int, weights map[string]int) *tenantRegistry {
+	r := &tenantRegistry{cap: maxSeries, series: make(map[string]*tenantSeries)}
+	r.series[DefaultTenant] = newTenantSeries()
+	r.series[OverflowTenant] = newTenantSeries()
+	for name := range weights {
+		if _, ok := r.series[name]; !ok && len(r.series) < r.cap {
+			r.series[name] = newTenantSeries()
+		}
+	}
+	return r
+}
+
+func newTenantSeries() *tenantSeries {
+	return &tenantSeries{queueWait: obs.NewHistogram(obs.LatencyBuckets())}
+}
+
+// seriesFor resolves (minting under the cap, overflowing past it) the
+// series a tenant's observations land in. Callers hold r.mu.
+func (r *tenantRegistry) seriesFor(tenant string) *tenantSeries {
+	if ts, ok := r.series[tenant]; ok {
+		return ts
+	}
+	if len(r.series) < r.cap {
+		ts := newTenantSeries()
+		r.series[tenant] = ts
+		return ts
+	}
+	return r.series[OverflowTenant]
+}
+
+// label reports which label a tenant's live-load gauges render under
+// (its own name when registered, the overflow bucket otherwise). Unlike
+// seriesFor it never mints: gauges are derived from scheduler state each
+// scrape, so only counters/histograms grow the registry.
+func (r *tenantRegistry) label(tenant string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.series[tenant]; ok {
+		return tenant
+	}
+	return OverflowTenant
+}
+
+func (r *tenantRegistry) addRejection(tenant string) {
+	r.mu.Lock()
+	r.seriesFor(tenant).rejections++
+	r.mu.Unlock()
+}
+
+func (r *tenantRegistry) addEvals(tenant string, n uint64) {
+	r.mu.Lock()
+	r.seriesFor(tenant).evals += n
+	r.mu.Unlock()
+}
+
+func (r *tenantRegistry) observeQueueWait(tenant string, seconds float64) {
+	r.mu.Lock()
+	ts := r.seriesFor(tenant)
+	r.mu.Unlock()
+	// Histogram is internally atomic; observe outside the registry lock.
+	ts.queueWait.Observe(seconds)
+}
+
+// labels returns the registered label set, sorted, so every scrape renders
+// the same series in the same order.
+func (r *tenantRegistry) labels() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.series))
+	for name := range r.series {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// writeTenantMetrics renders the per-tenant families: live queued/running
+// gauges (scheduler state folded onto the registered label set — an
+// unregistered tenant's load lands on the overflow label, so scrapes never
+// mint gauge-only series), the rejection counter, the completed-evals
+// counter and the queue-wait histogram.
+func (s *Server) writeTenantMetrics(w http.ResponseWriter) {
+	r := s.tenantStats
+	labels := r.labels()
+
+	load := make(map[string]tenantSnapshot, len(labels))
+	for tenant, snap := range s.sched.snapshot() {
+		l := r.label(tenant)
+		agg := load[l]
+		agg.Queued += snap.Queued
+		agg.Running += snap.Running
+		load[l] = agg
+	}
+
+	fmt.Fprintf(w, "# HELP digammad_tenant_jobs Live jobs by tenant and state (queued or running).\n")
+	fmt.Fprintf(w, "# TYPE digammad_tenant_jobs gauge\n")
+	for _, l := range labels {
+		fmt.Fprintf(w, "digammad_tenant_jobs{tenant=%q,state=\"queued\"} %d\n", l, load[l].Queued)
+		fmt.Fprintf(w, "digammad_tenant_jobs{tenant=%q,state=\"running\"} %d\n", l, load[l].Running)
+	}
+	fmt.Fprintf(w, "# HELP digammad_tenant_rejections_total Submissions rejected by a per-tenant cap (HTTP 429).\n")
+	fmt.Fprintf(w, "# TYPE digammad_tenant_rejections_total counter\n")
+	r.mu.Lock()
+	for _, l := range labels {
+		fmt.Fprintf(w, "digammad_tenant_rejections_total{tenant=%q} %d\n", l, r.series[l].rejections)
+	}
+	fmt.Fprintf(w, "# HELP digammad_tenant_evals_total Completed evaluation budget by tenant (done and degraded jobs).\n")
+	fmt.Fprintf(w, "# TYPE digammad_tenant_evals_total counter\n")
+	for _, l := range labels {
+		fmt.Fprintf(w, "digammad_tenant_evals_total{tenant=%q} %d\n", l, r.series[l].evals)
+	}
+	hists := make(map[string]*obs.Histogram, len(labels))
+	for _, l := range labels {
+		hists[l] = r.series[l].queueWait
+	}
+	r.mu.Unlock()
+	writeHistFamily(w, "digammad_tenant_queue_wait_seconds",
+		"Queue wait (submit to worker pickup) by tenant.", "tenant", hists)
+
+	fmt.Fprintf(w, "# HELP digammad_sched_starvation_total Forced dispatches by the scheduler's anti-wedge guard (zero on a healthy scheduler).\n")
+	fmt.Fprintf(w, "# TYPE digammad_sched_starvation_total counter\n")
+	fmt.Fprintf(w, "digammad_sched_starvation_total %d\n", s.sched.starvedCount())
+}

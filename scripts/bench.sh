@@ -26,12 +26,14 @@ go test -run '^$' \
 
 # Serving rows: one end-to-end served search (submit → queue → run →
 # long-poll), the same search on the K-island engine (ISLANDS knob), one
-# dedup hit served straight from the result store, and the near-duplicate
+# dedup hit served straight from the result store, the near-duplicate
 # warm-traffic pair (cold vs shared-tier + warm-start + time-to-target;
 # the warm/cold ratio is the cross-request reuse headline, gated ≥ 2× by
-# bench_guard.sh).
+# bench_guard.sh), the K=32 sweep pair (independent submits vs one batch;
+# the independent/batch ratio is the batch amortization headline, gated
+# ≥ 1.5× by bench_guard.sh), and the 4-tenant fair-scheduling mix.
 DIGAMMAD_BENCH_ISLANDS=$ISLANDS go test -run '^$' \
-    -bench 'BenchmarkServeOptimize$|BenchmarkServeOptimizeIslands$|BenchmarkServeDedup$|BenchmarkServeWarmTraffic$' \
+    -bench 'BenchmarkServeOptimize$|BenchmarkServeOptimizeIslands$|BenchmarkServeDedup$|BenchmarkServeWarmTraffic$|BenchmarkServeBatchSweep$|BenchmarkServeMultiTenant$' \
     -benchmem -benchtime "$BENCHTIME" ./internal/serve/ | tee -a "$RAW"
 
 awk '

@@ -36,6 +36,12 @@
 # (default 2×) faster warm — shared tier + warm_start + time-to-target —
 # than cold. The ratio compares two runs on this machine, so it needs no
 # calibration and holds across runner speeds.
+#
+# A fourth gate covers batch amortization: submitting a K=32 related
+# sweep as one POST /v1/batches (one WAL fsync, one capacity check, one
+# admission pass) must run ≥ BATCH_MIN× (default 1.5×) faster than K
+# independent submits of the same specs (BenchmarkServeBatchSweep).
+# Same-machine ratio, no calibration needed.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -43,6 +49,7 @@ BASE=${1:-BENCH_core.json}
 TOL=${TOL:-30}
 BENCHTIME=${BENCHTIME:-1s}
 WARM_MIN=${WARM_MIN:-2.0}
+BATCH_MIN=${BATCH_MIN:-1.5}
 
 [ -f "$BASE" ] || { echo "bench_guard: no baseline $BASE"; exit 1; }
 
@@ -135,3 +142,27 @@ END {
     }
 }
 ' "$WRAW"
+
+# --- batch amortization gate -------------------------------------------
+BRAW=$(mktemp)
+trap 'rm -f "$RAW" "$WRAW" "$BRAW"' EXIT
+
+go test -run '^$' -bench 'BenchmarkServeBatchSweep$' \
+    -benchtime "$BENCHTIME" ./internal/serve/ | tee "$BRAW"
+
+awk -v min="$BATCH_MIN" '
+/^BenchmarkServeBatchSweep\/independent/ { indep = $3 }
+/^BenchmarkServeBatchSweep\/batch/       { batch = $3 }
+END {
+    if (indep == "" || batch == "" || batch + 0 == 0) {
+        print "bench_guard: batch-sweep rows missing"; exit 1
+    }
+    ratio = indep / batch
+    printf "bench_guard: batch sweep speedup %.2fx (independent %.0f ns/op, batch %.0f ns/op, floor %.1fx)\n", \
+        ratio, indep, batch, min
+    if (ratio < min) {
+        printf "REGRESSION BenchmarkServeBatchSweep: independent/batch speedup %.2fx < %.1fx\n", ratio, min
+        exit 1
+    }
+}
+' "$BRAW"

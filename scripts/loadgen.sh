@@ -17,6 +17,14 @@
 #   BUDGET=1000 scripts/loadgen.sh                    # heavier searches
 #   ISLANDS=4 scripts/loadgen.sh                      # island-model searches
 #   NOWARM=1 scripts/loadgen.sh                       # skip the near-duplicate phase
+#   TENANTS=2 scripts/loadgen.sh             # multi-tenant mix + two-tenant
+#                                            # contention phase with a
+#                                            # per-tenant latency table
+#   BATCH=16 scripts/loadgen.sh              # 16-item sweep as one POST /v1/batches
+#   SUSTAIN=10s RATE=8 P95_MAX=2s scripts/loadgen.sh  # sustained-load SLO
+#                                            # phase: open-loop submits at
+#                                            # RATE req/s, fails when p95
+#                                            # end-to-end exceeds P95_MAX
 #
 # Kill-after mode (crash-recovery smoke): starts a durable digammad,
 # SIGKILLs it mid-load, restarts it over the same data dir, and verifies
@@ -30,6 +38,11 @@ REQUESTS=${REQUESTS:-24}
 CLIENTS=${CLIENTS:-8}
 BUDGET=${BUDGET:-300}
 ISLANDS=${ISLANDS:-0}
+TENANTS=${TENANTS:-0}
+BATCH=${BATCH:-0}
+SUSTAIN=${SUSTAIN:-0}
+RATE=${RATE:-4}
+P95_MAX=${P95_MAX:-0}
 TARGET=${TARGET:-}
 NOWARM=${NOWARM:-}
 KILL_AFTER=${KILL_AFTER:-}
@@ -48,6 +61,11 @@ if [ -z "$KILL_AFTER" ]; then
         -clients "$CLIENTS" \
         -budget "$BUDGET" \
         -islands "$ISLANDS" \
+        -tenants "$TENANTS" \
+        -batch "$BATCH" \
+        -sustain "$SUSTAIN" \
+        -rate "$RATE" \
+        -p95-max "$P95_MAX" \
         ${NOWARM:+-no-warm} \
         ${TARGET:+-target "$TARGET"}
     exit 0
