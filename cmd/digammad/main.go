@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"digamma"
+	"digamma/internal/dist"
 	"digamma/internal/serve"
 )
 
@@ -51,6 +52,94 @@ func parseTenantWeights(s string) (map[string]int, error) {
 		out[name] = w
 	}
 	return out, nil
+}
+
+// parseTenantCaps turns a cap flag ("8", "gold=32", "8,gold=32,trial=2",
+// "8,gold=0") into a default plus per-tenant overrides: a bare integer is
+// the default for every tenant, name=value entries override it — an
+// explicit 0 override lifts the cap for that tenant while the default
+// keeps binding the rest.
+func parseTenantCaps(flagName, s string) (int, map[string]int, error) {
+	if s == "" {
+		return 0, nil, nil
+	}
+	def, sawDef := 0, false
+	var per map[string]int
+	for _, kv := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			v, err := strconv.Atoi(kv)
+			if err != nil || v < 0 {
+				return 0, nil, fmt.Errorf("bad %s entry %q (want a cap >= 0 or tenant=cap)", flagName, kv)
+			}
+			if sawDef {
+				return 0, nil, fmt.Errorf("bad %s %q: more than one default cap", flagName, s)
+			}
+			def, sawDef = v, true
+			continue
+		}
+		v, err := strconv.Atoi(val)
+		if name == "" || err != nil || v < 0 {
+			return 0, nil, fmt.Errorf("bad %s entry %q (want tenant=cap, cap >= 0)", flagName, kv)
+		}
+		if per == nil {
+			per = make(map[string]int)
+		}
+		if _, dup := per[name]; dup {
+			return 0, nil, fmt.Errorf("bad %s %q: duplicate tenant %q", flagName, s, name)
+		}
+		per[name] = v
+	}
+	return def, per, nil
+}
+
+// splitList splits a comma-separated flag into its non-empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// writeAddrFile publishes the bound listen address for whoever spawned us
+// (write-then-rename, so a polling reader never sees a torn file).
+func writeAddrFile(path, addr string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// runWorker serves the distributed island-search protocol (-worker mode):
+// a coordinator digammad dials in, hands this process a shard of islands,
+// and drives them in lockstep. SIGINT/SIGTERM closes the listener; any
+// in-flight coordinator sessions fail and re-home to surviving workers.
+func runWorker(addr, addrFile string, jobs int, logger *slog.Logger) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if addrFile != "" {
+		if err := writeAddrFile(addrFile, l.Addr().String()); err != nil {
+			return err
+		}
+	}
+	logger.Info("digammad worker listening", "addr", l.Addr().String())
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		<-ctx.Done()
+		logger.Info("worker shutting down", "cause", "signal")
+		l.Close()
+	}()
+	return dist.Serve(l, dist.WorkerOptions{
+		Workers: jobs,
+		Log:     slog.NewLogLogger(logger.Handler(), slog.LevelInfo),
+	})
 }
 
 // newLogger builds the process logger from the -log-level / -log-format
@@ -75,6 +164,9 @@ func newLogger(level, format string) (*slog.Logger, error) {
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
+		worker   = flag.Bool("worker", false, "run as a distributed-search worker: serve the dist island protocol on -addr instead of the HTTP API (see docs/dist-protocol.md)")
+		distWk   = flag.String("dist-workers", "", "comma-separated digammad -worker addresses; eligible island searches shard across them, bit-identically to local runs (empty = in-process)")
+		addrFile = flag.String("addr-file", "", "write the bound listen address to this file once listening (race-free discovery when spawning on port 0)")
 		jobs     = flag.Int("jobs", 0, "concurrent search jobs (0 = all cores)")
 		queue    = flag.Int("queue", 0, "queued-job bound before submits get 503 (0 = 256)")
 		store    = flag.Int("store", 0, "retained terminal jobs before eviction (0 = 1024)")
@@ -86,8 +178,8 @@ func main() {
 		noShared = flag.Bool("no-shared-analysis", false, "disable the cross-request shared analysis tier (each search then caches only within itself)")
 		waitCap  = flag.Duration("wait-cap", 0, "cap on ?wait= long-polls; an expired window returns the current status with 200 (0 = 30s)")
 		weights  = flag.String("tenant-weights", "", "per-tenant scheduler weights, e.g. gold=3,silver=1 (absent tenants weigh 1)")
-		tJobCap  = flag.Int("tenant-cap", 0, "per-tenant queued+running job cap; submits past it get 429 + Retry-After (0 = unlimited)")
-		tBudCap  = flag.Int("tenant-budget-cap", 0, "per-tenant outstanding evaluation-budget cap, 429 above it (0 = unlimited)")
+		tJobCap  = flag.String("tenant-cap", "", "per-tenant queued+running job cap, 429 + Retry-After past it: a default and/or tenant=cap overrides, e.g. \"4\" or \"4,gold=16,trial=1\" (empty or 0 = unlimited; an explicit tenant=0 lifts the cap for that tenant)")
+		tBudCap  = flag.String("tenant-budget-cap", "", "per-tenant outstanding evaluation-budget cap, 429 above it; same default,tenant=cap form as -tenant-cap")
 		quantum  = flag.Int("sched-quantum", 0, "evals replenished per weight unit per scheduling rotation (0 = 2000)")
 		maxBatch = flag.Int("max-batch", 0, "max items per POST /v1/batches, 400 above it (0 = 256)")
 		tSeries  = flag.Int("tenant-series", 0, "distinct tenant labels on /metrics before aggregation into the overflow label (0 = 32)")
@@ -102,6 +194,8 @@ func main() {
 		sustain  = flag.Duration("sustain", 0, "selftest: sustained-load phase duration, open-loop submits at -rate (0 = skip)")
 		rate     = flag.Float64("rate", 4, "selftest: sustained-phase submit rate, requests per second")
 		p95Max   = flag.Duration("p95-max", 0, "selftest: fail when the sustained phase's p95 end-to-end latency exceeds this (0 = report only)")
+		benchLn  = flag.Bool("bench-lines", false, "selftest: emit the sustained phase's latency as a Go-benchmark-format row (mean ns/op + p95_ns/op + p99_ns/op) for scripts/bench.sh")
+		distSmok = flag.Bool("dist-smoke", false, "selftest: spawn two -worker copies of this binary, kill one mid-search, and require the distributed result to match the local one bit for bit")
 		target   = flag.String("target", "", "selftest: base URL of a running digammad (empty = in-process server)")
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (CPU/heap profiling of the serving hot path)")
 		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
@@ -116,7 +210,25 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *worker {
+		if err := runWorker(*addr, *addrFile, *jobs, logger); err != nil {
+			fmt.Fprintln(os.Stderr, "digammad: worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	tw, err := parseTenantWeights(*weights)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "digammad:", err)
+		os.Exit(1)
+	}
+	jcDef, jcPer, err := parseTenantCaps("-tenant-cap", *tJobCap)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "digammad:", err)
+		os.Exit(1)
+	}
+	bcDef, bcPer, err := parseTenantCaps("-tenant-budget-cap", *tBudCap)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "digammad:", err)
 		os.Exit(1)
@@ -125,9 +237,12 @@ func main() {
 		Workers: *jobs, QueueDepth: *queue, StoreLimit: *store, MaxBudget: *maxBud,
 		CheckpointEvery: *ckEvery, JobDeadline: *deadline,
 		TraceSpans: *trSpans, Log: logger,
-		TenantWeights: tw, TenantJobCap: *tJobCap, TenantBudgetCap: *tBudCap,
+		TenantWeights: tw,
+		TenantJobCap:  jcDef, TenantJobCaps: jcPer,
+		TenantBudgetCap: bcDef, TenantBudgetCaps: bcPer,
 		SchedQuantum: *quantum, WaitCap: *waitCap,
 		MaxBatchItems: *maxBatch, MaxTenantSeries: *tSeries,
+		DistWorkers: splitList(*distWk),
 	}
 	if *dataDir != "" {
 		ds, err := serve.OpenDiskStore(*dataDir)
@@ -164,6 +279,7 @@ func main() {
 			Budget: *budget, Islands: *islands, Warm: !*noWarm,
 			Tenants: *tenants, Batch: *batchN,
 			Sustain: *sustain, Rate: *rate, P95Max: *p95Max,
+			BenchLines: *benchLn, DistSmoke: *distSmok,
 		}
 		// The contention phase wants asymmetric weights so fairness has
 		// something to measure; give the in-process server 3:1 unless the
@@ -204,6 +320,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "digammad:", err)
 		os.Exit(1)
+	}
+	if *addrFile != "" {
+		if err := writeAddrFile(*addrFile, l.Addr().String()); err != nil {
+			fmt.Fprintln(os.Stderr, "digammad:", err)
+			os.Exit(1)
+		}
 	}
 	logger.Info("digammad listening", "addr", l.Addr().String())
 

@@ -1,0 +1,53 @@
+package digamma
+
+import (
+	"net"
+	"reflect"
+	"testing"
+
+	"digamma/internal/dist"
+)
+
+// TestOptimizeDistWorkersBitIdentical: the facade's DistWorkers knob must
+// not change results — an Optimize sharded across two loopback worker
+// processes returns exactly what the in-process run returns.
+func TestOptimizeDistWorkersBitIdentical(t *testing.T) {
+	addrs := make([]string, 2)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		go dist.Serve(l, dist.WorkerOptions{Workers: 1})
+		addrs[i] = l.Addr().String()
+	}
+
+	model, err := LoadModel("ncf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{
+		Budget:         480,
+		Seed:           7,
+		Workers:        1,
+		Islands:        4,
+		MigrateEvery:   2,
+		IslandProfiles: []string{"default", "explorer", "exploiter", "scout"},
+	}
+	ref, err := Optimize(model, EdgePlatform(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.DistWorkers = addrs
+	got, err := Optimize(model, EdgePlatform(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fitness != ref.Fitness {
+		t.Errorf("distributed best %x, in-process %x", got.Fitness, ref.Fitness)
+	}
+	if !reflect.DeepEqual(got.HW, ref.HW) {
+		t.Errorf("distributed HW %+v, in-process %+v", got.HW, ref.HW)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 
 	"digamma/internal/arch"
 	"digamma/internal/cost"
@@ -113,6 +114,17 @@ type Problem struct {
 	// searches don't pay the default cache's fixed allocation on every
 	// request.
 	cacheCap int
+
+	// EvalDelay, when > 0, sleeps that long once per scored evaluation
+	// (inside reduce, the single funnel both the full and the delta path
+	// drain into; bound-pruned candidates skip it along with the cost
+	// model). It models an expensive evaluation — a remote cost model, a
+	// cycle-accurate simulator — without changing any value the search
+	// computes: the fitness math never reads it, so results are
+	// bit-identical at any delay. The distributed-search benchmarks use it
+	// to measure wall-clock scaling honestly on machines whose real
+	// evaluation is too cheap to overlap.
+	EvalDelay time.Duration
 
 	// backend is the fidelity tier scoring each layer; nil means the
 	// default analytical model on the unmodified default code path (so
@@ -580,6 +592,11 @@ func (p *Problem) scoreFull(ev *Evaluation, workers int) error {
 // constraint checkers and computes the fitness. Runs in layer order
 // unconditionally, so full and delta evaluations reduce identically.
 func (p *Problem) reduce(ev *Evaluation, hw arch.HW, bufReq []int64) error {
+	if p.EvalDelay > 0 {
+		// Priced evaluation: one sleep per scored point, before any state
+		// is written, so the delay can never interleave with the math.
+		time.Sleep(p.EvalDelay)
+	}
 	layers := p.Space.Layers
 	bufferViolation := 0.0
 	bpw := int64(hw.BytesPerWord)

@@ -132,6 +132,18 @@ type IslandState struct {
 	// Pop is the population in install order (the order beginGeneration's
 	// sort sees, so tie-breaking behaves identically after resume).
 	Pop []IndividualState `json:"pop"`
+
+	// Gen and the per-island evaluation-split counters below are recorded
+	// by the distributed shard runner for island re-homing after a worker
+	// loss (the engine-level resume path books these at the run level and
+	// does not consult them). Absent — zero — in pre-dist checkpoints.
+	Gen         int `json:"gen,omitempty"`
+	FullEvals   int `json:"full_evals,omitempty"`
+	PrunedEvals int `json:"pruned_evals,omitempty"`
+	ScoutEvals  int `json:"scout_evals,omitempty"`
+	// Reused carries the island's cumulative rescore-recovered analysis
+	// count (scout islands only) across a re-homing.
+	Reused int `json:"reused,omitempty"`
 }
 
 // IndividualState is one population member: its genome and how it was
@@ -211,32 +223,77 @@ func (e *Engine) snapshot(res *Result, budget int, islands []*island) *Checkpoin
 		Islands:     make([]IslandState, len(islands)),
 	}
 	for i, is := range islands {
-		gets, reuses := is.pool.Stats()
-		st := IslandState{
-			Draws:        is.src.n,
-			Best:         is.best,
-			Stall:        is.stall,
-			Samples:      is.samples,
-			DeltaEvals:   is.deltaEvals,
-			LayersReused: is.layersReused,
-			PoolGets:     gets + is.poolGetBias,
-			PoolReuses:   reuses + is.poolReuseBias,
-			Pop:          make([]IndividualState, len(is.cur)),
-		}
-		for pi, ind := range is.cur {
-			// Deep-copy through Clone so the checkpoint never aliases the
-			// arena-backed genome blocks a later generation mutates.
-			g := ind.genome.Clone()
-			st.Pop[pi] = IndividualState{
-				Fanouts: g.Fanouts,
-				Maps:    g.Maps,
-				Fitness: ind.eval.Fitness,
-				Pruned:  ind.eval.Pruned,
-			}
-		}
-		ck.Islands[i] = st
+		ck.Islands[i] = is.snapshotState()
 	}
 	return ck
+}
+
+// snapshotState captures one island at the generation boundary — the
+// per-island slice of Engine.snapshot, shared with the distributed shard
+// runner (whose boundary snapshots and re-homing restores must be
+// indistinguishable from checkpoint/resume).
+func (is *island) snapshotState() IslandState {
+	gets, reuses := is.pool.Stats()
+	return IslandState{
+		Draws:        is.src.n,
+		Best:         is.best,
+		Stall:        is.stall,
+		Samples:      is.samples,
+		DeltaEvals:   is.deltaEvals,
+		LayersReused: is.layersReused,
+		PoolGets:     gets + is.poolGetBias,
+		PoolReuses:   reuses + is.poolReuseBias,
+		// Deep-copy through Clone so the snapshot never aliases the
+		// arena-backed genome blocks a later generation mutates.
+		Pop: encodeIndividuals(is.cur),
+	}
+}
+
+// restoreState rebuilds one island from a boundary snapshot: RNG stream
+// fast-forwarded to its recorded position, population re-evaluated into
+// the pool (pure evaluation ⇒ identical fitness, verified), counters and
+// pool biases restored — the per-island slice of Engine.restore, shared
+// with the distributed shard runner's re-homing path.
+func (is *island) restoreState(st *IslandState) error {
+	if len(st.Pop) == 0 {
+		return fmt.Errorf("core: checkpoint island %d has an empty population", is.id)
+	}
+	// The island-seed draws were already replayed identically by
+	// buildIslands; what remains is the island's own stream position.
+	is.src.fastForward(st.Draws)
+	is.cur = is.cur[:0]
+	for pi, ind := range st.Pop {
+		g := space.Genome{Fanouts: ind.Fanouts, Maps: ind.Maps}
+		ev := is.pool.Get()
+		if ind.Pruned {
+			coopt.PrunedInto(ev, g, ind.Fitness)
+		} else {
+			if err := is.prob.EvaluateCanonicalInto(ev, g); err != nil {
+				return fmt.Errorf("core: checkpoint island %d individual %d: %w", is.id, pi, err)
+			}
+			if ev.Fitness != ind.Fitness {
+				return fmt.Errorf("core: checkpoint island %d individual %d re-evaluates to %g, checkpoint recorded %g (different cost model?)",
+					is.id, pi, ev.Fitness, ind.Fitness)
+			}
+		}
+		is.cur = append(is.cur, individual{g, ev})
+	}
+	is.best = st.Best
+	is.stall = st.Stall
+	is.samples = st.Samples
+	is.deltaEvals = st.DeltaEvals
+	is.layersReused = st.LayersReused
+	// The rebuilt pool's counters restart from this population's Gets;
+	// the bias re-bases them onto the original run's totals so chained
+	// resumes keep reporting cumulative telemetry.
+	gets, reuses := is.pool.Stats()
+	if st.PoolGets > gets {
+		is.poolGetBias = st.PoolGets - gets
+	}
+	if st.PoolReuses > reuses {
+		is.poolReuseBias = st.PoolReuses - reuses
+	}
+	return nil
 }
 
 // emitCheckpoint snapshots the run and hands it to OnCheckpoint. All
@@ -279,44 +336,8 @@ func (e *Engine) restore(ck *Checkpoint, islands []*island, res *Result, budget 
 		return errors.New("core: checkpoint precedes the first generation")
 	}
 	for i, is := range islands {
-		st := ck.Islands[i]
-		if len(st.Pop) == 0 {
-			return fmt.Errorf("core: checkpoint island %d has an empty population", i)
-		}
-		// The island-seed draws were already replayed identically by
-		// buildIslands; what remains is the island's own stream position.
-		is.src.fastForward(st.Draws)
-		is.cur = is.cur[:0]
-		for pi, ind := range st.Pop {
-			g := space.Genome{Fanouts: ind.Fanouts, Maps: ind.Maps}
-			ev := is.pool.Get()
-			if ind.Pruned {
-				coopt.PrunedInto(ev, g, ind.Fitness)
-			} else {
-				if err := is.prob.EvaluateCanonicalInto(ev, g); err != nil {
-					return fmt.Errorf("core: checkpoint island %d individual %d: %w", i, pi, err)
-				}
-				if ev.Fitness != ind.Fitness {
-					return fmt.Errorf("core: checkpoint island %d individual %d re-evaluates to %g, checkpoint recorded %g (different cost model?)",
-						i, pi, ev.Fitness, ind.Fitness)
-				}
-			}
-			is.cur = append(is.cur, individual{g, ev})
-		}
-		is.best = st.Best
-		is.stall = st.Stall
-		is.samples = st.Samples
-		is.deltaEvals = st.DeltaEvals
-		is.layersReused = st.LayersReused
-		// The rebuilt pool's counters restart from this population's Gets;
-		// the bias re-bases them onto the original run's totals so chained
-		// resumes keep reporting cumulative telemetry.
-		gets, reuses := is.pool.Stats()
-		if st.PoolGets > gets {
-			is.poolGetBias = st.PoolGets - gets
-		}
-		if st.PoolReuses > reuses {
-			is.poolReuseBias = st.PoolReuses - reuses
+		if err := is.restoreState(&ck.Islands[i]); err != nil {
+			return err
 		}
 	}
 	res.Generations = ck.Generations

@@ -292,6 +292,25 @@ type Engine struct {
 	// traced or not; a nil Trace costs one branch per phase boundary.
 	Trace *obs.Tracer
 
+	// Placement, when set, is offered the whole run before the in-process
+	// island loop starts: a transport seam for executing the islands
+	// somewhere else (the multi-process backend in internal/dist). A
+	// placement that declines — no workers reachable, run shape not
+	// eligible — returns handled == false without consuming any engine
+	// state, and the run falls through to the in-process path with
+	// bit-identical results. See the Placement interface for the
+	// determinism contract. Ignored on resumed runs.
+	Placement Placement
+
+	// OnMigration, when set, observes every migration boundary through the
+	// transport seam: the generation number and each island's outgoing
+	// elite set, serialized exactly as the wire protocol ships them. Both
+	// the in-process ring and the distributed coordinator emit through
+	// this hook, so a test can assert the two transports exchange
+	// byte-identical elites at every boundary. Nil costs one branch per
+	// migration; the callback must not mutate the states.
+	OnMigration func(gen int, exports [][]IndividualState)
+
 	// seed/master back the checkpointing machinery (NewSeeded); a plain
 	// New engine leaves them zero and cannot checkpoint or resume.
 	seed   int64
@@ -418,6 +437,16 @@ func (e *Engine) RunContext(ctx context.Context, budget int) (*Result, error) {
 	}
 	if e.Resume != nil && e.master == nil {
 		return nil, errors.New("core: resume requires an engine built with NewSeeded")
+	}
+	if e.Placement != nil && e.Resume == nil {
+		// Offer the run to the placement before any RNG is drawn: a
+		// declining placement (handled == false) leaves the engine's
+		// streams untouched, so the in-process fallback below remains
+		// bit-identical to a run that never had a placement at all.
+		res, handled, err := e.Placement.Run(ctx, e, budget)
+		if handled {
+			return res, err
+		}
 	}
 	islands, err := e.buildIslands(budget)
 	if err != nil {
@@ -642,11 +671,13 @@ func (e *Engine) buildIslands(budget int) ([]*island, error) {
 	// unseeded construction.
 	rngs := make([]*rand.Rand, k)
 	srcs := make([]*replaySource, k)
+	seeds := make([]int64, k)
 	if k == 1 {
 		rngs[0], srcs[0] = e.Rng, e.master
 	} else {
 		for i := range rngs {
 			seed := e.Rng.Int63()
+			seeds[i] = seed
 			if e.master != nil {
 				srcs[i] = newReplaySource(seed)
 				rngs[i] = rand.New(srcs[i])
@@ -680,6 +711,7 @@ func (e *Engine) buildIslands(budget int) ([]*island, error) {
 			return nil, err
 		}
 		is.src = srcs[i]
+		is.seed = seeds[i]
 		islands[i] = is
 	}
 	if len(e.Config.Warm) > 0 {
@@ -795,11 +827,7 @@ func (e *Engine) migrate(islands []*island, res *Result) error {
 	k := len(islands)
 	out := make([][]individual, k)
 	for i, src := range islands {
-		m := e.Config.MigrateCount
-		if m <= 0 {
-			m = src.elites
-		}
-		m = min(m, len(src.cur))
+		m := src.migrantCount(e.Config.MigrateCount)
 		sel := append([]individual(nil), src.cur[:m]...)
 		if src.scout {
 			var err error
@@ -816,20 +844,33 @@ func (e *Engine) migrate(islands []*island, res *Result) error {
 		out[i] = sel
 	}
 
+	if e.OnMigration != nil {
+		// The transport seam's observation point: the outgoing sets,
+		// serialized exactly as the wire protocol would ship them, before
+		// any replacement lands.
+		exports := make([][]IndividualState, k)
+		for i, sel := range out {
+			exports[i] = encodeIndividuals(sel)
+		}
+		e.OnMigration(res.Generations, exports)
+	}
+
 	// replaceAt[j]: next slot to overwrite in island j, walking up from
 	// the worst. Multiple sources can funnel into one destination when
 	// scouts are skipped; the cursor keeps their migrants from clobbering
 	// each other, and slot 0 (the destination's own best) is never taken.
+	scouts := make([]bool, k)
+	for i, is := range islands {
+		scouts[i] = is.scout
+	}
+	route := MigrationRoute(scouts)
 	replaceAt := make([]int, k)
 	for j, is := range islands {
 		replaceAt[j] = len(is.cur) - 1
 	}
 	for i := range islands {
-		j := (i + 1) % k
-		for islands[j].scout {
-			j = (j + 1) % k
-		}
-		if j == i {
+		j := route[i]
+		if j < 0 {
 			continue
 		}
 		dst := islands[j]
@@ -866,31 +907,15 @@ func (e *Engine) migrate(islands []*island, res *Result) error {
 // race-free because migration is a coordinator-serial phase.
 func (e *Engine) rescore(src *island, sel []individual, res *Result) ([]individual, error) {
 	t0 := e.Trace.Now()
-	h0 := src.full.SharedHits()
-	var l0 uint64
-	if src.full.Cache != nil {
-		l0 = src.full.Cache.Stats().Hits
-	}
-	out := make([]individual, 0, len(sel))
-	for _, ind := range sel {
-		if src.samples >= src.budget {
-			break
-		}
-		ev, err := src.full.EvaluateCanonical(ind.genome)
-		if err != nil {
-			return nil, err
-		}
-		src.samples++
+	out, recovered, err := src.rescoreElites(sel, func(ev *coopt.Evaluation) {
 		res.Samples++
 		res.FullEvals++
 		if e.OnEvaluation != nil {
 			e.OnEvaluation(res.Samples, ev)
 		}
-		out = append(out, individual{ind.genome, ev})
-	}
-	recovered := int(src.full.SharedHits() - h0)
-	if src.full.Cache != nil {
-		recovered += int(src.full.Cache.Stats().Hits - l0)
+	})
+	if err != nil {
+		return nil, err
 	}
 	e.rescoreReused += recovered
 	if e.Trace != nil {

@@ -1,0 +1,451 @@
+// The worker half of the transport seam: ShardRunner steps an owned
+// subset of a run's islands through the exact per-body operation sequence
+// of Engine.RunContext, and Schedule is the coordinator half — a pure
+// simulation of the run's sample-spend arithmetic, so the coordinator
+// knows every round's shape (bodies, boundaries, the final generation)
+// without any runtime synchronization on sample counts.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"digamma/internal/coopt"
+)
+
+// Segment is one coordinator round: a maximal run of generation bodies in
+// which islands need no cross-island communication. Only the last body of
+// a segment may be a migration boundary; a segment ends early when the
+// budget runs dry mid-stretch.
+type Segment struct {
+	StartGen int  // generation number of the segment's first body (1-based)
+	Bodies   int  // bodies in this segment (≥ 1)
+	Boundary bool // the last body is a migration boundary
+
+	// Per-body cumulative accounting after each body, for progress
+	// emission: total samples, and the full/scout attribution (under
+	// Config.Prune the full figure includes bound-pruned screens — the
+	// split is only known to the workers; Result counters stay exact).
+	PerBodyTotal []int
+	PerBodyFull  []int
+	PerBodyScout []int
+
+	// IslandSamples is each island's cumulative spend after the segment
+	// completes — the coordinator's cross-check against worker reports.
+	IslandSamples []int
+	Total         int // global samples after the segment
+}
+
+// Schedule simulates the engine's sample-spend arithmetic body by body:
+// initial batches, per-body brood sizes clamped by island budget shares,
+// and scout re-score spends at migration boundaries. Every quantity is a
+// pure function of the RunPlan, so coordinator and workers agree on the
+// run's shape without exchanging counters.
+type Schedule struct {
+	plan        *RunPlan
+	gen         int
+	total       int
+	full, scout int
+	samp        []int // per-island cumulative samples
+	plen        []int // per-island current population length
+}
+
+// NewSchedule starts the simulation at the post-initial-batch boundary
+// (each island has evaluated its initial population).
+func NewSchedule(plan *RunPlan) *Schedule {
+	s := &Schedule{
+		plan: plan,
+		samp: make([]int, len(plan.Islands)),
+		plen: make([]int, len(plan.Islands)),
+	}
+	for i, ip := range plan.Islands {
+		s.samp[i] = ip.Pop
+		s.plen[i] = ip.Pop
+		s.total += ip.Pop
+		if ip.Scout {
+			s.scout += ip.Pop
+		} else {
+			s.full += ip.Pop
+		}
+	}
+	return s
+}
+
+// Next returns the next segment, or nil when the budget is exhausted and
+// the run should finalize. Mirrors the engine loop exactly: a body runs
+// iff total < budget at its top; a boundary body re-scores scout elites
+// before breeding; breeding spends min(pop−elites, islandBudget−spent)
+// per island and re-sizes the population to elites+brood.
+func (s *Schedule) Next() *Segment {
+	if s.total >= s.plan.Budget {
+		return nil
+	}
+	seg := &Segment{StartGen: s.gen + 1}
+	for s.total < s.plan.Budget {
+		s.gen++
+		seg.Bodies++
+		boundary := s.gen%s.plan.MigrateEvery == 0
+		if boundary {
+			for i, ip := range s.plan.Islands {
+				if !ip.Scout {
+					continue
+				}
+				m := s.plan.MigrateCount
+				if m <= 0 {
+					m = ip.Elites
+				}
+				m = min(m, s.plen[i])
+				if spend := min(m, ip.Budget-s.samp[i]); spend > 0 {
+					s.samp[i] += spend
+					s.total += spend
+					s.full += spend // re-scores run the full model
+				}
+			}
+		}
+		for i, ip := range s.plan.Islands {
+			need := min(ip.Pop-ip.Elites, ip.Budget-s.samp[i])
+			if need > 0 {
+				s.samp[i] += need
+				s.total += need
+				s.plen[i] = ip.Elites + need
+				if ip.Scout {
+					s.scout += need
+				} else {
+					s.full += need
+				}
+			}
+		}
+		seg.PerBodyTotal = append(seg.PerBodyTotal, s.total)
+		seg.PerBodyFull = append(seg.PerBodyFull, s.full)
+		seg.PerBodyScout = append(seg.PerBodyScout, s.scout)
+		if boundary {
+			seg.Boundary = true
+			break
+		}
+	}
+	seg.Total = s.total
+	seg.IslandSamples = append([]int(nil), s.samp...)
+	return seg
+}
+
+// Generations reports how many bodies have been scheduled so far; after
+// Next returns nil this is the run's final Result.Generations.
+func (s *Schedule) Generations() int { return s.gen }
+
+// MigrantBatch is one source island's elite export addressed to a
+// destination: batches are applied in ascending From order, replicating
+// the engine's ascending-source replacement sweep.
+type MigrantBatch struct {
+	From   int               `json:"from"`
+	Elites []IndividualState `json:"elites"`
+}
+
+// ShardReport is a worker's per-island round result: the per-body history
+// contributions (non-scout islands only — scouts never report the global
+// best), cumulative counters, the boundary elite exports, and — at round
+// completion — the island's re-homing snapshot.
+type ShardReport struct {
+	Island  int `json:"island"`
+	Gen     int `json:"gen"`     // completed bodies so far
+	Samples int `json:"samples"` // cumulative island spend
+
+	Hist    []float64         `json:"hist,omitempty"`
+	Exports []IndividualState `json:"exports,omitempty"`
+	State   *IslandState      `json:"state,omitempty"`
+}
+
+// ShardFinal is a worker's per-island finalize result: the sorted
+// population's best (non-scout islands) and the island's cumulative
+// accounting and telemetry, summed by the coordinator into the Result.
+type ShardFinal struct {
+	Island  int  `json:"island"`
+	IsScout bool `json:"scout,omitempty"`
+
+	Best *IndividualState `json:"best,omitempty"`
+
+	Samples      int    `json:"samples"`
+	FullEvals    int    `json:"full_evals"`
+	PrunedEvals  int    `json:"pruned_evals"`
+	ScoutEvals   int    `json:"scout_evals"`
+	DeltaEvals   int    `json:"delta_evals"`
+	LayersReused int    `json:"layers_reused"`
+	PoolGets     uint64 `json:"pool_gets"`
+	PoolReuses   uint64 `json:"pool_reuses"`
+}
+
+// shardState is the runner's per-island bookkeeping beyond what the
+// island itself tracks: run-level counter splits (the engine books these
+// on the Result) and the boundary phase latch.
+type shardState struct {
+	owned       bool
+	midBoundary bool // Advance stopped at a boundary; CompleteBoundary pending
+	gen         int  // completed bodies
+	full        int
+	pruned      int
+	scoutN      int
+	reused      int // rescore-recovered analyses (scout islands)
+}
+
+// ShardRunner steps a subset of a run's islands on a worker process. It
+// builds ALL of the run's islands — buildIslands draws the per-island
+// seeds from the master stream, so every worker derives identical island
+// configurations from the run seed alone — but only owned islands are
+// ever initialized or stepped.
+type ShardRunner struct {
+	e       *Engine
+	budget  int
+	islands []*island
+	st      []shardState
+	workers int
+}
+
+// NewShardRunner assembles a runner for the engine's run at this budget.
+// Requires a NewSeeded engine (island streams must be re-derivable) and a
+// multi-island plan.
+func NewShardRunner(e *Engine, budget int) (*ShardRunner, error) {
+	if e.master == nil {
+		return nil, errors.New("core: shard runner requires an engine built with NewSeeded")
+	}
+	if e.Resume != nil {
+		return nil, errors.New("core: shard runner does not support resumed runs")
+	}
+	if budget < 1 {
+		return nil, errors.New("core: non-positive budget")
+	}
+	islands, err := e.buildIslands(budget)
+	if err != nil {
+		return nil, err
+	}
+	if len(islands) < 2 {
+		return nil, fmt.Errorf("core: shard runner needs ≥ 2 islands, run builds %d", len(islands))
+	}
+	return &ShardRunner{
+		e:       e,
+		budget:  budget,
+		islands: islands,
+		st:      make([]shardState, len(islands)),
+		workers: max(e.Config.Workers, 1),
+	}, nil
+}
+
+// Islands reports the run's island count (the handshake cross-check).
+func (r *ShardRunner) Islands() int { return len(r.islands) }
+
+// Scouts reports the per-island scout flags, MigrationRoute's input.
+func (r *ShardRunner) Scouts() []bool {
+	out := make([]bool, len(r.islands))
+	for i, is := range r.islands {
+		out[i] = is.scout
+	}
+	return out
+}
+
+// Own adopts one island: seed is cross-checked against the locally
+// derived stream seed (catching divergent builds at assignment time
+// instead of as silently different results), then the island is either
+// initialized fresh — the engine's initial batch, drawn and evaluated
+// here — or restored from a re-homing snapshot.
+func (r *ShardRunner) Own(id int, seed int64, st *IslandState) error {
+	if id < 0 || id >= len(r.islands) {
+		return fmt.Errorf("core: island %d out of range [0,%d)", id, len(r.islands))
+	}
+	is, sh := r.islands[id], &r.st[id]
+	if sh.owned {
+		return fmt.Errorf("core: island %d already owned", id)
+	}
+	if is.seed != seed {
+		return fmt.Errorf("core: island %d seed mismatch: assigned %d, derived %d (divergent spec?)", id, seed, is.seed)
+	}
+	sh.owned = true
+	if st == nil {
+		initial := is.initialGenomes()
+		evs, err := is.evaluateBatch(initial, nil, nil, r.workers)
+		if err != nil {
+			return err
+		}
+		r.bookBatch(id, evs)
+		is.install(0, initial, evs)
+		return nil
+	}
+	if err := is.restoreState(st); err != nil {
+		return err
+	}
+	sh.gen = st.Gen
+	sh.full, sh.pruned, sh.scoutN, sh.reused = st.FullEvals, st.PrunedEvals, st.ScoutEvals, st.Reused
+	return nil
+}
+
+// bookBatch replicates Engine.account's per-evaluation classification on
+// the runner's per-island counters.
+func (r *ShardRunner) bookBatch(id int, evs []*coopt.Evaluation) {
+	is, sh := r.islands[id], &r.st[id]
+	for _, ev := range evs {
+		is.samples++
+		switch {
+		case is.scout:
+			sh.scoutN++
+		case ev.Pruned:
+			sh.pruned++
+		default:
+			sh.full++
+		}
+	}
+}
+
+// breedBody runs the breeding half of one generation body: brood, batch
+// evaluation, accounting, install. A zero brood (budget share spent)
+// installs nothing, exactly like the engine's idle path.
+func (r *ShardRunner) breedBody(id int) error {
+	is := r.islands[id]
+	n := is.breedChildren()
+	if n == 0 {
+		return nil
+	}
+	evs, err := is.evaluateBatch(is.children[:n], is.parents[:n], is.dirt[:n], r.workers)
+	if err != nil {
+		return err
+	}
+	r.bookBatch(id, evs)
+	is.install(is.elites, is.children[:n], evs)
+	return nil
+}
+
+// Advance steps one owned island through `bodies` generation bodies. When
+// boundary is set, the LAST body stops at the migration exchange: it runs
+// beginGeneration, records the history contribution, re-scores a scout's
+// elites and returns the encoded exports — leaving the island mid-body
+// until CompleteBoundary delivers the incoming migrants. Plain rounds
+// return the island's re-homing snapshot in the report.
+func (r *ShardRunner) Advance(id, bodies int, boundary bool) (*ShardReport, error) {
+	is, sh := r.islands[id], &r.st[id]
+	if !sh.owned {
+		return nil, fmt.Errorf("core: island %d not owned", id)
+	}
+	if sh.midBoundary {
+		return nil, fmt.Errorf("core: island %d has a pending migration boundary", id)
+	}
+	if bodies < 1 {
+		return nil, fmt.Errorf("core: island %d: non-positive body count %d", id, bodies)
+	}
+	rep := &ShardReport{Island: id}
+	for b := 0; b < bodies; b++ {
+		is.beginGeneration()
+		if !is.scout {
+			rep.Hist = append(rep.Hist, is.cur[0].eval.Fitness)
+		}
+		if boundary && b == bodies-1 {
+			m := is.migrantCount(r.e.Config.MigrateCount)
+			sel := append([]individual(nil), is.cur[:m]...)
+			if is.scout {
+				var recovered int
+				var err error
+				sel, recovered, err = is.rescoreElites(sel, func(*coopt.Evaluation) { sh.full++ })
+				if err != nil {
+					return nil, err
+				}
+				sh.reused += recovered
+			}
+			rep.Exports = encodeIndividuals(sel)
+			sh.midBoundary = true
+			break
+		}
+		if err := r.breedBody(id); err != nil {
+			return nil, err
+		}
+		sh.gen++
+	}
+	if !boundary {
+		rep.State = r.snapshotShard(id)
+	}
+	rep.Gen, rep.Samples = sh.gen, is.samples
+	return rep, nil
+}
+
+// CompleteBoundary finishes a boundary body: incoming migrant batches are
+// applied in ascending source order through the engine's replacement
+// cursor (worst slots first, never slot 0), the population is re-sorted —
+// the boundary's second sort, matching the in-process sequence exactly —
+// and the body's breeding half runs. Must be called for EVERY owned
+// island at a boundary, with an empty batch list for islands that receive
+// nothing (scouts, unlucky ring positions): the second sort still runs.
+func (r *ShardRunner) CompleteBoundary(id int, batches []MigrantBatch) (*ShardReport, error) {
+	is, sh := r.islands[id], &r.st[id]
+	if !sh.owned {
+		return nil, fmt.Errorf("core: island %d not owned", id)
+	}
+	if !sh.midBoundary {
+		return nil, fmt.Errorf("core: island %d has no pending migration boundary", id)
+	}
+	sort.Slice(batches, func(a, b int) bool { return batches[a].From < batches[b].From })
+	replaceAt := len(is.cur) - 1
+	for bi := range batches {
+		for ei := range batches[bi].Elites {
+			if replaceAt < 1 {
+				break
+			}
+			ind, err := is.materializeMigrant(&batches[bi].Elites[ei])
+			if err != nil {
+				return nil, err
+			}
+			if is.recycle {
+				// The overwritten individual leaves the run here, exactly
+				// like the engine's replacement sweep. Nothing else on this
+				// worker references it: migrant copies are value-encoded.
+				is.pool.Recycle(is.cur[replaceAt].eval)
+			}
+			is.cur[replaceAt] = ind
+			replaceAt--
+		}
+	}
+	is.sortPop()
+	if err := r.breedBody(id); err != nil {
+		return nil, err
+	}
+	sh.gen++
+	sh.midBoundary = false
+	rep := &ShardReport{Island: id, Gen: sh.gen, Samples: is.samples, State: r.snapshotShard(id)}
+	return rep, nil
+}
+
+// Finalize sorts an owned island one last time (the engine's finalize
+// sweep) and reports its best individual and cumulative accounting.
+func (r *ShardRunner) Finalize(id int) (*ShardFinal, error) {
+	is, sh := r.islands[id], &r.st[id]
+	if !sh.owned {
+		return nil, fmt.Errorf("core: island %d not owned", id)
+	}
+	if sh.midBoundary {
+		return nil, fmt.Errorf("core: island %d has a pending migration boundary", id)
+	}
+	is.sortPop()
+	gets, reuses := is.pool.Stats()
+	fin := &ShardFinal{
+		Island:       id,
+		IsScout:      is.scout,
+		Samples:      is.samples,
+		FullEvals:    sh.full,
+		PrunedEvals:  sh.pruned,
+		ScoutEvals:   sh.scoutN,
+		DeltaEvals:   is.deltaEvals,
+		LayersReused: is.layersReused + sh.reused,
+		PoolGets:     gets + is.poolGetBias,
+		PoolReuses:   reuses + is.poolReuseBias,
+	}
+	if !is.scout && len(is.cur) > 0 {
+		b := encodeIndividuals(is.cur[:1])
+		fin.Best = &b[0]
+	}
+	return fin, nil
+}
+
+// snapshotShard is the island's checkpoint-format snapshot extended with
+// the runner's own counters, so a re-homed island resumes with exact
+// run-level accounting.
+func (r *ShardRunner) snapshotShard(id int) *IslandState {
+	sh := &r.st[id]
+	st := r.islands[id].snapshotState()
+	st.Gen = sh.gen
+	st.FullEvals, st.PrunedEvals, st.ScoutEvals, st.Reused = sh.full, sh.pruned, sh.scoutN, sh.reused
+	return &st
+}

@@ -1,0 +1,57 @@
+package dist
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"digamma/internal/core"
+)
+
+// BenchmarkDistIslands is the distributed-search headline: the same
+// 8-island search at equal budget, in-process vs sharded over 4 real
+// worker processes. EvalDelay stands in for a cost model slow enough to
+// be worth distributing (the analytical model is microseconds, so on a
+// small CI box transport overhead would swamp any one-machine win) —
+// per-eval latency is exactly where wall-clock goes on the big fidelity
+// backends. The delay is result-invariant, so bestfit/op must be equal
+// across the two rows; bench_guard.sh gates workers4 ≥ DIST_MIN× faster
+// and bestfit unchanged.
+func BenchmarkDistIslands(b *testing.B) {
+	spec := testSpec(b, "ncf", 42, func(c *core.Config) {
+		c.Islands = 8
+		c.MigrateEvery = 2
+		c.Profiles = []string{"default", "explorer", "exploiter", "scout"}
+	})
+	spec.EvalDelay = 200 * time.Microsecond
+	const budget = 800
+
+	run := func(b *testing.B, workers []string) {
+		var best float64
+		for i := 0; i < b.N; i++ {
+			eng, err := spec.Engine(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if workers != nil {
+				eng.Placement = &Coordinator{Spec: spec, Workers: workers}
+			}
+			res, err := eng.RunContext(context.Background(), budget)
+			if err != nil {
+				b.Fatal(err)
+			}
+			best = res.Best.Fitness
+		}
+		b.ReportMetric(best, "bestfit/op")
+	}
+
+	b.Run("single", func(b *testing.B) { run(b, nil) })
+	b.Run("workers4", func(b *testing.B) {
+		procs := make([]string, 4)
+		for i := range procs {
+			procs[i], _ = spawnProc(b)
+		}
+		b.ResetTimer()
+		run(b, procs)
+	})
+}

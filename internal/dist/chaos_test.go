@@ -1,0 +1,129 @@
+package dist
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"digamma/internal/core"
+	"digamma/internal/faults"
+)
+
+// chaosSpec is the run the fault-injection tests execute: 4 islands with
+// a scout in the mix, migrating often, so every protocol phase (adopt,
+// round, rescore, migrant delivery, finalize) is exercised.
+func chaosSpec(t *testing.T, seed int64) Spec {
+	return testSpec(t, "ncf", seed, func(c *core.Config) {
+		c.Islands = 4
+		c.MigrateEvery = 2
+		c.Profiles = []string{"default", "explorer", "exploiter", "scout"}
+	})
+}
+
+// TestWorkerLossRecoveredBitIdentical kills one of three workers at
+// varying points in the protocol — the injector fires a connection drop
+// on the worker's Nth frame operation — and asserts the re-homed run
+// still reproduces the in-process result bit for bit. Every≥3 keeps the
+// handshake (one read + one write) clean so the coordinator commits.
+func TestWorkerLossRecoveredBitIdentical(t *testing.T) {
+	spec := chaosSpec(t, 7)
+	ref := runLocal(t, spec, 480)
+	for _, every := range []int{3, 4, 7, 13, 29} {
+		inj := faults.New(1)
+		inj.Set(FaultConn, faults.Knob{Every: every})
+		faulty := startWorker(t, WorkerOptions{Workers: 1, Faults: inj})
+		w2 := startWorker(t, WorkerOptions{Workers: 1})
+		w3 := startWorker(t, WorkerOptions{Workers: 1})
+		got := runDist(t, spec, 480, []string{faulty, w2, w3}, nil)
+		sameResult(t, "conn-drop", got, ref)
+		if _, fired := inj.Counts(FaultConn); fired == 0 {
+			t.Fatalf("every=%d: conn fault never fired", every)
+		}
+	}
+}
+
+// TestTornFrameRecoveredBitIdentical: a worker that ships a truncated
+// frame mid-run trips the coordinator's CRC check and is treated as
+// lost; the run re-homes and stays bit-identical.
+func TestTornFrameRecoveredBitIdentical(t *testing.T) {
+	spec := chaosSpec(t, 1)
+	ref := runLocal(t, spec, 480)
+	for _, every := range []int{4, 9} {
+		inj := faults.New(1)
+		inj.Set(FaultTorn, faults.Knob{Every: every})
+		faulty := startWorker(t, WorkerOptions{Workers: 1, Faults: inj})
+		w2 := startWorker(t, WorkerOptions{Workers: 1})
+		got := runDist(t, spec, 480, []string{faulty, w2}, nil)
+		sameResult(t, "torn-frame", got, ref)
+	}
+}
+
+// TestSlowPeerBitIdentical: injected per-frame delays on one worker
+// change wall-clock only — the lockstep protocol never races a slow
+// peer against a fast one.
+func TestSlowPeerBitIdentical(t *testing.T) {
+	spec := chaosSpec(t, 42)
+	ref := runLocal(t, spec, 480)
+	inj := faults.New(1)
+	inj.Set(FaultSlow, faults.Knob{Every: 2, Delay: time.Millisecond})
+	slow := startWorker(t, WorkerOptions{Workers: 1, Faults: inj})
+	w2 := startWorker(t, WorkerOptions{Workers: 1})
+	got := runDist(t, spec, 480, []string{slow, w2}, nil)
+	sameResult(t, "slow-peer", got, ref)
+	if _, fired := inj.Counts(FaultSlow); fired == 0 {
+		t.Fatal("slow fault never fired")
+	}
+}
+
+// TestMigrationBoundaryEquivalence pins the transport seam at its finest
+// grain: the in-process ring and the loopback-TCP coordinator must
+// observe byte-identical elite exports — every island, every migration
+// boundary, genomes included — through the shared OnMigration hook.
+func TestMigrationBoundaryEquivalence(t *testing.T) {
+	type boundary struct {
+		gen     int
+		exports [][]core.IndividualState
+	}
+	capture := func(placement core.Placement, spec Spec) []boundary {
+		eng, err := spec.Engine(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var seen []boundary
+		eng.OnMigration = func(gen int, exports [][]core.IndividualState) {
+			cp := make([][]core.IndividualState, len(exports))
+			for i, sel := range exports {
+				cp[i] = append([]core.IndividualState(nil), sel...)
+			}
+			seen = append(seen, boundary{gen, cp})
+		}
+		eng.Placement = placement
+		if _, err := eng.Run(480); err != nil {
+			t.Fatal(err)
+		}
+		return seen
+	}
+
+	for _, seed := range []int64{1, 7} {
+		spec := chaosSpec(t, seed)
+		ring := capture(nil, spec)
+		w1 := startWorker(t, WorkerOptions{Workers: 1})
+		w2 := startWorker(t, WorkerOptions{Workers: 1})
+		dist := capture(&Coordinator{Spec: spec, Workers: []string{w1, w2}}, spec)
+
+		if len(ring) == 0 {
+			t.Fatal("no migration boundaries observed")
+		}
+		if len(dist) != len(ring) {
+			t.Fatalf("seed %d: %d boundaries over TCP, %d in-process", seed, len(dist), len(ring))
+		}
+		for b := range ring {
+			if dist[b].gen != ring[b].gen {
+				t.Errorf("seed %d boundary %d: gen %d != %d", seed, b, dist[b].gen, ring[b].gen)
+			}
+			if !reflect.DeepEqual(dist[b].exports, ring[b].exports) {
+				t.Errorf("seed %d boundary %d (gen %d): exports diverge", seed, b, ring[b].gen)
+			}
+		}
+	}
+}

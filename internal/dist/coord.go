@@ -1,0 +1,778 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"digamma/internal/core"
+	"digamma/internal/faults"
+	"digamma/internal/space"
+)
+
+// Coordinator is a core.Placement that shards a run's islands across
+// worker processes. It declines (falling back to the bit-identical
+// in-process path) whenever the run shape or the worker pool is not
+// eligible; once committed, the result is a pure function of
+// (Seed, Islands, MigrateEvery, Profiles) — never of worker count or
+// message timing — because workers execute the engine's exact per-body
+// operation sequence and all cross-island routing is computed from the
+// deterministic ring.
+//
+// Failure model: a connection error marks the worker dead and its
+// islands are re-homed onto survivors from their last round-boundary
+// snapshots, replaying the interrupted round bit-identically (the replay
+// is the same pure computation). Worker-reported errors are fatal — they
+// are deterministic (divergent cost model, protocol misuse) and would
+// replay identically anywhere. Losing every worker is fatal too: by then
+// the engine's RNG has advanced, so an in-process restart could not be
+// bit-identical.
+type Coordinator struct {
+	// Spec must describe exactly the run the engine was built for; the
+	// handshake cross-checks ConfigSum so a drifted spec declines rather
+	// than computing something different.
+	Spec Spec
+	// Workers lists worker addresses (host:port).
+	Workers []string
+	// DialTimeout bounds each worker dial (default 5s); IOTimeout bounds
+	// each request/ack round trip (default 5m — a round evaluates many
+	// design points).
+	DialTimeout time.Duration
+	IOTimeout   time.Duration
+	// Faults arms the dist.* chaos points on coordinator-side frame IO.
+	Faults *faults.Injector
+	// Log receives re-homing and decline diagnostics; nil silences them.
+	Log *log.Logger
+}
+
+var _ core.Placement = (*Coordinator)(nil)
+
+type peer struct {
+	addr  string
+	fc    *frameConn
+	alive bool
+}
+
+// run is one committed distributed run's mutable state.
+type run struct {
+	c      *Coordinator
+	e      *core.Engine
+	budget int
+
+	plan   *core.RunPlan
+	scouts []bool
+	route  []int
+
+	peers    []*peer
+	owner    []int // island → index into peers
+	rehomeAt int   // rotating cursor balancing re-homed islands
+
+	// lastSnap[i] is island i's state at the last completed round
+	// boundary (nil = not initialized yet → fresh adoption).
+	lastSnap []*core.IslandState
+
+	hist []float64
+	seq  int
+
+	// Cumulative accounting at the last segment end, for per-body
+	// progress offsets.
+	prevTotal, prevFull, prevScout int
+	gens                           int
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.Log != nil {
+		c.Log.Printf(format, args...)
+	}
+}
+
+// Run implements core.Placement.
+func (c *Coordinator) Run(ctx context.Context, e *core.Engine, budget int) (*core.Result, bool, error) {
+	if why := c.ineligible(e, budget); why != "" {
+		c.logf("dist: declining run: %s", why)
+		return nil, false, nil
+	}
+
+	// Dial + handshake every worker BEFORE committing: PlanRun draws the
+	// per-island seeds from the engine's master stream, so any failure up
+	// to that point must leave the engine untouched for the bit-identical
+	// in-process fallback.
+	peers, why := c.handshake(e, budget)
+	if peers == nil {
+		c.logf("dist: declining run: %s", why)
+		return nil, false, nil
+	}
+
+	plan, err := e.PlanRun(budget) // the commit point: RNG consumed
+	if err != nil {
+		closeAll(peers)
+		return nil, true, err
+	}
+	scouts := make([]bool, len(plan.Islands))
+	for i, ip := range plan.Islands {
+		scouts[i] = ip.Scout
+	}
+	r := &run{
+		c: c, e: e, budget: budget,
+		plan:     plan,
+		scouts:   scouts,
+		route:    core.MigrationRoute(scouts),
+		peers:    peers,
+		owner:    make([]int, len(plan.Islands)),
+		lastSnap: make([]*core.IslandState, len(plan.Islands)),
+	}
+	for _, ip := range plan.Islands {
+		r.prevTotal += ip.Pop
+		if ip.Scout {
+			r.prevScout += ip.Pop
+		} else {
+			r.prevFull += ip.Pop
+		}
+	}
+	defer closeAll(r.peers)
+
+	res, err := r.execute(ctx)
+	return res, true, err
+}
+
+// ineligible reports why the run cannot be distributed ("" = eligible).
+// Per-sample and durability hooks are per-evaluation state the protocol
+// does not carry; Target/Warm/BestEffort change the loop shape in ways
+// the schedule simulation does not model. All of them fall back to the
+// in-process path, which supports everything.
+func (c *Coordinator) ineligible(e *core.Engine, budget int) string {
+	if len(c.Workers) == 0 {
+		return "no workers configured"
+	}
+	if k := e.PlannedIslands(budget); k < 2 {
+		return fmt.Sprintf("run builds %d island(s), distribution needs ≥ 2", k)
+	}
+	seed, seeded := e.Seed()
+	if !seeded {
+		return "engine not built with NewSeeded"
+	}
+	if seed != c.Spec.Seed {
+		return fmt.Sprintf("spec seed %d != engine seed %d", c.Spec.Seed, seed)
+	}
+	if e.Resume != nil {
+		return "resumed run"
+	}
+	if e.OnEvaluation != nil {
+		return "per-evaluation hook installed"
+	}
+	if e.OnCheckpoint != nil && e.Config.CheckpointEvery > 0 {
+		return "checkpointing enabled"
+	}
+	if e.Config.Target > 0 {
+		return "time-to-target mode"
+	}
+	if len(e.Config.Warm) > 0 {
+		return "warm-started run"
+	}
+	if e.Config.BestEffort {
+		return "best-effort cancellation semantics"
+	}
+	return ""
+}
+
+// handshake dials and hellos every worker. Any failure — unreachable
+// worker, protocol/config-sum/island-count mismatch — closes everything
+// and returns nil: distribution is all-or-nothing at start (re-homing
+// only covers losses after commit).
+func (c *Coordinator) handshake(e *core.Engine, budget int) ([]*peer, string) {
+	dialTO := c.DialTimeout
+	if dialTO <= 0 {
+		dialTO = 5 * time.Second
+	}
+	sum := e.ConfigSum()
+	k := e.PlannedIslands(budget)
+	peers := make([]*peer, 0, len(c.Workers))
+	fail := func(why string) ([]*peer, string) {
+		closeAll(peers)
+		return nil, why
+	}
+	for _, addr := range c.Workers {
+		conn, err := net.DialTimeout("tcp", addr, dialTO)
+		if err != nil {
+			return fail(fmt.Sprintf("worker %s: %v", addr, err))
+		}
+		p := &peer{addr: addr, fc: &frameConn{rw: conn, inj: c.Faults}, alive: true}
+		peers = append(peers, p)
+		p.fc.setDeadline(c.ioTimeout())
+		err = p.fc.writeMsg(mtHello, helloMsg{Proto: ProtoVersion, Spec: c.Spec, ConfigSum: sum, Budget: budget})
+		var ack helloAck
+		if err == nil {
+			err = p.fc.expect(mtHelloAck, &ack)
+		}
+		switch {
+		case err != nil:
+			return fail(fmt.Sprintf("worker %s: %v", addr, err))
+		case ack.Err != "":
+			return fail(fmt.Sprintf("worker %s refused: %s", addr, ack.Err))
+		case ack.Proto != ProtoVersion:
+			return fail(fmt.Sprintf("worker %s: protocol %d, want %d", addr, ack.Proto, ProtoVersion))
+		case ack.ConfigSum != sum:
+			return fail(fmt.Sprintf("worker %s: config sum %s, want %s", addr, ack.ConfigSum, sum))
+		case ack.Islands != k:
+			return fail(fmt.Sprintf("worker %s: plans %d islands, want %d", addr, ack.Islands, k))
+		}
+	}
+	return peers, ""
+}
+
+func (c *Coordinator) ioTimeout() time.Duration {
+	if c.IOTimeout > 0 {
+		return c.IOTimeout
+	}
+	return 5 * time.Minute
+}
+
+func closeAll(peers []*peer) {
+	for _, p := range peers {
+		if p.alive {
+			p.alive = false
+			p.fc.rw.Close()
+		}
+	}
+}
+
+// execute drives the committed run: initial adoption, the segment loop,
+// finalization and result assembly.
+func (r *run) execute(ctx context.Context) (*core.Result, error) {
+	// Initial placement: island i on worker i mod W, adopted fresh
+	// (lastSnap is nil everywhere). Adoption failures are handled by the
+	// same re-homing path as later losses.
+	for i := range r.owner {
+		r.owner[i] = i % len(r.peers)
+	}
+	if err := r.adopt(r.allIslands()); err != nil {
+		return nil, err
+	}
+
+	sched := core.NewSchedule(r.plan)
+	for seg := sched.Next(); seg != nil; seg = sched.Next() {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("%w after generation %d (%d samples): %w",
+				core.ErrCancelled, r.gens, r.prevTotal, err)
+		}
+		if err := r.runSegment(seg); err != nil {
+			return nil, err
+		}
+		r.gens += seg.Bodies
+		r.prevTotal = seg.PerBodyTotal[seg.Bodies-1]
+		r.prevFull = seg.PerBodyFull[seg.Bodies-1]
+		r.prevScout = seg.PerBodyScout[seg.Bodies-1]
+	}
+	if r.gens != sched.Generations() {
+		return nil, fmt.Errorf("dist: scheduled %d generations, ran %d", sched.Generations(), r.gens)
+	}
+	return r.finalize()
+}
+
+func (r *run) allIslands() []int {
+	ids := make([]int, len(r.owner))
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// markDead retires a peer after a transport failure.
+func (r *run) markDead(p *peer, why error) {
+	if !p.alive {
+		return
+	}
+	p.alive = false
+	p.fc.rw.Close()
+	r.c.logf("dist: worker %s lost: %v", p.addr, why)
+}
+
+func (r *run) liveCount() int {
+	n := 0
+	for _, p := range r.peers {
+		if p.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// rehome reassigns every listed island whose owner is dead to a live
+// peer, rotating across survivors, and adopts them there from their last
+// round-boundary snapshots. Returns the islands that actually moved.
+func (r *run) rehome(ids []int) ([]int, error) {
+	var moved []int
+	for _, id := range ids {
+		if r.peers[r.owner[id]].alive {
+			continue
+		}
+		w, err := r.pickLive()
+		if err != nil {
+			return nil, err
+		}
+		r.c.logf("dist: re-homing island %d: %s → %s", id, r.peers[r.owner[id]].addr, r.peers[w].addr)
+		r.owner[id] = w
+		moved = append(moved, id)
+	}
+	if len(moved) == 0 {
+		return nil, nil
+	}
+	if err := r.adopt(moved); err != nil {
+		return nil, err
+	}
+	// adopt may itself lose workers; islands whose new owner died are
+	// picked up again by the caller's retry loop.
+	out := moved[:0]
+	for _, id := range moved {
+		if r.peers[r.owner[id]].alive {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+func (r *run) pickLive() (int, error) {
+	n := len(r.peers)
+	for i := 0; i < n; i++ {
+		w := (r.rehomeAt + i) % n
+		if r.peers[w].alive {
+			r.rehomeAt = w + 1
+			return w, nil
+		}
+	}
+	return 0, fmt.Errorf("dist: all workers lost")
+}
+
+// adopt sends the islands' assignments to their owners — fresh when the
+// island has no snapshot yet, a re-homing restore otherwise. Send to all
+// owners first, then collect acks, so adoption (like every phase) runs
+// worker-concurrent.
+func (r *run) adopt(ids []int) error {
+	byOwner := r.groupByOwner(ids)
+	sent := make([]*peer, 0, len(byOwner))
+	for _, w := range sortedKeys(byOwner) {
+		p := r.peers[w]
+		msg := adoptMsg{}
+		for _, id := range byOwner[w] {
+			msg.Islands = append(msg.Islands, assignment{ID: id, Seed: r.plan.Islands[id].Seed, State: r.lastSnap[id]})
+		}
+		p.fc.setDeadline(r.c.ioTimeout())
+		if err := p.fc.writeMsg(mtAdopt, msg); err != nil {
+			r.markDead(p, err)
+			continue
+		}
+		sent = append(sent, p)
+	}
+	for _, p := range sent {
+		var ack adoptAck
+		if err := p.fc.expect(mtAdoptAck, &ack); err != nil {
+			r.markDead(p, err)
+			continue
+		}
+		if ack.Err != "" {
+			return fmt.Errorf("dist: worker %s: adopt: %s", p.addr, ack.Err)
+		}
+	}
+	if r.liveCount() == 0 {
+		return fmt.Errorf("dist: all workers lost")
+	}
+	return nil
+}
+
+func (r *run) groupByOwner(ids []int) map[int][]int {
+	byOwner := make(map[int][]int)
+	for _, id := range ids {
+		byOwner[r.owner[id]] = append(byOwner[r.owner[id]], id)
+	}
+	return byOwner
+}
+
+func sortedKeys(m map[int][]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ { // tiny n: insertion sort
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// advanceWave runs one phase-A wave for the listed islands: roundMsg to
+// every owner, then all acks. Islands on workers that fail stay
+// report-less for the caller's retry loop; worker-reported errors are
+// fatal.
+func (r *run) advanceWave(ids []int, seg *core.Segment, reports []*core.ShardReport) error {
+	r.seq++
+	byOwner := r.groupByOwner(ids)
+	type pending struct {
+		p   *peer
+		ids []int
+	}
+	var sent []pending
+	for _, w := range sortedKeys(byOwner) {
+		p := r.peers[w]
+		p.fc.setDeadline(r.c.ioTimeout())
+		msg := roundMsg{Seq: r.seq, IDs: byOwner[w], Bodies: seg.Bodies, Boundary: seg.Boundary}
+		if err := p.fc.writeMsg(mtRound, msg); err != nil {
+			r.markDead(p, err)
+			continue
+		}
+		sent = append(sent, pending{p, byOwner[w]})
+	}
+	for _, s := range sent {
+		var ack roundAck
+		if err := s.p.fc.expect(mtRoundAck, &ack); err != nil {
+			r.markDead(s.p, err)
+			continue
+		}
+		if ack.Err != "" {
+			return fmt.Errorf("dist: worker %s: round %d: %s", s.p.addr, r.seq, ack.Err)
+		}
+		if len(ack.Reports) != len(s.ids) {
+			return fmt.Errorf("dist: worker %s: round %d: %d reports for %d islands", s.p.addr, r.seq, len(ack.Reports), len(s.ids))
+		}
+		for i := range ack.Reports {
+			rep := ack.Reports[i]
+			reports[rep.Island] = &rep
+		}
+	}
+	return nil
+}
+
+// runSegment executes one coordinator round: phase A (advance all
+// islands through the segment's bodies, re-homing and replaying losses),
+// progress + migration observation, and — at a boundary — phase B
+// (deliver migrants, complete the boundary body). Snapshots from the
+// completing phase become the next re-homing baseline.
+func (r *run) runSegment(seg *core.Segment) error {
+	k := len(r.owner)
+	reports := make([]*core.ShardReport, k)
+	for {
+		missing := missingOf(reports)
+		if len(missing) == 0 {
+			break
+		}
+		if _, err := r.rehome(missing); err != nil {
+			return err
+		}
+		if err := r.advanceWave(missing, seg, reports); err != nil {
+			return err
+		}
+	}
+
+	r.emitSegment(seg, reports)
+
+	if !seg.Boundary {
+		for id, rep := range reports {
+			if err := r.checkSamples(rep, seg.IslandSamples[id]); err != nil {
+				return err
+			}
+			r.lastSnap[id] = rep.State
+		}
+		return nil
+	}
+
+	// Migration boundary. Observation first (the engine emits before any
+	// replacement lands), then route the exports into deliveries.
+	if r.e.OnMigration != nil {
+		exports := make([][]core.IndividualState, k)
+		for id, rep := range reports {
+			exports[id] = rep.Exports
+		}
+		r.e.OnMigration(seg.StartGen+seg.Bodies-1, exports)
+	}
+	final := make([]*core.ShardReport, k)
+	for {
+		missing := missingOf(final)
+		if len(missing) == 0 {
+			break
+		}
+		// Losses between the two phases: the re-homed island restarts at
+		// the segment's opening snapshot, so phase A is replayed for it —
+		// bit-identically, verified against the recorded exports — before
+		// its migrants can be delivered.
+		moved, err := r.rehome(missing)
+		if err != nil {
+			return err
+		}
+		if len(moved) > 0 {
+			replayed := make([]*core.ShardReport, k)
+			if err := r.advanceWave(moved, seg, replayed); err != nil {
+				return err
+			}
+			for _, id := range moved {
+				if replayed[id] == nil {
+					continue // owner died again; next iteration retries
+				}
+				if err := sameExports(reports[id].Exports, replayed[id].Exports); err != nil {
+					return fmt.Errorf("dist: island %d replay diverged: %w", id, err)
+				}
+			}
+		}
+		if err := r.deliverWave(missing, reports, final); err != nil {
+			return err
+		}
+	}
+	for id, rep := range final {
+		if err := r.checkSamples(rep, seg.IslandSamples[id]); err != nil {
+			return err
+		}
+		r.lastSnap[id] = rep.State
+	}
+	return nil
+}
+
+// deliverWave runs one phase-B wave: every listed island receives its
+// migrant batches (empty for islands the ring routes nothing to — the
+// boundary's second sort must still run) and completes its boundary
+// body.
+func (r *run) deliverWave(ids []int, reports, final []*core.ShardReport) error {
+	r.seq++
+	byOwner := r.groupByOwner(ids)
+	type pending struct {
+		p   *peer
+		ids []int
+	}
+	var sent []pending
+	for _, w := range sortedKeys(byOwner) {
+		p := r.peers[w]
+		msg := migrantsMsg{Seq: r.seq}
+		for _, id := range byOwner[w] {
+			d := delivery{ID: id}
+			for src, dst := range r.route {
+				if dst == id {
+					d.Batches = append(d.Batches, core.MigrantBatch{From: src, Elites: reports[src].Exports})
+				}
+			}
+			msg.Deliveries = append(msg.Deliveries, d)
+		}
+		p.fc.setDeadline(r.c.ioTimeout())
+		if err := p.fc.writeMsg(mtMigrants, msg); err != nil {
+			r.markDead(p, err)
+			continue
+		}
+		sent = append(sent, pending{p, byOwner[w]})
+	}
+	for _, s := range sent {
+		var ack roundAck
+		if err := s.p.fc.expect(mtMigrantsAck, &ack); err != nil {
+			r.markDead(s.p, err)
+			continue
+		}
+		if ack.Err != "" {
+			return fmt.Errorf("dist: worker %s: migrants %d: %s", s.p.addr, r.seq, ack.Err)
+		}
+		if len(ack.Reports) != len(s.ids) {
+			return fmt.Errorf("dist: worker %s: migrants %d: %d reports for %d islands", s.p.addr, r.seq, len(ack.Reports), len(s.ids))
+		}
+		for i := range ack.Reports {
+			rep := ack.Reports[i]
+			final[rep.Island] = &rep
+		}
+	}
+	if r.liveCount() == 0 {
+		return fmt.Errorf("dist: all workers lost")
+	}
+	return nil
+}
+
+func missingOf(reports []*core.ShardReport) []int {
+	var out []int
+	for id, rep := range reports {
+		if rep == nil {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (r *run) checkSamples(rep *core.ShardReport, want int) error {
+	if rep.Samples != want {
+		return fmt.Errorf("dist: island %d spent %d samples, schedule says %d", rep.Island, rep.Samples, want)
+	}
+	if rep.State == nil {
+		return fmt.Errorf("dist: island %d report carries no snapshot", rep.Island)
+	}
+	return nil
+}
+
+func sameExports(orig, replay []core.IndividualState) error {
+	if len(orig) != len(replay) {
+		return fmt.Errorf("%d elites, replay produced %d", len(orig), len(replay))
+	}
+	for i := range orig {
+		if orig[i].Fitness != replay[i].Fitness || orig[i].Pruned != replay[i].Pruned {
+			return fmt.Errorf("elite %d: fitness %g/pruned %v, replay %g/%v",
+				i, orig[i].Fitness, orig[i].Pruned, replay[i].Fitness, replay[i].Pruned)
+		}
+	}
+	return nil
+}
+
+// emitSegment replays the engine's per-body OnGeneration emissions for a
+// completed segment, in order. Content matches the in-process run's
+// exactly for the search-trajectory fields (Generation, Samples, Budget,
+// BestFitness, ScoutEvals); the telemetry fields the coordinator cannot
+// see mid-run (cache/pool/delta counters, the full/pruned split under
+// Config.Prune) read as zero until the exact final snapshot.
+func (r *run) emitSegment(seg *core.Segment, reports []*core.ShardReport) {
+	for b := 0; b < seg.Bodies; b++ {
+		best := 0.0
+		found := false
+		for id, rep := range reports {
+			if r.scouts[id] {
+				continue
+			}
+			if !found || rep.Hist[b] < best {
+				best = rep.Hist[b]
+				found = true
+			}
+		}
+		r.hist = append(r.hist, best)
+		if r.e.OnGeneration == nil {
+			continue
+		}
+		total, full, scout := r.prevTotal, r.prevFull, r.prevScout
+		if b > 0 {
+			total, full, scout = seg.PerBodyTotal[b-1], seg.PerBodyFull[b-1], seg.PerBodyScout[b-1]
+		}
+		r.e.OnGeneration(core.Progress{
+			Generation:  seg.StartGen + b - 1,
+			Samples:     total,
+			Budget:      r.budget,
+			BestFitness: best,
+			FullEvals:   full,
+			ScoutEvals:  scout,
+		})
+	}
+}
+
+// finalize collects every island's final report and assembles the
+// Result exactly as Engine.finalize would: populations sorted, the
+// global best re-evaluated locally (pure, so bit-identical) and
+// detached, counters summed, History closed with the final best.
+func (r *run) finalize() (*core.Result, error) {
+	k := len(r.owner)
+	finals := make([]*core.ShardFinal, k)
+	for {
+		var missing []int
+		for id, fin := range finals {
+			if fin == nil {
+				missing = append(missing, id)
+			}
+		}
+		if len(missing) == 0 {
+			break
+		}
+		if _, err := r.rehome(missing); err != nil {
+			return nil, err
+		}
+		if err := r.finalizeWave(missing, finals); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &core.Result{Generations: r.gens}
+	winner := -1
+	for id, fin := range finals {
+		res.Samples += fin.Samples
+		res.FullEvals += fin.FullEvals
+		res.PrunedEvals += fin.PrunedEvals
+		res.ScoutEvals += fin.ScoutEvals
+		res.DeltaEvals += fin.DeltaEvals
+		res.LayersReused += fin.LayersReused
+		res.PoolGets += fin.PoolGets
+		res.PoolReuses += fin.PoolReuses
+		if fin.IsScout || fin.Best == nil {
+			continue
+		}
+		if winner < 0 || fin.Best.Fitness < finals[winner].Best.Fitness {
+			winner = id
+		}
+	}
+	if res.Samples != r.prevTotal {
+		return nil, fmt.Errorf("dist: finals report %d samples, schedule spent %d", res.Samples, r.prevTotal)
+	}
+	if winner < 0 {
+		return nil, fmt.Errorf("dist: no full-fidelity island reported a best")
+	}
+	best := finals[winner].Best
+	if best.Pruned {
+		return nil, fmt.Errorf("dist: island %d best is a pruned bound", winner)
+	}
+	// Re-evaluate the winner locally: evaluation is pure, so this both
+	// materializes the full Evaluation (the wire carries only the genome
+	// and its fitness) and cross-checks the worker's cost model one last
+	// time.
+	ev, err := r.e.Problem.EvaluateCanonical(space.Genome{Fanouts: best.Fanouts, Maps: best.Maps})
+	if err != nil {
+		return nil, fmt.Errorf("dist: re-evaluating final best: %w", err)
+	}
+	if ev.Fitness != best.Fitness {
+		return nil, fmt.Errorf("dist: final best re-evaluates to %g, worker reported %g (divergent cost model?)", ev.Fitness, best.Fitness)
+	}
+	res.Best = ev.Detach()
+	res.History = append(r.hist, best.Fitness)
+	if r.e.OnGeneration != nil {
+		r.e.OnGeneration(core.Progress{
+			Generation:   len(res.History) - 1,
+			Samples:      res.Samples,
+			Budget:       r.budget,
+			BestFitness:  best.Fitness,
+			FullEvals:    res.FullEvals,
+			PrunedEvals:  res.PrunedEvals,
+			ScoutEvals:   res.ScoutEvals,
+			DeltaEvals:   res.DeltaEvals,
+			LayersReused: res.LayersReused,
+			PoolGets:     res.PoolGets,
+			PoolReuses:   res.PoolReuses,
+		})
+	}
+	return res, nil
+}
+
+// finalizeWave requests final reports for the listed islands from their
+// owners, send-all-then-read-all like every other wave.
+func (r *run) finalizeWave(ids []int, finals []*core.ShardFinal) error {
+	byOwner := r.groupByOwner(ids)
+	type pending struct {
+		p   *peer
+		ids []int
+	}
+	var sent []pending
+	for _, w := range sortedKeys(byOwner) {
+		p := r.peers[w]
+		p.fc.setDeadline(r.c.ioTimeout())
+		if err := p.fc.writeMsg(mtFinalize, finalizeMsg{IDs: byOwner[w]}); err != nil {
+			r.markDead(p, err)
+			continue
+		}
+		sent = append(sent, pending{p, byOwner[w]})
+	}
+	for _, s := range sent {
+		var ack finalizeAck
+		if err := s.p.fc.expect(mtFinalizeAck, &ack); err != nil {
+			r.markDead(s.p, err)
+			continue
+		}
+		if ack.Err != "" {
+			return fmt.Errorf("dist: worker %s: finalize: %s", s.p.addr, ack.Err)
+		}
+		if len(ack.Finals) != len(s.ids) {
+			return fmt.Errorf("dist: worker %s: finalize: %d reports for %d islands", s.p.addr, len(ack.Finals), len(s.ids))
+		}
+		for i := range ack.Finals {
+			fin := ack.Finals[i]
+			finals[fin.Island] = &fin
+		}
+	}
+	if r.liveCount() == 0 {
+		return fmt.Errorf("dist: all workers lost")
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"log"
+	"net"
+	"strings"
+	"testing"
+
+	"digamma/internal/arch"
+	"digamma/internal/coopt"
+	"digamma/internal/core"
+	"digamma/internal/faults"
+	"digamma/internal/workload"
+)
+
+// testSpec assembles a Spec for a built-in model at edge resources — the
+// same configuration the core island goldens run on.
+func testSpec(t testing.TB, model string, seed int64, mutate func(*core.Config)) Spec {
+	t.Helper()
+	m, err := workload.ByName(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers := make([]workload.LayerSpec, len(m.Layers))
+	for i, l := range m.Layers {
+		layers[i] = workload.Spec(l)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Workers = 1
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return Spec{
+		ModelName: m.Name,
+		Layers:    layers,
+		Platform:  arch.Edge(),
+		Objective: coopt.Latency,
+		Config:    cfg,
+		Seed:      seed,
+	}
+}
+
+// startWorker serves the worker protocol on a loopback listener and
+// returns its address.
+func startWorker(t testing.TB, opts WorkerOptions) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go Serve(l, opts)
+	t.Cleanup(func() { l.Close() })
+	return l.Addr().String()
+}
+
+// runLocal executes the spec's run in-process (the reference).
+func runLocal(t testing.TB, spec Spec, budget int) *core.Result {
+	t.Helper()
+	eng, err := spec.Engine(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.RunContext(context.Background(), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// runDist executes the spec's run through a committed coordinator over
+// the given workers; a decline fails the test (the fallback would make
+// every comparison pass vacuously).
+func runDist(t testing.TB, spec Spec, budget int, workers []string, inj *faults.Injector) *core.Result {
+	t.Helper()
+	var logBuf bytes.Buffer
+	eng, err := spec.Engine(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Placement = &Coordinator{
+		Spec:    spec,
+		Workers: workers,
+		Faults:  inj,
+		Log:     log.New(&logBuf, "", 0),
+	}
+	res, err := eng.RunContext(context.Background(), budget)
+	if err != nil {
+		t.Fatalf("dist run: %v (log: %s)", err, logBuf.String())
+	}
+	if strings.Contains(logBuf.String(), "declining") {
+		t.Fatalf("coordinator declined instead of committing: %s", logBuf.String())
+	}
+	return res
+}
+
+// sameResult asserts the fields of the determinism contract: everything
+// except the cache/pool telemetry, which legitimately depends on how
+// islands share a process.
+func sameResult(t testing.TB, label string, got, want *core.Result) {
+	t.Helper()
+	if got.Samples != want.Samples || got.Generations != want.Generations {
+		t.Errorf("%s: samples/gens %d/%d, want %d/%d", label, got.Samples, got.Generations, want.Samples, want.Generations)
+	}
+	if got.Best.Fitness != want.Best.Fitness {
+		t.Errorf("%s: best %x, want %x", label, got.Best.Fitness, want.Best.Fitness)
+	}
+	if got.FullEvals != want.FullEvals || got.PrunedEvals != want.PrunedEvals || got.ScoutEvals != want.ScoutEvals {
+		t.Errorf("%s: evals full/pruned/scout %d/%d/%d, want %d/%d/%d", label,
+			got.FullEvals, got.PrunedEvals, got.ScoutEvals, want.FullEvals, want.PrunedEvals, want.ScoutEvals)
+	}
+	if len(got.History) != len(want.History) {
+		t.Fatalf("%s: history length %d, want %d", label, len(got.History), len(want.History))
+	}
+	for i := range got.History {
+		if got.History[i] != want.History[i] {
+			t.Errorf("%s: history[%d] = %x, want %x", label, i, got.History[i], want.History[i])
+		}
+	}
+}
+
+// TestLoopbackBitIdentical: a 2-worker loopback run must reproduce the
+// in-process result bit for bit, across island counts and a profile mix
+// including a scout.
+func TestLoopbackBitIdentical(t *testing.T) {
+	w1 := startWorker(t, WorkerOptions{Workers: 1})
+	w2 := startWorker(t, WorkerOptions{Workers: 1})
+	for _, islands := range []int{2, 4} {
+		for _, seed := range []int64{1, 7} {
+			spec := testSpec(t, "ncf", seed, func(c *core.Config) {
+				c.Islands = islands
+				c.MigrateEvery = 2
+				c.Profiles = []string{"default", "explorer", "exploiter", "scout"}
+			})
+			ref := runLocal(t, spec, 480)
+			got := runDist(t, spec, 480, []string{w1, w2}, nil)
+			sameResult(t, spec.ModelName, got, ref)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"digamma/internal/core"
+)
+
+// The multi-process golden tests re-exec this test binary as real worker
+// processes (the standard Go re-exec trick): TestMain diverts to the
+// worker serve loop when the env var is set, so the coordinator under
+// test talks to genuinely separate OS processes — separate heaps,
+// separate caches, real TCP — not goroutines sharing its memory.
+const (
+	envWorkerProc = "DIGAMMA_DIST_WORKER_PROC"
+	envAddrFile   = "DIGAMMA_DIST_ADDR_FILE"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(envWorkerProc) == "1" {
+		if err := workerProcMain(); err != nil {
+			fmt.Fprintln(os.Stderr, "dist worker proc:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// workerProcMain is the re-exec'd child: listen on an ephemeral port,
+// publish the bound address via rename (never torn for the polling
+// parent), serve until killed.
+func workerProcMain() error {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	af := os.Getenv(envAddrFile)
+	tmp := af + ".tmp"
+	if err := os.WriteFile(tmp, []byte(l.Addr().String()), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, af); err != nil {
+		return err
+	}
+	return Serve(l, WorkerOptions{Workers: 1})
+}
+
+// spawnProc starts one worker process and returns its address and process
+// handle (for mid-run kills). Cleanup reaps it.
+func spawnProc(t testing.TB) (string, *os.Process) {
+	t.Helper()
+	af := filepath.Join(t.TempDir(), "addr")
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), envWorkerProc+"=1", envAddrFile+"="+af)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		b, err := os.ReadFile(af)
+		if err == nil && len(b) > 0 {
+			return strings.TrimSpace(string(b)), cmd.Process
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker process never published its address")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestMultiProcessBitIdentical is the tentpole golden: across models,
+// seeds and island counts, a search sharded over 2 and over 4 real worker
+// processes reproduces the in-process run bit for bit — results are a
+// pure function of (seed, islands, migration cadence, profiles), never of
+// how many processes host the islands.
+func TestMultiProcessBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	procs := make([]string, 4)
+	for i := range procs {
+		procs[i], _ = spawnProc(t)
+	}
+	for _, model := range []string{"resnet18", "ncf"} {
+		for _, islands := range []int{2, 4} {
+			for _, seed := range []int64{1, 7, 42} {
+				spec := testSpec(t, model, seed, func(c *core.Config) {
+					c.Islands = islands
+					c.MigrateEvery = 2
+					c.Profiles = []string{"default", "explorer", "exploiter", "scout"}
+				})
+				ref := runLocal(t, spec, 480)
+				for _, w := range [][]string{procs[:2], procs} {
+					label := fmt.Sprintf("%s/k%d/seed%d/%dproc", model, islands, seed, len(w))
+					sameResult(t, label, runDist(t, spec, 480, w, nil), ref)
+				}
+			}
+		}
+	}
+}
+
+// TestProcWorkerKillMidRunBitIdentical SIGKILLs one of three worker
+// processes once the search is demonstrably under way; the coordinator
+// must detect the loss, re-home the dead process's islands onto the
+// survivors, and still finish bit-identical to the in-process reference.
+func TestProcWorkerKillMidRunBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	spec := chaosSpec(t, 42)
+	ref := runLocal(t, spec, 480)
+
+	a0, victim := spawnProc(t)
+	a1, _ := spawnProc(t)
+	a2, _ := spawnProc(t)
+	eng, err := spec.Engine(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var once sync.Once
+	eng.OnGeneration = func(p core.Progress) {
+		if p.Generation >= 2 {
+			once.Do(func() { victim.Kill() })
+		}
+	}
+	var logBuf bytes.Buffer
+	eng.Placement = &Coordinator{
+		Spec:    spec,
+		Workers: []string{a0, a1, a2},
+		Log:     log.New(&logBuf, "", 0),
+	}
+	got, err := eng.RunContext(context.Background(), 480)
+	if err != nil {
+		t.Fatalf("dist run after worker kill: %v (log: %s)", err, logBuf.String())
+	}
+	sameResult(t, "proc-kill", got, ref)
+	if !strings.Contains(logBuf.String(), "re-homing") {
+		t.Errorf("worker killed but no islands re-homed; log: %s", logBuf.String())
+	}
+}

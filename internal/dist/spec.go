@@ -1,0 +1,69 @@
+package dist
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"digamma/internal/arch"
+	"digamma/internal/coopt"
+	"digamma/internal/core"
+	"digamma/internal/workload"
+)
+
+// Spec is the complete, serializable description of a search run: enough
+// for a worker process to rebuild the exact engine the coordinator holds
+// and arrive at the same ConfigSum. Everything in it is plain data — the
+// workload layer specs, the platform constants, the engine config and the
+// master seed.
+//
+// Deliberately absent: Workers (per-process parallelism; result-invariant
+// by the engine's lockstep batch contract), CacheHint and EvalDelay
+// (performance knobs excluded from the config fingerprint), and any
+// callbacks. The handshake's ConfigSum equality is therefore exactly the
+// statement "our engines compute identical results".
+type Spec struct {
+	ModelName string               `json:"model_name"`
+	Layers    []workload.LayerSpec `json:"layers"`
+	Platform  arch.Platform        `json:"platform"`
+	Objective coopt.Objective      `json:"objective"`
+	Fidelity  string               `json:"fidelity,omitempty"`
+	CacheHint int                  `json:"cache_hint,omitempty"`
+	Config    core.Config          `json:"config"`
+	Seed      int64                `json:"seed"`
+	EvalDelay time.Duration        `json:"eval_delay,omitempty"`
+}
+
+// Engine rebuilds the seeded engine the spec describes. workers overrides
+// the spec's per-process evaluation parallelism (0 keeps the spec's own
+// setting, which itself defaults to GOMAXPROCS inside the engine) —
+// worker processes size this to their own CPU share, not the
+// coordinator's.
+func (s *Spec) Engine(workers int) (*core.Engine, error) {
+	model, err := workload.FromSpecs(s.ModelName, s.Layers)
+	if err != nil {
+		return nil, fmt.Errorf("dist: spec model: %w", err)
+	}
+	p, err := coopt.NewProblemSized(model, s.Platform, s.Objective, s.CacheHint)
+	if err != nil {
+		return nil, fmt.Errorf("dist: spec problem: %w", err)
+	}
+	if s.Fidelity != "" {
+		if p, err = p.WithFidelity(s.Fidelity); err != nil {
+			return nil, fmt.Errorf("dist: spec fidelity: %w", err)
+		}
+	}
+	p.EvalDelay = s.EvalDelay
+	cfg := s.Config
+	if workers != 0 {
+		cfg.Workers = workers
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	eng, err := core.NewSeeded(p, cfg, s.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("dist: spec engine: %w", err)
+	}
+	return eng, nil
+}

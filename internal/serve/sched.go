@@ -21,6 +21,24 @@ var (
 // the default 2000-sample budget per round for a weight-1 tenant).
 const defaultQuantum = 2000
 
+// tenantCap is one admission limit: a default applied to every tenant
+// plus explicit per-tenant overrides. An override wins even when it is 0
+// (that tenant becomes unlimited while the default still binds the rest),
+// and a 0 default with no override means unlimited — the legacy single-
+// number behaviour.
+type tenantCap struct {
+	def int
+	per map[string]int
+}
+
+// limit resolves the cap that binds the named tenant (0 = unlimited).
+func (c tenantCap) limit(name string) int {
+	if v, ok := c.per[name]; ok {
+		return v
+	}
+	return c.def
+}
+
 // tenantQ is one tenant's scheduler state: its FIFO backlog, DRR deficit,
 // and the accounting admission control charges against. A tenantQ exists
 // only while the tenant has queued or running work — idle tenants cost no
@@ -57,8 +75,8 @@ type scheduler struct {
 
 	quantum   int            // evals per weight unit per rotation
 	depthCap  int            // global queued-job bound (Config.QueueDepth)
-	jobCap    int            // per-tenant queued+running cap, 0 = unlimited
-	budgetCap int            // per-tenant outstanding-eval cap, 0 = unlimited
+	jobCap    tenantCap      // per-tenant queued+running cap
+	budgetCap tenantCap      // per-tenant outstanding-eval cap
 	weights   map[string]int // configured weights; absent tenants weigh 1
 
 	tenants map[string]*tenantQ
@@ -78,7 +96,7 @@ type scheduler struct {
 	onDispatch func(*Job)
 }
 
-func newScheduler(depthCap, jobCap, budgetCap, quantum int, weights map[string]int) *scheduler {
+func newScheduler(depthCap int, jobCap, budgetCap tenantCap, quantum int, weights map[string]int) *scheduler {
 	if quantum <= 0 {
 		quantum = defaultQuantum
 	}
@@ -140,10 +158,10 @@ func (sc *scheduler) admit(tenant string, n, budget int) error {
 	if t != nil {
 		queuedRunning, outstanding = len(t.queue)+t.running, t.outstanding
 	}
-	if sc.jobCap > 0 && queuedRunning+n > sc.jobCap {
+	if cap := sc.jobCap.limit(tenant); cap > 0 && queuedRunning+n > cap {
 		return errTenantCap
 	}
-	if sc.budgetCap > 0 && outstanding+budget > sc.budgetCap {
+	if cap := sc.budgetCap.limit(tenant); cap > 0 && outstanding+budget > cap {
 		return errTenantCap
 	}
 	return nil

@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -92,7 +93,7 @@ func TestSchedulerDeterministicDispatch(t *testing.T) {
 
 	var want []string
 	for _, workers := range []int{1, 2, 4, 8} {
-		sc := newScheduler(1024, 0, 0, 1000, weights)
+		sc := newScheduler(1024, tenantCap{}, tenantCap{}, 1000, weights)
 		jobs := arrival()
 		for _, j := range jobs {
 			if !sc.enqueue(j, false) {
@@ -121,7 +122,7 @@ func TestSchedulerDeterministicDispatch(t *testing.T) {
 // configured weight share (the acceptance criterion, measured at the
 // scheduler where eval share == dispatch share × cost).
 func TestSchedulerWeightedShares(t *testing.T) {
-	sc := newScheduler(1024, 0, 0, 1000, map[string]int{"gold": 3, "silver": 1})
+	sc := newScheduler(1024, tenantCap{}, tenantCap{}, 1000, map[string]int{"gold": 3, "silver": 1})
 	const perTenant, cost = 40, 500
 	id := 0
 	for i := 0; i < perTenant; i++ {
@@ -158,7 +159,7 @@ func TestSchedulerWeightedShares(t *testing.T) {
 // the job already past the deficit check) before the newcomer runs.
 func TestSchedulerQuantumBoundedDelay(t *testing.T) {
 	const quantum = 1000
-	sc := newScheduler(1024, 0, 0, quantum, nil)
+	sc := newScheduler(1024, tenantCap{}, tenantCap{}, quantum, nil)
 	const hogCost = 500
 	for i := 1; i <= 50; i++ {
 		if !sc.enqueue(schedJob(i, "hog", hogCost), false) {
@@ -193,7 +194,7 @@ func TestSchedulerQuantumBoundedDelay(t *testing.T) {
 // TestSchedulerSingleTenantFIFO: with one tenant — all legacy traffic —
 // the rotation degenerates to exact FIFO, regardless of costs.
 func TestSchedulerSingleTenantFIFO(t *testing.T) {
-	sc := newScheduler(1024, 0, 0, 2000, nil)
+	sc := newScheduler(1024, tenantCap{}, tenantCap{}, 2000, nil)
 	costs := []int{100, 90000, 50, 2000, 7}
 	for i, c := range costs {
 		if !sc.enqueue(schedJob(i+1, DefaultTenant, c), false) {
@@ -292,6 +293,44 @@ func TestTenantBudgetCap(t *testing.T) {
 	// The finished job released its budget.
 	if _, code := submit(t, url, OptimizeRequest{Model: "ncf", Budget: 300, Seed: 4, Tenant: "thrifty"}); code != http.StatusAccepted {
 		t.Errorf("post-completion submit: HTTP %d, want 202", code)
+	}
+}
+
+// TestTenantCapOverrides: the per-tenant cap override wins over the
+// default in both directions — tighter and looser — and an explicit 0
+// lifts the cap for that tenant only, while the default keeps binding
+// everyone else.
+func TestTenantCapOverrides(t *testing.T) {
+	const cost = 100
+	cases := []struct {
+		name      string
+		jobCap    tenantCap
+		budgetCap tenantCap
+		tenant    string
+		pre       int // jobs already queued for tenant, `cost` evals each
+		wantErr   error
+	}{
+		{"default binds absent tenant", tenantCap{def: 2}, tenantCap{}, "alpha", 2, errTenantCap},
+		{"looser job override admits", tenantCap{def: 2, per: map[string]int{"gold": 5}}, tenantCap{}, "gold", 2, nil},
+		{"tighter job override rejects", tenantCap{def: 10, per: map[string]int{"trial": 1}}, tenantCap{}, "trial", 1, errTenantCap},
+		{"zero override lifts the cap", tenantCap{def: 1, per: map[string]int{"gold": 0}}, tenantCap{}, "gold", 3, nil},
+		{"override scoped to its tenant", tenantCap{def: 1, per: map[string]int{"gold": 0}}, tenantCap{}, "alpha", 1, errTenantCap},
+		{"tighter budget override rejects", tenantCap{}, tenantCap{def: 10_000, per: map[string]int{"trial": 150}}, "trial", 1, errTenantCap},
+		{"looser budget override admits", tenantCap{}, tenantCap{def: 150, per: map[string]int{"gold": 10_000}}, "gold", 1, nil},
+		{"unlimited when nothing set", tenantCap{}, tenantCap{}, "anyone", 5, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := newScheduler(1024, tc.jobCap, tc.budgetCap, 1000, nil)
+			for i := 0; i < tc.pre; i++ {
+				if !sc.enqueue(schedJob(i+1, tc.tenant, cost), false) {
+					t.Fatal("setup enqueue rejected")
+				}
+			}
+			if err := sc.admit(tc.tenant, 1, cost); !errors.Is(err, tc.wantErr) {
+				t.Errorf("admit(%s) = %v, want %v", tc.tenant, err, tc.wantErr)
+			}
+		})
 	}
 }
 

@@ -26,6 +26,13 @@ type Config struct {
 	// concurrently (each search additionally parallelizes its own
 	// evaluations per its request's Workers option). 0 = GOMAXPROCS.
 	Workers int
+	// DistWorkers lists digammad -worker addresses; eligible island
+	// searches shard across them (see docs/dist-protocol.md). Deployment
+	// config, not a request field: results are bit-identical with or
+	// without it, so it is deliberately excluded from the dedup request
+	// hash — a cached local result answers a distributed run of the same
+	// spec and vice versa. Empty = every search runs in-process.
+	DistWorkers []string
 	// QueueDepth bounds the number of jobs waiting for a worker; submits
 	// beyond it are rejected with 503 rather than queued unboundedly.
 	// 0 = 256.
@@ -71,10 +78,17 @@ type Config struct {
 	// it gets 429 with Retry-After while the service still has global
 	// headroom. 0 = unlimited (legacy behaviour).
 	TenantJobCap int
+	// TenantJobCaps overrides TenantJobCap for specific tenants. An
+	// override wins even at 0 (that tenant becomes unlimited while the
+	// default keeps binding everyone else).
+	TenantJobCaps map[string]int
 	// TenantBudgetCap bounds one tenant's outstanding evaluation budget —
 	// the summed sampling budgets of its queued and running jobs (≈
 	// in-flight evals). 0 = unlimited.
 	TenantBudgetCap int
+	// TenantBudgetCaps overrides TenantBudgetCap per tenant, with the same
+	// override-wins-even-at-0 rule as TenantJobCaps.
+	TenantBudgetCaps map[string]int
 	// SchedQuantum is the evals-per-weight-unit replenished each
 	// scheduling rotation (the fairness granularity: a saturating tenant
 	// can delay another by at most one rotation of quanta). 0 = 2000.
@@ -204,8 +218,11 @@ func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		sched:   newScheduler(cfg.QueueDepth, cfg.TenantJobCap, cfg.TenantBudgetCap, cfg.SchedQuantum, cfg.TenantWeights),
+		cfg: cfg,
+		sched: newScheduler(cfg.QueueDepth,
+			tenantCap{def: cfg.TenantJobCap, per: cfg.TenantJobCaps},
+			tenantCap{def: cfg.TenantBudgetCap, per: cfg.TenantBudgetCaps},
+			cfg.SchedQuantum, cfg.TenantWeights),
 		store:   cfg.Store,
 		jobs:    make(map[string]*Job),
 		byHash:  make(map[string]*Job),
@@ -408,6 +425,11 @@ func (s *Server) runJob(j *Job) {
 	// cache sharing is bit-identical, and the trajectory-changing warm
 	// start rides in via the spec (and its hash) instead.
 	opts.SharedCache = s.analysis
+	// Distributed placement is likewise deployment config: eligible island
+	// runs shard across the configured worker pool, ineligible ones (and
+	// handshake failures) fall back in-process — bit-identical either way,
+	// which is what keeps it out of the request hash.
+	opts.DistWorkers = s.cfg.DistWorkers
 	opts.Trace = j.trace
 	opts.OnProgress = func(p digamma.Progress) {
 		j.cacheHits.Store(p.CacheHits)

@@ -36,12 +36,28 @@ DIGAMMAD_BENCH_ISLANDS=$ISLANDS go test -run '^$' \
     -bench 'BenchmarkServeOptimize$|BenchmarkServeOptimizeIslands$|BenchmarkServeDedup$|BenchmarkServeWarmTraffic$|BenchmarkServeBatchSweep$|BenchmarkServeMultiTenant$' \
     -benchmem -benchtime "$BENCHTIME" ./internal/serve/ | tee -a "$RAW"
 
+# Distributed island sharding: the same 8-island EvalDelay-bound search
+# in-process vs sharded across 4 spawned worker processes. bestfit/op must
+# be identical between the rows — distribution is a pure wall-clock
+# optimization (bench_guard.sh gates the speedup and the equality).
+go test -run '^$' -bench 'BenchmarkDistIslands$' \
+    -benchtime "$BENCHTIME" ./internal/dist/ | tee -a "$RAW"
+
+# Served tail latency: the selftest's open-loop sustained phase over a
+# small rate sweep, recorded as mean/p95/p99 rows so SLO drift shows up in
+# the same trajectory file as the throughput rows.
+for RATE in ${SUSTAIN_RATES:-2 6}; do
+    go run ./cmd/digammad -selftest -requests 8 -clients 4 -no-warm \
+        -budget "${SUSTAIN_BUDGET:-240}" -sustain "${SUSTAIN_DUR:-4s}" \
+        -rate "$RATE" -bench-lines -log-level error | grep '^Benchmark' | tee -a "$RAW"
+done
+
 awk '
 BEGIN { print "[" ; first = 1 }
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)           # strip the GOMAXPROCS suffix
-    ns = ""; bytes = ""; allocs = ""; bestfit = ""; reused = ""; hitrate = ""; sharedhits = ""
+    ns = ""; bytes = ""; allocs = ""; bestfit = ""; reused = ""; hitrate = ""; sharedhits = ""; p95 = ""; p99 = ""
     for (i = 2; i <= NF; i++) {
         if ($(i) == "ns/op")         ns         = $(i - 1)
         if ($(i) == "B/op")          bytes      = $(i - 1)
@@ -50,6 +66,8 @@ BEGIN { print "[" ; first = 1 }
         if ($(i) == "reused/op")     reused     = $(i - 1)
         if ($(i) == "hitrate/op")    hitrate    = $(i - 1)
         if ($(i) == "sharedhits/op") sharedhits = $(i - 1)
+        if ($(i) == "p95_ns/op")     p95        = $(i - 1)
+        if ($(i) == "p99_ns/op")     p99        = $(i - 1)
     }
     if (ns == "") next
     if (!first) print ","
@@ -60,6 +78,8 @@ BEGIN { print "[" ; first = 1 }
     if (reused != "") printf ", \"reused_per_op\": %s", reused
     if (hitrate != "") printf ", \"hitrate_per_op\": %s", hitrate
     if (sharedhits != "") printf ", \"sharedhits_per_op\": %s", sharedhits
+    if (p95 != "") printf ", \"p95_ns_per_op\": %s", p95
+    if (p99 != "") printf ", \"p99_ns_per_op\": %s", p99
     printf "}"
 }
 END { print "\n]" }
